@@ -1,0 +1,420 @@
+//! The branch-and-bound mapping algorithm (paper Fig. 5).
+//!
+//! The search walks the signal-flow graph from its outputs towards its
+//! inputs. At each uncovered block the **branching rule** enumerates
+//! every library sub-graph match ending there (including functional
+//! transformations); for each alternative the algorithm first tries to
+//! **share** an already-allocated component with identical inputs and
+//! operation, then to **allocate** a dedicated component — unless the
+//! **bounding rule** proves the partial mapping cannot beat the best
+//! complete mapping found so far (`(opamps + comp_opamps) · MinArea ≥
+//! current_best`). The **sequencing rule** visits larger covers first
+//! so a good solution is found early and the bound becomes effective.
+
+use std::collections::HashMap;
+
+use vase_estimate::{Estimator, NetlistEstimate};
+use vase_library::{matches_at, Netlist, PatternMatch};
+use vase_vhif::{BlockId, SignalFlowGraph};
+
+use crate::config::{MapStats, MapperConfig};
+use crate::error::MapError;
+use crate::plan::{resolve, Plan, PlannedComponent};
+
+/// The result of mapping one signal-flow graph.
+#[derive(Debug, Clone)]
+pub struct MapResult {
+    /// The minimum-area netlist found.
+    pub netlist: Netlist,
+    /// Its performance estimate.
+    pub estimate: NetlistEstimate,
+    /// Search statistics.
+    pub stats: MapStats,
+}
+
+/// Map `graph` onto a minimum-area netlist of library components.
+///
+/// # Errors
+///
+/// * [`MapError::NoPattern`] if some block has no library
+///   implementation at all;
+/// * [`MapError::NoFeasibleMapping`] if every complete mapping violates
+///   the estimator's performance constraints.
+pub fn map_graph(
+    graph: &SignalFlowGraph,
+    estimator: &Estimator,
+    config: &MapperConfig,
+) -> Result<MapResult, MapError> {
+    // Pre-check: every operation block must have at least one pattern.
+    for (id, block) in graph.iter() {
+        if !block.kind.is_interface()
+            && matches_at(graph, id, &config.match_options).is_empty()
+        {
+            return Err(MapError::NoPattern { block: format!("{id} ({})", block.kind) });
+        }
+    }
+    let mut search = Search {
+        graph,
+        estimator,
+        config,
+        order: coverage_order(graph),
+        best: None,
+        stats: MapStats::default(),
+        min_area: estimator.min_opamp_area(),
+        memo: HashMap::new(),
+    };
+    search.run(Plan::new(graph));
+    let stats = search.stats;
+    match search.best {
+        Some(best) => Ok(MapResult { netlist: best.netlist, estimate: best.estimate, stats }),
+        None => Err(MapError::NoFeasibleMapping),
+    }
+}
+
+struct Best {
+    area: f64,
+    netlist: Netlist,
+    estimate: NetlistEstimate,
+}
+
+struct Search<'a> {
+    graph: &'a SignalFlowGraph,
+    estimator: &'a Estimator,
+    config: &'a MapperConfig,
+    order: Vec<BlockId>,
+    best: Option<Best>,
+    stats: MapStats,
+    min_area: f64,
+    /// Dominance memo: covered-set → fewest op amps that reached it.
+    memo: HashMap<Vec<u64>, usize>,
+}
+
+impl Search<'_> {
+    fn run(&mut self, plan: Plan) {
+        if self.stats.visited_nodes >= self.config.node_limit {
+            return;
+        }
+        self.stats.visited_nodes += 1;
+
+        if self.config.memoize {
+            let key = cover_key(&plan.covered);
+            match self.memo.get_mut(&key) {
+                Some(best_opamps) if *best_opamps <= plan.opamps => {
+                    self.stats.memo_pruned += 1;
+                    return;
+                }
+                Some(best_opamps) => *best_opamps = plan.opamps,
+                None => {
+                    self.memo.insert(key, plan.opamps);
+                }
+            }
+        }
+
+        let Some(cur) = self.order.iter().copied().find(|b| !plan.covered[b.index()]) else {
+            self.complete(&plan);
+            return;
+        };
+
+        let mut alternatives = matches_at(self.graph, cur, &self.config.match_options);
+        if !self.config.sequencing {
+            // Ablation: visit smallest covers first.
+            alternatives.reverse();
+        }
+        for m in &alternatives {
+            // Overlap with already-covered blocks is illegal.
+            if m.covered.iter().any(|b| plan.covered[b.index()]) {
+                continue;
+            }
+            // Share branch first (sequencing rule: sharing before
+            // allocation).
+            if self.config.sharing {
+                if let Some(existing) = plan.find_shareable(&m.kind, &m.inputs) {
+                    let mut shared = plan.clone();
+                    for &b in &m.covered {
+                        shared.covered[b.index()] = true;
+                        shared.components[existing].covered.push(b);
+                    }
+                    self.run(shared);
+                }
+            }
+            // Allocate branch. A component whose op-amp spec no library
+            // topology can meet (e.g. a gain-200 amplifier over a wide
+            // band) can never appear in a feasible netlist — reject it
+            // locally so the functional-transformation alternatives
+            // (gain-split chains) are explored instead.
+            if !self.estimator.estimate_component(&m.kind).spec_met {
+                self.stats.pruned_nodes += 1;
+                continue;
+            }
+            let added = m.kind.opamp_count();
+            if self.config.bounding {
+                if let Some(best) = &self.best {
+                    let lower_bound = (plan.opamps + added) as f64 * self.min_area;
+                    if lower_bound >= best.area {
+                        self.stats.pruned_nodes += 1;
+                        continue;
+                    }
+                }
+            }
+            let mut allocated = plan.clone();
+            self.apply(&mut allocated, m, cur);
+            self.run(allocated);
+        }
+    }
+
+    fn apply(&self, plan: &mut Plan, m: &PatternMatch, output: BlockId) {
+        for &b in &m.covered {
+            plan.covered[b.index()] = true;
+        }
+        plan.opamps += m.kind.opamp_count();
+        plan.components.push(PlannedComponent {
+            kind: m.kind.clone(),
+            covered: m.covered.clone(),
+            inputs: m.inputs.clone(),
+            output,
+        });
+    }
+
+    fn complete(&mut self, plan: &Plan) {
+        self.stats.complete_mappings += 1;
+        let Ok(netlist) = resolve(self.graph, plan, self.config.fanout_limit) else {
+            return;
+        };
+        let estimate = self.estimator.estimate_netlist(&netlist);
+        if !estimate.feasible() {
+            self.stats.infeasible_mappings += 1;
+            return;
+        }
+        let area = estimate.area_m2;
+        if self.best.as_ref().is_none_or(|b| area < b.area) {
+            self.best = Some(Best { area, netlist, estimate });
+        }
+    }
+}
+
+/// Pack a covered-set into a compact memo key.
+fn cover_key(covered: &[bool]) -> Vec<u64> {
+    let mut key = vec![0u64; covered.len().div_ceil(64)];
+    for (i, &c) in covered.iter().enumerate() {
+        if c {
+            key[i / 64] |= 1 << (i % 64);
+        }
+    }
+    key
+}
+
+/// The order in which uncovered blocks are picked: depth-first from the
+/// external outputs back through the drivers (the paper's "select an
+/// input signal of sub-graph" walk), followed by any remaining
+/// operation blocks (e.g. comparator networks feeding only control
+/// ports).
+pub(crate) fn coverage_order(graph: &SignalFlowGraph) -> Vec<BlockId> {
+    let mut order = Vec::new();
+    let mut seen = vec![false; graph.len()];
+    let mut stack: Vec<BlockId> = graph.outputs();
+    while let Some(b) = stack.pop() {
+        if seen[b.index()] {
+            continue;
+        }
+        seen[b.index()] = true;
+        if !graph.block(b).kind.is_interface() {
+            order.push(b);
+        }
+        for driver in graph.block_inputs(b).iter().flatten() {
+            stack.push(*driver);
+        }
+    }
+    for (id, block) in graph.iter() {
+        if !seen[id.index()] && !block.kind.is_interface() {
+            order.push(id);
+            seen[id.index()] = true;
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vase_library::ComponentKind;
+    use vase_vhif::BlockKind;
+
+    fn estimator() -> Estimator {
+        Estimator::default()
+    }
+
+    /// The paper's Fig. 6a example: y = k1·a + k2·b processed through a
+    /// multiply-and-add structure mappable with 2, 3, or 4 op amps.
+    fn fig6_graph() -> SignalFlowGraph {
+        let mut g = SignalFlowGraph::new("fig6");
+        let a = g.add(BlockKind::Input { name: "a".into() });
+        let b = g.add(BlockKind::Input { name: "b".into() });
+        let s1 = g.add_labelled(BlockKind::Scale { gain: 2.0 }, "block1");
+        let s2 = g.add_labelled(BlockKind::Scale { gain: 3.0 }, "block2");
+        let add = g.add_labelled(BlockKind::Add { arity: 2 }, "block3");
+        let s3 = g.add_labelled(BlockKind::Scale { gain: 0.5 }, "block4");
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(a, s1, 0).expect("wire");
+        g.connect(b, s2, 0).expect("wire");
+        g.connect(s1, add, 0).expect("wire");
+        g.connect(s2, add, 1).expect("wire");
+        g.connect(add, s3, 0).expect("wire");
+        g.connect(s3, y, 0).expect("wire");
+        g
+    }
+
+    #[test]
+    fn fig6_best_mapping_uses_one_summing_amp() {
+        // Scale∘Add with folded scale children → all 4 blocks in ONE
+        // weighted summing amplifier (even better than the paper's
+        // 2-op-amp result, which lacked the Scale∘Add fold for the
+        // outer gain).
+        let g = fig6_graph();
+        let result = map_graph(&g, &estimator(), &MapperConfig::default()).expect("maps");
+        result.netlist.validate().expect("valid");
+        assert_eq!(result.netlist.opamp_count(), 1, "{}", result.netlist);
+        match &result.netlist.components[0].kind {
+            ComponentKind::SummingAmp { weights } => {
+                assert_eq!(weights, &vec![1.0, 1.5]);
+            }
+            other => panic!("expected summing amp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_block_mapping_uses_four_opamps() {
+        // With multi-block patterns off, each of the 4 blocks costs an
+        // op amp — the worst branch of the paper's Fig. 6 tree.
+        let g = fig6_graph();
+        let mut config = MapperConfig::default();
+        config.match_options.multi_block = false;
+        config.match_options.transforms = false;
+        let result = map_graph(&g, &estimator(), &config).expect("maps");
+        assert_eq!(result.netlist.opamp_count(), 4, "{}", result.netlist);
+    }
+
+    #[test]
+    fn bounding_prunes_nodes() {
+        // A chain of unity-gain buffers: every component costs close to
+        // `MinArea`, so the bound `(opamps + comp) · MinArea ≥ best`
+        // becomes effective once the 6-follower optimum is found and a
+        // branch accumulates per-block followers.
+        let mut g = SignalFlowGraph::new("chain");
+        let mut prev = g.add(BlockKind::Input { name: "x".into() });
+        for _ in 0..12 {
+            let s = g.add(BlockKind::Scale { gain: 1.0 });
+            g.connect(prev, s, 0).expect("wire");
+            prev = s;
+        }
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(prev, y, 0).expect("wire");
+
+        // Isolate the bounding rule: memoization off for both runs.
+        let bounded =
+            map_graph(&g, &estimator(), &MapperConfig { memoize: false, ..MapperConfig::default() })
+                .expect("maps");
+        let exhaustive = map_graph(
+            &g,
+            &estimator(),
+            &MapperConfig { memoize: false, ..MapperConfig::exhaustive() },
+        )
+        .expect("maps");
+        // Same optimum (6 pair-folded buffers)...
+        assert_eq!(bounded.netlist.opamp_count(), exhaustive.netlist.opamp_count());
+        assert_eq!(bounded.netlist.opamp_count(), 6);
+        // ...but bounding visits fewer nodes and actually prunes.
+        assert!(bounded.stats.visited_nodes <= exhaustive.stats.visited_nodes);
+        assert!(
+            bounded.stats.pruned_nodes > 0,
+            "expected pruning; visited {} vs {}",
+            bounded.stats.visited_nodes,
+            exhaustive.stats.visited_nodes
+        );
+        assert_eq!(exhaustive.stats.pruned_nodes, 0);
+    }
+
+    #[test]
+    fn sharing_reuses_identical_subcircuits() {
+        // Two outputs computing the same 2·x: with sharing one amp
+        // serves both.
+        let mut g = SignalFlowGraph::new("share");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let s1 = g.add(BlockKind::Scale { gain: 2.0 });
+        let s2 = g.add(BlockKind::Scale { gain: 2.0 });
+        let y1 = g.add(BlockKind::Output { name: "y1".into() });
+        let y2 = g.add(BlockKind::Output { name: "y2".into() });
+        g.connect(x, s1, 0).expect("wire");
+        g.connect(x, s2, 0).expect("wire");
+        g.connect(s1, y1, 0).expect("wire");
+        g.connect(s2, y2, 0).expect("wire");
+
+        let shared = map_graph(&g, &estimator(), &MapperConfig::default()).expect("maps");
+        assert_eq!(shared.netlist.opamp_count(), 1, "{}", shared.netlist);
+
+        let config = MapperConfig { sharing: false, ..MapperConfig::default() };
+        let unshared = map_graph(&g, &estimator(), &config).expect("maps");
+        assert_eq!(unshared.netlist.opamp_count(), 2, "{}", unshared.netlist);
+    }
+
+    #[test]
+    fn integrator_feedback_loop_maps() {
+        // dx/dt = -x: summing integrator with its own output fed back.
+        let mut g = SignalFlowGraph::new("ode");
+        let integ = g.add(BlockKind::Integrate { gain: 1.0, initial: 1.0 });
+        let neg = g.add(BlockKind::Scale { gain: -1.0 });
+        let y = g.add(BlockKind::Output { name: "x".into() });
+        g.connect(integ, neg, 0).expect("wire");
+        g.connect(neg, integ, 0).expect("wire");
+        g.connect(integ, y, 0).expect("wire");
+        let result = map_graph(&g, &estimator(), &MapperConfig::default()).expect("maps");
+        result.netlist.validate().expect("valid");
+        // Best: one summing integrator implementing both blocks.
+        assert_eq!(result.netlist.opamp_count(), 1, "{}", result.netlist);
+    }
+
+    #[test]
+    fn infeasible_constraints_yield_error() {
+        use vase_estimate::PerformanceConstraints;
+        let g = fig6_graph();
+        let e = Estimator::new(PerformanceConstraints {
+            bandwidth_hz: 4e3,
+            signal_peak_v: 1.0,
+            max_power_w: 0.0, // nothing is feasible
+            max_area_m2: f64::INFINITY,
+        });
+        let err = map_graph(&g, &e, &MapperConfig::default()).unwrap_err();
+        assert_eq!(err, MapError::NoFeasibleMapping);
+    }
+
+    #[test]
+    fn stats_count_complete_mappings() {
+        let g = fig6_graph();
+        let result = map_graph(
+            &g,
+            &estimator(),
+            &MapperConfig { memoize: false, ..MapperConfig::exhaustive() },
+        )
+        .expect("maps");
+        assert!(result.stats.complete_mappings >= 2);
+        assert!(result.stats.visited_nodes > result.stats.complete_mappings);
+    }
+
+    #[test]
+    fn memoization_prunes_but_preserves_the_optimum() {
+        let g = fig6_graph();
+        let with = map_graph(&g, &estimator(), &MapperConfig::default()).expect("maps");
+        let without =
+            map_graph(&g, &estimator(), &MapperConfig { memoize: false, ..MapperConfig::default() })
+                .expect("maps");
+        assert_eq!(with.netlist.opamp_count(), without.netlist.opamp_count());
+        assert!(with.stats.visited_nodes <= without.stats.visited_nodes);
+    }
+
+    #[test]
+    fn sequencing_off_still_finds_optimum_but_slower_bound() {
+        let g = fig6_graph();
+        let config = MapperConfig { sequencing: false, ..MapperConfig::default() };
+        let result = map_graph(&g, &estimator(), &config).expect("maps");
+        assert_eq!(result.netlist.opamp_count(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Mapper configuration and search statistics.
+
+use serde::{Deserialize, Serialize};
+use vase_library::MatchOptions;
+
+/// Configuration of the architecture generator. The boolean switches
+/// correspond to the algorithm ingredients of paper Section 5 and feed
+/// the ablation benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MapperConfig {
+    /// Pattern families available to the branching rule.
+    pub match_options: MatchOptions,
+    /// Enable the bounding rule (`(opamps + comp) · MinArea <
+    /// current_best`).
+    pub bounding: bool,
+    /// Enable the sequencing rule (visit larger-cover alternatives
+    /// first; sharing before allocation). Disabled, alternatives are
+    /// visited smallest-first.
+    pub sequencing: bool,
+    /// Enable hardware sharing between blocks in different signal paths.
+    pub sharing: bool,
+    /// Interfacing transformation: insert a follower when a component
+    /// output drives more than this many consumers.
+    pub fanout_limit: usize,
+    /// Safety cap on visited decision-tree nodes; the search returns
+    /// the best solution found so far when exceeded.
+    pub node_limit: u64,
+    /// Dominance memoization (an extension beyond the paper): prune a
+    /// partial mapping whose covered-block set was already reached with
+    /// no more op amps. Collapses the exponential revisiting the paper
+    /// identifies as the algorithm's scaling limit, while preserving
+    /// the optimum on every workload we test.
+    pub memoize: bool,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        MapperConfig {
+            match_options: MatchOptions::default(),
+            bounding: true,
+            sequencing: true,
+            sharing: true,
+            fanout_limit: 3,
+            node_limit: 2_000_000,
+            memoize: true,
+        }
+    }
+}
+
+impl MapperConfig {
+    /// An exhaustive configuration (no bounding) — the baseline the
+    /// bounding-rule ablation compares against.
+    pub fn exhaustive() -> Self {
+        MapperConfig { bounding: false, ..MapperConfig::default() }
+    }
+}
+
+/// Statistics of one mapping run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MapStats {
+    /// Decision-tree nodes visited.
+    pub visited_nodes: u64,
+    /// Nodes pruned by the bounding rule.
+    pub pruned_nodes: u64,
+    /// Nodes pruned by dominance memoization.
+    pub memo_pruned: u64,
+    /// Complete mappings reached (leaves of the decision tree).
+    pub complete_mappings: u64,
+    /// Complete mappings rejected as constraint-infeasible.
+    pub infeasible_mappings: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_everything() {
+        let c = MapperConfig::default();
+        assert!(c.bounding && c.sequencing && c.sharing && c.memoize);
+        assert!(c.match_options.multi_block && c.match_options.transforms);
+    }
+
+    #[test]
+    fn exhaustive_disables_bounding_only() {
+        let c = MapperConfig::exhaustive();
+        assert!(!c.bounding);
+        assert!(c.sequencing && c.sharing);
+    }
+}

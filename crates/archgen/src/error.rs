@@ -1,0 +1,49 @@
+//! Error type for architecture synthesis.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// An error produced while mapping VHIF onto a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapError {
+    /// A block has no library pattern at all — the graph is outside the
+    /// library's reach.
+    NoPattern {
+        /// Description of the unmappable block.
+        block: String,
+    },
+    /// No complete mapping satisfied the performance constraints.
+    NoFeasibleMapping,
+    /// The plan being resolved was not actually complete.
+    Incomplete {
+        /// What was missing.
+        what: String,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::NoPattern { block } => {
+                write!(f, "no library pattern implements block {block}")
+            }
+            MapError::NoFeasibleMapping => {
+                f.write_str("no complete mapping satisfies the performance constraints")
+            }
+            MapError::Incomplete { what } => write!(f, "incomplete mapping: {what}"),
+        }
+    }
+}
+
+impl StdError for MapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(MapError::NoFeasibleMapping.to_string().contains("constraints"));
+        assert!(MapError::NoPattern { block: "b3".into() }.to_string().contains("b3"));
+    }
+}

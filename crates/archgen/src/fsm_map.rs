@@ -1,0 +1,413 @@
+//! Mapping the event-driven part (FSMs) onto analog circuits.
+//!
+//! Paper Section 5: "For analog systems, the FSM has very often a
+//! simple structure, that can be entirely mapped to analog circuits,
+//! i.e. Schmitt triggers, zero-cross detectors, sample-and-hold
+//! circuits". This module implements those recognitions:
+//!
+//! * one `'above` event on a quantity → a **zero-cross detector** with
+//!   a small hysteresis margin (so repeated switchings between states
+//!   are avoided — the paper's receiver control element);
+//! * two `'above` events on the *same* quantity at different levels →
+//!   one **Schmitt trigger** spanning the two thresholds (the function
+//!   generator's ramp control);
+//! * a data-path op sampling a quantity → a **sample-and-hold**;
+//! * an `adc(...)` data-path op → an **ADC** (plus the S/H feeding it);
+//! * arithmetic data-path ops on analog values → difference amplifiers
+//!   / summing amplifiers, as in the mixed acquisition parts.
+//!
+//! Bit-constant control assignments (`c1 <= '1'`) cost no hardware:
+//! they are the detector's own output levels.
+
+use std::collections::BTreeMap;
+
+use vase_library::{ComponentKind, PlacedComponent, SourceRef};
+use vase_vhif::{DataOp, DpBinaryOp, DpExpr, Event, Fsm};
+
+/// Relative hysteresis applied to event detectors (fraction of the
+/// threshold magnitude, with an absolute floor).
+pub const EVENT_HYSTERESIS: f64 = 0.02;
+
+/// Map one FSM to library components, together with the control
+/// bindings: which (local) component output carries each control
+/// signal the machine drives. Inputs are external nets named after the
+/// quantities/signals they tap.
+pub fn map_fsm_with_bindings(fsm: &Fsm) -> (Vec<PlacedComponent>, Vec<(String, usize)>) {
+    let components = map_fsm(fsm);
+    // Binding heuristic: when the machine has exactly one event
+    // detector and only sets bit-constant control signals, those
+    // signals are the detector's output levels.
+    let detectors: Vec<usize> = components
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            matches!(
+                c.kind,
+                ComponentKind::ZeroCrossDetector { .. } | ComponentKind::SchmittTrigger { .. }
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let mut bindings = Vec::new();
+    if detectors.len() == 1 {
+        for (_, state) in fsm.iter() {
+            for op in &state.ops {
+                if matches!(op.value, DpExpr::Bit(_))
+                    && !bindings.iter().any(|(s, _): &(String, usize)| s == &op.target)
+                {
+                    bindings.push((op.target.clone(), detectors[0]));
+                }
+            }
+        }
+    }
+    (components, bindings)
+}
+
+/// Map one FSM to library components. Inputs are external nets named
+/// after the quantities/signals they tap; outputs are named after the
+/// control signals the machine drives.
+pub fn map_fsm(fsm: &Fsm) -> Vec<PlacedComponent> {
+    let mut components = Vec::new();
+
+    // 1. Event detectors: group 'above events by quantity.
+    let mut above_by_quantity: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for event in fsm.events() {
+        if let Event::Above { quantity, threshold } = event {
+            let entry = above_by_quantity.entry(quantity.clone()).or_default();
+            if !entry.iter().any(|t| (t - threshold).abs() < 1e-12) {
+                entry.push(*threshold);
+            }
+        }
+    }
+    // Guards also reference event levels.
+    collect_guard_events(fsm, &mut above_by_quantity);
+
+    for (quantity, mut thresholds) in above_by_quantity {
+        thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite thresholds"));
+        if thresholds.len() >= 2 {
+            // Two levels on one quantity: a Schmitt trigger spans them.
+            components.push(PlacedComponent {
+                kind: ComponentKind::SchmittTrigger {
+                    low: thresholds[0],
+                    high: *thresholds.last().expect("non-empty"),
+                },
+                inputs: vec![SourceRef::External(quantity.clone())],
+                implements: vec![],
+                label: format!("schmitt_{quantity}"),
+            });
+        } else {
+            let level = thresholds[0];
+            components.push(PlacedComponent {
+                kind: ComponentKind::ZeroCrossDetector {
+                    level,
+                    hysteresis: (level.abs() * EVENT_HYSTERESIS).max(1e-3),
+                },
+                inputs: vec![SourceRef::External(quantity.clone())],
+                implements: vec![],
+                label: format!("zcd_{quantity}"),
+            });
+        }
+    }
+
+    // 2. Data-path operations.
+    for (_, state) in fsm.iter() {
+        for op in &state.ops {
+            map_data_op(op, &mut components);
+        }
+    }
+    components
+}
+
+fn collect_guard_events(fsm: &Fsm, out: &mut BTreeMap<String, Vec<f64>>) {
+    for t in fsm.transitions() {
+        if let vase_vhif::Trigger::Guard(g) = &t.trigger {
+            collect_expr_events(g, out);
+        }
+    }
+}
+
+fn collect_expr_events(expr: &DpExpr, out: &mut BTreeMap<String, Vec<f64>>) {
+    match expr {
+        DpExpr::EventLevel(Event::Above { quantity, threshold }) => {
+            let entry = out.entry(quantity.clone()).or_default();
+            if !entry.iter().any(|t| (t - threshold).abs() < 1e-12) {
+                entry.push(*threshold);
+            }
+        }
+        DpExpr::Adc(e) | DpExpr::Not(e) => collect_expr_events(e, out),
+        DpExpr::Binary { lhs, rhs, .. } => {
+            collect_expr_events(lhs, out);
+            collect_expr_events(rhs, out);
+        }
+        _ => {}
+    }
+}
+
+fn map_data_op(op: &DataOp, components: &mut Vec<PlacedComponent>) {
+    map_dp_value(&op.target, &op.value, components);
+}
+
+/// Map the value side of a data-path op; returns the source carrying
+/// the produced value (for nesting).
+fn map_dp_value(
+    target: &str,
+    value: &DpExpr,
+    components: &mut Vec<PlacedComponent>,
+) -> Option<SourceRef> {
+    match value {
+        // Bit constants fold into the upstream detector's output level.
+        DpExpr::Bit(_) | DpExpr::Real(_) | DpExpr::Signal(_) | DpExpr::EventLevel(_)
+        | DpExpr::Not(_) => None,
+        // Sampling an analog quantity needs a sample-and-hold.
+        DpExpr::Quantity(q) => {
+            let index = push_unique(
+                components,
+                PlacedComponent {
+                    kind: ComponentKind::SampleHold,
+                    inputs: vec![
+                        SourceRef::External(q.clone()),
+                        SourceRef::External(format!("{target}_sample")),
+                    ],
+                    implements: vec![],
+                    label: format!("sh_{q}"),
+                },
+            );
+            Some(SourceRef::Component(index))
+        }
+        // ADC conversion: map the inner value, then convert it.
+        DpExpr::Adc(inner) => {
+            let source = map_dp_value(target, inner, components)
+                .unwrap_or_else(|| SourceRef::External(format!("{target}_in")));
+            let index = push_unique(
+                components,
+                PlacedComponent {
+                    kind: ComponentKind::Adc { bits: 8 },
+                    inputs: vec![source, SourceRef::External(format!("{target}_convert"))],
+                    implements: vec![],
+                    label: format!("adc_{target}"),
+                },
+            );
+            Some(SourceRef::Component(index))
+        }
+        // Analog arithmetic in the data-path: difference/summing amps.
+        DpExpr::Binary { op, lhs, rhs } => {
+            let reads_analog = matches!(**lhs, DpExpr::Quantity(_))
+                || matches!(**rhs, DpExpr::Quantity(_));
+            if !reads_analog {
+                return None;
+            }
+            let l = map_dp_value(target, lhs, components);
+            let r = map_dp_value(target, rhs, components);
+            let inputs = vec![
+                l.unwrap_or(SourceRef::External(format!("{target}_a"))),
+                r.unwrap_or(SourceRef::External(format!("{target}_b"))),
+            ];
+            let kind = match op {
+                DpBinaryOp::Sub => ComponentKind::DifferenceAmp { gain: 1.0 },
+                DpBinaryOp::Add => ComponentKind::SummingAmp { weights: vec![1.0, 1.0] },
+                DpBinaryOp::Mul => ComponentKind::Multiplier,
+                DpBinaryOp::Div => ComponentKind::Divider,
+                // Comparisons in guards were handled as events.
+                _ => return None,
+            };
+            let index = push_unique(
+                components,
+                PlacedComponent {
+                    kind,
+                    inputs,
+                    implements: vec![],
+                    label: format!("dp_{target}"),
+                },
+            );
+            Some(SourceRef::Component(index))
+        }
+    }
+}
+
+/// Push unless an identical component (kind + inputs) already exists —
+/// the sharing rule applied to the event-driven hardware.
+fn push_unique(components: &mut Vec<PlacedComponent>, component: PlacedComponent) -> usize {
+    if let Some(i) = components
+        .iter()
+        .position(|c| c.kind == component.kind && c.inputs == component.inputs)
+    {
+        return i;
+    }
+    components.push(component);
+    components.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vase_vhif::Trigger;
+
+    #[test]
+    fn single_above_event_maps_to_zero_cross_detector() {
+        // The paper's receiver: the "sophisticated" control FSM is one
+        // zero-cross detector with a small hysteresis margin (§6).
+        let mut fsm = Fsm::new("comp");
+        let start = fsm.start();
+        let s1 = fsm.add_state("s1");
+        fsm.state_mut(s1).ops.push(DataOp::new("c1", DpExpr::Bit(true)));
+        fsm.add_transition(
+            start,
+            s1,
+            Trigger::AnyEvent(vec![Event::Above { quantity: "line".into(), threshold: 0.07 }]),
+        );
+        fsm.add_transition(s1, start, Trigger::Always);
+        let comps = map_fsm(&fsm);
+        assert_eq!(comps.len(), 1);
+        match &comps[0].kind {
+            ComponentKind::ZeroCrossDetector { level, hysteresis } => {
+                assert_eq!(*level, 0.07);
+                assert!(*hysteresis > 0.0);
+            }
+            other => panic!("expected zero-cross detector, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_levels_on_one_quantity_merge_into_schmitt() {
+        // Function-generator style: ramp watched at two levels.
+        let mut fsm = Fsm::new("ramp");
+        let start = fsm.start();
+        let s1 = fsm.add_state("up");
+        let s2 = fsm.add_state("down");
+        fsm.state_mut(s1).ops.push(DataOp::new("dir", DpExpr::Bit(true)));
+        fsm.state_mut(s2).ops.push(DataOp::new("dir", DpExpr::Bit(false)));
+        fsm.add_transition(
+            start,
+            s1,
+            Trigger::AnyEvent(vec![
+                Event::Above { quantity: "ramp".into(), threshold: -1.0 },
+                Event::Above { quantity: "ramp".into(), threshold: 1.0 },
+            ]),
+        );
+        fsm.add_transition(s1, start, Trigger::Always);
+        fsm.add_transition(s2, start, Trigger::Always);
+        fsm.add_transition(start, s2, Trigger::Guard(DpExpr::Bit(false)));
+        let comps = map_fsm(&fsm);
+        let schmitts: Vec<_> = comps
+            .iter()
+            .filter(|c| matches!(c.kind, ComponentKind::SchmittTrigger { .. }))
+            .collect();
+        assert_eq!(schmitts.len(), 1);
+        match &schmitts[0].kind {
+            ComponentKind::SchmittTrigger { low, high } => {
+                assert_eq!((*low, *high), (-1.0, 1.0));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn sampled_quantity_maps_to_sample_hold_and_adc() {
+        // Power-meter style acquisition: d <= adc(vsens).
+        let mut fsm = Fsm::new("acq");
+        let start = fsm.start();
+        let s1 = fsm.add_state("sample");
+        fsm.state_mut(s1).ops.push(DataOp::new(
+            "dv",
+            DpExpr::Adc(Box::new(DpExpr::Quantity("vsens".into()))),
+        ));
+        fsm.state_mut(s1).ops.push(DataOp::new(
+            "di",
+            DpExpr::Adc(Box::new(DpExpr::Quantity("isens".into()))),
+        ));
+        fsm.add_transition(
+            start,
+            s1,
+            Trigger::AnyEvent(vec![Event::Above { quantity: "clk".into(), threshold: 0.5 }]),
+        );
+        fsm.add_transition(s1, start, Trigger::Always);
+        let comps = map_fsm(&fsm);
+        let count = |pred: &dyn Fn(&ComponentKind) -> bool| {
+            comps.iter().filter(|c| pred(&c.kind)).count()
+        };
+        // 1 zero-cross (the clk event) + 2 S/H + 2 ADC — the power
+        // meter's Table 1 component mix.
+        assert_eq!(count(&|k| matches!(k, ComponentKind::SampleHold)), 2);
+        assert_eq!(count(&|k| matches!(k, ComponentKind::Adc { .. })), 2);
+        assert_eq!(count(&|k| matches!(k, ComponentKind::ZeroCrossDetector { .. })), 1);
+    }
+
+    #[test]
+    fn bindings_attach_signals_to_single_detector() {
+        let mut fsm = Fsm::new("comp");
+        let start = fsm.start();
+        let s1 = fsm.add_state("s1");
+        fsm.state_mut(s1).ops.push(DataOp::new("c1", DpExpr::Bit(true)));
+        fsm.add_transition(
+            start,
+            s1,
+            Trigger::AnyEvent(vec![Event::Above { quantity: "line".into(), threshold: 0.07 }]),
+        );
+        fsm.add_transition(s1, start, Trigger::Always);
+        let (comps, bindings) = map_fsm_with_bindings(&fsm);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(bindings, vec![("c1".to_owned(), 0)]);
+    }
+
+    #[test]
+    fn bit_assignments_cost_no_hardware() {
+        let mut fsm = Fsm::new("set");
+        let start = fsm.start();
+        let s1 = fsm.add_state("s1");
+        fsm.state_mut(s1).ops.push(DataOp::new("c", DpExpr::Bit(true)));
+        fsm.add_transition(
+            start,
+            s1,
+            Trigger::AnyEvent(vec![Event::SignalChange { signal: "go".into() }]),
+        );
+        fsm.add_transition(s1, start, Trigger::Always);
+        let comps = map_fsm(&fsm);
+        assert!(comps.is_empty(), "{comps:?}");
+    }
+
+    #[test]
+    fn difference_in_datapath_maps_to_diff_amp() {
+        let mut fsm = Fsm::new("dp");
+        let start = fsm.start();
+        let s1 = fsm.add_state("s1");
+        fsm.state_mut(s1).ops.push(DataOp::new(
+            "err",
+            DpExpr::binary(
+                DpBinaryOp::Sub,
+                DpExpr::Quantity("a".into()),
+                DpExpr::Quantity("b".into()),
+            ),
+        ));
+        fsm.add_transition(
+            start,
+            s1,
+            Trigger::AnyEvent(vec![Event::SignalChange { signal: "go".into() }]),
+        );
+        fsm.add_transition(s1, start, Trigger::Always);
+        let comps = map_fsm(&fsm);
+        assert!(comps
+            .iter()
+            .any(|c| matches!(c.kind, ComponentKind::DifferenceAmp { .. })));
+    }
+
+    #[test]
+    fn repeated_sampling_shares_one_sample_hold() {
+        let mut fsm = Fsm::new("dup");
+        let start = fsm.start();
+        let s1 = fsm.add_state("s1");
+        // Same quantity sampled into the same target twice (re-trigger).
+        fsm.state_mut(s1).ops.push(DataOp::new("v", DpExpr::Quantity("x".into())));
+        let s2 = fsm.add_state("s2");
+        fsm.state_mut(s2).ops.push(DataOp::new("v", DpExpr::Quantity("x".into())));
+        fsm.add_transition(
+            start,
+            s1,
+            Trigger::AnyEvent(vec![Event::SignalChange { signal: "go".into() }]),
+        );
+        fsm.add_transition(s1, s2, Trigger::Always);
+        fsm.add_transition(s2, start, Trigger::Always);
+        let comps = map_fsm(&fsm);
+        let sh = comps.iter().filter(|c| matches!(c.kind, ComponentKind::SampleHold)).count();
+        assert_eq!(sh, 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! Partial mappings: planned components over VHIF blocks, and their
+//! resolution into a concrete [`Netlist`].
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use vase_library::{ComponentKind, Netlist, PlacedComponent, SourceRef};
+use vase_vhif::{BlockId, BlockKind, SignalFlowGraph};
+
+use crate::error::MapError;
+
+/// One component planned during the search; inputs still refer to VHIF
+/// blocks (the producing components may not exist yet).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannedComponent {
+    /// The library circuit.
+    pub kind: ComponentKind,
+    /// Covered blocks.
+    pub covered: Vec<BlockId>,
+    /// Driver blocks (outside the cover), in component port order.
+    pub inputs: Vec<BlockId>,
+    /// The covered block whose output leaves the cover (the
+    /// component's output net).
+    pub output: BlockId,
+}
+
+/// A (partial) mapping of a signal-flow graph.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// Planned components.
+    pub components: Vec<PlannedComponent>,
+    /// Whether each block (by index) is covered.
+    pub covered: Vec<bool>,
+    /// Running op-amp count (the sequencing rule's area proxy).
+    pub opamps: usize,
+}
+
+impl Plan {
+    /// An empty plan for a graph with `block_count` blocks; interface
+    /// blocks are pre-marked covered (they are external nets, not
+    /// hardware).
+    pub fn new(graph: &SignalFlowGraph) -> Self {
+        let covered = graph.iter().map(|(_, b)| b.kind.is_interface()).collect();
+        Plan { components: Vec::new(), covered, opamps: 0 }
+    }
+
+    /// Whether every block is covered.
+    pub fn is_complete(&self) -> bool {
+        self.covered.iter().all(|&c| c)
+    }
+
+    /// The planned component producing `block`'s value, if any.
+    pub fn producer_of(&self, block: BlockId) -> Option<usize> {
+        self.components.iter().position(|c| c.output == block)
+    }
+
+    /// Find a planned component implementing the same kind with the
+    /// same inputs (the across-path sharing opportunity).
+    pub fn find_shareable(&self, kind: &ComponentKind, inputs: &[BlockId]) -> Option<usize> {
+        self.components.iter().position(|c| &c.kind == kind && c.inputs == inputs)
+    }
+}
+
+/// Resolve a complete plan into a [`Netlist`], inserting followers
+/// where a component output drives more than `fanout_limit` consumers
+/// (the paper's interfacing transformation for loading effects).
+///
+/// # Errors
+///
+/// Fails if a referenced driver block has no producer (incomplete or
+/// inconsistent plan).
+pub fn resolve(
+    graph: &SignalFlowGraph,
+    plan: &Plan,
+    fanout_limit: usize,
+) -> Result<Netlist, MapError> {
+    let mut netlist = Netlist::new();
+    // Place components in plan order; record output-block → index.
+    let mut producer: HashMap<BlockId, usize> = HashMap::new();
+    for planned in &plan.components {
+        let index = netlist.push(PlacedComponent {
+            kind: planned.kind.clone(),
+            inputs: Vec::new(), // filled below
+            implements: planned.covered.clone(),
+            label: component_label(graph, planned),
+        });
+        // Every covered block's value is available at this component's
+        // output: a shared component serves all the blocks it covers.
+        for &b in &planned.covered {
+            producer.insert(b, index);
+        }
+        producer.insert(planned.output, index);
+    }
+    // Resolve inputs.
+    for (index, planned) in plan.components.iter().enumerate() {
+        let mut inputs = Vec::with_capacity(planned.inputs.len());
+        for &driver in &planned.inputs {
+            inputs.push(source_for(graph, &producer, driver)?);
+        }
+        netlist.components[index].inputs = inputs;
+    }
+    // External outputs.
+    for out in graph.outputs() {
+        let BlockKind::Output { name } = graph.kind(out) else { unreachable!() };
+        let driver = graph.block_inputs(out)[0].ok_or(MapError::Incomplete {
+            what: format!("output `{name}` has no driver"),
+        })?;
+        let source = source_for(graph, &producer, driver)?;
+        netlist.outputs.push((name.clone(), source));
+    }
+    insert_followers(&mut netlist, fanout_limit);
+    Ok(netlist)
+}
+
+fn component_label(graph: &SignalFlowGraph, planned: &PlannedComponent) -> String {
+    planned
+        .covered
+        .iter()
+        .find_map(|&b| graph.block(b).label.clone())
+        .unwrap_or_else(|| format!("{}@{}", planned.kind.report_category(), planned.output))
+}
+
+fn source_for(
+    graph: &SignalFlowGraph,
+    producer: &HashMap<BlockId, usize>,
+    driver: BlockId,
+) -> Result<SourceRef, MapError> {
+    match graph.kind(driver) {
+        BlockKind::Input { name } | BlockKind::ControlInput { name } => {
+            Ok(SourceRef::External(name.clone()))
+        }
+        _ => match producer.get(&driver) {
+            Some(&i) => Ok(SourceRef::Component(i)),
+            None => Err(MapError::Incomplete {
+                what: format!("block {driver} ({}) has no producing component", graph.kind(driver)),
+            }),
+        },
+    }
+}
+
+/// Insert unity-gain followers on overloaded outputs: a follower is a
+/// buffer designed to drive heavy loads, so consumers beyond the limit
+/// are moved behind it (the driving component then sees `fanout_limit`
+/// loads at most, one of which is the follower's high-impedance input).
+fn insert_followers(netlist: &mut Netlist, fanout_limit: usize) {
+    if fanout_limit == 0 {
+        return;
+    }
+    let n = netlist.components.len();
+    for i in 0..n {
+        // Followers buffer analog nets; skip control-class producers
+        // (and followers themselves — they are the buffers).
+        if matches!(
+            netlist.components[i].kind,
+            ComponentKind::Follower
+                | ComponentKind::ZeroCrossDetector { .. }
+                | ComponentKind::SchmittTrigger { .. }
+                | ComponentKind::Comparator { .. }
+                | ComponentKind::LogicGate
+                | ComponentKind::Adc { .. }
+        ) {
+            continue;
+        }
+        if netlist.fanout(i) <= fanout_limit {
+            continue;
+        }
+        let follower = netlist.push(PlacedComponent {
+            kind: ComponentKind::Follower,
+            inputs: vec![SourceRef::Component(i)],
+            implements: vec![],
+            label: format!("buffer_c{i}"),
+        });
+        // Keep `fanout_limit - 1` direct consumers (plus the follower);
+        // everything else moves behind the buffer.
+        let mut direct_budget = fanout_limit.saturating_sub(1);
+        for (ci, c) in netlist.components.iter_mut().enumerate() {
+            if ci == follower {
+                continue;
+            }
+            for input in c.inputs.iter_mut() {
+                if matches!(input, SourceRef::Component(j) if *j == i) {
+                    if direct_budget > 0 {
+                        direct_budget -= 1;
+                    } else {
+                        *input = SourceRef::Component(follower);
+                    }
+                }
+            }
+        }
+        for (_, s) in netlist.outputs.iter_mut() {
+            if matches!(s, SourceRef::Component(j) if *j == i) {
+                if direct_budget > 0 {
+                    direct_budget -= 1;
+                } else {
+                    *s = SourceRef::Component(follower);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_graph() -> (SignalFlowGraph, BlockId, BlockId) {
+        let mut g = SignalFlowGraph::new("t");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let s = g.add(BlockKind::Scale { gain: -2.0 });
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, s, 0).expect("wire");
+        g.connect(s, y, 0).expect("wire");
+        (g, x, s)
+    }
+
+    #[test]
+    fn new_plan_pre_covers_interfaces() {
+        let (g, _, s) = chain_graph();
+        let plan = Plan::new(&g);
+        assert!(!plan.is_complete());
+        assert!(!plan.covered[s.index()]);
+        // inputs/outputs are pre-covered
+        assert_eq!(plan.covered.iter().filter(|&&c| c).count(), 2);
+    }
+
+    #[test]
+    fn resolve_builds_netlist_with_external_refs() {
+        let (g, x, s) = chain_graph();
+        let mut plan = Plan::new(&g);
+        plan.components.push(PlannedComponent {
+            kind: ComponentKind::InvertingAmp { gain: -2.0 },
+            covered: vec![s],
+            inputs: vec![x],
+            output: s,
+        });
+        plan.covered[s.index()] = true;
+        plan.opamps = 1;
+        assert!(plan.is_complete());
+        let netlist = resolve(&g, &plan, 3).expect("resolves");
+        netlist.validate().expect("valid");
+        assert_eq!(netlist.components.len(), 1);
+        assert_eq!(netlist.components[0].inputs, vec![SourceRef::External("x".into())]);
+        assert_eq!(netlist.outputs, vec![("y".into(), SourceRef::Component(0))]);
+    }
+
+    #[test]
+    fn resolve_fails_on_missing_producer() {
+        let (g, _, s) = chain_graph();
+        let mut plan = Plan::new(&g);
+        plan.covered[s.index()] = true; // claimed covered but no component
+        let err = resolve(&g, &plan, 3).unwrap_err();
+        assert!(matches!(err, MapError::Incomplete { .. }));
+    }
+
+    #[test]
+    fn follower_inserted_on_high_fanout() {
+        // One amp feeding 5 consumers → follower buffers 4 of them.
+        let mut g = SignalFlowGraph::new("t");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let src = g.add(BlockKind::Scale { gain: -1.0 });
+        g.connect(x, src, 0).expect("wire");
+        let mut consumers = Vec::new();
+        for i in 0..5 {
+            let c = g.add(BlockKind::Scale { gain: i as f64 + 2.0 });
+            g.connect(src, c, 0).expect("wire");
+            let o = g.add(BlockKind::Output { name: format!("y{i}") });
+            g.connect(c, o, 0).expect("wire");
+            consumers.push(c);
+        }
+        let mut plan = Plan::new(&g);
+        plan.components.push(PlannedComponent {
+            kind: ComponentKind::InvertingAmp { gain: -1.0 },
+            covered: vec![src],
+            inputs: vec![x],
+            output: src,
+        });
+        plan.covered[src.index()] = true;
+        for (i, &c) in consumers.iter().enumerate() {
+            plan.components.push(PlannedComponent {
+                kind: ComponentKind::NonInvertingAmp { gain: i as f64 + 2.0 },
+                covered: vec![c],
+                inputs: vec![src],
+                output: c,
+            });
+            plan.covered[c.index()] = true;
+        }
+        let netlist = resolve(&g, &plan, 3).expect("resolves");
+        netlist.validate().expect("valid");
+        assert!(
+            netlist
+                .components
+                .iter()
+                .any(|c| matches!(c.kind, ComponentKind::Follower)),
+            "expected an inserted follower: {netlist}"
+        );
+        // The original driver now sees at most the limit.
+        assert!(netlist.fanout(0) <= 3, "driver still overloaded: {netlist}");
+    }
+
+    #[test]
+    fn sharing_query_matches_kind_and_inputs() {
+        let (g, x, s) = chain_graph();
+        let mut plan = Plan::new(&g);
+        plan.components.push(PlannedComponent {
+            kind: ComponentKind::InvertingAmp { gain: -2.0 },
+            covered: vec![s],
+            inputs: vec![x],
+            output: s,
+        });
+        assert_eq!(
+            plan.find_shareable(&ComponentKind::InvertingAmp { gain: -2.0 }, &[x]),
+            Some(0)
+        );
+        assert_eq!(
+            plan.find_shareable(&ComponentKind::InvertingAmp { gain: -3.0 }, &[x]),
+            None
+        );
+    }
+}

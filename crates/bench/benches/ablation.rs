@@ -1,0 +1,64 @@
+//! Criterion bench: ablation of the architecture generator's
+//! ingredients (paper Section 5's branching/bounding/sequencing rules
+//! and hardware sharing) on the receiver module and a mid-size
+//! synthetic graph.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vase::archgen::{map_graph, MapperConfig};
+use vase::estimate::Estimator;
+use vase::flow::compile_source;
+use vase_bench::{random_graph, SEED};
+
+fn variants() -> Vec<(&'static str, MapperConfig)> {
+    vec![
+        ("full", MapperConfig::default()),
+        ("no_bounding", MapperConfig { bounding: false, ..MapperConfig::default() }),
+        ("no_sequencing", MapperConfig { sequencing: false, ..MapperConfig::default() }),
+        ("no_sharing", MapperConfig { sharing: false, ..MapperConfig::default() }),
+        ("single_block", {
+            let mut c = MapperConfig::default();
+            c.match_options.multi_block = false;
+            c.match_options.transforms = false;
+            c
+        }),
+        ("no_transforms", {
+            let mut c = MapperConfig::default();
+            c.match_options.transforms = false;
+            c
+        }),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let estimator = Estimator::default();
+    let compiled = compile_source(vase::benchmarks::RECEIVER.source).expect("compiles");
+    let receiver = compiled[0].1.graphs[0].clone();
+    let synthetic = random_graph(12, 3, SEED);
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (name, config) in variants() {
+        group.bench_with_input(BenchmarkId::new("receiver", name), &config, |b, cfg| {
+            b.iter(|| {
+                map_graph(std::hint::black_box(&receiver), &estimator, cfg)
+                    .expect("maps")
+                    .netlist
+                    .opamp_count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("synthetic12", name), &config, |b, cfg| {
+            b.iter(|| {
+                map_graph(std::hint::black_box(&synthetic), &estimator, cfg)
+                    .expect("maps")
+                    .netlist
+                    .opamp_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

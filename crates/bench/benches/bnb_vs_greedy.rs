@@ -1,0 +1,62 @@
+//! Criterion bench: branch-and-bound vs the greedy heuristic vs the
+//! exhaustive (unbounded) search on synthetic signal-flow graphs of
+//! growing size — the scaling study the paper's conclusion motivates
+//! ("because of its time-complexity, the proposed branch-and-bound
+//! algorithm might fail for larger designs").
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vase::archgen::{map_graph, map_graph_greedy, MapperConfig};
+use vase::estimate::Estimator;
+use vase_bench::{random_graph, SEED};
+
+fn bench_scaling(c: &mut Criterion) {
+    let estimator = Estimator::default();
+    let mut group = c.benchmark_group("mapper_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for ops in [8usize, 16, 32] {
+        let graph = random_graph(ops, 3, SEED);
+        group.bench_with_input(BenchmarkId::new("bnb", ops), &graph, |b, g| {
+            b.iter(|| {
+                map_graph(std::hint::black_box(g), &estimator, &MapperConfig::default())
+                    .expect("maps")
+                    .netlist
+                    .opamp_count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", ops), &graph, |b, g| {
+            b.iter(|| {
+                map_graph_greedy(std::hint::black_box(g), &estimator, &MapperConfig::default())
+                    .expect("maps")
+                    .netlist
+                    .opamp_count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive", ops), &graph, |b, g| {
+            b.iter(|| {
+                map_graph(std::hint::black_box(g), &estimator, &MapperConfig::exhaustive())
+                    .expect("maps")
+                    .netlist
+                    .opamp_count()
+            })
+        });
+        // Without dominance memoization the tree blows up exactly as
+        // the paper's conclusion warns — only feasible at small sizes.
+        if ops <= 8 {
+            let config = MapperConfig { memoize: false, ..MapperConfig::default() };
+            group.bench_with_input(BenchmarkId::new("bnb_no_memo", ops), &graph, |b, g| {
+                b.iter(|| {
+                    map_graph(std::hint::black_box(g), &estimator, &config)
+                        .expect("maps")
+                        .netlist
+                        .opamp_count()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

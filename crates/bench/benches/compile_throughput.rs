@@ -1,0 +1,40 @@
+//! Criterion bench: frontend + compiler throughput on synthetic VASS
+//! sources of growing size (chains of weighted-sum equations).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vase::flow::compile_source;
+use vase_bench::synthetic_source;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_throughput");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [8usize, 32, 128] {
+        let source = synthetic_source(n);
+        group.throughput(Throughput::Bytes(source.len() as u64));
+        group.bench_with_input(BenchmarkId::new("equations", n), &source, |b, src| {
+            b.iter(|| {
+                let designs = compile_source(std::hint::black_box(src)).expect("compiles");
+                std::hint::black_box(designs[0].1.stats().blocks)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse_throughput");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [32usize, 256] {
+        let source = synthetic_source(n);
+        group.throughput(Throughput::Bytes(source.len() as u64));
+        group.bench_with_input(BenchmarkId::new("equations", n), &source, |b, src| {
+            b.iter(|| vase::frontend::parse_design_file(std::hint::black_box(src)).expect("parses"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_parse_only);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: transient-simulation throughput at both levels
+//! (behavioral VHIF simulation and netlist macromodel simulation) on
+//! the synthesized receiver — the Fig. 8 workload.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vase::flow::{synthesize_source, FlowOptions};
+use vase::sim::{simulate_design, simulate_netlist, SimConfig, Stimulus};
+
+fn bench_simulation(c: &mut Criterion) {
+    let designs =
+        synthesize_source(vase::benchmarks::RECEIVER.source, &FlowOptions::default())
+            .expect("synthesizes");
+    let d = &designs[0];
+    let mut stimuli = BTreeMap::new();
+    stimuli.insert("line".to_string(), Stimulus::sine(0.8, 1_000.0));
+    stimuli.insert("local".to_string(), Stimulus::sine(0.2, 1_000.0));
+
+    let mut group = c.benchmark_group("fig8_sim");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for steps in [1_000usize, 10_000] {
+        let config = SimConfig::new(1e-6, steps as f64 * 1e-6);
+        group.throughput(Throughput::Elements(steps as u64));
+        group.bench_with_input(BenchmarkId::new("netlist", steps), &config, |b, cfg| {
+            b.iter(|| {
+                simulate_netlist(
+                    std::hint::black_box(&d.synthesis.netlist),
+                    &stimuli,
+                    &d.synthesis.control_bindings,
+                    cfg,
+                )
+                .expect("simulates")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("behavioral", steps), &config, |b, cfg| {
+            b.iter(|| {
+                simulate_design(std::hint::black_box(&d.vhif), &stimuli, cfg).expect("simulates")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: the full behavioral-synthesis flow (parse →
+//! analyze → compile → branch-and-bound map) for each of the paper's
+//! five Table 1 applications, plus a per-stage split on the receiver.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vase::flow::{synthesize_source, FlowOptions};
+
+fn bench_full_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_flow");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for benchmark in vase::benchmarks::all() {
+        group.bench_function(benchmark.name, |b| {
+            b.iter(|| {
+                let designs = synthesize_source(
+                    std::hint::black_box(benchmark.source),
+                    &FlowOptions::default(),
+                )
+                .expect("synthesizes");
+                std::hint::black_box(designs[0].synthesis.netlist.opamp_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stage_split(c: &mut Criterion) {
+    // Where does the time go? Frontend vs compile vs map, on the
+    // receiver module.
+    let source = vase::benchmarks::RECEIVER.source;
+    let mut group = c.benchmark_group("receiver_stages");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("parse", |b| {
+        b.iter(|| vase::frontend::parse_design_file(std::hint::black_box(source)).expect("parses"))
+    });
+    let design = vase::frontend::parse_design_file(source).expect("parses");
+    group.bench_function("analyze", |b| {
+        b.iter(|| vase::frontend::analyze(std::hint::black_box(&design)).expect("analyzes"))
+    });
+    let analyzed = vase::frontend::analyze(&design).expect("analyzes");
+    group.bench_function("compile", |b| {
+        b.iter(|| vase::compiler::compile(std::hint::black_box(&analyzed)).expect("compiles"))
+    });
+    let compiled = vase::compiler::compile(&analyzed).expect("compiles");
+    let estimator = vase::estimate::Estimator::default();
+    let config = vase::archgen::MapperConfig::default();
+    group.bench_function("map", |b| {
+        b.iter(|| {
+            vase::archgen::synthesize(
+                std::hint::black_box(&compiled.designs[0].vhif),
+                &estimator,
+                &config,
+            )
+            .expect("maps")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_flow, bench_stage_split);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerate **Fig. 3** of the paper: a VASS fragment with an
+//! instruction sequence and a process, and its VHIF representation —
+//! showing (a) the data-dependency wiring that preserves instruction
+//! sequencing, and (b) the FSM with statements grouped into states by
+//! data independence (assignments 4 and 5 share state 1; assignment 6,
+//! depending on 5, opens state 2).
+//!
+//! ```sh
+//! cargo run -p vase-bench --bin fig3
+//! ```
+
+use vase::flow::compile_source;
+
+const SOURCE: &str = r#"
+  entity fig3 is
+    port (quantity a : in  real is voltage;
+          quantity b : in  real is voltage;
+          quantity y : out real is voltage);
+  end entity;
+
+  architecture structural of fig3 is
+    signal done : bit;
+    constant th1 : real := 0.3;
+    constant th2 : real := 0.6;
+  begin
+    -- (a) continuous part: instruction 1 feeds instruction 2 through
+    -- the shared quantity, so block(instr1) wires into block(instr2).
+    procedural is
+      variable v1 : real;
+    begin
+      v1 := a + b;          -- instruction 1
+      y  := v1 * 0.5;       -- instruction 2 (depends on v1)
+    end procedural;
+
+    -- (b) event part: process resumed by a'above(th1) OR b'above(th2).
+    process (a'above(th1), b'above(th2)) is
+      variable n, m, k : real;
+    begin
+      n := 1.0;                      -- assignment 4  } same state
+      m := 2.0;                      -- assignment 5  } (independent)
+      k := n + 1.0;                  -- assignment 6: depends on n
+      done <= '1';
+    end process;
+  end architecture;
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Fig. 3: structural representation of a system\n");
+    println!("--- (a) VASS fragment ---{SOURCE}");
+    let compiled = compile_source(SOURCE)?;
+    let (_, vhif, _) = &compiled[0];
+    println!("--- (b) VHIF representation ---\n{vhif}");
+    let fsm = &vhif.fsms[0];
+    println!(
+        "FSM check: {} states; state-1 op count = {} (assignments 4 and 5 grouped), \
+         state-2 carries the dependent assignment 6.",
+        fsm.state_count(),
+        fsm.iter().nth(1).map(|(_, s)| s.ops.len()).unwrap_or(0),
+    );
+    let resume = fsm.outgoing(fsm.start()).next().expect("resume arc");
+    println!("resume trigger (logical OR of the sensitivity events): {}", resume.trigger);
+    Ok(())
+}

@@ -1,0 +1,239 @@
+//! The graph builder: tracks the signal-flow graph under construction
+//! plus the binding of VASS names to block outputs.
+
+use std::collections::HashMap;
+
+use vase_frontend::ast::{FunctionDecl, Mode, ObjectClass};
+use vase_frontend::sema::SymbolTable;
+use vase_frontend::span::Span;
+use vase_vhif::{BlockId, BlockKind, SignalFlowGraph};
+
+use crate::error::CompileError;
+
+/// Builds one signal-flow graph, threading an environment that maps
+/// each VASS name to the block currently producing its value.
+///
+/// The environment realizes the paper's sequencing rule (Section 4):
+/// instruction order is preserved *iff* the output of the block for an
+/// instruction is an input of the block for a following instruction —
+/// which falls out of rebinding a name to the newest defining block.
+pub struct GraphBuilder<'a> {
+    /// The graph under construction.
+    pub graph: SignalFlowGraph,
+    env: HashMap<String, BlockId>,
+    symbols: &'a SymbolTable,
+    functions: HashMap<String, &'a FunctionDecl>,
+    const_cache: HashMap<u64, BlockId>,
+}
+
+impl<'a> GraphBuilder<'a> {
+    /// Create a builder for a graph named `name`.
+    pub fn new(
+        name: impl Into<String>,
+        symbols: &'a SymbolTable,
+        functions: HashMap<String, &'a FunctionDecl>,
+    ) -> Self {
+        GraphBuilder {
+            graph: SignalFlowGraph::new(name),
+            env: HashMap::new(),
+            symbols,
+            functions,
+            const_cache: HashMap::new(),
+        }
+    }
+
+    /// The architecture symbol table.
+    pub fn symbols(&self) -> &'a SymbolTable {
+        self.symbols
+    }
+
+    /// Look up a visible function.
+    pub fn function(&self, name: &str) -> Option<&'a FunctionDecl> {
+        self.functions.get(name).copied()
+    }
+
+    /// Whether `name` currently has a defining block.
+    pub fn is_defined(&self, name: &str) -> bool {
+        self.env.contains_key(name)
+    }
+
+    /// Bind `name` to the output of `id` (rebinding shadows the old
+    /// producer for subsequent readers — the SSA-like threading that
+    /// realizes instruction sequencing).
+    pub fn define(&mut self, name: impl Into<String>, id: BlockId) {
+        self.env.insert(name.into(), id);
+    }
+
+    /// Remove a binding (used to scope loop-local names).
+    pub fn undefine(&mut self, name: &str) {
+        self.env.remove(name);
+    }
+
+    /// Snapshot of the current bindings (used by branch-local lowering).
+    pub fn bindings(&self) -> HashMap<String, BlockId> {
+        self.env.clone()
+    }
+
+    /// Restore bindings from a snapshot.
+    pub fn restore_bindings(&mut self, snapshot: HashMap<String, BlockId>) {
+        self.env = snapshot;
+    }
+
+    /// The block producing `name`, materializing sources on demand:
+    ///
+    /// * `in`/`inout` quantity ports become [`BlockKind::Input`] blocks,
+    /// * *signals* become [`BlockKind::ControlInput`] blocks,
+    /// * constants with known values become [`BlockKind::Const`] blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::UseBeforeDef`] when `name` has no binding
+    /// and cannot be materialized (e.g. a local quantity no statement
+    /// has defined yet — the caller retries after other statements are
+    /// lowered).
+    pub fn source(&mut self, name: &str, span: Span) -> Result<BlockId, CompileError> {
+        if let Some(&id) = self.env.get(name) {
+            return Ok(id);
+        }
+        let Some(sym) = self.symbols.get(name) else {
+            return Err(CompileError::UseBeforeDef { name: name.to_owned(), span });
+        };
+        let id = match sym.class {
+            ObjectClass::Quantity if sym.is_port && sym.mode != Some(Mode::Out) => {
+                self.graph.add(BlockKind::Input { name: name.to_owned() })
+            }
+            ObjectClass::Signal => {
+                self.graph.add(BlockKind::ControlInput { name: name.to_owned() })
+            }
+            ObjectClass::Constant => match sym.const_value {
+                Some(v) => self.const_block(v),
+                None => {
+                    return Err(CompileError::NotStatic {
+                        what: format!("constant `{name}` has no foldable value"),
+                        span,
+                    })
+                }
+            },
+            _ => return Err(CompileError::UseBeforeDef { name: name.to_owned(), span }),
+        };
+        self.env.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// A (deduplicated) constant source block for `value`.
+    pub fn const_block(&mut self, value: f64) -> BlockId {
+        let bits = value.to_bits();
+        if let Some(&id) = self.const_cache.get(&bits) {
+            return id;
+        }
+        let id = self.graph.add(BlockKind::Const { value });
+        self.const_cache.insert(bits, id);
+        id
+    }
+
+    /// Add a block with its inputs connected to `inputs` (in port
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors (arity/class violations).
+    pub fn node(&mut self, kind: BlockKind, inputs: &[BlockId]) -> Result<BlockId, CompileError> {
+        let id = self.graph.add(kind);
+        for (port, &input) in inputs.iter().enumerate() {
+            self.graph.connect(input, id, port)?;
+        }
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vase_frontend::{analyze, parse_design_file};
+
+    fn with_builder(f: impl FnOnce(&mut GraphBuilder<'_>)) {
+        let design = parse_design_file(
+            "entity e is port (quantity x : in real is voltage;
+                               quantity y : out real is voltage;
+                               signal s : in bit);
+             end entity;
+             architecture a of e is
+               quantity q : real;
+               constant k : real := 2.5;
+             begin
+               y == x * k;
+             end architecture;",
+        )
+        .expect("parses");
+        let analyzed = analyze(&design).expect("analyzes");
+        let arch = analyzed.architecture_of("e").expect("arch");
+        let mut b = GraphBuilder::new("t", &arch.symbols, HashMap::new());
+        f(&mut b);
+    }
+
+    #[test]
+    fn in_port_materializes_input_block() {
+        with_builder(|b| {
+            let id = b.source("x", Span::synthetic()).expect("x");
+            assert!(matches!(b.graph.kind(id), BlockKind::Input { name } if name == "x"));
+            // cached on second lookup
+            assert_eq!(b.source("x", Span::synthetic()).expect("x"), id);
+        });
+    }
+
+    #[test]
+    fn signal_materializes_control_input() {
+        with_builder(|b| {
+            let id = b.source("s", Span::synthetic()).expect("s");
+            assert!(matches!(b.graph.kind(id), BlockKind::ControlInput { name } if name == "s"));
+        });
+    }
+
+    #[test]
+    fn constant_materializes_const_block() {
+        with_builder(|b| {
+            let id = b.source("k", Span::synthetic()).expect("k");
+            assert!(matches!(b.graph.kind(id), BlockKind::Const { value } if *value == 2.5));
+        });
+    }
+
+    #[test]
+    fn const_blocks_are_deduplicated() {
+        with_builder(|b| {
+            let a = b.const_block(1.5);
+            let c = b.const_block(1.5);
+            let d = b.const_block(2.5);
+            assert_eq!(a, c);
+            assert_ne!(a, d);
+        });
+    }
+
+    #[test]
+    fn undefined_local_quantity_errors() {
+        with_builder(|b| {
+            let err = b.source("q", Span::synthetic()).unwrap_err();
+            assert!(matches!(err, CompileError::UseBeforeDef { .. }));
+        });
+    }
+
+    #[test]
+    fn define_shadows_source() {
+        with_builder(|b| {
+            let c = b.const_block(1.0);
+            b.define("q", c);
+            assert_eq!(b.source("q", Span::synthetic()).expect("q"), c);
+            b.undefine("q");
+            assert!(b.source("q", Span::synthetic()).is_err());
+        });
+    }
+
+    #[test]
+    fn node_connects_all_ports() {
+        with_builder(|b| {
+            let x = b.source("x", Span::synthetic()).expect("x");
+            let k = b.const_block(3.0);
+            let add = b.node(BlockKind::Add { arity: 2 }, &[x, k]).expect("add");
+            assert_eq!(b.graph.block_inputs(add), &[Some(x), Some(k)]);
+        });
+    }
+}

@@ -1,0 +1,840 @@
+//! Compilation of the continuous-time part: simultaneous statements
+//! (with DAE solver selection), simultaneous `if`/`case` mode
+//! selection, and procedural statements (including the `while`
+//! sampling structure of paper Fig. 4 and `for` unrolling).
+
+use std::collections::HashMap;
+
+use vase_frontend::annot::AnnotationSet;
+use vase_frontend::ast::{
+    Architecture, Choice, ConcurrentStmt, Expr, ExprKind, FunctionDecl, Mode, ObjectClass,
+    SeqStmt, SeqStmtKind,
+};
+use vase_frontend::sema::restrict::fold_static;
+use vase_frontend::sema::SymbolTable;
+use vase_frontend::span::Span;
+use vase_vhif::block::LogicOp;
+use vase_vhif::{BlockId, BlockKind, SignalFlowGraph};
+
+use crate::builder::GraphBuilder;
+use crate::error::CompileError;
+use crate::lower::{indexed_name, lower_analog, lower_cond};
+use crate::solver::{solutions, Equation, Solution};
+
+/// Hysteresis margin used for the internal conditional of `while`
+/// sampling structures and for event comparators that feed state
+/// (avoids repeated switchings, paper Section 6).
+pub const LOOP_HYSTERESIS: f64 = 1e-3;
+
+/// Default clipping level (volts) for outputs annotated `limited`
+/// without an explicit level — the native limit of the synthesized
+/// output stage (the paper's receiver clipped at 1.5 V).
+pub const DEFAULT_LIMIT_LEVEL: f64 = 1.5;
+
+/// Result of compiling the continuous-time part of one architecture.
+pub struct ContinuousPart {
+    /// The signal-flow graph.
+    pub graph: SignalFlowGraph,
+    /// Per-equation count of alternative DAE solvers the mapper could
+    /// explore (paper §4: each rearrangement is a distinct "solver").
+    pub dae_alternatives: Vec<(String, usize)>,
+}
+
+/// Compile all continuous-time concurrent statements of `arch` into a
+/// signal-flow graph.
+///
+/// Statements are lowered to a fixpoint: a statement whose inputs are
+/// not yet defined is postponed until the statements defining them have
+/// been lowered (the data-dependency ordering of paper Section 4).
+///
+/// # Errors
+///
+/// Fails if the statement set cannot be put into causal form
+/// ([`CompileError::Unsolvable`]) or contains unsupported constructs.
+pub fn compile_continuous<'a>(
+    arch: &'a Architecture,
+    symbols: &'a SymbolTable,
+    functions: HashMap<String, &'a FunctionDecl>,
+) -> Result<ContinuousPart, CompileError> {
+    let mut builder = GraphBuilder::new("main", symbols, functions);
+    let mut dae_alternatives = Vec::new();
+
+    // Collect continuous-time work items.
+    let mut pending: Vec<&ConcurrentStmt> =
+        arch.stmts.iter().filter(|s| s.is_continuous_time()).collect();
+
+    let mut deferred: Vec<(vase_vhif::BlockId, Expr, String, usize)> = Vec::new();
+    let mut ode_counter = 0usize;
+    let mut eq_counter = 0usize;
+    let mut round = 0usize;
+    while !pending.is_empty() {
+        round += 1;
+        if round > 4 * (pending.len() + 16) {
+            return Err(CompileError::Unsolvable {
+                detail: "statement ordering did not converge".into(),
+            });
+        }
+        let mut progressed = false;
+        let mut still_pending = Vec::new();
+        for stmt in pending {
+            match compile_ct_stmt(&mut builder, stmt, &mut dae_alternatives, &mut eq_counter) {
+                Ok(()) => progressed = true,
+                Err(CompileError::UseBeforeDef { .. }) => still_pending.push(stmt),
+                Err(other) => return Err(other),
+            }
+        }
+        if !progressed && !still_pending.is_empty() {
+            // Stalled: the remaining equations form a cycle. Claim one
+            // state variable — an equation isolating some `v'dot`
+            // defines `v` through an integrator, whose output is
+            // available from t=0 regardless of how its *input* is
+            // computed — and resume. This puts coupled DAE systems
+            // (state feedback across equations, e.g. v' = f(v, a) with
+            // a = g(v)) into causal form, while leaving algebraically
+            // defined variables to their own equations.
+            let claimed = claim_state_variable(
+                &mut builder,
+                &mut still_pending,
+                &mut deferred,
+                &mut ode_counter,
+            );
+            if !claimed {
+                // Surface the stalled statement's error.
+                let stmt = still_pending[0];
+                let err =
+                    compile_ct_stmt(&mut builder, stmt, &mut dae_alternatives, &mut eq_counter)
+                        .expect_err("was stalled");
+                return Err(match err {
+                    CompileError::UseBeforeDef { name, span } => CompileError::Unsolvable {
+                        detail: format!(
+                            "no statement defines `{name}` (needed at {span}); the DAE set \
+                             cannot be put into signal-flow form"
+                        ),
+                    },
+                    other => other,
+                });
+            }
+        }
+        pending = still_pending;
+    }
+
+    // Connect the deferred integrator inputs now that every state and
+    // algebraic variable is defined.
+    for (integ, expr, name, alternatives) in deferred {
+        let u = lower_analog(&mut builder, &expr)?;
+        builder.graph.connect(u, integ, 0)?;
+        dae_alternatives.push((name, alternatives));
+    }
+
+    attach_outputs(&mut builder, symbols)?;
+    Ok(ContinuousPart { graph: builder.graph, dae_alternatives })
+}
+
+/// Pick one stalled equation with an isolatable `v'dot`, create the
+/// integrator defining `v`, and defer the connection of its input
+/// expression until everything else is lowered. Returns whether a
+/// state was claimed (the equation is removed from `pending`).
+fn claim_state_variable<'a>(
+    builder: &mut GraphBuilder<'_>,
+    pending: &mut Vec<&'a ConcurrentStmt>,
+    deferred: &mut Vec<(vase_vhif::BlockId, Expr, String, usize)>,
+    ode_counter: &mut usize,
+) -> bool {
+    for (index, stmt) in pending.iter().enumerate() {
+        let ConcurrentStmt::SimpleSimultaneous { label, lhs, rhs, span } = stmt else {
+            continue;
+        };
+        let eq = Equation { lhs: lhs.clone(), rhs: rhs.clone(), span: *span };
+        let candidates = solutions(&eq);
+        for (var, sol) in &candidates {
+            if !matches!(sol, Solution::Integral(_)) || builder.is_defined(var) {
+                continue;
+            }
+            // Never claim constants or input ports as state variables.
+            if builder.symbols().get(var).is_some_and(|sym| {
+                sym.class == ObjectClass::Constant
+                    || (sym.is_port && sym.mode == Some(Mode::In))
+            }) {
+                continue;
+            }
+            let integ = builder.graph.add(BlockKind::Integrate { gain: 1.0, initial: 0.0 });
+            builder.graph.set_label(integ, var.clone());
+            builder.define(var.clone(), integ);
+            *ode_counter += 1;
+            let name = label
+                .as_ref()
+                .map(|l| l.name.clone())
+                .unwrap_or_else(|| format!("ode{ode_counter}"));
+            deferred.push((integ, sol.expr().clone(), name, candidates.len()));
+            pending.remove(index);
+            return true;
+        }
+    }
+    false
+}
+
+fn compile_ct_stmt<'a>(
+    b: &mut GraphBuilder<'a>,
+    stmt: &'a ConcurrentStmt,
+    dae_alternatives: &mut Vec<(String, usize)>,
+    eq_counter: &mut usize,
+) -> Result<(), CompileError> {
+    match stmt {
+        ConcurrentStmt::SimpleSimultaneous { label, lhs, rhs, span } => {
+            let eq = Equation { lhs: lhs.clone(), rhs: rhs.clone(), span: *span };
+            *eq_counter += 1;
+            let name = label
+                .as_ref()
+                .map(|l| l.name.clone())
+                .unwrap_or_else(|| format!("eq{eq_counter}"));
+            let alternatives = solutions(&eq).len();
+            let (var, id) = lower_equation(b, &eq)?;
+            if b.graph.block(id).label.is_none() {
+                b.graph.set_label(id, var.clone());
+            }
+            b.define(var, id);
+            dae_alternatives.push((name, alternatives));
+            Ok(())
+        }
+        ConcurrentStmt::SimultaneousIf { branches, else_body, span, .. } => {
+            let defs = compile_mode_select(b, branches, else_body, *span)?;
+            for (var, id) in defs {
+                if b.graph.block(id).label.is_none() {
+                    b.graph.set_label(id, var.clone());
+                }
+                b.define(var, id);
+            }
+            Ok(())
+        }
+        ConcurrentStmt::SimultaneousCase { selector, arms, span, .. } => {
+            // Desugar into an if-chain over `selector = choice` tests.
+            let mut branches: Vec<(Expr, Vec<ConcurrentStmt>)> = Vec::new();
+            let mut else_body: Vec<ConcurrentStmt> = Vec::new();
+            for arm in arms {
+                let mut is_others = false;
+                let mut cond: Option<Expr> = None;
+                for choice in &arm.choices {
+                    match choice {
+                        Choice::Others => is_others = true,
+                        Choice::Expr(c) => {
+                            let test = Expr::new(
+                                ExprKind::Binary {
+                                    op: vase_frontend::ast::BinaryOp::Eq,
+                                    lhs: Box::new(selector.clone()),
+                                    rhs: Box::new(c.clone()),
+                                },
+                                c.span,
+                            );
+                            cond = Some(match cond {
+                                None => test,
+                                Some(prev) => Expr::new(
+                                    ExprKind::Binary {
+                                        op: vase_frontend::ast::BinaryOp::Or,
+                                        lhs: Box::new(prev),
+                                        rhs: Box::new(test),
+                                    },
+                                    c.span,
+                                ),
+                            });
+                        }
+                    }
+                }
+                if is_others {
+                    else_body = arm.body.clone();
+                } else if let Some(c) = cond {
+                    branches.push((c, arm.body.clone()));
+                }
+            }
+            if else_body.is_empty() && !branches.is_empty() {
+                // Use the last arm as the fallback mode.
+                let (_, body) = branches.pop().expect("nonempty");
+                else_body = body;
+            }
+            let branch_refs: Vec<(Expr, &[ConcurrentStmt])> =
+                branches.iter().map(|(c, b)| (c.clone(), b.as_slice())).collect();
+            let defs = compile_mode_select_owned(b, &branch_refs, &else_body, *span)?;
+            for (var, id) in defs {
+                b.define(var, id);
+            }
+            Ok(())
+        }
+        ConcurrentStmt::Procedural { decls, body, .. } => {
+            // Procedural locals scope: remember which names to clear.
+            let locals: Vec<String> = decls
+                .iter()
+                .flat_map(|d| d.names.iter().map(|n| n.name.clone()))
+                .collect();
+            compile_seq_body(b, body)?;
+            for l in &locals {
+                b.undefine(l);
+            }
+            Ok(())
+        }
+        ConcurrentStmt::AnnotationStmt { .. } => Ok(()), // merged by sema
+        ConcurrentStmt::Process { .. } => unreachable!("filtered to continuous-time"),
+    }
+}
+
+/// Pick and lower one solver for `eq`; returns `(defined_var, block)`.
+fn lower_equation(b: &mut GraphBuilder<'_>, eq: &Equation) -> Result<(String, BlockId), CompileError> {
+    let candidates = solutions(eq);
+    if candidates.is_empty() {
+        return Err(CompileError::Unsolvable {
+            detail: format!("no variable of `{} == {}` is isolatable", eq.lhs, eq.rhs),
+        });
+    }
+    let mut first_block = None;
+    for (var, sol) in &candidates {
+        // Never redefine an already-driven name or define an input port.
+        if b.is_defined(var) {
+            continue;
+        }
+        match b.symbols().get(var) {
+            Some(sym)
+                if sym.class == ObjectClass::Quantity
+                    && sym.is_port
+                    && sym.mode == Some(Mode::In) =>
+            {
+                continue
+            }
+            Some(sym) if sym.class == ObjectClass::Constant => continue,
+            _ => {}
+        }
+        match check_resolvable(b, sol.expr(), sol.allows_self_reference().then_some(var)) {
+            Ok(()) => {
+                let id = lower_solution(b, var, sol)?;
+                return Ok((var.clone(), id));
+            }
+            Err(e) => {
+                if first_block.is_none() {
+                    first_block = Some(e);
+                }
+            }
+        }
+    }
+    Err(first_block.unwrap_or(CompileError::Unsolvable {
+        detail: format!("every variable of `{} == {}` is already defined", eq.lhs, eq.rhs),
+    }))
+}
+
+/// Verify every free name of `expr` can currently be lowered.
+fn check_resolvable(
+    b: &GraphBuilder<'_>,
+    expr: &Expr,
+    allow_self: Option<&str>,
+) -> Result<(), CompileError> {
+    for name in free_names(b, expr) {
+        if Some(name.0.as_str()) == allow_self {
+            continue;
+        }
+        if b.is_defined(&name.0) {
+            continue;
+        }
+        let materializable = match b.symbols().get(&name.0) {
+            Some(sym) => match sym.class {
+                ObjectClass::Quantity => sym.is_port && sym.mode != Some(Mode::Out),
+                ObjectClass::Signal => true,
+                ObjectClass::Constant => sym.const_value.is_some(),
+                _ => false,
+            },
+            None => false,
+        };
+        if !materializable {
+            return Err(CompileError::UseBeforeDef { name: name.0, span: name.1 });
+        }
+    }
+    Ok(())
+}
+
+/// Free (data) names of an expression, including indexed-vector bases
+/// but excluding called function names.
+fn free_names(b: &GraphBuilder<'_>, expr: &Expr) -> Vec<(String, Span)> {
+    let mut out = Vec::new();
+    collect_free(b, expr, &mut out);
+    out
+}
+
+fn collect_free(b: &GraphBuilder<'_>, expr: &Expr, out: &mut Vec<(String, Span)>) {
+    use vase_frontend::ast::AttributeKind;
+    match &expr.kind {
+        ExprKind::Name(id) => out.push((id.name.clone(), id.span)),
+        // Terminal facets materialize their own input blocks; they are
+        // never data dependencies on other statements.
+        ExprKind::Attribute {
+            attr: AttributeKind::Across | AttributeKind::Through,
+            args,
+            ..
+        } => {
+            for a in args {
+                collect_free(b, a, out);
+            }
+        }
+        ExprKind::Attribute { prefix, args, .. } => {
+            out.push((prefix.name.clone(), prefix.span));
+            for a in args {
+                collect_free(b, a, out);
+            }
+        }
+        ExprKind::Call { name, args } => {
+            if b.function(&name.name).is_none()
+                && !matches!(name.name.as_str(), "log" | "ln" | "exp" | "antilog")
+            {
+                // Indexed vector access: the element binding is the
+                // dependency when the index is static.
+                if args.len() == 1 {
+                    if let Some(i) = fold_static(&args[0], b.symbols()) {
+                        out.push((indexed_name(&name.name, i as i64), name.span));
+                    } else {
+                        out.push((name.name.clone(), name.span));
+                    }
+                } else {
+                    out.push((name.name.clone(), name.span));
+                }
+            }
+            for a in args {
+                collect_free(b, a, out);
+            }
+        }
+        ExprKind::Unary { operand, .. } => collect_free(b, operand, out),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            collect_free(b, lhs, out);
+            collect_free(b, rhs, out);
+        }
+        _ => {}
+    }
+}
+
+/// Lower one chosen solution, creating the integrator-feedback pattern
+/// for [`Solution::Integral`].
+fn lower_solution(
+    b: &mut GraphBuilder<'_>,
+    var: &str,
+    sol: &Solution,
+) -> Result<BlockId, CompileError> {
+    match sol {
+        Solution::Direct(expr) => lower_analog(b, expr),
+        Solution::Derivative(expr) => {
+            let u = lower_analog(b, expr)?;
+            b.node(BlockKind::Differentiate { gain: 1.0 }, &[u])
+        }
+        Solution::Integral(expr) => {
+            // Create the integrator first and bind the variable to its
+            // output so self-references close the feedback loop.
+            let integ = b.graph.add(BlockKind::Integrate { gain: 1.0, initial: 0.0 });
+            b.define(var, integ);
+            let u = lower_analog(b, expr)?;
+            b.graph.connect(u, integ, 0)?;
+            Ok(integ)
+        }
+    }
+}
+
+/// Compile a simultaneous if/else into per-variable mux trees; returns
+/// the map of defined variables.
+fn compile_mode_select(
+    b: &mut GraphBuilder<'_>,
+    branches: &[(Expr, Vec<ConcurrentStmt>)],
+    else_body: &[ConcurrentStmt],
+    span: Span,
+) -> Result<HashMap<String, BlockId>, CompileError> {
+    let refs: Vec<(Expr, &[ConcurrentStmt])> =
+        branches.iter().map(|(c, body)| (c.clone(), body.as_slice())).collect();
+    compile_mode_select_owned(b, &refs, else_body, span)
+}
+
+fn compile_mode_select_owned(
+    b: &mut GraphBuilder<'_>,
+    branches: &[(Expr, &[ConcurrentStmt])],
+    else_body: &[ConcurrentStmt],
+    span: Span,
+) -> Result<HashMap<String, BlockId>, CompileError> {
+    if else_body.is_empty() {
+        return Err(CompileError::Unsupported {
+            what: "simultaneous if/case must cover all modes (add an `else`/`others` \
+                   branch) to be synthesizable"
+                .into(),
+            span,
+        });
+    }
+    // Lower each branch against a snapshot of the environment.
+    let mut branch_defs: Vec<(Option<Expr>, HashMap<String, BlockId>)> = Vec::new();
+    for (cond, body) in branches {
+        let defs = compile_branch(b, body)?;
+        branch_defs.push((Some(cond.clone()), defs));
+    }
+    let else_defs = compile_branch(b, else_body)?;
+    branch_defs.push((None, else_defs));
+
+    // All branches must define the same variable set.
+    let vars: Vec<String> = branch_defs[0].1.keys().cloned().collect();
+    for (_, defs) in &branch_defs {
+        if defs.len() != vars.len() || !vars.iter().all(|v| defs.contains_key(v)) {
+            return Err(CompileError::Unsupported {
+                what: "all branches of a simultaneous if/case must define the same \
+                       quantities"
+                    .into(),
+                span,
+            });
+        }
+    }
+
+    // Fold the mux chain from the else value backwards.
+    let mut result = HashMap::new();
+    for var in vars {
+        let mut acc = branch_defs.last().expect("has else").1[&var];
+        for (cond, defs) in branch_defs[..branch_defs.len() - 1].iter().rev() {
+            let cond = cond.as_ref().expect("non-else branch");
+            let sel = lower_cond(b, cond, 0.0)?;
+            let val = defs[&var];
+            // Mux2 convention: select false → port 0 (else), true → port 1.
+            acc = b.node(BlockKind::Mux { arity: 2 }, &[acc, val, sel])?;
+        }
+        result.insert(var, acc);
+    }
+    Ok(result)
+}
+
+/// Compile the equations inside one branch; returns the variables they
+/// define (without touching the shared environment).
+fn compile_branch(
+    b: &mut GraphBuilder<'_>,
+    body: &[ConcurrentStmt],
+) -> Result<HashMap<String, BlockId>, CompileError> {
+    let snapshot = b.bindings();
+    let mut defs = HashMap::new();
+    for stmt in body {
+        match stmt {
+            ConcurrentStmt::SimpleSimultaneous { lhs, rhs, span, .. } => {
+                let eq = Equation { lhs: lhs.clone(), rhs: rhs.clone(), span: *span };
+                let (var, id) = lower_equation(b, &eq)?;
+                b.define(var.clone(), id);
+                defs.insert(var, id);
+            }
+            ConcurrentStmt::SimultaneousIf { branches, else_body, span, .. } => {
+                let inner = compile_mode_select(b, branches, else_body, *span)?;
+                for (var, id) in inner {
+                    b.define(var.clone(), id);
+                    defs.insert(var, id);
+                }
+            }
+            other => {
+                return Err(CompileError::Unsupported {
+                    what: "only simultaneous statements may appear inside a \
+                           simultaneous if/case"
+                        .into(),
+                    span: other.span(),
+                })
+            }
+        }
+    }
+    b.restore_bindings(snapshot);
+    Ok(defs)
+}
+
+/// Compile a procedural body (sequential semantics over a pure
+/// signal-flow structure).
+pub(crate) fn compile_seq_body(
+    b: &mut GraphBuilder<'_>,
+    body: &[SeqStmt],
+) -> Result<(), CompileError> {
+    for stmt in body {
+        compile_seq_stmt(b, stmt)?;
+    }
+    Ok(())
+}
+
+fn compile_seq_stmt(b: &mut GraphBuilder<'_>, stmt: &SeqStmt) -> Result<(), CompileError> {
+    match &stmt.kind {
+        SeqStmtKind::VarAssign { target, index, value } => {
+            let id = lower_analog(b, value)?;
+            match index {
+                None => b.define(target.name.clone(), id),
+                Some(idx) => {
+                    let i = fold_static(idx, b.symbols()).ok_or(CompileError::NotStatic {
+                        what: format!("index of `{}`", target.name),
+                        span: idx.span,
+                    })?;
+                    b.define(indexed_name(&target.name, i as i64), id);
+                }
+            }
+            Ok(())
+        }
+        SeqStmtKind::If { branches, else_body } => {
+            compile_seq_if(b, branches, else_body, stmt.span)
+        }
+        SeqStmtKind::Case { selector, arms } => {
+            // Desugar to an if-chain (same trick as simultaneous case).
+            let mut if_branches: Vec<(Expr, Vec<SeqStmt>)> = Vec::new();
+            let mut else_body: Vec<SeqStmt> = Vec::new();
+            for arm in arms {
+                let mut is_others = false;
+                let mut cond: Option<Expr> = None;
+                for choice in &arm.choices {
+                    match choice {
+                        Choice::Others => is_others = true,
+                        Choice::Expr(c) => {
+                            let test = Expr::new(
+                                ExprKind::Binary {
+                                    op: vase_frontend::ast::BinaryOp::Eq,
+                                    lhs: Box::new(selector.clone()),
+                                    rhs: Box::new(c.clone()),
+                                },
+                                c.span,
+                            );
+                            cond = Some(match cond {
+                                None => test,
+                                Some(prev) => Expr::new(
+                                    ExprKind::Binary {
+                                        op: vase_frontend::ast::BinaryOp::Or,
+                                        lhs: Box::new(prev),
+                                        rhs: Box::new(test),
+                                    },
+                                    c.span,
+                                ),
+                            });
+                        }
+                    }
+                }
+                if is_others {
+                    else_body = arm.body.clone();
+                } else if let Some(c) = cond {
+                    if_branches.push((c, arm.body.clone()));
+                }
+            }
+            compile_seq_if(b, &if_branches, &else_body, stmt.span)
+        }
+        SeqStmtKind::For { var, lo, dir, hi, body } => {
+            let lo_v = fold_static(lo, b.symbols()).ok_or(CompileError::NotStatic {
+                what: "for-loop lower bound".into(),
+                span: lo.span,
+            })? as i64;
+            let hi_v = fold_static(hi, b.symbols()).ok_or(CompileError::NotStatic {
+                what: "for-loop upper bound".into(),
+                span: hi.span,
+            })? as i64;
+            let indices: Vec<i64> = match dir {
+                vase_frontend::ast::Direction::To => (lo_v..=hi_v).collect(),
+                vase_frontend::ast::Direction::Downto => (hi_v..=lo_v).rev().collect(),
+            };
+            // Unroll: substitute the loop variable by its value in each
+            // iteration's statements (paper §3: iteration counts are
+            // statically known so the body can be unrolled).
+            for i in indices {
+                let mut env = HashMap::new();
+                env.insert(var.name.clone(), Expr::new(ExprKind::Int(i), Span::synthetic()));
+                for s in body {
+                    let substituted = crate::lower::substitute_in_stmt(s, &env);
+                    compile_seq_stmt(b, &substituted)?;
+                }
+            }
+            Ok(())
+        }
+        SeqStmtKind::While { cond, body } => compile_while(b, cond, body, stmt.span),
+        SeqStmtKind::Null => Ok(()),
+        SeqStmtKind::Return(_) | SeqStmtKind::SignalAssign { .. } | SeqStmtKind::Wait => {
+            Err(CompileError::Unsupported {
+                what: "statement is not allowed in a procedural body".into(),
+                span: stmt.span,
+            })
+        }
+    }
+}
+
+/// Sequential `if`: lower both arms against snapshots, then mux every
+/// assigned name on the condition.
+fn compile_seq_if(
+    b: &mut GraphBuilder<'_>,
+    branches: &[(Expr, Vec<SeqStmt>)],
+    else_body: &[SeqStmt],
+    span: Span,
+) -> Result<(), CompileError> {
+    if branches.is_empty() {
+        return compile_seq_body(b, else_body);
+    }
+    let (cond, then_body) = &branches[0];
+    let rest = &branches[1..];
+
+    let before = b.bindings();
+    compile_seq_body(b, then_body)?;
+    let then_env = b.bindings();
+    b.restore_bindings(before.clone());
+    if rest.is_empty() {
+        compile_seq_body(b, else_body)?;
+    } else {
+        compile_seq_if(b, rest, else_body, span)?;
+    }
+    let else_env = b.bindings();
+    b.restore_bindings(before.clone());
+
+    // Names (re)defined by either arm get muxed.
+    let mut changed: Vec<String> = Vec::new();
+    for (name, id) in then_env.iter().chain(else_env.iter()) {
+        if before.get(name) != Some(id) && !changed.contains(name) {
+            changed.push(name.clone());
+        }
+    }
+    changed.sort();
+    if changed.is_empty() {
+        return Ok(());
+    }
+    let sel = lower_cond(b, cond, 0.0)?;
+    for name in changed {
+        let then_val = then_env.get(&name).or_else(|| before.get(&name)).copied();
+        let else_val = else_env.get(&name).or_else(|| before.get(&name)).copied();
+        let (Some(tv), Some(ev)) = (then_val, else_val) else {
+            return Err(CompileError::Unsupported {
+                what: format!(
+                    "`{name}` is assigned in only one arm of an `if` and has no prior \
+                     value; a signal-flow structure needs a value on every path"
+                ),
+                span,
+            });
+        };
+        let mux = b.node(BlockKind::Mux { arity: 2 }, &[ev, tv, sel])?;
+        b.define(name, mux);
+    }
+    Ok(())
+}
+
+/// Compile a `while` loop into the sampling block-structure of paper
+/// Fig. 4: an entry conditional (`icontr`), a loop conditional
+/// (`contr`, realized with hysteresis so the feedback is registered),
+/// input routing, the loop body as a pure function, a tracking S/H
+/// (S/H1) and an output-latching S/H (S/H2).
+fn compile_while(
+    b: &mut GraphBuilder<'_>,
+    cond: &Expr,
+    body: &[SeqStmt],
+    span: Span,
+) -> Result<(), CompileError> {
+    // Variables assigned by the loop body.
+    let mut vars: Vec<String> = Vec::new();
+    collect_assigned(body, &mut vars);
+    if vars.is_empty() {
+        return Err(CompileError::Unsupported {
+            what: "`while` body assigns nothing; a sampling structure needs loop \
+                   variables"
+                .into(),
+            span,
+        });
+    }
+
+    // Initial values must exist before the loop.
+    let mut initial = HashMap::new();
+    for v in &vars {
+        let id = b.source(v, span)?;
+        initial.insert(v.clone(), id);
+    }
+
+    // icontr: the entry conditional, evaluated on the initial values.
+    let icontr = lower_cond(b, cond, 0.0)?;
+
+    // Input-routing muxes (paper's sw1/sw2 pair): port 0 = initial
+    // value, port 1 = fed-back S/H1 output, select = contr (connected
+    // after the body is built).
+    let mut route_mux = HashMap::new();
+    for v in &vars {
+        let mux = b.graph.add(BlockKind::Mux { arity: 2 });
+        b.graph.connect(initial[v], mux, 0)?;
+        b.define(v.clone(), mux);
+        route_mux.insert(v.clone(), mux);
+    }
+
+    // Loop body as a pure function of the routed inputs.
+    compile_seq_body(b, body)?;
+    let mut body_out = HashMap::new();
+    for v in &vars {
+        body_out.insert(v.clone(), b.source(v, span)?);
+    }
+
+    // contr: the loop conditional on the body outputs, with hysteresis
+    // (a stateful Schmitt) so the feedback loop is legal hardware.
+    let contr = lower_cond(b, cond, LOOP_HYSTERESIS)?;
+
+    let not_contr = b.node(BlockKind::Logic { op: LogicOp::Not, arity: 1 }, &[contr])?;
+    // S/H1 trails the body output while the loop is active: from the
+    // moment the entry conditional admits the inputs (icontr) and for
+    // as long as the loop conditional holds (contr).
+    let active = b.node(BlockKind::Logic { op: LogicOp::Or, arity: 2 }, &[icontr, contr])?;
+
+    for v in &vars {
+        // S/H1 trails the body output while the loop runs.
+        let sh1 = b.node(BlockKind::SampleHold, &[body_out[v], active])?;
+        b.graph.set_label(sh1, format!("sh1_{v}"));
+        // Close the iteration feedback and select it while looping.
+        b.graph.connect(sh1, route_mux[v], 1)?;
+        b.graph.connect(contr, route_mux[v], 2)?;
+        // sw3 + S/H2 latch the result when the loop exits.
+        let sw3 = b.node(BlockKind::Switch, &[sh1, not_contr])?;
+        let sh2 = b.node(BlockKind::SampleHold, &[sw3, not_contr])?;
+        b.graph.set_label(sh2, format!("sh2_{v}"));
+        // If the loop never runs (icontr false), the initial value
+        // passes through: final = mux(initial, sh2, icontr).
+        let fin = b.node(BlockKind::Mux { arity: 2 }, &[initial[v], sh2, icontr])?;
+        b.define(v.clone(), fin);
+    }
+    Ok(())
+}
+
+fn collect_assigned(body: &[SeqStmt], out: &mut Vec<String>) {
+    for stmt in body {
+        match &stmt.kind {
+            SeqStmtKind::VarAssign { target, index: None, .. }
+                if !out.contains(&target.name) => {
+                    out.push(target.name.clone());
+                }
+            SeqStmtKind::VarAssign { .. } => {}
+            SeqStmtKind::If { branches, else_body } => {
+                for (_, b) in branches {
+                    collect_assigned(b, out);
+                }
+                collect_assigned(else_body, out);
+            }
+            SeqStmtKind::Case { arms, .. } => {
+                for arm in arms {
+                    collect_assigned(&arm.body, out);
+                }
+            }
+            SeqStmtKind::For { body, .. } | SeqStmtKind::While { body, .. } => {
+                collect_assigned(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Attach output markers (and annotation-inferred output stages) for
+/// every `out` quantity port — the paper's `block 4` inference (§6).
+fn attach_outputs(
+    b: &mut GraphBuilder<'_>,
+    symbols: &SymbolTable,
+) -> Result<(), CompileError> {
+    let out_ports: Vec<(String, Vec<vase_frontend::annot::Annotation>)> = symbols
+        .ports()
+        .filter(|s| s.class == ObjectClass::Quantity && s.mode == Some(Mode::Out))
+        .map(|s| (s.name.clone(), s.annotations.clone()))
+        .collect();
+    for (name, annotations) in out_ports {
+        let Ok(mut value) = b.source(&name, Span::synthetic()) else {
+            // Driven only by the event-driven part or not at all;
+            // semantic analysis reports the latter.
+            continue;
+        };
+        let set = AnnotationSet::new(&annotations);
+        if let Some((load_ohms, peak_volts)) = set.drive() {
+            let limit = if set.is_limited() {
+                Some(set.limit_level().unwrap_or(DEFAULT_LIMIT_LEVEL))
+            } else {
+                None
+            };
+            value = b.node(BlockKind::OutputStage { load_ohms, peak_volts, limit }, &[value])?;
+            b.graph.set_label(value, format!("ostage_{name}"));
+        } else if set.is_limited() {
+            let level = set.limit_level().unwrap_or(DEFAULT_LIMIT_LEVEL);
+            value = b.node(BlockKind::Limiter { level }, &[value])?;
+        }
+        let out = b.node(BlockKind::Output { name: name.clone() }, &[value])?;
+        b.graph.set_label(out, format!("out_{name}"));
+    }
+    Ok(())
+}

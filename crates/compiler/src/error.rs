@@ -1,0 +1,95 @@
+//! Error type for VASS→VHIF compilation.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use vase_frontend::span::Span;
+use vase_vhif::VhifError;
+
+/// An error produced while translating a VASS design into VHIF.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// A construct is outside the synthesizable subset handled by the
+    /// compiler (should usually have been caught by semantic analysis).
+    Unsupported {
+        /// What was encountered.
+        what: String,
+        /// Where.
+        span: Span,
+    },
+    /// A value that must be statically known was not.
+    NotStatic {
+        /// What needed to be static.
+        what: String,
+        /// Where.
+        span: Span,
+    },
+    /// The DAE set could not be put into causal (signal-flow) form.
+    Unsolvable {
+        /// Human-readable description of the stuck equations.
+        detail: String,
+    },
+    /// A name was read before any statement defined it.
+    UseBeforeDef {
+        /// The name.
+        name: String,
+        /// Where.
+        span: Span,
+    },
+    /// Structural error while assembling the VHIF graphs.
+    Vhif(VhifError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Unsupported { what, span } => {
+                write!(f, "unsupported construct at {span}: {what}")
+            }
+            CompileError::NotStatic { what, span } => {
+                write!(f, "value must be statically known at {span}: {what}")
+            }
+            CompileError::Unsolvable { detail } => {
+                write!(f, "cannot derive a signal-flow solver for the DAE set: {detail}")
+            }
+            CompileError::UseBeforeDef { name, span } => {
+                write!(f, "`{name}` is read at {span} but never defined by any statement")
+            }
+            CompileError::Vhif(e) => write!(f, "internal VHIF error: {e}"),
+        }
+    }
+}
+
+impl StdError for CompileError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            CompileError::Vhif(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VhifError> for CompileError {
+    fn from(e: VhifError) -> Self {
+        CompileError::Vhif(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = CompileError::Unsupported { what: "'delayed".into(), span: Span::synthetic() };
+        assert!(e.to_string().contains("'delayed"));
+        let e = CompileError::Unsolvable { detail: "x*x == 1".into() };
+        assert!(e.to_string().contains("signal-flow solver"));
+    }
+
+    #[test]
+    fn vhif_error_wraps_with_source() {
+        let e = CompileError::from(VhifError::AlgebraicLoop);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,414 @@
+//! # vase-compiler
+//!
+//! The VASS→VHIF compiler of the VASE behavioral-synthesis environment
+//! (Doboli & Vemuri, DATE 1999, Section 4).
+//!
+//! [`compile`] translates a semantically-checked VASS design
+//! ([`vase_frontend::AnalyzedDesign`]) into a technology-independent
+//! [`vase_vhif::VhifDesign`]:
+//!
+//! * the continuous-time part (simultaneous statements, simultaneous
+//!   `if`/`case`, procedurals) becomes interconnected **signal-flow
+//!   graphs**, with DAE rearrangement ("solver" selection), instruction
+//!   sequencing by data dependencies, `for`-loop unrolling, and the
+//!   `while`→sampling-structure translation of paper Fig. 4;
+//! * each process becomes an **FSM** whose states carry concurrent
+//!   data-path operations, grouped for maximal concurrency;
+//! * port annotations drive inference of output stages (paper §6,
+//!   `block 4` of the receiver) that no behavioral statement implies.
+//!
+//! # Examples
+//!
+//! ```
+//! use vase_compiler::compile;
+//! use vase_frontend::{analyze, parse_design_file};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = parse_design_file(
+//!     "entity amp is
+//!        port (quantity x : in real is voltage;
+//!              quantity y : out real is voltage);
+//!      end entity;
+//!      architecture a of amp is begin y == 10.0 * x; end architecture;",
+//! )?;
+//! let analyzed = analyze(&design)?;
+//! let compiled = compile(&analyzed)?;
+//! assert_eq!(compiled.designs.len(), 1);
+//! assert_eq!(compiled.designs[0].vhif.stats().blocks, 1); // one amplifier
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod continuous;
+pub mod error;
+pub mod lower;
+pub mod process;
+pub mod solver;
+pub mod stats;
+
+use std::collections::HashMap;
+
+use vase_frontend::ast::ConcurrentStmt;
+use vase_frontend::sema::AnalyzedDesign;
+use vase_vhif::VhifDesign;
+
+pub use error::CompileError;
+pub use stats::{vass_stats, VassStats};
+
+/// The compiled form of one architecture.
+#[derive(Debug, Clone)]
+pub struct CompiledArchitecture {
+    /// The entity this architecture implements.
+    pub entity: String,
+    /// The VHIF representation.
+    pub vhif: VhifDesign,
+    /// VASS source statistics (Table 1 columns 2–5).
+    pub vass_stats: VassStats,
+    /// Per-equation counts of alternative DAE solvers (each a distinct
+    /// signal-flow topology the mapper may explore).
+    pub dae_alternatives: Vec<(String, usize)>,
+}
+
+/// The result of compiling a design file.
+#[derive(Debug, Clone)]
+pub struct CompiledDesign {
+    /// One entry per architecture, in file order.
+    pub designs: Vec<CompiledArchitecture>,
+}
+
+impl CompiledDesign {
+    /// The compiled architecture for `entity`.
+    pub fn for_entity(&self, entity: &str) -> Option<&CompiledArchitecture> {
+        self.designs.iter().find(|d| d.entity == entity)
+    }
+}
+
+/// Compile every architecture of an analyzed design into VHIF.
+///
+/// # Errors
+///
+/// Returns the first [`CompileError`] encountered. Inputs that passed
+/// [`vase_frontend::analyze`] can still fail here when the DAE set has
+/// no causal signal-flow form ([`CompileError::Unsolvable`]).
+pub fn compile(analyzed: &AnalyzedDesign) -> Result<CompiledDesign, CompileError> {
+    let mut designs = Vec::new();
+    for arch_info in &analyzed.architectures {
+        let arch = analyzed
+            .design
+            .architectures()
+            .find(|a| a.entity.name == arch_info.entity && a.name.name == arch_info.name)
+            .expect("analyzed architecture exists in design");
+
+        // Visible functions: package-level + architecture-local.
+        let mut functions = HashMap::new();
+        for pkg in analyzed.design.packages() {
+            for f in &pkg.functions {
+                functions.insert(f.name.name.clone(), f);
+            }
+        }
+        for f in &arch.functions {
+            functions.insert(f.name.name.clone(), f);
+        }
+
+        let part =
+            continuous::compile_continuous(arch, &arch_info.symbols, functions.clone())?;
+
+        let mut vhif = VhifDesign::new(arch_info.entity.clone());
+        vhif.graphs.push(part.graph);
+
+        let mut process_counter = 0usize;
+        for stmt in &arch.stmts {
+            if let ConcurrentStmt::Process { label, sensitivity, body, .. } = stmt {
+                process_counter += 1;
+                let name = label
+                    .as_ref()
+                    .map(|l| l.name.clone())
+                    .unwrap_or_else(|| format!("process{process_counter}"));
+                let fsm =
+                    process::compile_process(&name, sensitivity, body, &arch_info.symbols)?;
+                vhif.fsms.push(fsm);
+            }
+        }
+
+        // External signal ports may drive control inputs directly.
+        let external_signals: Vec<String> = arch_info
+            .symbols
+            .ports()
+            .filter(|s| s.is_signal())
+            .map(|s| s.name.clone())
+            .collect();
+        vhif.validate(&external_signals)?;
+
+        designs.push(CompiledArchitecture {
+            entity: arch_info.entity.clone(),
+            vhif,
+            vass_stats: vass_stats(&analyzed.design, &arch_info.entity),
+            dae_alternatives: part.dae_alternatives,
+        });
+    }
+    Ok(CompiledDesign { designs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vase_frontend::{analyze, parse_design_file};
+    use vase_vhif::BlockKind;
+
+    fn compile_src(src: &str) -> CompiledDesign {
+        let design = parse_design_file(src).expect("parses");
+        let analyzed = analyze(&design).expect("analyzes");
+        compile(&analyzed).expect("compiles")
+    }
+
+    const RECEIVER: &str = r#"
+        entity telephone is
+          port (quantity line  : in  real is voltage;
+                quantity local : in  real is voltage;
+                quantity earph : out real is voltage limited at 1.5 v
+                                            drives 270 ohm at 285 mv peak);
+        end entity;
+        architecture behavioral of telephone is
+          quantity rvar : real;
+          signal c1 : bit;
+          constant aline  : real := 4.0;
+          constant alocal : real := 2.0;
+          constant r1c : real := 0.5;
+          constant r2c : real := 0.75;
+          constant vth : real := 0.07;
+        begin
+          earph == (aline * line + alocal * local) * rvar;
+          if (c1 = '1') use
+            rvar == r1c;
+          else
+            rvar == r1c + r2c;
+          end use;
+          process (line'above(vth)) is
+          begin
+            if (line'above(vth) = true) then
+              c1 <= '1';
+            else
+              c1 <= '0';
+            end if;
+          end process;
+        end architecture;
+    "#;
+
+    #[test]
+    fn receiver_compiles_to_expected_shape() {
+        let compiled = compile_src(RECEIVER);
+        let d = compiled.for_entity("telephone").expect("design");
+        let stats = d.vhif.stats();
+        // Paper Table 1 row 1: 6 blocks, 4 states (3 after join pruning
+        // in our FSM), 1 data-path structure family.
+        assert!(stats.blocks >= 5, "blocks = {}", stats.blocks);
+        assert_eq!(d.vhif.fsms.len(), 1);
+        assert!(stats.states >= 3);
+        assert_eq!(stats.datapath_ops, 2);
+        // The output stage was inferred from annotations (paper block 4).
+        let g = &d.vhif.graphs[0];
+        assert!(
+            g.iter().any(|(_, b)| matches!(
+                b.kind,
+                BlockKind::OutputStage { load_ohms, limit: Some(l), .. }
+                if load_ohms == 270.0 && l == 1.5
+            )),
+            "missing inferred output stage: {g}"
+        );
+        // rvar is selected by a mux on c1.
+        assert!(g.iter().any(|(_, b)| matches!(b.kind, BlockKind::Mux { arity: 2 })));
+        // VASS stats
+        assert_eq!(d.vass_stats.quantities, 4);
+        assert_eq!(d.vass_stats.continuous_lines, 4);
+    }
+
+    #[test]
+    fn first_order_ode_produces_integrator_feedback() {
+        // x'dot == u - x  →  integrator whose input depends on its own
+        // output.
+        let compiled = compile_src(
+            "entity f is
+               port (quantity u : in real is voltage;
+                     quantity x : out real is voltage);
+             end entity;
+             architecture a of f is
+             begin
+               x'dot == u - x;
+             end architecture;",
+        );
+        let d = compiled.for_entity("f").expect("design");
+        let g = &d.vhif.graphs[0];
+        let integ = g
+            .iter()
+            .find(|(_, b)| matches!(b.kind, BlockKind::Integrate { .. }))
+            .map(|(id, _)| id)
+            .expect("integrator");
+        // The integrator's input cone includes the integrator itself
+        // (feedback).
+        let driver = g.block_inputs(integ)[0].expect("driven");
+        assert!(g.upstream_cone(driver).contains(&integ), "no feedback loop:\n{g}");
+        g.validate().expect("valid graph");
+    }
+
+    #[test]
+    fn equation_order_independence() {
+        // rvar used before the statement defining it appears.
+        let compiled = compile_src(
+            "entity o is
+               port (quantity x : in real is voltage;
+                     quantity y : out real is voltage);
+             end entity;
+             architecture a of o is
+               quantity w : real;
+             begin
+               y == w * x;
+               w == 3.0 * x;
+             end architecture;",
+        );
+        let d = compiled.for_entity("o").expect("design");
+        d.vhif.graphs[0].validate().expect("valid");
+    }
+
+    #[test]
+    fn unsolvable_equation_reports_error() {
+        let design = parse_design_file(
+            "entity u is
+               port (quantity y : out real is voltage);
+             end entity;
+             architecture a of u is
+               quantity w : real;
+             begin
+               y == w * w;
+               w == y + 1.0;
+             end architecture;",
+        )
+        .expect("parses");
+        let analyzed = analyze(&design).expect("analyzes");
+        let err = compile(&analyzed).unwrap_err();
+        assert!(matches!(err, CompileError::Unsolvable { .. }), "{err}");
+    }
+
+    #[test]
+    fn while_loop_produces_sampling_structure() {
+        // Iterative halving — paper Fig. 4's shape.
+        let compiled = compile_src(
+            "entity w is
+               port (quantity x : in real is voltage;
+                     quantity y : out real is voltage);
+             end entity;
+             architecture a of w is
+             begin
+               procedural is
+                 variable acc : real;
+               begin
+                 acc := x;
+                 while acc > 0.5 loop
+                   acc := acc / 2.0;
+                 end loop;
+                 y := acc;
+               end procedural;
+             end architecture;",
+        );
+        let d = compiled.for_entity("w").expect("design");
+        let g = &d.vhif.graphs[0];
+        g.validate().expect("valid");
+        // Fig. 4 inventory: 2 S/H blocks, a switch, two conditionals
+        // (comparator + schmitt), and routing muxes.
+        let count = |pred: &dyn Fn(&BlockKind) -> bool| {
+            g.iter().filter(|(_, b)| pred(&b.kind)).count()
+        };
+        assert_eq!(count(&|k| matches!(k, BlockKind::SampleHold)), 2, "{g}");
+        assert_eq!(count(&|k| matches!(k, BlockKind::Switch)), 1);
+        assert_eq!(count(&|k| matches!(k, BlockKind::Comparator { .. })), 1);
+        assert_eq!(count(&|k| matches!(k, BlockKind::SchmittTrigger { .. })), 1);
+        assert!(count(&|k| matches!(k, BlockKind::Mux { .. })) >= 2);
+    }
+
+    #[test]
+    fn for_loop_unrolls() {
+        let compiled = compile_src(
+            "entity l is
+               port (quantity x : in real is voltage;
+                     quantity y : out real is voltage);
+             end entity;
+             architecture a of l is
+             begin
+               procedural is
+                 variable acc : real;
+               begin
+                 acc := 0.0;
+                 for i in 1 to 3 loop
+                   acc := acc + x;
+                 end loop;
+                 y := acc;
+               end procedural;
+             end architecture;",
+        );
+        let d = compiled.for_entity("l").expect("design");
+        // Three unrolled additions: add blocks present, graph valid.
+        let g = &d.vhif.graphs[0];
+        g.validate().expect("valid");
+        let adds = g
+            .iter()
+            .filter(|(_, b)| matches!(b.kind, BlockKind::Add { .. } | BlockKind::Sub))
+            .count();
+        assert!(adds >= 2, "expected unrolled adders:\n{g}");
+    }
+
+    #[test]
+    fn sequential_if_muxes_assigned_names() {
+        let compiled = compile_src(
+            "entity c is
+               port (quantity x : in real is voltage;
+                     quantity y : out real is voltage);
+             end entity;
+             architecture a of c is
+             begin
+               procedural is
+                 variable v : real;
+               begin
+                 if x > 0.0 then
+                   v := x * 2.0;
+                 else
+                   v := x * 0.5;
+                 end if;
+                 y := v;
+               end procedural;
+             end architecture;",
+        );
+        let d = compiled.for_entity("c").expect("design");
+        let g = &d.vhif.graphs[0];
+        g.validate().expect("valid");
+        assert!(g.iter().any(|(_, b)| matches!(b.kind, BlockKind::Mux { arity: 2 })));
+        assert!(g.iter().any(|(_, b)| matches!(b.kind, BlockKind::Comparator { .. })));
+    }
+
+    #[test]
+    fn dae_alternatives_are_reported() {
+        let compiled = compile_src(
+            "entity d is
+               port (quantity x : in real is voltage;
+                     quantity y : out real is voltage);
+             end entity;
+             architecture a of d is
+             begin
+               y == 2.0 * x + 1.0;
+             end architecture;",
+        );
+        let d = compiled.for_entity("d").expect("design");
+        assert_eq!(d.dae_alternatives.len(), 1);
+        // y and x are both isolatable → 2 candidate solvers.
+        assert_eq!(d.dae_alternatives[0].1, 2);
+    }
+
+    #[test]
+    fn control_inputs_bind_to_fsm_outputs() {
+        let compiled = compile_src(RECEIVER);
+        let d = compiled.for_entity("telephone").expect("design");
+        assert_eq!(d.vhif.control_signals(), vec!["c1".to_owned()]);
+        // validate() already cross-checked the binding during compile().
+    }
+}

@@ -1,0 +1,193 @@
+//! VASS specification statistics — the quantities Table 1 of the paper
+//! reports in columns 2–5 (continuous-time lines, quantities,
+//! event-driven lines, *signals*).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use vase_frontend::ast::{Architecture, ConcurrentStmt, DesignFile, ObjectClass, SeqStmt, SeqStmtKind};
+
+/// Statistics of one VASS specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VassStats {
+    /// Statement count of the continuous-time part (simultaneous
+    /// statements, including those nested in `if/case use`, plus
+    /// procedural statements and their bodies).
+    pub continuous_lines: usize,
+    /// Number of declared quantities (ports + architecture locals).
+    pub quantities: usize,
+    /// Statement count of the event-driven part (one per process plus
+    /// its body statements).
+    pub event_driven_lines: usize,
+    /// Number of declared *signals* (ports + architecture locals).
+    pub signals: usize,
+}
+
+impl fmt::Display for VassStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CT {} lines / {} quantities, ED {} lines / {} signals",
+            self.continuous_lines, self.quantities, self.event_driven_lines, self.signals
+        )
+    }
+}
+
+/// Compute the Table 1 statistics for the (first) architecture of
+/// `entity` in `design`.
+///
+/// Statement counting follows the paper's convention of one "line" per
+/// statement: a compound statement contributes one line plus the lines
+/// of its nested statements.
+pub fn vass_stats(design: &DesignFile, entity: &str) -> VassStats {
+    let mut stats = VassStats::default();
+    let Some(arch) = design.architecture_of(entity) else {
+        return stats;
+    };
+    if let Some(e) = design.entity(entity) {
+        for port in &e.ports {
+            match port.class {
+                vase_frontend::ast::PortClass::Quantity => stats.quantities += port.names.len(),
+                vase_frontend::ast::PortClass::Signal => stats.signals += port.names.len(),
+                vase_frontend::ast::PortClass::Terminal => {}
+            }
+        }
+    }
+    count_arch(arch, &mut stats);
+    stats
+}
+
+fn count_arch(arch: &Architecture, stats: &mut VassStats) {
+    for decl in &arch.decls {
+        match decl.class {
+            ObjectClass::Quantity => stats.quantities += decl.names.len(),
+            ObjectClass::Signal => stats.signals += decl.names.len(),
+            _ => {}
+        }
+    }
+    for stmt in &arch.stmts {
+        match stmt {
+            ConcurrentStmt::Process { body, decls, .. } => {
+                for decl in decls {
+                    if decl.class == ObjectClass::Signal {
+                        stats.signals += decl.names.len();
+                    }
+                }
+                stats.event_driven_lines += 1 + count_seq(body);
+            }
+            other => stats.continuous_lines += count_concurrent(other),
+        }
+    }
+}
+
+fn count_concurrent(stmt: &ConcurrentStmt) -> usize {
+    match stmt {
+        ConcurrentStmt::SimpleSimultaneous { .. } => 1,
+        ConcurrentStmt::SimultaneousIf { branches, else_body, .. } => {
+            1 + branches.iter().map(|(_, b)| b.iter().map(count_concurrent).sum::<usize>()).sum::<usize>()
+                + else_body.iter().map(count_concurrent).sum::<usize>()
+        }
+        ConcurrentStmt::SimultaneousCase { arms, .. } => {
+            1 + arms
+                .iter()
+                .map(|a| a.body.iter().map(count_concurrent).sum::<usize>())
+                .sum::<usize>()
+        }
+        ConcurrentStmt::Procedural { body, .. } => 1 + count_seq(body),
+        ConcurrentStmt::Process { body, .. } => 1 + count_seq(body),
+        ConcurrentStmt::AnnotationStmt { .. } => 0,
+    }
+}
+
+fn count_seq(body: &[SeqStmt]) -> usize {
+    body.iter()
+        .map(|s| match &s.kind {
+            SeqStmtKind::If { branches, else_body } => {
+                1 + branches.iter().map(|(_, b)| count_seq(b)).sum::<usize>()
+                    + count_seq(else_body)
+            }
+            SeqStmtKind::Case { arms, .. } => {
+                1 + arms.iter().map(|a| count_seq(&a.body)).sum::<usize>()
+            }
+            SeqStmtKind::For { body, .. } | SeqStmtKind::While { body, .. } => {
+                1 + count_seq(body)
+            }
+            _ => 1,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vase_frontend::parse_design_file;
+
+    #[test]
+    fn receiver_stats_match_paper_shape() {
+        // Paper Table 1, row 1: CT=4 lines, quantities=4, ED=4, signals≈2.
+        let src = r#"
+            entity telephone is
+              port (quantity line  : in  real is voltage;
+                    quantity local : in  real is voltage;
+                    quantity earph : out real is voltage limited at 1.5 v);
+            end entity;
+            architecture behavioral of telephone is
+              quantity rvar : real;
+              signal c1 : bit;
+              constant aline : real := 0.5;
+              constant alocal : real := 0.25;
+              constant r1c : real := 220.0;
+              constant r2c : real := 330.0;
+              constant vth : real := 0.07;
+            begin
+              earph == (aline * line + alocal * local) * rvar;
+              if (c1 = '1') use
+                rvar == r1c;
+              else
+                rvar == r1c + r2c;
+              end use;
+              process (line'above(vth)) is
+              begin
+                if (line'above(vth) = true) then
+                  c1 <= '1';
+                else
+                  c1 <= '0';
+                end if;
+              end process;
+            end architecture;
+        "#;
+        let design = parse_design_file(src).expect("parses");
+        let stats = vass_stats(&design, "telephone");
+        assert_eq!(stats.quantities, 4); // line, local, earph, rvar
+        assert_eq!(stats.signals, 1); // c1 (the paper's fuller spec had 2)
+        assert_eq!(stats.continuous_lines, 4); // eq + if + 2 nested eqs
+        assert_eq!(stats.event_driven_lines, 4); // process + if + 2 assigns
+    }
+
+    #[test]
+    fn missing_architecture_yields_zero() {
+        let design = parse_design_file("entity e is end entity;").expect("parses");
+        assert_eq!(vass_stats(&design, "e"), VassStats::default());
+        assert_eq!(vass_stats(&design, "nope"), VassStats::default());
+    }
+
+    #[test]
+    fn procedural_counts_as_continuous() {
+        let src = "
+            entity e is port (quantity y : out real is voltage); end entity;
+            architecture a of e is
+            begin
+              procedural is
+                variable v : real;
+              begin
+                v := 1.0;
+                y := v + 1.0;
+              end procedural;
+            end architecture;
+        ";
+        let design = parse_design_file(src).expect("parses");
+        let stats = vass_stats(&design, "e");
+        assert_eq!(stats.continuous_lines, 3); // procedural + 2 assigns
+        assert_eq!(stats.event_driven_lines, 0);
+    }
+}

@@ -1,0 +1,31 @@
+-- Automatic gain control: amplify by 8 normally, attenuate to 0.5 when
+-- the input exceeds the loudness threshold (event-driven mode switch).
+entity agc is
+  port (
+    quantity vin  : in  real is voltage range -1.5 to 1.5;
+    quantity vout : out real is voltage limited at 1.5 v
+  );
+end entity;
+
+architecture behavioral of agc is
+  quantity gain : real;
+  signal loud : bit;
+  constant g_hi : real := 8.0;
+  constant g_lo : real := 0.5;
+  constant vth  : real := 0.9;
+begin
+  vout == gain * vin;
+  if (loud = '1') use
+    gain == g_lo;
+  else
+    gain == g_hi;
+  end use;
+  process (vin'above(vth)) is
+  begin
+    if (vin'above(vth) = true) then
+      loud <= '1';
+    else
+      loud <= '0';
+    end if;
+  end process;
+end architecture;

@@ -1,0 +1,20 @@
+-- State-variable (biquad) filter: the filter-synthesis use case the
+-- paper's Section 3 motivates. Butterworth lowpass/bandpass at 1 kHz.
+entity biquad is
+  port (
+    quantity vin      : in  real is voltage frequency 10.0 to 10.0 khz
+                                    range -1.0 to 1.0;
+    quantity lowpass  : out real is voltage;
+    quantity bandpass : out real is voltage
+  );
+end entity;
+
+architecture behavioral of biquad is
+  quantity highpass : real;
+  constant w0   : real := 6283.0;  -- 2*pi*1kHz
+  constant qinv : real := 1.414;   -- 1/Q (Butterworth)
+begin
+  highpass == vin - lowpass - qinv * bandpass;
+  bandpass'dot == w0 * highpass;
+  lowpass'dot == w0 * bandpass;
+end architecture;

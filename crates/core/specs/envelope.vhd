@@ -1,0 +1,17 @@
+-- Envelope (peak) detector: precision rectifier followed by an
+-- asymmetric lowpass tracking the signal envelope.
+entity envelope is
+  port (
+    quantity vin : in  real is voltage frequency 100.0 to 5.0 khz
+                              range -1.0 to 1.0;
+    quantity env : out real is voltage
+  );
+end entity;
+
+architecture behavioral of envelope is
+  quantity rect : real;
+  constant track : real := 2000.0;  -- tracking rate, 1/s
+begin
+  rect == abs vin;
+  env'dot == track * (rect - env);
+end architecture;

@@ -1,0 +1,31 @@
+-- Ramp-signal (function) generator (Grimm & Waldschmidt [6]): a
+-- triangle generator built from an integrator whose slope is switched
+-- by the event-driven part each time the ramp reaches a rail.
+entity funcgen is
+  port (
+    quantity ramp : out real is voltage range -1.0 to 1.0
+  );
+end entity;
+
+architecture behavioral of funcgen is
+  quantity slope : real;
+  signal dir : bit;
+  constant k  : real := 1000.0;  -- slope magnitude, V/s
+  constant hi : real := 1.0;     -- upper turning level
+  constant lo : real := -1.0;    -- lower turning level
+begin
+  ramp'dot == slope;
+  if (dir = '1') use
+    slope == 0.0 - k;
+  else
+    slope == k;
+  end use;
+  process (ramp'above(hi), ramp'above(lo)) is
+  begin
+    if (ramp'above(hi) = true) then
+      dir <= '1';
+    elsif (ramp'above(lo) = false) then
+      dir <= '0';
+    end if;
+  end process;
+end architecture;

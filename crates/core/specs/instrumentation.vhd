@@ -1,0 +1,18 @@
+-- Instrumentation front end: a gained differential stage followed by a
+-- first-order noise-rejection lowpass.
+entity instrumentation is
+  port (
+    quantity vp   : in  real is voltage range -0.1 to 0.1;
+    quantity vn   : in  real is voltage range -0.1 to 0.1;
+    quantity vout : out real is voltage
+  );
+end entity;
+
+architecture behavioral of instrumentation is
+  quantity amplified : real;
+  constant gain : real := 10.0;
+  constant wc   : real := 1000.0;  -- filter cutoff, rad/s
+begin
+  amplified == gain * (vp - vn);
+  vout'dot == wc * (amplified - vout);
+end architecture;

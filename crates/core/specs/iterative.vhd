@@ -1,0 +1,40 @@
+-- Iterative equation solver ([2]): solves
+--   x''' + a2 x'' + a1 x' + a0 x = target
+-- by continuous relaxation on an analog-computer integrator chain; the
+-- event-driven part watches the residual and latches the settled
+-- solution.
+entity iter_solver is
+  port (
+    quantity target : in  real is voltage range -1.0 to 1.0;
+    quantity xout   : out real is voltage
+  );
+end entity;
+
+architecture behavioral of iter_solver is
+  quantity x, x1, x2 : real;
+  quantity err : real;
+  signal done : bit;
+  signal hold : bit;
+  constant a0  : real := 1.0;
+  constant a1  : real := 2.0;
+  constant a2  : real := 2.0;
+  constant tol : real := 0.01;
+begin
+  err == target - x;
+  x2'dot == a0 * err - a1 * x1 - a2 * x2;
+  x1'dot == x2;
+  x'dot  == x1;
+  xout   == x;
+  process (err'above(tol)) is
+    variable sample : real;
+  begin
+    if (err'above(tol) = true) then
+      done <= '0';
+      hold <= '0';
+    else
+      sample := x;
+      done <= '1';
+      hold <= '1';
+    end if;
+  end process;
+end architecture;

@@ -1,0 +1,29 @@
+-- Missile equation solver ([2]): integrates the longitudinal dynamics
+-- of an airframe with a velocity-squared drag term.
+--
+-- The quadratic drag is formulated in the log domain
+-- (v^2 = exp(2 ln v)), the classical analog-computer realization with
+-- log and anti-log amplifiers.
+entity missile is
+  port (
+    quantity thrust : in  real is voltage range 0.0 to 2.0;
+    quantity dragk  : in  real is voltage range 0.0 to 1.0;
+    quantity vel    : out real is voltage;
+    quantity alt    : out real is voltage
+  );
+end entity;
+
+architecture behavioral of missile is
+  quantity accel : real;
+  quantity dragf : real;
+  quantity logv  : real;
+  quantity logd  : real;
+  constant mass_inv : real := 0.5;
+begin
+  logv  == log(vel);
+  logd  == log(dragk);
+  dragf == exp(2.0 * logv + logd);
+  accel == mass_inv * (thrust - dragf);
+  vel'dot == accel;
+  alt'dot == vel;
+end architecture;

@@ -1,0 +1,21 @@
+-- PID controller: proportional + integral + derivative action on the
+-- error between a setpoint and the measured plant output.
+entity pid is
+  port (
+    quantity setpoint : in  real is voltage range -1.0 to 1.0;
+    quantity measured : in  real is voltage range -1.0 to 1.0;
+    quantity drive    : out real is voltage limited at 2.0 v
+  );
+end entity;
+
+architecture behavioral of pid is
+  quantity err  : real;
+  quantity ierr : real;
+  constant kp : real := 2.0;
+  constant ki : real := 50.0;
+  constant kd : real := 0.001;
+begin
+  err == setpoint - measured;
+  ierr'dot == err;
+  drive == kp * err + ki * ierr + kd * err'dot;
+end architecture;

@@ -1,0 +1,37 @@
+-- Programmable mixed-signal power meter, acquisition part
+-- (Garverick et al. [18]).
+--
+-- Conditions the two sensor inputs (a voltage sense and a current
+-- sense), computes the instantaneous power, and — on each sampling
+-- clock edge — samples both conditioned signals and converts them to
+-- digital words for the metering logic.
+entity power_meter is
+  port (
+    quantity vsens : in  real is voltage range -2.0 to 2.0;
+    quantity isens : in  real is current range -0.5 to 0.5;
+    quantity clk   : in  real is voltage;
+    quantity pout  : out real is voltage;
+    signal   dv    : out integer;
+    signal   di    : out integer
+  );
+end entity;
+
+architecture behavioral of power_meter is
+  quantity vcond : real;
+  quantity icond : real;
+  constant gv   : real := 0.5;   -- voltage-channel conditioning gain
+  constant gi   : real := 2.0;   -- current-channel transimpedance gain
+  constant vref : real := 0.25;  -- sampling-clock threshold
+begin
+  vcond == gv * vsens;
+  icond == gi * isens;
+  pout  == vcond * icond;
+  process (clk'above(vref)) is
+  begin
+    dv <= adc(vcond);
+  end process;
+  process (clk'above(vref)) is
+  begin
+    di <= adc(icond);
+  end process;
+end architecture;

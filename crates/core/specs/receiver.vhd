@@ -1,0 +1,41 @@
+-- Receiver module of a telephone set (paper Fig. 2, [14]).
+--
+-- Amplifies, with different gains, incoming signals transmitted from
+-- the calling party (`line`) and those produced locally by the
+-- microphone amplifier (`local`), automatically compensating losses
+-- introduced by different telephone-line lengths. The output has a
+-- signal-limiting capability and drives a 270 Ohm load at 285 mV peak.
+entity telephone is
+  port (
+    quantity line  : in  real is voltage range -1.0 to 1.0
+                                 frequency 300.0 to 3.4 khz;
+    quantity local : in  real is voltage range -1.0 to 1.0;
+    quantity earph : out real is voltage limited at 1.5 v
+                                 drives 270 ohm at 285 mv peak
+  );
+end entity;
+
+architecture behavioral of telephone is
+  quantity rvar : real;
+  signal c1 : bit;
+  constant aline  : real := 4.0;   -- line-path gain
+  constant alocal : real := 2.0;   -- sidetone gain
+  constant r1c : real := 1.0;      -- compensation (short line)
+  constant r2c : real := 0.25;     -- extra compensation (long line)
+  constant vth : real := 0.07;     -- line-level detection threshold
+begin
+  earph == (aline * line + alocal * local) * rvar;
+  if (c1 = '1') use
+    rvar == r1c;
+  else
+    rvar == r1c + r2c;
+  end use;
+  process (line'above(vth)) is
+  begin
+    if (line'above(vth) = true) then
+      c1 <= '1';
+    else
+      c1 <= '0';
+    end if;
+  end process;
+end architecture;

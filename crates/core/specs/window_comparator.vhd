@@ -1,0 +1,45 @@
+-- Window comparator: flags when the input leaves the [lo, hi] window
+-- and routes either the input or a hold level to the output.
+entity window_comparator is
+  port (
+    quantity vin  : in  real is voltage range -2.0 to 2.0;
+    quantity vout : out real is voltage;
+    signal   inside : out bit
+  );
+end entity;
+
+architecture behavioral of window_comparator is
+  signal above_hi : bit;
+  signal below_lo : bit;
+  constant hi : real := 1.0;
+  constant lo : real := -1.0;
+  constant hold_level : real := 0.0;
+begin
+  if (above_hi = '0') use
+    if (below_lo = '0') use
+      vout == vin;
+    else
+      vout == hold_level;
+    end use;
+  else
+    vout == hold_level;
+  end use;
+  process (vin'above(hi)) is
+  begin
+    if (vin'above(hi) = true) then
+      above_hi <= '1';
+      inside <= '0';
+    else
+      above_hi <= '0';
+      inside <= '1';
+    end if;
+  end process;
+  process (vin'above(lo)) is
+  begin
+    if (vin'above(lo) = false) then
+      below_lo <= '1';
+    else
+      below_lo <= '0';
+    end if;
+  end process;
+end architecture;

@@ -1,0 +1,242 @@
+//! `vase` — command-line front end for the behavioral-synthesis flow.
+//!
+//! ```text
+//! vase parse   <file.vhd>             check a VASS specification
+//! vase compile <file.vhd> [--dot out.dot]  dump the VHIF representation
+//! vase synth   <file.vhd> [options]   synthesize to an op-amp netlist
+//!     --greedy          use the greedy heuristic instead of branch-and-bound
+//!     --spice <out.sp>  also write a SPICE deck
+//! vase sim     <file.vhd> [options]   synthesize, then transient-simulate
+//!     --input name=<stim>   stimulus per input; <stim> is one of
+//!                           const:<v> | sine:<amp>,<freq> |
+//!                           step:<before>,<after>,<t> |
+//!                           pulse:<low>,<high>,<period>,<duty>
+//!     --tend <seconds>      simulation length   (default 5e-3)
+//!     --dt <seconds>        time step           (default 1e-6)
+//!     --csv <out.csv>       write raw traces
+//! vase table1                          regenerate the paper's Table 1
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use vase::archgen::MapperConfig;
+use vase::flow::{compile_source, synthesize_source, FlowOptions};
+use vase::sim::{render_ascii, simulate_netlist, SimConfig, Stimulus};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command; try `vase parse|compile|synth|sim|table1`".into());
+    };
+    match command.as_str() {
+        "parse" => cmd_parse(&args[1..]),
+        "compile" => cmd_compile(&args[1..]),
+        "synth" => cmd_synth(&args[1..]),
+        "sim" => cmd_sim(&args[1..]),
+        "table1" => cmd_table1(),
+        "--help" | "-h" | "help" => {
+            println!("vase — VHDL-AMS behavioral synthesis of analog systems");
+            println!("commands: parse, compile, synth, sim, table1 (see crate docs)");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn read_source(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("missing input file")?;
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+}
+
+fn cmd_parse(args: &[String]) -> Result<(), String> {
+    let source = read_source(args)?;
+    let design = vase::frontend::parse_design_file(&source).map_err(|e| e.to_string())?;
+    let analyzed = vase::frontend::analyze(&design).map_err(|e| e.to_string())?;
+    for arch in &analyzed.architectures {
+        let stats = vase::compiler::vass_stats(&analyzed.design, &arch.entity);
+        println!("architecture {} of {}: {}", arch.name, arch.entity, stats);
+    }
+    println!("ok");
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let source = read_source(args)?;
+    for (entity, vhif, stats) in compile_source(&source).map_err(|e| e.to_string())? {
+        println!("-- entity {entity} ({stats})");
+        println!("{vhif}");
+        if let Some(path) = flag_value(args, "--dot") {
+            std::fs::write(path, vase::vhif::design_to_dot(&vhif))
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("DOT graph written to {path}");
+        }
+        println!(
+            "DAE note: simultaneous statements admit multiple signal-flow solvers; the\n\
+             compiler chose a causal assignment, the mapper explores the alternatives."
+        );
+    }
+    Ok(())
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let source = read_source(args)?;
+    let greedy = args.iter().any(|a| a == "--greedy");
+    let options = FlowOptions::default();
+    if greedy {
+        // Greedy applies per graph; run the pieces manually.
+        let compiled = compile_source(&source).map_err(|e| e.to_string())?;
+        for (entity, vhif, _) in compiled {
+            let estimator = vase::estimate::Estimator::default();
+            for graph in &vhif.graphs {
+                let result = vase::archgen::map_graph_greedy(
+                    graph,
+                    &estimator,
+                    &MapperConfig::default(),
+                )
+                .map_err(|e| e.to_string())?;
+                println!("-- entity {entity} (greedy)");
+                println!("{}", result.netlist);
+                println!("estimate: {}", result.estimate);
+            }
+        }
+        return Ok(());
+    }
+    let designs = synthesize_source(&source, &options).map_err(|e| e.to_string())?;
+    for d in &designs {
+        println!("-- entity {}", d.entity);
+        println!("{}", d.synthesis.netlist);
+        println!("estimate: {}", d.synthesis.estimate);
+        println!(
+            "search: {} visited / {} bound-pruned / {} memo-pruned",
+            d.synthesis.stats.visited_nodes,
+            d.synthesis.stats.pruned_nodes,
+            d.synthesis.stats.memo_pruned
+        );
+        if let Some(path) = flag_value(args, "--spice") {
+            let deck = vase::library::to_spice(&d.synthesis.netlist, &d.entity, 5e-3);
+            std::fs::write(path, deck).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("SPICE deck written to {path}");
+        }
+    }
+    Ok(())
+}
+
+fn parse_stimulus(spec: &str) -> Result<Stimulus, String> {
+    let (kind, params) = spec.split_once(':').unwrap_or((spec, ""));
+    let values: Vec<f64> = if params.is_empty() {
+        Vec::new()
+    } else {
+        params
+            .split(',')
+            .map(|v| v.parse::<f64>().map_err(|e| format!("bad number `{v}`: {e}")))
+            .collect::<Result<_, _>>()?
+    };
+    let need = |n: usize| -> Result<(), String> {
+        if values.len() == n {
+            Ok(())
+        } else {
+            Err(format!("stimulus `{kind}` needs {n} parameter(s), got {}", values.len()))
+        }
+    };
+    match kind {
+        "const" => {
+            need(1)?;
+            Ok(Stimulus::Constant { level: values[0] })
+        }
+        "sine" => {
+            need(2)?;
+            Ok(Stimulus::sine(values[0], values[1]))
+        }
+        "step" => {
+            need(3)?;
+            Ok(Stimulus::Step { before: values[0], after: values[1], at: values[2] })
+        }
+        "pulse" => {
+            need(4)?;
+            Ok(Stimulus::Pulse {
+                low: values[0],
+                high: values[1],
+                period: values[2],
+                duty: values[3],
+            })
+        }
+        other => Err(format!(
+            "unknown stimulus `{other}` (const, sine, step, pulse)"
+        )),
+    }
+}
+
+fn cmd_sim(args: &[String]) -> Result<(), String> {
+    let source = read_source(args)?;
+    let designs =
+        synthesize_source(&source, &FlowOptions::default()).map_err(|e| e.to_string())?;
+    let t_end: f64 = flag_value(args, "--tend").unwrap_or("5e-3").parse().map_err(
+        |e| format!("bad --tend: {e}"),
+    )?;
+    let dt: f64 =
+        flag_value(args, "--dt").unwrap_or("1e-6").parse().map_err(|e| format!("bad --dt: {e}"))?;
+    let mut stimuli: BTreeMap<String, Stimulus> = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--input" {
+            let spec = args.get(i + 1).ok_or("--input needs name=<stimulus>")?;
+            let (name, stim) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("bad --input `{spec}`, expected name=<stimulus>"))?;
+            stimuli.insert(name.to_owned(), parse_stimulus(stim)?);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    for d in &designs {
+        let result = simulate_netlist(
+            &d.synthesis.netlist,
+            &stimuli,
+            &d.synthesis.control_bindings,
+            &SimConfig::new(dt, t_end),
+        )
+        .map_err(|e| e.to_string())?;
+        for (name, _) in &d.synthesis.netlist.outputs {
+            println!("{}", render_ascii(&result, name, 72, 14));
+        }
+        if let Some(path) = flag_value(args, "--csv") {
+            std::fs::write(path, result.to_csv(&[]))
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("traces written to {path}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_table1() -> Result<(), String> {
+    static BENCHMARKS: [vase::benchmarks::Benchmark; 5] = [
+        vase::benchmarks::RECEIVER,
+        vase::benchmarks::POWER_METER,
+        vase::benchmarks::MISSILE,
+        vase::benchmarks::ITERATIVE,
+        vase::benchmarks::FUNCTION_GENERATOR,
+    ];
+    let mut rows = Vec::new();
+    for b in &BENCHMARKS {
+        let row = vase::table1_row(b, &FlowOptions::default()).map_err(|e| e.to_string())?;
+        rows.push((row, Some(b)));
+    }
+    println!("{}", vase::format_table1(&rows));
+    Ok(())
+}

@@ -1,0 +1,254 @@
+//! The end-to-end synthesis flow: VASS source → parsed + analyzed AST
+//! → VHIF → op-amp netlist (paper Fig. 1, the shadowed boxes).
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use vase_archgen::{synthesize, MapError, MapperConfig, SynthesisResult};
+use vase_compiler::{compile, CompileError, VassStats};
+use vase_estimate::{Estimator, PerformanceConstraints};
+use vase_frontend::{analyze, parse_design_file, FrontendError};
+use vase_vhif::VhifDesign;
+
+/// Options for the full flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowOptions {
+    /// Architecture-generator configuration.
+    pub mapper: MapperConfig,
+    /// Performance constraints driving the estimator (baseline when
+    /// derivation is enabled).
+    pub constraints: PerformanceConstraints,
+    /// Derive bandwidth/peak constraints from the specification's own
+    /// `frequency`/`range` annotations (the constraint-transformation
+    /// idea of the paper's companion tools \[17\]): the widest
+    /// annotated frequency band and the largest annotated value range
+    /// override the baseline.
+    pub derive_constraints: bool,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            mapper: MapperConfig::default(),
+            constraints: PerformanceConstraints::default(),
+            derive_constraints: true,
+        }
+    }
+}
+
+/// Derive performance constraints for one analyzed architecture from
+/// its VASS annotations, starting from `baseline`: the maximum
+/// annotated frequency becomes the bandwidth, the largest annotated
+/// value magnitude becomes the signal peak.
+pub fn derive_constraints(
+    arch: &vase_frontend::sema::AnalyzedArchitecture,
+    baseline: PerformanceConstraints,
+) -> PerformanceConstraints {
+    let mut constraints = baseline;
+    for sym in arch.symbols.iter() {
+        let set = vase_frontend::AnnotationSet::new(&sym.annotations);
+        if let Some((_, hi)) = set.frequency_range() {
+            constraints.bandwidth_hz = constraints.bandwidth_hz.max(hi);
+        }
+        if let Some((lo, hi)) = set.value_range() {
+            constraints.signal_peak_v = constraints.signal_peak_v.max(lo.abs()).max(hi.abs());
+        }
+    }
+    constraints
+}
+
+/// Everything produced for one architecture by the full flow.
+#[derive(Debug, Clone)]
+pub struct SynthesizedDesign {
+    /// The entity name.
+    pub entity: String,
+    /// VASS source statistics (Table 1 columns 2–5).
+    pub vass_stats: VassStats,
+    /// The VHIF intermediate representation.
+    pub vhif: VhifDesign,
+    /// Per-equation DAE solver alternative counts.
+    pub dae_alternatives: Vec<(String, usize)>,
+    /// The mapped netlist with estimate and search statistics.
+    pub synthesis: SynthesisResult,
+}
+
+/// An error from any stage of the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// Lexing, parsing, or semantic analysis failed.
+    Frontend(FrontendError),
+    /// VASS→VHIF translation failed.
+    Compile(CompileError),
+    /// Architecture synthesis failed.
+    Map(MapError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Frontend(e) => write!(f, "frontend: {e}"),
+            FlowError::Compile(e) => write!(f, "compile: {e}"),
+            FlowError::Map(e) => write!(f, "map: {e}"),
+        }
+    }
+}
+
+impl StdError for FlowError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            FlowError::Frontend(e) => Some(e),
+            FlowError::Compile(e) => Some(e),
+            FlowError::Map(e) => Some(e),
+        }
+    }
+}
+
+impl From<FrontendError> for FlowError {
+    fn from(e: FrontendError) -> Self {
+        FlowError::Frontend(e)
+    }
+}
+
+impl From<CompileError> for FlowError {
+    fn from(e: CompileError) -> Self {
+        FlowError::Compile(e)
+    }
+}
+
+impl From<MapError> for FlowError {
+    fn from(e: MapError) -> Self {
+        FlowError::Map(e)
+    }
+}
+
+/// Run the complete behavioral-synthesis flow on a VASS source file:
+/// one [`SynthesizedDesign`] per architecture.
+///
+/// # Errors
+///
+/// Returns the first stage error ([`FlowError`]).
+///
+/// # Examples
+///
+/// ```
+/// use vase::flow::{synthesize_source, FlowOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let designs = synthesize_source(
+///     vase::benchmarks::RECEIVER.source,
+///     &FlowOptions::default(),
+/// )?;
+/// assert_eq!(designs.len(), 1);
+/// assert!(designs[0].synthesis.netlist.opamp_count() >= 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize_source(
+    source: &str,
+    options: &FlowOptions,
+) -> Result<Vec<SynthesizedDesign>, FlowError> {
+    let design = parse_design_file(source).map_err(FrontendError::from)?;
+    let analyzed = analyze(&design)?;
+    let compiled = compile(&analyzed)?;
+    let mut out = Vec::new();
+    for arch in compiled.designs {
+        let constraints = if options.derive_constraints {
+            analyzed
+                .architecture_of(&arch.entity)
+                .map(|a| derive_constraints(a, options.constraints))
+                .unwrap_or(options.constraints)
+        } else {
+            options.constraints
+        };
+        let estimator = Estimator::new(constraints);
+        let synthesis = synthesize(&arch.vhif, &estimator, &options.mapper)?;
+        out.push(SynthesizedDesign {
+            entity: arch.entity,
+            vass_stats: arch.vass_stats,
+            vhif: arch.vhif,
+            dae_alternatives: arch.dae_alternatives,
+            synthesis,
+        });
+    }
+    Ok(out)
+}
+
+/// Compile a VASS source to VHIF only (no mapping) — the
+/// paper's "VHDL-AMS compiler" half of the flow.
+///
+/// # Errors
+///
+/// Returns frontend and compilation errors.
+pub fn compile_source(source: &str) -> Result<Vec<(String, VhifDesign, VassStats)>, FlowError> {
+    let design = parse_design_file(source).map_err(FrontendError::from)?;
+    let analyzed = analyze(&design)?;
+    let compiled = compile(&analyzed)?;
+    Ok(compiled
+        .designs
+        .into_iter()
+        .map(|d| (d.entity, d.vhif, d.vass_stats))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn every_benchmark_synthesizes() {
+        for b in benchmarks::all() {
+            let designs = synthesize_source(b.source, &FlowOptions::default())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", b.name));
+            assert_eq!(designs.len(), 1, "{}", b.name);
+            let d = &designs[0];
+            assert_eq!(d.entity, b.entity);
+            d.synthesis.netlist.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(d.synthesis.estimate.feasible(), "{} infeasible", b.name);
+            assert!(d.synthesis.netlist.opamp_count() > 0, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn flow_error_display_covers_stages() {
+        let err = synthesize_source("entity broken", &FlowOptions::default()).unwrap_err();
+        assert!(matches!(err, FlowError::Frontend(_)));
+        assert!(err.to_string().contains("frontend"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn constraints_derive_from_annotations() {
+        // The receiver annotates line with `frequency 300 to 3.4 khz`
+        // and values up to ±1 V; the derived constraints reflect that.
+        let design =
+            parse_design_file(crate::benchmarks::RECEIVER.source).expect("parses");
+        let analyzed = analyze(&design).expect("analyzes");
+        let arch = analyzed.architecture_of("telephone").expect("arch");
+        let derived = derive_constraints(arch, PerformanceConstraints::audio());
+        assert!((derived.bandwidth_hz - 4000.0).abs() < 1e-9 || derived.bandwidth_hz >= 3400.0);
+        assert!(derived.signal_peak_v >= 1.0);
+
+        // Without annotations the baseline passes through.
+        let design = parse_design_file(
+            "entity p is port (quantity x : in real is voltage;
+                               quantity y : out real is voltage); end entity;
+             architecture a of p is begin y == x * 2.0; end architecture;",
+        )
+        .expect("parses");
+        let analyzed = analyze(&design).expect("analyzes");
+        let arch = analyzed.architecture_of("p").expect("arch");
+        let base = PerformanceConstraints::audio();
+        let derived = derive_constraints(arch, base);
+        assert_eq!(derived.bandwidth_hz, base.bandwidth_hz);
+    }
+
+    #[test]
+    fn compile_source_yields_vhif_without_mapping() {
+        let result = compile_source(benchmarks::FUNCTION_GENERATOR.source).expect("compiles");
+        let (entity, vhif, stats) = &result[0];
+        assert_eq!(entity, "funcgen");
+        assert!(vhif.stats().blocks >= 2);
+        assert_eq!(stats.quantities, 2); // ramp + slope
+    }
+}

@@ -1,0 +1,61 @@
+//! # vase
+//!
+//! **VASE** — a VHDL-AMS compiler and architecture generator for
+//! behavioral synthesis of analog systems; a full reproduction of
+//! Doboli & Vemuri, *DATE 1999*.
+//!
+//! The crate is the facade over the complete flow (paper Fig. 1):
+//!
+//! 1. **VASS frontend** ([`vase_frontend`]) — parse + semantically
+//!    check the synthesis-oriented VHDL-AMS subset, including the VASS
+//!    annotation mechanism (signal kinds, ranges, impedances, output
+//!    limiting/drive);
+//! 2. **Compiler** ([`vase_compiler`]) — translate to VHIF: signal-flow
+//!    graphs for the continuous-time part (DAE solver selection,
+//!    `while`→sampling structures, `for` unrolling, annotation-driven
+//!    output-stage inference) and FSMs for the event-driven part;
+//! 3. **Architecture generator** ([`vase_archgen`]) — branch-and-bound
+//!    mapping onto the op-amp component library ([`vase_library`]),
+//!    ranked by the square-law performance estimator
+//!    ([`vase_estimate`]);
+//! 4. **Validation** ([`vase_sim`]) — behavioral and macromodel
+//!    transient simulation (the paper's SPICE step).
+//!
+//! # Examples
+//!
+//! Synthesize the paper's telephone receiver and inspect the result:
+//!
+//! ```
+//! use vase::flow::{synthesize_source, FlowOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let designs = synthesize_source(
+//!     vase::benchmarks::RECEIVER.source,
+//!     &FlowOptions::default(),
+//! )?;
+//! let receiver = &designs[0];
+//! // The paper's result: two amplifiers and a zero-cross detector
+//! // (plus the annotation-inferred output stage).
+//! let summary = receiver.synthesis.netlist.report_summary();
+//! assert!(summary.iter().any(|(c, n)| c == "amplif." && *n == 2));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod flow;
+pub mod report;
+
+pub use flow::{compile_source, synthesize_source, FlowError, FlowOptions, SynthesizedDesign};
+pub use report::{format_table1, table1_row, Table1Row};
+
+// Re-export the stage crates so downstream users need only `vase`.
+pub use vase_archgen as archgen;
+pub use vase_compiler as compiler;
+pub use vase_estimate as estimate;
+pub use vase_frontend as frontend;
+pub use vase_library as library;
+pub use vase_sim as sim;
+pub use vase_vhif as vhif;

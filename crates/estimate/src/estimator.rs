@@ -1,0 +1,346 @@
+//! Netlist-level performance estimation.
+//!
+//! For each placed component the estimator derives the op-amp specs its
+//! circuit imposes (closed-loop gain × signal bandwidth → UGF; signal
+//! swing × bandwidth → slew rate), sizes the op amps with the
+//! square-law model, adds passive area, and aggregates area and power.
+//! This is the role the branch-and-bound algorithm's `call analog
+//! performance estimation tools` plays in paper Fig. 5.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use vase_library::{ComponentKind, Netlist};
+
+use crate::opamp::{min_opamp_area, size_opamp, OpAmpSpec};
+use crate::process::ProcessParams;
+use crate::topology::{min_topology_area, select_topology, OpAmpTopology};
+
+/// System-level performance constraints the synthesized netlist must
+/// satisfy (derived from VASS frequency/range annotations or supplied
+/// directly).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceConstraints {
+    /// Signal bandwidth the continuous-time path must process, Hz.
+    pub bandwidth_hz: f64,
+    /// Peak signal amplitude, V.
+    pub signal_peak_v: f64,
+    /// Maximum total static power, W (`f64::INFINITY` to disable).
+    pub max_power_w: f64,
+    /// Maximum total area, m² (`f64::INFINITY` to disable).
+    pub max_area_m2: f64,
+}
+
+impl PerformanceConstraints {
+    /// Audio-band defaults (telephone-channel style: 4 kHz, 1 V peak).
+    pub fn audio() -> Self {
+        PerformanceConstraints {
+            bandwidth_hz: 4e3,
+            signal_peak_v: 1.0,
+            max_power_w: f64::INFINITY,
+            max_area_m2: f64::INFINITY,
+        }
+    }
+}
+
+impl Default for PerformanceConstraints {
+    fn default() -> Self {
+        PerformanceConstraints::audio()
+    }
+}
+
+/// Per-component estimation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentEstimate {
+    /// Area, m².
+    pub area_m2: f64,
+    /// Static power, W.
+    pub power_w: f64,
+    /// The op-amp UGF the component's amplifiers were sized for, Hz.
+    pub ugf_hz: f64,
+    /// The slew rate they were sized for, V/s.
+    pub slew_v_per_s: f64,
+    /// The op-amp topology component selection bound (None for
+    /// op-amp-free components such as switches and logic).
+    pub topology: Option<OpAmpTopology>,
+    /// Whether some library topology meets the op-amp spec the
+    /// component imposes. When false, the mapping is infeasible and
+    /// the mapper must pick a different alternative (e.g. the
+    /// gain-splitting functional transformation).
+    pub spec_met: bool,
+}
+
+/// Whole-netlist estimation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetlistEstimate {
+    /// Total area, m².
+    pub area_m2: f64,
+    /// Total static power, W.
+    pub power_w: f64,
+    /// Per-component breakdown (same order as the netlist).
+    pub components: Vec<ComponentEstimate>,
+    /// Constraint violations (empty = feasible).
+    pub violations: Vec<String>,
+}
+
+impl NetlistEstimate {
+    /// Whether all constraints are met.
+    pub fn feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for NetlistEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} µm², {:.2} mW, {} component(s){}",
+            self.area_m2 * 1e12,
+            self.power_w * 1e3,
+            self.components.len(),
+            if self.feasible() { "" } else { " [INFEASIBLE]" }
+        )
+    }
+}
+
+/// The analog performance estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Estimator {
+    /// Process parameters.
+    pub process: ProcessParams,
+    /// System constraints.
+    pub constraints: PerformanceConstraints,
+}
+
+impl Estimator {
+    /// An estimator for the given constraints in the MOSIS 2 µm
+    /// process.
+    pub fn new(constraints: PerformanceConstraints) -> Self {
+        Estimator { process: ProcessParams::mosis_2um(), constraints }
+    }
+
+    /// `MinArea` — the area of a minimum-size op amp across every
+    /// library topology, the lower bound the mapper's bounding rule
+    /// multiplies op-amp counts by.
+    pub fn min_opamp_area(&self) -> f64 {
+        min_topology_area(&self.process).min(min_opamp_area(&self.process))
+    }
+
+    /// Estimate one component.
+    pub fn estimate_component(&self, kind: &ComponentKind) -> ComponentEstimate {
+        let n_opamps = kind.opamp_count();
+        let gain = kind.max_gain();
+        // Closed-loop bandwidth must cover the signal band: the op amp
+        // needs UGF ≳ gain · BW with a 10× feedback-accuracy margin.
+        let ugf = (gain * self.constraints.bandwidth_hz * 10.0).max(1e5);
+        // Full-swing sine at the band edge sets the slew requirement.
+        let slew = (2.0 * std::f64::consts::PI
+            * self.constraints.bandwidth_hz
+            * self.constraints.signal_peak_v
+            * gain.max(1.0))
+        .max(1e4);
+        // Load: on-chip next stage plus the component's own network.
+        let mut load = 5e-12;
+        let mut extra_area = 0.0;
+        let mut extra_power = 0.0;
+        match kind {
+            ComponentKind::OutputStage { load_ohms, peak_volts, .. } => {
+                // Driving an off-chip resistive load costs static power
+                // and a bigger output device (modeled as extra load).
+                load = 50e-12;
+                extra_power = (peak_volts * peak_volts) / load_ohms;
+            }
+            ComponentKind::Adc { bits } => {
+                // Comparator ladder + logic overhead.
+                extra_area = (*bits as f64) * 3.0e-9;
+                extra_power += (*bits as f64) * 0.1e-3;
+            }
+            ComponentKind::SampleHold | ComponentKind::MemoryCell => {
+                load = 15e-12; // hold capacitor
+            }
+            _ => {}
+        }
+        // Precision (closed-loop) components need open-loop gain well
+        // above the closed-loop gain; threshold detectors only need to
+        // switch hard.
+        let dc_gain = if matches!(
+            kind,
+            ComponentKind::Comparator { .. }
+                | ComponentKind::ZeroCrossDetector { .. }
+                | ComponentKind::SchmittTrigger { .. }
+                | ComponentKind::SampleHold
+                | ComponentKind::MemoryCell
+                | ComponentKind::Follower
+        ) {
+            60.0
+        } else {
+            (60.0 * gain).max(1_000.0)
+        };
+        let spec = OpAmpSpec { ugf_hz: ugf, slew_v_per_s: slew, load_f: load, dc_gain };
+        // Component selection (paper Fig. 1): cheapest topology that
+        // meets the spec; fall back to the two-stage baseline when the
+        // library has no feasible entry.
+        let (design, topology, spec_met) = match select_topology(&spec, &self.process) {
+            Some(choice) => (choice.design, Some(choice.topology), true),
+            None => (size_opamp(&spec, &self.process), Some(OpAmpTopology::TwoStage), false),
+        };
+        let topology = (n_opamps > 0).then_some(topology).flatten();
+        let spec_met = spec_met || n_opamps == 0;
+        // Passive area: poly resistors (~50 squares each) and routing.
+        let passive_area = kind.passive_count() as f64 * 50.0 * 16e-12;
+        ComponentEstimate {
+            area_m2: n_opamps as f64 * design.area_m2 + passive_area + extra_area,
+            power_w: n_opamps as f64 * design.power_w + extra_power,
+            ugf_hz: design.ugf_hz,
+            slew_v_per_s: design.slew_v_per_s,
+            topology,
+            spec_met,
+        }
+    }
+
+    /// Estimate a full netlist and check the constraints.
+    pub fn estimate_netlist(&self, netlist: &Netlist) -> NetlistEstimate {
+        let components: Vec<ComponentEstimate> =
+            netlist.components.iter().map(|c| self.estimate_component(&c.kind)).collect();
+        let area_m2: f64 = components.iter().map(|c| c.area_m2).sum();
+        let power_w: f64 = components.iter().map(|c| c.power_w).sum();
+        let mut violations = Vec::new();
+        for (i, (c, placed)) in components.iter().zip(&netlist.components).enumerate() {
+            if !c.spec_met {
+                violations.push(format!(
+                    "component {i} ({}) requires an op amp beyond every library topology                      (UGF {:.1} MHz at gain {:.0})",
+                    placed.kind,
+                    c.ugf_hz / 1e6,
+                    placed.kind.max_gain()
+                ));
+            }
+        }
+        if area_m2 > self.constraints.max_area_m2 {
+            violations.push(format!(
+                "area {:.0} µm² exceeds limit {:.0} µm²",
+                area_m2 * 1e12,
+                self.constraints.max_area_m2 * 1e12
+            ));
+        }
+        if power_w > self.constraints.max_power_w {
+            violations.push(format!(
+                "power {:.2} mW exceeds limit {:.2} mW",
+                power_w * 1e3,
+                self.constraints.max_power_w * 1e3
+            ));
+        }
+        NetlistEstimate { area_m2, power_w, components, violations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vase_library::{PlacedComponent, SourceRef};
+
+    fn netlist_of(kinds: Vec<ComponentKind>) -> Netlist {
+        let mut n = Netlist::new();
+        for kind in kinds {
+            let inputs = (0..kind.data_inputs())
+                .map(|i| SourceRef::External(format!("in{i}")))
+                .chain(kind.has_control_input().then(|| SourceRef::External("ctl".into())))
+                .collect();
+            n.push(PlacedComponent { kind, inputs, implements: vec![], label: "c".into() });
+        }
+        n
+    }
+
+    #[test]
+    fn more_opamps_cost_more_area() {
+        let e = Estimator::default();
+        let one = e.estimate_netlist(&netlist_of(vec![ComponentKind::Follower]));
+        let four = e.estimate_netlist(&netlist_of(vec![ComponentKind::Multiplier]));
+        assert!(four.area_m2 > one.area_m2 * 3.0);
+    }
+
+    #[test]
+    fn higher_gain_needs_bigger_opamp() {
+        let e = Estimator::default();
+        let low = e.estimate_component(&ComponentKind::InvertingAmp { gain: -2.0 });
+        let high = e.estimate_component(&ComponentKind::InvertingAmp { gain: -200.0 });
+        assert!(high.area_m2 > low.area_m2);
+        assert!(high.ugf_hz > low.ugf_hz);
+    }
+
+    #[test]
+    fn output_stage_burns_load_power() {
+        let e = Estimator::default();
+        let plain = e.estimate_component(&ComponentKind::Follower);
+        let stage = e.estimate_component(&ComponentKind::OutputStage {
+            load_ohms: 270.0,
+            peak_volts: 0.285,
+            limit: Some(1.5),
+        });
+        assert!(stage.power_w > plain.power_w);
+    }
+
+    #[test]
+    fn constraints_flag_violations() {
+        let mut c = PerformanceConstraints::audio();
+        c.max_area_m2 = 1e-12; // impossible
+        let e = Estimator::new(c);
+        let est = e.estimate_netlist(&netlist_of(vec![ComponentKind::Follower]));
+        assert!(!est.feasible());
+        assert!(est.violations[0].contains("area"));
+
+        let e = Estimator::default();
+        let est = e.estimate_netlist(&netlist_of(vec![ComponentKind::Follower]));
+        assert!(est.feasible());
+    }
+
+    #[test]
+    fn min_area_below_any_component() {
+        let e = Estimator::default();
+        let min = e.min_opamp_area();
+        let est = e.estimate_component(&ComponentKind::Follower);
+        assert!(est.area_m2 >= min);
+    }
+
+    #[test]
+    fn gain_chain_vs_single_amp_tradeoff() {
+        // The functional transformation trades area for bandwidth: the
+        // two-stage chain needs lower per-stage UGF but two op amps.
+        let e = Estimator::new(PerformanceConstraints {
+            bandwidth_hz: 100e3,
+            signal_peak_v: 1.0,
+            max_power_w: f64::INFINITY,
+            max_area_m2: f64::INFINITY,
+        });
+        let single = e.estimate_component(&ComponentKind::NonInvertingAmp { gain: 100.0 });
+        let chain = e.estimate_component(&ComponentKind::AmplifierChain {
+            stage_gains: vec![10.0, 10.0],
+        });
+        // Each chain op amp is sized for gain 10, not 100.
+        assert!(chain.ugf_hz < single.ugf_hz);
+    }
+
+    #[test]
+    fn component_selection_binds_topologies() {
+        let e = Estimator::default();
+        // Detectors bind to the cheap OTA.
+        let zcd = e.estimate_component(&ComponentKind::ZeroCrossDetector {
+            level: 0.0,
+            hysteresis: 0.01,
+        });
+        assert_eq!(zcd.topology, Some(OpAmpTopology::Ota));
+        // Precision amplifiers bind to the two-stage Miller (the
+        // paper's §6 choice).
+        let amp = e.estimate_component(&ComponentKind::SummingAmp { weights: vec![4.0, 2.0] });
+        assert_eq!(amp.topology, Some(OpAmpTopology::TwoStage));
+        // Op-amp-free components bind to nothing.
+        let sw = e.estimate_component(&ComponentKind::AnalogSwitch);
+        assert_eq!(sw.topology, None);
+    }
+
+    #[test]
+    fn display_reports_feasibility() {
+        let e = Estimator::default();
+        let est = e.estimate_netlist(&netlist_of(vec![ComponentKind::Follower]));
+        assert!(est.to_string().contains("µm²"));
+    }
+}

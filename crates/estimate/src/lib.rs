@@ -1,0 +1,47 @@
+//! # vase-estimate
+//!
+//! Analog performance estimation for the VASE synthesis flow — the
+//! reproduction of the paper's Analog Performance Estimation Tools
+//! (Dhanwada et al. \[17\], Nunez & Vemuri \[4\]).
+//!
+//! Given an op-amp-level netlist from the architecture generator, the
+//! [`Estimator`] instantiates each component's op amps as two-stage
+//! Miller-compensated CMOS designs ([`opamp::size_opamp`]) in the MOSIS
+//! SCN 2.0 µm process ([`ProcessParams::mosis_2um`]), and reports
+//! area, power, UGF, and slew rate. The branch-and-bound mapper calls
+//! it to rank complete mappings and uses [`Estimator::min_opamp_area`]
+//! (`MinArea`) in its bounding rule.
+//!
+//! # Examples
+//!
+//! ```
+//! use vase_estimate::{Estimator, PerformanceConstraints};
+//! use vase_library::{ComponentKind, Netlist, PlacedComponent, SourceRef};
+//!
+//! let estimator = Estimator::new(PerformanceConstraints::audio());
+//! let mut netlist = Netlist::new();
+//! netlist.push(PlacedComponent {
+//!     kind: ComponentKind::SummingAmp { weights: vec![0.5, 0.25] },
+//!     inputs: vec![
+//!         SourceRef::External("line".into()),
+//!         SourceRef::External("local".into()),
+//!     ],
+//!     implements: vec![],
+//!     label: "block1".into(),
+//! });
+//! let estimate = estimator.estimate_netlist(&netlist);
+//! assert!(estimate.feasible());
+//! assert!(estimate.area_m2 > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod estimator;
+pub mod opamp;
+pub mod process;
+pub mod topology;
+
+pub use estimator::{ComponentEstimate, Estimator, NetlistEstimate, PerformanceConstraints};
+pub use opamp::{min_opamp_area, size_opamp, OpAmpDesign, OpAmpSpec};
+pub use process::ProcessParams;
+pub use topology::{min_topology_area, select_topology, size_with_topology, OpAmpTopology, TopologyChoice};

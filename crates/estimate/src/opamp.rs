@@ -1,0 +1,213 @@
+//! Two-stage Miller-compensated op-amp sizing from square-law
+//! equations.
+//!
+//! This reproduces the role of the paper's Analog Performance
+//! Estimation Tools (\[17\]\[4\]): given the specs a mapped component
+//! imposes (unity-gain frequency, slew rate, load), size the
+//! transistors of a standard two-stage CMOS op amp and report the
+//! resulting area, power, and achieved performance. The procedure is
+//! the classical textbook one (Allen & Holberg / Hershenson's
+//! square-law formulation):
+//!
+//! 1. `Cc ≥ 0.22·CL` for ~60° phase margin;
+//! 2. tail current `I5 = SR·Cc`;
+//! 3. input pair `gm1 = 2π·UGF·Cc`, `(W/L)₁ = gm1²/(kpₙ·I5)`;
+//! 4. second stage `gm6 = 2.2·gm1·(CL/Cc)`, `I6` from the output-swing
+//!    overdrive, `(W/L)₆ = gm6²/(2·kpₚ·I6)` — sized for the required
+//!    output stage drive;
+//! 5. DC gain from `gm·ro` products.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::process::ProcessParams;
+
+/// Specs an op amp must meet inside a mapped component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpAmpSpec {
+    /// Required unity-gain frequency, Hz.
+    pub ugf_hz: f64,
+    /// Required slew rate, V/s.
+    pub slew_v_per_s: f64,
+    /// Capacitive load, F.
+    pub load_f: f64,
+    /// Required DC open-loop gain (V/V).
+    pub dc_gain: f64,
+}
+
+impl OpAmpSpec {
+    /// A relaxed baseline spec (audio-band amplifier driving an
+    /// on-chip load).
+    pub fn relaxed() -> Self {
+        OpAmpSpec { ugf_hz: 1e6, slew_v_per_s: 1e6, load_f: 5e-12, dc_gain: 5_000.0 }
+    }
+}
+
+impl Default for OpAmpSpec {
+    fn default() -> Self {
+        OpAmpSpec::relaxed()
+    }
+}
+
+/// A sized two-stage op amp and its predicted performance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpAmpDesign {
+    /// Compensation capacitor, F.
+    pub cc_f: f64,
+    /// First-stage tail current, A.
+    pub i_tail_a: f64,
+    /// Second-stage current, A.
+    pub i_out_a: f64,
+    /// Input-pair W/L (unitless ratio).
+    pub wl_input: f64,
+    /// Output-device W/L.
+    pub wl_output: f64,
+    /// Total active + passive area, m².
+    pub area_m2: f64,
+    /// Static power, W.
+    pub power_w: f64,
+    /// Achieved unity-gain frequency, Hz.
+    pub ugf_hz: f64,
+    /// Achieved slew rate, V/s.
+    pub slew_v_per_s: f64,
+    /// Achieved DC gain, V/V.
+    pub dc_gain: f64,
+}
+
+impl fmt::Display for OpAmpDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "2-stage op amp: {:.0} µm², {:.2} mW, UGF {:.2} MHz, SR {:.2} V/µs, A0 {:.0}",
+            self.area_m2 * 1e12,
+            self.power_w * 1e3,
+            self.ugf_hz / 1e6,
+            self.slew_v_per_s / 1e6,
+            self.dc_gain
+        )
+    }
+}
+
+/// Size a two-stage op amp for `spec` in `process`.
+///
+/// The returned design always meets or exceeds the requested UGF and
+/// slew rate (devices are clamped at minimum dimensions, so very
+/// relaxed specs still cost the minimum-area op amp — the basis for
+/// the mapper's `MinArea` bounding rule).
+pub fn size_opamp(spec: &OpAmpSpec, process: &ProcessParams) -> OpAmpDesign {
+    // 1. Compensation capacitor for phase margin.
+    let cc = (0.22 * spec.load_f).max(0.5e-12);
+    // 2. Slew rate fixes the tail current.
+    let i_tail = (spec.slew_v_per_s * cc).max(1e-6);
+    // 3. Input pair from the UGF requirement.
+    let gm1 = 2.0 * std::f64::consts::PI * spec.ugf_hz * cc;
+    let wl_input = (gm1 * gm1 / (process.kp_n * i_tail)).max(1.0);
+    // 4. Second stage: gm6 places the output pole beyond 2.2×UGF.
+    let gm6 = 2.2 * gm1 * (spec.load_f / cc).max(1.0);
+    let i_out = (gm6 * 0.25 / 2.0).max(2.0 * i_tail); // V_ov6 ≈ 0.25 V
+    let wl_output = (gm6 * gm6 / (2.0 * process.kp_p * i_out)).max(2.0);
+
+    // Achieved performance.
+    let ugf = gm1 / (2.0 * std::f64::consts::PI * cc);
+    let slew = i_tail / cc;
+    // DC gain: gm1/(go2+go4) · gm6/(go6+go7), go = λ·I.
+    let go1 = process.lambda * i_tail / 2.0;
+    let go2 = process.lambda * i_out;
+    let a1 = gm1 / (2.0 * go1);
+    let a2 = gm6 / (2.0 * go2);
+    let dc_gain = a1 * a2;
+
+    // Area: 8 transistors (input pair, mirrors, tail, output, bias)
+    // with W = WL·L_min, plus the compensation capacitor, plus a 40%
+    // routing/well overhead.
+    let l = process.l_min;
+    let device_area = |wl: f64| (wl * l).max(process.w_min) * l;
+    let active = 2.0 * device_area(wl_input)
+        + 3.0 * device_area(wl_input * 0.5)
+        + device_area(wl_output)
+        + 2.0 * device_area(wl_output * 0.3);
+    let cap_area = cc / process.cap_density;
+    let area = 1.4 * (active + cap_area);
+    let power = (i_tail + i_out) * process.vdd;
+
+    OpAmpDesign {
+        cc_f: cc,
+        i_tail_a: i_tail,
+        i_out_a: i_out,
+        wl_input,
+        wl_output,
+        area_m2: area,
+        power_w: power,
+        ugf_hz: ugf,
+        slew_v_per_s: slew,
+        dc_gain,
+    }
+}
+
+/// The area of a minimum-size op amp (all devices at minimum
+/// dimensions) — the `MinArea` constant of the paper's bounding rule.
+pub fn min_opamp_area(process: &ProcessParams) -> f64 {
+    size_opamp(
+        &OpAmpSpec { ugf_hz: 1e4, slew_v_per_s: 1e4, load_f: 1e-12, dc_gain: 100.0 },
+        process,
+    )
+    .area_m2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ProcessParams {
+        ProcessParams::mosis_2um()
+    }
+
+    #[test]
+    fn sizing_meets_spec() {
+        let spec = OpAmpSpec { ugf_hz: 5e6, slew_v_per_s: 5e6, load_f: 10e-12, dc_gain: 1000.0 };
+        let d = size_opamp(&spec, &p());
+        assert!(d.ugf_hz >= spec.ugf_hz * 0.99, "UGF {}", d.ugf_hz);
+        assert!(d.slew_v_per_s >= spec.slew_v_per_s * 0.99);
+        assert!(d.dc_gain > 100.0);
+        assert!(d.area_m2 > 0.0 && d.power_w > 0.0);
+    }
+
+    #[test]
+    fn tighter_specs_cost_more_area_and_power() {
+        let relaxed = size_opamp(&OpAmpSpec::relaxed(), &p());
+        let tight = size_opamp(
+            &OpAmpSpec { ugf_hz: 50e6, slew_v_per_s: 50e6, load_f: 20e-12, dc_gain: 10_000.0 },
+            &p(),
+        );
+        assert!(tight.area_m2 > relaxed.area_m2);
+        assert!(tight.power_w > relaxed.power_w);
+    }
+
+    #[test]
+    fn min_area_is_a_lower_bound() {
+        let min = min_opamp_area(&p());
+        for ugf in [1e5, 1e6, 1e7] {
+            let d = size_opamp(
+                &OpAmpSpec { ugf_hz: ugf, slew_v_per_s: 1e6, load_f: 5e-12, dc_gain: 1000.0 },
+                &p(),
+            );
+            assert!(d.area_m2 >= min * 0.999, "area {} < min {min}", d.area_m2);
+        }
+    }
+
+    #[test]
+    fn min_area_is_micrometers_scale() {
+        // A 2 µm op amp is thousands of µm², not mm² and not nm².
+        let min_um2 = min_opamp_area(&p()) * 1e12;
+        assert!(min_um2 > 100.0 && min_um2 < 1e6, "min area {min_um2} µm²");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let d = size_opamp(&OpAmpSpec::relaxed(), &p());
+        let s = d.to_string();
+        assert!(s.contains("µm²"));
+        assert!(s.contains("MHz"));
+    }
+}

@@ -1,0 +1,80 @@
+//! CMOS process parameters.
+//!
+//! Defaults model the MOSIS SCN 2.0 µm process the paper's experiment
+//! used (Section 6: "we selected 2-stage operational amplifiers, in the
+//! MOSIS SCN-2.0um technology"), with first-order square-law device
+//! parameters taken from standard textbook tables for that node.
+
+use serde::{Deserialize, Serialize};
+
+/// First-order (square-law) CMOS process parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessParams {
+    /// NMOS transconductance parameter µₙC_ox, A/V².
+    pub kp_n: f64,
+    /// PMOS transconductance parameter µₚC_ox, A/V².
+    pub kp_p: f64,
+    /// NMOS threshold voltage, V.
+    pub vth_n: f64,
+    /// PMOS threshold voltage magnitude, V.
+    pub vth_p: f64,
+    /// Channel-length modulation, 1/V.
+    pub lambda: f64,
+    /// Minimum channel length, m.
+    pub l_min: f64,
+    /// Minimum channel width, m.
+    pub w_min: f64,
+    /// Supply voltage (single rail magnitude; the design uses ±vdd/2), V.
+    pub vdd: f64,
+    /// Gate-oxide capacitance per area, F/m².
+    pub cox: f64,
+    /// Poly-poly capacitor density, F/m² (for compensation caps).
+    pub cap_density: f64,
+    /// Poly sheet resistance, Ω/□ (for resistor area).
+    pub r_sheet: f64,
+}
+
+impl ProcessParams {
+    /// The MOSIS SCN 2.0 µm parameters used throughout the
+    /// reproduction.
+    pub fn mosis_2um() -> Self {
+        ProcessParams {
+            kp_n: 50e-6,
+            kp_p: 17e-6,
+            vth_n: 0.8,
+            vth_p: 0.9,
+            lambda: 0.05,
+            l_min: 2e-6,
+            w_min: 3e-6,
+            vdd: 5.0,
+            cox: 0.9e-3,       // ~0.9 fF/µm²
+            cap_density: 0.5e-3,
+            r_sheet: 25.0,
+        }
+    }
+}
+
+impl Default for ProcessParams {
+    fn default() -> Self {
+        ProcessParams::mosis_2um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mosis_2um_is_physical() {
+        let p = ProcessParams::mosis_2um();
+        assert!(p.kp_n > p.kp_p, "electrons are faster than holes");
+        assert!(p.vth_n > 0.0 && p.vth_p > 0.0);
+        assert!(p.l_min == 2e-6);
+        assert!(p.vdd == 5.0);
+    }
+
+    #[test]
+    fn default_is_mosis() {
+        assert_eq!(ProcessParams::default(), ProcessParams::mosis_2um());
+    }
+}

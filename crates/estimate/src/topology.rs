@@ -1,0 +1,220 @@
+//! Op-amp topology selection — the *Component Selection* step of the
+//! VASE flow (paper Fig. 1): after architecture synthesis decides the
+//! op-amp-level structure, each op amp is bound to a concrete circuit
+//! topology from the cell library. This module models the three
+//! classic CMOS choices and picks, per spec, the cheapest feasible
+//! one.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::opamp::{size_opamp, OpAmpDesign, OpAmpSpec};
+use crate::process::ProcessParams;
+
+/// Available op-amp circuit topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpAmpTopology {
+    /// Single-stage OTA: smallest and cheapest, limited DC gain
+    /// (~100 V/V) — comparators, buffers, S/H front ends.
+    Ota,
+    /// Two-stage Miller op amp: high gain, rail-to-rail output — the
+    /// paper's choice for the receiver experiment.
+    TwoStage,
+    /// Folded cascode: the fastest (highest UGF per compensation
+    /// capacitance) at a larger area/power footprint.
+    FoldedCascode,
+}
+
+impl OpAmpTopology {
+    /// All topologies in ascending typical-area order.
+    pub fn all() -> [OpAmpTopology; 3] {
+        [OpAmpTopology::Ota, OpAmpTopology::TwoStage, OpAmpTopology::FoldedCascode]
+    }
+
+    /// The maximum DC gain the topology can realistically provide.
+    pub fn max_dc_gain(&self) -> f64 {
+        match self {
+            OpAmpTopology::Ota => 100.0,
+            OpAmpTopology::TwoStage => 20_000.0,
+            OpAmpTopology::FoldedCascode => 5_000.0,
+        }
+    }
+
+    /// The maximum unity-gain frequency achievable in the process, Hz.
+    pub fn max_ugf_hz(&self) -> f64 {
+        match self {
+            OpAmpTopology::Ota => 20e6,
+            OpAmpTopology::TwoStage => 50e6,
+            OpAmpTopology::FoldedCascode => 150e6,
+        }
+    }
+
+    /// Area multiplier relative to the two-stage baseline.
+    fn area_factor(&self) -> f64 {
+        match self {
+            OpAmpTopology::Ota => 0.45,
+            OpAmpTopology::TwoStage => 1.0,
+            OpAmpTopology::FoldedCascode => 1.6,
+        }
+    }
+
+    /// Power multiplier relative to the two-stage baseline.
+    fn power_factor(&self) -> f64 {
+        match self {
+            OpAmpTopology::Ota => 0.5,
+            OpAmpTopology::TwoStage => 1.0,
+            OpAmpTopology::FoldedCascode => 1.3,
+        }
+    }
+}
+
+impl fmt::Display for OpAmpTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OpAmpTopology::Ota => "single-stage OTA",
+            OpAmpTopology::TwoStage => "2-stage Miller",
+            OpAmpTopology::FoldedCascode => "folded cascode",
+        })
+    }
+}
+
+/// The outcome of binding one op amp to a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyChoice {
+    /// The selected topology.
+    pub topology: OpAmpTopology,
+    /// The sized design under that topology.
+    pub design: OpAmpDesign,
+}
+
+/// Size `spec` under a specific topology.
+///
+/// Returns `None` when the topology cannot meet the spec (gain or UGF
+/// ceiling exceeded).
+pub fn size_with_topology(
+    spec: &OpAmpSpec,
+    topology: OpAmpTopology,
+    process: &ProcessParams,
+) -> Option<OpAmpDesign> {
+    if spec.dc_gain > topology.max_dc_gain() || spec.ugf_hz > topology.max_ugf_hz() {
+        return None;
+    }
+    let mut design = size_opamp(spec, process);
+    design.area_m2 *= topology.area_factor();
+    design.power_w *= topology.power_factor();
+    design.dc_gain = design.dc_gain.min(topology.max_dc_gain());
+    Some(design)
+}
+
+/// Select the minimum-area topology that meets `spec` — the component
+/// selection policy.
+///
+/// Returns `None` if no topology in the library can meet the spec (the
+/// mapper treats this as an infeasible solution point).
+pub fn select_topology(spec: &OpAmpSpec, process: &ProcessParams) -> Option<TopologyChoice> {
+    OpAmpTopology::all()
+        .into_iter()
+        .filter_map(|t| size_with_topology(spec, t, process).map(|design| TopologyChoice {
+            topology: t,
+            design,
+        }))
+        .min_by(|a, b| {
+            a.design
+                .area_m2
+                .partial_cmp(&b.design.area_m2)
+                .expect("areas are finite")
+        })
+}
+
+/// The smallest op-amp area any library topology can realize — the
+/// sound `MinArea` constant for the mapper's bounding rule once
+/// component selection may bind cheap OTAs.
+pub fn min_topology_area(process: &ProcessParams) -> f64 {
+    let spec = OpAmpSpec { ugf_hz: 1e4, slew_v_per_s: 1e4, load_f: 1e-12, dc_gain: 50.0 };
+    OpAmpTopology::all()
+        .into_iter()
+        .filter_map(|t| size_with_topology(&spec, t, process))
+        .map(|d| d.area_m2)
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn process() -> ProcessParams {
+        ProcessParams::mosis_2um()
+    }
+
+    #[test]
+    fn low_gain_buffer_picks_the_ota() {
+        // A comparator/buffer spec: low gain, modest speed.
+        let spec = OpAmpSpec { ugf_hz: 1e6, slew_v_per_s: 1e6, load_f: 2e-12, dc_gain: 50.0 };
+        let choice = select_topology(&spec, &process()).expect("feasible");
+        assert_eq!(choice.topology, OpAmpTopology::Ota);
+    }
+
+    #[test]
+    fn precision_amp_needs_the_two_stage() {
+        // High closed-loop accuracy → high open-loop gain.
+        let spec =
+            OpAmpSpec { ugf_hz: 2e6, slew_v_per_s: 2e6, load_f: 5e-12, dc_gain: 10_000.0 };
+        let choice = select_topology(&spec, &process()).expect("feasible");
+        assert_eq!(choice.topology, OpAmpTopology::TwoStage);
+    }
+
+    #[test]
+    fn very_fast_amp_needs_the_folded_cascode() {
+        let spec = OpAmpSpec { ugf_hz: 100e6, slew_v_per_s: 50e6, load_f: 2e-12, dc_gain: 500.0 };
+        let choice = select_topology(&spec, &process()).expect("feasible");
+        assert_eq!(choice.topology, OpAmpTopology::FoldedCascode);
+    }
+
+    #[test]
+    fn impossible_spec_is_rejected() {
+        let spec =
+            OpAmpSpec { ugf_hz: 1e9, slew_v_per_s: 1e9, load_f: 10e-12, dc_gain: 100_000.0 };
+        assert!(select_topology(&spec, &process()).is_none());
+    }
+
+    #[test]
+    fn selection_is_minimum_area_among_feasible() {
+        // A spec all three can meet → the OTA (smallest) wins.
+        let spec = OpAmpSpec { ugf_hz: 1e5, slew_v_per_s: 1e5, load_f: 1e-12, dc_gain: 50.0 };
+        let choice = select_topology(&spec, &process()).expect("feasible");
+        let two_stage = size_with_topology(&spec, OpAmpTopology::TwoStage, &process())
+            .expect("feasible");
+        assert!(choice.design.area_m2 <= two_stage.area_m2);
+        assert_eq!(choice.topology, OpAmpTopology::Ota);
+    }
+
+    #[test]
+    fn gain_is_capped_at_topology_ceiling() {
+        let spec = OpAmpSpec { ugf_hz: 1e6, slew_v_per_s: 1e6, load_f: 2e-12, dc_gain: 50.0 };
+        let d = size_with_topology(&spec, OpAmpTopology::Ota, &process()).expect("feasible");
+        assert!(d.dc_gain <= OpAmpTopology::Ota.max_dc_gain());
+    }
+
+    #[test]
+    fn min_topology_area_is_global_lower_bound() {
+        let p = process();
+        let min = min_topology_area(&p);
+        for t in OpAmpTopology::all() {
+            for ugf in [1e5, 1e6, 1e7] {
+                let spec =
+                    OpAmpSpec { ugf_hz: ugf, slew_v_per_s: 1e6, load_f: 5e-12, dc_gain: 50.0 };
+                if let Some(d) = size_with_topology(&spec, t, &p) {
+                    assert!(d.area_m2 >= min * 0.999, "{t}: {} < {min}", d.area_m2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(OpAmpTopology::TwoStage.to_string(), "2-stage Miller");
+        assert_eq!(OpAmpTopology::Ota.to_string(), "single-stage OTA");
+        assert_eq!(OpAmpTopology::FoldedCascode.to_string(), "folded cascode");
+    }
+}

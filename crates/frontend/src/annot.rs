@@ -1,0 +1,269 @@
+//! VASS synthesis annotations (paper Section 3).
+//!
+//! As opposed to plain VHDL-AMS, the VASS subset includes a declarative
+//! mechanism for describing properties of quantities and ports: signal
+//! kind (voltage/current), value and frequency ranges, terminal
+//! impedances, output limiting, and drive requirements. The paper's
+//! receiver example annotates its output as
+//! `IS voltage limited` / `drives 270 Ohm at 285 mV peak`, from which
+//! the synthesis tool infers a dedicated output stage (`block 4` in
+//! paper Fig. 7) that is *not* derivable from the behavioral code.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Electrical kind of an analog signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalKind {
+    /// The signal is a voltage (across quantity).
+    Voltage,
+    /// The signal is a current (through quantity).
+    Current,
+}
+
+impl fmt::Display for SignalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SignalKind::Voltage => "voltage",
+            SignalKind::Current => "current",
+        })
+    }
+}
+
+/// A single VASS annotation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Annotation {
+    /// `voltage` / `current` — the electrical kind of the quantity.
+    Kind(SignalKind),
+    /// `limited [at <level>]` — the output saturates at the given level
+    /// (volts). When no level is given the synthesized output stage's
+    /// native limit applies.
+    Limited {
+        /// Clipping level in volts, if specified.
+        level: Option<f64>,
+    },
+    /// `drives <load> at <peak> peak` — the port must drive `load` ohms
+    /// at `peak` volts peak amplitude; forces a low-output-impedance
+    /// output stage.
+    Drives {
+        /// Load resistance in ohms.
+        load_ohms: f64,
+        /// Peak amplitude in volts.
+        peak_volts: f64,
+    },
+    /// `range <lo> to <hi>` — the value range of the quantity (volts or
+    /// amperes according to its kind).
+    ValueRange {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// `frequency <lo> to <hi>` — the frequency band of interest in Hz.
+    FrequencyRange {
+        /// Lower band edge in Hz.
+        lo: f64,
+        /// Upper band edge in Hz.
+        hi: f64,
+    },
+    /// `impedance <ohms>` — the impedance at a terminal port.
+    Impedance {
+        /// Impedance magnitude in ohms.
+        ohms: f64,
+    },
+}
+
+impl Annotation {
+    /// Whether two annotations describe the same property (and thus
+    /// conflict when both are present with different payloads).
+    pub fn same_property(&self, other: &Annotation) -> bool {
+        use Annotation::*;
+        matches!(
+            (self, other),
+            (Kind(_), Kind(_))
+                | (Limited { .. }, Limited { .. })
+                | (Drives { .. }, Drives { .. })
+                | (ValueRange { .. }, ValueRange { .. })
+                | (FrequencyRange { .. }, FrequencyRange { .. })
+                | (Impedance { .. }, Impedance { .. })
+        )
+    }
+}
+
+impl fmt::Display for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Annotation::Kind(k) => write!(f, "{k}"),
+            Annotation::Limited { level: Some(v) } => write!(f, "limited at {v} V"),
+            Annotation::Limited { level: None } => f.write_str("limited"),
+            Annotation::Drives { load_ohms, peak_volts } => {
+                write!(f, "drives {load_ohms} ohm at {peak_volts} V peak")
+            }
+            Annotation::ValueRange { lo, hi } => write!(f, "range {lo} to {hi}"),
+            Annotation::FrequencyRange { lo, hi } => write!(f, "frequency {lo} Hz to {hi} Hz"),
+            Annotation::Impedance { ohms } => write!(f, "impedance {ohms} ohm"),
+        }
+    }
+}
+
+/// A convenient view over the annotation list of one object.
+///
+/// # Examples
+///
+/// ```
+/// use vase_frontend::annot::{Annotation, AnnotationSet, SignalKind};
+///
+/// let set = AnnotationSet::new(&[
+///     Annotation::Kind(SignalKind::Voltage),
+///     Annotation::Limited { level: Some(1.5) },
+/// ]);
+/// assert_eq!(set.kind(), Some(SignalKind::Voltage));
+/// assert!(set.is_limited());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AnnotationSet<'a> {
+    annotations: &'a [Annotation],
+}
+
+impl<'a> AnnotationSet<'a> {
+    /// Wrap an annotation slice.
+    pub fn new(annotations: &'a [Annotation]) -> Self {
+        AnnotationSet { annotations }
+    }
+
+    /// The declared signal kind, if any.
+    pub fn kind(&self) -> Option<SignalKind> {
+        self.annotations.iter().find_map(|a| match a {
+            Annotation::Kind(k) => Some(*k),
+            _ => None,
+        })
+    }
+
+    /// Whether the object is annotated `limited`.
+    pub fn is_limited(&self) -> bool {
+        self.annotations.iter().any(|a| matches!(a, Annotation::Limited { .. }))
+    }
+
+    /// The limiting level in volts, if one was given.
+    pub fn limit_level(&self) -> Option<f64> {
+        self.annotations.iter().find_map(|a| match a {
+            Annotation::Limited { level } => *level,
+            _ => None,
+        })
+    }
+
+    /// The drive requirement `(load_ohms, peak_volts)`, if any.
+    pub fn drive(&self) -> Option<(f64, f64)> {
+        self.annotations.iter().find_map(|a| match a {
+            Annotation::Drives { load_ohms, peak_volts } => Some((*load_ohms, *peak_volts)),
+            _ => None,
+        })
+    }
+
+    /// The declared value range, if any.
+    pub fn value_range(&self) -> Option<(f64, f64)> {
+        self.annotations.iter().find_map(|a| match a {
+            Annotation::ValueRange { lo, hi } => Some((*lo, *hi)),
+            _ => None,
+        })
+    }
+
+    /// The declared frequency band, if any.
+    pub fn frequency_range(&self) -> Option<(f64, f64)> {
+        self.annotations.iter().find_map(|a| match a {
+            Annotation::FrequencyRange { lo, hi } => Some((*lo, *hi)),
+            _ => None,
+        })
+    }
+
+    /// The declared terminal impedance, if any.
+    pub fn impedance(&self) -> Option<f64> {
+        self.annotations.iter().find_map(|a| match a {
+            Annotation::Impedance { ohms } => Some(*ohms),
+            _ => None,
+        })
+    }
+
+    /// Whether an output stage must be synthesized for this object
+    /// (paper §6: `block 4` of the receiver was inferred from the
+    /// limiting/drive attributes, not from VHDL-AMS code).
+    pub fn needs_output_stage(&self) -> bool {
+        self.is_limited() || self.drive().is_some()
+    }
+
+    /// Find the first pair of conflicting annotations (same property,
+    /// different payload).
+    pub fn find_conflict(&self) -> Option<(&'a Annotation, &'a Annotation)> {
+        for (i, a) in self.annotations.iter().enumerate() {
+            for b in &self.annotations[i + 1..] {
+                if a.same_property(b) && a != b {
+                    return Some((a, b));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_find_their_annotation() {
+        let anns = [
+            Annotation::Kind(SignalKind::Current),
+            Annotation::Drives { load_ohms: 270.0, peak_volts: 0.285 },
+            Annotation::ValueRange { lo: -1.0, hi: 1.0 },
+            Annotation::FrequencyRange { lo: 300.0, hi: 3400.0 },
+            Annotation::Impedance { ohms: 1e4 },
+        ];
+        let set = AnnotationSet::new(&anns);
+        assert_eq!(set.kind(), Some(SignalKind::Current));
+        assert_eq!(set.drive(), Some((270.0, 0.285)));
+        assert_eq!(set.value_range(), Some((-1.0, 1.0)));
+        assert_eq!(set.frequency_range(), Some((300.0, 3400.0)));
+        assert_eq!(set.impedance(), Some(1e4));
+        assert!(!set.is_limited());
+        assert!(set.needs_output_stage());
+    }
+
+    #[test]
+    fn empty_set_has_nothing() {
+        let set = AnnotationSet::new(&[]);
+        assert_eq!(set.kind(), None);
+        assert!(!set.needs_output_stage());
+        assert!(set.find_conflict().is_none());
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let anns =
+            [Annotation::Kind(SignalKind::Voltage), Annotation::Kind(SignalKind::Current)];
+        let set = AnnotationSet::new(&anns);
+        assert!(set.find_conflict().is_some());
+
+        let anns = [Annotation::Kind(SignalKind::Voltage), Annotation::Kind(SignalKind::Voltage)];
+        assert!(AnnotationSet::new(&anns).find_conflict().is_none());
+    }
+
+    #[test]
+    fn limited_without_level() {
+        let anns = [Annotation::Limited { level: None }];
+        let set = AnnotationSet::new(&anns);
+        assert!(set.is_limited());
+        assert_eq!(set.limit_level(), None);
+        assert!(set.needs_output_stage());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Annotation::Kind(SignalKind::Voltage).to_string(), "voltage");
+        assert_eq!(
+            Annotation::Drives { load_ohms: 270.0, peak_volts: 0.285 }.to_string(),
+            "drives 270 ohm at 0.285 V peak"
+        );
+        assert_eq!(Annotation::Limited { level: Some(1.5) }.to_string(), "limited at 1.5 V");
+    }
+}

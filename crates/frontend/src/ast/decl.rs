@@ -1,0 +1,173 @@
+//! Declaration nodes: objects (quantities, signals, constants,
+//! variables, terminals), types, and functions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::annot::Annotation;
+use crate::ast::expr::{Expr, Ident};
+use crate::ast::stmt::SeqStmt;
+use crate::span::Span;
+
+/// The object class of a declared name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectClass {
+    /// Continuous-time analog value (VHDL-AMS `quantity`).
+    Quantity,
+    /// Event-driven value (VHDL `signal`).
+    Signal,
+    /// Structural connection point (VHDL-AMS `terminal`).
+    Terminal,
+    /// Compile-time constant.
+    Constant,
+    /// Process/procedural-local variable.
+    Variable,
+}
+
+impl fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ObjectClass::Quantity => "quantity",
+            ObjectClass::Signal => "signal",
+            ObjectClass::Terminal => "terminal",
+            ObjectClass::Constant => "constant",
+            ObjectClass::Variable => "variable",
+        })
+    }
+}
+
+/// Type names supported by VASS. Quantities must be of *nature type*
+/// (real, or composites of reals); signals are of nature or bit-vector
+/// types (paper §3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TypeName {
+    /// `real` — the nature scalar type.
+    Real,
+    /// `integer` (constants and loop variables only).
+    Integer,
+    /// `boolean`.
+    Boolean,
+    /// `bit`.
+    Bit,
+    /// `bit_vector(lo to|downto hi)`.
+    BitVector {
+        /// Left bound.
+        lo: i64,
+        /// Right bound.
+        hi: i64,
+    },
+    /// `real_vector(lo to hi)` — a composite of nature type.
+    RealVector {
+        /// Left bound.
+        lo: i64,
+        /// Right bound.
+        hi: i64,
+    },
+    /// `electrical` — the predefined nature for terminals.
+    Electrical,
+}
+
+impl TypeName {
+    /// Whether this is a nature type (legal for quantities).
+    pub fn is_nature(&self) -> bool {
+        matches!(self, TypeName::Real | TypeName::RealVector { .. })
+    }
+
+    /// Whether this is a discrete type (legal for signals).
+    pub fn is_discrete(&self) -> bool {
+        matches!(
+            self,
+            TypeName::Bit | TypeName::Boolean | TypeName::BitVector { .. } | TypeName::Integer
+        )
+    }
+
+    /// Number of scalar elements (1 for scalars).
+    pub fn element_count(&self) -> usize {
+        match self {
+            TypeName::BitVector { lo, hi } | TypeName::RealVector { lo, hi } => {
+                (hi - lo).unsigned_abs() as usize + 1
+            }
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for TypeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeName::Real => f.write_str("real"),
+            TypeName::Integer => f.write_str("integer"),
+            TypeName::Boolean => f.write_str("boolean"),
+            TypeName::Bit => f.write_str("bit"),
+            TypeName::BitVector { lo, hi } => write!(f, "bit_vector({lo} to {hi})"),
+            TypeName::RealVector { lo, hi } => write!(f, "real_vector({lo} to {hi})"),
+            TypeName::Electrical => f.write_str("electrical"),
+        }
+    }
+}
+
+/// A (possibly multi-name) object declaration, e.g.
+/// `quantity rvar : real;` or `constant r1c : real := 220.0;`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectDecl {
+    /// Object class.
+    pub class: ObjectClass,
+    /// Declared names (one declaration can introduce several).
+    pub names: Vec<Ident>,
+    /// Declared type.
+    pub ty: TypeName,
+    /// Initial value, if any.
+    pub init: Option<Expr>,
+    /// VASS annotations attached to the declaration.
+    pub annotations: Vec<Annotation>,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// A function declaration with a body (VASS functions are pure and are
+/// inlined by the compiler).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionDecl {
+    /// Function name.
+    pub name: Ident,
+    /// Parameters: `(name, type)` pairs.
+    pub params: Vec<(Ident, TypeName)>,
+    /// Return type.
+    pub ret: TypeName,
+    /// Local variable declarations.
+    pub decls: Vec<ObjectDecl>,
+    /// Body statements (must end in a `return`).
+    pub body: Vec<SeqStmt>,
+    /// Declaration span.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nature_and_discrete_classification() {
+        assert!(TypeName::Real.is_nature());
+        assert!(TypeName::RealVector { lo: 0, hi: 3 }.is_nature());
+        assert!(!TypeName::Bit.is_nature());
+        assert!(TypeName::Bit.is_discrete());
+        assert!(TypeName::BitVector { lo: 0, hi: 7 }.is_discrete());
+        assert!(!TypeName::Real.is_discrete());
+    }
+
+    #[test]
+    fn element_count() {
+        assert_eq!(TypeName::Real.element_count(), 1);
+        assert_eq!(TypeName::BitVector { lo: 0, hi: 7 }.element_count(), 8);
+        assert_eq!(TypeName::BitVector { lo: 7, hi: 0 }.element_count(), 8);
+        assert_eq!(TypeName::RealVector { lo: 1, hi: 3 }.element_count(), 3);
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(TypeName::BitVector { lo: 0, hi: 3 }.to_string(), "bit_vector(0 to 3)");
+        assert_eq!(TypeName::Electrical.to_string(), "electrical");
+    }
+}

@@ -1,0 +1,17 @@
+//! Abstract syntax tree for the VASS subset.
+//!
+//! The tree mirrors the structure of Section 3 of the paper: design
+//! files hold entities and architectures; architectures hold
+//! declarations plus concurrent statements (simultaneous statements,
+//! procedurals, processes); sequential statements appear inside
+//! procedurals, processes, and function bodies.
+
+pub mod decl;
+pub mod design;
+pub mod expr;
+pub mod stmt;
+
+pub use decl::{FunctionDecl, ObjectClass, ObjectDecl, TypeName};
+pub use design::{Architecture, DesignFile, DesignUnit, Entity, Mode, PortClass, PortDecl};
+pub use expr::{AttributeKind, BinaryOp, Expr, ExprKind, Ident, UnaryOp};
+pub use stmt::{CaseArm, Choice, ConcurrentStmt, Direction, SeqStmt, SeqStmtKind};

@@ -1,0 +1,188 @@
+//! Error types for the VASS frontend.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::span::Span;
+
+/// An error produced while lexing VASS source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Where the problem occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl StdError for LexError {}
+
+/// An error produced while parsing a VASS token stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Where the problem occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl StdError for ParseError {}
+
+/// The category of a semantic-analysis diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemaErrorKind {
+    /// A name was referenced but never declared.
+    UndeclaredName,
+    /// A name was declared more than once in the same scope.
+    DuplicateDeclaration,
+    /// An expression or assignment has mismatched types.
+    TypeMismatch,
+    /// A VASS synthesizability restriction was violated (Section 3 of
+    /// the paper), e.g. a `wait` statement, a `for` loop without static
+    /// bounds, or a *signal* read after being assigned in a process.
+    RestrictionViolation,
+    /// An annotation is malformed or contradictory.
+    BadAnnotation,
+    /// A reference to something that exists but is used in an
+    /// inappropriate role (e.g. assigning to an `in` port).
+    InvalidUse,
+}
+
+impl fmt::Display for SemaErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SemaErrorKind::UndeclaredName => "undeclared name",
+            SemaErrorKind::DuplicateDeclaration => "duplicate declaration",
+            SemaErrorKind::TypeMismatch => "type mismatch",
+            SemaErrorKind::RestrictionViolation => "VASS restriction violation",
+            SemaErrorKind::BadAnnotation => "bad annotation",
+            SemaErrorKind::InvalidUse => "invalid use",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A semantic-analysis diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemaError {
+    /// Which class of problem this is.
+    pub kind: SemaErrorKind,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Where the problem occurred.
+    pub span: Span,
+}
+
+impl SemaError {
+    /// Construct a diagnostic.
+    pub fn new(kind: SemaErrorKind, message: impl Into<String>, span: Span) -> Self {
+        SemaError { kind, message: message.into(), span }
+    }
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.kind, self.span, self.message)
+    }
+}
+
+impl StdError for SemaError {}
+
+/// Any error the frontend can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendError {
+    /// Lexing failed.
+    Lex(LexError),
+    /// Parsing failed.
+    Parse(ParseError),
+    /// Semantic analysis failed; all collected diagnostics are included.
+    Sema(Vec<SemaError>),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Lex(e) => write!(f, "{e}"),
+            FrontendError::Parse(e) => write!(f, "{e}"),
+            FrontendError::Sema(errs) => {
+                write!(f, "{} semantic error(s)", errs.len())?;
+                for e in errs {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl StdError for FrontendError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            FrontendError::Lex(e) => Some(e),
+            FrontendError::Parse(e) => Some(e),
+            FrontendError::Sema(errs) => errs.first().map(|e| e as _),
+        }
+    }
+}
+
+impl From<LexError> for FrontendError {
+    fn from(e: LexError) -> Self {
+        FrontendError::Lex(e)
+    }
+}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_and_message() {
+        let e = LexError { message: "bad char".into(), span: Span::default() };
+        let s = e.to_string();
+        assert!(s.contains("1:1"));
+        assert!(s.contains("bad char"));
+    }
+
+    #[test]
+    fn sema_error_display() {
+        let e = SemaError::new(SemaErrorKind::TypeMismatch, "real vs bit", Span::default());
+        assert!(e.to_string().contains("type mismatch"));
+        assert!(e.to_string().contains("real vs bit"));
+    }
+
+    #[test]
+    fn frontend_error_aggregates_sema() {
+        let errs = vec![
+            SemaError::new(SemaErrorKind::UndeclaredName, "no `x`", Span::default()),
+            SemaError::new(SemaErrorKind::InvalidUse, "assign to in port", Span::default()),
+        ];
+        let e = FrontendError::Sema(errs);
+        let s = e.to_string();
+        assert!(s.contains("2 semantic error(s)"));
+        assert!(s.contains("no `x`"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrontendError>();
+    }
+}

@@ -1,0 +1,448 @@
+//! A hand-written lexer for the VASS subset of VHDL-AMS.
+//!
+//! VHDL is case-insensitive: identifiers are normalized to lower case.
+//! Comments (`-- ...` to end of line) and whitespace are skipped.
+//! Physical-unit suffixes (e.g. `285 mV`, `270 ohm`) are *not* handled
+//! here; the parser treats them as a literal followed by an identifier
+//! in annotation positions.
+
+use crate::error::LexError;
+use crate::span::{Position, Span};
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Lex a full VASS source into a token vector terminated by
+/// [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated string literals, malformed
+/// numeric literals, or characters outside the VASS alphabet.
+///
+/// # Examples
+///
+/// ```
+/// use vase_frontend::lexer::lex;
+/// use vase_frontend::token::TokenKind;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tokens = lex("earph == line * 2.0;")?;
+/// assert!(matches!(tokens[1].kind, TokenKind::EqEq));
+/// # Ok(())
+/// # }
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pos: Position,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer { chars: source.chars().peekable(), pos: Position::start(), tokens: Vec::new() }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.chars.next()?;
+        self.pos.advance(ch);
+        Some(ch)
+    }
+
+    fn error(&self, message: impl Into<String>, start: Position) -> LexError {
+        LexError { message: message.into(), span: Span::new(start, self.pos) }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: Position) {
+        self.tokens.push(Token::new(kind, Span::new(start, self.pos)));
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        while let Some(ch) = self.peek() {
+            let start = self.pos;
+            match ch {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '-' => {
+                    self.bump();
+                    if self.peek() == Some('-') {
+                        // comment to end of line
+                        while let Some(c) = self.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    } else {
+                        self.push(TokenKind::Minus, start);
+                    }
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => self.lex_word(start),
+                c if c.is_ascii_digit() => self.lex_number(start)?,
+                '\'' => self.lex_tick_or_char(start)?,
+                '"' => self.lex_string(start)?,
+                _ => self.lex_symbol(start)?,
+            }
+        }
+        let here = self.pos;
+        self.push(TokenKind::Eof, here);
+        Ok(self.tokens)
+    }
+
+    fn lex_word(&mut self, start: Position) {
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                word.push(c.to_ascii_lowercase());
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let kind = match Keyword::from_str_lower(&word) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(word),
+        };
+        self.push(kind, start);
+    }
+
+    fn lex_number(&mut self, start: Position) -> Result<(), LexError> {
+        let mut text = String::new();
+        let mut is_real = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                if c != '_' {
+                    text.push(c);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: a dot followed by a digit (a bare `.` would be
+        // a record selector, which VASS does not lex after numbers).
+        if self.peek() == Some('.') {
+            is_real = true;
+            text.push('.');
+            self.bump();
+            let mut saw_digit = false;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() || c == '_' {
+                    if c != '_' {
+                        text.push(c);
+                        saw_digit = true;
+                    }
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if !saw_digit {
+                return Err(self.error("expected digits after decimal point", start));
+            }
+        }
+        // Exponent
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            // Only treat as an exponent if followed by digits or sign+digits;
+            // otherwise it's the start of an identifier (e.g. `2 eV`... not
+            // valid VASS, but be conservative).
+            let mut clone = self.chars.clone();
+            clone.next();
+            let next = clone.peek().copied();
+            let next2 = {
+                let mut c2 = clone.clone();
+                c2.next();
+                c2.peek().copied()
+            };
+            let exp_ok = match next {
+                Some(d) if d.is_ascii_digit() => true,
+                Some('+') | Some('-') => matches!(next2, Some(d) if d.is_ascii_digit()),
+                _ => false,
+            };
+            if exp_ok {
+                is_real = true;
+                text.push('e');
+                self.bump();
+                if matches!(self.peek(), Some('+') | Some('-')) {
+                    text.push(self.bump().expect("peeked"));
+                }
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        let kind = if is_real {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.error(format!("malformed real literal `{text}`"), start))?;
+            TokenKind::RealLiteral(v)
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.error(format!("malformed integer literal `{text}`"), start))?;
+            TokenKind::IntLiteral(v)
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+
+    /// A `'` is either a character literal (`'0'`) or the attribute tick
+    /// (`line'above(...)`). It is a character literal exactly when the
+    /// character after the next one is another `'`.
+    fn lex_tick_or_char(&mut self, start: Position) -> Result<(), LexError> {
+        self.bump(); // consume '
+        let mut clone = self.chars.clone();
+        let c1 = clone.next();
+        let c2 = clone.next();
+        if let (Some(c), Some('\'')) = (c1, c2) {
+            self.bump();
+            self.bump();
+            self.push(TokenKind::CharLiteral(c), start);
+        } else {
+            self.push(TokenKind::Tick, start);
+        }
+        Ok(())
+    }
+
+    fn lex_string(&mut self, start: Position) -> Result<(), LexError> {
+        self.bump(); // consume opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    // VHDL escapes a quote by doubling it.
+                    if self.peek() == Some('"') {
+                        self.bump();
+                        s.push('"');
+                    } else {
+                        break;
+                    }
+                }
+                Some('\n') | None => {
+                    return Err(self.error("unterminated string literal", start));
+                }
+                Some(c) => s.push(c),
+            }
+        }
+        self.push(TokenKind::StringLiteral(s), start);
+        Ok(())
+    }
+
+    fn lex_symbol(&mut self, start: Position) -> Result<(), LexError> {
+        let ch = self.bump().expect("caller peeked");
+        let kind = match ch {
+            '=' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    TokenKind::EqEq
+                }
+                Some('>') => {
+                    self.bump();
+                    TokenKind::Arrow
+                }
+                _ => TokenKind::Eq,
+            },
+            ':' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::ColonEq
+                } else {
+                    TokenKind::Colon
+                }
+            }
+            '<' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::LtEq
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::GtEq
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '/' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Slash
+                }
+            }
+            '*' => {
+                if self.peek() == Some('*') {
+                    self.bump();
+                    TokenKind::StarStar
+                } else {
+                    TokenKind::Star
+                }
+            }
+            '+' => TokenKind::Plus,
+            '&' => TokenKind::Ampersand,
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            ';' => TokenKind::Semicolon,
+            ',' => TokenKind::Comma,
+            '.' => TokenKind::Dot,
+            '|' => TokenKind::Bar,
+            other => {
+                return Err(self.error(format!("unexpected character `{other}`"), start));
+            }
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lex ok").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_case_insensitively() {
+        let ks = kinds("ENTITY Entity entity");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Entity),
+                TokenKind::Keyword(Keyword::Entity),
+                TokenKind::Keyword(Keyword::Entity),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_are_lowercased() {
+        let ks = kinds("Earph RVar");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("earph".into()),
+                TokenKind::Ident("rvar".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::IntLiteral(42));
+        assert_eq!(kinds("3.5")[0], TokenKind::RealLiteral(3.5));
+        assert_eq!(kinds("1e3")[0], TokenKind::RealLiteral(1000.0));
+        assert_eq!(kinds("2.5e-2")[0], TokenKind::RealLiteral(0.025));
+        assert_eq!(kinds("1_000")[0], TokenKind::IntLiteral(1000));
+    }
+
+    #[test]
+    fn number_then_ident_unit() {
+        // `285 mV` lexes as int + ident; the parser scales it.
+        let ks = kinds("285 mv");
+        assert_eq!(ks[0], TokenKind::IntLiteral(285));
+        assert_eq!(ks[1], TokenKind::Ident("mv".into()));
+    }
+
+    #[test]
+    fn rejects_trailing_dot_without_digits() {
+        assert!(lex("3.").is_err());
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        let ks = kinds("== := <= => /= >= ** = < > + - * / & | . , ; : ( )");
+        assert_eq!(
+            &ks[..9],
+            &[
+                TokenKind::EqEq,
+                TokenKind::ColonEq,
+                TokenKind::LtEq,
+                TokenKind::Arrow,
+                TokenKind::NotEq,
+                TokenKind::GtEq,
+                TokenKind::StarStar,
+                TokenKind::Eq,
+                TokenKind::Lt,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a -- this is a comment == *\nb");
+        assert_eq!(
+            ks,
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        let ks = kinds("a - b");
+        assert_eq!(ks[1], TokenKind::Minus);
+    }
+
+    #[test]
+    fn char_literal_vs_attribute_tick() {
+        let ks = kinds("c1 <= '1'");
+        assert_eq!(ks[2], TokenKind::CharLiteral('1'));
+        // `above` is not reserved; it lexes as an identifier attribute name.
+        let ks = kinds("line'above(vth)");
+        assert_eq!(ks[1], TokenKind::Tick);
+        assert_eq!(ks[2], TokenKind::Ident("above".into()));
+    }
+
+    #[test]
+    fn string_literal_with_escaped_quote() {
+        let ks = kinds(r#""01""10""#);
+        assert_eq!(ks[0], TokenKind::StringLiteral("01\"10".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\ndef\"").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = lex("a # b").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = lex("a\nbb\n  ccc").expect("lex ok");
+        assert_eq!(toks[0].span.start.line, 1);
+        assert_eq!(toks[1].span.start.line, 2);
+        assert_eq!(toks[2].span.start.line, 3);
+        assert_eq!(toks[2].span.start.column, 3);
+    }
+
+    #[test]
+    fn eof_token_is_last() {
+        let toks = lex("").expect("lex ok");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokenKind::Eof);
+    }
+}

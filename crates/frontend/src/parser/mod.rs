@@ -1,0 +1,235 @@
+//! Recursive-descent parser for the VASS subset.
+//!
+//! Entry points: [`parse_design_file`] for a full source file, plus
+//! narrower helpers used by tests ([`parse_expression`]).
+//!
+//! The grammar follows Section 3 of the paper. Annotations are written
+//! inline with the declarative `is` syntax:
+//!
+//! ```text
+//! quantity earph : out real is voltage limited at 1.5 v drives 270 ohm at 285 mv peak;
+//! ```
+
+mod decl;
+mod expr;
+mod stmt;
+
+use crate::ast::{DesignFile, DesignUnit, Expr, Ident};
+use crate::error::ParseError;
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Parse a complete VASS design file.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let source = "
+///   entity amp is
+///     port (quantity vin : in real is voltage;
+///           quantity vout : out real is voltage);
+///   end entity;
+///   architecture behav of amp is
+///   begin
+///     vout == 10.0 * vin;
+///   end architecture;
+/// ";
+/// let design = vase_frontend::parser::parse_design_file(source)?;
+/// assert!(design.entity("amp").is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_design_file(source: &str) -> Result<DesignFile, ParseError> {
+    let tokens = lex(source)
+        .map_err(|e| ParseError { message: e.message, span: e.span })?;
+    let mut parser = Parser::new(tokens);
+    let mut file = DesignFile::new();
+    while !parser.at_eof() {
+        file.units.push(parser.parse_design_unit()?);
+    }
+    Ok(file)
+}
+
+/// Parse a standalone expression (primarily for tests and tooling).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered, or an
+/// error if input remains after the expression.
+pub fn parse_expression(source: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(source)
+        .map_err(|e| ParseError { message: e.message, span: e.span })?;
+    let mut parser = Parser::new(tokens);
+    let expr = parser.parse_expr()?;
+    if !parser.at_eof() {
+        return Err(parser.error_here("unexpected input after expression"));
+    }
+    Ok(expr)
+}
+
+/// The parser state: a token buffer and a cursor.
+pub(crate) struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub(crate) fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    pub(crate) fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    pub(crate) fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    /// Look ahead `n` tokens (0 = current).
+    pub(crate) fn peek_nth(&self, n: usize) -> &Token {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)]
+    }
+
+    pub(crate) fn at_eof(&self) -> bool {
+        matches!(self.peek_kind(), TokenKind::Eof)
+    }
+
+    pub(crate) fn advance(&mut self) -> Token {
+        let tok = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    pub(crate) fn here(&self) -> Span {
+        self.peek().span
+    }
+
+    pub(crate) fn error_here(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), span: self.here() }
+    }
+
+    /// Consume the current token if it matches `kind` exactly.
+    pub(crate) fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume the current token if it is keyword `kw`.
+    pub(crate) fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if self.peek().is_keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn check_keyword(&self, kw: Keyword) -> bool {
+        self.peek().is_keyword(kw)
+    }
+
+    /// Require the current token to match `kind`.
+    pub(crate) fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        if self.peek_kind() == kind {
+            Ok(self.advance())
+        } else {
+            Err(self.error_here(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek_kind().describe()
+            )))
+        }
+    }
+
+    /// Require the current token to be keyword `kw`.
+    pub(crate) fn expect_keyword(&mut self, kw: Keyword) -> Result<Token, ParseError> {
+        if self.peek().is_keyword(kw) {
+            Ok(self.advance())
+        } else {
+            Err(self.error_here(format!(
+                "expected keyword `{kw}`, found {}",
+                self.peek_kind().describe()
+            )))
+        }
+    }
+
+    /// Require an identifier and return it.
+    pub(crate) fn expect_ident(&mut self) -> Result<Ident, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.here();
+                self.advance();
+                Ok(Ident::new(name, span))
+            }
+            other => Err(self.error_here(format!(
+                "expected identifier, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    /// If an identifier matching `name` follows (e.g. a trailing entity
+    /// name after `end entity`), consume it.
+    pub(crate) fn eat_trailing_name(&mut self) {
+        if matches!(self.peek_kind(), TokenKind::Ident(_)) {
+            self.advance();
+        }
+    }
+
+    fn parse_design_unit(&mut self) -> Result<DesignUnit, ParseError> {
+        if self.check_keyword(Keyword::Entity) {
+            Ok(DesignUnit::Entity(self.parse_entity()?))
+        } else if self.check_keyword(Keyword::Architecture) {
+            Ok(DesignUnit::Architecture(self.parse_architecture()?))
+        } else if self.check_keyword(Keyword::Package) {
+            Ok(DesignUnit::Package(self.parse_package()?))
+        } else {
+            Err(self.error_here(format!(
+                "expected `entity`, `architecture`, or `package`, found {}",
+                self.peek_kind().describe()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_entity_architecture() {
+        let design = parse_design_file(
+            "entity e is end entity;
+             architecture a of e is begin end architecture;",
+        )
+        .expect("parses");
+        assert_eq!(design.units.len(), 2);
+        assert!(design.entity("e").is_some());
+        assert!(design.architecture_of("e").is_some());
+    }
+
+    #[test]
+    fn reports_error_on_garbage() {
+        let err = parse_design_file("banana").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn expression_entry_point_rejects_trailing_tokens() {
+        assert!(parse_expression("1 + 2").is_ok());
+        assert!(parse_expression("1 + 2 extra").is_err());
+    }
+}

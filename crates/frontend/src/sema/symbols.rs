@@ -1,0 +1,218 @@
+//! Symbol table for one architecture scope.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::annot::Annotation;
+use crate::ast::{Mode, ObjectClass, TypeName};
+use crate::error::{SemaError, SemaErrorKind};
+use crate::span::Span;
+
+/// A declared object: port, architecture-level object, or local
+/// variable hoisted from a process/procedural.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Symbol {
+    /// Lower-cased name.
+    pub name: String,
+    /// Object class.
+    pub class: ObjectClass,
+    /// Declared type.
+    pub ty: TypeName,
+    /// Port mode, if the symbol is a port.
+    pub mode: Option<Mode>,
+    /// Annotations attached at the declaration (plus any merged in from
+    /// annotation statements).
+    pub annotations: Vec<Annotation>,
+    /// Whether this symbol is an entity port.
+    pub is_port: bool,
+    /// Constant value, if the symbol is a constant with a foldable
+    /// initializer.
+    pub const_value: Option<f64>,
+    /// Declaration site.
+    pub span: Span,
+}
+
+impl Symbol {
+    /// Whether the symbol is a continuous-time quantity (including
+    /// quantity ports).
+    pub fn is_quantity(&self) -> bool {
+        self.class == ObjectClass::Quantity
+    }
+
+    /// Whether the symbol is an event-driven *signal*.
+    pub fn is_signal(&self) -> bool {
+        self.class == ObjectClass::Signal
+    }
+
+    /// Whether the symbol may be read in the current design (an `out`
+    /// port may not be read in strict VHDL; VASS allows reading `out`
+    /// quantities since the signal-flow graph makes the tap explicit).
+    pub fn is_readable(&self) -> bool {
+        true
+    }
+
+    /// Whether the symbol may be assigned/driven.
+    pub fn is_writable(&self) -> bool {
+        !matches!(self.mode, Some(Mode::In))
+    }
+}
+
+/// A scope's symbols, preserving declaration order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SymbolTable {
+    map: HashMap<String, Symbol>,
+    order: Vec<String>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Insert a symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SemaErrorKind::DuplicateDeclaration`] diagnostic if a
+    /// symbol with the same name already exists.
+    pub fn insert(&mut self, symbol: Symbol) -> Result<(), SemaError> {
+        if let Some(prev) = self.map.get(&symbol.name) {
+            return Err(SemaError::new(
+                SemaErrorKind::DuplicateDeclaration,
+                format!(
+                    "`{}` is already declared as a {} at {}",
+                    symbol.name, prev.class, prev.span
+                ),
+                symbol.span,
+            ));
+        }
+        self.order.push(symbol.name.clone());
+        self.map.insert(symbol.name.clone(), symbol);
+        Ok(())
+    }
+
+    /// Look up a symbol by (lower-cased) name.
+    pub fn get(&self, name: &str) -> Option<&Symbol> {
+        self.map.get(name)
+    }
+
+    /// Mutable lookup (used to merge annotation statements).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Symbol> {
+        self.map.get_mut(name)
+    }
+
+    /// Whether `name` is declared.
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Iterate over symbols in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Symbol> {
+        self.order.iter().filter_map(move |n| self.map.get(n))
+    }
+
+    /// Iterate over quantities (including quantity ports).
+    pub fn quantities(&self) -> impl Iterator<Item = &Symbol> {
+        self.iter().filter(|s| s.is_quantity())
+    }
+
+    /// Iterate over *signals* (including signal ports).
+    pub fn signals(&self) -> impl Iterator<Item = &Symbol> {
+        self.iter().filter(|s| s.is_signal())
+    }
+
+    /// Iterate over entity ports.
+    pub fn ports(&self) -> impl Iterator<Item = &Symbol> {
+        self.iter().filter(|s| s.is_port)
+    }
+}
+
+impl<'a> IntoIterator for &'a SymbolTable {
+    type Item = &'a Symbol;
+    type IntoIter = Box<dyn Iterator<Item = &'a Symbol> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(name: &str, class: ObjectClass) -> Symbol {
+        Symbol {
+            name: name.into(),
+            class,
+            ty: TypeName::Real,
+            mode: None,
+            annotations: vec![],
+            is_port: false,
+            const_value: None,
+            span: Span::synthetic(),
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = SymbolTable::new();
+        t.insert(sym("a", ObjectClass::Quantity)).expect("insert a");
+        t.insert(sym("b", ObjectClass::Signal)).expect("insert b");
+        assert!(t.contains("a"));
+        assert_eq!(t.get("b").map(|s| s.class), Some(ObjectClass::Signal));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut t = SymbolTable::new();
+        t.insert(sym("a", ObjectClass::Quantity)).expect("insert");
+        let err = t.insert(sym("a", ObjectClass::Signal)).unwrap_err();
+        assert_eq!(err.kind, SemaErrorKind::DuplicateDeclaration);
+    }
+
+    #[test]
+    fn iteration_preserves_declaration_order() {
+        let mut t = SymbolTable::new();
+        for n in ["z", "m", "a"] {
+            t.insert(sym(n, ObjectClass::Quantity)).expect("insert");
+        }
+        let names: Vec<_> = t.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["z", "m", "a"]);
+    }
+
+    #[test]
+    fn class_filters() {
+        let mut t = SymbolTable::new();
+        t.insert(sym("q", ObjectClass::Quantity)).expect("insert");
+        t.insert(sym("s", ObjectClass::Signal)).expect("insert");
+        t.insert(sym("c", ObjectClass::Constant)).expect("insert");
+        assert_eq!(t.quantities().count(), 1);
+        assert_eq!(t.signals().count(), 1);
+        assert_eq!(t.ports().count(), 0);
+    }
+
+    #[test]
+    fn writability_respects_port_mode() {
+        let mut s = sym("x", ObjectClass::Quantity);
+        s.mode = Some(Mode::In);
+        assert!(!s.is_writable());
+        s.mode = Some(Mode::Out);
+        assert!(s.is_writable());
+        s.mode = None;
+        assert!(s.is_writable());
+    }
+}

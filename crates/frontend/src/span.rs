@@ -1,0 +1,208 @@
+//! Source positions and spans used throughout the frontend for error
+//! reporting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A position in a source text, expressed as 1-based line and column
+/// numbers plus a 0-based byte offset.
+///
+/// # Examples
+///
+/// ```
+/// use vase_frontend::span::Position;
+///
+/// let start = Position::start();
+/// assert_eq!(start.line, 1);
+/// assert_eq!(start.column, 1);
+/// assert_eq!(start.offset, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub column: u32,
+    /// 0-based byte offset into the source.
+    pub offset: u32,
+}
+
+impl Position {
+    /// The position of the first character of a source text.
+    pub fn start() -> Self {
+        Position { line: 1, column: 1, offset: 0 }
+    }
+
+    /// Advance the position over `ch`, updating line/column/offset.
+    pub(crate) fn advance(&mut self, ch: char) {
+        self.offset += ch.len_utf8() as u32;
+        if ch == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+    }
+}
+
+impl Default for Position {
+    fn default() -> Self {
+        Position::start()
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// A contiguous region of source text, from `start` (inclusive) to `end`
+/// (exclusive).
+///
+/// # Examples
+///
+/// ```
+/// use vase_frontend::span::{Position, Span};
+///
+/// let span = Span::point(Position::start());
+/// assert_eq!(span.start, span.end);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// First position covered by the span.
+    pub start: Position,
+    /// One past the last position covered by the span.
+    pub end: Position,
+}
+
+impl Span {
+    /// Create a span covering `start..end`.
+    pub fn new(start: Position, end: Position) -> Self {
+        Span { start, end }
+    }
+
+    /// Create a zero-width span at `pos`.
+    pub fn point(pos: Position) -> Self {
+        Span { start: pos, end: pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: if self.start.offset <= other.start.offset { self.start } else { other.start },
+            end: if self.end.offset >= other.end.offset { self.end } else { other.end },
+        }
+    }
+
+    /// A synthetic span for nodes created by the compiler rather than
+    /// parsed from source (e.g. unrolled loop bodies).
+    pub fn synthetic() -> Span {
+        Span::point(Position { line: 0, column: 0, offset: 0 })
+    }
+
+    /// Whether this span was created by [`Span::synthetic`].
+    pub fn is_synthetic(&self) -> bool {
+        self.start.line == 0
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::point(Position::start())
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "<synthetic>")
+        } else {
+            write!(f, "{}", self.start)
+        }
+    }
+}
+
+/// A value paired with the source span it was parsed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Spanned<T> {
+    /// The wrapped value.
+    pub node: T,
+    /// Where the value appeared in the source.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pair `node` with `span`.
+    pub fn new(node: T, span: Span) -> Self {
+        Spanned { node, span }
+    }
+
+    /// Map the wrapped value, keeping the span.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Spanned<U> {
+        Spanned { node: f(self.node), span: self.span }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Spanned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_advances_over_newline() {
+        let mut pos = Position::start();
+        pos.advance('a');
+        assert_eq!((pos.line, pos.column, pos.offset), (1, 2, 1));
+        pos.advance('\n');
+        assert_eq!((pos.line, pos.column, pos.offset), (2, 1, 2));
+        pos.advance('x');
+        assert_eq!((pos.line, pos.column, pos.offset), (2, 2, 3));
+    }
+
+    #[test]
+    fn position_advance_counts_utf8_bytes() {
+        let mut pos = Position::start();
+        pos.advance('µ');
+        assert_eq!(pos.offset, 2);
+        assert_eq!(pos.column, 2);
+    }
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(
+            Position { line: 1, column: 1, offset: 0 },
+            Position { line: 1, column: 5, offset: 4 },
+        );
+        let b = Span::new(
+            Position { line: 2, column: 1, offset: 10 },
+            Position { line: 2, column: 3, offset: 12 },
+        );
+        let m = a.merge(b);
+        assert_eq!(m.start, a.start);
+        assert_eq!(m.end, b.end);
+        // merge is symmetric
+        assert_eq!(b.merge(a), m);
+    }
+
+    #[test]
+    fn synthetic_span_displays_marker() {
+        assert_eq!(Span::synthetic().to_string(), "<synthetic>");
+        assert!(Span::synthetic().is_synthetic());
+        assert!(!Span::default().is_synthetic());
+    }
+
+    #[test]
+    fn spanned_map_keeps_span() {
+        let s = Spanned::new(21, Span::default());
+        let t = s.map(|v| v * 2);
+        assert_eq!(t.node, 42);
+        assert_eq!(t.span, s.span);
+    }
+}

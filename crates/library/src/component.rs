@@ -1,0 +1,358 @@
+//! Op-amp-level analog components.
+//!
+//! This is the reproduction of the CMOS analog cell library the paper
+//! maps onto (Campisi \[7\], MOSIS SCN-2.0 µm): every component is a
+//! small circuit built around zero or more operational amplifiers plus
+//! passives. The mapper's cost function counts op amps (the paper's
+//! sequencing rule approximates ASIC area by op-amp count); the
+//! `vase-estimate` crate refines that into transistor-level area and
+//! performance numbers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of library component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// Inverting amplifier (`-Rf/Ri` gain), one op amp.
+    InvertingAmp {
+        /// Closed-loop gain (negative).
+        gain: f64,
+    },
+    /// Non-inverting amplifier (`1 + Rf/Ri` gain ≥ 1), one op amp.
+    NonInvertingAmp {
+        /// Closed-loop gain (≥ 1).
+        gain: f64,
+    },
+    /// Unity-gain follower/buffer (interfacing stage), one op amp.
+    Follower,
+    /// Cascade of two amplifiers realizing one gain with wider
+    /// bandwidth (the paper's functional transformation: "an op amp is
+    /// replaced by a chain of two op amps with lower gains").
+    AmplifierChain {
+        /// Per-stage gains (product = overall gain).
+        stage_gains: Vec<f64>,
+    },
+    /// Weighted summing amplifier, one op amp.
+    SummingAmp {
+        /// Per-input weights.
+        weights: Vec<f64>,
+    },
+    /// Difference amplifier `k (a - b)`, one op amp.
+    DifferenceAmp {
+        /// Output gain.
+        gain: f64,
+    },
+    /// Amplifier whose gain is selected among fixed settings by a
+    /// control signal (switched feedback network) — how the paper's
+    /// receiver realizes `(...) * rvar` with `rvar` chosen by `c1`.
+    SwitchedGainAmp {
+        /// Selectable gains (control selects the index).
+        gains: Vec<f64>,
+    },
+    /// (Summing) integrator, one op amp: `y' = Σ w_i u_i`.
+    Integrator {
+        /// Per-input gains (1/RC each).
+        weights: Vec<f64>,
+        /// Initial condition.
+        initial: f64,
+    },
+    /// Differentiator, one op amp.
+    Differentiator {
+        /// Gain (RC).
+        gain: f64,
+    },
+    /// Logarithmic amplifier, one op amp + junction.
+    LogAmp,
+    /// Anti-log (exponential) amplifier, one op amp + junction.
+    AntilogAmp,
+    /// Four-quadrant analog multiplier (log-antilog core).
+    Multiplier,
+    /// Analog divider (log-antilog core).
+    Divider,
+    /// Precision rectifier (absolute value), two op amps.
+    PrecisionRectifier,
+    /// Comparator against a fixed threshold, one (open-loop) op amp.
+    Comparator {
+        /// Threshold in volts.
+        threshold: f64,
+    },
+    /// Zero-cross detector with a small hysteresis margin (the paper's
+    /// receiver control element).
+    ZeroCrossDetector {
+        /// Detection level.
+        level: f64,
+        /// Hysteresis margin.
+        hysteresis: f64,
+    },
+    /// Schmitt trigger with thresholds `[low, high]`.
+    SchmittTrigger {
+        /// Lower threshold.
+        low: f64,
+        /// Upper threshold.
+        high: f64,
+    },
+    /// Sample-and-hold circuit.
+    SampleHold,
+    /// Transmission-gate analog switch (no op amp).
+    AnalogSwitch,
+    /// Analog multiplexer (switch bank), no op amp.
+    AnalogMux {
+        /// Number of data inputs.
+        inputs: usize,
+    },
+    /// Analog-to-digital converter.
+    Adc {
+        /// Resolution in bits.
+        bits: u32,
+    },
+    /// Digital/control logic gate (negligible analog area).
+    LogicGate,
+    /// One-signal memory cell (S/H-based latch).
+    MemoryCell,
+    /// Voltage reference (resistor divider + optional buffer).
+    VoltageRef {
+        /// Reference level in volts.
+        level: f64,
+    },
+    /// Hard limiter (op amp + clamping diodes).
+    Limiter {
+        /// Clipping level in volts.
+        level: f64,
+    },
+    /// Power output stage: low output impedance, drives `load_ohms` at
+    /// `peak_volts`, optional limiting (the paper's inferred `block 4`).
+    OutputStage {
+        /// Load resistance.
+        load_ohms: f64,
+        /// Peak output amplitude.
+        peak_volts: f64,
+        /// Clipping level, if limiting.
+        limit: Option<f64>,
+    },
+}
+
+impl ComponentKind {
+    /// Number of operational amplifiers in the component's circuit —
+    /// the quantity the mapper's sequencing rule uses as its area
+    /// proxy.
+    pub fn opamp_count(&self) -> usize {
+        use ComponentKind::*;
+        match self {
+            InvertingAmp { .. } | NonInvertingAmp { .. } | Follower | SummingAmp { .. }
+            | DifferenceAmp { .. } | SwitchedGainAmp { .. } | Integrator { .. }
+            | Differentiator { .. } | LogAmp | AntilogAmp | Comparator { .. }
+            | ZeroCrossDetector { .. } | SchmittTrigger { .. } | SampleHold | MemoryCell
+            | Limiter { .. } | OutputStage { .. } => 1,
+            AmplifierChain { stage_gains } => stage_gains.len(),
+            PrecisionRectifier => 2,
+            Multiplier | Divider => 4,
+            Adc { .. } => 3,
+            AnalogSwitch | AnalogMux { .. } | LogicGate | VoltageRef { .. } => 0,
+        }
+    }
+
+    /// Approximate passive-device count (resistors + capacitors), used
+    /// as a secondary area term by the estimator.
+    pub fn passive_count(&self) -> usize {
+        use ComponentKind::*;
+        match self {
+            Follower => 0,
+            InvertingAmp { .. } | NonInvertingAmp { .. } | DifferenceAmp { .. } => 2,
+            AmplifierChain { stage_gains } => 2 * stage_gains.len(),
+            SummingAmp { weights } => weights.len() + 1,
+            SwitchedGainAmp { gains } => gains.len() + 1,
+            Integrator { weights, .. } => weights.len() + 1,
+            Differentiator { .. } => 2,
+            LogAmp | AntilogAmp => 2,
+            Multiplier | Divider => 8,
+            PrecisionRectifier => 4,
+            Comparator { .. } => 1,
+            ZeroCrossDetector { .. } | SchmittTrigger { .. } => 3,
+            SampleHold | MemoryCell => 2,
+            AnalogSwitch => 0,
+            AnalogMux { inputs } => *inputs,
+            Adc { bits } => 2 * (*bits as usize),
+            LogicGate => 0,
+            VoltageRef { .. } => 2,
+            Limiter { .. } => 3,
+            OutputStage { .. } => 3,
+        }
+    }
+
+    /// Number of analog data inputs the component accepts.
+    pub fn data_inputs(&self) -> usize {
+        use ComponentKind::*;
+        match self {
+            VoltageRef { .. } => 0,
+            SummingAmp { weights } => weights.len(),
+            Integrator { weights, .. } => weights.len(),
+            AnalogMux { inputs } => *inputs,
+            DifferenceAmp { .. } | Multiplier | Divider => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether the component takes a control input (select/sample).
+    pub fn has_control_input(&self) -> bool {
+        matches!(
+            self,
+            ComponentKind::SwitchedGainAmp { .. }
+                | ComponentKind::SampleHold
+                | ComponentKind::AnalogSwitch
+                | ComponentKind::AnalogMux { .. }
+                | ComponentKind::Adc { .. }
+                | ComponentKind::MemoryCell
+        )
+    }
+
+    /// The category name used in the paper's Table 1 "Synthesis
+    /// Results" column (e.g. `amplif.`, `integ.`, `zero-cross det.`).
+    pub fn report_category(&self) -> &'static str {
+        use ComponentKind::*;
+        match self {
+            InvertingAmp { .. } | NonInvertingAmp { .. } | SummingAmp { .. }
+            | SwitchedGainAmp { .. } | AmplifierChain { .. } => "amplif.",
+            Follower => "follower",
+            DifferenceAmp { .. } => "diff. amplif.",
+            Integrator { .. } => "integ.",
+            Differentiator { .. } => "differentiator",
+            LogAmp => "log.amplif.",
+            AntilogAmp => "anti-log.amplif.",
+            Multiplier => "multiplier",
+            Divider => "divider",
+            PrecisionRectifier => "rectifier",
+            Comparator { .. } | ZeroCrossDetector { .. } => "zero-cross det.",
+            SchmittTrigger { .. } => "Schmitt trigger",
+            SampleHold => "S/H",
+            AnalogSwitch => "switch",
+            AnalogMux { .. } => "MUX",
+            Adc { .. } => "ADC",
+            LogicGate => "logic",
+            MemoryCell => "memory",
+            VoltageRef { .. } => "ref",
+            Limiter { .. } => "limiter",
+            OutputStage { .. } => "output stage",
+        }
+    }
+
+    /// The magnitude of the largest closed-loop *voltage* gain the
+    /// component must realize (drives op-amp UGF requirements in the
+    /// estimator). Integrator/differentiator weights are time constants
+    /// (1/RC), not voltage gains, so they do not contribute here.
+    pub fn max_gain(&self) -> f64 {
+        use ComponentKind::*;
+        match self {
+            InvertingAmp { gain } | NonInvertingAmp { gain } => gain.abs(),
+            AmplifierChain { stage_gains } => {
+                stage_gains.iter().fold(1.0_f64, |m, g| m.max(g.abs()))
+            }
+            SummingAmp { weights } => weights.iter().fold(1.0_f64, |m, w| m.max(w.abs())),
+            SwitchedGainAmp { gains } => gains.iter().fold(1.0_f64, |m, g| m.max(g.abs())),
+            DifferenceAmp { gain } => gain.abs(),
+            _ => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ComponentKind::*;
+        match self {
+            InvertingAmp { gain } => write!(f, "inv-amp(gain={gain})"),
+            NonInvertingAmp { gain } => write!(f, "noninv-amp(gain={gain})"),
+            Follower => f.write_str("follower"),
+            AmplifierChain { stage_gains } => write!(f, "amp-chain{stage_gains:?}"),
+            SummingAmp { weights } => write!(f, "sum-amp{weights:?}"),
+            DifferenceAmp { gain } => write!(f, "diff-amp(gain={gain})"),
+            SwitchedGainAmp { gains } => write!(f, "switched-gain-amp{gains:?}"),
+            Integrator { weights, .. } => write!(f, "integrator{weights:?}"),
+            Differentiator { gain } => write!(f, "differentiator(gain={gain})"),
+            LogAmp => f.write_str("log-amp"),
+            AntilogAmp => f.write_str("antilog-amp"),
+            Multiplier => f.write_str("multiplier"),
+            Divider => f.write_str("divider"),
+            PrecisionRectifier => f.write_str("precision-rectifier"),
+            Comparator { threshold } => write!(f, "comparator(>{threshold})"),
+            ZeroCrossDetector { level, hysteresis } => {
+                write!(f, "zero-cross(level={level}, hyst={hysteresis})")
+            }
+            SchmittTrigger { low, high } => write!(f, "schmitt({low},{high})"),
+            SampleHold => f.write_str("sample-hold"),
+            AnalogSwitch => f.write_str("switch"),
+            AnalogMux { inputs } => write!(f, "mux/{inputs}"),
+            Adc { bits } => write!(f, "adc({bits}b)"),
+            LogicGate => f.write_str("logic-gate"),
+            MemoryCell => f.write_str("memory-cell"),
+            VoltageRef { level } => write!(f, "vref({level})"),
+            Limiter { level } => write!(f, "limiter(±{level})"),
+            OutputStage { load_ohms, peak_volts, .. } => {
+                write!(f, "output-stage({load_ohms}Ω @ {peak_volts}Vpk)")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opamp_counts() {
+        assert_eq!(ComponentKind::InvertingAmp { gain: -2.0 }.opamp_count(), 1);
+        assert_eq!(
+            ComponentKind::AmplifierChain { stage_gains: vec![10.0, 10.0] }.opamp_count(),
+            2
+        );
+        assert_eq!(ComponentKind::Multiplier.opamp_count(), 4);
+        assert_eq!(ComponentKind::AnalogSwitch.opamp_count(), 0);
+        assert_eq!(ComponentKind::Adc { bits: 8 }.opamp_count(), 3);
+        assert_eq!(
+            ComponentKind::SummingAmp { weights: vec![0.5, 0.25] }.opamp_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn report_categories_match_table1_names() {
+        assert_eq!(ComponentKind::SummingAmp { weights: vec![1.0] }.report_category(), "amplif.");
+        assert_eq!(
+            ComponentKind::Integrator { weights: vec![1.0], initial: 0.0 }.report_category(),
+            "integ."
+        );
+        assert_eq!(
+            ComponentKind::ZeroCrossDetector { level: 0.0, hysteresis: 0.01 }.report_category(),
+            "zero-cross det."
+        );
+        assert_eq!(ComponentKind::SampleHold.report_category(), "S/H");
+        assert_eq!(ComponentKind::Adc { bits: 8 }.report_category(), "ADC");
+        assert_eq!(ComponentKind::AnalogMux { inputs: 2 }.report_category(), "MUX");
+        assert_eq!(
+            ComponentKind::SchmittTrigger { low: -0.1, high: 0.1 }.report_category(),
+            "Schmitt trigger"
+        );
+        assert_eq!(ComponentKind::LogAmp.report_category(), "log.amplif.");
+        assert_eq!(ComponentKind::AntilogAmp.report_category(), "anti-log.amplif.");
+        assert_eq!(ComponentKind::DifferenceAmp { gain: 1.0 }.report_category(), "diff. amplif.");
+    }
+
+    #[test]
+    fn data_inputs_and_controls() {
+        assert_eq!(ComponentKind::SummingAmp { weights: vec![1.0, 2.0, 3.0] }.data_inputs(), 3);
+        assert_eq!(ComponentKind::Multiplier.data_inputs(), 2);
+        assert!(ComponentKind::SampleHold.has_control_input());
+        assert!(!ComponentKind::Follower.has_control_input());
+        assert_eq!(ComponentKind::VoltageRef { level: 1.0 }.data_inputs(), 0);
+    }
+
+    #[test]
+    fn max_gain_drives_ugf() {
+        assert_eq!(ComponentKind::InvertingAmp { gain: -50.0 }.max_gain(), 50.0);
+        assert_eq!(
+            ComponentKind::SummingAmp { weights: vec![0.5, -8.0] }.max_gain(),
+            8.0
+        );
+        assert_eq!(ComponentKind::Follower.max_gain(), 1.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # vase-library
+//!
+//! The op-amp-level analog component library and VHIF pattern catalog
+//! of the VASE behavioral-synthesis environment (Doboli & Vemuri, DATE
+//! 1999). This crate reproduces the role of the CMOS analog cell
+//! library of Campisi \[7\] the paper maps onto:
+//!
+//! * [`ComponentKind`] — the library circuits (amplifiers, integrators,
+//!   log/antilog amps, comparators, S/H, switches, ADCs, output
+//!   stages, ...), each with its op-amp and passive budget;
+//! * [`PatternMatch`] / [`matches_at`] — the pattern library relating
+//!   VHIF block-structures to components (paper Fig. 6b), including the
+//!   functional transformations of the branching rule (gain splitting,
+//!   inverting-pair substitution, log/antilog multiplier recognition);
+//! * [`Netlist`] — the mapped op-amp-level netlist, with the
+//!   across-path sharing query used by the mapper.
+//!
+//! # Examples
+//!
+//! ```
+//! use vase_library::{matches_at, ComponentKind, MatchOptions};
+//! use vase_vhif::{BlockKind, SignalFlowGraph};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 0.5·a + 0.25·b matches ONE summing amplifier (3 blocks → 1 op amp).
+//! let mut g = SignalFlowGraph::new("sum");
+//! let a = g.add(BlockKind::Input { name: "a".into() });
+//! let b = g.add(BlockKind::Input { name: "b".into() });
+//! let s1 = g.add(BlockKind::Scale { gain: 0.5 });
+//! let s2 = g.add(BlockKind::Scale { gain: 0.25 });
+//! let add = g.add(BlockKind::Add { arity: 2 });
+//! g.connect(a, s1, 0)?;
+//! g.connect(b, s2, 0)?;
+//! g.connect(s1, add, 0)?;
+//! g.connect(s2, add, 1)?;
+//! let ms = matches_at(&g, add, &MatchOptions::default());
+//! assert!(matches!(ms[0].kind, ComponentKind::SummingAmp { .. }));
+//! assert_eq!(ms[0].covered.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod component;
+pub mod netlist;
+pub mod pattern;
+pub mod spice;
+
+pub use component::ComponentKind;
+pub use netlist::{Netlist, PlacedComponent, SourceRef};
+pub use pattern::{matches_at, MatchOptions, PatternMatch, GAIN_SPLIT_THRESHOLD};
+pub use spice::to_spice;

@@ -1,0 +1,276 @@
+//! The op-amp-level netlist produced by architecture synthesis.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use vase_vhif::BlockId;
+
+use crate::component::ComponentKind;
+
+/// Where a component input comes from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SourceRef {
+    /// An external port of the system.
+    External(String),
+    /// The output of another placed component (by index).
+    Component(usize),
+    /// A constant bias/reference level.
+    Const(f64),
+}
+
+impl fmt::Display for SourceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceRef::External(name) => write!(f, "port:{name}"),
+            SourceRef::Component(i) => write!(f, "c{i}"),
+            SourceRef::Const(v) => write!(f, "{v}V"),
+        }
+    }
+}
+
+/// One component instance placed in the netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacedComponent {
+    /// What circuit this is.
+    pub kind: ComponentKind,
+    /// Input connections (data inputs first, then the control input if
+    /// the kind has one).
+    pub inputs: Vec<SourceRef>,
+    /// The VHIF blocks this component implements (indices into the
+    /// signal-flow graph it was mapped from). One component may cover a
+    /// whole sub-graph — that is the point of the mapping.
+    pub implements: Vec<BlockId>,
+    /// Human-readable label.
+    pub label: String,
+}
+
+/// An op-amp-level netlist: placed components plus named external
+/// output taps.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    /// Placed components; [`SourceRef::Component`] indices refer into
+    /// this vector.
+    pub components: Vec<PlacedComponent>,
+    /// External outputs: port name → source.
+    pub outputs: Vec<(String, SourceRef)>,
+}
+
+impl Netlist {
+    /// An empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Add a component; returns its index.
+    pub fn push(&mut self, component: PlacedComponent) -> usize {
+        self.components.push(component);
+        self.components.len() - 1
+    }
+
+    /// Total op-amp count — the mapper's primary area proxy.
+    pub fn opamp_count(&self) -> usize {
+        self.components.iter().map(|c| c.kind.opamp_count()).sum()
+    }
+
+    /// Total passive-device count.
+    pub fn passive_count(&self) -> usize {
+        self.components.iter().map(|c| c.kind.passive_count()).sum()
+    }
+
+    /// Component counts per Table 1 report category, in first-seen
+    /// order (e.g. `[("amplif.", 2), ("zero-cross det.", 1)]`).
+    pub fn report_summary(&self) -> Vec<(String, usize)> {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut order: Vec<&'static str> = Vec::new();
+        for c in &self.components {
+            let cat = c.kind.report_category();
+            if !counts.contains_key(cat) {
+                order.push(cat);
+            }
+            *counts.entry(cat).or_insert(0) += 1;
+        }
+        order.into_iter().map(|cat| (cat.to_owned(), counts[cat])).collect()
+    }
+
+    /// Find an existing component with the same kind and inputs — the
+    /// across-path hardware-sharing opportunity of Section 5 ("blocks
+    /// in distinct signal paths can share the same component, if they
+    /// have identical inputs, and perform similar operations").
+    pub fn find_shareable(&self, kind: &ComponentKind, inputs: &[SourceRef]) -> Option<usize> {
+        self.components
+            .iter()
+            .position(|c| &c.kind == kind && c.inputs == inputs)
+    }
+
+    /// How many component inputs are fed from component `index`
+    /// (loading/fanout, used by the interfacing transformation).
+    pub fn fanout(&self, index: usize) -> usize {
+        self.components
+            .iter()
+            .flat_map(|c| &c.inputs)
+            .chain(self.outputs.iter().map(|(_, s)| s))
+            .filter(|s| matches!(s, SourceRef::Component(i) if *i == index))
+            .count()
+    }
+
+    /// Validate internal references: every `Component` source index
+    /// must exist and input arities must match the component kinds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, c) in self.components.iter().enumerate() {
+            let expect = c.kind.data_inputs() + usize::from(c.kind.has_control_input());
+            if c.inputs.len() != expect {
+                return Err(format!(
+                    "component {i} ({}) has {} inputs, expected {expect}",
+                    c.kind,
+                    c.inputs.len()
+                ));
+            }
+            for s in &c.inputs {
+                if let SourceRef::Component(j) = s {
+                    if *j >= self.components.len() {
+                        return Err(format!("component {i} references missing component {j}"));
+                    }
+                }
+            }
+        }
+        for (name, s) in &self.outputs {
+            if let SourceRef::Component(j) = s {
+                if *j >= self.components.len() {
+                    return Err(format!("output `{name}` references missing component {j}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "netlist ({} op amps) {{", self.opamp_count())?;
+        for (i, c) in self.components.iter().enumerate() {
+            write!(f, "  c{i} [{}] {} <- (", c.label, c.kind)?;
+            for (j, s) in c.inputs.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{s}")?;
+            }
+            writeln!(f, ")")?;
+        }
+        for (name, s) in &self.outputs {
+            writeln!(f, "  out {name} <- {s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amp(gain: f64, inputs: Vec<SourceRef>) -> PlacedComponent {
+        PlacedComponent {
+            kind: ComponentKind::InvertingAmp { gain },
+            inputs,
+            implements: vec![],
+            label: "amp".into(),
+        }
+    }
+
+    #[test]
+    fn opamp_count_sums_components() {
+        let mut n = Netlist::new();
+        n.push(amp(-2.0, vec![SourceRef::External("x".into())]));
+        n.push(PlacedComponent {
+            kind: ComponentKind::Multiplier,
+            inputs: vec![SourceRef::Component(0), SourceRef::External("y".into())],
+            implements: vec![],
+            label: "mul".into(),
+        });
+        assert_eq!(n.opamp_count(), 5);
+        assert!(n.passive_count() > 0);
+    }
+
+    #[test]
+    fn report_summary_groups_by_category() {
+        let mut n = Netlist::new();
+        n.push(amp(-1.0, vec![SourceRef::External("a".into())]));
+        n.push(amp(-2.0, vec![SourceRef::External("b".into())]));
+        n.push(PlacedComponent {
+            kind: ComponentKind::ZeroCrossDetector { level: 0.0, hysteresis: 0.01 },
+            inputs: vec![SourceRef::External("a".into())],
+            implements: vec![],
+            label: "zc".into(),
+        });
+        let summary = n.report_summary();
+        assert_eq!(
+            summary,
+            vec![("amplif.".to_owned(), 2), ("zero-cross det.".to_owned(), 1)]
+        );
+    }
+
+    #[test]
+    fn find_shareable_requires_identical_inputs_and_kind() {
+        let mut n = Netlist::new();
+        let a = amp(-2.0, vec![SourceRef::External("x".into())]);
+        n.push(a.clone());
+        assert_eq!(
+            n.find_shareable(&a.kind, &[SourceRef::External("x".into())]),
+            Some(0)
+        );
+        assert_eq!(n.find_shareable(&a.kind, &[SourceRef::External("y".into())]), None);
+        assert_eq!(
+            n.find_shareable(
+                &ComponentKind::InvertingAmp { gain: -3.0 },
+                &[SourceRef::External("x".into())]
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn fanout_counts_consumers() {
+        let mut n = Netlist::new();
+        let src = n.push(amp(-1.0, vec![SourceRef::External("x".into())]));
+        n.push(amp(-2.0, vec![SourceRef::Component(src)]));
+        n.push(amp(-3.0, vec![SourceRef::Component(src)]));
+        n.outputs.push(("y".into(), SourceRef::Component(src)));
+        assert_eq!(n.fanout(src), 3);
+        assert_eq!(n.fanout(1), 0);
+    }
+
+    #[test]
+    fn validate_catches_arity_and_dangling_refs() {
+        let mut n = Netlist::new();
+        n.push(PlacedComponent {
+            kind: ComponentKind::Multiplier,
+            inputs: vec![SourceRef::Const(1.0)], // needs 2
+            implements: vec![],
+            label: "bad".into(),
+        });
+        assert!(n.validate().is_err());
+
+        let mut n = Netlist::new();
+        n.push(amp(-1.0, vec![SourceRef::Component(7)]));
+        assert!(n.validate().is_err());
+
+        let mut n = Netlist::new();
+        n.push(amp(-1.0, vec![SourceRef::External("x".into())]));
+        n.outputs.push(("y".into(), SourceRef::Component(0)));
+        n.validate().expect("valid");
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let mut n = Netlist::new();
+        n.push(amp(-2.0, vec![SourceRef::External("x".into())]));
+        let s = n.to_string();
+        assert!(s.contains("1 op amps"));
+        assert!(s.contains("port:x"));
+    }
+}

@@ -1,0 +1,646 @@
+//! The pattern library: relates VHIF block-structures to electronic
+//! circuits in the component library (paper Section 5, Fig. 6b).
+//!
+//! [`matches_at`] enumerates every way a sub-graph ending at a given
+//! output block can be implemented by ONE library component — the
+//! mapper's *branching rule* generates one branch per returned match.
+//! Matches are returned in decreasing order of covered-block count (the
+//! *sequencing rule*: alternatives that map more blocks to one
+//! component are visited first).
+
+use serde::{Deserialize, Serialize};
+use vase_vhif::{BlockId, BlockKind, SignalFlowGraph};
+
+use crate::component::ComponentKind;
+
+/// Controls which pattern families the matcher may use (the ablation
+/// switches of the benchmark harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchOptions {
+    /// Allow multi-block patterns (sub-graph → one component). With
+    /// this off every block maps to its own component.
+    pub multi_block: bool,
+    /// Allow functional transformations (gain splitting, log/antilog
+    /// multiplier recognition, inverting-pair alternatives).
+    pub transforms: bool,
+}
+
+impl Default for MatchOptions {
+    fn default() -> Self {
+        MatchOptions { multi_block: true, transforms: true }
+    }
+}
+
+/// One way to implement a sub-graph with a single library component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternMatch {
+    /// The covered blocks (sorted). The mapper marks these as
+    /// implemented by the allocated component.
+    pub covered: Vec<BlockId>,
+    /// Driver blocks outside the covered set, in component input-port
+    /// order (data inputs first, control input last when present).
+    pub inputs: Vec<BlockId>,
+    /// The implementing component.
+    pub kind: ComponentKind,
+    /// Whether a functional transformation produced this alternative.
+    pub transformed: bool,
+}
+
+impl PatternMatch {
+    fn new(mut covered: Vec<BlockId>, inputs: Vec<BlockId>, kind: ComponentKind) -> Self {
+        covered.sort();
+        covered.dedup();
+        PatternMatch { covered, inputs, kind, transformed: false }
+    }
+
+    fn transformed(mut self) -> Self {
+        self.transformed = true;
+        self
+    }
+}
+
+/// Gain magnitude above which the gain-splitting functional
+/// transformation offers a two-stage alternative (bandwidth: each
+/// closed-loop stage keeps more of the op amp's GBW).
+pub const GAIN_SPLIT_THRESHOLD: f64 = 20.0;
+
+/// Enumerate all library matches for the sub-graphs whose output block
+/// is `out`, largest first.
+///
+/// Interface blocks (inputs/outputs) never match — they become external
+/// nets. A multi-block match is only legal if every *interior* covered
+/// block feeds nothing outside the covered set (its value would
+/// otherwise be unavailable to the rest of the design).
+pub fn matches_at(
+    g: &SignalFlowGraph,
+    out: BlockId,
+    opts: &MatchOptions,
+) -> Vec<PatternMatch> {
+    let mut matches = Vec::new();
+    match g.kind(out).clone() {
+        BlockKind::Input { .. } | BlockKind::Output { .. } | BlockKind::ControlInput { .. } => {}
+        BlockKind::Const { value } => {
+            matches.push(PatternMatch::new(
+                vec![out],
+                vec![],
+                ComponentKind::VoltageRef { level: value },
+            ));
+        }
+        BlockKind::Scale { gain } => match_scale(g, out, gain, opts, &mut matches),
+        BlockKind::Add { .. } => match_add(g, out, 1.0, vec![out], opts, &mut matches),
+        BlockKind::Sub => {
+            let ins = dataful(g, out);
+            matches.push(PatternMatch::new(
+                vec![out],
+                ins,
+                ComponentKind::DifferenceAmp { gain: 1.0 },
+            ));
+        }
+        BlockKind::Mul => match_mul(g, out, opts, &mut matches),
+        BlockKind::Div => {
+            matches.push(PatternMatch::new(vec![out], dataful(g, out), ComponentKind::Divider));
+        }
+        BlockKind::Integrate { gain, initial } => {
+            match_integrate(g, out, gain, initial, opts, &mut matches)
+        }
+        BlockKind::Differentiate { gain } => {
+            matches.push(PatternMatch::new(
+                vec![out],
+                dataful(g, out),
+                ComponentKind::Differentiator { gain },
+            ));
+        }
+        BlockKind::Log => {
+            matches.push(PatternMatch::new(vec![out], dataful(g, out), ComponentKind::LogAmp));
+        }
+        BlockKind::Antilog => match_antilog(g, out, opts, &mut matches),
+        BlockKind::Abs => {
+            matches.push(PatternMatch::new(
+                vec![out],
+                dataful(g, out),
+                ComponentKind::PrecisionRectifier,
+            ));
+        }
+        BlockKind::SampleHold => {
+            matches.push(PatternMatch::new(vec![out], dataful(g, out), ComponentKind::SampleHold));
+        }
+        BlockKind::Switch => {
+            matches.push(PatternMatch::new(
+                vec![out],
+                dataful(g, out),
+                ComponentKind::AnalogSwitch,
+            ));
+        }
+        BlockKind::Mux { arity } => {
+            matches.push(PatternMatch::new(
+                vec![out],
+                dataful(g, out),
+                ComponentKind::AnalogMux { inputs: arity },
+            ));
+        }
+        BlockKind::Comparator { threshold } => {
+            matches.push(PatternMatch::new(
+                vec![out],
+                dataful(g, out),
+                ComponentKind::ZeroCrossDetector { level: threshold, hysteresis: 0.0 },
+            ));
+        }
+        BlockKind::SchmittTrigger { low, high } => {
+            matches.push(PatternMatch::new(
+                vec![out],
+                dataful(g, out),
+                ComponentKind::SchmittTrigger { low, high },
+            ));
+        }
+        BlockKind::Adc { bits } => {
+            matches.push(PatternMatch::new(
+                vec![out],
+                dataful(g, out),
+                ComponentKind::Adc { bits },
+            ));
+        }
+        BlockKind::Limiter { level } => {
+            matches.push(PatternMatch::new(
+                vec![out],
+                dataful(g, out),
+                ComponentKind::Limiter { level },
+            ));
+        }
+        BlockKind::OutputStage { load_ohms, peak_volts, limit } => {
+            matches.push(PatternMatch::new(
+                vec![out],
+                dataful(g, out),
+                ComponentKind::OutputStage { load_ohms, peak_volts, limit },
+            ));
+        }
+        BlockKind::Memory => {
+            matches.push(PatternMatch::new(vec![out], dataful(g, out), ComponentKind::MemoryCell));
+        }
+        BlockKind::Logic { .. } => {
+            matches.push(PatternMatch::new(vec![out], dataful(g, out), ComponentKind::LogicGate));
+        }
+    }
+    matches.retain(|m| interior_ok(g, m));
+    matches.sort_by_key(|m| std::cmp::Reverse(m.covered.len()));
+    matches
+}
+
+/// The (driven) input blocks of `b`, in port order.
+fn dataful(g: &SignalFlowGraph, b: BlockId) -> Vec<BlockId> {
+    g.block_inputs(b).iter().map(|d| d.expect("validated graph")).collect()
+}
+
+/// A multi-block match is legal only when interior covered blocks feed
+/// nothing outside the covered set.
+fn interior_ok(g: &SignalFlowGraph, m: &PatternMatch) -> bool {
+    let out = *m.covered.iter().max_by_key(|_| 0usize).unwrap_or(&m.covered[0]);
+    // `out` is whichever covered block has consumers outside; exactly
+    // one such block is allowed. All others must be fully consumed
+    // inside the cover.
+    let mut external_outputs = 0;
+    for &b in &m.covered {
+        let escapes = g
+            .fanout(b)
+            .iter()
+            .any(|(consumer, _)| !m.covered.contains(consumer));
+        if escapes {
+            external_outputs += 1;
+        }
+    }
+    let _ = out;
+    external_outputs <= 1
+}
+
+fn match_scale(
+    g: &SignalFlowGraph,
+    out: BlockId,
+    gain: f64,
+    opts: &MatchOptions,
+    matches: &mut Vec<PatternMatch>,
+) {
+    let input = dataful(g, out)[0];
+    if opts.multi_block {
+        match g.kind(input).clone() {
+            // Scale∘Scale → one amplifier with the product gain
+            // (along-path sharing).
+            BlockKind::Scale { gain: inner } => {
+                let src = dataful(g, input)[0];
+                matches.push(PatternMatch::new(
+                    vec![out, input],
+                    vec![src],
+                    amp_for_gain(gain * inner),
+                ));
+            }
+            // Scale∘Add → weighted summing amplifier with folded gain.
+            BlockKind::Add { .. } => {
+                match_add(g, input, gain, vec![out, input], opts, matches);
+            }
+            // Scale∘Integrate → integrator with gain.
+            BlockKind::Integrate { gain: igain, initial } => {
+                let src = dataful(g, input)[0];
+                matches.push(PatternMatch::new(
+                    vec![out, input],
+                    vec![src],
+                    ComponentKind::Integrator { weights: vec![gain * igain], initial },
+                ));
+            }
+            _ => {}
+        }
+    }
+    // Single-block fallback.
+    matches.push(PatternMatch::new(vec![out], vec![input], amp_for_gain(gain)));
+    // Functional transformations.
+    if opts.transforms {
+        if gain.abs() >= GAIN_SPLIT_THRESHOLD {
+            let s = gain.abs().sqrt();
+            let stage_gains =
+                if gain < 0.0 { vec![-s, s] } else { vec![s, s] };
+            matches.push(
+                PatternMatch::new(
+                    vec![out],
+                    vec![input],
+                    ComponentKind::AmplifierChain { stage_gains },
+                )
+                .transformed(),
+            );
+        }
+        if gain > 0.0 {
+            // Two inverting amplifiers substituted for a non-inverting
+            // one (paper's second functional transformation example).
+            matches.push(
+                PatternMatch::new(
+                    vec![out],
+                    vec![input],
+                    ComponentKind::AmplifierChain { stage_gains: vec![-gain, -1.0] },
+                )
+                .transformed(),
+            );
+        }
+    }
+}
+
+fn amp_for_gain(gain: f64) -> ComponentKind {
+    if (gain - 1.0).abs() < 1e-12 {
+        ComponentKind::Follower
+    } else if gain < 0.0 {
+        ComponentKind::InvertingAmp { gain }
+    } else {
+        ComponentKind::NonInvertingAmp { gain }
+    }
+}
+
+/// Match an adder rooted at `add`, folding `Scale` children into
+/// weights; `outer_gain` scales every weight (for `Scale∘Add` covers).
+/// Emits both the fully-folded match and (when reachable directly) the
+/// adder-alone match.
+fn match_add(
+    g: &SignalFlowGraph,
+    add: BlockId,
+    outer_gain: f64,
+    base_cover: Vec<BlockId>,
+    opts: &MatchOptions,
+    matches: &mut Vec<PatternMatch>,
+) {
+    let children = dataful(g, add);
+    if opts.multi_block {
+        let mut covered = base_cover.clone();
+        let mut weights = Vec::new();
+        let mut inputs = Vec::new();
+        for &child in &children {
+            match g.kind(child) {
+                BlockKind::Scale { gain } => {
+                    covered.push(child);
+                    weights.push(outer_gain * gain);
+                    inputs.push(dataful(g, child)[0]);
+                }
+                _ => {
+                    weights.push(outer_gain);
+                    inputs.push(child);
+                }
+            }
+        }
+        if covered.len() > base_cover.len() || base_cover.len() > 1 {
+            matches.push(PatternMatch::new(
+                covered,
+                inputs,
+                ComponentKind::SummingAmp { weights },
+            ));
+        }
+    }
+    if base_cover.len() == 1 {
+        // Adder alone (unit weights).
+        matches.push(PatternMatch::new(
+            base_cover,
+            children.clone(),
+            ComponentKind::SummingAmp { weights: vec![outer_gain; children.len()] },
+        ));
+    }
+}
+
+/// Multiplier patterns: `signal × Mux(constants)` is a switched-gain
+/// amplifier (how the paper's receiver realizes `(...) * rvar` in one
+/// op amp); otherwise a four-quadrant multiplier.
+fn match_mul(
+    g: &SignalFlowGraph,
+    out: BlockId,
+    opts: &MatchOptions,
+    matches: &mut Vec<PatternMatch>,
+) {
+    let ins = dataful(g, out);
+    if opts.multi_block {
+        for (mux_side, sig_side) in [(ins[0], ins[1]), (ins[1], ins[0])] {
+            if let BlockKind::Mux { arity } = g.kind(mux_side) {
+                let mux_ins = dataful(g, mux_side);
+                let data = &mux_ins[..*arity];
+                let select = mux_ins[*arity];
+                let gains: Option<Vec<f64>> = data
+                    .iter()
+                    .map(|&d| match g.kind(d) {
+                        BlockKind::Const { value } => Some(*value),
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(gains) = gains {
+                    let mut covered = vec![out, mux_side];
+                    covered.extend_from_slice(data);
+                    matches.push(PatternMatch::new(
+                        covered,
+                        vec![sig_side, select],
+                        ComponentKind::SwitchedGainAmp { gains },
+                    ));
+                }
+            }
+        }
+    }
+    matches.push(PatternMatch::new(vec![out], ins, ComponentKind::Multiplier));
+}
+
+fn match_integrate(
+    g: &SignalFlowGraph,
+    out: BlockId,
+    gain: f64,
+    initial: f64,
+    opts: &MatchOptions,
+    matches: &mut Vec<PatternMatch>,
+) {
+    let input = dataful(g, out)[0];
+    if opts.multi_block {
+        match g.kind(input).clone() {
+            // Summing integrator: Integrate∘Add(±Scale…) in one op amp.
+            BlockKind::Add { .. } => {
+                let children = dataful(g, input);
+                let mut covered = vec![out, input];
+                let mut weights = Vec::new();
+                let mut inputs = Vec::new();
+                for &child in &children {
+                    match g.kind(child) {
+                        BlockKind::Scale { gain: w } => {
+                            covered.push(child);
+                            weights.push(gain * w);
+                            inputs.push(dataful(g, child)[0]);
+                        }
+                        _ => {
+                            weights.push(gain);
+                            inputs.push(child);
+                        }
+                    }
+                }
+                matches.push(PatternMatch::new(
+                    covered,
+                    inputs,
+                    ComponentKind::Integrator { weights, initial },
+                ));
+            }
+            // Integrate∘Scale → integrator with folded gain.
+            BlockKind::Scale { gain: w } => {
+                let src = dataful(g, input)[0];
+                matches.push(PatternMatch::new(
+                    vec![out, input],
+                    vec![src],
+                    ComponentKind::Integrator { weights: vec![gain * w], initial },
+                ));
+            }
+            // Integrate∘Sub → two-input integrator (+w, -w).
+            BlockKind::Sub => {
+                let srcs = dataful(g, input);
+                matches.push(PatternMatch::new(
+                    vec![out, input],
+                    srcs,
+                    ComponentKind::Integrator { weights: vec![gain, -gain], initial },
+                ));
+            }
+            _ => {}
+        }
+    }
+    matches.push(PatternMatch::new(
+        vec![out],
+        vec![input],
+        ComponentKind::Integrator { weights: vec![gain], initial },
+    ));
+}
+
+/// `Antilog∘Add(Log, Log)` is a log-antilog multiplier (functional
+/// transformation recognizing the identity `x·y = exp(ln x + ln y)`).
+fn match_antilog(
+    g: &SignalFlowGraph,
+    out: BlockId,
+    opts: &MatchOptions,
+    matches: &mut Vec<PatternMatch>,
+) {
+    let input = dataful(g, out)[0];
+    if opts.multi_block && opts.transforms {
+        if let BlockKind::Add { arity: 2 } = g.kind(input) {
+            let children = dataful(g, input);
+            if children
+                .iter()
+                .all(|&c| matches!(g.kind(c), BlockKind::Log))
+            {
+                let srcs: Vec<BlockId> =
+                    children.iter().map(|&c| dataful(g, c)[0]).collect();
+                let mut covered = vec![out, input];
+                covered.extend_from_slice(&children);
+                matches
+                    .push(PatternMatch::new(covered, srcs, ComponentKind::Multiplier).transformed());
+            }
+        }
+    }
+    matches.push(PatternMatch::new(vec![out], vec![input], ComponentKind::AntilogAmp));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn receiver_like_graph() -> (SignalFlowGraph, BlockId, BlockId) {
+        // earph = (0.5*line + 0.25*local) * mux(c1 ? 220 : 550)
+        let mut g = SignalFlowGraph::new("rx");
+        let line = g.add(BlockKind::Input { name: "line".into() });
+        let local = g.add(BlockKind::Input { name: "local".into() });
+        let s1 = g.add(BlockKind::Scale { gain: 0.5 });
+        let s2 = g.add(BlockKind::Scale { gain: 0.25 });
+        let add = g.add(BlockKind::Add { arity: 2 });
+        let c220 = g.add(BlockKind::Const { value: 220.0 });
+        let c550 = g.add(BlockKind::Const { value: 550.0 });
+        let c1 = g.add(BlockKind::ControlInput { name: "c1".into() });
+        let mux = g.add(BlockKind::Mux { arity: 2 });
+        let mul = g.add(BlockKind::Mul);
+        let out = g.add(BlockKind::Output { name: "earph".into() });
+        g.connect(line, s1, 0).expect("wire");
+        g.connect(local, s2, 0).expect("wire");
+        g.connect(s1, add, 0).expect("wire");
+        g.connect(s2, add, 1).expect("wire");
+        g.connect(c550, mux, 0).expect("wire");
+        g.connect(c220, mux, 1).expect("wire");
+        g.connect(c1, mux, 2).expect("wire");
+        g.connect(add, mul, 0).expect("wire");
+        g.connect(mux, mul, 1).expect("wire");
+        g.connect(mul, out, 0).expect("wire");
+        (g, add, mul)
+    }
+
+    #[test]
+    fn weighted_sum_folds_scales_into_one_summing_amp() {
+        let (g, add, _) = receiver_like_graph();
+        let ms = matches_at(&g, add, &MatchOptions::default());
+        // Largest match first: 3 covered blocks (add + 2 scales).
+        assert_eq!(ms[0].covered.len(), 3);
+        match &ms[0].kind {
+            ComponentKind::SummingAmp { weights } => {
+                assert_eq!(weights, &vec![0.5, 0.25]);
+            }
+            other => panic!("expected summing amp, got {other:?}"),
+        }
+        // The adder-alone alternative also exists.
+        assert!(ms.iter().any(|m| m.covered.len() == 1));
+    }
+
+    #[test]
+    fn switched_gain_amp_recognized() {
+        let (g, _, mul) = receiver_like_graph();
+        let ms = matches_at(&g, mul, &MatchOptions::default());
+        // Best: mul + mux + 2 consts covered by one switched-gain amp.
+        assert_eq!(ms[0].covered.len(), 4);
+        match &ms[0].kind {
+            ComponentKind::SwitchedGainAmp { gains } => assert_eq!(gains, &vec![550.0, 220.0]),
+            other => panic!("expected switched-gain amp, got {other:?}"),
+        }
+        assert_eq!(ms[0].kind.opamp_count(), 1);
+        // Fallback multiplier exists too (4 op amps).
+        assert!(ms.iter().any(|m| matches!(m.kind, ComponentKind::Multiplier)));
+    }
+
+    #[test]
+    fn multi_block_disabled_gives_single_block_matches_only() {
+        let (g, add, mul) = receiver_like_graph();
+        let opts = MatchOptions { multi_block: false, transforms: false };
+        for b in [add, mul] {
+            for m in matches_at(&g, b, &opts) {
+                assert_eq!(m.covered.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn interior_escape_blocks_cover() {
+        // add feeds both mul and an extra output → Scale∘Add cover of
+        // the adder is illegal if the adder escapes.
+        let mut g = SignalFlowGraph::new("t");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let y = g.add(BlockKind::Input { name: "y".into() });
+        let add = g.add(BlockKind::Add { arity: 2 });
+        let scale = g.add(BlockKind::Scale { gain: 2.0 });
+        let out1 = g.add(BlockKind::Output { name: "a".into() });
+        let out2 = g.add(BlockKind::Output { name: "b".into() });
+        g.connect(x, add, 0).expect("wire");
+        g.connect(y, add, 1).expect("wire");
+        g.connect(add, scale, 0).expect("wire");
+        g.connect(scale, out1, 0).expect("wire");
+        g.connect(add, out2, 0).expect("wire"); // add escapes!
+        let ms = matches_at(&g, scale, &MatchOptions::default());
+        for m in &ms {
+            assert!(
+                !m.covered.contains(&add),
+                "cover must not swallow escaping adder: {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gain_split_transform_offered_for_large_gains() {
+        let mut g = SignalFlowGraph::new("t");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let s = g.add(BlockKind::Scale { gain: 100.0 });
+        g.connect(x, s, 0).expect("wire");
+        let ms = matches_at(&g, s, &MatchOptions::default());
+        let chain = ms
+            .iter()
+            .find(|m| matches!(m.kind, ComponentKind::AmplifierChain { .. }))
+            .expect("chain alternative");
+        assert!(chain.transformed);
+        assert_eq!(chain.kind.opamp_count(), 2);
+        // Without transforms it disappears.
+        let ms = matches_at(&g, s, &MatchOptions { multi_block: true, transforms: false });
+        assert!(!ms.iter().any(|m| matches!(m.kind, ComponentKind::AmplifierChain { .. })));
+    }
+
+    #[test]
+    fn log_antilog_multiplier_recognized() {
+        let mut g = SignalFlowGraph::new("t");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let y = g.add(BlockKind::Input { name: "y".into() });
+        let lx = g.add(BlockKind::Log);
+        let ly = g.add(BlockKind::Log);
+        let add = g.add(BlockKind::Add { arity: 2 });
+        let al = g.add(BlockKind::Antilog);
+        g.connect(x, lx, 0).expect("wire");
+        g.connect(y, ly, 0).expect("wire");
+        g.connect(lx, add, 0).expect("wire");
+        g.connect(ly, add, 1).expect("wire");
+        g.connect(add, al, 0).expect("wire");
+        let ms = matches_at(&g, al, &MatchOptions::default());
+        assert_eq!(ms[0].covered.len(), 4);
+        assert!(matches!(ms[0].kind, ComponentKind::Multiplier));
+        assert_eq!(ms[0].inputs, vec![x, y]);
+    }
+
+    #[test]
+    fn summing_integrator_recognized() {
+        let mut g = SignalFlowGraph::new("t");
+        let u = g.add(BlockKind::Input { name: "u".into() });
+        let integ = g.add(BlockKind::Integrate { gain: 1.0, initial: 0.0 });
+        let neg = g.add(BlockKind::Scale { gain: -1.0 });
+        let add = g.add(BlockKind::Add { arity: 2 });
+        g.connect(u, add, 0).expect("wire");
+        g.connect(integ, neg, 0).expect("wire");
+        g.connect(neg, add, 1).expect("wire");
+        g.connect(add, integ, 0).expect("wire");
+        let ms = matches_at(&g, integ, &MatchOptions::default());
+        // Best: integ + add + neg in one summing integrator.
+        assert_eq!(ms[0].covered.len(), 3);
+        match &ms[0].kind {
+            ComponentKind::Integrator { weights, .. } => {
+                assert_eq!(weights, &vec![1.0, -1.0]);
+            }
+            other => panic!("expected integrator, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interface_blocks_do_not_match() {
+        let (g, ..) = receiver_like_graph();
+        for (id, b) in g.iter() {
+            if b.kind.is_interface() {
+                assert!(matches_at(&g, id, &MatchOptions::default()).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sorted_largest_first() {
+        let (g, add, _) = receiver_like_graph();
+        let ms = matches_at(&g, add, &MatchOptions::default());
+        for pair in ms.windows(2) {
+            assert!(pair[0].covered.len() >= pair[1].covered.len());
+        }
+    }
+}

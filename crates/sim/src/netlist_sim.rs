@@ -1,0 +1,526 @@
+//! Macromodel (netlist-level) transient simulation — the reproduction
+//! of the paper's SPICE validation step (Section 6, Fig. 8).
+//!
+//! Each placed component is simulated with a first-order op-amp
+//! macromodel: ideal transfer function plus output saturation at the
+//! supply rails (±[`AMP_SATURATION`] V); output stages and limiters
+//! additionally clip at their specified levels. Integrators integrate
+//! with RK4; sample-and-holds, memories, Schmitt triggers and
+//! zero-cross detectors carry discrete state with hysteresis.
+
+use std::collections::BTreeMap;
+
+use vase_library::{ComponentKind, Netlist, SourceRef};
+
+use crate::error::SimError;
+use crate::graph_sim::SimConfig;
+use crate::stimulus::Stimulus;
+use crate::trace::SimResult;
+
+/// Op-amp output saturation (supply rails minus headroom in the ±2.5 V
+/// MOSIS design), volts.
+pub const AMP_SATURATION: f64 = 2.2;
+
+/// Simulate a netlist.
+///
+/// `stimuli` drives external nets by name; `bindings` routes component
+/// outputs back to named external control nets (from
+/// [`vase_archgen::SynthesisResult::control_bindings`]), closing the
+/// event-driven loop. Recorded traces: every netlist output, every
+/// bound control signal, and every stimulus.
+///
+/// # Errors
+///
+/// * [`SimError::MissingStimulus`] when an external net is neither
+///   stimulated nor bound;
+/// * [`SimError::AlgebraicLoop`] when components form a stateless
+///   cycle;
+/// * [`SimError::BadConfig`] on non-positive step/duration.
+pub fn simulate_netlist(
+    netlist: &Netlist,
+    stimuli: &BTreeMap<String, Stimulus>,
+    bindings: &[(String, usize)],
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
+    if config.dt <= 0.0 || config.t_end <= 0.0 {
+        return Err(SimError::BadConfig { what: "dt and t_end must be positive".into() });
+    }
+    // Check that every external reference is driven.
+    for component in &netlist.components {
+        for input in &component.inputs {
+            if let SourceRef::External(name) = input {
+                let bound = bindings.iter().any(|(s, _)| s == name);
+                if !bound && !stimuli.contains_key(name) {
+                    return Err(SimError::MissingStimulus { name: name.clone() });
+                }
+            }
+        }
+    }
+    let order = eval_order(netlist, bindings)?;
+
+    let n = netlist.components.len();
+    let mut engine = Engine {
+        netlist,
+        order,
+        bindings,
+        integ: vec![0.0; n],
+        discrete: vec![0.0; n],
+        prev_in: vec![0.0; n],
+        dt: config.dt,
+    };
+    for (i, c) in netlist.components.iter().enumerate() {
+        if let ComponentKind::Integrator { initial, .. } = c.kind {
+            engine.integ[i] = initial;
+        }
+    }
+
+    let steps = (config.t_end / config.dt).ceil() as usize;
+    let mut result = SimResult::default();
+    let mut trace_names: Vec<String> = netlist.outputs.iter().map(|(n, _)| n.clone()).collect();
+    trace_names.extend(bindings.iter().map(|(s, _)| s.clone()));
+    trace_names.extend(stimuli.keys().cloned());
+    trace_names.sort();
+    trace_names.dedup();
+    for name in &trace_names {
+        result.traces.insert(name.clone(), Vec::with_capacity(steps));
+    }
+
+    for step in 0..=steps {
+        let t = step as f64 * config.dt;
+        let values = engine.step(t, stimuli);
+        result.time.push(t);
+        for name in &trace_names {
+            let v = netlist
+                .outputs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| engine.source_value(s, t, stimuli, &values))
+                .or_else(|| {
+                    bindings
+                        .iter()
+                        .find(|(s, _)| s == name)
+                        .map(|(_, i)| values[*i])
+                })
+                .or_else(|| stimuli.get(name).map(|s| s.at(t)))
+                .unwrap_or(0.0);
+            result.traces.get_mut(name).expect("registered").push(v);
+        }
+    }
+    Ok(result)
+}
+
+/// Topological order over component dependencies (including
+/// binding-routed control nets), treating stateful components as cycle
+/// breakers.
+fn eval_order(netlist: &Netlist, bindings: &[(String, usize)]) -> Result<Vec<usize>, SimError> {
+    let n = netlist.components.len();
+    let stateful = |k: &ComponentKind| {
+        matches!(
+            k,
+            ComponentKind::Integrator { .. }
+                | ComponentKind::SampleHold
+                | ComponentKind::MemoryCell
+                | ComponentKind::SchmittTrigger { .. }
+                | ComponentKind::ZeroCrossDetector { .. }
+        )
+    };
+    let mut indegree = vec![0usize; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, c) in netlist.components.iter().enumerate() {
+        if stateful(&c.kind) {
+            continue;
+        }
+        for input in &c.inputs {
+            let driver = match input {
+                SourceRef::Component(j) => Some(*j),
+                SourceRef::External(name) => {
+                    bindings.iter().find(|(s, _)| s == name).map(|(_, j)| *j)
+                }
+                SourceRef::Const(_) => None,
+            };
+            if let Some(j) = driver {
+                adj[j].push(i);
+                indegree[i] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for &w in &adj[v] {
+            indegree[w] -= 1;
+            if indegree[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(SimError::AlgebraicLoop);
+    }
+    Ok(order)
+}
+
+struct Engine<'a> {
+    netlist: &'a Netlist,
+    order: Vec<usize>,
+    bindings: &'a [(String, usize)],
+    integ: Vec<f64>,
+    discrete: Vec<f64>,
+    prev_in: Vec<f64>,
+    dt: f64,
+}
+
+impl Engine<'_> {
+    fn source_value(
+        &self,
+        source: &SourceRef,
+        t: f64,
+        stimuli: &BTreeMap<String, Stimulus>,
+        values: &[f64],
+    ) -> f64 {
+        match source {
+            SourceRef::Const(v) => *v,
+            SourceRef::Component(i) => values[*i],
+            SourceRef::External(name) => {
+                if let Some((_, i)) = self.bindings.iter().find(|(s, _)| s == name) {
+                    return values[*i];
+                }
+                stimuli.get(name).map(|s| s.at(t)).unwrap_or(0.0)
+            }
+        }
+    }
+
+    /// Evaluate all component outputs at time `t` with the given
+    /// integrator states.
+    fn eval(&self, t: f64, integ: &[f64], stimuli: &BTreeMap<String, Stimulus>) -> Vec<f64> {
+        let mut values = vec![0.0; self.netlist.components.len()];
+        for &i in &self.order {
+            let component = &self.netlist.components[i];
+            let input = |p: usize| -> f64 {
+                component
+                    .inputs
+                    .get(p)
+                    .map(|s| self.source_value(s, t, stimuli, &values))
+                    .unwrap_or(0.0)
+            };
+            let sat = |v: f64| v.clamp(-AMP_SATURATION, AMP_SATURATION);
+            values[i] = match &component.kind {
+                ComponentKind::InvertingAmp { gain }
+                | ComponentKind::NonInvertingAmp { gain } => sat(gain * input(0)),
+                ComponentKind::Follower => sat(input(0)),
+                ComponentKind::AmplifierChain { stage_gains } => {
+                    let mut v = input(0);
+                    for g in stage_gains {
+                        v = sat(g * v);
+                    }
+                    v
+                }
+                ComponentKind::SummingAmp { weights } => {
+                    sat(weights.iter().enumerate().map(|(p, w)| w * input(p)).sum())
+                }
+                ComponentKind::DifferenceAmp { gain } => sat(gain * (input(0) - input(1))),
+                ComponentKind::SwitchedGainAmp { gains } => {
+                    let sel = input(1).round().clamp(0.0, gains.len() as f64 - 1.0) as usize;
+                    sat(gains[sel] * input(0))
+                }
+                ComponentKind::Integrator { .. } => sat(integ[i]),
+                ComponentKind::Differentiator { gain } => {
+                    sat(gain * (input(0) - self.prev_in[i]) / self.dt)
+                }
+                ComponentKind::LogAmp => sat((input(0).max(1e-12)).ln()),
+                ComponentKind::AntilogAmp => sat(input(0).clamp(-50.0, 50.0).exp()),
+                ComponentKind::Multiplier => sat(input(0) * input(1)),
+                ComponentKind::Divider => {
+                    let d = input(1);
+                    sat(input(0) / if d.abs() < 1e-6 { 1e-6_f64.copysign(d + 1e-30) } else { d })
+                }
+                ComponentKind::PrecisionRectifier => sat(input(0).abs()),
+                ComponentKind::Comparator { threshold } => f64::from(input(0) > *threshold),
+                ComponentKind::ZeroCrossDetector { .. }
+                | ComponentKind::SchmittTrigger { .. } => self.discrete[i],
+                ComponentKind::SampleHold | ComponentKind::MemoryCell => self.discrete[i],
+                ComponentKind::AnalogSwitch => {
+                    if input(1) > 0.5 {
+                        input(0)
+                    } else {
+                        0.0
+                    }
+                }
+                ComponentKind::AnalogMux { inputs } => {
+                    let sel = input(*inputs).round().clamp(0.0, *inputs as f64 - 1.0) as usize;
+                    input(sel)
+                }
+                ComponentKind::Adc { bits } => {
+                    let lsb = 5.0 / f64::from(1u32 << (*bits).min(24));
+                    (input(0) / lsb).round() * lsb
+                }
+                ComponentKind::LogicGate => f64::from(input(0) <= 0.5), // inverter model
+                ComponentKind::VoltageRef { level } => *level,
+                ComponentKind::Limiter { level } => input(0).clamp(-level, *level),
+                ComponentKind::OutputStage { limit, .. } => {
+                    let v = sat(input(0));
+                    match limit {
+                        Some(l) => v.clamp(-l, *l),
+                        None => v,
+                    }
+                }
+            };
+        }
+        values
+    }
+
+    fn step(&mut self, t: f64, stimuli: &BTreeMap<String, Stimulus>) -> Vec<f64> {
+        let v0 = self.eval(t, &self.integ.clone(), stimuli);
+
+        // RK4 over integrator states.
+        let integrators: Vec<(usize, Vec<f64>)> = self
+            .netlist
+            .components
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| match &c.kind {
+                ComponentKind::Integrator { weights, .. } => Some((i, weights.clone())),
+                _ => None,
+            })
+            .collect();
+        if !integrators.is_empty() {
+            let deriv = |values: &[f64], t: f64| -> Vec<f64> {
+                integrators
+                    .iter()
+                    .map(|(i, weights)| {
+                        let component = &self.netlist.components[*i];
+                        weights
+                            .iter()
+                            .enumerate()
+                            .map(|(p, w)| {
+                                w * component
+                                    .inputs
+                                    .get(p)
+                                    .map(|s| self.source_value(s, t, stimuli, values))
+                                    .unwrap_or(0.0)
+                            })
+                            .sum()
+                    })
+                    .collect()
+            };
+            let base = self.integ.clone();
+            let shifted = |k: &[f64], h: f64| -> Vec<f64> {
+                let mut s = base.clone();
+                for (j, (i, _)) in integrators.iter().enumerate() {
+                    s[*i] = base[*i] + h * k[j];
+                }
+                s
+            };
+            let k1 = deriv(&v0, t);
+            let v2 = self.eval(t + self.dt / 2.0, &shifted(&k1, self.dt / 2.0), stimuli);
+            let k2 = deriv(&v2, t + self.dt / 2.0);
+            let v3 = self.eval(t + self.dt / 2.0, &shifted(&k2, self.dt / 2.0), stimuli);
+            let k3 = deriv(&v3, t + self.dt / 2.0);
+            let v4 = self.eval(t + self.dt, &shifted(&k3, self.dt), stimuli);
+            let k4 = deriv(&v4, t + self.dt);
+            for (j, (i, _)) in integrators.iter().enumerate() {
+                self.integ[*i] = (self.integ[*i]
+                    + self.dt / 6.0 * (k1[j] + 2.0 * k2[j] + 2.0 * k3[j] + k4[j]))
+                    .clamp(-AMP_SATURATION, AMP_SATURATION);
+            }
+        }
+
+        // Discrete updates from start-of-step values.
+        for (i, component) in self.netlist.components.iter().enumerate() {
+            let input = |p: usize| -> f64 {
+                component
+                    .inputs
+                    .get(p)
+                    .map(|s| self.source_value(s, t, stimuli, &v0))
+                    .unwrap_or(0.0)
+            };
+            match &component.kind {
+                ComponentKind::SampleHold | ComponentKind::MemoryCell
+                    if input(1) > 0.5 => {
+                        self.discrete[i] = input(0);
+                    }
+                ComponentKind::ZeroCrossDetector { level, hysteresis } => {
+                    let u = input(0);
+                    if u > level + hysteresis {
+                        self.discrete[i] = 1.0;
+                    } else if u < level - hysteresis {
+                        self.discrete[i] = 0.0;
+                    }
+                }
+                ComponentKind::SchmittTrigger { low, high } => {
+                    let u = input(0);
+                    if u > *high {
+                        self.discrete[i] = 1.0;
+                    } else if u < *low {
+                        self.discrete[i] = 0.0;
+                    }
+                }
+                ComponentKind::Differentiator { .. } => {
+                    self.prev_in[i] = input(0);
+                }
+                _ => {}
+            }
+        }
+        v0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vase_library::PlacedComponent;
+
+    fn stim(entries: &[(&str, Stimulus)]) -> BTreeMap<String, Stimulus> {
+        entries.iter().map(|(n, s)| (n.to_string(), *s)).collect()
+    }
+
+    fn place(kind: ComponentKind, inputs: Vec<SourceRef>) -> PlacedComponent {
+        PlacedComponent { kind, inputs, implements: vec![], label: "c".into() }
+    }
+
+    #[test]
+    fn inverting_amp_inverts_and_saturates() {
+        let mut n = Netlist::new();
+        n.push(place(
+            ComponentKind::InvertingAmp { gain: -10.0 },
+            vec![SourceRef::External("x".into())],
+        ));
+        n.outputs.push(("y".into(), SourceRef::Component(0)));
+        let r = simulate_netlist(
+            &n,
+            &stim(&[("x", Stimulus::sine(1.0, 100.0))]),
+            &[],
+            &SimConfig::new(1e-5, 0.02),
+        )
+        .expect("simulates");
+        let (lo, hi) = r.range("y").expect("range");
+        // Saturates at the rails, not ±10.
+        assert!((hi - AMP_SATURATION).abs() < 1e-6, "hi = {hi}");
+        assert!((lo + AMP_SATURATION).abs() < 1e-6, "lo = {lo}");
+    }
+
+    #[test]
+    fn output_stage_clips_at_its_limit() {
+        // The Fig. 8 shape: the stage clips at 1.5 V, inside the rails.
+        let mut n = Netlist::new();
+        n.push(place(
+            ComponentKind::SummingAmp { weights: vec![4.0] },
+            vec![SourceRef::External("x".into())],
+        ));
+        n.push(place(
+            ComponentKind::OutputStage { load_ohms: 270.0, peak_volts: 0.285, limit: Some(1.5) },
+            vec![SourceRef::Component(0)],
+        ));
+        n.outputs.push(("y".into(), SourceRef::Component(1)));
+        let r = simulate_netlist(
+            &n,
+            &stim(&[("x", Stimulus::sine(0.5, 1e3))]),
+            &[],
+            &SimConfig::new(1e-6, 4e-3),
+        )
+        .expect("simulates");
+        let (lo, hi) = r.range("y").expect("range");
+        assert!((hi - 1.5).abs() < 1e-9, "hi = {hi}");
+        assert!((lo + 1.5).abs() < 1e-9, "lo = {lo}");
+        assert!(r.fraction_at_level("y", 1.5, 1e-6) > 0.1);
+    }
+
+    #[test]
+    fn integrator_component_integrates() {
+        // y = ∫ 1 dt → ramp.
+        let mut n = Netlist::new();
+        n.push(place(
+            ComponentKind::Integrator { weights: vec![1.0], initial: 0.0 },
+            vec![SourceRef::External("u".into())],
+        ));
+        n.outputs.push(("y".into(), SourceRef::Component(0)));
+        let r = simulate_netlist(
+            &n,
+            &stim(&[("u", Stimulus::Constant { level: 1.0 })]),
+            &[],
+            &SimConfig::new(1e-4, 1.0),
+        )
+        .expect("simulates");
+        let y = r.trace("y").expect("trace");
+        // Ramps to ~1.0 then the model saturates past the rails (not here).
+        assert!((y.last().unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn control_binding_closes_loop() {
+        // A zero-cross detector output drives a switched-gain amp's
+        // select through the "c1" binding.
+        let mut n = Netlist::new();
+        let zcd = n.push(place(
+            ComponentKind::ZeroCrossDetector { level: 0.0, hysteresis: 0.01 },
+            vec![SourceRef::External("line".into())],
+        ));
+        n.push(place(
+            ComponentKind::SwitchedGainAmp { gains: vec![1.0, 2.0] },
+            vec![SourceRef::External("line".into()), SourceRef::External("c1".into())],
+        ));
+        n.outputs.push(("y".into(), SourceRef::Component(1)));
+        let bindings = vec![("c1".to_owned(), zcd)];
+        let r = simulate_netlist(
+            &n,
+            &stim(&[("line", Stimulus::sine(1.0, 100.0))]),
+            &bindings,
+            &SimConfig::new(1e-5, 0.02),
+        )
+        .expect("simulates");
+        let y = r.trace("y").expect("trace");
+        let line: Vec<f64> =
+            r.time.iter().map(|&t| Stimulus::sine(1.0, 100.0).at(t)).collect();
+        // Positive half-waves get gain 2, negative gain 1.
+        let mut saw_double = false;
+        let mut saw_single = false;
+        for (i, (&yv, &lv)) in y.iter().zip(&line).enumerate() {
+            if i < 10 {
+                continue;
+            }
+            if lv > 0.1 && (yv - 2.0 * lv).abs() < 0.05 {
+                saw_double = true;
+            }
+            if lv < -0.1 && (yv - lv).abs() < 0.05 {
+                saw_single = true;
+            }
+        }
+        assert!(saw_double, "positive half should be amplified ×2");
+        assert!(saw_single, "negative half should pass ×1");
+    }
+
+    #[test]
+    fn missing_external_reported() {
+        let mut n = Netlist::new();
+        n.push(place(ComponentKind::Follower, vec![SourceRef::External("ghost".into())]));
+        let err =
+            simulate_netlist(&n, &BTreeMap::new(), &[], &SimConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::MissingStimulus { name } if name == "ghost"));
+    }
+
+    #[test]
+    fn stateless_cycle_detected() {
+        let mut n = Netlist::new();
+        n.push(place(ComponentKind::Follower, vec![SourceRef::Component(1)]));
+        n.push(place(ComponentKind::Follower, vec![SourceRef::Component(0)]));
+        let err =
+            simulate_netlist(&n, &BTreeMap::new(), &[], &SimConfig::default()).unwrap_err();
+        assert_eq!(err, SimError::AlgebraicLoop);
+    }
+
+    #[test]
+    fn integrator_feedback_cycle_is_fine() {
+        // Integrator fed by -1 × its own output: exponential decay.
+        let mut n = Netlist::new();
+        n.push(place(
+            ComponentKind::Integrator { weights: vec![-1.0], initial: 1.0 },
+            vec![SourceRef::Component(0)],
+        ));
+        n.outputs.push(("x".into(), SourceRef::Component(0)));
+        let r = simulate_netlist(&n, &BTreeMap::new(), &[], &SimConfig::new(1e-3, 1.0))
+            .expect("simulates");
+        let x = r.trace("x").expect("trace");
+        assert!((x.last().unwrap() - (-1.0_f64).exp()).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,84 @@
+//! ASCII rendering of simulation traces (for examples and the
+//! Fig. 8 regeneration binary).
+
+use crate::trace::SimResult;
+
+/// Render one trace as an ASCII plot of `width`×`height` characters
+/// with an annotated value axis.
+pub fn render_ascii(result: &SimResult, name: &str, width: usize, height: usize) -> String {
+    let Some(trace) = result.trace(name) else {
+        return format!("<no trace `{name}`>");
+    };
+    if trace.is_empty() || width == 0 || height < 2 {
+        return String::new();
+    }
+    let (mut lo, mut hi) = result.range(name).expect("non-empty");
+    if (hi - lo).abs() < 1e-12 {
+        lo -= 1.0;
+        hi += 1.0;
+    }
+    let mut rows = vec![vec![' '; width]; height];
+    for (col, row_of_col) in (0..width).map(|col| {
+        let idx = (col * (trace.len() - 1) / width.max(1)).min(trace.len() - 1);
+        let frac = (trace[idx] - lo) / (hi - lo);
+        (col, ((1.0 - frac) * (height - 1) as f64).round() as usize)
+    }) {
+        rows[row_of_col.min(height - 1)][col] = '*';
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:8.3} |")
+        } else if r == height - 1 {
+            format!("{lo:8.3} |")
+        } else {
+            "         |".to_owned()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "          +{}\n           t: 0 .. {:.4} s ({name})\n",
+        "-".repeat(width),
+        result.time.last().copied().unwrap_or(0.0)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_sine_shape() {
+        let mut r = SimResult::default();
+        for i in 0..100 {
+            let t = i as f64 / 100.0;
+            r.time.push(t);
+            r.traces
+                .entry("y".into())
+                .or_default()
+                .push((2.0 * std::f64::consts::PI * t).sin());
+        }
+        let plot = render_ascii(&r, "y", 60, 15);
+        assert!(plot.contains('*'));
+        assert!(plot.contains("1.000"));
+        assert!(plot.contains("-1.000"));
+        assert!(plot.lines().count() >= 15);
+    }
+
+    #[test]
+    fn missing_trace_is_reported() {
+        let r = SimResult::default();
+        assert!(render_ascii(&r, "nope", 10, 5).contains("no trace"));
+    }
+
+    #[test]
+    fn flat_trace_does_not_divide_by_zero() {
+        let mut r = SimResult { time: vec![0.0, 1.0], ..Default::default() };
+        r.traces.insert("c".into(), vec![1.0, 1.0]);
+        let plot = render_ascii(&r, "c", 20, 5);
+        assert!(plot.contains('*'));
+    }
+}

@@ -1,0 +1,200 @@
+//! Small-signal frequency-response measurement by transient sweeps.
+//!
+//! The simulator is time-domain only (like the paper's SPICE runs), so
+//! frequency responses are measured the lab way: drive a sine at each
+//! frequency, wait for the response to settle, and correlate the
+//! steady-state output against quadrature references to extract
+//! magnitude and phase.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use vase_vhif::VhifDesign;
+
+use crate::error::SimError;
+use crate::graph_sim::{simulate_design, SimConfig};
+use crate::stimulus::Stimulus;
+
+/// One measured frequency point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponsePoint {
+    /// Stimulus frequency, Hz.
+    pub frequency_hz: f64,
+    /// Magnitude gain `|H|`, V/V.
+    pub gain: f64,
+    /// Phase of `H`, radians in `(-π, π]`.
+    pub phase_rad: f64,
+}
+
+impl ResponsePoint {
+    /// Gain in decibels.
+    pub fn gain_db(&self) -> f64 {
+        20.0 * self.gain.max(1e-12).log10()
+    }
+}
+
+/// Measure the response `output(f)/input(f)` of a VHIF design at the
+/// given frequencies by transient sweeps (amplitude
+/// `amplitude` volts on `input`; all other inputs held at 0).
+///
+/// # Errors
+///
+/// Propagates simulation errors; fails with
+/// [`SimError::UnknownQuantity`] if `output` is not a trace of the
+/// design.
+pub fn frequency_response(
+    design: &VhifDesign,
+    input: &str,
+    output: &str,
+    amplitude: f64,
+    frequencies: &[f64],
+    extra_inputs: &BTreeMap<String, Stimulus>,
+) -> Result<Vec<ResponsePoint>, SimError> {
+    let mut points = Vec::with_capacity(frequencies.len());
+    for &frequency in frequencies {
+        if frequency <= 0.0 {
+            return Err(SimError::BadConfig { what: format!("frequency {frequency} <= 0") });
+        }
+        let periods_settle = 12.0;
+        let periods_measure = 8.0;
+        let t_end = (periods_settle + periods_measure) / frequency;
+        let dt = 1.0 / (frequency * 200.0);
+        let mut inputs = extra_inputs.clone();
+        inputs.insert(input.to_owned(), Stimulus::sine(amplitude, frequency));
+        let result = simulate_design(design, &inputs, &SimConfig::new(dt, t_end))?;
+        let trace = result
+            .trace(output)
+            .ok_or_else(|| SimError::UnknownQuantity { name: output.to_owned() })?;
+        // Correlate the tail against sin/cos references.
+        let start = (periods_settle / frequency / dt) as usize;
+        let mut i_acc = 0.0; // in-phase
+        let mut q_acc = 0.0; // quadrature
+        let mut n = 0usize;
+        for (k, &v) in trace.iter().enumerate().skip(start) {
+            let t = result.time[k];
+            let w = 2.0 * std::f64::consts::PI * frequency * t;
+            i_acc += v * w.sin();
+            q_acc += v * w.cos();
+            n += 1;
+        }
+        let scale = 2.0 / n as f64;
+        let re = i_acc * scale / amplitude;
+        let im = q_acc * scale / amplitude;
+        points.push(ResponsePoint {
+            frequency_hz: frequency,
+            gain: (re * re + im * im).sqrt(),
+            phase_rad: im.atan2(re),
+        });
+    }
+    Ok(points)
+}
+
+/// Log-spaced frequencies from `lo` to `hi` (inclusive).
+pub fn log_sweep(lo: f64, hi: f64, points_count: usize) -> Vec<f64> {
+    if points_count < 2 || lo <= 0.0 || hi <= lo {
+        return vec![lo.max(1e-3)];
+    }
+    let ratio = (hi / lo).ln();
+    (0..points_count)
+        .map(|i| lo * (ratio * i as f64 / (points_count - 1) as f64).exp())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vase_vhif::{BlockKind, SignalFlowGraph};
+
+    fn gain_stage(gain: f64) -> VhifDesign {
+        let mut g = SignalFlowGraph::new("amp");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let s = g.add(BlockKind::Scale { gain });
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, s, 0).expect("wire");
+        g.connect(s, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        d
+    }
+
+    fn rc_lowpass(w0: f64) -> VhifDesign {
+        // y' = w0 (x - y): first-order lowpass, cutoff w0.
+        let mut g = SignalFlowGraph::new("rc");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let sub = g.add(BlockKind::Sub);
+        let integ = g.add(BlockKind::Integrate { gain: w0, initial: 0.0 });
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, sub, 0).expect("wire");
+        g.connect(integ, sub, 1).expect("wire");
+        g.connect(sub, integ, 0).expect("wire");
+        g.connect(integ, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        d
+    }
+
+    #[test]
+    fn flat_gain_is_flat() {
+        let d = gain_stage(3.0);
+        let points = frequency_response(
+            &d,
+            "x",
+            "y",
+            0.1,
+            &[100.0, 1_000.0, 10_000.0],
+            &BTreeMap::new(),
+        )
+        .expect("measures");
+        for p in points {
+            assert!((p.gain - 3.0).abs() < 0.05, "gain {} at {}", p.gain, p.frequency_hz);
+            assert!(p.phase_rad.abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn rc_lowpass_has_3db_point_at_cutoff() {
+        let f0 = 1_000.0;
+        let d = rc_lowpass(2.0 * std::f64::consts::PI * f0);
+        let points = frequency_response(
+            &d,
+            "x",
+            "y",
+            0.1,
+            &[f0 / 10.0, f0, f0 * 10.0],
+            &BTreeMap::new(),
+        )
+        .expect("measures");
+        assert!((points[0].gain - 1.0).abs() < 0.03, "passband {}", points[0].gain);
+        let db_at_cutoff = points[1].gain_db();
+        assert!((db_at_cutoff + 3.0).abs() < 0.6, "-3 dB point, got {db_at_cutoff}");
+        assert!(points[2].gain < 0.15, "stopband {}", points[2].gain);
+        // Phase lags toward -90°.
+        assert!(points[2].phase_rad < -1.2, "phase {}", points[2].phase_rad);
+    }
+
+    #[test]
+    fn log_sweep_endpoints_and_spacing() {
+        let f = log_sweep(10.0, 1_000.0, 5);
+        assert_eq!(f.len(), 5);
+        assert!((f[0] - 10.0).abs() < 1e-9);
+        assert!((f[4] - 1000.0).abs() < 1e-6);
+        // log-spaced: constant ratio
+        let r = f[1] / f[0];
+        for w in f.windows(2) {
+            assert!((w[1] / w[0] - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_sweep_is_safe() {
+        assert_eq!(log_sweep(10.0, 1_000.0, 1).len(), 1);
+        assert_eq!(log_sweep(0.0, 1_000.0, 4).len(), 1);
+    }
+
+    #[test]
+    fn bad_frequency_rejected() {
+        let d = gain_stage(1.0);
+        let err = frequency_response(&d, "x", "y", 0.1, &[-5.0], &BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, SimError::BadConfig { .. }));
+    }
+}

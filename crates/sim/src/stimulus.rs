@@ -1,0 +1,143 @@
+//! Input stimuli for transient simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// A time-domain input waveform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Stimulus {
+    /// A constant level.
+    Constant {
+        /// Level in volts.
+        level: f64,
+    },
+    /// `offset + amplitude·sin(2π·frequency·t + phase)`.
+    Sine {
+        /// Amplitude, V.
+        amplitude: f64,
+        /// Frequency, Hz.
+        frequency: f64,
+        /// Phase, rad.
+        phase: f64,
+        /// DC offset, V.
+        offset: f64,
+    },
+    /// A level step at `at` seconds.
+    Step {
+        /// Level before the step.
+        before: f64,
+        /// Level after the step.
+        after: f64,
+        /// Step time, s.
+        at: f64,
+    },
+    /// A linear ramp from `from` to `to` over `[0, duration]`, holding
+    /// afterwards.
+    Ramp {
+        /// Starting level.
+        from: f64,
+        /// Final level.
+        to: f64,
+        /// Ramp duration, s.
+        duration: f64,
+    },
+    /// A periodic square pulse: `high` for the first `duty` fraction of
+    /// each period, `low` otherwise.
+    Pulse {
+        /// Low level.
+        low: f64,
+        /// High level.
+        high: f64,
+        /// Period, s.
+        period: f64,
+        /// High-time fraction in `(0, 1)`.
+        duty: f64,
+    },
+}
+
+impl Stimulus {
+    /// A convenience sine with zero phase and offset.
+    pub fn sine(amplitude: f64, frequency: f64) -> Self {
+        Stimulus::Sine { amplitude, frequency, phase: 0.0, offset: 0.0 }
+    }
+
+    /// Evaluate the stimulus at time `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        match *self {
+            Stimulus::Constant { level } => level,
+            Stimulus::Sine { amplitude, frequency, phase, offset } => {
+                offset + amplitude * (2.0 * std::f64::consts::PI * frequency * t + phase).sin()
+            }
+            Stimulus::Step { before, after, at } => {
+                if t < at {
+                    before
+                } else {
+                    after
+                }
+            }
+            Stimulus::Ramp { from, to, duration } => {
+                if duration <= 0.0 || t >= duration {
+                    to
+                } else if t <= 0.0 {
+                    from
+                } else {
+                    from + (to - from) * t / duration
+                }
+            }
+            Stimulus::Pulse { low, high, period, duty } => {
+                if period <= 0.0 {
+                    return low;
+                }
+                let frac = (t / period).fract();
+                if frac < duty {
+                    high
+                } else {
+                    low
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sine_evaluates() {
+        let s = Stimulus::sine(2.0, 1.0);
+        assert!((s.at(0.0)).abs() < 1e-12);
+        assert!((s.at(0.25) - 2.0).abs() < 1e-9);
+        assert!((s.at(0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_switches_at_time() {
+        let s = Stimulus::Step { before: 0.0, after: 1.0, at: 1e-3 };
+        assert_eq!(s.at(0.5e-3), 0.0);
+        assert_eq!(s.at(1.5e-3), 1.0);
+    }
+
+    #[test]
+    fn ramp_holds_after_duration() {
+        let s = Stimulus::Ramp { from: 0.0, to: 2.0, duration: 1.0 };
+        assert_eq!(s.at(0.5), 1.0);
+        assert_eq!(s.at(5.0), 2.0);
+        assert_eq!(s.at(-1.0), 0.0);
+    }
+
+    #[test]
+    fn pulse_duty_cycle() {
+        let s = Stimulus::Pulse { low: 0.0, high: 1.0, period: 1.0, duty: 0.25 };
+        assert_eq!(s.at(0.1), 1.0);
+        assert_eq!(s.at(0.5), 0.0);
+        assert_eq!(s.at(1.1), 1.0);
+    }
+
+    #[test]
+    fn degenerate_periods_are_safe() {
+        let s = Stimulus::Pulse { low: 0.0, high: 1.0, period: 0.0, duty: 0.5 };
+        assert_eq!(s.at(1.0), 0.0);
+        let r = Stimulus::Ramp { from: 1.0, to: 2.0, duration: 0.0 };
+        assert_eq!(r.at(0.0), 2.0);
+    }
+}

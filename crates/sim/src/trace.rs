@@ -1,0 +1,118 @@
+//! Simulation results: named, uniformly-sampled traces.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The result of one transient simulation.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Sample times, s.
+    pub time: Vec<f64>,
+    /// Named traces (outputs, probes, control signals), one sample per
+    /// time point.
+    pub traces: BTreeMap<String, Vec<f64>>,
+}
+
+impl SimResult {
+    /// The trace named `name`.
+    pub fn trace(&self, name: &str) -> Option<&[f64]> {
+        self.traces.get(name).map(|v| v.as_slice())
+    }
+
+    /// Minimum and maximum of a trace.
+    pub fn range(&self, name: &str) -> Option<(f64, f64)> {
+        let t = self.traces.get(name)?;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in t {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (!t.is_empty()).then_some((lo, hi))
+    }
+
+    /// Fraction of samples (after a settle prefix) within `tol` of
+    /// `level` — used to verify clipping plateaus (paper Fig. 8).
+    pub fn fraction_at_level(&self, name: &str, level: f64, tol: f64) -> f64 {
+        let Some(t) = self.traces.get(name) else { return 0.0 };
+        if t.is_empty() {
+            return 0.0;
+        }
+        let hits = t.iter().filter(|&&v| (v - level).abs() <= tol).count();
+        hits as f64 / t.len() as f64
+    }
+
+    /// Dump selected traces (all when `names` is empty) as CSV with a
+    /// `time` column.
+    pub fn to_csv(&self, names: &[&str]) -> String {
+        let selected: Vec<&String> = if names.is_empty() {
+            self.traces.keys().collect()
+        } else {
+            self.traces.keys().filter(|k| names.contains(&k.as_str())).collect()
+        };
+        let mut out = String::from("time");
+        for name in &selected {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        for (i, t) in self.time.iter().enumerate() {
+            out.push_str(&format!("{t:.9}"));
+            for name in &selected {
+                let v = self.traces[*name].get(i).copied().unwrap_or(f64::NAN);
+                out.push_str(&format!(",{v:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} samples, traces:", self.time.len())?;
+        for name in self.traces.keys() {
+            let (lo, hi) = self.range(name).unwrap_or((0.0, 0.0));
+            write!(f, " {name}[{lo:.3},{hi:.3}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> SimResult {
+        let mut r = SimResult { time: vec![0.0, 1.0, 2.0, 3.0], ..Default::default() };
+        r.traces.insert("y".into(), vec![0.0, 1.5, 1.5, -1.5]);
+        r
+    }
+
+    #[test]
+    fn range_and_level_fraction() {
+        let r = result();
+        assert_eq!(r.range("y"), Some((-1.5, 1.5)));
+        assert_eq!(r.fraction_at_level("y", 1.5, 1e-9), 0.5);
+        assert_eq!(r.fraction_at_level("missing", 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let r = result();
+        let csv = r.to_csv(&["y"]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,y");
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("0.000000000,0.000000"));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = result().to_string();
+        assert!(s.contains("4 samples"));
+        assert!(s.contains("y[-1.500,1.500]"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Exhaustive transfer-function checks: every component kind in the
+//! netlist simulator and every block kind in the behavioral simulator
+//! produces its defining response.
+
+use std::collections::BTreeMap;
+
+use vase_library::{ComponentKind, Netlist, PlacedComponent, SourceRef};
+use vase_sim::{simulate_design, simulate_netlist, SimConfig, Stimulus, AMP_SATURATION};
+use vase_vhif::block::LogicOp;
+use vase_vhif::{BlockKind, SignalFlowGraph, VhifDesign};
+
+fn stim(entries: &[(&str, Stimulus)]) -> BTreeMap<String, Stimulus> {
+    entries.iter().map(|(n, s)| (n.to_string(), *s)).collect()
+}
+
+fn place(kind: ComponentKind, inputs: Vec<SourceRef>) -> PlacedComponent {
+    PlacedComponent { kind, inputs, implements: vec![], label: "c".into() }
+}
+
+/// Simulate a single component with the given external drives and
+/// return the final output value.
+fn settle(kind: ComponentKind, drives: &[(&str, f64)]) -> f64 {
+    let mut netlist = Netlist::new();
+    let inputs = (0..kind.data_inputs())
+        .map(|i| SourceRef::External(format!("in{i}")))
+        .chain(kind.has_control_input().then(|| SourceRef::External("ctl".into())))
+        .collect();
+    netlist.push(place(kind, inputs));
+    netlist.outputs.push(("y".into(), SourceRef::Component(0)));
+    let stimuli = drives
+        .iter()
+        .map(|(n, v)| (n.to_string(), Stimulus::Constant { level: *v }))
+        .collect();
+    let result = simulate_netlist(&netlist, &stimuli, &[], &SimConfig::new(1e-5, 1e-3))
+        .expect("simulates");
+    *result.trace("y").expect("trace").last().expect("samples")
+}
+
+#[test]
+fn amplifier_chain_multiplies_stage_gains() {
+    let y = settle(
+        ComponentKind::AmplifierChain { stage_gains: vec![-2.0, -3.0] },
+        &[("in0", 0.3)],
+    );
+    assert!((y - 1.8).abs() < 1e-9, "y = {y}");
+}
+
+#[test]
+fn chain_saturates_per_stage() {
+    // First stage saturates before the second multiplies.
+    let y = settle(
+        ComponentKind::AmplifierChain { stage_gains: vec![10.0, 1.0] },
+        &[("in0", 1.0)],
+    );
+    assert!((y - AMP_SATURATION).abs() < 1e-9);
+}
+
+#[test]
+fn log_and_antilog_are_inverses() {
+    let x = 0.7;
+    let logged = settle(ComponentKind::LogAmp, &[("in0", x)]);
+    assert!((logged - x.ln()).abs() < 1e-9);
+    let back = settle(ComponentKind::AntilogAmp, &[("in0", logged)]);
+    assert!((back - x).abs() < 1e-9);
+}
+
+#[test]
+fn divider_divides_and_guards_zero() {
+    let y = settle(ComponentKind::Divider, &[("in0", 1.0), ("in1", 0.5)]);
+    assert!((y - 2.0).abs() < 1e-9);
+    let y0 = settle(ComponentKind::Divider, &[("in0", 1.0), ("in1", 0.0)]);
+    assert!(y0.is_finite());
+    assert!((y0 - AMP_SATURATION).abs() < 1e-9, "saturates, got {y0}");
+}
+
+#[test]
+fn rectifier_takes_magnitude() {
+    assert!((settle(ComponentKind::PrecisionRectifier, &[("in0", -0.4)]) - 0.4).abs() < 1e-9);
+}
+
+#[test]
+fn adc_quantizes_to_lsb() {
+    let lsb = 5.0 / 256.0;
+    let y = settle(ComponentKind::Adc { bits: 8 }, &[("in0", 0.5), ("ctl", 1.0)]);
+    assert!((y / lsb).fract().abs() < 1e-9 || ((y / lsb).fract() - 1.0).abs() < 1e-9);
+    assert!((y - 0.5).abs() <= lsb);
+}
+
+#[test]
+fn difference_amp_subtracts_with_gain() {
+    let y = settle(
+        ComponentKind::DifferenceAmp { gain: 2.0 },
+        &[("in0", 0.8), ("in1", 0.3)],
+    );
+    assert!((y - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn mux_selects_by_control() {
+    let y0 = settle(
+        ComponentKind::AnalogMux { inputs: 2 },
+        &[("in0", 0.25), ("in1", 0.75), ("ctl", 0.0)],
+    );
+    assert!((y0 - 0.25).abs() < 1e-9);
+    let y1 = settle(
+        ComponentKind::AnalogMux { inputs: 2 },
+        &[("in0", 0.25), ("in1", 0.75), ("ctl", 1.0)],
+    );
+    assert!((y1 - 0.75).abs() < 1e-9);
+}
+
+#[test]
+fn voltage_ref_ignores_the_world() {
+    assert!((settle(ComponentKind::VoltageRef { level: 1.23 }, &[]) - 1.23).abs() < 1e-12);
+}
+
+#[test]
+fn switch_opens_and_closes() {
+    let closed = settle(ComponentKind::AnalogSwitch, &[("in0", 0.6), ("ctl", 1.0)]);
+    assert!((closed - 0.6).abs() < 1e-9);
+    let open = settle(ComponentKind::AnalogSwitch, &[("in0", 0.6), ("ctl", 0.0)]);
+    assert_eq!(open, 0.0);
+}
+
+// ------------------------------------------------ behavioral blocks
+
+/// Build a one-operation design and return the final output.
+fn settle_block(kind: BlockKind, drives: &[(&str, f64)]) -> f64 {
+    let mut g = SignalFlowGraph::new("t");
+    let mut port = 0;
+    let mut wires = Vec::new();
+    for i in 0..kind.data_inputs() {
+        let b = g.add(BlockKind::Input { name: format!("in{i}") });
+        wires.push((b, port));
+        port += 1;
+    }
+    for _ in 0..kind.control_inputs() {
+        let b = g.add(BlockKind::ControlInput { name: "ctl".into() });
+        wires.push((b, port));
+        port += 1;
+    }
+    let op = g.add(kind);
+    for (b, p) in wires {
+        g.connect(b, op, p).expect("wire");
+    }
+    let y = g.add(BlockKind::Output { name: "y".into() });
+    g.connect(op, y, 0).expect("wire");
+    let mut d = VhifDesign::new("t");
+    d.graphs.push(g);
+    let stimuli = drives
+        .iter()
+        .map(|(n, v)| (n.to_string(), Stimulus::Constant { level: *v }))
+        .collect();
+    let result =
+        simulate_design(&d, &stimuli, &SimConfig::new(1e-5, 1e-3)).expect("simulates");
+    *result.trace("y").expect("trace").last().expect("samples")
+}
+
+#[test]
+fn behavioral_div_abs_log_antilog() {
+    assert!((settle_block(BlockKind::Div, &[("in0", 1.0), ("in1", 4.0)]) - 0.25).abs() < 1e-9);
+    assert!((settle_block(BlockKind::Abs, &[("in0", -0.9)]) - 0.9).abs() < 1e-9);
+    let l = settle_block(BlockKind::Log, &[("in0", 2.0)]);
+    assert!((l - 2.0_f64.ln()).abs() < 1e-9);
+    let e = settle_block(BlockKind::Antilog, &[("in0", 1.0)]);
+    assert!((e - std::f64::consts::E).abs() < 1e-9);
+}
+
+#[test]
+fn behavioral_logic_gates() {
+    for (op, a, b, want) in [
+        (LogicOp::And, 1.0, 1.0, 1.0),
+        (LogicOp::And, 1.0, 0.0, 0.0),
+        (LogicOp::Or, 0.0, 1.0, 1.0),
+        (LogicOp::Or, 0.0, 0.0, 0.0),
+        (LogicOp::Xor, 1.0, 1.0, 0.0),
+        (LogicOp::Xor, 1.0, 0.0, 1.0),
+    ] {
+        let mut g = SignalFlowGraph::new("t");
+        let ca = g.add(BlockKind::ControlInput { name: "a".into() });
+        let cb = g.add(BlockKind::ControlInput { name: "b".into() });
+        let gate = g.add(BlockKind::Logic { op, arity: 2 });
+        g.connect(ca, gate, 0).expect("wire");
+        g.connect(cb, gate, 1).expect("wire");
+        // Logic output is control-class; observe through a switch.
+        let one = g.add(BlockKind::Const { value: 1.0 });
+        let sw = g.add(BlockKind::Switch);
+        g.connect(one, sw, 0).expect("wire");
+        g.connect(gate, sw, 1).expect("wire");
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(sw, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let result = simulate_design(
+            &d,
+            &stim(&[
+                ("a", Stimulus::Constant { level: a }),
+                ("b", Stimulus::Constant { level: b }),
+            ]),
+            &SimConfig::new(1e-5, 1e-4),
+        )
+        .expect("simulates");
+        let got = *result.trace("y").expect("trace").last().expect("samples");
+        assert_eq!(got, want, "{op:?}({a},{b})");
+    }
+}
+
+#[test]
+fn behavioral_memory_holds_on_write_edge() {
+    let mut g = SignalFlowGraph::new("t");
+    let x = g.add(BlockKind::Input { name: "x".into() });
+    let w = g.add(BlockKind::ControlInput { name: "w".into() });
+    let mem = g.add(BlockKind::Memory);
+    g.connect(x, mem, 0).expect("wire");
+    g.connect(w, mem, 1).expect("wire");
+    // Memory output is control-class; gate a constant with it... just
+    // probe through the FSM-free trace by wiring to a Switch select.
+    let one = g.add(BlockKind::Const { value: 1.0 });
+    let sw = g.add(BlockKind::Switch);
+    g.connect(one, sw, 0).expect("wire");
+    g.connect(mem, sw, 1).expect("wire");
+    let y = g.add(BlockKind::Output { name: "y".into() });
+    g.connect(sw, y, 0).expect("wire");
+    let mut d = VhifDesign::new("t");
+    d.graphs.push(g);
+    let result = simulate_design(
+        &d,
+        &stim(&[
+            ("x", Stimulus::Constant { level: 1.0 }),
+            // write pulse early, then released
+            ("w", Stimulus::Step { before: 1.0, after: 0.0, at: 3e-4 }),
+        ]),
+        &SimConfig::new(1e-5, 1e-3),
+    )
+    .expect("simulates");
+    let y = result.trace("y").expect("trace");
+    assert_eq!(*y.last().expect("samples"), 1.0, "memory held the written 1");
+}
+
+#[test]
+fn behavioral_power_matches_netlist_multiplier() {
+    // x² computed behaviorally (Mul of same signal) vs the mapped
+    // Multiplier component.
+    let mut g = SignalFlowGraph::new("sq");
+    let x = g.add(BlockKind::Input { name: "x".into() });
+    let m = g.add(BlockKind::Mul);
+    g.connect(x, m, 0).expect("wire");
+    g.connect(x, m, 1).expect("wire");
+    let y = g.add(BlockKind::Output { name: "y".into() });
+    g.connect(m, y, 0).expect("wire");
+    let mut d = VhifDesign::new("t");
+    d.graphs.push(g);
+    let behavioral = simulate_design(
+        &d,
+        &stim(&[("x", Stimulus::Constant { level: 0.6 })]),
+        &SimConfig::new(1e-5, 1e-4),
+    )
+    .expect("simulates");
+    let got = *behavioral.trace("y").expect("trace").last().expect("samples");
+    assert!((got - 0.36).abs() < 1e-9);
+
+    let y = settle(ComponentKind::Multiplier, &[("in0", 0.6), ("in1", 0.6)]);
+    assert!((y - 0.36).abs() < 1e-9);
+}

@@ -1,0 +1,409 @@
+//! Signal-flow block definitions.
+//!
+//! VHIF represents continuous-time behavior as signal-flow graphs whose
+//! nodes ("blocks") carry exact knowledge about the processing of
+//! signals (paper Section 4). Every block kind here is implementable
+//! with an electronic circuit from the component library (paper \[7\]):
+//! adders map to summing amplifiers, scalers to inverting/non-inverting
+//! amplifiers, integrators to op-amp integrators, and so on.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The signal class carried on a block's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalClass {
+    /// Continuous analog value.
+    Analog,
+    /// Event-driven control value (bit/boolean).
+    Control,
+}
+
+impl fmt::Display for SignalClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SignalClass::Analog => "analog",
+            SignalClass::Control => "control",
+        })
+    }
+}
+
+/// A logic gate operation on control signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogicOp {
+    /// Logical conjunction.
+    And,
+    /// Logical disjunction.
+    Or,
+    /// Logical negation (arity 1).
+    Not,
+    /// Exclusive or.
+    Xor,
+}
+
+impl fmt::Display for LogicOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LogicOp::And => "and",
+            LogicOp::Or => "or",
+            LogicOp::Not => "not",
+            LogicOp::Xor => "xor",
+        })
+    }
+}
+
+/// The operation a signal-flow block performs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// External analog input (no input ports).
+    Input {
+        /// Port/quantity name.
+        name: String,
+    },
+    /// External analog output (one input port).
+    Output {
+        /// Port/quantity name.
+        name: String,
+    },
+    /// External control input — a *signal* produced by the event-driven
+    /// part (an FSM data-path output) and consumed by switches, muxes,
+    /// and sample-and-hold blocks.
+    ControlInput {
+        /// Signal name.
+        name: String,
+    },
+    /// Constant analog source.
+    Const {
+        /// The constant value.
+        value: f64,
+    },
+    /// `y = gain * u` — maps to an inverting or non-inverting amplifier.
+    Scale {
+        /// The gain.
+        gain: f64,
+    },
+    /// `y = u0 + u1 + ... + u(n-1)` — maps to a summing amplifier.
+    Add {
+        /// Number of inputs (≥ 2).
+        arity: usize,
+    },
+    /// `y = u0 - u1` — maps to a difference amplifier.
+    Sub,
+    /// `y = u0 * u1` — maps to an analog multiplier (log/antilog core
+    /// or Gilbert cell).
+    Mul,
+    /// `y = u0 / u1`.
+    Div,
+    /// `dy/dt = gain * u` — maps to an op-amp integrator.
+    Integrate {
+        /// Integration gain (1/RC).
+        gain: f64,
+        /// Initial condition.
+        initial: f64,
+    },
+    /// `y = gain * du/dt` — maps to an op-amp differentiator.
+    Differentiate {
+        /// Differentiation gain (RC).
+        gain: f64,
+    },
+    /// `y = ln(u)` — maps to a log amplifier.
+    Log,
+    /// `y = exp(u)` — maps to an anti-log amplifier.
+    Antilog,
+    /// `y = |u|` — maps to a precision rectifier.
+    Abs,
+    /// Track-and-hold: output follows input 0 while control (port 1) is
+    /// high, holds when low.
+    SampleHold,
+    /// Analog switch: passes input 0 while control (port 1) is high,
+    /// outputs 0 V (open) when low.
+    Switch,
+    /// `n`-way analog multiplexer: data ports `0..arity`, select
+    /// control on port `arity`.
+    Mux {
+        /// Number of data inputs (≥ 2).
+        arity: usize,
+    },
+    /// Threshold comparator producing a control output:
+    /// `y = (u > threshold)`. Maps to a zero-cross detector (with level
+    /// shift) or comparator circuit; realizes `'above` events.
+    Comparator {
+        /// Threshold in volts.
+        threshold: f64,
+    },
+    /// Schmitt trigger: comparator with hysteresis band `[low, high]`.
+    SchmittTrigger {
+        /// Lower switching threshold.
+        low: f64,
+        /// Upper switching threshold.
+        high: f64,
+    },
+    /// Analog-to-digital converter: data on port 0, sample control on
+    /// port 1; control-class (digital word) output.
+    Adc {
+        /// Resolution in bits.
+        bits: u32,
+    },
+    /// Saturating limiter: `y = clamp(u, -level, +level)`.
+    Limiter {
+        /// Clipping level in volts.
+        level: f64,
+    },
+    /// Output/drive stage inferred from port annotations (paper §6,
+    /// `block 4`): low output impedance, drives `load_ohms` at
+    /// `peak_volts`, optional limiting.
+    OutputStage {
+        /// Load the stage must drive, in ohms.
+        load_ohms: f64,
+        /// Required peak amplitude, in volts.
+        peak_volts: f64,
+        /// Clipping level, if the port is annotated `limited`.
+        limit: Option<f64>,
+    },
+    /// One-per-*signal* memory block (paper §4): stores the value on
+    /// port 0 when the write control (port 1) is high.
+    Memory,
+    /// A logic gate combining control signals (used for condition
+    /// networks feeding switches and muxes; realizable with simple
+    /// comparator/diode logic in a mixed ASIC).
+    Logic {
+        /// The gate function.
+        op: LogicOp,
+        /// Number of control inputs (1 for `not`, ≥ 2 otherwise).
+        arity: usize,
+    },
+}
+
+impl BlockKind {
+    /// Number of data (analog) input ports.
+    pub fn data_inputs(&self) -> usize {
+        use BlockKind::*;
+        match self {
+            Input { .. } | ControlInput { .. } | Const { .. } => 0,
+            Output { .. } | Scale { .. } | Integrate { .. } | Differentiate { .. } | Log
+            | Antilog | Abs | Comparator { .. } | SchmittTrigger { .. } | Limiter { .. }
+            | OutputStage { .. } => 1,
+            Sub | Mul | Div => 2,
+            Add { arity } | Mux { arity } => *arity,
+            SampleHold | Switch | Adc { .. } | Memory => 1,
+            Logic { .. } => 0,
+        }
+    }
+
+    /// Number of control input ports. Control ports follow the data
+    /// ports, occupying indices `data_inputs()..input_arity()`.
+    pub fn control_inputs(&self) -> usize {
+        match self {
+            BlockKind::SampleHold
+            | BlockKind::Switch
+            | BlockKind::Mux { .. }
+            | BlockKind::Adc { .. }
+            | BlockKind::Memory => 1,
+            BlockKind::Logic { arity, .. } => *arity,
+            _ => 0,
+        }
+    }
+
+    /// Whether the block has at least one control input port.
+    pub fn has_control_input(&self) -> bool {
+        self.control_inputs() > 0
+    }
+
+    /// Total number of input ports (data + control).
+    pub fn input_arity(&self) -> usize {
+        self.data_inputs() + self.control_inputs()
+    }
+
+    /// The class of the block's output.
+    pub fn output_class(&self) -> SignalClass {
+        match self {
+            BlockKind::Comparator { .. }
+            | BlockKind::SchmittTrigger { .. }
+            | BlockKind::Adc { .. }
+            | BlockKind::ControlInput { .. }
+            | BlockKind::Logic { .. }
+            | BlockKind::Memory => SignalClass::Control,
+            _ => SignalClass::Analog,
+        }
+    }
+
+    /// Whether the block breaks combinational cycles (has state):
+    /// feedback loops through these blocks are legal in a signal-flow
+    /// graph; purely combinational loops (algebraic loops) are not.
+    pub fn is_stateful(&self) -> bool {
+        matches!(
+            self,
+            BlockKind::Integrate { .. }
+                | BlockKind::SampleHold
+                | BlockKind::Memory
+                | BlockKind::SchmittTrigger { .. }
+        )
+    }
+
+    /// Whether this is an interface marker (external input/output)
+    /// rather than a processing operation. Table 1's block counts cover
+    /// processing blocks only.
+    pub fn is_interface(&self) -> bool {
+        matches!(
+            self,
+            BlockKind::Input { .. } | BlockKind::Output { .. } | BlockKind::ControlInput { .. }
+        )
+    }
+
+    /// A short operation mnemonic (used in dumps and pattern matching).
+    pub fn mnemonic(&self) -> &'static str {
+        use BlockKind::*;
+        match self {
+            Input { .. } => "in",
+            Output { .. } => "out",
+            ControlInput { .. } => "ctl",
+            Const { .. } => "const",
+            Scale { .. } => "scale",
+            Add { .. } => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            Integrate { .. } => "integ",
+            Differentiate { .. } => "diff",
+            Log => "log",
+            Antilog => "antilog",
+            Abs => "abs",
+            SampleHold => "sh",
+            Switch => "sw",
+            Mux { .. } => "mux",
+            Comparator { .. } => "cmp",
+            SchmittTrigger { .. } => "schmitt",
+            Adc { .. } => "adc",
+            Limiter { .. } => "limit",
+            OutputStage { .. } => "ostage",
+            Memory => "mem",
+            Logic { .. } => "logic",
+        }
+    }
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use BlockKind::*;
+        match self {
+            Input { name } => write!(f, "in({name})"),
+            Output { name } => write!(f, "out({name})"),
+            ControlInput { name } => write!(f, "ctl({name})"),
+            Const { value } => write!(f, "const({value})"),
+            Scale { gain } => write!(f, "scale({gain})"),
+            Add { arity } => write!(f, "add/{arity}"),
+            Integrate { gain, initial } => write!(f, "integ(gain={gain}, ic={initial})"),
+            Differentiate { gain } => write!(f, "diff(gain={gain})"),
+            Mux { arity } => write!(f, "mux/{arity}"),
+            Comparator { threshold } => write!(f, "cmp(>{threshold})"),
+            SchmittTrigger { low, high } => write!(f, "schmitt({low},{high})"),
+            Adc { bits } => write!(f, "adc({bits}b)"),
+            Limiter { level } => write!(f, "limit(±{level})"),
+            OutputStage { load_ohms, peak_volts, limit } => {
+                write!(f, "ostage({load_ohms}Ω @ {peak_volts}Vpk")?;
+                if let Some(l) = limit {
+                    write!(f, ", ±{l}V")?;
+                }
+                write!(f, ")")
+            }
+            Logic { op, arity } => write!(f, "logic({op}/{arity})"),
+            other => f.write_str(other.mnemonic()),
+        }
+    }
+}
+
+/// A block instance: its operation plus an optional label tying it back
+/// to the source (e.g. "block1" in paper Fig. 7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// The operation.
+    pub kind: BlockKind,
+    /// Optional human-readable label.
+    pub label: Option<String>,
+}
+
+impl Block {
+    /// A block with no label.
+    pub fn new(kind: BlockKind) -> Self {
+        Block { kind, label: None }
+    }
+
+    /// A labelled block.
+    pub fn labelled(kind: BlockKind, label: impl Into<String>) -> Self {
+        Block { kind, label: Some(label.into()) }
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.label {
+            Some(l) => write!(f, "{l}:{}", self.kind),
+            None => write!(f, "{}", self.kind),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities() {
+        assert_eq!(BlockKind::Input { name: "x".into() }.input_arity(), 0);
+        assert_eq!(BlockKind::Scale { gain: 2.0 }.input_arity(), 1);
+        assert_eq!(BlockKind::Add { arity: 3 }.input_arity(), 3);
+        assert_eq!(BlockKind::Sub.input_arity(), 2);
+        // Control port adds one.
+        assert_eq!(BlockKind::SampleHold.input_arity(), 2);
+        assert_eq!(BlockKind::Switch.input_arity(), 2);
+        assert_eq!(BlockKind::Mux { arity: 4 }.input_arity(), 5);
+        assert_eq!(BlockKind::Memory.input_arity(), 2);
+    }
+
+    #[test]
+    fn logic_gate_ports() {
+        let g = BlockKind::Logic { op: LogicOp::And, arity: 2 };
+        assert_eq!(g.data_inputs(), 0);
+        assert_eq!(g.control_inputs(), 2);
+        assert_eq!(g.input_arity(), 2);
+        assert_eq!(g.output_class(), SignalClass::Control);
+        let n = BlockKind::Logic { op: LogicOp::Not, arity: 1 };
+        assert_eq!(n.input_arity(), 1);
+    }
+
+    #[test]
+    fn output_classes() {
+        assert_eq!(BlockKind::Scale { gain: 1.0 }.output_class(), SignalClass::Analog);
+        assert_eq!(BlockKind::Comparator { threshold: 0.0 }.output_class(), SignalClass::Control);
+        assert_eq!(
+            BlockKind::SchmittTrigger { low: -0.1, high: 0.1 }.output_class(),
+            SignalClass::Control
+        );
+        assert_eq!(BlockKind::Adc { bits: 8 }.output_class(), SignalClass::Control);
+    }
+
+    #[test]
+    fn statefulness_breaks_cycles() {
+        assert!(BlockKind::Integrate { gain: 1.0, initial: 0.0 }.is_stateful());
+        assert!(BlockKind::SampleHold.is_stateful());
+        assert!(!BlockKind::Add { arity: 2 }.is_stateful());
+        assert!(!BlockKind::Mul.is_stateful());
+    }
+
+    #[test]
+    fn interface_markers() {
+        assert!(BlockKind::Input { name: "a".into() }.is_interface());
+        assert!(BlockKind::ControlInput { name: "c".into() }.is_interface());
+        assert!(!BlockKind::Const { value: 1.0 }.is_interface());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let b = Block::labelled(BlockKind::Scale { gain: 0.5 }, "block1");
+        assert_eq!(b.to_string(), "block1:scale(0.5)");
+        let os = BlockKind::OutputStage { load_ohms: 270.0, peak_volts: 0.285, limit: Some(1.5) };
+        assert!(os.to_string().contains("270"));
+        assert!(os.to_string().contains("1.5"));
+    }
+}

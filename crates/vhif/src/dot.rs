@@ -1,0 +1,180 @@
+//! Graphviz (DOT) export of VHIF structures, for visualizing the
+//! paper's figures (signal-flow graphs like Fig. 3b/7a, FSMs like the
+//! process machines).
+
+use std::fmt::Write as _;
+
+use crate::block::SignalClass;
+use crate::design::VhifDesign;
+use crate::fsm::{Fsm, Trigger};
+use crate::graph::SignalFlowGraph;
+
+/// Render a signal-flow graph as a DOT digraph. Analog edges are
+/// solid, control edges dashed; interface blocks are drawn as plain
+/// ovals, operations as boxes.
+pub fn graph_to_dot(graph: &SignalFlowGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (id, block) in graph.iter() {
+        let shape = if block.kind.is_interface() { "oval" } else { "box" };
+        let label = match &block.label {
+            Some(l) => format!("{l}\\n{}", block.kind),
+            None => block.kind.to_string(),
+        };
+        let _ = writeln!(out, "  {id} [shape={shape} label=\"{}\"];", escape(&label));
+    }
+    for (id, _) in graph.iter() {
+        for (port, driver) in graph.block_inputs(id).iter().enumerate() {
+            let Some(driver) = driver else { continue };
+            let style = if graph.kind(*driver).output_class() == SignalClass::Control {
+                " [style=dashed]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  {driver} -> {id}{style};");
+            let _ = port;
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render an FSM as a DOT digraph: states are circles (`start` doubled)
+/// annotated with their data-path operations; arcs carry their
+/// triggers.
+pub fn fsm_to_dot(fsm: &Fsm) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", fsm.name());
+    for (id, state) in fsm.iter() {
+        let shape = if id == fsm.start() { "doublecircle" } else { "circle" };
+        let mut label = state.name.clone();
+        for op in &state.ops {
+            label.push_str("\\n");
+            label.push_str(&op.to_string());
+        }
+        let _ = writeln!(out, "  {id} [shape={shape} label=\"{}\"];", escape(&label));
+    }
+    for t in fsm.transitions() {
+        let label = match &t.trigger {
+            Trigger::Always => String::new(),
+            other => other.to_string(),
+        };
+        let _ = writeln!(out, "  {} -> {} [label=\"{}\"];", t.from, t.to, escape(&label));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a whole design: each graph and FSM as a cluster in one DOT
+/// file.
+pub fn design_to_dot(design: &VhifDesign) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", design.name);
+    let _ = writeln!(out, "  compound=true; rankdir=LR;");
+    for (gi, graph) in design.graphs.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_g{gi} {{");
+        let _ = writeln!(out, "    label=\"graph {}\";", graph.name());
+        for (id, block) in graph.iter() {
+            let shape = if block.kind.is_interface() { "oval" } else { "box" };
+            let _ = writeln!(
+                out,
+                "    g{gi}_{id} [shape={shape} label=\"{}\"];",
+                escape(&block.kind.to_string())
+            );
+        }
+        for (id, _) in graph.iter() {
+            for driver in graph.block_inputs(id).iter().flatten() {
+                let _ = writeln!(out, "    g{gi}_{driver} -> g{gi}_{id};");
+            }
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for (fi, fsm) in design.fsms.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_f{fi} {{");
+        let _ = writeln!(out, "    label=\"fsm {}\";", fsm.name());
+        for (id, state) in fsm.iter() {
+            let _ = writeln!(
+                out,
+                "    f{fi}_{id} [shape=circle label=\"{}\"];",
+                escape(&state.name)
+            );
+        }
+        for t in fsm.transitions() {
+            let _ = writeln!(out, "    f{fi}_{} -> f{fi}_{};", t.from, t.to);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockKind;
+    use crate::dp::{DataOp, DpExpr, Event};
+
+    fn small_graph() -> SignalFlowGraph {
+        let mut g = SignalFlowGraph::new("t");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let s = g.add_labelled(BlockKind::Scale { gain: 2.0 }, "block1");
+        let c = g.add(BlockKind::ControlInput { name: "en".into() });
+        let sw = g.add(BlockKind::Switch);
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, s, 0).expect("wire");
+        g.connect(s, sw, 0).expect("wire");
+        g.connect(c, sw, 1).expect("wire");
+        g.connect(sw, y, 0).expect("wire");
+        g
+    }
+
+    #[test]
+    fn graph_dot_has_nodes_and_edges() {
+        let dot = graph_to_dot(&small_graph());
+        assert!(dot.starts_with("digraph \"t\""));
+        assert!(dot.contains("b0 [shape=oval"));
+        assert!(dot.contains("block1"));
+        assert!(dot.contains("b0 -> b1;"));
+        // the control edge is dashed
+        assert!(dot.contains("b2 -> b3 [style=dashed];"), "{dot}");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn fsm_dot_marks_start_and_triggers() {
+        let mut fsm = Fsm::new("m");
+        let start = fsm.start();
+        let s1 = fsm.add_state("work");
+        fsm.state_mut(s1).ops.push(DataOp::new("c", DpExpr::Bit(true)));
+        fsm.add_transition(
+            start,
+            s1,
+            Trigger::AnyEvent(vec![Event::Above { quantity: "q".into(), threshold: 0.5 }]),
+        );
+        fsm.add_transition(s1, start, Trigger::Always);
+        let dot = fsm_to_dot(&fsm);
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("c <= '1'"));
+        assert!(dot.contains("q'above(0.5)"));
+    }
+
+    #[test]
+    fn design_dot_clusters_parts() {
+        let mut d = VhifDesign::new("sys");
+        d.graphs.push(small_graph());
+        d.fsms.push(Fsm::new("ctl"));
+        let dot = design_to_dot(&d);
+        assert!(dot.contains("subgraph cluster_g0"));
+        assert!(dot.contains("subgraph cluster_f0"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+    }
+}

@@ -1,0 +1,248 @@
+//! Events and data-path expressions for the event-driven part.
+//!
+//! VHIF represents the event-driven behavior as an FSM whose states
+//! carry data-path operations (paper Fig. 3b). The operations here are
+//! deliberately small: they are what VASS process bodies compile to,
+//! and each construct is realizable with analog/mixed circuits
+//! (comparators, sample-and-holds, small logic).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An event that can resume a process / trigger an FSM transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// `q'above(threshold)` changed — realized by a comparator /
+    /// zero-cross detector watching quantity `quantity`.
+    Above {
+        /// The watched quantity.
+        quantity: String,
+        /// Threshold in the quantity's units.
+        threshold: f64,
+    },
+    /// Any event on *signal* `signal` (a port of the event-driven part
+    /// or an external digital input).
+    SignalChange {
+        /// The signal name.
+        signal: String,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Above { quantity, threshold } => write!(f, "{quantity}'above({threshold})"),
+            Event::SignalChange { signal } => write!(f, "event({signal})"),
+        }
+    }
+}
+
+/// Binary operators available in data-path expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DpBinaryOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Logical and.
+    And,
+    /// Logical or.
+    Or,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    NotEq,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    LtEq,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    GtEq,
+}
+
+impl fmt::Display for DpBinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DpBinaryOp::Add => "+",
+            DpBinaryOp::Sub => "-",
+            DpBinaryOp::Mul => "*",
+            DpBinaryOp::Div => "/",
+            DpBinaryOp::And => "and",
+            DpBinaryOp::Or => "or",
+            DpBinaryOp::Eq => "=",
+            DpBinaryOp::NotEq => "/=",
+            DpBinaryOp::Lt => "<",
+            DpBinaryOp::LtEq => "<=",
+            DpBinaryOp::Gt => ">",
+            DpBinaryOp::GtEq => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A data-path expression: the RHS of an FSM data-path operation or a
+/// transition guard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DpExpr {
+    /// Bit constant (`'0'`/`'1'`, also used for booleans).
+    Bit(bool),
+    /// Real constant.
+    Real(f64),
+    /// The current value of a *signal* or process variable.
+    Signal(String),
+    /// A sampled quantity value (analog tap into the event-driven part).
+    Quantity(String),
+    /// The boolean level of an event source (e.g. `line'above(vth)`
+    /// used as a value, paper Fig. 2).
+    EventLevel(Event),
+    /// Analog-to-digital conversion of a sampled value (realized by an
+    /// ADC circuit in the synthesized event-driven part).
+    Adc(Box<DpExpr>),
+    /// Logical negation.
+    Not(Box<DpExpr>),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: DpBinaryOp,
+        /// Left operand.
+        lhs: Box<DpExpr>,
+        /// Right operand.
+        rhs: Box<DpExpr>,
+    },
+}
+
+impl DpExpr {
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: DpBinaryOp, lhs: DpExpr, rhs: DpExpr) -> DpExpr {
+        DpExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Names of all signals/variables/quantities this expression reads.
+    pub fn reads(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut BTreeSet<String>) {
+        match self {
+            DpExpr::Signal(n) | DpExpr::Quantity(n) => {
+                out.insert(n.clone());
+            }
+            DpExpr::EventLevel(Event::Above { quantity, .. }) => {
+                out.insert(quantity.clone());
+            }
+            DpExpr::EventLevel(Event::SignalChange { signal }) => {
+                out.insert(signal.clone());
+            }
+            DpExpr::Adc(e) | DpExpr::Not(e) => e.collect_reads(out),
+            DpExpr::Binary { lhs, rhs, .. } => {
+                lhs.collect_reads(out);
+                rhs.collect_reads(out);
+            }
+            DpExpr::Bit(_) | DpExpr::Real(_) => {}
+        }
+    }
+}
+
+impl fmt::Display for DpExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpExpr::Bit(b) => write!(f, "'{}'", u8::from(*b)),
+            DpExpr::Real(v) => write!(f, "{v}"),
+            DpExpr::Signal(n) => write!(f, "{n}"),
+            DpExpr::Quantity(n) => write!(f, "{n}"),
+            DpExpr::EventLevel(e) => write!(f, "{e}"),
+            DpExpr::Adc(e) => write!(f, "adc({e})"),
+            DpExpr::Not(e) => write!(f, "not ({e})"),
+            DpExpr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+        }
+    }
+}
+
+/// One data-path operation inside an FSM state: `target <= value`.
+/// Operations within a state execute concurrently (paper §4: statements
+/// are grouped into the same state when no data dependency exists).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataOp {
+    /// Assigned signal or variable.
+    pub target: String,
+    /// Assigned value.
+    pub value: DpExpr,
+}
+
+impl DataOp {
+    /// Construct an operation.
+    pub fn new(target: impl Into<String>, value: DpExpr) -> Self {
+        DataOp { target: target.into(), value }
+    }
+
+    /// Whether `other` depends on this operation's result (i.e. reads
+    /// this op's target) — the criterion for state splitting.
+    pub fn feeds(&self, other: &DataOp) -> bool {
+        other.value.reads().contains(&self.target)
+    }
+}
+
+impl fmt::Display for DataOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <= {}", self.target, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_display() {
+        let e = Event::Above { quantity: "line".into(), threshold: 0.07 };
+        assert_eq!(e.to_string(), "line'above(0.07)");
+        assert_eq!(Event::SignalChange { signal: "s".into() }.to_string(), "event(s)");
+    }
+
+    #[test]
+    fn reads_collects_all_names() {
+        let e = DpExpr::binary(
+            DpBinaryOp::Add,
+            DpExpr::Signal("a".into()),
+            DpExpr::binary(DpBinaryOp::Mul, DpExpr::Quantity("q".into()), DpExpr::Real(2.0)),
+        );
+        let reads = e.reads();
+        assert!(reads.contains("a"));
+        assert!(reads.contains("q"));
+        assert_eq!(reads.len(), 2);
+    }
+
+    #[test]
+    fn event_level_reads_its_quantity() {
+        let e = DpExpr::EventLevel(Event::Above { quantity: "line".into(), threshold: 0.1 });
+        assert!(e.reads().contains("line"));
+    }
+
+    #[test]
+    fn feeds_detects_dependency() {
+        // Paper Fig. 3a: assignment 6 depends on assignment 5 via `n`.
+        let op5 = DataOp::new("n", DpExpr::Bit(true));
+        let op6 = DataOp::new(
+            "m",
+            DpExpr::binary(DpBinaryOp::And, DpExpr::Signal("n".into()), DpExpr::Bit(true)),
+        );
+        assert!(op5.feeds(&op6));
+        assert!(!op6.feeds(&op5));
+    }
+
+    #[test]
+    fn dataop_display() {
+        let op = DataOp::new("c1", DpExpr::Bit(true));
+        assert_eq!(op.to_string(), "c1 <= '1'");
+    }
+}

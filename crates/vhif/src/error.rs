@@ -1,0 +1,122 @@
+//! Error type for VHIF construction and validation.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::block::SignalClass;
+
+/// A structural error in a VHIF representation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VhifError {
+    /// A block id did not belong to the graph.
+    UnknownBlock,
+    /// A connection targeted a port beyond a block's arity.
+    BadPort {
+        /// The offending block.
+        block: String,
+        /// The requested port.
+        port: usize,
+        /// The block's arity.
+        arity: usize,
+    },
+    /// A port already had a driver.
+    PortAlreadyDriven {
+        /// The offending block.
+        block: String,
+        /// The port.
+        port: usize,
+    },
+    /// Analog/control class mismatch on a connection.
+    ClassMismatch {
+        /// Driver block.
+        from: String,
+        /// Consumer block.
+        to: String,
+        /// Consumer port.
+        port: usize,
+        /// Class the port requires.
+        want: SignalClass,
+        /// Class the driver produces.
+        got: SignalClass,
+    },
+    /// An input port was left undriven.
+    UndrivenPort {
+        /// The offending block.
+        block: String,
+        /// The port.
+        port: usize,
+    },
+    /// The graph contains a combinational (stateless) feedback loop.
+    AlgebraicLoop,
+    /// An FSM state id did not belong to the machine.
+    UnknownState,
+    /// The FSM has no path from the start state to some state.
+    UnreachableState {
+        /// The unreachable state's name.
+        state: String,
+    },
+    /// Two transitions from the same state have identical triggers.
+    AmbiguousTransition {
+        /// The state with conflicting outgoing arcs.
+        state: String,
+    },
+}
+
+impl fmt::Display for VhifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VhifError::UnknownBlock => f.write_str("block id does not belong to this graph"),
+            VhifError::BadPort { block, port, arity } => {
+                write!(f, "port {port} of {block} is out of range (arity {arity})")
+            }
+            VhifError::PortAlreadyDriven { block, port } => {
+                write!(f, "port {port} of {block} is already driven")
+            }
+            VhifError::ClassMismatch { from, to, port, want, got } => write!(
+                f,
+                "cannot drive {want} port {port} of {to} from {got} output of {from}"
+            ),
+            VhifError::UndrivenPort { block, port } => {
+                write!(f, "port {port} of {block} is undriven")
+            }
+            VhifError::AlgebraicLoop => {
+                f.write_str("combinational feedback loop (algebraic loop) in signal-flow graph")
+            }
+            VhifError::UnknownState => f.write_str("state id does not belong to this FSM"),
+            VhifError::UnreachableState { state } => {
+                write!(f, "state `{state}` is unreachable from the start state")
+            }
+            VhifError::AmbiguousTransition { state } => {
+                write!(f, "state `{state}` has ambiguous outgoing transitions")
+            }
+        }
+    }
+}
+
+impl StdError for VhifError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = VhifError::BadPort { block: "b3".into(), port: 2, arity: 2 };
+        assert!(e.to_string().contains("out of range"));
+        let e = VhifError::ClassMismatch {
+            from: "b0".into(),
+            to: "b1".into(),
+            port: 1,
+            want: SignalClass::Control,
+            got: SignalClass::Analog,
+        };
+        assert!(e.to_string().contains("control"));
+        assert!(VhifError::AlgebraicLoop.to_string().contains("algebraic"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VhifError>();
+    }
+}

@@ -1,0 +1,380 @@
+//! Finite state machines for the event-driven part of a VHIF design.
+//!
+//! Each process compiles to one FSM with a `start` state denoting the
+//! suspended process. An event in the sensitivity list (a logical OR
+//! over the events) moves the machine into its first working state; the
+//! states execute their data-path operations and the machine returns to
+//! `start` (paper Fig. 3b).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dp::{DataOp, DpExpr, Event};
+use crate::error::VhifError;
+
+/// Identifier of a state within one [`Fsm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// Build a state id from a raw index (must belong to the machine it
+    /// is used with).
+    pub fn from_index(index: usize) -> Self {
+        StateId(index as u32)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A state: a named set of concurrent data-path operations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct State {
+    /// Human-readable name (`start`, `state 1`, ...).
+    pub name: String,
+    /// Concurrent operations executed on entry.
+    pub ops: Vec<DataOp>,
+}
+
+/// What triggers a transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// Taken immediately after the source state's operations complete.
+    Always,
+    /// Taken when any of the listed events occurs (logical OR — paper
+    /// §4 assumes one event at a time, so no arbitration is needed).
+    AnyEvent(Vec<Event>),
+    /// Taken when the guard expression evaluates true (conditional arcs
+    /// such as the one between states 3 and 4 in paper Fig. 3b).
+    Guard(DpExpr),
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trigger::Always => f.write_str("always"),
+            Trigger::AnyEvent(events) => {
+                for (i, e) in events.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " or ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+            Trigger::Guard(g) => write!(f, "[{g}]"),
+        }
+    }
+}
+
+/// A transition between states.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Source state.
+    pub from: StateId,
+    /// Destination state.
+    pub to: StateId,
+    /// What causes the arc to be taken.
+    pub trigger: Trigger,
+}
+
+/// An FSM for one process.
+///
+/// # Examples
+///
+/// ```
+/// use vase_vhif::{DataOp, DpExpr, Event, Fsm, Trigger};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut fsm = Fsm::new("compensation");
+/// let start = fsm.start();
+/// let s1 = fsm.add_state("state 1");
+/// fsm.state_mut(s1).ops.push(DataOp::new("c1", DpExpr::Bit(true)));
+/// fsm.add_transition(start, s1, Trigger::AnyEvent(vec![Event::Above {
+///     quantity: "line".into(),
+///     threshold: 0.07,
+/// }]));
+/// fsm.add_transition(s1, start, Trigger::Always);
+/// fsm.validate()?;
+/// assert_eq!(fsm.state_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fsm {
+    name: String,
+    states: Vec<State>,
+    transitions: Vec<Transition>,
+}
+
+impl Fsm {
+    /// Create an FSM containing only the `start` state.
+    pub fn new(name: impl Into<String>) -> Self {
+        Fsm {
+            name: name.into(),
+            states: vec![State { name: "start".into(), ops: Vec::new() }],
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The start (suspended) state.
+    pub fn start(&self) -> StateId {
+        StateId(0)
+    }
+
+    /// Add a state; returns its id.
+    pub fn add_state(&mut self, name: impl Into<String>) -> StateId {
+        let id = StateId(self.states.len() as u32);
+        self.states.push(State { name: name.into(), ops: Vec::new() });
+        id
+    }
+
+    /// The state with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this machine.
+    pub fn state(&self, id: StateId) -> &State {
+        &self.states[id.index()]
+    }
+
+    /// Mutable access to a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this machine.
+    pub fn state_mut(&mut self, id: StateId) -> &mut State {
+        &mut self.states[id.index()]
+    }
+
+    /// Add a transition.
+    pub fn add_transition(&mut self, from: StateId, to: StateId, trigger: Trigger) {
+        self.transitions.push(Transition { from, to, trigger });
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Transitions leaving `from`.
+    pub fn outgoing(&self, from: StateId) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.from == from)
+    }
+
+    /// Number of states (including `start`) — Table 1's "nr. states".
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Iterate over `(id, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (StateId, &State)> {
+        self.states.iter().enumerate().map(|(i, s)| (StateId(i as u32), s))
+    }
+
+    /// Total number of data-path operations across all states —
+    /// Table 1's "data-path" column counts the data-path structures the
+    /// states carry.
+    pub fn datapath_op_count(&self) -> usize {
+        self.states.iter().map(|s| s.ops.len()).sum()
+    }
+
+    /// All events referenced by `AnyEvent` triggers (the machine's
+    /// sensitivity set).
+    pub fn events(&self) -> Vec<&Event> {
+        let mut out = Vec::new();
+        for t in &self.transitions {
+            if let Trigger::AnyEvent(events) = &t.trigger {
+                out.extend(events.iter());
+            }
+        }
+        out
+    }
+
+    /// Names of all signals assigned by any state (the FSM's control
+    /// outputs into the continuous-time part).
+    pub fn assigned_signals(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in &self.states {
+            for op in &s.ops {
+                if !out.contains(&op.target) {
+                    out.push(op.target.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Validate the machine:
+    ///
+    /// * all transition endpoints exist,
+    /// * every state is reachable from `start`,
+    /// * no state has two outgoing `Always` arcs (ambiguity).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), VhifError> {
+        let n = self.states.len();
+        for t in &self.transitions {
+            if t.from.index() >= n || t.to.index() >= n {
+                return Err(VhifError::UnknownState);
+            }
+        }
+        // reachability
+        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        for t in &self.transitions {
+            adj.entry(t.from.index()).or_default().push(t.to.index());
+        }
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::from([0usize]);
+        seen[0] = true;
+        while let Some(v) = queue.pop_front() {
+            for &w in adj.get(&v).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if !seen[w] {
+                    seen[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        if let Some(idx) = seen.iter().position(|s| !s) {
+            return Err(VhifError::UnreachableState { state: self.states[idx].name.clone() });
+        }
+        // determinism of Always arcs
+        for (i, s) in self.states.iter().enumerate() {
+            let always = self
+                .outgoing(StateId(i as u32))
+                .filter(|t| matches!(t.trigger, Trigger::Always))
+                .count();
+            if always > 1 {
+                return Err(VhifError::AmbiguousTransition { state: s.name.clone() });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Fsm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fsm {} {{", self.name)?;
+        for (id, s) in self.iter() {
+            writeln!(f, "  {id} \"{}\":", s.name)?;
+            for op in &s.ops {
+                writeln!(f, "    {op}")?;
+            }
+        }
+        for t in &self.transitions {
+            writeln!(f, "  {} -> {} on {}", t.from, t.to, t.trigger)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::DpBinaryOp;
+
+    fn receiver_fsm() -> Fsm {
+        // Paper Fig. 2 process: two states + start.
+        let mut fsm = Fsm::new("compensation");
+        let start = fsm.start();
+        let s1 = fsm.add_state("set");
+        let s2 = fsm.add_state("clear");
+        fsm.state_mut(s1).ops.push(DataOp::new("c1", DpExpr::Bit(true)));
+        fsm.state_mut(s2).ops.push(DataOp::new("c1", DpExpr::Bit(false)));
+        let ev = Event::Above { quantity: "line".into(), threshold: 0.07 };
+        fsm.add_transition(
+            start,
+            s1,
+            Trigger::Guard(DpExpr::EventLevel(ev.clone())),
+        );
+        fsm.add_transition(
+            start,
+            s2,
+            Trigger::Guard(DpExpr::Not(Box::new(DpExpr::EventLevel(ev)))),
+        );
+        fsm.add_transition(s1, start, Trigger::Always);
+        fsm.add_transition(s2, start, Trigger::Always);
+        fsm
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let fsm = receiver_fsm();
+        fsm.validate().expect("valid");
+        assert_eq!(fsm.state_count(), 3);
+        assert_eq!(fsm.datapath_op_count(), 2);
+        assert_eq!(fsm.assigned_signals(), vec!["c1".to_owned()]);
+    }
+
+    #[test]
+    fn unreachable_state_detected() {
+        let mut fsm = Fsm::new("m");
+        let _orphan = fsm.add_state("orphan");
+        assert!(matches!(fsm.validate(), Err(VhifError::UnreachableState { .. })));
+    }
+
+    #[test]
+    fn ambiguous_always_detected() {
+        let mut fsm = Fsm::new("m");
+        let start = fsm.start();
+        let a = fsm.add_state("a");
+        let b = fsm.add_state("b");
+        fsm.add_transition(start, a, Trigger::Always);
+        fsm.add_transition(start, b, Trigger::Always);
+        fsm.add_transition(a, start, Trigger::Always);
+        fsm.add_transition(b, start, Trigger::Always);
+        assert!(matches!(fsm.validate(), Err(VhifError::AmbiguousTransition { .. })));
+    }
+
+    #[test]
+    fn events_collects_sensitivity() {
+        let mut fsm = Fsm::new("m");
+        let start = fsm.start();
+        let s = fsm.add_state("s");
+        fsm.add_transition(
+            start,
+            s,
+            Trigger::AnyEvent(vec![
+                Event::Above { quantity: "a".into(), threshold: 1.0 },
+                Event::SignalChange { signal: "b".into() },
+            ]),
+        );
+        fsm.add_transition(s, start, Trigger::Always);
+        assert_eq!(fsm.events().len(), 2);
+    }
+
+    #[test]
+    fn guard_trigger_display() {
+        let t = Trigger::Guard(DpExpr::binary(
+            DpBinaryOp::Gt,
+            DpExpr::Quantity("x".into()),
+            DpExpr::Real(0.0),
+        ));
+        assert_eq!(t.to_string(), "[(x > 0)]");
+    }
+
+    #[test]
+    fn display_dumps_machine() {
+        let s = receiver_fsm().to_string();
+        assert!(s.contains("fsm compensation"));
+        assert!(s.contains("c1 <= '1'"));
+        assert!(s.contains("-> s0 on always"));
+    }
+}

@@ -1,0 +1,81 @@
+//! A state-variable (biquad) filter specified as a DAE set — the
+//! filter-synthesis use case the paper's Section 3 motivates ("we could
+//! describe signal properties along the signal path ... and let the
+//! synthesis tool infer an appropriate filter type").
+//!
+//! The spec writes the textbook state-variable form; the compiler's
+//! DAE solver selection turns it into two integrator feedback loops,
+//! and the mapper emits the classic two-integrator-loop filter. The
+//! example then measures the frequency response by sweeping sine
+//! inputs through the behavioral simulator.
+//!
+//! ```sh
+//! cargo run --example biquad_filter
+//! ```
+
+use std::collections::BTreeMap;
+
+use vase::flow::{synthesize_source, FlowOptions};
+use vase::sim::frequency_response;
+
+const SOURCE: &str = r#"
+  entity biquad is
+    port (quantity vin      : in  real is voltage frequency 10.0 to 10.0 khz;
+          quantity lowpass  : out real is voltage;
+          quantity bandpass : out real is voltage);
+  end entity;
+
+  architecture behavioral of biquad is
+    quantity highpass : real;
+    constant w0   : real := 6283.0;  -- 2*pi*1kHz
+    constant qinv : real := 1.414;   -- 1/Q (Butterworth)
+  begin
+    highpass == vin - lowpass - qinv * bandpass;
+    bandpass'dot == w0 * highpass;
+    lowpass'dot == w0 * bandpass;
+  end architecture;
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== State-variable biquad filter ===\n");
+    let designs = synthesize_source(SOURCE, &FlowOptions::default())?;
+    let d = &designs[0];
+
+    println!("--- VHIF ---\n{}", d.vhif);
+    println!("--- Synthesized netlist ---\n{}", d.synthesis.netlist);
+    println!(
+        "components: {}\n",
+        d.synthesis
+            .netlist
+            .report_summary()
+            .iter()
+            .map(|(c, n)| format!("{n} {c}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    println!("--- Frequency response (measured by transient sweep) ---");
+    println!("{:>9} {:>12} {:>12}", "f [Hz]", "lowpass [dB]", "bandpass [dB]");
+    let freqs = [100.0, 300.0, 1_000.0, 3_000.0, 10_000.0];
+    let lp_points =
+        frequency_response(&d.vhif, "vin", "lowpass", 1.0, &freqs, &BTreeMap::new())?;
+    let bp_points =
+        frequency_response(&d.vhif, "vin", "bandpass", 1.0, &freqs, &BTreeMap::new())?;
+    for (lp, bp) in lp_points.iter().zip(&bp_points) {
+        println!("{:>9.0} {:>12.1} {:>12.1}", lp.frequency_hz, lp.gain_db(), bp.gain_db());
+    }
+    let lp_at_100 = lp_points[0].gain;
+    let lp_at_10k = lp_points[4].gain;
+    println!();
+    assert!(lp_at_100 > 0.9, "lowpass passband should be ~unity, got {lp_at_100}");
+    assert!(
+        lp_at_10k < 0.05,
+        "lowpass should attenuate a decade above cutoff, got {lp_at_10k}"
+    );
+    println!(
+        "=> lowpass passes 100 Hz at {:.2} V/V and rejects 10 kHz at {:.3} V/V —\n   \
+         the two-integrator-loop filter behaves as specified.",
+        lp_at_100, lp_at_10k
+    );
+    Ok(())
+}

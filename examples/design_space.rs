@@ -1,0 +1,67 @@
+//! Design-space exploration across all five Table 1 benchmarks:
+//! branch-and-bound vs the greedy heuristic, and ablations of the
+//! algorithm's ingredients (bounding, sequencing, sharing, multi-block
+//! patterns, functional transformations).
+//!
+//! ```sh
+//! cargo run --example design_space
+//! ```
+
+use vase::archgen::{map_graph, map_graph_greedy, MapperConfig};
+use vase::estimate::Estimator;
+use vase::flow::compile_source;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let estimator = Estimator::default();
+    println!(
+        "{:<20} {:>8} {:>8} {:>10} {:>10} {:>9} {:>8}",
+        "benchmark", "bnb amps", "greedy", "bnb µm²", "greedy µm²", "visited", "pruned"
+    );
+    for benchmark in vase::benchmarks::all() {
+        let compiled = compile_source(benchmark.source)?;
+        let (_, vhif, _) = &compiled[0];
+        let graph = &vhif.graphs[0];
+        let config = MapperConfig::default();
+        let bnb = map_graph(graph, &estimator, &config)?;
+        let greedy = map_graph_greedy(graph, &estimator, &config)?;
+        println!(
+            "{:<20} {:>8} {:>8} {:>10.0} {:>10.0} {:>9} {:>8}",
+            benchmark.name,
+            bnb.netlist.opamp_count(),
+            greedy.netlist.opamp_count(),
+            bnb.estimate.area_m2 * 1e12,
+            greedy.estimate.area_m2 * 1e12,
+            bnb.stats.visited_nodes,
+            bnb.stats.pruned_nodes,
+        );
+    }
+
+    println!("\n--- Ablations (receiver module, continuous-time part) ---");
+    let compiled = compile_source(vase::benchmarks::RECEIVER.source)?;
+    let graph = &compiled[0].1.graphs[0];
+    let variants: [(&str, MapperConfig); 5] = [
+        ("full algorithm", MapperConfig::default()),
+        ("no bounding", MapperConfig { bounding: false, ..MapperConfig::default() }),
+        ("no sequencing", MapperConfig { sequencing: false, ..MapperConfig::default() }),
+        ("no sharing", MapperConfig { sharing: false, ..MapperConfig::default() }),
+        ("single-block only", {
+            let mut c = MapperConfig::default();
+            c.match_options.multi_block = false;
+            c.match_options.transforms = false;
+            c
+        }),
+    ];
+    println!("{:<20} {:>8} {:>10} {:>9} {:>8}", "variant", "op amps", "area µm²", "visited", "pruned");
+    for (name, config) in variants {
+        let result = map_graph(graph, &estimator, &config)?;
+        println!(
+            "{:<20} {:>8} {:>10.0} {:>9} {:>8}",
+            name,
+            result.netlist.opamp_count(),
+            result.estimate.area_m2 * 1e12,
+            result.stats.visited_nodes,
+            result.stats.pruned_nodes,
+        );
+    }
+    Ok(())
+}

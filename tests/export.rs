@@ -1,0 +1,62 @@
+//! Export-format tests at the flow level: SPICE decks (the paper's §6
+//! output format) and DOT visualizations for every benchmark.
+
+use vase::flow::{compile_source, synthesize_source, FlowOptions};
+use vase::library::to_spice;
+use vase::vhif::{design_to_dot, fsm_to_dot, graph_to_dot};
+
+#[test]
+fn every_benchmark_exports_a_spice_deck() {
+    for b in vase::benchmarks::all() {
+        let designs = synthesize_source(b.source, &FlowOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let deck = to_spice(&designs[0].synthesis.netlist, b.name, 3e-3);
+        assert!(deck.contains(".subckt opamp"), "{}: missing macromodel", b.name);
+        assert!(deck.contains(".tran"), "{}: missing analysis", b.name);
+        assert!(deck.trim_end().ends_with(".end"), "{}: missing .end", b.name);
+        // One instance comment per component.
+        for i in 0..designs[0].synthesis.netlist.components.len() {
+            assert!(deck.contains(&format!("* c{i}:")), "{}: c{i} missing", b.name);
+        }
+        // Every output is tapped.
+        for (name, _) in &designs[0].synthesis.netlist.outputs {
+            assert!(deck.contains(&format!(" {name}")), "{}: output {name} untapped", b.name);
+        }
+    }
+}
+
+#[test]
+fn receiver_deck_reflects_annotations() {
+    let designs =
+        synthesize_source(vase::benchmarks::RECEIVER.source, &FlowOptions::default())
+            .expect("flow");
+    let deck = to_spice(&designs[0].synthesis.netlist, "receiver", 3e-3);
+    // The 1.5 V limit from the `limited` annotation appears in the
+    // output-stage behavioral source.
+    assert!(deck.contains("-1.5, 1.5"), "{deck}");
+    // The detector threshold from the process appears as a schmitt model.
+    assert!(deck.contains("schmitt(vt_low="), "{deck}");
+}
+
+#[test]
+fn every_benchmark_exports_dot() {
+    for b in vase::benchmarks::all() {
+        let compiled = compile_source(b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let (_, vhif, _) = &compiled[0];
+        let dot = design_to_dot(vhif);
+        assert!(dot.starts_with("digraph"), "{}", b.name);
+        assert!(dot.trim_end().ends_with('}'), "{}", b.name);
+        // Balanced braces (clusters included).
+        let open = dot.matches('{').count();
+        let close = dot.matches('}').count();
+        assert_eq!(open, close, "{}: unbalanced DOT braces", b.name);
+        for g in &vhif.graphs {
+            let gd = graph_to_dot(g);
+            assert!(gd.contains("rankdir=LR"));
+        }
+        for f in &vhif.fsms {
+            let fd = fsm_to_dot(f);
+            assert!(fd.contains("doublecircle"), "{}: start state unmarked", b.name);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Property-based tests over the core data structures and algorithms:
+//! parser/printer round-trips, DAE-isolation numerical inverses,
+//! signal-flow graph invariants, and branch-and-bound admissibility on
+//! random workloads.
+
+use proptest::prelude::*;
+
+use vase::archgen::{map_graph, MapperConfig};
+use vase::estimate::Estimator;
+use vase::frontend::ast::{BinaryOp, Expr, ExprKind, UnaryOp};
+use vase::frontend::parse_expression;
+use vase::frontend::span::Span;
+use vase::sim::Stimulus;
+use vase::vhif::{BlockKind, SignalFlowGraph};
+
+// ---------------------------------------------------------------- expr
+
+/// A strategy for well-formed analog expressions over a fixed name set.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (1i64..100).prop_map(|v| Expr::new(ExprKind::Int(v), Span::synthetic())),
+        (0.1f64..100.0).prop_map(|v| Expr::new(ExprKind::Real(v), Span::synthetic())),
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("x")]
+            .prop_map(Expr::name),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| Expr::new(
+                ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+                Span::synthetic(),
+            )),
+            inner.clone().prop_map(|e| Expr::new(
+                ExprKind::Unary { op: UnaryOp::Neg, operand: Box::new(e) },
+                Span::synthetic(),
+            )),
+            inner.prop_map(|e| Expr::new(
+                ExprKind::Unary { op: UnaryOp::Abs, operand: Box::new(e) },
+                Span::synthetic(),
+            )),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+    ]
+}
+
+proptest! {
+    /// Printing an expression and re-parsing it yields the same
+    /// expression (up to spans), so `Display` is a faithful surface
+    /// syntax.
+    #[test]
+    fn expr_print_parse_roundtrip(e in arb_expr()) {
+        let printed = e.to_string();
+        let reparsed = parse_expression(&printed)
+            .unwrap_or_else(|err| panic!("printed form `{printed}` failed to parse: {err}"));
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    /// Constant folding agrees with direct evaluation for closed
+    /// expressions.
+    #[test]
+    fn const_fold_matches_evaluation(e in arb_expr()) {
+        fn eval(e: &Expr) -> Option<f64> {
+            match &e.kind {
+                ExprKind::Int(v) => Some(*v as f64),
+                ExprKind::Real(v) => Some(*v),
+                ExprKind::Name(_) => None,
+                ExprKind::Unary { op, operand } => {
+                    let v = eval(operand)?;
+                    match op {
+                        UnaryOp::Neg => Some(-v),
+                        UnaryOp::Plus => Some(v),
+                        UnaryOp::Abs => Some(v.abs()),
+                        UnaryOp::Not => None,
+                    }
+                }
+                ExprKind::Binary { op, lhs, rhs } => {
+                    let a = eval(lhs)?;
+                    let b = eval(rhs)?;
+                    match op {
+                        BinaryOp::Add => Some(a + b),
+                        BinaryOp::Sub => Some(a - b),
+                        BinaryOp::Mul => Some(a * b),
+                        BinaryOp::Div => Some(a / b),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            }
+        }
+        match (e.const_fold(), eval(&e)) {
+            (Some(f), Some(direct)) => {
+                let ok = (f - direct).abs() <= 1e-9 * direct.abs().max(1.0)
+                    || (f.is_nan() && direct.is_nan())
+                    || (f.is_infinite() && direct.is_infinite());
+                prop_assert!(ok, "fold {f} vs eval {direct}");
+            }
+            (None, None) => {}
+            // const_fold may be more conservative but never *more*
+            // aggressive than direct evaluation on supported ops.
+            (None, Some(_)) => prop_assert!(false, "fold missed a closed expression"),
+            (Some(_), None) => prop_assert!(false, "fold invented a value"),
+        }
+    }
+}
+
+// -------------------------------------------------------------- solver
+
+/// Strategy: an invertible expression path around the unknown `x`.
+fn arb_solvable_rhs() -> impl Strategy<Value = Expr> {
+    // Wrap x in 1..5 random invertible operations with nonzero consts.
+    (1usize..5, proptest::collection::vec((0.5f64..4.0, 0u8..4), 1..5)).prop_map(
+        |(_, wraps)| {
+            let mut e = Expr::name("x");
+            for (k, op) in wraps {
+                let konst = Expr::new(ExprKind::Real(k), Span::synthetic());
+                let kind = match op {
+                    0 => ExprKind::Binary {
+                        op: BinaryOp::Add,
+                        lhs: Box::new(e),
+                        rhs: Box::new(konst),
+                    },
+                    1 => ExprKind::Binary {
+                        op: BinaryOp::Sub,
+                        lhs: Box::new(e),
+                        rhs: Box::new(konst),
+                    },
+                    2 => ExprKind::Binary {
+                        op: BinaryOp::Mul,
+                        lhs: Box::new(konst),
+                        rhs: Box::new(e),
+                    },
+                    _ => ExprKind::Binary {
+                        op: BinaryOp::Div,
+                        lhs: Box::new(e),
+                        rhs: Box::new(konst),
+                    },
+                };
+                e = Expr::new(kind, Span::synthetic());
+            }
+            e
+        },
+    )
+}
+
+fn eval_with_var(e: &Expr, var: &str, value: f64) -> f64 {
+    match &e.kind {
+        ExprKind::Int(v) => *v as f64,
+        ExprKind::Real(v) => *v,
+        ExprKind::Name(id) if id.name == var => value,
+        ExprKind::Name(_) => f64::NAN,
+        ExprKind::Unary { op, operand } => {
+            let v = eval_with_var(operand, var, value);
+            match op {
+                UnaryOp::Neg => -v,
+                UnaryOp::Plus => v,
+                UnaryOp::Abs => v.abs(),
+                UnaryOp::Not => f64::NAN,
+            }
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            let a = eval_with_var(lhs, var, value);
+            let b = eval_with_var(rhs, var, value);
+            match op {
+                BinaryOp::Add => a + b,
+                BinaryOp::Sub => a - b,
+                BinaryOp::Mul => a * b,
+                BinaryOp::Div => a / b,
+                _ => f64::NAN,
+            }
+        }
+        _ => f64::NAN,
+    }
+}
+
+proptest! {
+    /// Isolating `x` from `y == f(x)` yields a true inverse: for any
+    /// x₀, evaluating the isolated expression at y = f(x₀) returns x₀.
+    #[test]
+    fn isolation_is_numerical_inverse(rhs in arb_solvable_rhs(), x0 in 0.5f64..8.0) {
+        use vase::compiler::solver::{isolate, Equation, Solution};
+        let eq = Equation {
+            lhs: Expr::name("y"),
+            rhs: rhs.clone(),
+            span: Span::synthetic(),
+        };
+        let sol = isolate(&eq, "x").expect("single-occurrence x is isolatable");
+        let Solution::Direct(inverse) = sol else {
+            prop_assert!(false, "expected a direct solution");
+            return Ok(());
+        };
+        let y0 = eval_with_var(&rhs, "x", x0);
+        prop_assume!(y0.is_finite());
+        let recovered = eval_with_var(&inverse, "y", y0);
+        prop_assert!(
+            (recovered - x0).abs() <= 1e-6 * x0.abs().max(1.0),
+            "f(x0)={y0}, recovered {recovered} != {x0} via {inverse}"
+        );
+    }
+}
+
+// --------------------------------------------------------------- graph
+
+/// Strategy: a random layered combinational signal-flow graph with one
+/// output.
+fn arb_graph() -> impl Strategy<Value = SignalFlowGraph> {
+    (
+        1usize..4,                                       // inputs
+        proptest::collection::vec((0u8..4, 0.25f64..8.0), 1..10), // ops
+    )
+        .prop_map(|(n_inputs, ops)| {
+            let mut g = SignalFlowGraph::new("random");
+            let mut pool = Vec::new();
+            for i in 0..n_inputs {
+                pool.push(g.add(BlockKind::Input { name: format!("in{i}") }));
+            }
+            for (i, (op, gain)) in ops.into_iter().enumerate() {
+                let a = pool[i % pool.len()];
+                let b = pool[(i * 7 + 1) % pool.len()];
+                let id = match op {
+                    0 => {
+                        let id = g.add(BlockKind::Scale { gain });
+                        g.connect(a, id, 0).expect("wire");
+                        id
+                    }
+                    1 => {
+                        let id = g.add(BlockKind::Add { arity: 2 });
+                        g.connect(a, id, 0).expect("wire");
+                        g.connect(b, id, 1).expect("wire");
+                        id
+                    }
+                    2 => {
+                        let id = g.add(BlockKind::Sub);
+                        g.connect(a, id, 0).expect("wire");
+                        g.connect(b, id, 1).expect("wire");
+                        id
+                    }
+                    _ => {
+                        let id = g.add(BlockKind::Mul);
+                        g.connect(a, id, 0).expect("wire");
+                        g.connect(b, id, 1).expect("wire");
+                        id
+                    }
+                };
+                pool.push(id);
+            }
+            let out = g.add(BlockKind::Output { name: "y".into() });
+            let last = *pool.last().expect("nonempty");
+            g.connect(last, out, 0).expect("wire");
+            g
+        })
+}
+
+proptest! {
+    /// Random layered graphs are valid-by-construction except for
+    /// possibly-unconsumed blocks; topo order covers every block once
+    /// and respects data edges.
+    #[test]
+    fn topo_order_respects_edges(g in arb_graph()) {
+        let order = g.topo_order().expect("layered graphs are acyclic");
+        prop_assert_eq!(order.len(), g.len());
+        let position: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        for (id, block) in g.iter() {
+            if block.kind.is_stateful() {
+                continue;
+            }
+            for driver in g.block_inputs(id).iter().flatten() {
+                prop_assert!(
+                    position[driver] < position[&id],
+                    "{driver} must precede {id}"
+                );
+            }
+        }
+    }
+
+    /// The upstream cone of the output is closed under taking drivers.
+    #[test]
+    fn upstream_cone_is_closed(g in arb_graph()) {
+        let out = g.outputs()[0];
+        let cone = g.upstream_cone(out);
+        for &b in &cone {
+            for driver in g.block_inputs(b).iter().flatten() {
+                prop_assert!(cone.contains(driver));
+            }
+        }
+    }
+
+    /// Branch-and-bound with the bounding rule finds the same optimum
+    /// as the exhaustive search on random workloads (the bound is
+    /// admissible), and never visits more nodes.
+    #[test]
+    fn bounding_is_admissible_on_random_graphs(g in arb_graph()) {
+        let estimator = Estimator::default();
+        let bounded = map_graph(&g, &estimator, &MapperConfig::default());
+        let exhaustive = map_graph(&g, &estimator, &MapperConfig::exhaustive());
+        match (bounded, exhaustive) {
+            (Ok(b), Ok(e)) => {
+                prop_assert_eq!(
+                    b.netlist.opamp_count(),
+                    e.netlist.opamp_count(),
+                    "bounding changed the optimum"
+                );
+                prop_assert!(b.stats.visited_nodes <= e.stats.visited_nodes);
+                b.netlist.validate().expect("valid netlist");
+                // Every operation block is implemented by exactly one
+                // component.
+                let mut covered = std::collections::HashSet::new();
+                for c in &b.netlist.components {
+                    for blk in &c.implements {
+                        prop_assert!(covered.insert(*blk), "block covered twice");
+                    }
+                }
+                let ops = g.iter().filter(|(_, b)| !b.kind.is_interface()).count();
+                prop_assert_eq!(covered.len(), ops, "not all blocks covered");
+            }
+            (Err(b), Err(e)) => prop_assert_eq!(b, e),
+            (b, e) => prop_assert!(false, "disagreement: {b:?} vs {e:?}"),
+        }
+    }
+}
+
+// ------------------------------------------------------------ stimulus
+
+proptest! {
+    /// Stimuli are total functions: finite time in, finite value out.
+    #[test]
+    fn stimuli_are_finite(
+        t in 0.0f64..10.0,
+        amp in 0.0f64..10.0,
+        freq in 0.1f64..1e6,
+        period in 1e-6f64..1.0,
+        duty in 0.01f64..0.99,
+    ) {
+        let stimuli = [
+            Stimulus::Constant { level: amp },
+            Stimulus::sine(amp, freq),
+            Stimulus::Step { before: -amp, after: amp, at: period },
+            Stimulus::Ramp { from: -amp, to: amp, duration: period },
+            Stimulus::Pulse { low: -amp, high: amp, period, duty },
+        ];
+        for s in stimuli {
+            prop_assert!(s.at(t).is_finite(), "{s:?} at {t}");
+        }
+    }
+
+    /// Lexing arbitrary input never panics.
+    #[test]
+    fn lexer_is_total(src in ".{0,200}") {
+        let _ = vase::frontend::lexer::lex(&src);
+    }
+
+    /// Parsing arbitrary token soup never panics.
+    #[test]
+    fn parser_is_total(src in "[a-z0-9+*/()=<>;:., ']{0,120}") {
+        let _ = vase::frontend::parse_design_file(&src);
+        let _ = parse_expression(&src);
+    }
+}

@@ -1,0 +1,70 @@
+//! Serialization tests: VHIF designs, netlists, and simulation results
+//! are data structures (C-SERDE) — they must round-trip through JSON
+//! unchanged, so downstream tools can persist and exchange them.
+
+use vase::flow::{compile_source, synthesize_source, FlowOptions};
+
+#[test]
+fn vhif_designs_roundtrip_through_json() {
+    for b in vase::benchmarks::all() {
+        let compiled = compile_source(b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let (_, vhif, _) = &compiled[0];
+        let json = serde_json::to_string(vhif).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let back: vase::vhif::VhifDesign =
+            serde_json::from_str(&json).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(&back, vhif, "{} VHIF changed across JSON", b.name);
+    }
+}
+
+#[test]
+fn netlists_roundtrip_through_json() {
+    for b in vase::benchmarks::all() {
+        let designs = synthesize_source(b.source, &FlowOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let netlist = &designs[0].synthesis.netlist;
+        let json = serde_json::to_string_pretty(netlist).expect("serializes");
+        let back: vase::library::Netlist = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(&back, netlist, "{} netlist changed across JSON", b.name);
+        back.validate().expect("still valid");
+    }
+}
+
+#[test]
+fn estimates_serialize_with_topology_bindings() {
+    let designs = synthesize_source(vase::benchmarks::RECEIVER.source, &FlowOptions::default())
+        .expect("flow");
+    let estimate = &designs[0].synthesis.estimate;
+    let json = serde_json::to_string(estimate).expect("serializes");
+    assert!(json.contains("TwoStage") || json.contains("Ota"), "{json}");
+    let back: vase::estimate::NetlistEstimate =
+        serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(&back, estimate);
+}
+
+#[test]
+fn sim_results_roundtrip_and_csv_agree() {
+    use std::collections::BTreeMap;
+    use vase::sim::{simulate_design, SimConfig};
+
+    let compiled = compile_source(vase::benchmarks::FUNCTION_GENERATOR.source).expect("flow");
+    let (_, vhif, _) = &compiled[0];
+    let result = simulate_design(vhif, &BTreeMap::new(), &SimConfig::new(1e-4, 2e-3))
+        .expect("simulates");
+    let json = serde_json::to_string(&result).expect("serializes");
+    let back: vase::sim::SimResult = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, result);
+
+    // The CSV export carries the same sample count.
+    let csv = result.to_csv(&["ramp"]);
+    assert_eq!(csv.lines().count(), result.time.len() + 1);
+}
+
+#[test]
+fn ast_serializes() {
+    let design =
+        vase::frontend::parse_design_file(vase::benchmarks::RECEIVER.source).expect("parses");
+    let json = serde_json::to_string(&design).expect("serializes");
+    let back: vase::frontend::ast::DesignFile =
+        serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, design);
+}

@@ -1,0 +1,221 @@
+//! Cross-level simulation tests: the behavioral (VHIF) simulation and
+//! the macromodel (netlist) simulation of the same specification must
+//! agree on the qualitative behavior — the validation the paper did by
+//! simulating the synthesized SPICE netlist (Section 6, Fig. 8).
+
+use std::collections::BTreeMap;
+
+use vase::flow::{synthesize_source, FlowOptions};
+use vase::sim::{simulate_design, simulate_netlist, SimConfig, Stimulus};
+
+fn stimuli(entries: &[(&str, Stimulus)]) -> BTreeMap<String, Stimulus> {
+    entries.iter().map(|(n, s)| (n.to_string(), *s)).collect()
+}
+
+#[test]
+fn receiver_fig8_clipping_at_both_levels() {
+    // Paper Fig. 8: a deliberately high-amplitude input shows the
+    // output stage clipping earph at 1.5 V.
+    let designs =
+        synthesize_source(vase::benchmarks::RECEIVER.source, &FlowOptions::default())
+            .expect("flow");
+    let d = &designs[0];
+    let input = stimuli(&[
+        ("line", Stimulus::sine(0.8, 1_000.0)),
+        ("local", Stimulus::sine(0.2, 1_000.0)),
+    ]);
+    let result = simulate_netlist(
+        &d.synthesis.netlist,
+        &input,
+        &d.synthesis.control_bindings,
+        &SimConfig::new(1e-6, 3e-3),
+    )
+    .expect("simulates");
+    let (lo, hi) = result.range("earph").expect("earph");
+    assert!((hi - 1.5).abs() < 1e-9, "positive clip at 1.5, got {hi}");
+    assert!((lo + 1.5).abs() < 1e-9, "negative clip at -1.5, got {lo}");
+    assert!(result.fraction_at_level("earph", 1.5, 1e-6) > 0.05);
+    assert!(result.fraction_at_level("earph", -1.5, 1e-6) > 0.05);
+}
+
+#[test]
+fn receiver_behavioral_and_netlist_sims_agree() {
+    let designs =
+        synthesize_source(vase::benchmarks::RECEIVER.source, &FlowOptions::default())
+            .expect("flow");
+    let d = &designs[0];
+    // Small signal (no clipping anywhere): both levels must track the
+    // same waveform.
+    let input = stimuli(&[
+        ("line", Stimulus::sine(0.05, 1_000.0)),
+        ("local", Stimulus::Constant { level: 0.0 }),
+    ]);
+    let config = SimConfig::new(1e-6, 2e-3);
+    let behavioral = simulate_design(&d.vhif, &input, &config).expect("behavioral");
+    let netlist = simulate_netlist(
+        &d.synthesis.netlist,
+        &input,
+        &d.synthesis.control_bindings,
+        &config,
+    )
+    .expect("netlist");
+    let b = behavioral.trace("earph").expect("behavioral earph");
+    let n = netlist.trace("earph").expect("netlist earph");
+    // Compare after a settle prefix; tolerate the detectors' hysteresis
+    // differences around the switching instants.
+    let mut max_err: f64 = 0.0;
+    let mut errs = Vec::new();
+    for i in 100..b.len().min(n.len()) {
+        errs.push((b[i] - n[i]).abs());
+        max_err = max_err.max((b[i] - n[i]).abs());
+    }
+    errs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let p95 = errs[(errs.len() as f64 * 0.95) as usize];
+    assert!(p95 < 0.05, "95th-percentile level mismatch {p95} (max {max_err})");
+}
+
+#[test]
+fn function_generator_oscillates_at_both_levels() {
+    let designs =
+        synthesize_source(vase::benchmarks::FUNCTION_GENERATOR.source, &FlowOptions::default())
+            .expect("flow");
+    let d = &designs[0];
+    let result = simulate_design(&d.vhif, &BTreeMap::new(), &SimConfig::new(1e-5, 8e-3))
+        .expect("behavioral");
+    let ramp = result.trace("ramp").expect("ramp");
+    let (lo, hi) = result.range("ramp").expect("range");
+    assert!(hi >= 1.0 && lo <= -1.0, "triangle must span the rails, got [{lo}, {hi}]");
+    // Count direction changes: a 1 kHz-ish triangle over 8 ms turns
+    // several times.
+    let mut turns = 0;
+    let mut prev_up = ramp[1] > ramp[0];
+    for w in ramp.windows(2).skip(1) {
+        let up = w[1] > w[0];
+        if up != prev_up && (w[1] - w[0]).abs() > 1e-9 {
+            turns += 1;
+            prev_up = up;
+        }
+    }
+    assert!(turns >= 4, "expected sustained oscillation, saw {turns} turns");
+}
+
+#[test]
+fn missile_solver_reaches_terminal_velocity() {
+    // With constant thrust, velocity must settle where drag balances
+    // thrust: exp(2 ln v)·k = thrust → v = sqrt(thrust/k).
+    let designs =
+        synthesize_source(vase::benchmarks::MISSILE.source, &FlowOptions::default())
+            .expect("flow");
+    let d = &designs[0];
+    let thrust = 1.0;
+    let k = 0.5;
+    let input = stimuli(&[
+        ("thrust", Stimulus::Constant { level: thrust }),
+        ("dragk", Stimulus::Constant { level: k }),
+    ]);
+    let result = simulate_design(&d.vhif, &input, &SimConfig::new(1e-3, 20.0))
+        .expect("behavioral");
+    let vel = result.trace("vel").expect("vel");
+    let expected = (thrust / k).sqrt();
+    let settled = *vel.last().expect("samples");
+    assert!(
+        (settled - expected).abs() < 0.05,
+        "terminal velocity {settled} vs analytic {expected}"
+    );
+    // Altitude grows monotonically once moving.
+    let alt = result.trace("alt").expect("alt");
+    assert!(alt.last().expect("samples") > &1.0);
+}
+
+#[test]
+fn iterative_solver_settles_to_target() {
+    // x''' + 2x'' + 2x' + x = target with unit DC gain: x settles to
+    // the target level.
+    let designs =
+        synthesize_source(vase::benchmarks::ITERATIVE.source, &FlowOptions::default())
+            .expect("flow");
+    let d = &designs[0];
+    let input = stimuli(&[("target", Stimulus::Constant { level: 0.5 })]);
+    let result = simulate_design(&d.vhif, &input, &SimConfig::new(1e-3, 30.0))
+        .expect("behavioral");
+    let x = result.trace("xout").expect("xout");
+    assert!(
+        (x.last().expect("samples") - 0.5).abs() < 0.02,
+        "settled to {}, expected 0.5",
+        x.last().expect("samples")
+    );
+    // The done flag ends high (residual below tolerance).
+    let done = result.trace("done").expect("done");
+    assert_eq!(*done.last().expect("samples"), 1.0);
+}
+
+#[test]
+fn power_meter_computes_product_and_samples() {
+    let designs =
+        synthesize_source(vase::benchmarks::POWER_METER.source, &FlowOptions::default())
+            .expect("flow");
+    let d = &designs[0];
+    let input = stimuli(&[
+        ("vsens", Stimulus::Constant { level: 1.0 }),
+        ("isens", Stimulus::Constant { level: 0.25 }),
+        ("clk", Stimulus::Pulse { low: 0.0, high: 0.5, period: 1e-3, duty: 0.5 }),
+    ]);
+    let result = simulate_design(&d.vhif, &input, &SimConfig::new(1e-5, 5e-3))
+        .expect("behavioral");
+    // pout = (0.5·1.0)·(2.0·0.25) = 0.25.
+    let pout = result.trace("pout").expect("pout");
+    assert!((pout.last().expect("samples") - 0.25).abs() < 1e-6);
+    // The digital outputs carry the quantized conditioned values.
+    let dv = result.trace("dv").expect("dv");
+    assert!((dv.last().expect("samples") - 0.5).abs() < 0.02, "dv = {:?}", dv.last());
+}
+
+#[test]
+fn quickstart_agc_switches_gain_modes() {
+    // The example's AGC: gain 8 for small inputs, 0.5 above 0.9 V.
+    let source = r#"
+      entity agc is
+        port (quantity vin  : in  real is voltage;
+              quantity vout : out real is voltage limited at 1.5 v);
+      end entity;
+      architecture behavioral of agc is
+        quantity gain : real;
+        signal loud : bit;
+        constant vth : real := 0.9;
+      begin
+        vout == gain * vin;
+        if (loud = '1') use
+          gain == 0.5;
+        else
+          gain == 8.0;
+        end use;
+        process (vin'above(vth)) is
+        begin
+          if (vin'above(vth) = true) then
+            loud <= '1';
+          else
+            loud <= '0';
+          end if;
+        end process;
+      end architecture;
+    "#;
+    let designs = synthesize_source(source, &FlowOptions::default()).expect("flow");
+    let d = &designs[0];
+    let input = stimuli(&[(
+        "vin",
+        Stimulus::Step { before: 0.1, after: 1.0, at: 5e-3 },
+    )]);
+    let result = simulate_netlist(
+        &d.synthesis.netlist,
+        &input,
+        &d.synthesis.control_bindings,
+        &SimConfig::new(1e-5, 1e-2),
+    )
+    .expect("simulates");
+    let vout = result.trace("vout").expect("vout");
+    // Before the step: 0.1 × 8 = 0.8. After: 1.0 × 0.5 = 0.5.
+    let before = vout[vout.len() / 4];
+    let after = *vout.last().expect("samples");
+    assert!((before - 0.8).abs() < 0.05, "low-mode output {before}");
+    assert!((after - 0.5).abs() < 0.05, "loud-mode output {after}");
+}
