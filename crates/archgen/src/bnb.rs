@@ -10,15 +10,27 @@
 //! complete mapping found so far (`(opamps + comp_opamps) · MinArea ≥
 //! current_best`). The **sequencing rule** visits larger covers first
 //! so a good solution is found early and the bound becomes effective.
+//!
+//! Beyond the paper, this implementation (a) consults a per-block
+//! [`MatchCache`] so the pattern matcher runs exactly once per block
+//! per [`map_graph`] call instead of once per visited decision-tree
+//! node, (b) keys the dominance memo by an allocation-free
+//! [`CoverSet`](crate::cover::CoverSet) bitset, and (c) optionally
+//! splits the decision tree across worker threads (see
+//! [`crate::parallel`]) around a shared incumbent bound.
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 use vase_estimate::{Estimator, NetlistEstimate};
-use vase_library::{matches_at, Netlist, PatternMatch};
+use vase_library::{MatchCache, Netlist, PatternMatch};
 use vase_vhif::{BlockId, SignalFlowGraph};
 
 use crate::config::{MapStats, MapperConfig};
+use crate::cover::CoverSet;
 use crate::error::MapError;
+use crate::parallel::{run_parallel, ShardedMemo, SharedSearchState};
 use crate::plan::{resolve, Plan, PlannedComponent};
 
 /// The result of mapping one signal-flow graph.
@@ -34,6 +46,10 @@ pub struct MapResult {
 
 /// Map `graph` onto a minimum-area netlist of library components.
 ///
+/// With `config.parallelism > 1` (or `0` for one worker per core) the
+/// decision tree is split into subtree tasks searched concurrently; the
+/// parallel search returns the same optimal area as the sequential one.
+///
 /// # Errors
 ///
 /// * [`MapError::NoPattern`] if some block has no library
@@ -45,93 +61,202 @@ pub fn map_graph(
     estimator: &Estimator,
     config: &MapperConfig,
 ) -> Result<MapResult, MapError> {
+    let start = Instant::now();
+    // Run the matcher once per block, up front; both the pre-check and
+    // every decision-tree visit read from this cache.
+    let cache = MatchCache::build(graph, &config.match_options);
     // Pre-check: every operation block must have at least one pattern.
     for (id, block) in graph.iter() {
-        if !block.kind.is_interface()
-            && matches_at(graph, id, &config.match_options).is_empty()
-        {
-            return Err(MapError::NoPattern { block: format!("{id} ({})", block.kind) });
+        if !block.kind.is_interface() && cache.at(id).is_empty() {
+            return Err(MapError::NoPattern {
+                block: format!("{id} ({})", block.kind),
+            });
         }
     }
-    let mut search = Search {
-        graph,
-        estimator,
-        config,
-        order: coverage_order(graph),
-        best: None,
-        stats: MapStats::default(),
-        min_area: estimator.min_opamp_area(),
-        memo: HashMap::new(),
+    let ctx = SearchCtx::new(graph, estimator, config, cache);
+    let jobs = config.effective_parallelism();
+    let (best, mut stats) = if jobs <= 1 {
+        let mut search = Search::sequential(&ctx);
+        search.run(Plan::new(graph));
+        (search.best, search.stats)
+    } else {
+        run_parallel(&ctx, jobs)
     };
-    search.run(Plan::new(graph));
-    let stats = search.stats;
-    match search.best {
-        Some(best) => Ok(MapResult { netlist: best.netlist, estimate: best.estimate, stats }),
+    stats.elapsed_us = start.elapsed().as_micros() as u64;
+    match best {
+        Some(best) => Ok(MapResult {
+            netlist: best.netlist,
+            estimate: best.estimate,
+            stats,
+        }),
         None => Err(MapError::NoFeasibleMapping),
     }
 }
 
-struct Best {
-    area: f64,
-    netlist: Netlist,
-    estimate: NetlistEstimate,
+/// The best complete mapping found by one search (or worker).
+pub(crate) struct Best {
+    pub(crate) area: f64,
+    pub(crate) netlist: Netlist,
+    pub(crate) estimate: NetlistEstimate,
 }
 
-struct Search<'a> {
-    graph: &'a SignalFlowGraph,
-    estimator: &'a Estimator,
-    config: &'a MapperConfig,
-    order: Vec<BlockId>,
-    best: Option<Best>,
-    stats: MapStats,
-    min_area: f64,
-    /// Dominance memo: covered-set → fewest op amps that reached it.
-    memo: HashMap<Vec<u64>, usize>,
+/// Immutable, thread-shareable context of one `map_graph` call: the
+/// graph, the precomputed match cache and per-alternative spec
+/// feasibility, the block coverage order, and the bound constant.
+pub(crate) struct SearchCtx<'a> {
+    pub(crate) graph: &'a SignalFlowGraph,
+    pub(crate) estimator: &'a Estimator,
+    pub(crate) config: &'a MapperConfig,
+    pub(crate) cache: MatchCache,
+    /// `spec_ok[block][alternative]`: whether the matched component's
+    /// op-amp spec is achievable at all (computed once, not per node).
+    pub(crate) spec_ok: Vec<Vec<bool>>,
+    pub(crate) order: Vec<BlockId>,
+    pub(crate) min_area: f64,
 }
 
-impl Search<'_> {
-    fn run(&mut self, plan: Plan) {
-        if self.stats.visited_nodes >= self.config.node_limit {
+impl<'a> SearchCtx<'a> {
+    pub(crate) fn new(
+        graph: &'a SignalFlowGraph,
+        estimator: &'a Estimator,
+        config: &'a MapperConfig,
+        cache: MatchCache,
+    ) -> Self {
+        let spec_ok = (0..graph.len())
+            .map(|i| {
+                cache
+                    .at(BlockId::from_index(i))
+                    .iter()
+                    .map(|m| estimator.estimate_component(&m.kind).spec_met)
+                    .collect()
+            })
+            .collect();
+        SearchCtx {
+            graph,
+            estimator,
+            config,
+            cache,
+            spec_ok,
+            order: coverage_order(graph),
+            min_area: estimator.min_opamp_area(),
+        }
+    }
+
+    /// The next block the branching rule expands, in coverage order.
+    pub(crate) fn next_uncovered(&self, plan: &Plan) -> Option<BlockId> {
+        self.order.iter().copied().find(|&b| !plan.is_covered(b))
+    }
+}
+
+/// Dominance-memo storage: disabled, thread-local, or shared across
+/// workers.
+enum MemoBackend<'a> {
+    Off,
+    Local(HashMap<CoverSet, usize>),
+    Shared(&'a ShardedMemo),
+}
+
+impl MemoBackend<'_> {
+    /// Whether reaching `key` with `opamps` op amps is dominated by an
+    /// earlier visit; records the visit otherwise.
+    fn dominated(&mut self, key: &CoverSet, opamps: usize) -> bool {
+        match self {
+            MemoBackend::Off => false,
+            MemoBackend::Local(map) => match map.get_mut(key) {
+                Some(best) if *best <= opamps => true,
+                Some(best) => {
+                    *best = opamps;
+                    false
+                }
+                None => {
+                    map.insert(key.clone(), opamps);
+                    false
+                }
+            },
+            MemoBackend::Shared(memo) => memo.dominated(key, opamps),
+        }
+    }
+}
+
+pub(crate) struct Search<'a> {
+    ctx: &'a SearchCtx<'a>,
+    pub(crate) best: Option<Best>,
+    memo: MemoBackend<'a>,
+    shared: Option<&'a SharedSearchState>,
+    pub(crate) stats: MapStats,
+}
+
+impl<'a> Search<'a> {
+    /// A single-threaded search over the whole decision tree.
+    pub(crate) fn sequential(ctx: &'a SearchCtx<'a>) -> Self {
+        let memo = if ctx.config.memoize {
+            MemoBackend::Local(HashMap::new())
+        } else {
+            MemoBackend::Off
+        };
+        Search {
+            ctx,
+            best: None,
+            memo,
+            shared: None,
+            stats: MapStats::default(),
+        }
+    }
+
+    /// A worker search over one subtree, pruning against the shared
+    /// incumbent bound and the shared dominance memo.
+    pub(crate) fn worker(ctx: &'a SearchCtx<'a>, shared: &'a SharedSearchState) -> Self {
+        let memo = if ctx.config.memoize {
+            MemoBackend::Shared(&shared.memo)
+        } else {
+            MemoBackend::Off
+        };
+        Search {
+            ctx,
+            best: None,
+            memo,
+            shared: Some(shared),
+            stats: MapStats::default(),
+        }
+    }
+
+    pub(crate) fn run(&mut self, plan: Plan) {
+        if self.over_node_limit() {
             return;
         }
         self.stats.visited_nodes += 1;
 
-        if self.config.memoize {
-            let key = cover_key(&plan.covered);
-            match self.memo.get_mut(&key) {
-                Some(best_opamps) if *best_opamps <= plan.opamps => {
-                    self.stats.memo_pruned += 1;
-                    return;
-                }
-                Some(best_opamps) => *best_opamps = plan.opamps,
-                None => {
-                    self.memo.insert(key, plan.opamps);
-                }
-            }
+        if self.memo.dominated(&plan.covered, plan.opamps) {
+            self.stats.memo_pruned += 1;
+            return;
         }
 
-        let Some(cur) = self.order.iter().copied().find(|b| !plan.covered[b.index()]) else {
+        let Some(cur) = self.ctx.next_uncovered(&plan) else {
             self.complete(&plan);
             return;
         };
 
-        let mut alternatives = matches_at(self.graph, cur, &self.config.match_options);
-        if !self.config.sequencing {
-            // Ablation: visit smallest covers first.
-            alternatives.reverse();
-        }
-        for m in &alternatives {
+        let alternatives = self.ctx.cache.at(cur);
+        for k in 0..alternatives.len() {
+            // The cache stores alternatives largest-cover-first (the
+            // sequencing rule); the ablation visits them smallest-first.
+            let i = if self.ctx.config.sequencing {
+                k
+            } else {
+                alternatives.len() - 1 - k
+            };
+            let m = &alternatives[i];
             // Overlap with already-covered blocks is illegal.
-            if m.covered.iter().any(|b| plan.covered[b.index()]) {
+            if m.covered.iter().any(|&b| plan.is_covered(b)) {
                 continue;
             }
             // Share branch first (sequencing rule: sharing before
             // allocation).
-            if self.config.sharing {
+            if self.ctx.config.sharing {
                 if let Some(existing) = plan.find_shareable(&m.kind, &m.inputs) {
                     let mut shared = plan.clone();
                     for &b in &m.covered {
-                        shared.covered[b.index()] = true;
+                        shared.cover(b);
                         shared.components[existing].covered.push(b);
                     }
                     self.run(shared);
@@ -142,65 +267,89 @@ impl Search<'_> {
             // band) can never appear in a feasible netlist — reject it
             // locally so the functional-transformation alternatives
             // (gain-split chains) are explored instead.
-            if !self.estimator.estimate_component(&m.kind).spec_met {
+            if !self.ctx.spec_ok[cur.index()][i] {
                 self.stats.pruned_nodes += 1;
                 continue;
             }
-            let added = m.kind.opamp_count();
-            if self.config.bounding {
-                if let Some(best) = &self.best {
-                    let lower_bound = (plan.opamps + added) as f64 * self.min_area;
-                    if lower_bound >= best.area {
+            if self.ctx.config.bounding {
+                let bound = self.bound_area();
+                if bound.is_finite() {
+                    let added = m.kind.opamp_count();
+                    let lower_bound = (plan.opamps + added) as f64 * self.ctx.min_area;
+                    if lower_bound >= bound {
                         self.stats.pruned_nodes += 1;
                         continue;
                     }
                 }
             }
             let mut allocated = plan.clone();
-            self.apply(&mut allocated, m, cur);
+            apply_match(&mut allocated, m, cur);
             self.run(allocated);
         }
     }
 
-    fn apply(&self, plan: &mut Plan, m: &PatternMatch, output: BlockId) {
-        for &b in &m.covered {
-            plan.covered[b.index()] = true;
+    /// Whether the (shared, in a parallel run) visited-node budget is
+    /// exhausted. Counts the visit in the shared budget.
+    fn over_node_limit(&self) -> bool {
+        match self.shared {
+            Some(shared) => {
+                shared.visited.fetch_add(1, Ordering::Relaxed) >= self.ctx.config.node_limit
+            }
+            None => self.stats.visited_nodes >= self.ctx.config.node_limit,
         }
-        plan.opamps += m.kind.opamp_count();
-        plan.components.push(PlannedComponent {
-            kind: m.kind.clone(),
-            covered: m.covered.clone(),
-            inputs: m.inputs.clone(),
-            output,
-        });
+    }
+
+    /// The incumbent area to bound against: the local best, tightened
+    /// by the best any worker has published.
+    fn bound_area(&self) -> f64 {
+        let local = self.best.as_ref().map_or(f64::INFINITY, |b| b.area);
+        match self.shared {
+            Some(shared) => local.min(f64::from_bits(shared.best_area.load(Ordering::Relaxed))),
+            None => local,
+        }
     }
 
     fn complete(&mut self, plan: &Plan) {
         self.stats.complete_mappings += 1;
-        let Ok(netlist) = resolve(self.graph, plan, self.config.fanout_limit) else {
+        let Ok(netlist) = resolve(self.ctx.graph, plan, self.ctx.config.fanout_limit) else {
             return;
         };
-        let estimate = self.estimator.estimate_netlist(&netlist);
+        let estimate = self.ctx.estimator.estimate_netlist(&netlist);
         if !estimate.feasible() {
             self.stats.infeasible_mappings += 1;
             return;
         }
         let area = estimate.area_m2;
         if self.best.as_ref().is_none_or(|b| area < b.area) {
-            self.best = Some(Best { area, netlist, estimate });
+            self.best = Some(Best {
+                area,
+                netlist,
+                estimate,
+            });
+        }
+        if let Some(shared) = self.shared {
+            // Publish for cross-worker bounding. Non-negative IEEE
+            // doubles order the same as their bit patterns, so an
+            // atomic integer min keeps the true minimum area.
+            shared
+                .best_area
+                .fetch_min(area.to_bits(), Ordering::Relaxed);
         }
     }
 }
 
-/// Pack a covered-set into a compact memo key.
-fn cover_key(covered: &[bool]) -> Vec<u64> {
-    let mut key = vec![0u64; covered.len().div_ceil(64)];
-    for (i, &c) in covered.iter().enumerate() {
-        if c {
-            key[i / 64] |= 1 << (i % 64);
-        }
+/// Extend `plan` with an allocated component for match `m` at `output`.
+pub(crate) fn apply_match(plan: &mut Plan, m: &PatternMatch, output: BlockId) {
+    for &b in &m.covered {
+        plan.cover(b);
     }
-    key
+    plan.opamps += m.kind.opamp_count();
+    plan.components.push(PlannedComponent {
+        kind: m.kind.clone(),
+        covered: m.covered.clone(),
+        inputs: m.inputs.clone(),
+        output,
+    });
 }
 
 /// The order in which uncovered blocks are picked: depth-first from the
@@ -263,6 +412,20 @@ mod tests {
         g
     }
 
+    /// A chain of `n` unity-gain buffers (x → 1·1·…·1 → y).
+    fn buffer_chain(n: usize) -> SignalFlowGraph {
+        let mut g = SignalFlowGraph::new("chain");
+        let mut prev = g.add(BlockKind::Input { name: "x".into() });
+        for _ in 0..n {
+            let s = g.add(BlockKind::Scale { gain: 1.0 });
+            g.connect(prev, s, 0).expect("wire");
+            prev = s;
+        }
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(prev, y, 0).expect("wire");
+        g
+    }
+
     #[test]
     fn fig6_best_mapping_uses_one_summing_amp() {
         // Scale∘Add with folded scale children → all 4 blocks in ONE
@@ -299,28 +462,24 @@ mod tests {
         // `MinArea`, so the bound `(opamps + comp) · MinArea ≥ best`
         // becomes effective once the 6-follower optimum is found and a
         // branch accumulates per-block followers.
-        let mut g = SignalFlowGraph::new("chain");
-        let mut prev = g.add(BlockKind::Input { name: "x".into() });
-        for _ in 0..12 {
-            let s = g.add(BlockKind::Scale { gain: 1.0 });
-            g.connect(prev, s, 0).expect("wire");
-            prev = s;
-        }
-        let y = g.add(BlockKind::Output { name: "y".into() });
-        g.connect(prev, y, 0).expect("wire");
+        let g = buffer_chain(12);
 
         // Isolate the bounding rule: memoization off for both runs.
-        let bounded =
-            map_graph(&g, &estimator(), &MapperConfig { memoize: false, ..MapperConfig::default() })
-                .expect("maps");
-        let exhaustive = map_graph(
+        let bounded = map_graph(
             &g,
             &estimator(),
-            &MapperConfig { memoize: false, ..MapperConfig::exhaustive() },
+            &MapperConfig {
+                memoize: false,
+                ..MapperConfig::default()
+            },
         )
         .expect("maps");
+        let exhaustive = map_graph(&g, &estimator(), &MapperConfig::exhaustive()).expect("maps");
         // Same optimum (6 pair-folded buffers)...
-        assert_eq!(bounded.netlist.opamp_count(), exhaustive.netlist.opamp_count());
+        assert_eq!(
+            bounded.netlist.opamp_count(),
+            exhaustive.netlist.opamp_count()
+        );
         assert_eq!(bounded.netlist.opamp_count(), 6);
         // ...but bounding visits fewer nodes and actually prunes.
         assert!(bounded.stats.visited_nodes <= exhaustive.stats.visited_nodes);
@@ -351,7 +510,10 @@ mod tests {
         let shared = map_graph(&g, &estimator(), &MapperConfig::default()).expect("maps");
         assert_eq!(shared.netlist.opamp_count(), 1, "{}", shared.netlist);
 
-        let config = MapperConfig { sharing: false, ..MapperConfig::default() };
+        let config = MapperConfig {
+            sharing: false,
+            ..MapperConfig::default()
+        };
         let unshared = map_graph(&g, &estimator(), &config).expect("maps");
         assert_eq!(unshared.netlist.opamp_count(), 2, "{}", unshared.netlist);
     }
@@ -360,7 +522,10 @@ mod tests {
     fn integrator_feedback_loop_maps() {
         // dx/dt = -x: summing integrator with its own output fed back.
         let mut g = SignalFlowGraph::new("ode");
-        let integ = g.add(BlockKind::Integrate { gain: 1.0, initial: 1.0 });
+        let integ = g.add(BlockKind::Integrate {
+            gain: 1.0,
+            initial: 1.0,
+        });
         let neg = g.add(BlockKind::Scale { gain: -1.0 });
         let y = g.add(BlockKind::Output { name: "x".into() });
         g.connect(integ, neg, 0).expect("wire");
@@ -389,12 +554,7 @@ mod tests {
     #[test]
     fn stats_count_complete_mappings() {
         let g = fig6_graph();
-        let result = map_graph(
-            &g,
-            &estimator(),
-            &MapperConfig { memoize: false, ..MapperConfig::exhaustive() },
-        )
-        .expect("maps");
+        let result = map_graph(&g, &estimator(), &MapperConfig::exhaustive()).expect("maps");
         assert!(result.stats.complete_mappings >= 2);
         assert!(result.stats.visited_nodes > result.stats.complete_mappings);
     }
@@ -403,9 +563,15 @@ mod tests {
     fn memoization_prunes_but_preserves_the_optimum() {
         let g = fig6_graph();
         let with = map_graph(&g, &estimator(), &MapperConfig::default()).expect("maps");
-        let without =
-            map_graph(&g, &estimator(), &MapperConfig { memoize: false, ..MapperConfig::default() })
-                .expect("maps");
+        let without = map_graph(
+            &g,
+            &estimator(),
+            &MapperConfig {
+                memoize: false,
+                ..MapperConfig::default()
+            },
+        )
+        .expect("maps");
         assert_eq!(with.netlist.opamp_count(), without.netlist.opamp_count());
         assert!(with.stats.visited_nodes <= without.stats.visited_nodes);
     }
@@ -413,8 +579,102 @@ mod tests {
     #[test]
     fn sequencing_off_still_finds_optimum_but_slower_bound() {
         let g = fig6_graph();
-        let config = MapperConfig { sequencing: false, ..MapperConfig::default() };
+        let config = MapperConfig {
+            sequencing: false,
+            ..MapperConfig::default()
+        };
         let result = map_graph(&g, &estimator(), &config).expect("maps");
         assert_eq!(result.netlist.opamp_count(), 1);
+    }
+
+    #[test]
+    fn matcher_runs_once_per_block_per_call() {
+        use vase_library::matches_at_calls_on_thread;
+        let g = fig6_graph();
+        // parallelism = 1 keeps the whole search on this thread, so the
+        // thread-local matcher-call counter sees every invocation.
+        let before = matches_at_calls_on_thread();
+        map_graph(&g, &estimator(), &MapperConfig::default()).expect("maps");
+        let calls = matches_at_calls_on_thread() - before;
+        assert_eq!(
+            calls,
+            g.len() as u64,
+            "matches_at must run exactly once per block per map_graph call"
+        );
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential_optimum() {
+        for graph in [fig6_graph(), buffer_chain(10)] {
+            let seq = map_graph(&graph, &estimator(), &MapperConfig::default()).expect("maps");
+            for parallelism in [2usize, 4, 8] {
+                let config = MapperConfig {
+                    parallelism,
+                    ..MapperConfig::default()
+                };
+                let par = map_graph(&graph, &estimator(), &config).expect("maps");
+                assert_eq!(
+                    par.netlist.opamp_count(),
+                    seq.netlist.opamp_count(),
+                    "parallelism={parallelism} on {}",
+                    graph.name()
+                );
+                assert!(
+                    (par.estimate.area_m2 - seq.estimate.area_m2).abs()
+                        <= seq.estimate.area_m2 * 1e-12,
+                    "parallelism={parallelism} on {}: {} vs {}",
+                    graph.name(),
+                    par.estimate.area_m2,
+                    seq.estimate.area_m2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_split_depth_matches_optimum_too() {
+        let g = buffer_chain(10);
+        let seq = map_graph(&g, &estimator(), &MapperConfig::default()).expect("maps");
+        for split_depth in [1usize, 2, 4] {
+            let config = MapperConfig {
+                parallelism: 3,
+                split_depth,
+                ..MapperConfig::default()
+            };
+            let par = map_graph(&g, &estimator(), &config).expect("maps");
+            assert_eq!(par.netlist.opamp_count(), seq.netlist.opamp_count());
+        }
+    }
+
+    #[test]
+    fn parallel_infeasible_still_errors() {
+        use vase_estimate::PerformanceConstraints;
+        let g = fig6_graph();
+        let e = Estimator::new(PerformanceConstraints {
+            bandwidth_hz: 4e3,
+            signal_peak_v: 1.0,
+            max_power_w: 0.0,
+            max_area_m2: f64::INFINITY,
+        });
+        let err = map_graph(
+            &g,
+            &e,
+            &MapperConfig {
+                parallelism: 4,
+                ..MapperConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, MapError::NoFeasibleMapping);
+    }
+
+    #[test]
+    fn stats_record_wall_clock() {
+        let g = buffer_chain(8);
+        let result = map_graph(&g, &estimator(), &MapperConfig::default()).expect("maps");
+        // Any real search takes a nonzero number of microseconds...
+        // except on very fast hosts; accept zero but require the field
+        // to round-trip through Display.
+        assert!(result.stats.to_string().contains("visited"));
     }
 }

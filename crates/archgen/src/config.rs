@@ -1,5 +1,7 @@
 //! Mapper configuration and search statistics.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 use vase_library::MatchOptions;
 
@@ -23,7 +25,8 @@ pub struct MapperConfig {
     /// output drives more than this many consumers.
     pub fanout_limit: usize,
     /// Safety cap on visited decision-tree nodes; the search returns
-    /// the best solution found so far when exceeded.
+    /// the best solution found so far when exceeded. Shared across all
+    /// workers in a parallel run.
     pub node_limit: u64,
     /// Dominance memoization (an extension beyond the paper): prune a
     /// partial mapping whose covered-block set was already reached with
@@ -31,6 +34,24 @@ pub struct MapperConfig {
     /// identifies as the algorithm's scaling limit, while preserving
     /// the optimum on every workload we test.
     pub memoize: bool,
+    /// Worker threads for the branch-and-bound search: `0` auto-detects
+    /// from the host's available cores, `1` (the default) runs the
+    /// sequential search, `n > 1` splits the decision tree into subtree
+    /// tasks executed by `n` scoped threads around a shared incumbent
+    /// bound. The parallel search returns the same optimal area as the
+    /// sequential one (property-tested).
+    #[serde(default = "default_parallelism")]
+    pub parallelism: usize,
+    /// How many decision-tree levels are expanded sequentially into
+    /// subtree tasks before the workers take over. `0` (the default)
+    /// auto-sizes: levels are expanded until roughly four tasks per
+    /// worker exist.
+    #[serde(default)]
+    pub split_depth: usize,
+}
+
+fn default_parallelism() -> usize {
+    1
 }
 
 impl Default for MapperConfig {
@@ -43,15 +64,55 @@ impl Default for MapperConfig {
             fanout_limit: 3,
             node_limit: 2_000_000,
             memoize: true,
+            parallelism: 1,
+            split_depth: 0,
         }
     }
 }
 
 impl MapperConfig {
-    /// An exhaustive configuration (no bounding) — the baseline the
-    /// bounding-rule ablation compares against.
+    /// A truly exhaustive configuration — no bounding rule *and* no
+    /// dominance memoization, so every decision-tree node is visited.
+    /// This is the baseline the bounding-rule ablation compares
+    /// against; it is exponentially slow beyond small graphs.
     pub fn exhaustive() -> Self {
-        MapperConfig { bounding: false, ..MapperConfig::default() }
+        MapperConfig {
+            bounding: false,
+            memoize: false,
+            ..MapperConfig::default()
+        }
+    }
+
+    /// No bounding rule but dominance memoization kept on — the
+    /// tractable stand-in for [`MapperConfig::exhaustive`] on larger
+    /// graphs (memoization alone keeps the tree polynomial-ish while
+    /// still exploring every non-dominated alternative).
+    pub fn exhaustive_memoized() -> Self {
+        MapperConfig {
+            bounding: false,
+            ..MapperConfig::default()
+        }
+    }
+
+    /// The default configuration with auto-detected parallelism: one
+    /// worker per available core.
+    pub fn parallel() -> Self {
+        MapperConfig {
+            parallelism: 0,
+            ..MapperConfig::default()
+        }
+    }
+
+    /// The number of worker threads this configuration resolves to:
+    /// `parallelism`, or the host's available core count when it is
+    /// `0` (auto).
+    pub fn effective_parallelism(&self) -> usize {
+        match self.parallelism {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
     }
 }
 
@@ -60,7 +121,8 @@ impl MapperConfig {
 pub struct MapStats {
     /// Decision-tree nodes visited.
     pub visited_nodes: u64,
-    /// Nodes pruned by the bounding rule.
+    /// Nodes pruned by the bounding rule (or by component-level
+    /// infeasibility).
     pub pruned_nodes: u64,
     /// Nodes pruned by dominance memoization.
     pub memo_pruned: u64,
@@ -68,6 +130,59 @@ pub struct MapStats {
     pub complete_mappings: u64,
     /// Complete mappings rejected as constraint-infeasible.
     pub infeasible_mappings: u64,
+    /// Wall-clock search time in microseconds.
+    #[serde(default)]
+    pub elapsed_us: u64,
+}
+
+impl MapStats {
+    /// Accumulate `other` into `self` (summing every counter,
+    /// including elapsed time — callers tracking wall clock across
+    /// concurrent runs should overwrite `elapsed_us` afterwards).
+    pub fn merge(&mut self, other: &MapStats) {
+        self.visited_nodes += other.visited_nodes;
+        self.pruned_nodes += other.pruned_nodes;
+        self.memo_pruned += other.memo_pruned;
+        self.complete_mappings += other.complete_mappings;
+        self.infeasible_mappings += other.infeasible_mappings;
+        self.elapsed_us += other.elapsed_us;
+    }
+
+    /// Search throughput: visited decision-tree nodes per second of
+    /// wall-clock search time (`0.0` when no time was recorded).
+    pub fn visits_per_second(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            0.0
+        } else {
+            self.visited_nodes as f64 * 1e6 / self.elapsed_us as f64
+        }
+    }
+}
+
+impl fmt::Display for MapStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "visited {} nodes ({} bound-pruned, {} memo-pruned), \
+             {} complete mappings ({} infeasible) in {}",
+            self.visited_nodes,
+            self.pruned_nodes,
+            self.memo_pruned,
+            self.complete_mappings,
+            self.infeasible_mappings,
+            format_duration_us(self.elapsed_us),
+        )
+    }
+}
+
+fn format_duration_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2} s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2} ms", us as f64 / 1e3)
+    } else {
+        format!("{us} µs")
+    }
 }
 
 #[cfg(test)]
@@ -75,16 +190,86 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_enables_everything() {
+    fn default_enables_everything_sequentially() {
         let c = MapperConfig::default();
         assert!(c.bounding && c.sequencing && c.sharing && c.memoize);
         assert!(c.match_options.multi_block && c.match_options.transforms);
+        assert_eq!(c.parallelism, 1);
+        assert_eq!(c.split_depth, 0);
     }
 
     #[test]
-    fn exhaustive_disables_bounding_only() {
+    fn exhaustive_disables_bounding_and_memoization() {
         let c = MapperConfig::exhaustive();
         assert!(!c.bounding);
+        assert!(!c.memoize, "a memoized search is not exhaustive");
         assert!(c.sequencing && c.sharing);
+    }
+
+    #[test]
+    fn exhaustive_memoized_keeps_memoization() {
+        let c = MapperConfig::exhaustive_memoized();
+        assert!(!c.bounding);
+        assert!(c.memoize);
+    }
+
+    #[test]
+    fn effective_parallelism_resolves_auto() {
+        assert!(MapperConfig::parallel().effective_parallelism() >= 1);
+        let c = MapperConfig {
+            parallelism: 3,
+            ..MapperConfig::default()
+        };
+        assert_eq!(c.effective_parallelism(), 3);
+        assert_eq!(MapperConfig::default().effective_parallelism(), 1);
+    }
+
+    #[test]
+    fn stats_merge_sums_counters() {
+        let mut a = MapStats {
+            visited_nodes: 10,
+            pruned_nodes: 2,
+            memo_pruned: 1,
+            complete_mappings: 3,
+            infeasible_mappings: 1,
+            elapsed_us: 500,
+        };
+        let b = MapStats {
+            visited_nodes: 5,
+            elapsed_us: 250,
+            ..MapStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.visited_nodes, 15);
+        assert_eq!(a.elapsed_us, 750);
+        assert_eq!(a.pruned_nodes, 2);
+    }
+
+    #[test]
+    fn stats_display_summarizes_cost() {
+        let s = MapStats {
+            visited_nodes: 1234,
+            pruned_nodes: 56,
+            memo_pruned: 7,
+            complete_mappings: 8,
+            infeasible_mappings: 1,
+            elapsed_us: 4200,
+        };
+        let text = s.to_string();
+        assert!(text.contains("1234"), "{text}");
+        assert!(text.contains("56 bound-pruned"), "{text}");
+        assert!(text.contains("7 memo-pruned"), "{text}");
+        assert!(text.contains("4.20 ms"), "{text}");
+    }
+
+    #[test]
+    fn visits_per_second_handles_zero_time() {
+        assert_eq!(MapStats::default().visits_per_second(), 0.0);
+        let s = MapStats {
+            visited_nodes: 1_000,
+            elapsed_us: 500_000,
+            ..MapStats::default()
+        };
+        assert!((s.visits_per_second() - 2_000.0).abs() < 1e-9);
     }
 }

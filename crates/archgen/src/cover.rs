@@ -1,0 +1,165 @@
+//! Fixed-width cover bitsets.
+//!
+//! The dominance memo keys every visited decision-tree node by its
+//! covered-block set. Packing that set into a `Vec<u64>` (the original
+//! representation) allocated on every node visit; [`CoverSet`] instead
+//! stores the bits inline — a single `u128` for graphs of up to 128
+//! blocks (every real workload), a fixed `[u64; 4]` up to 256 blocks —
+//! so cloning a key on the search hot path is allocation-free. Graphs
+//! beyond 256 blocks fall back to a boxed slice and keep working.
+
+/// A set of covered block indices, sized once at construction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CoverSet {
+    len: u32,
+    repr: Repr,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Up to 128 blocks: one inline word — the hot path.
+    Inline(u128),
+    /// Up to 256 blocks: fixed-width array, still allocation-free.
+    Array([u64; 4]),
+    /// Arbitrary width (rare; allocates like the old `Vec<u64>` key).
+    Heap(Box<[u64]>),
+}
+
+impl CoverSet {
+    /// An empty set over `len` possible indices.
+    pub fn with_len(len: usize) -> Self {
+        let repr = if len <= 128 {
+            Repr::Inline(0)
+        } else if len <= 256 {
+            Repr::Array([0; 4])
+        } else {
+            Repr::Heap(vec![0u64; len.div_ceil(64)].into_boxed_slice())
+        };
+        CoverSet {
+            len: len as u32,
+            repr,
+        }
+    }
+
+    /// The number of indices the set ranges over (not the popcount).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the set ranges over zero indices.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether index `i` is in the set.
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len());
+        match &self.repr {
+            Repr::Inline(bits) => (bits >> i) & 1 == 1,
+            Repr::Array(words) => (words[i / 64] >> (i % 64)) & 1 == 1,
+            Repr::Heap(words) => (words[i / 64] >> (i % 64)) & 1 == 1,
+        }
+    }
+
+    /// Insert index `i`.
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len());
+        match &mut self.repr {
+            Repr::Inline(bits) => *bits |= 1u128 << i,
+            Repr::Array(words) => words[i / 64] |= 1u64 << (i % 64),
+            Repr::Heap(words) => words[i / 64] |= 1u64 << (i % 64),
+        }
+    }
+
+    /// How many indices are in the set.
+    pub fn count(&self) -> usize {
+        match &self.repr {
+            Repr::Inline(bits) => bits.count_ones() as usize,
+            Repr::Array(words) => words.iter().map(|w| w.count_ones() as usize).sum(),
+            Repr::Heap(words) => words.iter().map(|w| w.count_ones() as usize).sum(),
+        }
+    }
+
+    /// Whether every index in `0..len` is in the set.
+    pub fn is_full(&self) -> bool {
+        self.count() == self.len()
+    }
+}
+
+impl Default for CoverSet {
+    fn default() -> Self {
+        CoverSet::with_len(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn empty_set_is_full() {
+        let s = CoverSet::with_len(0);
+        assert!(s.is_empty());
+        assert!(s.is_full());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn set_get_count_across_representations() {
+        // Exercise the inline, array, and heap representations plus
+        // both sides of every word boundary.
+        for len in [1usize, 63, 64, 65, 127, 128, 129, 255, 256, 257, 400] {
+            let mut s = CoverSet::with_len(len);
+            assert!(!s.is_full() || len == 0);
+            let picks: Vec<usize> = (0..len).filter(|i| i % 7 == 0 || i + 1 == len).collect();
+            for &i in &picks {
+                assert!(!s.get(i), "len={len} i={i}");
+                s.set(i);
+                assert!(s.get(i), "len={len} i={i}");
+            }
+            assert_eq!(s.count(), picks.len(), "len={len}");
+            // Setting twice is idempotent.
+            for &i in &picks {
+                s.set(i);
+            }
+            assert_eq!(s.count(), picks.len(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn is_full_when_all_set() {
+        for len in [1usize, 128, 129, 300] {
+            let mut s = CoverSet::with_len(len);
+            for i in 0..len {
+                s.set(i);
+            }
+            assert!(s.is_full(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn equality_and_hash_follow_contents() {
+        for len in [10usize, 130, 300] {
+            let mut a = CoverSet::with_len(len);
+            let mut b = CoverSet::with_len(len);
+            assert_eq!(a, b);
+            a.set(3);
+            assert_ne!(a, b);
+            b.set(3);
+            assert_eq!(a, b);
+            let mut seen = HashSet::new();
+            assert!(seen.insert(a.clone()));
+            assert!(!seen.insert(b), "equal sets must collide in a hash set");
+        }
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = CoverSet::with_len(300);
+        let b = a.clone();
+        a.set(299);
+        assert!(a.get(299));
+        assert!(!b.get(299));
+    }
+}

@@ -7,8 +7,10 @@
 //! harness: at each uncovered block take the largest-cover alternative
 //! (sharing when possible), never backtrack.
 
+use std::time::Instant;
+
 use vase_estimate::Estimator;
-use vase_library::matches_at;
+use vase_library::MatchCache;
 use vase_vhif::SignalFlowGraph;
 
 use crate::bnb::MapResult;
@@ -29,16 +31,18 @@ pub fn map_graph_greedy(
     estimator: &Estimator,
     config: &MapperConfig,
 ) -> Result<MapResult, MapError> {
+    let start = Instant::now();
+    let cache = MatchCache::build(graph, &config.match_options);
     let mut plan = Plan::new(graph);
     let order = crate::bnb::coverage_order(graph);
     let mut stats = MapStats::default();
-    while let Some(cur) = order.iter().copied().find(|b| !plan.covered[b.index()]) {
+    while let Some(cur) = order.iter().copied().find(|&b| !plan.is_covered(b)) {
         stats.visited_nodes += 1;
-        let alternatives = matches_at(graph, cur, &config.match_options);
-        let m = alternatives
+        let m = cache
+            .at(cur)
             .iter()
             .find(|m| {
-                !m.covered.iter().any(|b| plan.covered[b.index()])
+                !m.covered.iter().any(|&b| plan.is_covered(b))
                     && estimator.estimate_component(&m.kind).spec_met
             })
             .ok_or_else(|| MapError::NoPattern {
@@ -47,14 +51,14 @@ pub fn map_graph_greedy(
         if config.sharing {
             if let Some(existing) = plan.find_shareable(&m.kind, &m.inputs) {
                 for &b in &m.covered {
-                    plan.covered[b.index()] = true;
+                    plan.cover(b);
                     plan.components[existing].covered.push(b);
                 }
                 continue;
             }
         }
         for &b in &m.covered {
-            plan.covered[b.index()] = true;
+            plan.cover(b);
         }
         plan.opamps += m.kind.opamp_count();
         plan.components.push(PlannedComponent {
@@ -70,7 +74,12 @@ pub fn map_graph_greedy(
     if !estimate.feasible() {
         return Err(MapError::NoFeasibleMapping);
     }
-    Ok(MapResult { netlist, estimate, stats })
+    stats.elapsed_us = start.elapsed().as_micros() as u64;
+    Ok(MapResult {
+        netlist,
+        estimate,
+        stats,
+    })
 }
 
 #[cfg(test)]

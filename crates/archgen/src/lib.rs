@@ -8,7 +8,8 @@
 //!
 //! * [`map_graph`] — the optimal **branch-and-bound** mapper with the
 //!   paper's branching, bounding, and sequencing rules plus hardware
-//!   sharing (Fig. 5);
+//!   sharing (Fig. 5), optionally parallelized over subtree tasks with
+//!   a shared incumbent bound (`MapperConfig::parallelism`);
 //! * [`map_graph_greedy`] — the faster heuristic baseline the paper's
 //!   conclusion anticipates;
 //! * [`map_fsm`] — the event-driven part's mapping onto Schmitt
@@ -40,10 +41,14 @@
 
 pub mod bnb;
 pub mod config;
+pub mod cover;
 pub mod error;
 pub mod fsm_map;
 pub mod greedy;
+mod parallel;
 pub mod plan;
+
+use std::time::Instant;
 
 use vase_estimate::{Estimator, NetlistEstimate};
 use vase_library::{Netlist, SourceRef};
@@ -51,6 +56,7 @@ use vase_vhif::VhifDesign;
 
 pub use bnb::{map_graph, MapResult};
 pub use config::{MapStats, MapperConfig};
+pub use cover::CoverSet;
 pub use error::MapError;
 pub use fsm_map::{map_fsm, map_fsm_with_bindings};
 pub use greedy::map_graph_greedy;
@@ -74,25 +80,55 @@ pub struct SynthesisResult {
 /// signal-flow graph, direct mapping of each FSM, merged into one
 /// netlist.
 ///
+/// With `config.parallelism != 1` and several signal-flow graphs, the
+/// graphs are mapped concurrently (the configured worker budget is
+/// divided among them); `stats.elapsed_us` then reports the wall-clock
+/// time of the whole mapping phase rather than the per-graph sum.
+///
 /// # Errors
 ///
-/// Propagates mapping failures from [`map_graph`].
+/// Propagates mapping failures from [`map_graph`] (the first failing
+/// graph in design order).
 pub fn synthesize(
     design: &VhifDesign,
     estimator: &Estimator,
     config: &MapperConfig,
 ) -> Result<SynthesisResult, MapError> {
+    let start = Instant::now();
+    let jobs = config.effective_parallelism();
+    let results: Vec<Result<MapResult, MapError>> = if jobs > 1 && design.graphs.len() > 1 {
+        // Spread the worker budget across the graphs; each graph's own
+        // search may still split further when the budget allows.
+        let per_graph = MapperConfig {
+            parallelism: (jobs / design.graphs.len()).max(1),
+            ..*config
+        };
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = design
+                .graphs
+                .iter()
+                .map(|graph| scope.spawn(move || map_graph(graph, estimator, &per_graph)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("graph mapper panicked"))
+                .collect()
+        })
+    } else {
+        design
+            .graphs
+            .iter()
+            .map(|graph| map_graph(graph, estimator, config))
+            .collect()
+    };
     let mut netlist = Netlist::new();
     let mut stats = MapStats::default();
-    for graph in &design.graphs {
-        let result = map_graph(graph, estimator, config)?;
+    for result in results {
+        let result = result?;
         merge(&mut netlist, result.netlist);
-        stats.visited_nodes += result.stats.visited_nodes;
-        stats.pruned_nodes += result.stats.pruned_nodes;
-        stats.memo_pruned += result.stats.memo_pruned;
-        stats.complete_mappings += result.stats.complete_mappings;
-        stats.infeasible_mappings += result.stats.infeasible_mappings;
+        stats.merge(&result.stats);
     }
+    stats.elapsed_us = start.elapsed().as_micros() as u64;
     let mut control_bindings = Vec::new();
     for fsm in &design.fsms {
         let offset = netlist.components.len();
@@ -110,7 +146,12 @@ pub fn synthesize(
         }
     }
     let estimate = estimator.estimate_netlist(&netlist);
-    Ok(SynthesisResult { netlist, estimate, stats, control_bindings })
+    Ok(SynthesisResult {
+        netlist,
+        estimate,
+        stats,
+        control_bindings,
+    })
 }
 
 /// Append `other`'s components and outputs to `netlist`, fixing
@@ -141,8 +182,12 @@ mod tests {
     fn receiver_vhif() -> VhifDesign {
         // Continuous part: earph = sum × switched gain, output stage.
         let mut g = SignalFlowGraph::new("main");
-        let line = g.add(BlockKind::Input { name: "line".into() });
-        let local = g.add(BlockKind::Input { name: "local".into() });
+        let line = g.add(BlockKind::Input {
+            name: "line".into(),
+        });
+        let local = g.add(BlockKind::Input {
+            name: "local".into(),
+        });
         let s1 = g.add(BlockKind::Scale { gain: 0.5 });
         let s2 = g.add(BlockKind::Scale { gain: 0.25 });
         let add = g.add_labelled(BlockKind::Add { arity: 2 }, "block1");
@@ -152,10 +197,16 @@ mod tests {
         let mux = g.add(BlockKind::Mux { arity: 2 });
         let mul = g.add_labelled(BlockKind::Mul, "block2");
         let stage = g.add_labelled(
-            BlockKind::OutputStage { load_ohms: 270.0, peak_volts: 0.285, limit: Some(1.5) },
+            BlockKind::OutputStage {
+                load_ohms: 270.0,
+                peak_volts: 0.285,
+                limit: Some(1.5),
+            },
             "block4",
         );
-        let out = g.add(BlockKind::Output { name: "earph".into() });
+        let out = g.add(BlockKind::Output {
+            name: "earph".into(),
+        });
         g.connect(line, s1, 0).expect("wire");
         g.connect(local, s2, 0).expect("wire");
         g.connect(s1, add, 0).expect("wire");
@@ -172,11 +223,16 @@ mod tests {
         let mut fsm = Fsm::new("comp");
         let start = fsm.start();
         let s = fsm.add_state("s1");
-        fsm.state_mut(s).ops.push(DataOp::new("c1", DpExpr::Bit(true)));
+        fsm.state_mut(s)
+            .ops
+            .push(DataOp::new("c1", DpExpr::Bit(true)));
         fsm.add_transition(
             start,
             s,
-            Trigger::AnyEvent(vec![Event::Above { quantity: "line".into(), threshold: 0.07 }]),
+            Trigger::AnyEvent(vec![Event::Above {
+                quantity: "line".into(),
+                threshold: 0.07,
+            }]),
         );
         fsm.add_transition(s, start, Trigger::Always);
 
@@ -197,9 +253,18 @@ mod tests {
         result.netlist.validate().expect("valid");
         let summary = result.netlist.report_summary();
         let count = |cat: &str| {
-            summary.iter().find(|(c, _)| c == cat).map(|(_, n)| *n).unwrap_or(0)
+            summary
+                .iter()
+                .find(|(c, _)| c == cat)
+                .map(|(_, n)| *n)
+                .unwrap_or(0)
         };
-        assert_eq!(count("amplif."), 2, "summary: {summary:?}\n{}", result.netlist);
+        assert_eq!(
+            count("amplif."),
+            2,
+            "summary: {summary:?}\n{}",
+            result.netlist
+        );
         assert_eq!(count("zero-cross det."), 1, "summary: {summary:?}");
         assert_eq!(count("output stage"), 1, "summary: {summary:?}");
         // 2 amps + 1 zcd + 1 output stage = 4 op amps total.
@@ -215,6 +280,38 @@ mod tests {
         result.netlist.validate().expect("indices valid");
         // Output taps exist.
         assert!(result.netlist.outputs.iter().any(|(n, _)| n == "earph"));
+    }
+
+    #[test]
+    fn parallel_synthesis_matches_sequential() {
+        // A two-graph design: the receiver's continuous part plus an
+        // independent gain stage, mapped concurrently.
+        let mut design = receiver_vhif();
+        let mut g2 = SignalFlowGraph::new("aux");
+        let x = g2.add(BlockKind::Input {
+            name: "aux_in".into(),
+        });
+        let s = g2.add(BlockKind::Scale { gain: -4.0 });
+        let y = g2.add(BlockKind::Output {
+            name: "aux_out".into(),
+        });
+        g2.connect(x, s, 0).expect("wire");
+        g2.connect(s, y, 0).expect("wire");
+        design.graphs.push(g2);
+
+        let seq =
+            synthesize(&design, &Estimator::default(), &MapperConfig::default()).expect("maps");
+        let par_config = MapperConfig {
+            parallelism: 4,
+            ..MapperConfig::default()
+        };
+        let par = synthesize(&design, &Estimator::default(), &par_config).expect("maps");
+        par.netlist.validate().expect("valid");
+        assert_eq!(par.netlist.opamp_count(), seq.netlist.opamp_count());
+        assert!(
+            (par.estimate.area_m2 - seq.estimate.area_m2).abs() <= seq.estimate.area_m2 * 1e-12
+        );
+        assert_eq!(par.control_bindings.len(), seq.control_bindings.len());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use vase_library::{ComponentKind, Netlist, PlacedComponent, SourceRef};
 use vase_vhif::{BlockId, BlockKind, SignalFlowGraph};
 
+use crate::cover::CoverSet;
 use crate::error::MapError;
 
 /// One component planned during the search; inputs still refer to VHIF
@@ -29,8 +30,10 @@ pub struct PlannedComponent {
 pub struct Plan {
     /// Planned components.
     pub components: Vec<PlannedComponent>,
-    /// Whether each block (by index) is covered.
-    pub covered: Vec<bool>,
+    /// The set of covered blocks (by index). Stored as an inline
+    /// bitset so cloning it as a dominance-memo key on the search hot
+    /// path is allocation-free.
+    pub covered: CoverSet,
     /// Running op-amp count (the sequencing rule's area proxy).
     pub opamps: usize,
 }
@@ -40,13 +43,32 @@ impl Plan {
     /// blocks are pre-marked covered (they are external nets, not
     /// hardware).
     pub fn new(graph: &SignalFlowGraph) -> Self {
-        let covered = graph.iter().map(|(_, b)| b.kind.is_interface()).collect();
-        Plan { components: Vec::new(), covered, opamps: 0 }
+        let mut covered = CoverSet::with_len(graph.len());
+        for (id, b) in graph.iter() {
+            if b.kind.is_interface() {
+                covered.set(id.index());
+            }
+        }
+        Plan {
+            components: Vec::new(),
+            covered,
+            opamps: 0,
+        }
     }
 
     /// Whether every block is covered.
     pub fn is_complete(&self) -> bool {
-        self.covered.iter().all(|&c| c)
+        self.covered.is_full()
+    }
+
+    /// Whether `block` is covered.
+    pub fn is_covered(&self, block: BlockId) -> bool {
+        self.covered.get(block.index())
+    }
+
+    /// Mark `block` covered.
+    pub fn cover(&mut self, block: BlockId) {
+        self.covered.set(block.index());
     }
 
     /// The planned component producing `block`'s value, if any.
@@ -57,7 +79,9 @@ impl Plan {
     /// Find a planned component implementing the same kind with the
     /// same inputs (the across-path sharing opportunity).
     pub fn find_shareable(&self, kind: &ComponentKind, inputs: &[BlockId]) -> Option<usize> {
-        self.components.iter().position(|c| &c.kind == kind && c.inputs == inputs)
+        self.components
+            .iter()
+            .position(|c| &c.kind == kind && c.inputs == inputs)
     }
 }
 
@@ -101,7 +125,9 @@ pub fn resolve(
     }
     // External outputs.
     for out in graph.outputs() {
-        let BlockKind::Output { name } = graph.kind(out) else { unreachable!() };
+        let BlockKind::Output { name } = graph.kind(out) else {
+            unreachable!()
+        };
         let driver = graph.block_inputs(out)[0].ok_or(MapError::Incomplete {
             what: format!("output `{name}` has no driver"),
         })?;
@@ -132,7 +158,10 @@ fn source_for(
         _ => match producer.get(&driver) {
             Some(&i) => Ok(SourceRef::Component(i)),
             None => Err(MapError::Incomplete {
-                what: format!("block {driver} ({}) has no producing component", graph.kind(driver)),
+                what: format!(
+                    "block {driver} ({}) has no producing component",
+                    graph.kind(driver)
+                ),
             }),
         },
     }
@@ -218,9 +247,9 @@ mod tests {
         let (g, _, s) = chain_graph();
         let plan = Plan::new(&g);
         assert!(!plan.is_complete());
-        assert!(!plan.covered[s.index()]);
+        assert!(!plan.is_covered(s));
         // inputs/outputs are pre-covered
-        assert_eq!(plan.covered.iter().filter(|&&c| c).count(), 2);
+        assert_eq!(plan.covered.count(), 2);
     }
 
     #[test]
@@ -233,13 +262,16 @@ mod tests {
             inputs: vec![x],
             output: s,
         });
-        plan.covered[s.index()] = true;
+        plan.cover(s);
         plan.opamps = 1;
         assert!(plan.is_complete());
         let netlist = resolve(&g, &plan, 3).expect("resolves");
         netlist.validate().expect("valid");
         assert_eq!(netlist.components.len(), 1);
-        assert_eq!(netlist.components[0].inputs, vec![SourceRef::External("x".into())]);
+        assert_eq!(
+            netlist.components[0].inputs,
+            vec![SourceRef::External("x".into())]
+        );
         assert_eq!(netlist.outputs, vec![("y".into(), SourceRef::Component(0))]);
     }
 
@@ -247,7 +279,7 @@ mod tests {
     fn resolve_fails_on_missing_producer() {
         let (g, _, s) = chain_graph();
         let mut plan = Plan::new(&g);
-        plan.covered[s.index()] = true; // claimed covered but no component
+        plan.cover(s); // claimed covered but no component
         let err = resolve(&g, &plan, 3).unwrap_err();
         assert!(matches!(err, MapError::Incomplete { .. }));
     }
@@ -261,9 +293,13 @@ mod tests {
         g.connect(x, src, 0).expect("wire");
         let mut consumers = Vec::new();
         for i in 0..5 {
-            let c = g.add(BlockKind::Scale { gain: i as f64 + 2.0 });
+            let c = g.add(BlockKind::Scale {
+                gain: i as f64 + 2.0,
+            });
             g.connect(src, c, 0).expect("wire");
-            let o = g.add(BlockKind::Output { name: format!("y{i}") });
+            let o = g.add(BlockKind::Output {
+                name: format!("y{i}"),
+            });
             g.connect(c, o, 0).expect("wire");
             consumers.push(c);
         }
@@ -274,15 +310,17 @@ mod tests {
             inputs: vec![x],
             output: src,
         });
-        plan.covered[src.index()] = true;
+        plan.cover(src);
         for (i, &c) in consumers.iter().enumerate() {
             plan.components.push(PlannedComponent {
-                kind: ComponentKind::NonInvertingAmp { gain: i as f64 + 2.0 },
+                kind: ComponentKind::NonInvertingAmp {
+                    gain: i as f64 + 2.0,
+                },
                 covered: vec![c],
                 inputs: vec![src],
                 output: c,
             });
-            plan.covered[c.index()] = true;
+            plan.cover(c);
         }
         let netlist = resolve(&g, &plan, 3).expect("resolves");
         netlist.validate().expect("valid");

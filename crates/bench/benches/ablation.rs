@@ -14,9 +14,27 @@ use vase_bench::{random_graph, SEED};
 fn variants() -> Vec<(&'static str, MapperConfig)> {
     vec![
         ("full", MapperConfig::default()),
-        ("no_bounding", MapperConfig { bounding: false, ..MapperConfig::default() }),
-        ("no_sequencing", MapperConfig { sequencing: false, ..MapperConfig::default() }),
-        ("no_sharing", MapperConfig { sharing: false, ..MapperConfig::default() }),
+        (
+            "no_bounding",
+            MapperConfig {
+                bounding: false,
+                ..MapperConfig::default()
+            },
+        ),
+        (
+            "no_sequencing",
+            MapperConfig {
+                sequencing: false,
+                ..MapperConfig::default()
+            },
+        ),
+        (
+            "no_sharing",
+            MapperConfig {
+                sharing: false,
+                ..MapperConfig::default()
+            },
+        ),
         ("single_block", {
             let mut c = MapperConfig::default();
             c.match_options.multi_block = false;
@@ -28,6 +46,7 @@ fn variants() -> Vec<(&'static str, MapperConfig)> {
             c.match_options.transforms = false;
             c
         }),
+        ("parallel", MapperConfig::parallel()),
     ]
 }
 
@@ -38,7 +57,9 @@ fn bench_ablation(c: &mut Criterion) {
     let synthetic = random_graph(12, 3, SEED);
 
     let mut group = c.benchmark_group("ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for (name, config) in variants() {
         group.bench_with_input(BenchmarkId::new("receiver", name), &config, |b, cfg| {
             b.iter(|| {
@@ -57,6 +78,21 @@ fn bench_ablation(c: &mut Criterion) {
             })
         });
     }
+    // The truly exhaustive baseline (no bounding AND no memoization)
+    // is exponential — bench it only on the small receiver graph.
+    let exhaustive = MapperConfig::exhaustive();
+    group.bench_with_input(
+        BenchmarkId::new("receiver", "no_bounding_no_memo"),
+        &exhaustive,
+        |b, cfg| {
+            b.iter(|| {
+                map_graph(std::hint::black_box(&receiver), &estimator, cfg)
+                    .expect("maps")
+                    .netlist
+                    .opamp_count()
+            })
+        },
+    );
     group.finish();
 }
 

@@ -1,8 +1,8 @@
-//! Criterion bench: branch-and-bound vs the greedy heuristic vs the
-//! exhaustive (unbounded) search on synthetic signal-flow graphs of
-//! growing size — the scaling study the paper's conclusion motivates
-//! ("because of its time-complexity, the proposed branch-and-bound
-//! algorithm might fail for larger designs").
+//! Criterion bench: branch-and-bound (sequential and parallel) vs the
+//! greedy heuristic vs the unbounded searches on synthetic signal-flow
+//! graphs of growing size — the scaling study the paper's conclusion
+//! motivates ("because of its time-complexity, the proposed
+//! branch-and-bound algorithm might fail for larger designs").
 
 use std::time::Duration;
 
@@ -14,12 +14,29 @@ use vase_bench::{random_graph, SEED};
 fn bench_scaling(c: &mut Criterion) {
     let estimator = Estimator::default();
     let mut group = c.benchmark_group("mapper_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for ops in [8usize, 16, 32] {
         let graph = random_graph(ops, 3, SEED);
-        group.bench_with_input(BenchmarkId::new("bnb", ops), &graph, |b, g| {
+        group.bench_with_input(BenchmarkId::new("bnb_seq", ops), &graph, |b, g| {
             b.iter(|| {
-                map_graph(std::hint::black_box(g), &estimator, &MapperConfig::default())
+                map_graph(
+                    std::hint::black_box(g),
+                    &estimator,
+                    &MapperConfig::default(),
+                )
+                .expect("maps")
+                .netlist
+                .opamp_count()
+            })
+        });
+        // Auto parallelism: one worker per core, shared incumbent
+        // bound. Same optimum, higher throughput on multi-core hosts.
+        let parallel = MapperConfig::parallel();
+        group.bench_with_input(BenchmarkId::new("bnb_par", ops), &graph, |b, g| {
+            b.iter(|| {
+                map_graph(std::hint::black_box(g), &estimator, &parallel)
                     .expect("maps")
                     .netlist
                     .opamp_count()
@@ -27,30 +44,55 @@ fn bench_scaling(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("greedy", ops), &graph, |b, g| {
             b.iter(|| {
-                map_graph_greedy(std::hint::black_box(g), &estimator, &MapperConfig::default())
-                    .expect("maps")
-                    .netlist
-                    .opamp_count()
+                map_graph_greedy(
+                    std::hint::black_box(g),
+                    &estimator,
+                    &MapperConfig::default(),
+                )
+                .expect("maps")
+                .netlist
+                .opamp_count()
             })
         });
-        group.bench_with_input(BenchmarkId::new("exhaustive", ops), &graph, |b, g| {
+        // No bounding, but memoized — the tractable no-bounding series.
+        group.bench_with_input(BenchmarkId::new("exhaustive_memo", ops), &graph, |b, g| {
             b.iter(|| {
-                map_graph(std::hint::black_box(g), &estimator, &MapperConfig::exhaustive())
-                    .expect("maps")
-                    .netlist
-                    .opamp_count()
+                map_graph(
+                    std::hint::black_box(g),
+                    &estimator,
+                    &MapperConfig::exhaustive_memoized(),
+                )
+                .expect("maps")
+                .netlist
+                .opamp_count()
             })
         });
         // Without dominance memoization the tree blows up exactly as
         // the paper's conclusion warns — only feasible at small sizes.
         if ops <= 8 {
-            let config = MapperConfig { memoize: false, ..MapperConfig::default() };
+            let config = MapperConfig {
+                memoize: false,
+                ..MapperConfig::default()
+            };
             group.bench_with_input(BenchmarkId::new("bnb_no_memo", ops), &graph, |b, g| {
                 b.iter(|| {
                     map_graph(std::hint::black_box(g), &estimator, &config)
                         .expect("maps")
                         .netlist
                         .opamp_count()
+                })
+            });
+            // The truly exhaustive search: no bounding AND no memo.
+            group.bench_with_input(BenchmarkId::new("exhaustive", ops), &graph, |b, g| {
+                b.iter(|| {
+                    map_graph(
+                        std::hint::black_box(g),
+                        &estimator,
+                        &MapperConfig::exhaustive(),
+                    )
+                    .expect("maps")
+                    .netlist
+                    .opamp_count()
                 })
             });
         }

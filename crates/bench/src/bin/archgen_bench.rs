@@ -1,0 +1,130 @@
+//! Emit `BENCH_archgen.json`: mapper search cost on the five Table 1
+//! applications, sequential vs parallel, so the performance trajectory
+//! of the architecture generator is recorded run-over-run.
+//!
+//! ```sh
+//! cargo run --release -p vase-bench --bin archgen_bench
+//! ```
+//!
+//! For each application the full flow is synthesized `REPS` times with
+//! the sequential mapper and with auto parallelism (one worker per
+//! core); the fastest mapping phase of each is reported along with
+//! visited decision-tree nodes, visits-per-second throughput, and the
+//! parallel-over-sequential wall-clock speedup.
+
+use serde::Serialize;
+use vase::archgen::{MapStats, MapperConfig};
+use vase::flow::{synthesize_source, FlowOptions};
+
+const REPS: usize = 3;
+
+#[derive(Serialize)]
+struct RunRecord {
+    visited_nodes: u64,
+    wall_us: u64,
+    visits_per_second: f64,
+}
+
+impl RunRecord {
+    fn from_stats(stats: &MapStats) -> Self {
+        RunRecord {
+            visited_nodes: stats.visited_nodes,
+            wall_us: stats.elapsed_us,
+            visits_per_second: stats.visits_per_second(),
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct AppRecord {
+    application: String,
+    opamps: usize,
+    sequential: RunRecord,
+    parallel: RunRecord,
+    /// Sequential wall time over parallel wall time (mapping phase).
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    benchmark: &'static str,
+    /// Worker threads the parallel runs resolved to.
+    jobs: usize,
+    repetitions: usize,
+    apps: Vec<AppRecord>,
+}
+
+/// Synthesize `source` `REPS` times with `mapper`; return the stats of
+/// the fastest mapping phase and the total op-amp count.
+fn best_run(source: &str, mapper: MapperConfig) -> Result<(MapStats, usize), String> {
+    let options = FlowOptions {
+        mapper,
+        ..FlowOptions::default()
+    };
+    let mut best: Option<MapStats> = None;
+    let mut opamps = 0;
+    for _ in 0..REPS {
+        let designs = synthesize_source(source, &options).map_err(|e| e.to_string())?;
+        // Designs are synthesized one after another, so the mapping
+        // phase's wall clock is the per-design sum (what merge yields).
+        let mut stats = MapStats::default();
+        for d in &designs {
+            stats.merge(&d.synthesis.stats);
+        }
+        opamps = designs
+            .iter()
+            .map(|d| d.synthesis.netlist.opamp_count())
+            .sum();
+        if best.is_none_or(|b| stats.elapsed_us < b.elapsed_us) {
+            best = Some(stats);
+        }
+    }
+    Ok((best.expect("REPS >= 1"), opamps))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    static BENCHMARKS: [vase::benchmarks::Benchmark; 5] = [
+        vase::benchmarks::RECEIVER,
+        vase::benchmarks::POWER_METER,
+        vase::benchmarks::MISSILE,
+        vase::benchmarks::ITERATIVE,
+        vase::benchmarks::FUNCTION_GENERATOR,
+    ];
+    let jobs = MapperConfig::parallel().effective_parallelism();
+    let mut apps = Vec::new();
+    for b in &BENCHMARKS {
+        let (seq, seq_opamps) = best_run(b.source, MapperConfig::default())?;
+        let (par, par_opamps) = best_run(b.source, MapperConfig::parallel())?;
+        assert_eq!(
+            seq_opamps, par_opamps,
+            "{}: parallel mapping changed the architecture",
+            b.name
+        );
+        let speedup = seq.elapsed_us as f64 / par.elapsed_us.max(1) as f64;
+        println!(
+            "{:<22} seq {:>10} | par {:>10} | speedup {:.2}x ({} visited)",
+            b.name,
+            format!("{} µs", seq.elapsed_us),
+            format!("{} µs", par.elapsed_us),
+            speedup,
+            seq.visited_nodes,
+        );
+        apps.push(AppRecord {
+            application: b.name.to_owned(),
+            opamps: seq_opamps,
+            sequential: RunRecord::from_stats(&seq),
+            parallel: RunRecord::from_stats(&par),
+            speedup,
+        });
+    }
+    let report = BenchReport {
+        benchmark: "archgen",
+        jobs,
+        repetitions: REPS,
+        apps,
+    };
+    let json = serde_json::to_string_pretty(&report)?;
+    std::fs::write("BENCH_archgen.json", format!("{json}\n"))?;
+    println!("\nwritten to BENCH_archgen.json ({jobs} worker(s))");
+    Ok(())
+}

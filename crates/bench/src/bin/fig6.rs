@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             c.match_options.transforms = false;
             c
         }),
-        ("full branching rule (multi-block + transforms)", MapperConfig::exhaustive()),
+        (
+            "full branching rule (multi-block + transforms)",
+            MapperConfig::exhaustive(),
+        ),
         ("full + bounding + sequencing", MapperConfig::default()),
     ];
     println!(
@@ -55,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let best = map_graph(&g, &estimator, &MapperConfig::default())?;
     println!("\n--- best mapping found ---\n{}", best.netlist);
     println!("estimate: {}", best.estimate);
+    println!("search cost: {}", best.stats);
     println!(
         "\nshape check vs paper: the decision tree contains 4-, 3-, and 2-op-amp leaves;\n\
          the minimum-area leaf folds multiple blocks into single components (the paper\n\

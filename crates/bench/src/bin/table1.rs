@@ -24,6 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows.push((table1_row(b, &FlowOptions::default())?, Some(b)));
     }
     println!("{}", format_table1(&rows));
+    println!("search cost per application:");
+    for (row, _) in &rows {
+        println!("  {:<22} {}", row.application, row.stats);
+    }
+    println!();
     println!(
         "columns: CT = continuous-time statement lines, qty = quantities, ED = event-driven\n\
          lines, sig = signals; blk/st/dp = VHIF blocks, FSM states, data-path operations.\n\

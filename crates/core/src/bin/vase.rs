@@ -5,6 +5,7 @@
 //! vase compile <file.vhd> [--dot out.dot]  dump the VHIF representation
 //! vase synth   <file.vhd> [options]   synthesize to an op-amp netlist
 //!     --greedy          use the greedy heuristic instead of branch-and-bound
+//!     --jobs <n>        mapper worker threads (0 = one per core, default 1)
 //!     --spice <out.sp>  also write a SPICE deck
 //! vase sim     <file.vhd> [options]   synthesize, then transient-simulate
 //!     --input name=<stim>   stimulus per input; <stim> is one of
@@ -14,7 +15,8 @@
 //!     --tend <seconds>      simulation length   (default 5e-3)
 //!     --dt <seconds>        time step           (default 1e-6)
 //!     --csv <out.csv>       write raw traces
-//! vase table1                          regenerate the paper's Table 1
+//! vase table1 [--jobs <n>]             regenerate the paper's Table 1
+//!     --jobs <n>        synthesize the five applications concurrently
 //! ```
 
 use std::collections::BTreeMap;
@@ -44,7 +46,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "compile" => cmd_compile(&args[1..]),
         "synth" => cmd_synth(&args[1..]),
         "sim" => cmd_sim(&args[1..]),
-        "table1" => cmd_table1(),
+        "table1" => cmd_table1(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("vase — VHDL-AMS behavioral synthesis of analog systems");
             println!("commands: parse, compile, synth, sim, table1 (see crate docs)");
@@ -60,7 +62,21 @@ fn read_source(args: &[String]) -> Result<String, String> {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+/// Parse `--jobs <n>` (`0` = one worker per core).
+fn jobs_flag(args: &[String]) -> Result<Option<usize>, String> {
+    match flag_value(args, "--jobs") {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|e| format!("bad --jobs `{v}`: {e}")),
+    }
 }
 
 fn cmd_parse(args: &[String]) -> Result<(), String> {
@@ -96,37 +112,36 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
 fn cmd_synth(args: &[String]) -> Result<(), String> {
     let source = read_source(args)?;
     let greedy = args.iter().any(|a| a == "--greedy");
-    let options = FlowOptions::default();
+    let mut mapper = MapperConfig::default();
+    if let Some(jobs) = jobs_flag(args)? {
+        mapper.parallelism = jobs;
+    }
     if greedy {
         // Greedy applies per graph; run the pieces manually.
         let compiled = compile_source(&source).map_err(|e| e.to_string())?;
         for (entity, vhif, _) in compiled {
             let estimator = vase::estimate::Estimator::default();
             for graph in &vhif.graphs {
-                let result = vase::archgen::map_graph_greedy(
-                    graph,
-                    &estimator,
-                    &MapperConfig::default(),
-                )
-                .map_err(|e| e.to_string())?;
+                let result = vase::archgen::map_graph_greedy(graph, &estimator, &mapper)
+                    .map_err(|e| e.to_string())?;
                 println!("-- entity {entity} (greedy)");
                 println!("{}", result.netlist);
                 println!("estimate: {}", result.estimate);
+                println!("search: {}", result.stats);
             }
         }
         return Ok(());
     }
+    let options = FlowOptions {
+        mapper,
+        ..FlowOptions::default()
+    };
     let designs = synthesize_source(&source, &options).map_err(|e| e.to_string())?;
     for d in &designs {
         println!("-- entity {}", d.entity);
         println!("{}", d.synthesis.netlist);
         println!("estimate: {}", d.synthesis.estimate);
-        println!(
-            "search: {} visited / {} bound-pruned / {} memo-pruned",
-            d.synthesis.stats.visited_nodes,
-            d.synthesis.stats.pruned_nodes,
-            d.synthesis.stats.memo_pruned
-        );
+        println!("search: {}", d.synthesis.stats);
         if let Some(path) = flag_value(args, "--spice") {
             let deck = vase::library::to_spice(&d.synthesis.netlist, &d.entity, 5e-3);
             std::fs::write(path, deck).map_err(|e| format!("cannot write `{path}`: {e}"))?;
@@ -143,14 +158,20 @@ fn parse_stimulus(spec: &str) -> Result<Stimulus, String> {
     } else {
         params
             .split(',')
-            .map(|v| v.parse::<f64>().map_err(|e| format!("bad number `{v}`: {e}")))
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|e| format!("bad number `{v}`: {e}"))
+            })
             .collect::<Result<_, _>>()?
     };
     let need = |n: usize| -> Result<(), String> {
         if values.len() == n {
             Ok(())
         } else {
-            Err(format!("stimulus `{kind}` needs {n} parameter(s), got {}", values.len()))
+            Err(format!(
+                "stimulus `{kind}` needs {n} parameter(s), got {}",
+                values.len()
+            ))
         }
     };
     match kind {
@@ -164,7 +185,11 @@ fn parse_stimulus(spec: &str) -> Result<Stimulus, String> {
         }
         "step" => {
             need(3)?;
-            Ok(Stimulus::Step { before: values[0], after: values[1], at: values[2] })
+            Ok(Stimulus::Step {
+                before: values[0],
+                after: values[1],
+                at: values[2],
+            })
         }
         "pulse" => {
             need(4)?;
@@ -183,13 +208,15 @@ fn parse_stimulus(spec: &str) -> Result<Stimulus, String> {
 
 fn cmd_sim(args: &[String]) -> Result<(), String> {
     let source = read_source(args)?;
-    let designs =
-        synthesize_source(&source, &FlowOptions::default()).map_err(|e| e.to_string())?;
-    let t_end: f64 = flag_value(args, "--tend").unwrap_or("5e-3").parse().map_err(
-        |e| format!("bad --tend: {e}"),
-    )?;
-    let dt: f64 =
-        flag_value(args, "--dt").unwrap_or("1e-6").parse().map_err(|e| format!("bad --dt: {e}"))?;
+    let designs = synthesize_source(&source, &FlowOptions::default()).map_err(|e| e.to_string())?;
+    let t_end: f64 = flag_value(args, "--tend")
+        .unwrap_or("5e-3")
+        .parse()
+        .map_err(|e| format!("bad --tend: {e}"))?;
+    let dt: f64 = flag_value(args, "--dt")
+        .unwrap_or("1e-6")
+        .parse()
+        .map_err(|e| format!("bad --dt: {e}"))?;
     let mut stimuli: BTreeMap<String, Stimulus> = BTreeMap::new();
     let mut i = 0;
     while i < args.len() {
@@ -224,7 +251,7 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_table1() -> Result<(), String> {
+fn cmd_table1(args: &[String]) -> Result<(), String> {
     static BENCHMARKS: [vase::benchmarks::Benchmark; 5] = [
         vase::benchmarks::RECEIVER,
         vase::benchmarks::POWER_METER,
@@ -232,11 +259,47 @@ fn cmd_table1() -> Result<(), String> {
         vase::benchmarks::ITERATIVE,
         vase::benchmarks::FUNCTION_GENERATOR,
     ];
+    let mut mapper = MapperConfig::default();
+    if let Some(jobs) = jobs_flag(args)? {
+        mapper.parallelism = jobs;
+    }
+    let options = FlowOptions {
+        mapper,
+        ..FlowOptions::default()
+    };
+    // With a worker budget, synthesize the five applications
+    // concurrently (each app's mapper stays sequential; the budget is
+    // spent across apps).
+    let results: Vec<Result<vase::Table1Row, String>> = if mapper.effective_parallelism() > 1 {
+        let app_options = FlowOptions {
+            mapper: MapperConfig::default(),
+            ..FlowOptions::default()
+        };
+        std::thread::scope(|scope| {
+            let app_options = &app_options;
+            BENCHMARKS
+                .iter()
+                .map(|b| {
+                    scope.spawn(move || vase::table1_row(b, app_options).map_err(|e| e.to_string()))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("table1 worker panicked"))
+                .collect()
+        })
+    } else {
+        BENCHMARKS
+            .iter()
+            .map(|b| vase::table1_row(b, &options).map_err(|e| e.to_string()))
+            .collect()
+    };
     let mut rows = Vec::new();
-    for b in &BENCHMARKS {
-        let row = vase::table1_row(b, &FlowOptions::default()).map_err(|e| e.to_string())?;
-        rows.push((row, Some(b)));
+    for (b, result) in BENCHMARKS.iter().zip(results) {
+        rows.push((result?, Some(b)));
     }
     println!("{}", vase::format_table1(&rows));
+    for (row, _) in &rows {
+        println!("{:<22} search: {}", row.application, row.stats);
+    }
     Ok(())
 }

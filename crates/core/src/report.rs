@@ -4,6 +4,7 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+use vase_archgen::MapStats;
 use vase_compiler::VassStats;
 use vase_vhif::VhifStats;
 
@@ -24,6 +25,9 @@ pub struct Table1Row {
     pub components: Vec<(String, usize)>,
     /// Total op amps in the netlist.
     pub opamps: usize,
+    /// Mapper search statistics (visited/pruned nodes, wall time).
+    #[serde(default)]
+    pub stats: MapStats,
 }
 
 impl Table1Row {
@@ -52,6 +56,7 @@ pub fn table1_row(benchmark: &Benchmark, options: &FlowOptions) -> Result<Table1
         vhif: d.vhif.stats(),
         components: d.synthesis.netlist.report_summary(),
         opamps: d.synthesis.netlist.opamp_count(),
+        stats: d.synthesis.stats,
     })
 }
 
@@ -119,8 +124,7 @@ mod tests {
 
     #[test]
     fn receiver_row_matches_paper_shape() {
-        let row =
-            table1_row(&benchmarks::RECEIVER, &FlowOptions::default()).expect("synthesizes");
+        let row = table1_row(&benchmarks::RECEIVER, &FlowOptions::default()).expect("synthesizes");
         // Columns 2–5 (our spec declares one control signal; the
         // paper's fuller source had two).
         assert_eq!(row.vass.continuous_lines, 4);
@@ -158,8 +162,7 @@ mod tests {
 
     #[test]
     fn missile_solver_uses_log_domain() {
-        let row =
-            table1_row(&benchmarks::MISSILE, &FlowOptions::default()).expect("synthesizes");
+        let row = table1_row(&benchmarks::MISSILE, &FlowOptions::default()).expect("synthesizes");
         let text = row.components_text();
         assert!(text.contains("2 integ."), "{text}");
         assert!(text.contains("log.amplif."), "{text}");
@@ -168,8 +171,7 @@ mod tests {
 
     #[test]
     fn iterative_solver_components() {
-        let row =
-            table1_row(&benchmarks::ITERATIVE, &FlowOptions::default()).expect("synthesizes");
+        let row = table1_row(&benchmarks::ITERATIVE, &FlowOptions::default()).expect("synthesizes");
         let text = row.components_text();
         assert!(text.contains("3 integ."), "{text}");
         assert!(text.contains("1 S/H"), "{text}");
@@ -178,8 +180,7 @@ mod tests {
 
     #[test]
     fn table_formats_with_paper_rows() {
-        let row =
-            table1_row(&benchmarks::RECEIVER, &FlowOptions::default()).expect("synthesizes");
+        let row = table1_row(&benchmarks::RECEIVER, &FlowOptions::default()).expect("synthesizes");
         let text = format_table1(&[(row, Some(&benchmarks::RECEIVER))]);
         assert!(text.contains("Receiver Module"));
         assert!(text.contains("(paper)"));

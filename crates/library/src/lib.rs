@@ -49,5 +49,8 @@ pub mod spice;
 
 pub use component::ComponentKind;
 pub use netlist::{Netlist, PlacedComponent, SourceRef};
-pub use pattern::{matches_at, MatchOptions, PatternMatch, GAIN_SPLIT_THRESHOLD};
+pub use pattern::{
+    matches_at, matches_at_calls_on_thread, MatchCache, MatchOptions, PatternMatch,
+    GAIN_SPLIT_THRESHOLD,
+};
 pub use spice::to_spice;

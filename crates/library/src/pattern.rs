@@ -27,7 +27,10 @@ pub struct MatchOptions {
 
 impl Default for MatchOptions {
     fn default() -> Self {
-        MatchOptions { multi_block: true, transforms: true }
+        MatchOptions {
+            multi_block: true,
+            transforms: true,
+        }
     }
 }
 
@@ -50,7 +53,12 @@ impl PatternMatch {
     fn new(mut covered: Vec<BlockId>, inputs: Vec<BlockId>, kind: ComponentKind) -> Self {
         covered.sort();
         covered.dedup();
-        PatternMatch { covered, inputs, kind, transformed: false }
+        PatternMatch {
+            covered,
+            inputs,
+            kind,
+            transformed: false,
+        }
     }
 
     fn transformed(mut self) -> Self {
@@ -64,6 +72,56 @@ impl PatternMatch {
 /// closed-loop stage keeps more of the op amp's GBW).
 pub const GAIN_SPLIT_THRESHOLD: f64 = 20.0;
 
+thread_local! {
+    static MATCHES_AT_CALLS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The number of [`matches_at`] invocations made *by the current
+/// thread* since it started — a diagnostic counter used to verify that
+/// match caching keeps the matcher off the mapper's hot path (at most
+/// one invocation per block per mapping run).
+pub fn matches_at_calls_on_thread() -> u64 {
+    MATCHES_AT_CALLS.with(|c| c.get())
+}
+
+/// Precomputed pattern matches for every block of one graph.
+///
+/// The structural matcher is pure — for a fixed graph and
+/// [`MatchOptions`] the alternatives at a block never change — so the
+/// mapper builds this cache once per run and every decision-tree node
+/// reads from it instead of re-running [`matches_at`].
+#[derive(Debug, Clone, Default)]
+pub struct MatchCache {
+    matches: Vec<Vec<PatternMatch>>,
+}
+
+impl MatchCache {
+    /// Run the matcher exactly once over every block of `g`.
+    pub fn build(g: &SignalFlowGraph, opts: &MatchOptions) -> Self {
+        MatchCache {
+            matches: (0..g.len())
+                .map(|i| matches_at(g, BlockId::from_index(i), opts))
+                .collect(),
+        }
+    }
+
+    /// All library matches ending at `b`, largest cover first (the
+    /// same order [`matches_at`] returns).
+    pub fn at(&self, b: BlockId) -> &[PatternMatch] {
+        &self.matches[b.index()]
+    }
+
+    /// Number of blocks the cache was built over.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// Whether the cache covers no blocks at all.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+}
+
 /// Enumerate all library matches for the sub-graphs whose output block
 /// is `out`, largest first.
 ///
@@ -71,11 +129,8 @@ pub const GAIN_SPLIT_THRESHOLD: f64 = 20.0;
 /// nets. A multi-block match is only legal if every *interior* covered
 /// block feeds nothing outside the covered set (its value would
 /// otherwise be unavailable to the rest of the design).
-pub fn matches_at(
-    g: &SignalFlowGraph,
-    out: BlockId,
-    opts: &MatchOptions,
-) -> Vec<PatternMatch> {
+pub fn matches_at(g: &SignalFlowGraph, out: BlockId, opts: &MatchOptions) -> Vec<PatternMatch> {
+    MATCHES_AT_CALLS.with(|c| c.set(c.get() + 1));
     let mut matches = Vec::new();
     match g.kind(out).clone() {
         BlockKind::Input { .. } | BlockKind::Output { .. } | BlockKind::ControlInput { .. } => {}
@@ -98,7 +153,11 @@ pub fn matches_at(
         }
         BlockKind::Mul => match_mul(g, out, opts, &mut matches),
         BlockKind::Div => {
-            matches.push(PatternMatch::new(vec![out], dataful(g, out), ComponentKind::Divider));
+            matches.push(PatternMatch::new(
+                vec![out],
+                dataful(g, out),
+                ComponentKind::Divider,
+            ));
         }
         BlockKind::Integrate { gain, initial } => {
             match_integrate(g, out, gain, initial, opts, &mut matches)
@@ -111,7 +170,11 @@ pub fn matches_at(
             ));
         }
         BlockKind::Log => {
-            matches.push(PatternMatch::new(vec![out], dataful(g, out), ComponentKind::LogAmp));
+            matches.push(PatternMatch::new(
+                vec![out],
+                dataful(g, out),
+                ComponentKind::LogAmp,
+            ));
         }
         BlockKind::Antilog => match_antilog(g, out, opts, &mut matches),
         BlockKind::Abs => {
@@ -122,7 +185,11 @@ pub fn matches_at(
             ));
         }
         BlockKind::SampleHold => {
-            matches.push(PatternMatch::new(vec![out], dataful(g, out), ComponentKind::SampleHold));
+            matches.push(PatternMatch::new(
+                vec![out],
+                dataful(g, out),
+                ComponentKind::SampleHold,
+            ));
         }
         BlockKind::Switch => {
             matches.push(PatternMatch::new(
@@ -142,7 +209,10 @@ pub fn matches_at(
             matches.push(PatternMatch::new(
                 vec![out],
                 dataful(g, out),
-                ComponentKind::ZeroCrossDetector { level: threshold, hysteresis: 0.0 },
+                ComponentKind::ZeroCrossDetector {
+                    level: threshold,
+                    hysteresis: 0.0,
+                },
             ));
         }
         BlockKind::SchmittTrigger { low, high } => {
@@ -166,18 +236,34 @@ pub fn matches_at(
                 ComponentKind::Limiter { level },
             ));
         }
-        BlockKind::OutputStage { load_ohms, peak_volts, limit } => {
+        BlockKind::OutputStage {
+            load_ohms,
+            peak_volts,
+            limit,
+        } => {
             matches.push(PatternMatch::new(
                 vec![out],
                 dataful(g, out),
-                ComponentKind::OutputStage { load_ohms, peak_volts, limit },
+                ComponentKind::OutputStage {
+                    load_ohms,
+                    peak_volts,
+                    limit,
+                },
             ));
         }
         BlockKind::Memory => {
-            matches.push(PatternMatch::new(vec![out], dataful(g, out), ComponentKind::MemoryCell));
+            matches.push(PatternMatch::new(
+                vec![out],
+                dataful(g, out),
+                ComponentKind::MemoryCell,
+            ));
         }
         BlockKind::Logic { .. } => {
-            matches.push(PatternMatch::new(vec![out], dataful(g, out), ComponentKind::LogicGate));
+            matches.push(PatternMatch::new(
+                vec![out],
+                dataful(g, out),
+                ComponentKind::LogicGate,
+            ));
         }
     }
     matches.retain(|m| interior_ok(g, m));
@@ -187,13 +273,20 @@ pub fn matches_at(
 
 /// The (driven) input blocks of `b`, in port order.
 fn dataful(g: &SignalFlowGraph, b: BlockId) -> Vec<BlockId> {
-    g.block_inputs(b).iter().map(|d| d.expect("validated graph")).collect()
+    g.block_inputs(b)
+        .iter()
+        .map(|d| d.expect("validated graph"))
+        .collect()
 }
 
 /// A multi-block match is legal only when interior covered blocks feed
 /// nothing outside the covered set.
 fn interior_ok(g: &SignalFlowGraph, m: &PatternMatch) -> bool {
-    let out = *m.covered.iter().max_by_key(|_| 0usize).unwrap_or(&m.covered[0]);
+    let out = *m
+        .covered
+        .iter()
+        .max_by_key(|_| 0usize)
+        .unwrap_or(&m.covered[0]);
     // `out` is whichever covered block has consumers outside; exactly
     // one such block is allowed. All others must be fully consumed
     // inside the cover.
@@ -236,25 +329,34 @@ fn match_scale(
                 match_add(g, input, gain, vec![out, input], opts, matches);
             }
             // Scale∘Integrate → integrator with gain.
-            BlockKind::Integrate { gain: igain, initial } => {
+            BlockKind::Integrate {
+                gain: igain,
+                initial,
+            } => {
                 let src = dataful(g, input)[0];
                 matches.push(PatternMatch::new(
                     vec![out, input],
                     vec![src],
-                    ComponentKind::Integrator { weights: vec![gain * igain], initial },
+                    ComponentKind::Integrator {
+                        weights: vec![gain * igain],
+                        initial,
+                    },
                 ));
             }
             _ => {}
         }
     }
     // Single-block fallback.
-    matches.push(PatternMatch::new(vec![out], vec![input], amp_for_gain(gain)));
+    matches.push(PatternMatch::new(
+        vec![out],
+        vec![input],
+        amp_for_gain(gain),
+    ));
     // Functional transformations.
     if opts.transforms {
         if gain.abs() >= GAIN_SPLIT_THRESHOLD {
             let s = gain.abs().sqrt();
-            let stage_gains =
-                if gain < 0.0 { vec![-s, s] } else { vec![s, s] };
+            let stage_gains = if gain < 0.0 { vec![-s, s] } else { vec![s, s] };
             matches.push(
                 PatternMatch::new(
                     vec![out],
@@ -271,7 +373,9 @@ fn match_scale(
                 PatternMatch::new(
                     vec![out],
                     vec![input],
-                    ComponentKind::AmplifierChain { stage_gains: vec![-gain, -1.0] },
+                    ComponentKind::AmplifierChain {
+                        stage_gains: vec![-gain, -1.0],
+                    },
                 )
                 .transformed(),
             );
@@ -332,7 +436,9 @@ fn match_add(
         matches.push(PatternMatch::new(
             base_cover,
             children.clone(),
-            ComponentKind::SummingAmp { weights: vec![outer_gain; children.len()] },
+            ComponentKind::SummingAmp {
+                weights: vec![outer_gain; children.len()],
+            },
         ));
     }
 }
@@ -417,7 +523,10 @@ fn match_integrate(
                 matches.push(PatternMatch::new(
                     vec![out, input],
                     vec![src],
-                    ComponentKind::Integrator { weights: vec![gain * w], initial },
+                    ComponentKind::Integrator {
+                        weights: vec![gain * w],
+                        initial,
+                    },
                 ));
             }
             // Integrate∘Sub → two-input integrator (+w, -w).
@@ -426,7 +535,10 @@ fn match_integrate(
                 matches.push(PatternMatch::new(
                     vec![out, input],
                     srcs,
-                    ComponentKind::Integrator { weights: vec![gain, -gain], initial },
+                    ComponentKind::Integrator {
+                        weights: vec![gain, -gain],
+                        initial,
+                    },
                 ));
             }
             _ => {}
@@ -435,7 +547,10 @@ fn match_integrate(
     matches.push(PatternMatch::new(
         vec![out],
         vec![input],
-        ComponentKind::Integrator { weights: vec![gain], initial },
+        ComponentKind::Integrator {
+            weights: vec![gain],
+            initial,
+        },
     ));
 }
 
@@ -455,16 +570,20 @@ fn match_antilog(
                 .iter()
                 .all(|&c| matches!(g.kind(c), BlockKind::Log))
             {
-                let srcs: Vec<BlockId> =
-                    children.iter().map(|&c| dataful(g, c)[0]).collect();
+                let srcs: Vec<BlockId> = children.iter().map(|&c| dataful(g, c)[0]).collect();
                 let mut covered = vec![out, input];
                 covered.extend_from_slice(&children);
-                matches
-                    .push(PatternMatch::new(covered, srcs, ComponentKind::Multiplier).transformed());
+                matches.push(
+                    PatternMatch::new(covered, srcs, ComponentKind::Multiplier).transformed(),
+                );
             }
         }
     }
-    matches.push(PatternMatch::new(vec![out], vec![input], ComponentKind::AntilogAmp));
+    matches.push(PatternMatch::new(
+        vec![out],
+        vec![input],
+        ComponentKind::AntilogAmp,
+    ));
 }
 
 #[cfg(test)]
@@ -474,8 +593,12 @@ mod tests {
     fn receiver_like_graph() -> (SignalFlowGraph, BlockId, BlockId) {
         // earph = (0.5*line + 0.25*local) * mux(c1 ? 220 : 550)
         let mut g = SignalFlowGraph::new("rx");
-        let line = g.add(BlockKind::Input { name: "line".into() });
-        let local = g.add(BlockKind::Input { name: "local".into() });
+        let line = g.add(BlockKind::Input {
+            name: "line".into(),
+        });
+        let local = g.add(BlockKind::Input {
+            name: "local".into(),
+        });
         let s1 = g.add(BlockKind::Scale { gain: 0.5 });
         let s2 = g.add(BlockKind::Scale { gain: 0.25 });
         let add = g.add(BlockKind::Add { arity: 2 });
@@ -484,7 +607,9 @@ mod tests {
         let c1 = g.add(BlockKind::ControlInput { name: "c1".into() });
         let mux = g.add(BlockKind::Mux { arity: 2 });
         let mul = g.add(BlockKind::Mul);
-        let out = g.add(BlockKind::Output { name: "earph".into() });
+        let out = g.add(BlockKind::Output {
+            name: "earph".into(),
+        });
         g.connect(line, s1, 0).expect("wire");
         g.connect(local, s2, 0).expect("wire");
         g.connect(s1, add, 0).expect("wire");
@@ -526,13 +651,18 @@ mod tests {
         }
         assert_eq!(ms[0].kind.opamp_count(), 1);
         // Fallback multiplier exists too (4 op amps).
-        assert!(ms.iter().any(|m| matches!(m.kind, ComponentKind::Multiplier)));
+        assert!(ms
+            .iter()
+            .any(|m| matches!(m.kind, ComponentKind::Multiplier)));
     }
 
     #[test]
     fn multi_block_disabled_gives_single_block_matches_only() {
         let (g, add, mul) = receiver_like_graph();
-        let opts = MatchOptions { multi_block: false, transforms: false };
+        let opts = MatchOptions {
+            multi_block: false,
+            transforms: false,
+        };
         for b in [add, mul] {
             for m in matches_at(&g, b, &opts) {
                 assert_eq!(m.covered.len(), 1);
@@ -579,8 +709,17 @@ mod tests {
         assert!(chain.transformed);
         assert_eq!(chain.kind.opamp_count(), 2);
         // Without transforms it disappears.
-        let ms = matches_at(&g, s, &MatchOptions { multi_block: true, transforms: false });
-        assert!(!ms.iter().any(|m| matches!(m.kind, ComponentKind::AmplifierChain { .. })));
+        let ms = matches_at(
+            &g,
+            s,
+            &MatchOptions {
+                multi_block: true,
+                transforms: false,
+            },
+        );
+        assert!(!ms
+            .iter()
+            .any(|m| matches!(m.kind, ComponentKind::AmplifierChain { .. })));
     }
 
     #[test]
@@ -607,7 +746,10 @@ mod tests {
     fn summing_integrator_recognized() {
         let mut g = SignalFlowGraph::new("t");
         let u = g.add(BlockKind::Input { name: "u".into() });
-        let integ = g.add(BlockKind::Integrate { gain: 1.0, initial: 0.0 });
+        let integ = g.add(BlockKind::Integrate {
+            gain: 1.0,
+            initial: 0.0,
+        });
         let neg = g.add(BlockKind::Scale { gain: -1.0 });
         let add = g.add(BlockKind::Add { arity: 2 });
         g.connect(u, add, 0).expect("wire");
@@ -642,5 +784,26 @@ mod tests {
         for pair in ms.windows(2) {
             assert!(pair[0].covered.len() >= pair[1].covered.len());
         }
+    }
+
+    #[test]
+    fn match_cache_agrees_with_direct_matcher() {
+        let (g, ..) = receiver_like_graph();
+        let opts = MatchOptions::default();
+        let cache = MatchCache::build(&g, &opts);
+        assert_eq!(cache.len(), g.len());
+        assert!(!cache.is_empty());
+        for (id, _) in g.iter() {
+            assert_eq!(cache.at(id), matches_at(&g, id, &opts).as_slice());
+        }
+    }
+
+    #[test]
+    fn match_cache_build_calls_matcher_once_per_block() {
+        let (g, ..) = receiver_like_graph();
+        let before = matches_at_calls_on_thread();
+        let _cache = MatchCache::build(&g, &MatchOptions::default());
+        let calls = matches_at_calls_on_thread() - before;
+        assert_eq!(calls, g.len() as u64);
     }
 }

@@ -8,7 +8,11 @@ use vase::library::ComponentKind;
 use vase::{benchmarks, table1_row};
 
 fn count(row: &vase::Table1Row, category: &str) -> usize {
-    row.components.iter().find(|(c, _)| c == category).map(|(_, n)| *n).unwrap_or(0)
+    row.components
+        .iter()
+        .find(|(c, _)| c == category)
+        .map(|(_, n)| *n)
+        .unwrap_or(0)
 }
 
 #[test]
@@ -81,13 +85,19 @@ fn every_benchmark_netlist_is_valid_and_feasible() {
         let designs = synthesize_source(b.source, &FlowOptions::default())
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         for d in &designs {
-            d.synthesis.netlist.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            d.synthesis
+                .netlist
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(d.synthesis.estimate.feasible(), "{} infeasible", b.name);
             for graph in &d.vhif.graphs {
-                graph.validate().unwrap_or_else(|e| panic!("{} graph: {e}", b.name));
+                graph
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{} graph: {e}", b.name));
             }
             for fsm in &d.vhif.fsms {
-                fsm.validate().unwrap_or_else(|e| panic!("{} fsm: {e}", b.name));
+                fsm.validate()
+                    .unwrap_or_else(|e| panic!("{} fsm: {e}", b.name));
             }
         }
     }
@@ -100,9 +110,15 @@ fn bounding_rule_never_changes_the_optimum() {
     for b in benchmarks::all() {
         let bounded = synthesize_source(b.source, &FlowOptions::default())
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        // The memoized no-bounding search keeps this tractable on the
+        // larger benchmarks (the truly exhaustive search is exercised
+        // on small graphs in vase-archgen's own tests).
         let exhaustive = synthesize_source(
             b.source,
-            &FlowOptions { mapper: MapperConfig::exhaustive(), ..FlowOptions::default() },
+            &FlowOptions {
+                mapper: MapperConfig::exhaustive_memoized(),
+                ..FlowOptions::default()
+            },
         )
         .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         assert_eq!(
@@ -112,9 +128,40 @@ fn bounding_rule_never_changes_the_optimum() {
             b.name
         );
         assert!(
-            bounded[0].synthesis.stats.visited_nodes
-                <= exhaustive[0].synthesis.stats.visited_nodes,
+            bounded[0].synthesis.stats.visited_nodes <= exhaustive[0].synthesis.stats.visited_nodes,
             "{}",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn parallel_flow_matches_sequential_on_every_benchmark() {
+    // The parallel mapper is a pure performance optimization: the full
+    // flow must synthesize the same-size architecture on every Table 1
+    // benchmark at any worker count.
+    for b in benchmarks::all() {
+        let sequential = synthesize_source(b.source, &FlowOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let parallel = synthesize_source(
+            b.source,
+            &FlowOptions {
+                mapper: MapperConfig::parallel(),
+                ..FlowOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(
+            sequential[0].synthesis.netlist.opamp_count(),
+            parallel[0].synthesis.netlist.opamp_count(),
+            "{}",
+            b.name
+        );
+        let seq_area = sequential[0].synthesis.estimate.area_m2;
+        let par_area = parallel[0].synthesis.estimate.area_m2;
+        assert!(
+            (seq_area - par_area).abs() <= seq_area * 1e-9,
+            "{}: {seq_area} vs {par_area}",
             b.name
         );
     }
@@ -130,12 +177,14 @@ fn multi_block_patterns_reduce_opamps_everywhere() {
         mapper.match_options.transforms = false;
         let single = synthesize_source(
             b.source,
-            &FlowOptions { mapper, ..FlowOptions::default() },
+            &FlowOptions {
+                mapper,
+                ..FlowOptions::default()
+            },
         )
         .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         assert!(
-            full[0].synthesis.netlist.opamp_count()
-                <= single[0].synthesis.netlist.opamp_count(),
+            full[0].synthesis.netlist.opamp_count() <= single[0].synthesis.netlist.opamp_count(),
             "{}: multi-block should never be worse",
             b.name
         );
@@ -154,7 +203,11 @@ fn receiver_output_stage_parameters_come_from_annotations() {
         .find(|c| matches!(c.kind, ComponentKind::OutputStage { .. }))
         .expect("inferred output stage");
     match &stage.kind {
-        ComponentKind::OutputStage { load_ohms, peak_volts, limit } => {
+        ComponentKind::OutputStage {
+            load_ohms,
+            peak_volts,
+            limit,
+        } => {
             assert_eq!(*load_ohms, 270.0);
             assert!((peak_volts - 0.285).abs() < 1e-12);
             assert_eq!(*limit, Some(1.5));
@@ -254,13 +307,19 @@ fn full_eleven_example_corpus_synthesizes() {
     for (name, entity, source) in corpus {
         let designs = synthesize_source(source, &FlowOptions::default())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let d = designs.iter().find(|d| d.entity == entity).unwrap_or_else(|| {
-            panic!("{name}: entity {entity} not synthesized")
-        });
-        d.synthesis.netlist.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let d = designs
+            .iter()
+            .find(|d| d.entity == entity)
+            .unwrap_or_else(|| panic!("{name}: entity {entity} not synthesized"));
+        d.synthesis
+            .netlist
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(d.synthesis.estimate.feasible(), "{name} infeasible");
         for graph in &d.vhif.graphs {
-            graph.validate().unwrap_or_else(|e| panic!("{name} graph: {e}"));
+            graph
+                .validate()
+                .unwrap_or_else(|e| panic!("{name} graph: {e}"));
         }
     }
 }
