@@ -64,7 +64,7 @@ impl Default for MapperConfig {
             fanout_limit: 3,
             node_limit: 2_000_000,
             memoize: true,
-            parallelism: 1,
+            parallelism: default_parallelism(),
             split_depth: 0,
         }
     }

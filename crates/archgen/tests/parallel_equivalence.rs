@@ -4,113 +4,138 @@
 //! graph it returns the same optimal area and op-amp count as the
 //! sequential search, and the same input always yields the same area at
 //! any worker count.
+//!
+//! Randomized graphs come from a seed-driven generator (a SplitMix64
+//! stream) instead of proptest, which is unavailable in the offline
+//! build environment; every case is reproducible from its printed seed.
 
-use proptest::prelude::*;
 use vase_archgen::{map_graph, MapperConfig};
 use vase_estimate::Estimator;
 use vase_vhif::{BlockKind, SignalFlowGraph};
 
-/// Strategy: a random layered combinational signal-flow graph with one
-/// output (mirrors the workspace-level `arb_graph`).
-fn arb_graph() -> impl Strategy<Value = SignalFlowGraph> {
-    (
-        1usize..4,                                                // inputs
-        proptest::collection::vec((0u8..4, 0.25f64..8.0), 1..10), // ops
-    )
-        .prop_map(|(n_inputs, ops)| {
-            let mut g = SignalFlowGraph::new("random");
-            let mut pool = Vec::new();
-            for i in 0..n_inputs {
-                pool.push(g.add(BlockKind::Input {
-                    name: format!("in{i}"),
-                }));
-            }
-            for (i, (op, gain)) in ops.into_iter().enumerate() {
-                let a = pool[i % pool.len()];
-                let b = pool[(i * 7 + 1) % pool.len()];
-                let id = match op {
-                    0 => {
-                        let id = g.add(BlockKind::Scale { gain });
-                        g.connect(a, id, 0).expect("wire");
-                        id
-                    }
-                    1 => {
-                        let id = g.add(BlockKind::Add { arity: 2 });
-                        g.connect(a, id, 0).expect("wire");
-                        g.connect(b, id, 1).expect("wire");
-                        id
-                    }
-                    2 => {
-                        let id = g.add(BlockKind::Sub);
-                        g.connect(a, id, 0).expect("wire");
-                        g.connect(b, id, 1).expect("wire");
-                        id
-                    }
-                    _ => {
-                        let id = g.add(BlockKind::Mul);
-                        g.connect(a, id, 0).expect("wire");
-                        g.connect(b, id, 1).expect("wire");
-                        id
-                    }
-                };
-                pool.push(id);
-            }
-            let out = g.add(BlockKind::Output { name: "y".into() });
-            let last = *pool.last().expect("nonempty");
-            g.connect(last, out, 0).expect("wire");
-            g
-        })
+/// SplitMix64 step: deterministic, well-mixed, dependency-free.
+fn split_mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+/// A random layered combinational signal-flow graph with one output
+/// (mirrors the workspace-level `arb_graph`): 1-3 inputs, 1-9 ops drawn
+/// from Scale/Add/Sub/Mul with deterministic wiring.
+fn random_graph(seed: u64) -> SignalFlowGraph {
+    let mut state = seed;
+    let n_inputs = 1 + (split_mix(&mut state) % 3) as usize;
+    let n_ops = 1 + (split_mix(&mut state) % 9) as usize;
+    let mut g = SignalFlowGraph::new("random");
+    let mut pool = Vec::new();
+    for i in 0..n_inputs {
+        pool.push(g.add(BlockKind::Input { name: format!("in{i}") }));
+    }
+    for i in 0..n_ops {
+        let op = (split_mix(&mut state) % 4) as u8;
+        let unit = (split_mix(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+        let gain = 0.25 + unit * (8.0 - 0.25);
+        let a = pool[i % pool.len()];
+        let b = pool[(i * 7 + 1) % pool.len()];
+        let id = match op {
+            0 => {
+                let id = g.add(BlockKind::Scale { gain });
+                g.connect(a, id, 0).expect("wire");
+                id
+            }
+            1 => {
+                let id = g.add(BlockKind::Add { arity: 2 });
+                g.connect(a, id, 0).expect("wire");
+                g.connect(b, id, 1).expect("wire");
+                id
+            }
+            2 => {
+                let id = g.add(BlockKind::Sub);
+                g.connect(a, id, 0).expect("wire");
+                g.connect(b, id, 1).expect("wire");
+                id
+            }
+            _ => {
+                let id = g.add(BlockKind::Mul);
+                g.connect(a, id, 0).expect("wire");
+                g.connect(b, id, 1).expect("wire");
+                id
+            }
+        };
+        pool.push(id);
+    }
+    let out = g.add(BlockKind::Output { name: "y".into() });
+    let last = *pool.last().expect("nonempty");
+    g.connect(last, out, 0).expect("wire");
+    g
+}
 
-    /// Sequential and parallel searches agree on the optimal area and
-    /// op-amp count on random graphs, at every worker count.
-    #[test]
-    fn parallel_matches_sequential_optimum(g in arb_graph(), workers in 2usize..6) {
+/// Sequential and parallel searches agree on the optimal area and
+/// op-amp count on random graphs, at every worker count.
+#[test]
+fn parallel_matches_sequential_optimum() {
+    for case in 0u64..48 {
+        let seed = 0xa11e_9001u64.wrapping_add(case.wrapping_mul(0x9e37_79b9));
+        let g = random_graph(seed);
+        let workers = 2 + (case % 4) as usize; // 2..=5
         let estimator = Estimator::default();
         let seq = map_graph(&g, &estimator, &MapperConfig::default());
         let config = MapperConfig { parallelism: workers, ..MapperConfig::default() };
         let par = map_graph(&g, &estimator, &config);
         match (seq, par) {
             (Ok(s), Ok(p)) => {
-                prop_assert_eq!(
+                assert_eq!(
                     s.netlist.opamp_count(),
                     p.netlist.opamp_count(),
-                    "workers={}", workers
+                    "seed={seed:#x} workers={workers}"
                 );
-                prop_assert!(
+                assert!(
                     (s.estimate.area_m2 - p.estimate.area_m2).abs()
                         <= s.estimate.area_m2 * 1e-9,
-                    "workers={}: {} vs {}", workers, s.estimate.area_m2, p.estimate.area_m2
+                    "seed={seed:#x} workers={workers}: {} vs {}",
+                    s.estimate.area_m2,
+                    p.estimate.area_m2
                 );
                 p.netlist.validate().expect("valid netlist");
             }
-            (Err(s), Err(p)) => prop_assert_eq!(s, p),
-            (s, p) => prop_assert!(false, "disagreement: {s:?} vs {p:?}"),
+            (Err(s), Err(p)) => assert_eq!(s, p, "seed={seed:#x}"),
+            (s, p) => panic!("seed={seed:#x}: disagreement: {s:?} vs {p:?}"),
         }
     }
+}
 
-    /// The same input yields the same area on repeated parallel runs
-    /// (worker scheduling must not leak into the result).
-    #[test]
-    fn parallel_area_is_deterministic(g in arb_graph(), workers in 2usize..5) {
+/// The same input yields the same area on repeated parallel runs
+/// (worker scheduling must not leak into the result).
+#[test]
+fn parallel_area_is_deterministic() {
+    for case in 0u64..24 {
+        let seed = 0xde7e_c7edu64.wrapping_add(case.wrapping_mul(0x9e37_79b9));
+        let g = random_graph(seed);
+        let workers = 2 + (case % 3) as usize; // 2..=4
         let estimator = Estimator::default();
         let config = MapperConfig { parallelism: workers, ..MapperConfig::default() };
         let first = map_graph(&g, &estimator, &config);
         let second = map_graph(&g, &estimator, &config);
         match (first, second) {
             (Ok(a), Ok(b)) => {
-                prop_assert_eq!(a.netlist.opamp_count(), b.netlist.opamp_count());
-                prop_assert!(
+                assert_eq!(
+                    a.netlist.opamp_count(),
+                    b.netlist.opamp_count(),
+                    "seed={seed:#x}"
+                );
+                assert!(
                     (a.estimate.area_m2 - b.estimate.area_m2).abs()
                         <= a.estimate.area_m2 * 1e-12,
-                    "{} vs {}", a.estimate.area_m2, b.estimate.area_m2
+                    "seed={seed:#x}: {} vs {}",
+                    a.estimate.area_m2,
+                    b.estimate.area_m2
                 );
             }
-            (Err(a), Err(b)) => prop_assert_eq!(a, b),
-            (a, b) => prop_assert!(false, "nondeterministic: {a:?} vs {b:?}"),
+            (Err(a), Err(b)) => assert_eq!(a, b, "seed={seed:#x}"),
+            (a, b) => panic!("seed={seed:#x}: nondeterministic: {a:?} vs {b:?}"),
         }
     }
 }

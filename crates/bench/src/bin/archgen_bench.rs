@@ -12,13 +12,12 @@
 //! visited decision-tree nodes, visits-per-second throughput, and the
 //! parallel-over-sequential wall-clock speedup.
 
-use serde::Serialize;
 use vase::archgen::{MapStats, MapperConfig};
 use vase::flow::{synthesize_source, FlowOptions};
+use vase_bench::json::Json;
 
 const REPS: usize = 3;
 
-#[derive(Serialize)]
 struct RunRecord {
     visited_nodes: u64,
     wall_us: u64,
@@ -33,9 +32,16 @@ impl RunRecord {
             visits_per_second: stats.visits_per_second(),
         }
     }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("visited_nodes", Json::Int(self.visited_nodes as i128)),
+            ("wall_us", Json::Int(self.wall_us as i128)),
+            ("visits_per_second", Json::Num(self.visits_per_second)),
+        ])
+    }
 }
 
-#[derive(Serialize)]
 struct AppRecord {
     application: String,
     opamps: usize,
@@ -45,13 +51,16 @@ struct AppRecord {
     speedup: f64,
 }
 
-#[derive(Serialize)]
-struct BenchReport {
-    benchmark: &'static str,
-    /// Worker threads the parallel runs resolved to.
-    jobs: usize,
-    repetitions: usize,
-    apps: Vec<AppRecord>,
+impl AppRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("application", Json::str(self.application.clone())),
+            ("opamps", Json::Int(self.opamps as i128)),
+            ("sequential", self.sequential.to_json()),
+            ("parallel", self.parallel.to_json()),
+            ("speedup", Json::Num(self.speedup)),
+        ])
+    }
 }
 
 /// Synthesize `source` `REPS` times with `mapper`; return the stats of
@@ -117,14 +126,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             speedup,
         });
     }
-    let report = BenchReport {
-        benchmark: "archgen",
-        jobs,
-        repetitions: REPS,
-        apps,
-    };
-    let json = serde_json::to_string_pretty(&report)?;
-    std::fs::write("BENCH_archgen.json", format!("{json}\n"))?;
+    let report = Json::obj([
+        ("benchmark", Json::str("archgen")),
+        ("jobs", Json::Int(jobs as i128)),
+        ("repetitions", Json::Int(REPS as i128)),
+        ("apps", Json::Arr(apps.iter().map(AppRecord::to_json).collect())),
+    ]);
+    std::fs::write("BENCH_archgen.json", report.to_string_pretty())?;
     println!("\nwritten to BENCH_archgen.json ({jobs} worker(s))");
     Ok(())
 }

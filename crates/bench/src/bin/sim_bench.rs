@@ -1,0 +1,253 @@
+//! Emit `BENCH_sim.json`: transient-simulation throughput of the
+//! compiled-plan engines and frequency-sweep wall clock, sequential vs
+//! parallel, on the five Table 1 applications.
+//!
+//! ```sh
+//! cargo run --release -p vase-bench --bin sim_bench [-- --smoke] [-- --jobs <n>]
+//! ```
+//!
+//! Per application:
+//!
+//! * **behavioral** — steps/second of the compiled VHIF plan
+//!   ([`vase::sim::CompiledSim`]), best of `reps` runs;
+//! * **netlist** — steps/second of the compiled macromodel plan
+//!   ([`vase::sim::CompiledNetlist`]);
+//! * **sweep** — wall clock of a log-spaced frequency sweep between the
+//!   design's first input and first output, `--jobs 1` vs `--jobs <n>`
+//!   (default 4), with the two point lists checked bit-identical
+//!   (designs without an input port skip the sweep and report `null`).
+//!
+//! `--smoke` shrinks the step counts and the sweep so the binary
+//! finishes in well under a second — the tier-1 CI gate runs that mode.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use vase::flow::{synthesize_source, FlowOptions, SynthesizedDesign};
+use vase::sim::{
+    frequency_response_with, log_sweep, CompiledNetlist, CompiledSim, SimConfig, SimError,
+    Stimulus, SweepConfig,
+};
+use vase::vhif::BlockKind;
+use vase_bench::json::Json;
+
+struct Sizing {
+    reps: usize,
+    behavioral_steps: usize,
+    netlist_steps: usize,
+    sweep_points: usize,
+}
+
+const FULL: Sizing =
+    Sizing { reps: 3, behavioral_steps: 20_000, netlist_steps: 10_000, sweep_points: 16 };
+const SMOKE: Sizing =
+    Sizing { reps: 1, behavioral_steps: 500, netlist_steps: 250, sweep_points: 4 };
+
+struct EngineRecord {
+    steps: usize,
+    wall_us: u64,
+    steps_per_second: f64,
+}
+
+impl EngineRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("steps", Json::Int(self.steps as i128)),
+            ("wall_us", Json::Int(self.wall_us as i128)),
+            ("steps_per_second", Json::Num(self.steps_per_second)),
+        ])
+    }
+}
+
+struct SweepRecord {
+    input: String,
+    output: String,
+    points: usize,
+    sequential_wall_us: u64,
+    parallel_wall_us: u64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+impl SweepRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("input", Json::str(self.input.clone())),
+            ("output", Json::str(self.output.clone())),
+            ("points", Json::Int(self.points as i128)),
+            ("sequential_wall_us", Json::Int(self.sequential_wall_us as i128)),
+            ("parallel_wall_us", Json::Int(self.parallel_wall_us as i128)),
+            ("speedup", Json::Num(self.speedup)),
+            ("bit_identical", Json::Bool(self.bit_identical)),
+        ])
+    }
+}
+
+/// Stimulate every input the design demands: retry construction,
+/// adding a small sine for each reported [`SimError::MissingStimulus`].
+fn auto_stimuli(
+    mut build: impl FnMut(&BTreeMap<String, Stimulus>) -> Result<(), SimError>,
+) -> Result<BTreeMap<String, Stimulus>, SimError> {
+    let mut stimuli = BTreeMap::new();
+    loop {
+        match build(&stimuli) {
+            Ok(()) => return Ok(stimuli),
+            Err(SimError::MissingStimulus { name }) => {
+                stimuli.insert(name, Stimulus::sine(0.5, 1_000.0));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Best-of-`reps` wall clock of `run`, as an [`EngineRecord`].
+fn time_engine(steps: usize, reps: usize, mut run: impl FnMut()) -> EngineRecord {
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        run();
+        best = best.min(t0.elapsed().as_micros() as u64);
+    }
+    EngineRecord {
+        steps,
+        wall_us: best,
+        steps_per_second: steps as f64 / (best.max(1) as f64 / 1e6),
+    }
+}
+
+/// First `Input` and first `Output` interface names of the design.
+fn interface_names(d: &SynthesizedDesign) -> (Option<String>, Option<String>) {
+    let mut input = None;
+    let mut output = None;
+    for g in &d.vhif.graphs {
+        for (_, b) in g.iter() {
+            match &b.kind {
+                BlockKind::Input { name } if input.is_none() => input = Some(name.clone()),
+                BlockKind::Output { name } if output.is_none() => output = Some(name.clone()),
+                _ => {}
+            }
+        }
+    }
+    (input, output)
+}
+
+fn bench_app(
+    b: &vase::benchmarks::Benchmark,
+    sizing: &Sizing,
+    jobs: usize,
+) -> Result<Json, String> {
+    let designs =
+        synthesize_source(b.source, &FlowOptions::default()).map_err(|e| e.to_string())?;
+    let d = &designs[0];
+
+    // Behavioral compiled plan.
+    let config = SimConfig::new(1e-6, sizing.behavioral_steps as f64 * 1e-6);
+    let stimuli = auto_stimuli(|s| CompiledSim::new(&d.vhif, s, &config).map(|_| ()))
+        .map_err(|e| e.to_string())?;
+    let plan = CompiledSim::new(&d.vhif, &stimuli, &config).map_err(|e| e.to_string())?;
+    let behavioral = time_engine(plan.steps(), sizing.reps, || {
+        std::hint::black_box(plan.run());
+    });
+
+    // Netlist compiled plan (control bindings close the FSM loop).
+    let config = SimConfig::new(1e-6, sizing.netlist_steps as f64 * 1e-6);
+    let bindings = &d.synthesis.control_bindings;
+    let net_stimuli = auto_stimuli(|s| {
+        CompiledNetlist::new(&d.synthesis.netlist, s, bindings, &config).map(|_| ())
+    })
+    .map_err(|e| e.to_string())?;
+    let net_plan = CompiledNetlist::new(&d.synthesis.netlist, &net_stimuli, bindings, &config)
+        .map_err(|e| e.to_string())?;
+    let netlist = time_engine(net_plan.steps(), sizing.reps, || {
+        std::hint::black_box(net_plan.run());
+    });
+
+    // Frequency sweep, sequential vs parallel.
+    let sweep = match interface_names(d) {
+        (Some(input), Some(output)) => {
+            let freqs = log_sweep(200.0, 5_000.0, sizing.sweep_points);
+            let mut extra = stimuli.clone();
+            extra.remove(&input);
+            let run = |jobs: usize| {
+                let t0 = Instant::now();
+                let points = frequency_response_with(
+                    &d.vhif,
+                    &input,
+                    &output,
+                    0.1,
+                    &freqs,
+                    &extra,
+                    &SweepConfig::with_jobs(jobs),
+                )
+                .map_err(|e| e.to_string())?;
+                Ok::<_, String>((t0.elapsed().as_micros() as u64, points))
+            };
+            let (seq_us, seq_points) = run(1)?;
+            let (par_us, par_points) = run(jobs)?;
+            Some(SweepRecord {
+                input,
+                output,
+                points: freqs.len(),
+                sequential_wall_us: seq_us,
+                parallel_wall_us: par_us,
+                speedup: seq_us as f64 / par_us.max(1) as f64,
+                bit_identical: seq_points == par_points,
+            })
+        }
+        _ => None,
+    };
+
+    let sweep_note = match &sweep {
+        Some(s) => format!(
+            "sweep {} pts seq {} µs / par {} µs ({:.2}x, identical: {})",
+            s.points, s.sequential_wall_us, s.parallel_wall_us, s.speedup, s.bit_identical
+        ),
+        None => "no input port, sweep skipped".to_owned(),
+    };
+    println!(
+        "{:<22} behavioral {:>12.0} steps/s | netlist {:>12.0} steps/s | {}",
+        b.name, behavioral.steps_per_second, netlist.steps_per_second, sweep_note
+    );
+
+    Ok(Json::obj([
+        ("application", Json::str(b.name.to_owned())),
+        ("behavioral", behavioral.to_json()),
+        ("netlist", netlist.to_json()),
+        ("sweep", sweep.map_or(Json::Null, |s| s.to_json())),
+    ]))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    static BENCHMARKS: [vase::benchmarks::Benchmark; 5] = [
+        vase::benchmarks::RECEIVER,
+        vase::benchmarks::POWER_METER,
+        vase::benchmarks::MISSILE,
+        vase::benchmarks::ITERATIVE,
+        vase::benchmarks::FUNCTION_GENERATOR,
+    ];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let sizing = if smoke { SMOKE } else { FULL };
+    let jobs = match args.iter().position(|a| a == "--jobs").and_then(|i| args.get(i + 1)) {
+        Some(v) => match v.parse::<usize>().map_err(|e| format!("bad --jobs `{v}`: {e}"))? {
+            0 => SweepConfig::parallel().effective_jobs(),
+            n => n,
+        },
+        None => 4,
+    };
+
+    let mut apps = Vec::new();
+    for b in &BENCHMARKS {
+        apps.push(bench_app(b, &sizing, jobs)?);
+    }
+    let report = Json::obj([
+        ("benchmark", Json::str("sim")),
+        ("smoke", Json::Bool(smoke)),
+        ("jobs", Json::Int(jobs as i128)),
+        ("repetitions", Json::Int(sizing.reps as i128)),
+        ("apps", Json::Arr(apps)),
+    ]);
+    std::fs::write("BENCH_sim.json", report.to_string_pretty())?;
+    println!("\nwritten to BENCH_sim.json ({jobs} sweep worker(s))");
+    Ok(())
+}

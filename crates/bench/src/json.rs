@@ -1,0 +1,224 @@
+//! Minimal JSON writer for the benchmark reports.
+//!
+//! The offline build environment has no `serde_json`, and the bench
+//! binaries only ever *emit* JSON (`BENCH_archgen.json`,
+//! `BENCH_sim.json`), so a tiny explicit value tree with a
+//! pretty-printer covers everything needed. Keys keep insertion order
+//! so reports diff cleanly run-over-run.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i128),
+    /// A float; non-finite values serialize as `null`.
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Pretty-print with two-space indentation and a trailing newline,
+    /// matching the layout `serde_json::to_string_pretty` produced for
+    /// the earlier reports.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Rust's float Display is the shortest round-trip
+                    // form; force a decimal point so readers keep the
+                    // value typed as a float.
+                    let s = format!("{x}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_report_shape() {
+        let report = Json::obj([
+            ("benchmark", Json::str("demo")),
+            ("jobs", Json::Int(4)),
+            ("ok", Json::Bool(true)),
+            (
+                "apps",
+                Json::Arr(vec![Json::obj([
+                    ("name", Json::str("a\"b")),
+                    ("speedup", Json::Num(2.0)),
+                ])]),
+            ),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let text = report.to_string_pretty();
+        assert!(text.starts_with("{\n  \"benchmark\": \"demo\""));
+        assert!(text.contains("\"jobs\": 4"));
+        assert!(text.contains("\"name\": \"a\\\"b\""));
+        assert!(text.contains("\"speedup\": 2.0"));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    /// The emitted text is machine-parseable JSON: balanced braces and
+    /// brackets outside strings, terminated strings, no NaN/Infinity
+    /// tokens — checked against the report shape the bench binaries
+    /// emit, without needing a JSON parser.
+    #[test]
+    fn report_output_is_well_formed() {
+        let text = Json::obj([
+            ("benchmark", Json::str("sim")),
+            ("jobs", Json::Int(4)),
+            (
+                "apps",
+                Json::Arr(vec![Json::obj([
+                    ("application", Json::str("receiver \"v2\"")),
+                    ("steps_per_second", Json::Num(1.25e6)),
+                    ("speedup", Json::Num(f64::NAN)), // must become null
+                ])]),
+            ),
+        ])
+        .to_string_pretty();
+        assert!(text.starts_with('{') && text.ends_with("}\n"));
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in text.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced close in:\n{text}");
+        }
+        assert_eq!(depth, 0, "unbalanced JSON:\n{text}");
+        assert!(!in_str, "unterminated string:\n{text}");
+        for banned in ["NaN", "Infinity"] {
+            assert!(!text.contains(banned), "non-JSON token `{banned}`:\n{text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string_pretty(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).to_string_pretty(), "null\n");
+        assert_eq!(Json::Num(1.5).to_string_pretty(), "1.5\n");
+    }
+}

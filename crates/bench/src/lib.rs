@@ -6,8 +6,10 @@
 
 #![warn(missing_docs)]
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+pub mod json;
+pub mod rng;
+
+use rng::SplitMix64;
 use vase::vhif::{BlockId, BlockKind, SignalFlowGraph};
 
 /// Deterministic seed used by all benchmarks (reproducible runs).
@@ -39,17 +41,17 @@ pub fn fig6_graph() -> SignalFlowGraph {
 /// `inputs` external inputs — the scaling workload for the mapper
 /// benchmarks. Deterministic for a given `seed`.
 pub fn random_graph(ops: usize, inputs: usize, seed: u64) -> SignalFlowGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut g = SignalFlowGraph::new(format!("rand{ops}"));
     let mut pool: Vec<BlockId> = (0..inputs.max(1))
         .map(|i| g.add(BlockKind::Input { name: format!("in{i}") }))
         .collect();
     for _ in 0..ops {
-        let a = pool[rng.random_range(0..pool.len())];
-        let b = pool[rng.random_range(0..pool.len())];
-        let id = match rng.random_range(0..6) {
+        let a = pool[rng.index(pool.len())];
+        let b = pool[rng.index(pool.len())];
+        let id = match rng.index(6) {
             0 | 1 => {
-                let gain: f64 = rng.random_range(0.25..8.0);
+                let gain: f64 = rng.f64_in(0.25, 8.0);
                 let id = g.add(BlockKind::Scale { gain });
                 g.connect(a, id, 0).expect("wire");
                 id

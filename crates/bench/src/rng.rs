@@ -1,0 +1,77 @@
+//! Small deterministic PRNG for workload generation.
+//!
+//! The offline build environment has no `rand`, and the benchmark
+//! workloads only need reproducible, reasonably well-mixed streams —
+//! not cryptographic quality — so a SplitMix64 generator (Steele,
+//! Lea & Flood 2014) is plenty and keeps every run bit-identical for
+//! a given seed across platforms.
+
+/// SplitMix64 pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded construction; the same seed yields the same stream.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..len`. `len` must be non-zero.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "index range must be non-empty");
+        // Modulo bias is negligible for the small ranges used here
+        // (len << 2^64) and keeps the generator branch-free.
+        (self.next_u64() % len as u64) as usize
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        // 53 high bits -> uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::new(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.index(5) < 5);
+            let x = r.f64_in(0.25, 8.0);
+            assert!((0.25..8.0).contains(&x), "{x}");
+        }
+    }
+}

@@ -134,9 +134,9 @@ pub fn compile_continuous<'a>(
 /// integrator defining `v`, and defer the connection of its input
 /// expression until everything else is lowered. Returns whether a
 /// state was claimed (the equation is removed from `pending`).
-fn claim_state_variable<'a>(
+fn claim_state_variable(
     builder: &mut GraphBuilder<'_>,
-    pending: &mut Vec<&'a ConcurrentStmt>,
+    pending: &mut Vec<&ConcurrentStmt>,
     deferred: &mut Vec<(vase_vhif::BlockId, Expr, String, usize)>,
     ode_counter: &mut usize,
 ) -> bool {

@@ -15,6 +15,8 @@
 //!     --tend <seconds>      simulation length   (default 5e-3)
 //!     --dt <seconds>        time step           (default 1e-6)
 //!     --csv <out.csv>       write raw traces
+//!     --jobs <n>            simulate multiple architectures
+//!                           concurrently (0 = one per core, default 1)
 //! vase table1 [--jobs <n>]             regenerate the paper's Table 1
 //!     --jobs <n>        synthesize the five applications concurrently
 //! ```
@@ -23,8 +25,8 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use vase::archgen::MapperConfig;
-use vase::flow::{compile_source, synthesize_source, FlowOptions};
-use vase::sim::{render_ascii, simulate_netlist, SimConfig, Stimulus};
+use vase::flow::{compile_source, simulate_designs, synthesize_source, FlowOptions};
+use vase::sim::{render_ascii, SimConfig, Stimulus, SweepConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -231,16 +233,15 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
             i += 1;
         }
     }
-    for d in &designs {
-        let result = simulate_netlist(
-            &d.synthesis.netlist,
-            &stimuli,
-            &d.synthesis.control_bindings,
-            &SimConfig::new(dt, t_end),
-        )
+    let sweep = match jobs_flag(args)? {
+        Some(jobs) => SweepConfig::with_jobs(jobs),
+        None => SweepConfig::default(),
+    };
+    let results = simulate_designs(&designs, &stimuli, &SimConfig::new(dt, t_end), &sweep)
         .map_err(|e| e.to_string())?;
+    for (d, result) in designs.iter().zip(&results) {
         for (name, _) in &d.synthesis.netlist.outputs {
-            println!("{}", render_ascii(&result, name, 72, 14));
+            println!("{}", render_ascii(result, name, 72, 14));
         }
         if let Some(path) = flag_value(args, "--csv") {
             std::fs::write(path, result.to_csv(&[]))

@@ -1,13 +1,16 @@
 //! The end-to-end synthesis flow: VASS source → parsed + analyzed AST
 //! → VHIF → op-amp netlist (paper Fig. 1, the shadowed boxes).
 
+use std::collections::BTreeMap;
 use std::error::Error as StdError;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use vase_archgen::{synthesize, MapError, MapperConfig, SynthesisResult};
 use vase_compiler::{compile, CompileError, VassStats};
 use vase_estimate::{Estimator, PerformanceConstraints};
 use vase_frontend::{analyze, parse_design_file, FrontendError};
+use vase_sim::{simulate_netlist, SimConfig, SimError, SimResult, Stimulus, SweepConfig};
 use vase_vhif::VhifDesign;
 
 /// Options for the full flow.
@@ -190,6 +193,55 @@ pub fn compile_source(source: &str) -> Result<Vec<(String, VhifDesign, VassStats
         .collect())
 }
 
+/// Transient-simulate every synthesized design's netlist against the
+/// same stimuli, one [`SimResult`] per design, in design order.
+///
+/// With `sweep.jobs > 1` the designs are claimed from a shared counter
+/// by scoped worker threads; each simulation is deterministic, and the
+/// merge is by design index, so the output — including which error is
+/// reported on failure (the one at the lowest index) — does not depend
+/// on the worker count.
+///
+/// # Errors
+///
+/// The first per-design simulation error, in design order.
+pub fn simulate_designs(
+    designs: &[SynthesizedDesign],
+    stimuli: &BTreeMap<String, Stimulus>,
+    config: &SimConfig,
+    sweep: &SweepConfig,
+) -> Result<Vec<SimResult>, SimError> {
+    let simulate = |d: &SynthesizedDesign| {
+        simulate_netlist(&d.synthesis.netlist, stimuli, &d.synthesis.control_bindings, config)
+    };
+    let jobs = sweep.effective_jobs().min(designs.len().max(1));
+    if jobs <= 1 {
+        return designs.iter().map(simulate).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut simulated = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(d) = designs.get(i) else { break };
+                        out.push((i, simulate(d)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("simulation worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    simulated.sort_unstable_by_key(|(i, _)| *i);
+    simulated.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +293,34 @@ mod tests {
         let base = PerformanceConstraints::audio();
         let derived = derive_constraints(arch, base);
         assert_eq!(derived.bandwidth_hz, base.bandwidth_hz);
+    }
+
+    #[test]
+    fn simulate_designs_parallel_matches_sequential() {
+        // Two designs (receiver + function generator) simulated as one
+        // batch: jobs=1 and jobs=4 must agree bit-for-bit.
+        let mut designs = synthesize_source(
+            benchmarks::RECEIVER.source,
+            &FlowOptions::default(),
+        )
+        .expect("receiver synthesizes");
+        designs.extend(
+            synthesize_source(benchmarks::FUNCTION_GENERATOR.source, &FlowOptions::default())
+                .expect("funcgen synthesizes"),
+        );
+        let mut stimuli = BTreeMap::new();
+        stimuli.insert("line".to_string(), Stimulus::sine(1.0, 1_000.0));
+        stimuli.insert("local".to_string(), Stimulus::sine(0.2, 1_000.0));
+        // The function generator's FSM control net is external at the
+        // netlist level; drive it so the batch simulates.
+        stimuli.insert("ramp".to_string(), Stimulus::Constant { level: 0.0 });
+        let config = SimConfig::new(1e-5, 1e-3);
+        let seq = simulate_designs(&designs, &stimuli, &config, &SweepConfig::default())
+            .expect("sequential batch");
+        let par = simulate_designs(&designs, &stimuli, &config, &SweepConfig::with_jobs(4))
+            .expect("parallel batch");
+        assert_eq!(seq.len(), designs.len());
+        assert_eq!(seq, par, "worker count must not change any trace bit");
     }
 
     #[test]

@@ -7,15 +7,20 @@
 //! (executing data-path operations and taking guarded arcs) and
 //! suspends back in `start` — exactly the simplified process-interaction
 //! model of paper Section 3.
+//!
+//! [`simulate_design`] is the one-shot entry point; it compiles the
+//! design into a [`crate::plan::CompiledSim`] evaluation plan (all
+//! names resolved to dense indices, allocation-free stepping) and runs
+//! a single session. Callers that simulate the same design repeatedly
+//! — frequency sweeps, benchmarks — should compile once and spawn
+//! sessions themselves; see [`crate::plan`].
 
 use std::collections::BTreeMap;
 
-use vase_vhif::block::LogicOp;
-use vase_vhif::{
-    BlockId, BlockKind, DpBinaryOp, DpExpr, Event, Fsm, SignalFlowGraph, Trigger, VhifDesign,
-};
+use vase_vhif::VhifDesign;
 
 use crate::error::SimError;
+use crate::plan::CompiledSim;
 use crate::stimulus::Stimulus;
 use crate::trace::SimResult;
 
@@ -58,442 +63,13 @@ pub fn simulate_design(
     inputs: &BTreeMap<String, Stimulus>,
     config: &SimConfig,
 ) -> Result<SimResult, SimError> {
-    if config.dt <= 0.0 || config.t_end <= 0.0 {
-        return Err(SimError::BadConfig { what: "dt and t_end must be positive".into() });
-    }
-    let mut engines = Vec::new();
-    for graph in &design.graphs {
-        engines.push(GraphEngine::new(graph, config.dt)?);
-    }
-    let fsm_signals: Vec<String> =
-        design.fsms.iter().flat_map(|f| f.assigned_signals()).collect();
-
-    // Check stimuli.
-    for engine in &engines {
-        for (id, block) in engine.graph.iter() {
-            match &block.kind {
-                BlockKind::Input { name } if !inputs.contains_key(name) => {
-                    return Err(SimError::MissingStimulus { name: name.clone() });
-                }
-                BlockKind::ControlInput { name }
-                    if !inputs.contains_key(name) && !fsm_signals.contains(name) =>
-                {
-                    return Err(SimError::MissingStimulus { name: name.clone() });
-                }
-                _ => {
-                    let _ = id;
-                }
-            }
-        }
-    }
-
-    let mut machines: Vec<MachineState> =
-        design.fsms.iter().map(MachineState::new).collect();
-    let mut signals: BTreeMap<String, f64> =
-        fsm_signals.iter().map(|s| (s.clone(), 0.0)).collect();
-
-    let steps = (config.t_end / config.dt).ceil() as usize;
-    let mut result = SimResult::default();
-    let mut trace_names: Vec<String> = Vec::new();
-    for engine in &engines {
-        for (_, block) in engine.graph.iter() {
-            match &block.kind {
-                BlockKind::Input { name } | BlockKind::Output { name } => {
-                    trace_names.push(name.clone())
-                }
-                _ => {}
-            }
-        }
-    }
-    trace_names.extend(fsm_signals.iter().cloned());
-    trace_names.sort();
-    trace_names.dedup();
-    for name in &trace_names {
-        result.traces.insert(name.clone(), Vec::with_capacity(steps));
-    }
-
-    for step in 0..=steps {
-        let t = step as f64 * config.dt;
-        // 1. Evaluate each graph (RK4 over integrator states).
-        let mut values_all = Vec::new();
-        for engine in &mut engines {
-            let values = engine.step(t, config.dt, inputs, &signals)?;
-            values_all.push(values);
-        }
-        // 2. Event-driven part: fire machines on event edges.
-        for (machine, fsm) in machines.iter_mut().zip(&design.fsms) {
-            machine.step(fsm, &engines, &values_all, inputs, t, &mut signals);
-        }
-        // 3. Record.
-        result.time.push(t);
-        for name in &trace_names {
-            let mut value = None;
-            for (engine, values) in engines.iter().zip(&values_all) {
-                if let Some(v) = engine.named_value(name, values) {
-                    value = Some(v);
-                    break;
-                }
-            }
-            let v = value
-                .or_else(|| signals.get(name).copied())
-                .or_else(|| inputs.get(name).map(|s| s.at(t)))
-                .unwrap_or(0.0);
-            result.traces.get_mut(name).expect("registered").push(v);
-        }
-    }
-    Ok(result)
-}
-
-/// Per-graph simulation state.
-struct GraphEngine<'g> {
-    graph: &'g SignalFlowGraph,
-    order: Vec<BlockId>,
-    /// Integrator state per block index (NaN for non-integrators).
-    integ: Vec<f64>,
-    /// Discrete state (S/H, memory, Schmitt) per block index.
-    discrete: Vec<f64>,
-    /// Previous input value per block index (differentiators).
-    prev_in: Vec<f64>,
-    dt: f64,
-}
-
-impl<'g> GraphEngine<'g> {
-    fn new(graph: &'g SignalFlowGraph, dt: f64) -> Result<Self, SimError> {
-        let order = graph.topo_order().map_err(|_| SimError::AlgebraicLoop)?;
-        let n = graph.len();
-        let mut integ = vec![0.0; n];
-        for (id, block) in graph.iter() {
-            if let BlockKind::Integrate { initial, .. } = block.kind {
-                integ[id.index()] = initial;
-            }
-        }
-        Ok(GraphEngine { graph, order, integ, discrete: vec![0.0; n], prev_in: vec![0.0; n], dt })
-    }
-
-    /// Evaluate all blocks at time `t` with the given integrator states
-    /// (discrete states frozen).
-    fn eval(
-        &self,
-        t: f64,
-        integ: &[f64],
-        inputs: &BTreeMap<String, Stimulus>,
-        signals: &BTreeMap<String, f64>,
-    ) -> Vec<f64> {
-        let mut v = vec![0.0; self.graph.len()];
-        for &id in &self.order {
-            let i = id.index();
-            let input = |p: usize| -> f64 {
-                self.graph.block_inputs(id)[p].map(|d| v[d.index()]).unwrap_or(0.0)
-            };
-            v[i] = match &self.graph.kind(id) {
-                BlockKind::Input { name } => inputs.get(name).map(|s| s.at(t)).unwrap_or(0.0),
-                BlockKind::ControlInput { name } => signals
-                    .get(name)
-                    .copied()
-                    .or_else(|| inputs.get(name).map(|s| s.at(t)))
-                    .unwrap_or(0.0),
-                BlockKind::Const { value } => *value,
-                BlockKind::Scale { gain } => gain * input(0),
-                BlockKind::Add { arity } => (0..*arity).map(&input).sum(),
-                BlockKind::Sub => input(0) - input(1),
-                BlockKind::Mul => input(0) * input(1),
-                BlockKind::Div => {
-                    let d = input(1);
-                    input(0) / if d.abs() < 1e-12 { 1e-12_f64.copysign(d + 1e-30) } else { d }
-                }
-                BlockKind::Integrate { .. } => integ[i],
-                BlockKind::Differentiate { gain } => {
-                    gain * (input(0) - self.prev_in[i]) / self.dt
-                }
-                BlockKind::Log => (input(0).max(1e-12)).ln(),
-                BlockKind::Antilog => input(0).clamp(-50.0, 50.0).exp(),
-                BlockKind::Abs => input(0).abs(),
-                BlockKind::SampleHold | BlockKind::Memory | BlockKind::SchmittTrigger { .. } => {
-                    self.discrete[i]
-                }
-                BlockKind::Switch => {
-                    if input(1) > 0.5 {
-                        input(0)
-                    } else {
-                        0.0
-                    }
-                }
-                BlockKind::Mux { arity } => {
-                    let sel = input(*arity).round().clamp(0.0, (*arity - 1) as f64) as usize;
-                    input(sel)
-                }
-                BlockKind::Comparator { threshold } => f64::from(input(0) > *threshold),
-                BlockKind::Adc { bits } => {
-                    let lsb = 5.0 / f64::from(1u32 << (*bits).min(24));
-                    (input(0) / lsb).round() * lsb
-                }
-                BlockKind::Limiter { level } => input(0).clamp(-level, *level),
-                BlockKind::OutputStage { limit, .. } => match limit {
-                    Some(l) => input(0).clamp(-l, *l),
-                    None => input(0),
-                },
-                BlockKind::Output { .. } => input(0),
-                BlockKind::Logic { op, arity } => {
-                    let vals: Vec<bool> =
-                        (0..*arity).map(|p| input(p) > 0.5).collect();
-                    let out = match op {
-                        LogicOp::Not => !vals[0],
-                        LogicOp::And => vals.iter().all(|&b| b),
-                        LogicOp::Or => vals.iter().any(|&b| b),
-                        LogicOp::Xor => vals.iter().filter(|&&b| b).count() % 2 == 1,
-                    };
-                    f64::from(out)
-                }
-            };
-        }
-        v
-    }
-
-    /// Advance one step: RK4 over integrator states, then update the
-    /// discrete states; returns the block values at the *start* of the
-    /// step (consistent with the recorded time).
-    fn step(
-        &mut self,
-        t: f64,
-        dt: f64,
-        inputs: &BTreeMap<String, Stimulus>,
-        signals: &BTreeMap<String, f64>,
-    ) -> Result<Vec<f64>, SimError> {
-        let integrators: Vec<(usize, f64)> = self
-            .graph
-            .iter()
-            .filter_map(|(id, b)| match b.kind {
-                BlockKind::Integrate { gain, .. } => Some((id.index(), gain)),
-                _ => None,
-            })
-            .collect();
-
-        let v0 = self.eval(t, &self.integ, inputs, signals);
-
-        if !integrators.is_empty() {
-            // RK4 over the integrator state vector.
-            let deriv = |values: &[f64]| -> Vec<f64> {
-                integrators
-                    .iter()
-                    .map(|&(i, gain)| {
-                        let driver = self.graph.block_inputs(BlockId::from_index(i))[0]
-                            .expect("validated graph");
-                        gain * values[driver.index()]
-                    })
-                    .collect()
-            };
-            let apply = |base: &[f64], k: &[f64], h: f64| -> Vec<f64> {
-                let mut s = base.to_vec();
-                for (slot, &(i, _)) in k.iter().zip(&integrators) {
-                    let _ = slot;
-                    let _ = i;
-                }
-                for (j, &(i, _)) in integrators.iter().enumerate() {
-                    s[i] = base[i] + h * k[j];
-                }
-                s
-            };
-            let base = self.integ.clone();
-            let k1 = deriv(&v0);
-            let s2 = apply(&base, &k1, dt / 2.0);
-            let v2 = self.eval(t + dt / 2.0, &s2, inputs, signals);
-            let k2 = deriv(&v2);
-            let s3 = apply(&base, &k2, dt / 2.0);
-            let v3 = self.eval(t + dt / 2.0, &s3, inputs, signals);
-            let k3 = deriv(&v3);
-            let s4 = apply(&base, &k3, dt);
-            let v4 = self.eval(t + dt, &s4, inputs, signals);
-            let k4 = deriv(&v4);
-            for (j, &(i, _)) in integrators.iter().enumerate() {
-                self.integ[i] += dt / 6.0 * (k1[j] + 2.0 * k2[j] + 2.0 * k3[j] + k4[j]);
-            }
-        }
-
-        // Discrete-state updates from the start-of-step values.
-        for (id, block) in self.graph.iter() {
-            let i = id.index();
-            let input = |p: usize| -> f64 {
-                self.graph.block_inputs(id)[p].map(|d| v0[d.index()]).unwrap_or(0.0)
-            };
-            match &block.kind {
-                BlockKind::SampleHold | BlockKind::Memory
-                    if input(1) > 0.5 => {
-                        self.discrete[i] = input(0);
-                    }
-                BlockKind::SchmittTrigger { low, high } => {
-                    let u = input(0);
-                    if u > *high {
-                        self.discrete[i] = 1.0;
-                    } else if u < *low {
-                        self.discrete[i] = 0.0;
-                    }
-                }
-                BlockKind::Differentiate { .. } => {
-                    self.prev_in[i] = input(0);
-                }
-                _ => {}
-            }
-        }
-        Ok(v0)
-    }
-
-    /// The value a named port carries in `values`.
-    fn named_value(&self, name: &str, values: &[f64]) -> Option<f64> {
-        let id = self.graph.find_interface(name)?;
-        Some(values[id.index()])
-    }
-
-    /// The current value of the quantity named `name` (for FSM event
-    /// evaluation): a port marker of that name, or the internal block
-    /// the compiler labelled with the quantity name.
-    fn quantity_value(&self, name: &str, values: &[f64]) -> Option<f64> {
-        self.named_value(name, values)
-            .or_else(|| self.graph.find_labelled(name).map(|id| values[id.index()]))
-    }
-}
-
-/// Per-FSM simulation state.
-struct MachineState {
-    /// Previous boolean level of each watched event (edge detection).
-    prev_levels: BTreeMap<String, bool>,
-}
-
-impl MachineState {
-    fn new(fsm: &Fsm) -> Self {
-        let mut prev_levels = BTreeMap::new();
-        for event in fsm.events() {
-            prev_levels.insert(event_key(event), false);
-        }
-        MachineState { prev_levels }
-    }
-
-    fn step(
-        &mut self,
-        fsm: &Fsm,
-        engines: &[GraphEngine<'_>],
-        values_all: &[Vec<f64>],
-        inputs: &BTreeMap<String, Stimulus>,
-        t: f64,
-        signals: &mut BTreeMap<String, f64>,
-    ) {
-        let quantity = |name: &str| -> f64 {
-            for (engine, values) in engines.iter().zip(values_all) {
-                if let Some(v) = engine.quantity_value(name, values) {
-                    return v;
-                }
-            }
-            inputs.get(name).map(|s| s.at(t)).unwrap_or(0.0)
-        };
-        let level = |event: &Event, signals: &BTreeMap<String, f64>| -> bool {
-            match event {
-                Event::Above { quantity: q, threshold } => quantity(q) > *threshold,
-                Event::SignalChange { signal } => {
-                    signals
-                        .get(signal)
-                        .copied()
-                        .or_else(|| inputs.get(signal).map(|s| s.at(t)))
-                        .unwrap_or(0.0)
-                        > 0.5
-                }
-            }
-        };
-        // Edge detection.
-        let mut fired = false;
-        for event in fsm.events() {
-            let key = event_key(event);
-            let now = level(event, signals);
-            let before = self.prev_levels.insert(key, now).unwrap_or(false);
-            if now != before {
-                fired = true;
-            }
-        }
-        if !fired {
-            return;
-        }
-        // Run the machine to completion (paper: resume, execute entire
-        // body, suspend). Cap the walk to avoid pathological loops.
-        let mut cur = fsm.start();
-        for _ in 0..(4 * fsm.state_count() + 4) {
-            // Execute ops of the current state (start has none).
-            let ops: Vec<_> = fsm.state(cur).ops.clone();
-            for op in ops {
-                let value = eval_dp(&op.value, signals, &quantity, &level);
-                signals.insert(op.target.clone(), value);
-            }
-
-            // Choose the next arc: a satisfied guard, an event arc
-            // (only from start, already fired), or Always.
-            let mut next = None;
-            for transition in fsm.outgoing(cur) {
-                let take = match &transition.trigger {
-                    Trigger::Always => true,
-                    Trigger::AnyEvent(_) => cur == fsm.start(),
-                    Trigger::Guard(g) => {
-                        eval_dp(g, signals, &quantity, &level) > 0.5
-                    }
-                };
-                if take {
-                    next = Some(transition.to);
-                    break;
-                }
-            }
-            match next {
-                Some(s) if s == fsm.start() => break, // suspended
-                Some(s) => cur = s,
-                None => break,
-            }
-        }
-    }
-}
-
-fn event_key(event: &Event) -> String {
-    event.to_string()
-}
-
-/// Evaluate a data-path expression to a value (booleans as 0.0/1.0).
-fn eval_dp(
-    expr: &DpExpr,
-    signals: &BTreeMap<String, f64>,
-    quantity: &dyn Fn(&str) -> f64,
-    level: &dyn Fn(&Event, &BTreeMap<String, f64>) -> bool,
-) -> f64 {
-    match expr {
-        DpExpr::Bit(b) => f64::from(*b),
-        DpExpr::Real(v) => *v,
-        DpExpr::Signal(name) => signals.get(name).copied().unwrap_or(0.0),
-        DpExpr::Quantity(name) => quantity(name),
-        DpExpr::EventLevel(event) => f64::from(level(event, signals)),
-        DpExpr::Adc(inner) => {
-            let v = eval_dp(inner, signals, quantity, level);
-            let lsb = 5.0 / 256.0;
-            (v / lsb).round() * lsb
-        }
-        DpExpr::Not(inner) => f64::from(eval_dp(inner, signals, quantity, level) <= 0.5),
-        DpExpr::Binary { op, lhs, rhs } => {
-            let a = eval_dp(lhs, signals, quantity, level);
-            let b = eval_dp(rhs, signals, quantity, level);
-            match op {
-                DpBinaryOp::Add => a + b,
-                DpBinaryOp::Sub => a - b,
-                DpBinaryOp::Mul => a * b,
-                DpBinaryOp::Div => a / if b.abs() < 1e-12 { 1e-12 } else { b },
-                DpBinaryOp::And => f64::from(a > 0.5 && b > 0.5),
-                DpBinaryOp::Or => f64::from(a > 0.5 || b > 0.5),
-                DpBinaryOp::Eq => f64::from((a - b).abs() < 1e-9),
-                DpBinaryOp::NotEq => f64::from((a - b).abs() >= 1e-9),
-                DpBinaryOp::Lt => f64::from(a < b),
-                DpBinaryOp::LtEq => f64::from(a <= b),
-                DpBinaryOp::Gt => f64::from(a > b),
-                DpBinaryOp::GtEq => f64::from(a >= b),
-            }
-        }
-    }
+    Ok(CompiledSim::new(design, inputs, config)?.run())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vase_vhif::DataOp;
+    use vase_vhif::{BlockKind, DataOp, DpExpr, Event, Fsm, SignalFlowGraph, Trigger};
 
     fn stim(entries: &[(&str, Stimulus)]) -> BTreeMap<String, Stimulus> {
         entries.iter().map(|(n, s)| (n.to_string(), *s)).collect()
@@ -719,5 +295,35 @@ mod tests {
         let y = r.trace("y").expect("trace");
         // Held at the value when ctl dropped (~0.5), not the final 1.0.
         assert!((y.last().unwrap() - 0.5).abs() < 0.02, "held {}", y.last().unwrap());
+    }
+
+    #[test]
+    fn compiled_plan_sessions_are_reusable_and_identical() {
+        // Two sessions from one plan produce bit-identical traces, and
+        // swapping the stimulus vector redirects the run.
+        let mut g = SignalFlowGraph::new("amp");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let s = g.add(BlockKind::Scale { gain: 2.0 });
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, s, 0).expect("wire");
+        g.connect(s, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let inputs = stim(&[("x", Stimulus::Constant { level: 1.0 })]);
+        let plan =
+            CompiledSim::new(&d, &inputs, &SimConfig::new(1e-4, 1e-3)).expect("compiles");
+
+        let a = plan.run();
+        let b = plan.run();
+        assert_eq!(a, b, "sessions must be deterministic");
+        assert_eq!(a.trace("y").unwrap().last(), Some(&2.0));
+
+        let xi = plan.stimulus_index("x").expect("bound");
+        let mut stims = plan.stimuli().to_vec();
+        stims[xi] = Stimulus::Constant { level: -0.5 };
+        let mut session = plan.session_with(stims);
+        session.run();
+        let c = session.into_result();
+        assert_eq!(c.trace("y").unwrap().last(), Some(&-1.0));
     }
 }

@@ -51,6 +51,7 @@
 pub mod error;
 pub mod graph_sim;
 pub mod netlist_sim;
+pub mod plan;
 pub mod plot;
 pub mod response;
 pub mod stimulus;
@@ -58,8 +59,11 @@ pub mod trace;
 
 pub use error::SimError;
 pub use graph_sim::{simulate_design, SimConfig};
-pub use netlist_sim::{simulate_netlist, AMP_SATURATION};
+pub use plan::{CompiledSim, SimSession};
+pub use netlist_sim::{simulate_netlist, CompiledNetlist, AMP_SATURATION};
 pub use plot::render_ascii;
-pub use response::{frequency_response, log_sweep, ResponsePoint};
+pub use response::{
+    frequency_response, frequency_response_with, log_sweep, ResponsePoint, SweepConfig,
+};
 pub use stimulus::Stimulus;
 pub use trace::SimResult;

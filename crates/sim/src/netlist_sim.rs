@@ -7,6 +7,13 @@
 //! additionally clip at their specified levels. Integrators integrate
 //! with RK4; sample-and-holds, memories, Schmitt triggers and
 //! zero-cross detectors carry discrete state with hysteresis.
+//!
+//! Like the behavioral engine (see [`crate::plan`]), the hot path runs
+//! over a compiled plan: [`CompiledNetlist`] caches the topological
+//! evaluation order and resolves every external-net name to a dense
+//! stimulus or binding index at construction, and the per-step
+//! evaluation reuses caller-owned buffers instead of allocating a fresh
+//! value vector per RK4 stage.
 
 use std::collections::BTreeMap;
 
@@ -42,71 +49,412 @@ pub fn simulate_netlist(
     bindings: &[(String, usize)],
     config: &SimConfig,
 ) -> Result<SimResult, SimError> {
-    if config.dt <= 0.0 || config.t_end <= 0.0 {
-        return Err(SimError::BadConfig { what: "dt and t_end must be positive".into() });
+    Ok(CompiledNetlist::new(netlist, stimuli, bindings, config)?.run())
+}
+
+/// A source reference with its external-net name pre-resolved: either
+/// a component output, a stimulus index, a constant, or undriven zero.
+#[derive(Clone, Copy)]
+enum Src {
+    Component(u32),
+    Stim(u32),
+    Const(f64),
+    Zero,
+}
+
+/// End-of-step discrete-state updates, pre-resolved.
+enum DiscreteUpdate {
+    Latch { comp: u32, data: Src, clock: Src },
+    Hysteresis { comp: u32, input: Src, low: f64, high: f64 },
+    PrevIn { comp: u32, input: Src },
+}
+
+/// A compiled netlist-simulation plan: cached evaluation order, dense
+/// source indices, precomputed integrator and discrete-update lists.
+///
+/// Compile once with [`CompiledNetlist::new`], then [`run`]
+/// (re-runnable; each run allocates only its result buffers).
+///
+/// [`run`]: CompiledNetlist::run
+pub struct CompiledNetlist<'n> {
+    netlist: &'n Netlist,
+    /// Cached topological order over component dependencies.
+    order: Vec<u32>,
+    /// Pre-resolved inputs, flattened: component `i`'s inputs are
+    /// `input_src[input_offset[i] .. input_offset[i + 1]]`.
+    input_offset: Vec<u32>,
+    input_src: Vec<Src>,
+    /// One entry per integrator: component index and per-input weights.
+    integrators: Vec<(u32, Vec<f64>)>,
+    discretes: Vec<DiscreteUpdate>,
+    /// Initial integrator state per component slot.
+    integ_init: Vec<f64>,
+    /// Stimulus per dense index (sorted by name).
+    stims: Vec<Stimulus>,
+    /// Trace name and resolved source, in recording order.
+    traces: Vec<(String, Src)>,
+    dt: f64,
+    steps: usize,
+}
+
+impl<'n> CompiledNetlist<'n> {
+    /// Compile `netlist` against the given stimuli, bindings, and
+    /// configuration; fails with the same errors [`simulate_netlist`]
+    /// reports.
+    ///
+    /// # Errors
+    ///
+    /// See [`simulate_netlist`].
+    pub fn new(
+        netlist: &'n Netlist,
+        stimuli: &BTreeMap<String, Stimulus>,
+        bindings: &[(String, usize)],
+        config: &SimConfig,
+    ) -> Result<Self, SimError> {
+        if config.dt <= 0.0 || config.t_end <= 0.0 {
+            return Err(SimError::BadConfig { what: "dt and t_end must be positive".into() });
+        }
+        let stim_names: Vec<&String> = stimuli.keys().collect();
+        let stims: Vec<Stimulus> = stimuli.values().copied().collect();
+        // External-net resolution: bindings shadow stimuli, as before.
+        let resolve_external = |name: &str| -> Option<Src> {
+            if let Some((_, i)) = bindings.iter().find(|(s, _)| s.as_str() == name) {
+                return Some(Src::Component(*i as u32));
+            }
+            stim_names
+                .binary_search_by(|n| n.as_str().cmp(name))
+                .ok()
+                .map(|s| Src::Stim(s as u32))
+        };
+        let resolve = |source: &SourceRef| -> Result<Src, SimError> {
+            Ok(match source {
+                SourceRef::Const(v) => Src::Const(*v),
+                SourceRef::Component(i) => Src::Component(*i as u32),
+                SourceRef::External(name) => resolve_external(name)
+                    .ok_or_else(|| SimError::MissingStimulus { name: name.clone() })?,
+            })
+        };
+
+        let n = netlist.components.len();
+        let mut input_offset = Vec::with_capacity(n + 1);
+        let mut input_src = Vec::new();
+        let mut integrators = Vec::new();
+        let mut discretes = Vec::new();
+        let mut integ_init = vec![0.0; n];
+        for (i, c) in netlist.components.iter().enumerate() {
+            input_offset.push(input_src.len() as u32);
+            for input in &c.inputs {
+                input_src.push(resolve(input)?);
+            }
+            let src_at = |p: usize| -> Src {
+                c.inputs.get(p).map(&resolve).transpose().ok().flatten().unwrap_or(Src::Zero)
+            };
+            match &c.kind {
+                ComponentKind::Integrator { weights, initial } => {
+                    integ_init[i] = *initial;
+                    integrators.push((i as u32, weights.clone()));
+                }
+                ComponentKind::SampleHold | ComponentKind::MemoryCell => {
+                    discretes.push(DiscreteUpdate::Latch {
+                        comp: i as u32,
+                        data: src_at(0),
+                        clock: src_at(1),
+                    });
+                }
+                ComponentKind::ZeroCrossDetector { level, hysteresis } => {
+                    discretes.push(DiscreteUpdate::Hysteresis {
+                        comp: i as u32,
+                        input: src_at(0),
+                        low: level - hysteresis,
+                        high: level + hysteresis,
+                    });
+                }
+                ComponentKind::SchmittTrigger { low, high } => {
+                    discretes.push(DiscreteUpdate::Hysteresis {
+                        comp: i as u32,
+                        input: src_at(0),
+                        low: *low,
+                        high: *high,
+                    });
+                }
+                ComponentKind::Differentiator { .. } => {
+                    discretes.push(DiscreteUpdate::PrevIn { comp: i as u32, input: src_at(0) });
+                }
+                _ => {}
+            }
+        }
+        input_offset.push(input_src.len() as u32);
+
+        let order = eval_order(netlist, bindings)?;
+
+        // Trace sources, resolved with the recording precedence of the
+        // interpreter: netlist output, else binding, else stimulus.
+        let mut trace_names: Vec<String> =
+            netlist.outputs.iter().map(|(n, _)| n.clone()).collect();
+        trace_names.extend(bindings.iter().map(|(s, _)| s.clone()));
+        trace_names.extend(stimuli.keys().cloned());
+        trace_names.sort();
+        trace_names.dedup();
+        let traces = trace_names
+            .into_iter()
+            .map(|name| {
+                let src = netlist
+                    .outputs
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, s)| resolve(s).unwrap_or(Src::Zero))
+                    .or_else(|| {
+                        bindings
+                            .iter()
+                            .find(|(s, _)| *s == name)
+                            .map(|(_, i)| Src::Component(*i as u32))
+                    })
+                    .or_else(|| resolve_external(&name))
+                    .unwrap_or(Src::Zero);
+                (name, src)
+            })
+            .collect();
+
+        Ok(CompiledNetlist {
+            netlist,
+            order: order.into_iter().map(|i| i as u32).collect(),
+            input_offset,
+            input_src,
+            integrators,
+            discretes,
+            integ_init,
+            stims,
+            traces,
+            dt: config.dt,
+            steps: (config.t_end / config.dt).ceil() as usize,
+        })
     }
-    // Check that every external reference is driven.
-    for component in &netlist.components {
-        for input in &component.inputs {
-            if let SourceRef::External(name) = input {
-                let bound = bindings.iter().any(|(s, _)| s == name);
-                if !bound && !stimuli.contains_key(name) {
-                    return Err(SimError::MissingStimulus { name: name.clone() });
+
+    /// Number of time steps a run takes (`steps + 1` samples).
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Run the transient simulation and collect the traces.
+    pub fn run(&self) -> SimResult {
+        let n = self.netlist.components.len();
+        let mut state = RunState {
+            integ: self.integ_init.clone(),
+            discrete: vec![0.0; n],
+            prev_in: vec![0.0; n],
+            values: vec![0.0; n],
+            stage_values: vec![0.0; n],
+            stage_state: vec![0.0; n],
+            k1: vec![0.0; self.integrators.len()],
+            k2: vec![0.0; self.integrators.len()],
+            k3: vec![0.0; self.integrators.len()],
+            k4: vec![0.0; self.integrators.len()],
+        };
+
+        let samples = self.steps + 1;
+        let mut result = SimResult::default();
+        result.time.reserve_exact(samples);
+        let mut trace_values: Vec<Vec<f64>> =
+            self.traces.iter().map(|_| Vec::with_capacity(samples)).collect();
+
+        for step in 0..=self.steps {
+            let t = step as f64 * self.dt;
+            self.step(t, &mut state);
+            result.time.push(t);
+            for ((_, src), values) in self.traces.iter().zip(&mut trace_values) {
+                values.push(self.src_value(*src, t, &state.values));
+            }
+        }
+        for ((name, _), values) in self.traces.iter().zip(trace_values) {
+            result.traces.insert(name.clone(), values);
+        }
+        result
+    }
+
+    #[inline]
+    fn src_value(&self, src: Src, t: f64, values: &[f64]) -> f64 {
+        match src {
+            Src::Component(i) => values[i as usize],
+            Src::Stim(s) => self.stims[s as usize].at(t),
+            Src::Const(v) => v,
+            Src::Zero => 0.0,
+        }
+    }
+
+    /// One transient step: evaluate at `t` into `state.values`, RK4 the
+    /// integrator states, apply discrete updates. Allocation-free.
+    fn step(&self, t: f64, state: &mut RunState) {
+        let dt = self.dt;
+        self.eval(t, &state.integ, &state.discrete, &state.prev_in, &mut state.values);
+
+        if !self.integrators.is_empty() {
+            self.deriv(&state.values, t, &mut state.k1);
+            self.shift_state(&state.integ, &state.k1, dt / 2.0, &mut state.stage_state);
+            // stage_state/stage_values juggling: `eval` needs the
+            // discrete and prev_in state too, which RK4 freezes.
+            self.eval_stage(t + dt / 2.0, state);
+            self.deriv(&state.stage_values, t + dt / 2.0, &mut state.k2);
+            self.shift_state(&state.integ, &state.k2, dt / 2.0, &mut state.stage_state);
+            self.eval_stage(t + dt / 2.0, state);
+            self.deriv(&state.stage_values, t + dt / 2.0, &mut state.k3);
+            self.shift_state(&state.integ, &state.k3, dt, &mut state.stage_state);
+            self.eval_stage(t + dt, state);
+            self.deriv(&state.stage_values, t + dt, &mut state.k4);
+            for (j, (i, _)) in self.integrators.iter().enumerate() {
+                let i = *i as usize;
+                state.integ[i] = (state.integ[i]
+                    + dt / 6.0
+                        * (state.k1[j] + 2.0 * state.k2[j] + 2.0 * state.k3[j] + state.k4[j]))
+                    .clamp(-AMP_SATURATION, AMP_SATURATION);
+            }
+        }
+
+        // Discrete updates from start-of-step values.
+        for update in &self.discretes {
+            match *update {
+                DiscreteUpdate::Latch { comp, data, clock } => {
+                    if self.src_value(clock, t, &state.values) > 0.5 {
+                        state.discrete[comp as usize] = self.src_value(data, t, &state.values);
+                    }
+                }
+                DiscreteUpdate::Hysteresis { comp, input, low, high } => {
+                    let u = self.src_value(input, t, &state.values);
+                    if u > high {
+                        state.discrete[comp as usize] = 1.0;
+                    } else if u < low {
+                        state.discrete[comp as usize] = 0.0;
+                    }
+                }
+                DiscreteUpdate::PrevIn { comp, input } => {
+                    state.prev_in[comp as usize] = self.src_value(input, t, &state.values);
                 }
             }
         }
     }
-    let order = eval_order(netlist, bindings)?;
 
-    let n = netlist.components.len();
-    let mut engine = Engine {
-        netlist,
-        order,
-        bindings,
-        integ: vec![0.0; n],
-        discrete: vec![0.0; n],
-        prev_in: vec![0.0; n],
-        dt: config.dt,
-    };
-    for (i, c) in netlist.components.iter().enumerate() {
-        if let ComponentKind::Integrator { initial, .. } = c.kind {
-            engine.integ[i] = initial;
-        }
+    /// Mid-stage evaluation with `state.stage_state` as the integrator
+    /// vector, into `state.stage_values`.
+    fn eval_stage(&self, t: f64, state: &mut RunState) {
+        // Split borrows: stage_values is written, the rest is read.
+        let RunState { discrete, prev_in, stage_values, stage_state, .. } = state;
+        self.eval(t, stage_state, discrete, prev_in, stage_values);
     }
 
-    let steps = (config.t_end / config.dt).ceil() as usize;
-    let mut result = SimResult::default();
-    let mut trace_names: Vec<String> = netlist.outputs.iter().map(|(n, _)| n.clone()).collect();
-    trace_names.extend(bindings.iter().map(|(s, _)| s.clone()));
-    trace_names.extend(stimuli.keys().cloned());
-    trace_names.sort();
-    trace_names.dedup();
-    for name in &trace_names {
-        result.traces.insert(name.clone(), Vec::with_capacity(steps));
-    }
-
-    for step in 0..=steps {
-        let t = step as f64 * config.dt;
-        let values = engine.step(t, stimuli);
-        result.time.push(t);
-        for name in &trace_names {
-            let v = netlist
-                .outputs
+    /// Integrator derivatives at `t` given component outputs `values`.
+    fn deriv(&self, values: &[f64], t: f64, out: &mut [f64]) {
+        for (j, (i, weights)) in self.integrators.iter().enumerate() {
+            let inputs = self.inputs(*i as usize);
+            out[j] = weights
                 .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, s)| engine.source_value(s, t, stimuli, &values))
-                .or_else(|| {
-                    bindings
-                        .iter()
-                        .find(|(s, _)| s == name)
-                        .map(|(_, i)| values[*i])
+                .enumerate()
+                .map(|(p, w)| {
+                    w * inputs.get(p).map(|&s| self.src_value(s, t, values)).unwrap_or(0.0)
                 })
-                .or_else(|| stimuli.get(name).map(|s| s.at(t)))
-                .unwrap_or(0.0);
-            result.traces.get_mut(name).expect("registered").push(v);
+                .sum();
         }
     }
-    Ok(result)
+
+    /// `out = base` with each integrator slot shifted by `h * k`.
+    fn shift_state(&self, base: &[f64], k: &[f64], h: f64, out: &mut [f64]) {
+        out.copy_from_slice(base);
+        for (j, (i, _)) in self.integrators.iter().enumerate() {
+            out[*i as usize] = base[*i as usize] + h * k[j];
+        }
+    }
+
+    #[inline]
+    fn inputs(&self, i: usize) -> &[Src] {
+        &self.input_src[self.input_offset[i] as usize..self.input_offset[i + 1] as usize]
+    }
+
+    /// Evaluate all component outputs at time `t` with the given
+    /// integrator states into `out` (no allocation).
+    fn eval(&self, t: f64, integ: &[f64], discrete: &[f64], prev_in: &[f64], out: &mut [f64]) {
+        for &ci in &self.order {
+            let i = ci as usize;
+            let component = &self.netlist.components[i];
+            let inputs = self.inputs(i);
+            let input = |p: usize| -> f64 {
+                inputs.get(p).map(|&s| self.src_value(s, t, out)).unwrap_or(0.0)
+            };
+            let sat = |v: f64| v.clamp(-AMP_SATURATION, AMP_SATURATION);
+            out[i] = match &component.kind {
+                ComponentKind::InvertingAmp { gain }
+                | ComponentKind::NonInvertingAmp { gain } => sat(gain * input(0)),
+                ComponentKind::Follower => sat(input(0)),
+                ComponentKind::AmplifierChain { stage_gains } => {
+                    let mut v = input(0);
+                    for g in stage_gains {
+                        v = sat(g * v);
+                    }
+                    v
+                }
+                ComponentKind::SummingAmp { weights } => {
+                    sat(weights.iter().enumerate().map(|(p, w)| w * input(p)).sum())
+                }
+                ComponentKind::DifferenceAmp { gain } => sat(gain * (input(0) - input(1))),
+                ComponentKind::SwitchedGainAmp { gains } => {
+                    let sel = input(1).round().clamp(0.0, gains.len() as f64 - 1.0) as usize;
+                    sat(gains[sel] * input(0))
+                }
+                ComponentKind::Integrator { .. } => sat(integ[i]),
+                ComponentKind::Differentiator { gain } => {
+                    sat(gain * (input(0) - prev_in[i]) / self.dt)
+                }
+                ComponentKind::LogAmp => sat((input(0).max(1e-12)).ln()),
+                ComponentKind::AntilogAmp => sat(input(0).clamp(-50.0, 50.0).exp()),
+                ComponentKind::Multiplier => sat(input(0) * input(1)),
+                ComponentKind::Divider => {
+                    let d = input(1);
+                    sat(input(0) / if d.abs() < 1e-6 { 1e-6_f64.copysign(d + 1e-30) } else { d })
+                }
+                ComponentKind::PrecisionRectifier => sat(input(0).abs()),
+                ComponentKind::Comparator { threshold } => f64::from(input(0) > *threshold),
+                ComponentKind::ZeroCrossDetector { .. }
+                | ComponentKind::SchmittTrigger { .. } => discrete[i],
+                ComponentKind::SampleHold | ComponentKind::MemoryCell => discrete[i],
+                ComponentKind::AnalogSwitch => {
+                    if input(1) > 0.5 {
+                        input(0)
+                    } else {
+                        0.0
+                    }
+                }
+                ComponentKind::AnalogMux { inputs } => {
+                    let sel = input(*inputs).round().clamp(0.0, *inputs as f64 - 1.0) as usize;
+                    input(sel)
+                }
+                ComponentKind::Adc { bits } => {
+                    let lsb = 5.0 / f64::from(1u32 << (*bits).min(24));
+                    (input(0) / lsb).round() * lsb
+                }
+                ComponentKind::LogicGate => f64::from(input(0) <= 0.5), // inverter model
+                ComponentKind::VoltageRef { level } => *level,
+                ComponentKind::Limiter { level } => input(0).clamp(-level, *level),
+                ComponentKind::OutputStage { limit, .. } => {
+                    let v = sat(input(0));
+                    match limit {
+                        Some(l) => v.clamp(-l, *l),
+                        None => v,
+                    }
+                }
+            };
+        }
+    }
+}
+
+/// Per-run mutable state and scratch buffers.
+struct RunState {
+    integ: Vec<f64>,
+    discrete: Vec<f64>,
+    prev_in: Vec<f64>,
+    values: Vec<f64>,
+    stage_values: Vec<f64>,
+    stage_state: Vec<f64>,
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
 }
 
 /// Topological order over component dependencies (including
@@ -159,211 +507,6 @@ fn eval_order(netlist: &Netlist, bindings: &[(String, usize)]) -> Result<Vec<usi
         return Err(SimError::AlgebraicLoop);
     }
     Ok(order)
-}
-
-struct Engine<'a> {
-    netlist: &'a Netlist,
-    order: Vec<usize>,
-    bindings: &'a [(String, usize)],
-    integ: Vec<f64>,
-    discrete: Vec<f64>,
-    prev_in: Vec<f64>,
-    dt: f64,
-}
-
-impl Engine<'_> {
-    fn source_value(
-        &self,
-        source: &SourceRef,
-        t: f64,
-        stimuli: &BTreeMap<String, Stimulus>,
-        values: &[f64],
-    ) -> f64 {
-        match source {
-            SourceRef::Const(v) => *v,
-            SourceRef::Component(i) => values[*i],
-            SourceRef::External(name) => {
-                if let Some((_, i)) = self.bindings.iter().find(|(s, _)| s == name) {
-                    return values[*i];
-                }
-                stimuli.get(name).map(|s| s.at(t)).unwrap_or(0.0)
-            }
-        }
-    }
-
-    /// Evaluate all component outputs at time `t` with the given
-    /// integrator states.
-    fn eval(&self, t: f64, integ: &[f64], stimuli: &BTreeMap<String, Stimulus>) -> Vec<f64> {
-        let mut values = vec![0.0; self.netlist.components.len()];
-        for &i in &self.order {
-            let component = &self.netlist.components[i];
-            let input = |p: usize| -> f64 {
-                component
-                    .inputs
-                    .get(p)
-                    .map(|s| self.source_value(s, t, stimuli, &values))
-                    .unwrap_or(0.0)
-            };
-            let sat = |v: f64| v.clamp(-AMP_SATURATION, AMP_SATURATION);
-            values[i] = match &component.kind {
-                ComponentKind::InvertingAmp { gain }
-                | ComponentKind::NonInvertingAmp { gain } => sat(gain * input(0)),
-                ComponentKind::Follower => sat(input(0)),
-                ComponentKind::AmplifierChain { stage_gains } => {
-                    let mut v = input(0);
-                    for g in stage_gains {
-                        v = sat(g * v);
-                    }
-                    v
-                }
-                ComponentKind::SummingAmp { weights } => {
-                    sat(weights.iter().enumerate().map(|(p, w)| w * input(p)).sum())
-                }
-                ComponentKind::DifferenceAmp { gain } => sat(gain * (input(0) - input(1))),
-                ComponentKind::SwitchedGainAmp { gains } => {
-                    let sel = input(1).round().clamp(0.0, gains.len() as f64 - 1.0) as usize;
-                    sat(gains[sel] * input(0))
-                }
-                ComponentKind::Integrator { .. } => sat(integ[i]),
-                ComponentKind::Differentiator { gain } => {
-                    sat(gain * (input(0) - self.prev_in[i]) / self.dt)
-                }
-                ComponentKind::LogAmp => sat((input(0).max(1e-12)).ln()),
-                ComponentKind::AntilogAmp => sat(input(0).clamp(-50.0, 50.0).exp()),
-                ComponentKind::Multiplier => sat(input(0) * input(1)),
-                ComponentKind::Divider => {
-                    let d = input(1);
-                    sat(input(0) / if d.abs() < 1e-6 { 1e-6_f64.copysign(d + 1e-30) } else { d })
-                }
-                ComponentKind::PrecisionRectifier => sat(input(0).abs()),
-                ComponentKind::Comparator { threshold } => f64::from(input(0) > *threshold),
-                ComponentKind::ZeroCrossDetector { .. }
-                | ComponentKind::SchmittTrigger { .. } => self.discrete[i],
-                ComponentKind::SampleHold | ComponentKind::MemoryCell => self.discrete[i],
-                ComponentKind::AnalogSwitch => {
-                    if input(1) > 0.5 {
-                        input(0)
-                    } else {
-                        0.0
-                    }
-                }
-                ComponentKind::AnalogMux { inputs } => {
-                    let sel = input(*inputs).round().clamp(0.0, *inputs as f64 - 1.0) as usize;
-                    input(sel)
-                }
-                ComponentKind::Adc { bits } => {
-                    let lsb = 5.0 / f64::from(1u32 << (*bits).min(24));
-                    (input(0) / lsb).round() * lsb
-                }
-                ComponentKind::LogicGate => f64::from(input(0) <= 0.5), // inverter model
-                ComponentKind::VoltageRef { level } => *level,
-                ComponentKind::Limiter { level } => input(0).clamp(-level, *level),
-                ComponentKind::OutputStage { limit, .. } => {
-                    let v = sat(input(0));
-                    match limit {
-                        Some(l) => v.clamp(-l, *l),
-                        None => v,
-                    }
-                }
-            };
-        }
-        values
-    }
-
-    fn step(&mut self, t: f64, stimuli: &BTreeMap<String, Stimulus>) -> Vec<f64> {
-        let v0 = self.eval(t, &self.integ.clone(), stimuli);
-
-        // RK4 over integrator states.
-        let integrators: Vec<(usize, Vec<f64>)> = self
-            .netlist
-            .components
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| match &c.kind {
-                ComponentKind::Integrator { weights, .. } => Some((i, weights.clone())),
-                _ => None,
-            })
-            .collect();
-        if !integrators.is_empty() {
-            let deriv = |values: &[f64], t: f64| -> Vec<f64> {
-                integrators
-                    .iter()
-                    .map(|(i, weights)| {
-                        let component = &self.netlist.components[*i];
-                        weights
-                            .iter()
-                            .enumerate()
-                            .map(|(p, w)| {
-                                w * component
-                                    .inputs
-                                    .get(p)
-                                    .map(|s| self.source_value(s, t, stimuli, values))
-                                    .unwrap_or(0.0)
-                            })
-                            .sum()
-                    })
-                    .collect()
-            };
-            let base = self.integ.clone();
-            let shifted = |k: &[f64], h: f64| -> Vec<f64> {
-                let mut s = base.clone();
-                for (j, (i, _)) in integrators.iter().enumerate() {
-                    s[*i] = base[*i] + h * k[j];
-                }
-                s
-            };
-            let k1 = deriv(&v0, t);
-            let v2 = self.eval(t + self.dt / 2.0, &shifted(&k1, self.dt / 2.0), stimuli);
-            let k2 = deriv(&v2, t + self.dt / 2.0);
-            let v3 = self.eval(t + self.dt / 2.0, &shifted(&k2, self.dt / 2.0), stimuli);
-            let k3 = deriv(&v3, t + self.dt / 2.0);
-            let v4 = self.eval(t + self.dt, &shifted(&k3, self.dt), stimuli);
-            let k4 = deriv(&v4, t + self.dt);
-            for (j, (i, _)) in integrators.iter().enumerate() {
-                self.integ[*i] = (self.integ[*i]
-                    + self.dt / 6.0 * (k1[j] + 2.0 * k2[j] + 2.0 * k3[j] + k4[j]))
-                    .clamp(-AMP_SATURATION, AMP_SATURATION);
-            }
-        }
-
-        // Discrete updates from start-of-step values.
-        for (i, component) in self.netlist.components.iter().enumerate() {
-            let input = |p: usize| -> f64 {
-                component
-                    .inputs
-                    .get(p)
-                    .map(|s| self.source_value(s, t, stimuli, &v0))
-                    .unwrap_or(0.0)
-            };
-            match &component.kind {
-                ComponentKind::SampleHold | ComponentKind::MemoryCell
-                    if input(1) > 0.5 => {
-                        self.discrete[i] = input(0);
-                    }
-                ComponentKind::ZeroCrossDetector { level, hysteresis } => {
-                    let u = input(0);
-                    if u > level + hysteresis {
-                        self.discrete[i] = 1.0;
-                    } else if u < level - hysteresis {
-                        self.discrete[i] = 0.0;
-                    }
-                }
-                ComponentKind::SchmittTrigger { low, high } => {
-                    let u = input(0);
-                    if u > *high {
-                        self.discrete[i] = 1.0;
-                    } else if u < *low {
-                        self.discrete[i] = 0.0;
-                    }
-                }
-                ComponentKind::Differentiator { .. } => {
-                    self.prev_in[i] = input(0);
-                }
-                _ => {}
-            }
-        }
-        v0
-    }
 }
 
 #[cfg(test)]
@@ -522,5 +665,19 @@ mod tests {
             .expect("simulates");
         let x = r.trace("x").expect("trace");
         assert!((x.last().unwrap() - (-1.0_f64).exp()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn compiled_netlist_runs_are_deterministic() {
+        let mut n = Netlist::new();
+        n.push(place(
+            ComponentKind::Integrator { weights: vec![-1.0], initial: 1.0 },
+            vec![SourceRef::Component(0)],
+        ));
+        n.outputs.push(("x".into(), SourceRef::Component(0)));
+        let plan =
+            CompiledNetlist::new(&n, &BTreeMap::new(), &[], &SimConfig::new(1e-3, 0.1))
+                .expect("compiles");
+        assert_eq!(plan.run(), plan.run());
     }
 }

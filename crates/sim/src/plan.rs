@@ -1,0 +1,1041 @@
+//! Compiled evaluation plans for behavioral (VHIF-level) simulation.
+//!
+//! [`simulate_design`](crate::simulate_design) used to interpret the
+//! design directly: every block evaluation chased `BTreeMap` lookups
+//! for stimuli and FSM signals, every FSM event rendered its `Display`
+//! form to a fresh `String` per step for edge bookkeeping, and each of
+//! the four RK4 stages returned a freshly allocated value vector. This
+//! module moves all of that name resolution to *compile time*:
+//!
+//! * [`CompiledSim`] is the immutable plan — per graph, a cached
+//!   topological order, block kinds with stimulus/signal names replaced
+//!   by dense indices, flattened port-driver tables, and precomputed
+//!   integrator/discrete-update lists; per FSM, deduplicated event
+//!   tables and expression trees with every name pre-resolved.
+//! * [`SimSession`] owns the mutable state (integrator values, discrete
+//!   states, FSM edge levels) plus reusable scratch buffers for the RK4
+//!   stages, so the steady-state step loop performs **no heap
+//!   allocation** (asserted by `crates/sim/tests/no_alloc.rs`).
+//!
+//! The plan borrows nothing mutable and is `Sync`, so one compilation
+//! can drive many concurrent sessions — the basis of the parallel
+//! frequency sweeps in [`crate::response`].
+
+use std::collections::BTreeMap;
+
+use vase_vhif::block::LogicOp;
+use vase_vhif::{
+    BlockKind, DpBinaryOp, DpExpr, Event, Fsm, SignalFlowGraph, StateId, Trigger, VhifDesign,
+};
+
+use crate::error::SimError;
+use crate::graph_sim::SimConfig;
+use crate::stimulus::Stimulus;
+use crate::trace::SimResult;
+
+// ------------------------------------------------------------ the plan
+
+/// A fully resolved simulation plan for one [`VhifDesign`].
+///
+/// Construction performs every name lookup the interpreter used to do
+/// per step — stimulus names, FSM signal names, trace names, event
+/// identities — and fails with the same [`SimError`]s `simulate_design`
+/// reports. The plan is immutable and `Sync`; spawn any number of
+/// [`SimSession`]s from it, concurrently if desired.
+pub struct CompiledSim<'d> {
+    graphs: Vec<GraphPlan<'d>>,
+    machines: Vec<MachinePlan>,
+    /// Stimulus name per dense index (sorted; mirrors the input map).
+    stim_names: Vec<String>,
+    /// Stimulus per dense index.
+    stims: Vec<Stimulus>,
+    /// FSM-assigned signal name per dense index.
+    signal_names: Vec<String>,
+    /// Trace name and resolved source, in recording order.
+    traces: Vec<(String, TraceSrc)>,
+    dt: f64,
+    /// Number of steps; the session records `steps + 1` samples.
+    steps: usize,
+}
+
+/// Compiled per-graph evaluation plan.
+struct GraphPlan<'d> {
+    graph: &'d SignalFlowGraph,
+    /// Cached topological order (block indices).
+    order: Vec<u32>,
+    /// Resolved operation per block index.
+    ops: Vec<CompiledOp>,
+    /// `port_driver[port_offset[i] .. port_offset[i + 1]]` are block
+    /// `i`'s input drivers; `NO_DRIVER` marks an unconnected port.
+    port_offset: Vec<u32>,
+    port_driver: Vec<i32>,
+    /// One entry per integrator: (block index, driver block index, gain).
+    integrators: Vec<(u32, u32, f64)>,
+    /// Discrete-state updates applied at the end of each step.
+    discretes: Vec<DiscreteUpdate>,
+    /// Offset of this graph's slice in the session-wide value buffers.
+    base: usize,
+}
+
+const NO_DRIVER: i32 = -1;
+
+/// A block operation with every name resolved to a dense index.
+enum CompiledOp {
+    /// Analog input: stimulus index (checked present at compile time).
+    Input(u32),
+    /// Control input: FSM signal index, stimulus fallback, or zero.
+    ControlInput(CtlSrc),
+    Const(f64),
+    Scale(f64),
+    Add(u32),
+    Sub,
+    Mul,
+    Div,
+    /// Integrator output = its state slot (the block's own index).
+    Integrate,
+    /// `gain * (u - prev_in) / dt`.
+    Differentiate(f64),
+    Log,
+    Antilog,
+    Abs,
+    /// Sample/hold, memory, Schmitt trigger: emit the discrete state.
+    DiscreteState,
+    Switch,
+    Mux(u32),
+    Comparator(f64),
+    /// ADC with the LSB precomputed from the bit width.
+    Adc(f64),
+    Limiter(f64),
+    OutputStage(Option<f64>),
+    Output,
+    Logic(LogicOp, u32),
+}
+
+/// Where a control input reads from (pre-resolved precedence:
+/// FSM signal, else stimulus, else constant zero).
+#[derive(Clone, Copy)]
+enum CtlSrc {
+    Signal(u32),
+    Stim(u32),
+    Zero,
+}
+
+/// End-of-step discrete-state updates, pre-resolved.
+enum DiscreteUpdate {
+    /// S/H and memory: latch port 0 while port 1 is high.
+    Latch { block: u32, data: i32, clock: i32 },
+    /// Schmitt trigger hysteresis on port 0.
+    Schmitt { block: u32, input: i32, low: f64, high: f64 },
+    /// Differentiator: remember port 0 for the next step.
+    PrevIn { block: u32, input: i32 },
+}
+
+/// Compiled per-FSM plan.
+struct MachinePlan {
+    /// Deduplicated watched events with resolved level sources.
+    events: Vec<CompiledEvent>,
+    /// Per state: data-path ops and outgoing transitions.
+    states: Vec<CompiledState>,
+    start: StateId,
+    /// Walk cap (`4 * state_count + 4`), precomputed.
+    walk_cap: usize,
+}
+
+struct CompiledState {
+    /// `(signal index, value expression)` per data-path op, in order.
+    ops: Vec<(u32, CompiledDp)>,
+    /// `(trigger, target state)` per outgoing arc, in declaration order.
+    transitions: Vec<(CompiledTrigger, StateId)>,
+}
+
+enum CompiledTrigger {
+    Always,
+    /// Event arcs are taken only when resuming from `start`.
+    AnyEvent,
+    Guard(CompiledDp),
+}
+
+/// A watched event with its boolean level pre-resolved.
+enum CompiledEvent {
+    /// `quantity > threshold` where the quantity reads a block value,
+    /// a stimulus, or constant zero.
+    Above { src: ValueSrc, threshold: f64 },
+    /// Signal edge: current level of an FSM signal or stimulus.
+    Change(CtlSrc),
+}
+
+/// Where an FSM quantity reference reads from: a block value in some
+/// graph (interface or labelled block), a stimulus, or constant zero.
+#[derive(Clone, Copy)]
+enum ValueSrc {
+    /// Absolute index into the session's flattened value buffer.
+    Value(usize),
+    Stim(u32),
+    Zero,
+}
+
+/// A data-path expression with every name resolved.
+enum CompiledDp {
+    Const(f64),
+    Signal(u32),
+    Quantity(ValueSrc),
+    /// Level of a watched event, re-evaluated against *current* signals.
+    EventLevel(Box<CompiledEvent>),
+    Adc(Box<CompiledDp>),
+    Not(Box<CompiledDp>),
+    Binary { op: DpBinaryOp, lhs: Box<CompiledDp>, rhs: Box<CompiledDp> },
+}
+
+/// Where a recorded trace reads from, pre-resolved with the same
+/// precedence the interpreter used: interface port value, else FSM
+/// signal, else stimulus, else constant zero.
+#[derive(Clone, Copy)]
+enum TraceSrc {
+    /// Absolute index into the flattened value buffer.
+    Value(usize),
+    Signal(u32),
+    Stim(u32),
+    Zero,
+}
+
+impl<'d> CompiledSim<'d> {
+    /// Compile `design` against the given stimuli and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the construction-time errors of
+    /// [`simulate_design`](crate::simulate_design):
+    /// [`SimError::BadConfig`], [`SimError::AlgebraicLoop`], and
+    /// [`SimError::MissingStimulus`].
+    pub fn new(
+        design: &'d VhifDesign,
+        inputs: &BTreeMap<String, Stimulus>,
+        config: &SimConfig,
+    ) -> Result<Self, SimError> {
+        if config.dt <= 0.0 || config.t_end <= 0.0 {
+            return Err(SimError::BadConfig { what: "dt and t_end must be positive".into() });
+        }
+        let stim_names: Vec<String> = inputs.keys().cloned().collect();
+        let stims: Vec<Stimulus> = inputs.values().copied().collect();
+        let stim_index =
+            |name: &str| stim_names.binary_search_by(|n| n.as_str().cmp(name)).ok();
+
+        // Dense index for every FSM-assigned signal.
+        let mut signal_names: Vec<String> = Vec::new();
+        for fsm in &design.fsms {
+            for name in fsm.assigned_signals() {
+                if !signal_names.contains(&name) {
+                    signal_names.push(name);
+                }
+            }
+        }
+        let signal_index = |name: &str| signal_names.iter().position(|n| n == name);
+
+        // Per-graph plans.
+        let mut graphs = Vec::with_capacity(design.graphs.len());
+        let mut base = 0usize;
+        for graph in &design.graphs {
+            let plan = GraphPlan::new(graph, base, &stim_index, &signal_index)?;
+            base += graph.len();
+            graphs.push(plan);
+        }
+
+        // Quantity resolution for FSMs: first graph with an interface
+        // port or labelled block of that name, else stimulus, else 0.
+        let quantity_src = |name: &str| -> ValueSrc {
+            for plan in &graphs {
+                if let Some(id) =
+                    plan.graph.find_interface(name).or_else(|| plan.graph.find_labelled(name))
+                {
+                    return ValueSrc::Value(plan.base + id.index());
+                }
+            }
+            match stim_index(name) {
+                Some(s) => ValueSrc::Stim(s as u32),
+                None => ValueSrc::Zero,
+            }
+        };
+        let machines: Vec<MachinePlan> = design
+            .fsms
+            .iter()
+            .map(|fsm| MachinePlan::new(fsm, &quantity_src, &signal_index, &stim_index))
+            .collect();
+
+        // Trace sources: interface ports and FSM signals, sorted by
+        // name, resolved with the interpreter's precedence (interface
+        // value, else signal, else stimulus, else zero).
+        let mut trace_names: Vec<String> = Vec::new();
+        for graph in &design.graphs {
+            for (_, block) in graph.iter() {
+                match &block.kind {
+                    BlockKind::Input { name } | BlockKind::Output { name } => {
+                        trace_names.push(name.clone())
+                    }
+                    _ => {}
+                }
+            }
+        }
+        trace_names.extend(signal_names.iter().cloned());
+        trace_names.sort();
+        trace_names.dedup();
+        let traces = trace_names
+            .into_iter()
+            .map(|name| {
+                let src = graphs
+                    .iter()
+                    .find_map(|plan| {
+                        plan.graph
+                            .find_interface(&name)
+                            .map(|id| TraceSrc::Value(plan.base + id.index()))
+                    })
+                    .or_else(|| signal_index(&name).map(|s| TraceSrc::Signal(s as u32)))
+                    .or_else(|| stim_index(&name).map(|s| TraceSrc::Stim(s as u32)))
+                    .unwrap_or(TraceSrc::Zero);
+                (name, src)
+            })
+            .collect();
+
+        let steps = (config.t_end / config.dt).ceil() as usize;
+        Ok(CompiledSim {
+            graphs,
+            machines,
+            stim_names,
+            stims,
+            signal_names,
+            traces,
+            dt: config.dt,
+            steps,
+        })
+    }
+
+    /// The dense index of a stimulus name, for swapping stimuli between
+    /// [`session_with`](Self::session_with) runs (e.g. one sweep point
+    /// per session at a different frequency).
+    pub fn stimulus_index(&self, name: &str) -> Option<usize> {
+        self.stim_names.binary_search_by(|n| n.as_str().cmp(name)).ok()
+    }
+
+    /// The compiled stimulus vector (indexed per
+    /// [`stimulus_index`](Self::stimulus_index)).
+    pub fn stimuli(&self) -> &[Stimulus] {
+        &self.stims
+    }
+
+    /// Number of time steps a session will take (`steps + 1` samples).
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Start a session with the stimuli the plan was compiled with.
+    pub fn session(&self) -> SimSession<'_, 'd> {
+        self.session_with(self.stims.clone())
+    }
+
+    /// Start a session with a replacement stimulus vector (same layout
+    /// as [`stimuli`](Self::stimuli) — same names, new waveforms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stims.len()` differs from the compiled vector's.
+    pub fn session_with(&self, stims: Vec<Stimulus>) -> SimSession<'_, 'd> {
+        assert_eq!(stims.len(), self.stims.len(), "stimulus vector layout mismatch");
+        SimSession::new(self, stims)
+    }
+
+    /// Compile-and-run convenience: one session, all steps, results.
+    pub fn run(&self) -> SimResult {
+        let mut session = self.session();
+        session.run();
+        session.into_result()
+    }
+
+    /// Total block count across graphs (the flattened value-buffer
+    /// length).
+    fn total_blocks(&self) -> usize {
+        self.graphs.last().map(|g| g.base + g.graph.len()).unwrap_or(0)
+    }
+}
+
+impl GraphPlan<'_> {
+    fn new<'d>(
+        graph: &'d SignalFlowGraph,
+        base: usize,
+        stim_index: &dyn Fn(&str) -> Option<usize>,
+        signal_index: &dyn Fn(&str) -> Option<usize>,
+    ) -> Result<GraphPlan<'d>, SimError> {
+        let order: Vec<u32> = graph
+            .topo_order()
+            .map_err(|_| SimError::AlgebraicLoop)?
+            .into_iter()
+            .map(|id| id.index() as u32)
+            .collect();
+
+        let n = graph.len();
+        let mut ops = Vec::with_capacity(n);
+        let mut port_offset = Vec::with_capacity(n + 1);
+        let mut port_driver: Vec<i32> = Vec::new();
+        let mut integrators = Vec::new();
+        let mut discretes = Vec::new();
+
+        for (id, block) in graph.iter() {
+            let i = id.index();
+            port_offset.push(port_driver.len() as u32);
+            let ports = graph.block_inputs(id);
+            port_driver.extend(
+                ports.iter().map(|d| d.map(|b| b.index() as i32).unwrap_or(NO_DRIVER)),
+            );
+            let port = |p: usize| -> i32 {
+                ports.get(p).copied().flatten().map(|b| b.index() as i32).unwrap_or(NO_DRIVER)
+            };
+
+            let op = match &block.kind {
+                BlockKind::Input { name } => match stim_index(name) {
+                    Some(s) => CompiledOp::Input(s as u32),
+                    None => {
+                        return Err(SimError::MissingStimulus { name: name.clone() });
+                    }
+                },
+                BlockKind::ControlInput { name } => {
+                    let src = if let Some(s) = signal_index(name) {
+                        CtlSrc::Signal(s as u32)
+                    } else if let Some(s) = stim_index(name) {
+                        CtlSrc::Stim(s as u32)
+                    } else {
+                        return Err(SimError::MissingStimulus { name: name.clone() });
+                    };
+                    CompiledOp::ControlInput(src)
+                }
+                BlockKind::Const { value } => CompiledOp::Const(*value),
+                BlockKind::Scale { gain } => CompiledOp::Scale(*gain),
+                BlockKind::Add { arity } => CompiledOp::Add(*arity as u32),
+                BlockKind::Sub => CompiledOp::Sub,
+                BlockKind::Mul => CompiledOp::Mul,
+                BlockKind::Div => CompiledOp::Div,
+                BlockKind::Integrate { gain, .. } => {
+                    let driver = ports
+                        .first()
+                        .copied()
+                        .flatten()
+                        .expect("validated graph: integrator has a driver");
+                    integrators.push((i as u32, driver.index() as u32, *gain));
+                    CompiledOp::Integrate
+                }
+                BlockKind::Differentiate { gain } => {
+                    discretes.push(DiscreteUpdate::PrevIn { block: i as u32, input: port(0) });
+                    CompiledOp::Differentiate(*gain)
+                }
+                BlockKind::Log => CompiledOp::Log,
+                BlockKind::Antilog => CompiledOp::Antilog,
+                BlockKind::Abs => CompiledOp::Abs,
+                BlockKind::SampleHold | BlockKind::Memory => {
+                    discretes.push(DiscreteUpdate::Latch {
+                        block: i as u32,
+                        data: port(0),
+                        clock: port(1),
+                    });
+                    CompiledOp::DiscreteState
+                }
+                BlockKind::SchmittTrigger { low, high } => {
+                    discretes.push(DiscreteUpdate::Schmitt {
+                        block: i as u32,
+                        input: port(0),
+                        low: *low,
+                        high: *high,
+                    });
+                    CompiledOp::DiscreteState
+                }
+                BlockKind::Switch => CompiledOp::Switch,
+                BlockKind::Mux { arity } => CompiledOp::Mux(*arity as u32),
+                BlockKind::Comparator { threshold } => CompiledOp::Comparator(*threshold),
+                BlockKind::Adc { bits } => {
+                    CompiledOp::Adc(5.0 / f64::from(1u32 << (*bits).min(24)))
+                }
+                BlockKind::Limiter { level } => CompiledOp::Limiter(*level),
+                BlockKind::OutputStage { limit, .. } => CompiledOp::OutputStage(*limit),
+                BlockKind::Output { .. } => CompiledOp::Output,
+                BlockKind::Logic { op, arity } => CompiledOp::Logic(*op, *arity as u32),
+            };
+            ops.push(op);
+        }
+        port_offset.push(port_driver.len() as u32);
+
+        Ok(GraphPlan { graph, order, ops, port_offset, port_driver, integrators, discretes, base })
+    }
+
+    /// Input-port drivers of block `i` (flattened lookup).
+    #[inline]
+    fn ports(&self, i: usize) -> &[i32] {
+        &self.port_driver[self.port_offset[i] as usize..self.port_offset[i + 1] as usize]
+    }
+}
+
+impl MachinePlan {
+    fn new(
+        fsm: &Fsm,
+        quantity_src: &dyn Fn(&str) -> ValueSrc,
+        signal_index: &dyn Fn(&str) -> Option<usize>,
+        stim_index: &dyn Fn(&str) -> Option<usize>,
+    ) -> MachinePlan {
+        // Deduplicate watched events by structural equality; the
+        // interpreter's keyed map collapsed duplicates the same way.
+        let mut unique: Vec<&Event> = Vec::new();
+        for event in fsm.events() {
+            if !unique.contains(&event) {
+                unique.push(event);
+            }
+        }
+        let compile_event = |event: &Event| -> CompiledEvent {
+            match event {
+                Event::Above { quantity, threshold } => CompiledEvent::Above {
+                    src: quantity_src(quantity),
+                    threshold: *threshold,
+                },
+                Event::SignalChange { signal } => {
+                    let src = if let Some(s) = signal_index(signal) {
+                        CtlSrc::Signal(s as u32)
+                    } else if let Some(s) = stim_index(signal) {
+                        CtlSrc::Stim(s as u32)
+                    } else {
+                        CtlSrc::Zero
+                    };
+                    CompiledEvent::Change(src)
+                }
+            }
+        };
+        let events: Vec<CompiledEvent> = unique.iter().map(|e| compile_event(e)).collect();
+
+        fn compile_dp(
+            expr: &DpExpr,
+            quantity_src: &dyn Fn(&str) -> ValueSrc,
+            signal_index: &dyn Fn(&str) -> Option<usize>,
+            compile_event: &dyn Fn(&Event) -> CompiledEvent,
+        ) -> CompiledDp {
+            match expr {
+                DpExpr::Bit(b) => CompiledDp::Const(f64::from(*b)),
+                DpExpr::Real(v) => CompiledDp::Const(*v),
+                DpExpr::Signal(name) => match signal_index(name) {
+                    Some(s) => CompiledDp::Signal(s as u32),
+                    None => CompiledDp::Const(0.0),
+                },
+                DpExpr::Quantity(name) => CompiledDp::Quantity(quantity_src(name)),
+                DpExpr::EventLevel(event) => {
+                    CompiledDp::EventLevel(Box::new(compile_event(event)))
+                }
+                DpExpr::Adc(inner) => CompiledDp::Adc(Box::new(compile_dp(
+                    inner,
+                    quantity_src,
+                    signal_index,
+                    compile_event,
+                ))),
+                DpExpr::Not(inner) => CompiledDp::Not(Box::new(compile_dp(
+                    inner,
+                    quantity_src,
+                    signal_index,
+                    compile_event,
+                ))),
+                DpExpr::Binary { op, lhs, rhs } => CompiledDp::Binary {
+                    op: *op,
+                    lhs: Box::new(compile_dp(lhs, quantity_src, signal_index, compile_event)),
+                    rhs: Box::new(compile_dp(rhs, quantity_src, signal_index, compile_event)),
+                },
+            }
+        }
+
+        let states = (0..fsm.state_count())
+            .map(|s| {
+                let state = fsm.state(StateId::from_index(s));
+                let ops = state
+                    .ops
+                    .iter()
+                    .map(|op| {
+                        let target = signal_index(&op.target)
+                            .expect("assigned signals are indexed") as u32;
+                        let value =
+                            compile_dp(&op.value, quantity_src, signal_index, &compile_event);
+                        (target, value)
+                    })
+                    .collect();
+                let transitions = fsm
+                    .outgoing(StateId::from_index(s))
+                    .map(|t| {
+                        let trigger = match &t.trigger {
+                            Trigger::Always => CompiledTrigger::Always,
+                            Trigger::AnyEvent(_) => CompiledTrigger::AnyEvent,
+                            Trigger::Guard(g) => CompiledTrigger::Guard(compile_dp(
+                                g,
+                                quantity_src,
+                                signal_index,
+                                &compile_event,
+                            )),
+                        };
+                        (trigger, t.to)
+                    })
+                    .collect();
+                CompiledState { ops, transitions }
+            })
+            .collect();
+
+        MachinePlan {
+            events,
+            states,
+            start: fsm.start(),
+            walk_cap: 4 * fsm.state_count() + 4,
+        }
+    }
+}
+
+// ---------------------------------------------------------- the session
+
+/// Mutable state of one simulation run over a [`CompiledSim`] plan.
+///
+/// All buffers are allocated at construction; [`step`](Self::step) is
+/// allocation-free.
+pub struct SimSession<'p, 'd> {
+    plan: &'p CompiledSim<'d>,
+    stims: Vec<Stimulus>,
+    /// Current step (0 ..= plan.steps).
+    step: usize,
+    /// Block values at the start of the current step (flattened).
+    values: Vec<f64>,
+    /// Integrator state per block slot (flattened; 0.0 elsewhere).
+    integ: Vec<f64>,
+    /// Discrete state per block slot.
+    discrete: Vec<f64>,
+    /// Previous input per block slot (differentiators).
+    prev_in: Vec<f64>,
+    /// FSM signal values (dense).
+    signals: Vec<f64>,
+    /// Previous event levels, one slice per machine.
+    prev_levels: Vec<Vec<bool>>,
+    /// RK4 scratch: mid-stage value buffers and stage state, sized to
+    /// the largest graph.
+    stage_values: Vec<f64>,
+    stage_state: Vec<f64>,
+    /// RK4 slopes per integrator, sized to the largest integrator list.
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    /// Recorded output.
+    time: Vec<f64>,
+    trace_values: Vec<Vec<f64>>,
+}
+
+impl<'p, 'd> SimSession<'p, 'd> {
+    fn new(plan: &'p CompiledSim<'d>, stims: Vec<Stimulus>) -> Self {
+        let total = plan.total_blocks();
+        let mut integ = vec![0.0; total];
+        for g in &plan.graphs {
+            for (id, block) in g.graph.iter() {
+                if let BlockKind::Integrate { initial, .. } = block.kind {
+                    integ[g.base + id.index()] = initial;
+                }
+            }
+        }
+        let max_blocks = plan.graphs.iter().map(|g| g.graph.len()).max().unwrap_or(0);
+        let max_integ = plan.graphs.iter().map(|g| g.integrators.len()).max().unwrap_or(0);
+        let samples = plan.steps + 1;
+        SimSession {
+            plan,
+            stims,
+            step: 0,
+            values: vec![0.0; total],
+            integ,
+            discrete: vec![0.0; total],
+            prev_in: vec![0.0; total],
+            signals: vec![0.0; plan.signal_names.len()],
+            prev_levels: plan.machines.iter().map(|m| vec![false; m.events.len()]).collect(),
+            stage_values: vec![0.0; max_blocks],
+            stage_state: vec![0.0; max_blocks],
+            k1: vec![0.0; max_integ],
+            k2: vec![0.0; max_integ],
+            k3: vec![0.0; max_integ],
+            k4: vec![0.0; max_integ],
+            time: Vec::with_capacity(samples),
+            trace_values: plan.traces.iter().map(|_| Vec::with_capacity(samples)).collect(),
+        }
+    }
+
+    /// Whether every step (and sample) has been taken.
+    pub fn done(&self) -> bool {
+        self.step > self.plan.steps
+    }
+
+    /// Advance one time step: evaluate every graph (RK4 over the
+    /// integrator states), fire the FSMs on event edges, record the
+    /// traces. Allocation-free.
+    pub fn step(&mut self) {
+        if self.done() {
+            return;
+        }
+        let t = self.step as f64 * self.plan.dt;
+        let dt = self.plan.dt;
+
+        // 1. Evaluate each graph.
+        for gi in 0..self.plan.graphs.len() {
+            self.step_graph(gi, t, dt);
+        }
+
+        // 2. Event-driven part: fire machines on event edges.
+        for mi in 0..self.plan.machines.len() {
+            self.step_machine(mi, t);
+        }
+
+        // 3. Record.
+        self.time.push(t);
+        for (ti, (_, src)) in self.plan.traces.iter().enumerate() {
+            let v = match *src {
+                TraceSrc::Value(slot) => self.values[slot],
+                TraceSrc::Signal(s) => self.signals[s as usize],
+                TraceSrc::Stim(s) => self.stims[s as usize].at(t),
+                TraceSrc::Zero => 0.0,
+            };
+            self.trace_values[ti].push(v);
+        }
+        self.step += 1;
+    }
+
+    /// Run every remaining step.
+    pub fn run(&mut self) {
+        while !self.done() {
+            self.step();
+        }
+    }
+
+    /// Finish into a [`SimResult`] (sorted trace names, as before).
+    pub fn into_result(self) -> SimResult {
+        let mut result = SimResult { time: self.time, traces: BTreeMap::new() };
+        for ((name, _), values) in self.plan.traces.iter().zip(self.trace_values) {
+            result.traces.insert(name.clone(), values);
+        }
+        result
+    }
+
+    /// Evaluate graph `gi` at time `t` into `self.values` and advance
+    /// its integrator states by `dt` with RK4.
+    fn step_graph(&mut self, gi: usize, t: f64, dt: f64) {
+        let plan = self.plan;
+        let g = &plan.graphs[gi];
+        let base = g.base;
+        let n = g.graph.len();
+
+        // Start-of-step evaluation with the current integrator state,
+        // written straight into the session's persistent value buffer.
+        eval_graph(
+            g,
+            t,
+            &self.integ[base..base + n],
+            &self.discrete[base..base + n],
+            &self.prev_in[base..base + n],
+            &self.stims,
+            &self.signals,
+            dt,
+            &mut self.values[base..base + n],
+        );
+
+        if !g.integrators.is_empty() {
+            // RK4 over the integrator state vector.
+            // k1 from the start-of-step values.
+            for (j, &(_, driver, gain)) in g.integrators.iter().enumerate() {
+                self.k1[j] = gain * self.values[base + driver as usize];
+            }
+            // Stage 2: state = integ + dt/2 * k1.
+            self.stage_state[..n].copy_from_slice(&self.integ[base..base + n]);
+            for (j, &(i, _, _)) in g.integrators.iter().enumerate() {
+                self.stage_state[i as usize] += dt / 2.0 * self.k1[j];
+            }
+            eval_graph(
+                g,
+                t + dt / 2.0,
+                &self.stage_state[..n],
+                &self.discrete[base..base + n],
+                &self.prev_in[base..base + n],
+                &self.stims,
+                &self.signals,
+                dt,
+                &mut self.stage_values[..n],
+            );
+            for (j, &(_, driver, gain)) in g.integrators.iter().enumerate() {
+                self.k2[j] = gain * self.stage_values[driver as usize];
+            }
+            // Stage 3: state = integ + dt/2 * k2.
+            self.stage_state[..n].copy_from_slice(&self.integ[base..base + n]);
+            for (j, &(i, _, _)) in g.integrators.iter().enumerate() {
+                self.stage_state[i as usize] += dt / 2.0 * self.k2[j];
+            }
+            eval_graph(
+                g,
+                t + dt / 2.0,
+                &self.stage_state[..n],
+                &self.discrete[base..base + n],
+                &self.prev_in[base..base + n],
+                &self.stims,
+                &self.signals,
+                dt,
+                &mut self.stage_values[..n],
+            );
+            for (j, &(_, driver, gain)) in g.integrators.iter().enumerate() {
+                self.k3[j] = gain * self.stage_values[driver as usize];
+            }
+            // Stage 4: state = integ + dt * k3.
+            self.stage_state[..n].copy_from_slice(&self.integ[base..base + n]);
+            for (j, &(i, _, _)) in g.integrators.iter().enumerate() {
+                self.stage_state[i as usize] += dt * self.k3[j];
+            }
+            eval_graph(
+                g,
+                t + dt,
+                &self.stage_state[..n],
+                &self.discrete[base..base + n],
+                &self.prev_in[base..base + n],
+                &self.stims,
+                &self.signals,
+                dt,
+                &mut self.stage_values[..n],
+            );
+            for (j, &(_, driver, gain)) in g.integrators.iter().enumerate() {
+                self.k4[j] = gain * self.stage_values[driver as usize];
+            }
+            for (j, &(i, _, _)) in g.integrators.iter().enumerate() {
+                self.integ[base + i as usize] += dt / 6.0
+                    * (self.k1[j] + 2.0 * self.k2[j] + 2.0 * self.k3[j] + self.k4[j]);
+            }
+        }
+
+        // End-of-step discrete updates from the start-of-step values.
+        let value_at = |p: i32| -> f64 {
+            if p == NO_DRIVER {
+                0.0
+            } else {
+                self.values[base + p as usize]
+            }
+        };
+        for update in &g.discretes {
+            match *update {
+                DiscreteUpdate::Latch { block, data, clock } => {
+                    if value_at(clock) > 0.5 {
+                        self.discrete[base + block as usize] = value_at(data);
+                    }
+                }
+                DiscreteUpdate::Schmitt { block, input, low, high } => {
+                    let u = value_at(input);
+                    if u > high {
+                        self.discrete[base + block as usize] = 1.0;
+                    } else if u < low {
+                        self.discrete[base + block as usize] = 0.0;
+                    }
+                }
+                DiscreteUpdate::PrevIn { block, input } => {
+                    self.prev_in[base + block as usize] = value_at(input);
+                }
+            }
+        }
+    }
+
+    /// Fire machine `mi` if any watched event changed level.
+    fn step_machine(&mut self, mi: usize, t: f64) {
+        let m = &self.plan.machines[mi];
+
+        // Edge detection against pre-resolved event indices — no
+        // per-event key strings.
+        let mut fired = false;
+        for (ei, event) in m.events.iter().enumerate() {
+            let now = event_level(event, &self.values, &self.signals, &self.stims, t);
+            let before = std::mem::replace(&mut self.prev_levels[mi][ei], now);
+            if now != before {
+                fired = true;
+            }
+        }
+        if !fired {
+            return;
+        }
+
+        // Run the machine to completion (paper: resume, execute entire
+        // body, suspend). Cap the walk to avoid pathological loops.
+        let mut cur = m.start;
+        for _ in 0..m.walk_cap {
+            let state = &m.states[cur.index()];
+            for (target, value) in &state.ops {
+                self.signals[*target as usize] =
+                    eval_compiled_dp(value, &self.values, &self.signals, &self.stims, t);
+            }
+
+            // Choose the next arc: a satisfied guard, an event arc
+            // (only from start, already fired), or Always.
+            let mut next = None;
+            for (trigger, to) in &state.transitions {
+                let take = match trigger {
+                    CompiledTrigger::Always => true,
+                    CompiledTrigger::AnyEvent => cur == m.start,
+                    CompiledTrigger::Guard(g) => {
+                        eval_compiled_dp(g, &self.values, &self.signals, &self.stims, t) > 0.5
+                    }
+                };
+                if take {
+                    next = Some(*to);
+                    break;
+                }
+            }
+            match next {
+                Some(s) if s == m.start => break, // suspended
+                Some(s) => cur = s,
+                None => break,
+            }
+        }
+    }
+}
+
+/// Evaluate every block of `g` at time `t` with integrator states
+/// `state` into `out` (all slices are graph-local, length `n`).
+#[allow(clippy::too_many_arguments)]
+fn eval_graph(
+    g: &GraphPlan<'_>,
+    t: f64,
+    state: &[f64],
+    discrete: &[f64],
+    prev_in: &[f64],
+    stims: &[Stimulus],
+    signals: &[f64],
+    dt: f64,
+    out: &mut [f64],
+) {
+    for &bi in &g.order {
+        let i = bi as usize;
+        let ports = g.ports(i);
+        let input = |p: usize| -> f64 {
+            match ports.get(p) {
+                Some(&d) if d != NO_DRIVER => out[d as usize],
+                _ => 0.0,
+            }
+        };
+        out[i] = match &g.ops[i] {
+            CompiledOp::Input(s) => stims[*s as usize].at(t),
+            CompiledOp::ControlInput(src) => match *src {
+                CtlSrc::Signal(s) => signals[s as usize],
+                CtlSrc::Stim(s) => stims[s as usize].at(t),
+                CtlSrc::Zero => 0.0,
+            },
+            CompiledOp::Const(v) => *v,
+            CompiledOp::Scale(gain) => gain * input(0),
+            CompiledOp::Add(arity) => (0..*arity as usize).map(&input).sum(),
+            CompiledOp::Sub => input(0) - input(1),
+            CompiledOp::Mul => input(0) * input(1),
+            CompiledOp::Div => {
+                let d = input(1);
+                input(0) / if d.abs() < 1e-12 { 1e-12_f64.copysign(d + 1e-30) } else { d }
+            }
+            CompiledOp::Integrate => state[i],
+            CompiledOp::Differentiate(gain) => gain * (input(0) - prev_in[i]) / dt,
+            CompiledOp::Log => (input(0).max(1e-12)).ln(),
+            CompiledOp::Antilog => input(0).clamp(-50.0, 50.0).exp(),
+            CompiledOp::Abs => input(0).abs(),
+            CompiledOp::DiscreteState => discrete[i],
+            CompiledOp::Switch => {
+                if input(1) > 0.5 {
+                    input(0)
+                } else {
+                    0.0
+                }
+            }
+            CompiledOp::Mux(arity) => {
+                let arity = *arity as usize;
+                let sel = input(arity).round().clamp(0.0, (arity - 1) as f64) as usize;
+                input(sel)
+            }
+            CompiledOp::Comparator(threshold) => f64::from(input(0) > *threshold),
+            CompiledOp::Adc(lsb) => (input(0) / lsb).round() * lsb,
+            CompiledOp::Limiter(level) => input(0).clamp(-level, *level),
+            CompiledOp::OutputStage(limit) => match limit {
+                Some(l) => input(0).clamp(-l, *l),
+                None => input(0),
+            },
+            CompiledOp::Output => input(0),
+            CompiledOp::Logic(op, arity) => {
+                let arity = *arity as usize;
+                let out = match op {
+                    LogicOp::Not => input(0) <= 0.5,
+                    LogicOp::And => (0..arity).all(|p| input(p) > 0.5),
+                    LogicOp::Or => (0..arity).any(|p| input(p) > 0.5),
+                    LogicOp::Xor => (0..arity).filter(|&p| input(p) > 0.5).count() % 2 == 1,
+                };
+                f64::from(out)
+            }
+        };
+    }
+}
+
+/// Current boolean level of a compiled event.
+fn event_level(
+    event: &CompiledEvent,
+    values: &[f64],
+    signals: &[f64],
+    stims: &[Stimulus],
+    t: f64,
+) -> bool {
+    match event {
+        CompiledEvent::Above { src, threshold } => {
+            let v = match *src {
+                ValueSrc::Value(slot) => values[slot],
+                ValueSrc::Stim(s) => stims[s as usize].at(t),
+                ValueSrc::Zero => 0.0,
+            };
+            v > *threshold
+        }
+        CompiledEvent::Change(src) => {
+            let v = match *src {
+                CtlSrc::Signal(s) => signals[s as usize],
+                CtlSrc::Stim(s) => stims[s as usize].at(t),
+                CtlSrc::Zero => 0.0,
+            };
+            v > 0.5
+        }
+    }
+}
+
+/// Evaluate a compiled data-path expression (booleans as 0.0/1.0).
+fn eval_compiled_dp(
+    expr: &CompiledDp,
+    values: &[f64],
+    signals: &[f64],
+    stims: &[Stimulus],
+    t: f64,
+) -> f64 {
+    match expr {
+        CompiledDp::Const(v) => *v,
+        CompiledDp::Signal(s) => signals[*s as usize],
+        CompiledDp::Quantity(src) => match *src {
+            ValueSrc::Value(slot) => values[slot],
+            ValueSrc::Stim(s) => stims[s as usize].at(t),
+            ValueSrc::Zero => 0.0,
+        },
+        CompiledDp::EventLevel(event) => {
+            f64::from(event_level(event, values, signals, stims, t))
+        }
+        CompiledDp::Adc(inner) => {
+            let v = eval_compiled_dp(inner, values, signals, stims, t);
+            let lsb = 5.0 / 256.0;
+            (v / lsb).round() * lsb
+        }
+        CompiledDp::Not(inner) => {
+            f64::from(eval_compiled_dp(inner, values, signals, stims, t) <= 0.5)
+        }
+        CompiledDp::Binary { op, lhs, rhs } => {
+            let a = eval_compiled_dp(lhs, values, signals, stims, t);
+            let b = eval_compiled_dp(rhs, values, signals, stims, t);
+            match op {
+                DpBinaryOp::Add => a + b,
+                DpBinaryOp::Sub => a - b,
+                DpBinaryOp::Mul => a * b,
+                DpBinaryOp::Div => a / if b.abs() < 1e-12 { 1e-12 } else { b },
+                DpBinaryOp::And => f64::from(a > 0.5 && b > 0.5),
+                DpBinaryOp::Or => f64::from(a > 0.5 || b > 0.5),
+                DpBinaryOp::Eq => f64::from((a - b).abs() < 1e-9),
+                DpBinaryOp::NotEq => f64::from((a - b).abs() >= 1e-9),
+                DpBinaryOp::Lt => f64::from(a < b),
+                DpBinaryOp::LtEq => f64::from(a <= b),
+                DpBinaryOp::Gt => f64::from(a > b),
+                DpBinaryOp::GtEq => f64::from(a >= b),
+            }
+        }
+    }
+}

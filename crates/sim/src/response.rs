@@ -5,8 +5,16 @@
 //! frequency, wait for the response to settle, and correlate the
 //! steady-state output against quadrature references to extract
 //! magnitude and phase.
+//!
+//! Every frequency point is an independent transient run, so the sweep
+//! parallelizes embarrassingly: [`frequency_response_with`] claims
+//! points from a shared counter across scoped worker threads and merges
+//! them back in frequency order, making the result (and any reported
+//! error) bit-identical to the sequential sweep regardless of
+//! [`SweepConfig::jobs`].
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use serde::{Deserialize, Serialize};
 use vase_vhif::VhifDesign;
@@ -14,6 +22,44 @@ use vase_vhif::VhifDesign;
 use crate::error::SimError;
 use crate::graph_sim::{simulate_design, SimConfig};
 use crate::stimulus::Stimulus;
+
+/// Worker-thread configuration for sweep-style workloads (frequency
+/// sweeps, multi-design simulation) — the simulation counterpart of the
+/// mapper's `MapperConfig::parallelism`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Worker threads; `0` means one per available hardware thread.
+    /// The default is `1` (sequential), which skips thread setup
+    /// entirely.
+    pub jobs: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig { jobs: 1 }
+    }
+}
+
+impl SweepConfig {
+    /// Exactly `jobs` workers (`0` = auto).
+    pub fn with_jobs(jobs: usize) -> Self {
+        SweepConfig { jobs }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn parallel() -> Self {
+        SweepConfig { jobs: 0 }
+    }
+
+    /// The worker count after resolving `0` to the machine's hardware
+    /// threads.
+    pub fn effective_jobs(&self) -> usize {
+        match self.jobs {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            jobs => jobs,
+        }
+    }
+}
 
 /// One measured frequency point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,43 +96,132 @@ pub fn frequency_response(
     frequencies: &[f64],
     extra_inputs: &BTreeMap<String, Stimulus>,
 ) -> Result<Vec<ResponsePoint>, SimError> {
-    let mut points = Vec::with_capacity(frequencies.len());
-    for &frequency in frequencies {
-        if frequency <= 0.0 {
-            return Err(SimError::BadConfig { what: format!("frequency {frequency} <= 0") });
-        }
-        let periods_settle = 12.0;
-        let periods_measure = 8.0;
-        let t_end = (periods_settle + periods_measure) / frequency;
-        let dt = 1.0 / (frequency * 200.0);
-        let mut inputs = extra_inputs.clone();
-        inputs.insert(input.to_owned(), Stimulus::sine(amplitude, frequency));
-        let result = simulate_design(design, &inputs, &SimConfig::new(dt, t_end))?;
-        let trace = result
-            .trace(output)
-            .ok_or_else(|| SimError::UnknownQuantity { name: output.to_owned() })?;
-        // Correlate the tail against sin/cos references.
-        let start = (periods_settle / frequency / dt) as usize;
-        let mut i_acc = 0.0; // in-phase
-        let mut q_acc = 0.0; // quadrature
-        let mut n = 0usize;
-        for (k, &v) in trace.iter().enumerate().skip(start) {
-            let t = result.time[k];
-            let w = 2.0 * std::f64::consts::PI * frequency * t;
-            i_acc += v * w.sin();
-            q_acc += v * w.cos();
-            n += 1;
-        }
-        let scale = 2.0 / n as f64;
-        let re = i_acc * scale / amplitude;
-        let im = q_acc * scale / amplitude;
-        points.push(ResponsePoint {
-            frequency_hz: frequency,
-            gain: (re * re + im * im).sqrt(),
-            phase_rad: im.atan2(re),
-        });
+    frequency_response_with(
+        design,
+        input,
+        output,
+        amplitude,
+        frequencies,
+        extra_inputs,
+        &SweepConfig::default(),
+    )
+}
+
+/// [`frequency_response`] with an explicit worker configuration.
+///
+/// Points are claimed by index from a shared counter and merged back in
+/// `frequencies` order, so the returned vector — and, on failure, the
+/// reported error (the one at the lowest frequency index) — is
+/// bit-identical for every `sweep.jobs` value.
+///
+/// # Errors
+///
+/// Same as [`frequency_response`].
+pub fn frequency_response_with(
+    design: &VhifDesign,
+    input: &str,
+    output: &str,
+    amplitude: f64,
+    frequencies: &[f64],
+    extra_inputs: &BTreeMap<String, Stimulus>,
+    sweep: &SweepConfig,
+) -> Result<Vec<ResponsePoint>, SimError> {
+    let jobs = sweep.effective_jobs().min(frequencies.len().max(1));
+    if jobs <= 1 {
+        return frequencies
+            .iter()
+            .map(|&f| measure_point(design, input, output, amplitude, f, extra_inputs))
+            .collect();
     }
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let mut measured = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    while !failed.load(Ordering::Relaxed) {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&frequency) = frequencies.get(i) else { break };
+                        let point = measure_point(
+                            design,
+                            input,
+                            output,
+                            amplitude,
+                            frequency,
+                            extra_inputs,
+                        );
+                        if point.is_err() {
+                            // Other workers stop claiming new points;
+                            // the merge below still reports the error
+                            // at the lowest index deterministically.
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        out.push((i, point));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    measured.sort_unstable_by_key(|(i, _)| *i);
+    let mut points = Vec::with_capacity(frequencies.len());
+    for (_, point) in measured {
+        points.push(point?);
+    }
+    // A worker that saw the stop flag may have skipped points after an
+    // error; if no error survived the merge, everything was measured.
+    debug_assert_eq!(points.len(), frequencies.len());
     Ok(points)
+}
+
+/// Measure one frequency point: transient run, then quadrature
+/// correlation over the settled tail.
+fn measure_point(
+    design: &VhifDesign,
+    input: &str,
+    output: &str,
+    amplitude: f64,
+    frequency: f64,
+    extra_inputs: &BTreeMap<String, Stimulus>,
+) -> Result<ResponsePoint, SimError> {
+    if frequency <= 0.0 {
+        return Err(SimError::BadConfig { what: format!("frequency {frequency} <= 0") });
+    }
+    let periods_settle = 12.0;
+    let periods_measure = 8.0;
+    let t_end = (periods_settle + periods_measure) / frequency;
+    let dt = 1.0 / (frequency * 200.0);
+    let mut inputs = extra_inputs.clone();
+    inputs.insert(input.to_owned(), Stimulus::sine(amplitude, frequency));
+    let result = simulate_design(design, &inputs, &SimConfig::new(dt, t_end))?;
+    let trace = result
+        .trace(output)
+        .ok_or_else(|| SimError::UnknownQuantity { name: output.to_owned() })?;
+    // Correlate the tail against sin/cos references.
+    let start = (periods_settle / frequency / dt) as usize;
+    let mut i_acc = 0.0; // in-phase
+    let mut q_acc = 0.0; // quadrature
+    let mut n = 0usize;
+    for (k, &v) in trace.iter().enumerate().skip(start) {
+        let t = result.time[k];
+        let w = 2.0 * std::f64::consts::PI * frequency * t;
+        i_acc += v * w.sin();
+        q_acc += v * w.cos();
+        n += 1;
+    }
+    let scale = 2.0 / n as f64;
+    let re = i_acc * scale / amplitude;
+    let im = q_acc * scale / amplitude;
+    Ok(ResponsePoint {
+        frequency_hz: frequency,
+        gain: (re * re + im * im).sqrt(),
+        phase_rad: im.atan2(re),
+    })
 }
 
 /// Log-spaced frequencies from `lo` to `hi` (inclusive).
@@ -196,5 +331,54 @@ mod tests {
         let d = gain_stage(1.0);
         let err = frequency_response(&d, "x", "y", 0.1, &[-5.0], &BTreeMap::new()).unwrap_err();
         assert!(matches!(err, SimError::BadConfig { .. }));
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let d = rc_lowpass(2.0 * std::f64::consts::PI * 1_000.0);
+        let freqs = log_sweep(100.0, 10_000.0, 16);
+        let seq = frequency_response(&d, "x", "y", 0.1, &freqs, &BTreeMap::new())
+            .expect("sequential sweep");
+        for jobs in [2, 3, 4, 8] {
+            let par = frequency_response_with(
+                &d,
+                "x",
+                "y",
+                0.1,
+                &freqs,
+                &BTreeMap::new(),
+                &SweepConfig::with_jobs(jobs),
+            )
+            .expect("parallel sweep");
+            assert_eq!(seq, par, "jobs = {jobs} must not change any bit");
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_reports_lowest_index_error() {
+        // Index 2 holds the bad frequency; parallel and sequential
+        // sweeps must report the same failure.
+        let d = gain_stage(1.0);
+        let freqs = [500.0, 700.0, -1.0, 900.0, 1_100.0, -2.0];
+        let seq =
+            frequency_response(&d, "x", "y", 0.1, &freqs, &BTreeMap::new()).unwrap_err();
+        let par = frequency_response_with(
+            &d,
+            "x",
+            "y",
+            0.1,
+            &freqs,
+            &BTreeMap::new(),
+            &SweepConfig::with_jobs(3),
+        )
+        .unwrap_err();
+        assert_eq!(format!("{seq}"), format!("{par}"));
+    }
+
+    #[test]
+    fn sweep_config_resolves_jobs() {
+        assert_eq!(SweepConfig::default().effective_jobs(), 1);
+        assert_eq!(SweepConfig::with_jobs(3).effective_jobs(), 3);
+        assert!(SweepConfig::parallel().effective_jobs() >= 1);
     }
 }

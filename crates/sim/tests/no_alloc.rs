@@ -1,0 +1,127 @@
+//! The compiled-plan acceptance property: once a [`SimSession`] exists,
+//! stepping it performs **zero heap allocation** — every buffer (block
+//! values, RK4 stages, FSM event levels, trace storage) is sized at
+//! session creation. Asserted with a counting global allocator.
+//!
+//! [`SimSession`]: vase_sim::SimSession
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use vase_sim::{CompiledSim, SimConfig, Stimulus};
+use vase_vhif::{BlockKind, DataOp, DpExpr, Event, Fsm, SignalFlowGraph, Trigger, VhifDesign};
+
+/// Counts every allocation and reallocation; frees are not counted (a
+/// steady-state step must do neither).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// RC lowpass (integrator feedback) — exercises the continuous path:
+/// topological evaluation plus RK4 staging.
+fn rc_lowpass_design() -> VhifDesign {
+    let mut g = SignalFlowGraph::new("rc");
+    let x = g.add(BlockKind::Input { name: "x".into() });
+    let sub = g.add(BlockKind::Sub);
+    let integ = g.add(BlockKind::Integrate { gain: 1_000.0, initial: 0.0 });
+    let y = g.add(BlockKind::Output { name: "y".into() });
+    g.connect(x, sub, 0).expect("wire");
+    g.connect(integ, sub, 1).expect("wire");
+    g.connect(sub, integ, 0).expect("wire");
+    g.connect(integ, y, 0).expect("wire");
+    let mut d = VhifDesign::new("t");
+    d.graphs.push(g);
+    d
+}
+
+/// Switch + FSM toggling on `line` crossings — exercises the discrete
+/// path: event edge detection, state walking, data-path evaluation.
+fn fsm_design() -> VhifDesign {
+    let mut g = SignalFlowGraph::new("sw");
+    let line = g.add(BlockKind::Input { name: "line".into() });
+    let ctl = g.add(BlockKind::ControlInput { name: "c1".into() });
+    let sw = g.add(BlockKind::Switch);
+    let y = g.add(BlockKind::Output { name: "y".into() });
+    g.connect(line, sw, 0).expect("wire");
+    g.connect(ctl, sw, 1).expect("wire");
+    g.connect(sw, y, 0).expect("wire");
+
+    let mut fsm = Fsm::new("ctl");
+    let start = fsm.start();
+    let on = fsm.add_state("on");
+    fsm.state_mut(on).ops.push(DataOp::new("c1", DpExpr::Bit(true)));
+    fsm.add_transition(
+        start,
+        on,
+        Trigger::AnyEvent(vec![Event::Above { quantity: "line".into(), threshold: 0.0 }]),
+    );
+    fsm.add_transition(on, start, Trigger::Always);
+
+    let mut d = VhifDesign::new("t");
+    d.graphs.push(g);
+    d.fsms.push(fsm);
+    d
+}
+
+fn assert_steady_state_alloc_free(design: &VhifDesign, inputs: &[(&str, Stimulus)]) {
+    let inputs: BTreeMap<String, Stimulus> =
+        inputs.iter().map(|(n, s)| (n.to_string(), *s)).collect();
+    let config = SimConfig::new(1e-5, 10e-3); // 1000 steps
+    let plan = CompiledSim::new(design, &inputs, &config).expect("compiles");
+    let mut session = plan.session();
+    // A couple of warm-up steps so any lazily touched state settles.
+    session.step();
+    session.step();
+    let before = allocations();
+    while !session.done() {
+        session.step();
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state stepping must not allocate ({} allocations over {} steps)",
+        after - before,
+        plan.steps(),
+    );
+    // The run still produced the full trace set.
+    let result = session.into_result();
+    assert_eq!(result.time.len(), plan.steps() + 1);
+}
+
+#[test]
+fn continuous_stepping_is_allocation_free() {
+    assert_steady_state_alloc_free(&rc_lowpass_design(), &[("x", Stimulus::sine(1.0, 200.0))]);
+}
+
+#[test]
+fn fsm_stepping_is_allocation_free() {
+    // The sine crosses the event threshold repeatedly, so the FSM takes
+    // transitions (and rewrites `c1`) throughout the window — the exact
+    // path that formerly built a `String` event key per event per step.
+    assert_steady_state_alloc_free(&fsm_design(), &[("line", Stimulus::sine(1.0, 500.0))]);
+}

@@ -12,6 +12,9 @@ cargo build --release
 echo "== tier 1: cargo test -q =="
 cargo test -q
 
+echo "== tier 1: sim_bench --smoke =="
+./target/release/sim_bench --smoke
+
 # Advisory only: the seed predates a formatting gate and is not
 # fmt-clean, so drift is reported without failing the check.
 if cargo fmt --version >/dev/null 2>&1; then

@@ -1,9 +1,11 @@
-//! Property-based tests over the core data structures and algorithms:
+//! Property-style tests over the core data structures and algorithms:
 //! parser/printer round-trips, DAE-isolation numerical inverses,
 //! signal-flow graph invariants, and branch-and-bound admissibility on
 //! random workloads.
-
-use proptest::prelude::*;
+//!
+//! The cases are generated from seed-driven SplitMix64 streams instead
+//! of proptest (unavailable in the offline build environment); failures
+//! print the case seed so any run is reproducible bit-for-bit.
 
 use vase::archgen::{map_graph, MapperConfig};
 use vase::estimate::Estimator;
@@ -13,151 +15,183 @@ use vase::frontend::span::Span;
 use vase::sim::Stimulus;
 use vase::vhif::{BlockKind, SignalFlowGraph};
 
-// ---------------------------------------------------------------- expr
+// ----------------------------------------------------------------- rng
 
-/// A strategy for well-formed analog expressions over a fixed name set.
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (1i64..100).prop_map(|v| Expr::new(ExprKind::Int(v), Span::synthetic())),
-        (0.1f64..100.0).prop_map(|v| Expr::new(ExprKind::Real(v), Span::synthetic())),
-        prop_oneof![Just("a"), Just("b"), Just("c"), Just("x")].prop_map(Expr::name),
-    ];
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| Expr::new(
-                ExprKind::Binary {
-                    op,
-                    lhs: Box::new(l),
-                    rhs: Box::new(r)
-                },
-                Span::synthetic(),
-            )),
-            inner.clone().prop_map(|e| Expr::new(
-                ExprKind::Unary {
-                    op: UnaryOp::Neg,
-                    operand: Box::new(e)
-                },
-                Span::synthetic(),
-            )),
-            inner.prop_map(|e| Expr::new(
-                ExprKind::Unary {
-                    op: UnaryOp::Abs,
-                    operand: Box::new(e)
-                },
-                Span::synthetic(),
-            )),
-        ]
-    })
-}
+/// Deterministic SplitMix64 stream used by every generator below.
+struct Rng(u64);
 
-fn arb_binop() -> impl Strategy<Value = BinaryOp> {
-    prop_oneof![
-        Just(BinaryOp::Add),
-        Just(BinaryOp::Sub),
-        Just(BinaryOp::Mul),
-        Just(BinaryOp::Div),
-    ]
-}
-
-proptest! {
-    /// Printing an expression and re-parsing it yields the same
-    /// expression (up to spans), so `Display` is a faithful surface
-    /// syntax.
-    #[test]
-    fn expr_print_parse_roundtrip(e in arb_expr()) {
-        let printed = e.to_string();
-        let reparsed = parse_expression(&printed)
-            .unwrap_or_else(|err| panic!("printed form `{printed}` failed to parse: {err}"));
-        prop_assert_eq!(reparsed.to_string(), printed);
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
     }
 
-    /// Constant folding agrees with direct evaluation for closed
-    /// expressions.
-    #[test]
-    fn const_fold_matches_evaluation(e in arb_expr()) {
-        fn eval(e: &Expr) -> Option<f64> {
-            match &e.kind {
-                ExprKind::Int(v) => Some(*v as f64),
-                ExprKind::Real(v) => Some(*v),
-                ExprKind::Name(_) => None,
-                ExprKind::Unary { op, operand } => {
-                    let v = eval(operand)?;
-                    match op {
-                        UnaryOp::Neg => Some(-v),
-                        UnaryOp::Plus => Some(v),
-                        UnaryOp::Abs => Some(v.abs()),
-                        UnaryOp::Not => None,
-                    }
-                }
-                ExprKind::Binary { op, lhs, rhs } => {
-                    let a = eval(lhs)?;
-                    let b = eval(rhs)?;
-                    match op {
-                        BinaryOp::Add => Some(a + b),
-                        BinaryOp::Sub => Some(a - b),
-                        BinaryOp::Mul => Some(a * b),
-                        BinaryOp::Div => Some(a / b),
-                        _ => None,
-                    }
-                }
-                _ => None,
-            }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..len` (len > 0).
+    fn index(&mut self, len: usize) -> usize {
+        (self.next_u64() % len as u64) as usize
+    }
+
+    /// Uniform integer in `lo..hi`.
+    fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Per-case seeds for a named suite: decorrelated, reproducible.
+fn case_seeds(suite: u64, cases: usize) -> impl Iterator<Item = u64> {
+    (0..cases as u64).map(move |i| suite ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+// ---------------------------------------------------------------- expr
+
+/// A well-formed analog expression over a fixed name set, with
+/// recursion bounded by `depth` (mirrors the old proptest strategy:
+/// leaves are small ints, reals, or one of `a b c x`).
+fn random_expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.index(3) == 0 {
+        return match rng.index(3) {
+            0 => Expr::new(ExprKind::Int(rng.int_in(1, 100)), Span::synthetic()),
+            1 => Expr::new(ExprKind::Real(rng.f64_in(0.1, 100.0)), Span::synthetic()),
+            _ => Expr::name(["a", "b", "c", "x"][rng.index(4)]),
+        };
+    }
+    match rng.index(3) {
+        0 => {
+            let op = [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Div]
+                [rng.index(4)];
+            let lhs = Box::new(random_expr(rng, depth - 1));
+            let rhs = Box::new(random_expr(rng, depth - 1));
+            Expr::new(ExprKind::Binary { op, lhs, rhs }, Span::synthetic())
         }
+        1 => Expr::new(
+            ExprKind::Unary {
+                op: UnaryOp::Neg,
+                operand: Box::new(random_expr(rng, depth - 1)),
+            },
+            Span::synthetic(),
+        ),
+        _ => Expr::new(
+            ExprKind::Unary {
+                op: UnaryOp::Abs,
+                operand: Box::new(random_expr(rng, depth - 1)),
+            },
+            Span::synthetic(),
+        ),
+    }
+}
+
+/// Printing an expression and re-parsing it yields the same expression
+/// (up to spans), so `Display` is a faithful surface syntax.
+#[test]
+fn expr_print_parse_roundtrip() {
+    for seed in case_seeds(0x000e_0001, 256) {
+        let e = random_expr(&mut Rng::new(seed), 4);
+        let printed = e.to_string();
+        let reparsed = parse_expression(&printed).unwrap_or_else(|err| {
+            panic!("seed={seed:#x}: printed form `{printed}` failed to parse: {err}")
+        });
+        assert_eq!(reparsed.to_string(), printed, "seed={seed:#x}");
+    }
+}
+
+/// Constant folding agrees with direct evaluation for closed
+/// expressions.
+#[test]
+fn const_fold_matches_evaluation() {
+    fn eval(e: &Expr) -> Option<f64> {
+        match &e.kind {
+            ExprKind::Int(v) => Some(*v as f64),
+            ExprKind::Real(v) => Some(*v),
+            ExprKind::Name(_) => None,
+            ExprKind::Unary { op, operand } => {
+                let v = eval(operand)?;
+                match op {
+                    UnaryOp::Neg => Some(-v),
+                    UnaryOp::Plus => Some(v),
+                    UnaryOp::Abs => Some(v.abs()),
+                    UnaryOp::Not => None,
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let a = eval(lhs)?;
+                let b = eval(rhs)?;
+                match op {
+                    BinaryOp::Add => Some(a + b),
+                    BinaryOp::Sub => Some(a - b),
+                    BinaryOp::Mul => Some(a * b),
+                    BinaryOp::Div => Some(a / b),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+    for seed in case_seeds(0x000e_0002, 256) {
+        let e = random_expr(&mut Rng::new(seed), 4);
         match (e.const_fold(), eval(&e)) {
             (Some(f), Some(direct)) => {
                 let ok = (f - direct).abs() <= 1e-9 * direct.abs().max(1.0)
                     || (f.is_nan() && direct.is_nan())
                     || (f.is_infinite() && direct.is_infinite());
-                prop_assert!(ok, "fold {f} vs eval {direct}");
+                assert!(ok, "seed={seed:#x}: fold {f} vs eval {direct}");
             }
             (None, None) => {}
             // const_fold may be more conservative but never *more*
             // aggressive than direct evaluation on supported ops.
-            (None, Some(_)) => prop_assert!(false, "fold missed a closed expression"),
-            (Some(_), None) => prop_assert!(false, "fold invented a value"),
+            (None, Some(_)) => panic!("seed={seed:#x}: fold missed a closed expression"),
+            (Some(_), None) => panic!("seed={seed:#x}: fold invented a value"),
         }
     }
 }
 
 // -------------------------------------------------------------- solver
 
-/// Strategy: an invertible expression path around the unknown `x`.
-fn arb_solvable_rhs() -> impl Strategy<Value = Expr> {
-    // Wrap x in 1..5 random invertible operations with nonzero consts.
-    (
-        1usize..5,
-        proptest::collection::vec((0.5f64..4.0, 0u8..4), 1..5),
-    )
-        .prop_map(|(_, wraps)| {
-            let mut e = Expr::name("x");
-            for (k, op) in wraps {
-                let konst = Expr::new(ExprKind::Real(k), Span::synthetic());
-                let kind = match op {
-                    0 => ExprKind::Binary {
-                        op: BinaryOp::Add,
-                        lhs: Box::new(e),
-                        rhs: Box::new(konst),
-                    },
-                    1 => ExprKind::Binary {
-                        op: BinaryOp::Sub,
-                        lhs: Box::new(e),
-                        rhs: Box::new(konst),
-                    },
-                    2 => ExprKind::Binary {
-                        op: BinaryOp::Mul,
-                        lhs: Box::new(konst),
-                        rhs: Box::new(e),
-                    },
-                    _ => ExprKind::Binary {
-                        op: BinaryOp::Div,
-                        lhs: Box::new(e),
-                        rhs: Box::new(konst),
-                    },
-                };
-                e = Expr::new(kind, Span::synthetic());
-            }
-            e
-        })
+/// An invertible expression path around the unknown `x`: wrap x in 1-4
+/// random invertible operations with nonzero consts in [0.5, 4.0).
+fn random_solvable_rhs(rng: &mut Rng) -> Expr {
+    let wraps = 1 + rng.index(4);
+    let mut e = Expr::name("x");
+    for _ in 0..wraps {
+        let k = rng.f64_in(0.5, 4.0);
+        let konst = Expr::new(ExprKind::Real(k), Span::synthetic());
+        let kind = match rng.index(4) {
+            0 => ExprKind::Binary {
+                op: BinaryOp::Add,
+                lhs: Box::new(e),
+                rhs: Box::new(konst),
+            },
+            1 => ExprKind::Binary {
+                op: BinaryOp::Sub,
+                lhs: Box::new(e),
+                rhs: Box::new(konst),
+            },
+            2 => ExprKind::Binary {
+                op: BinaryOp::Mul,
+                lhs: Box::new(konst),
+                rhs: Box::new(e),
+            },
+            _ => ExprKind::Binary {
+                op: BinaryOp::Div,
+                lhs: Box::new(e),
+                rhs: Box::new(konst),
+            },
+        };
+        e = Expr::new(kind, Span::synthetic());
+    }
+    e
 }
 
 fn eval_with_var(e: &Expr, var: &str, value: f64) -> f64 {
@@ -190,12 +224,15 @@ fn eval_with_var(e: &Expr, var: &str, value: f64) -> f64 {
     }
 }
 
-proptest! {
-    /// Isolating `x` from `y == f(x)` yields a true inverse: for any
-    /// x₀, evaluating the isolated expression at y = f(x₀) returns x₀.
-    #[test]
-    fn isolation_is_numerical_inverse(rhs in arb_solvable_rhs(), x0 in 0.5f64..8.0) {
-        use vase::compiler::solver::{isolate, Equation, Solution};
+/// Isolating `x` from `y == f(x)` yields a true inverse: for any x₀,
+/// evaluating the isolated expression at y = f(x₀) returns x₀.
+#[test]
+fn isolation_is_numerical_inverse() {
+    use vase::compiler::solver::{isolate, Equation, Solution};
+    for seed in case_seeds(0x50_1ce2, 256) {
+        let mut rng = Rng::new(seed);
+        let rhs = random_solvable_rhs(&mut rng);
+        let x0 = rng.f64_in(0.5, 8.0);
         let eq = Equation {
             lhs: Expr::name("y"),
             rhs: rhs.clone(),
@@ -203,81 +240,79 @@ proptest! {
         };
         let sol = isolate(&eq, "x").expect("single-occurrence x is isolatable");
         let Solution::Direct(inverse) = sol else {
-            prop_assert!(false, "expected a direct solution");
-            return Ok(());
+            panic!("seed={seed:#x}: expected a direct solution");
         };
         let y0 = eval_with_var(&rhs, "x", x0);
-        prop_assume!(y0.is_finite());
+        if !y0.is_finite() {
+            continue; // mirrors the old prop_assume!
+        }
         let recovered = eval_with_var(&inverse, "y", y0);
-        prop_assert!(
+        assert!(
             (recovered - x0).abs() <= 1e-6 * x0.abs().max(1.0),
-            "f(x0)={y0}, recovered {recovered} != {x0} via {inverse}"
+            "seed={seed:#x}: f(x0)={y0}, recovered {recovered} != {x0} via {inverse}"
         );
     }
 }
 
 // --------------------------------------------------------------- graph
 
-/// Strategy: a random layered combinational signal-flow graph with one
-/// output.
-fn arb_graph() -> impl Strategy<Value = SignalFlowGraph> {
-    (
-        1usize..4,                                                // inputs
-        proptest::collection::vec((0u8..4, 0.25f64..8.0), 1..10), // ops
-    )
-        .prop_map(|(n_inputs, ops)| {
-            let mut g = SignalFlowGraph::new("random");
-            let mut pool = Vec::new();
-            for i in 0..n_inputs {
-                pool.push(g.add(BlockKind::Input {
-                    name: format!("in{i}"),
-                }));
+/// A random layered combinational signal-flow graph with one output:
+/// 1-3 inputs, 1-9 ops from Scale/Add/Sub/Mul, deterministic wiring.
+fn random_graph(rng: &mut Rng) -> SignalFlowGraph {
+    let n_inputs = 1 + rng.index(3);
+    let n_ops = 1 + rng.index(9);
+    let mut g = SignalFlowGraph::new("random");
+    let mut pool = Vec::new();
+    for i in 0..n_inputs {
+        pool.push(g.add(BlockKind::Input { name: format!("in{i}") }));
+    }
+    for i in 0..n_ops {
+        let op = rng.index(4);
+        let gain = rng.f64_in(0.25, 8.0);
+        let a = pool[i % pool.len()];
+        let b = pool[(i * 7 + 1) % pool.len()];
+        let id = match op {
+            0 => {
+                let id = g.add(BlockKind::Scale { gain });
+                g.connect(a, id, 0).expect("wire");
+                id
             }
-            for (i, (op, gain)) in ops.into_iter().enumerate() {
-                let a = pool[i % pool.len()];
-                let b = pool[(i * 7 + 1) % pool.len()];
-                let id = match op {
-                    0 => {
-                        let id = g.add(BlockKind::Scale { gain });
-                        g.connect(a, id, 0).expect("wire");
-                        id
-                    }
-                    1 => {
-                        let id = g.add(BlockKind::Add { arity: 2 });
-                        g.connect(a, id, 0).expect("wire");
-                        g.connect(b, id, 1).expect("wire");
-                        id
-                    }
-                    2 => {
-                        let id = g.add(BlockKind::Sub);
-                        g.connect(a, id, 0).expect("wire");
-                        g.connect(b, id, 1).expect("wire");
-                        id
-                    }
-                    _ => {
-                        let id = g.add(BlockKind::Mul);
-                        g.connect(a, id, 0).expect("wire");
-                        g.connect(b, id, 1).expect("wire");
-                        id
-                    }
-                };
-                pool.push(id);
+            1 => {
+                let id = g.add(BlockKind::Add { arity: 2 });
+                g.connect(a, id, 0).expect("wire");
+                g.connect(b, id, 1).expect("wire");
+                id
             }
-            let out = g.add(BlockKind::Output { name: "y".into() });
-            let last = *pool.last().expect("nonempty");
-            g.connect(last, out, 0).expect("wire");
-            g
-        })
+            2 => {
+                let id = g.add(BlockKind::Sub);
+                g.connect(a, id, 0).expect("wire");
+                g.connect(b, id, 1).expect("wire");
+                id
+            }
+            _ => {
+                let id = g.add(BlockKind::Mul);
+                g.connect(a, id, 0).expect("wire");
+                g.connect(b, id, 1).expect("wire");
+                id
+            }
+        };
+        pool.push(id);
+    }
+    let out = g.add(BlockKind::Output { name: "y".into() });
+    let last = *pool.last().expect("nonempty");
+    g.connect(last, out, 0).expect("wire");
+    g
 }
 
-proptest! {
-    /// Random layered graphs are valid-by-construction except for
-    /// possibly-unconsumed blocks; topo order covers every block once
-    /// and respects data edges.
-    #[test]
-    fn topo_order_respects_edges(g in arb_graph()) {
+/// Random layered graphs are valid-by-construction except for
+/// possibly-unconsumed blocks; topo order covers every block once and
+/// respects data edges.
+#[test]
+fn topo_order_respects_edges() {
+    for seed in case_seeds(0x9_0001, 256) {
+        let g = random_graph(&mut Rng::new(seed));
         let order = g.topo_order().expect("layered graphs are acyclic");
-        prop_assert_eq!(order.len(), g.len());
+        assert_eq!(order.len(), g.len(), "seed={seed:#x}");
         let position: std::collections::HashMap<_, _> =
             order.iter().enumerate().map(|(i, &b)| (b, i)).collect();
         for (id, block) in g.iter() {
@@ -285,31 +320,37 @@ proptest! {
                 continue;
             }
             for driver in g.block_inputs(id).iter().flatten() {
-                prop_assert!(
+                assert!(
                     position[driver] < position[&id],
-                    "{driver} must precede {id}"
+                    "seed={seed:#x}: {driver} must precede {id}"
                 );
             }
         }
     }
+}
 
-    /// The upstream cone of the output is closed under taking drivers.
-    #[test]
-    fn upstream_cone_is_closed(g in arb_graph()) {
+/// The upstream cone of the output is closed under taking drivers.
+#[test]
+fn upstream_cone_is_closed() {
+    for seed in case_seeds(0x9_0002, 256) {
+        let g = random_graph(&mut Rng::new(seed));
         let out = g.outputs()[0];
         let cone = g.upstream_cone(out);
         for &b in &cone {
             for driver in g.block_inputs(b).iter().flatten() {
-                prop_assert!(cone.contains(driver));
+                assert!(cone.contains(driver), "seed={seed:#x}");
             }
         }
     }
+}
 
-    /// Branch-and-bound with the bounding rule finds the same optimum
-    /// as the exhaustive search on random workloads (the bound is
-    /// admissible), and never visits more nodes.
-    #[test]
-    fn bounding_is_admissible_on_random_graphs(g in arb_graph()) {
+/// Branch-and-bound with the bounding rule finds the same optimum as
+/// the exhaustive search on random workloads (the bound is admissible),
+/// and never visits more nodes.
+#[test]
+fn bounding_is_admissible_on_random_graphs() {
+    for seed in case_seeds(0x9_0003, 64) {
+        let g = random_graph(&mut Rng::new(seed));
         let estimator = Estimator::default();
         let bounded = map_graph(&g, &estimator, &MapperConfig::default());
         // `exhaustive_memoized` (not the truly exhaustive search) keeps
@@ -317,42 +358,45 @@ proptest! {
         let exhaustive = map_graph(&g, &estimator, &MapperConfig::exhaustive_memoized());
         match (bounded, exhaustive) {
             (Ok(b), Ok(e)) => {
-                prop_assert_eq!(
+                assert_eq!(
                     b.netlist.opamp_count(),
                     e.netlist.opamp_count(),
-                    "bounding changed the optimum"
+                    "seed={seed:#x}: bounding changed the optimum"
                 );
-                prop_assert!(b.stats.visited_nodes <= e.stats.visited_nodes);
+                assert!(
+                    b.stats.visited_nodes <= e.stats.visited_nodes,
+                    "seed={seed:#x}"
+                );
                 b.netlist.validate().expect("valid netlist");
                 // Every operation block is implemented by exactly one
                 // component.
                 let mut covered = std::collections::HashSet::new();
                 for c in &b.netlist.components {
                     for blk in &c.implements {
-                        prop_assert!(covered.insert(*blk), "block covered twice");
+                        assert!(covered.insert(*blk), "seed={seed:#x}: block covered twice");
                     }
                 }
                 let ops = g.iter().filter(|(_, b)| !b.kind.is_interface()).count();
-                prop_assert_eq!(covered.len(), ops, "not all blocks covered");
+                assert_eq!(covered.len(), ops, "seed={seed:#x}: not all blocks covered");
             }
-            (Err(b), Err(e)) => prop_assert_eq!(b, e),
-            (b, e) => prop_assert!(false, "disagreement: {b:?} vs {e:?}"),
+            (Err(b), Err(e)) => assert_eq!(b, e, "seed={seed:#x}"),
+            (b, e) => panic!("seed={seed:#x}: disagreement: {b:?} vs {e:?}"),
         }
     }
 }
 
 // ------------------------------------------------------------ stimulus
 
-proptest! {
-    /// Stimuli are total functions: finite time in, finite value out.
-    #[test]
-    fn stimuli_are_finite(
-        t in 0.0f64..10.0,
-        amp in 0.0f64..10.0,
-        freq in 0.1f64..1e6,
-        period in 1e-6f64..1.0,
-        duty in 0.01f64..0.99,
-    ) {
+/// Stimuli are total functions: finite time in, finite value out.
+#[test]
+fn stimuli_are_finite() {
+    for seed in case_seeds(0x57_1b01, 256) {
+        let mut rng = Rng::new(seed);
+        let t = rng.f64_in(0.0, 10.0);
+        let amp = rng.f64_in(0.0, 10.0);
+        let freq = rng.f64_in(0.1, 1e6);
+        let period = rng.f64_in(1e-6, 1.0);
+        let duty = rng.f64_in(0.01, 0.99);
         let stimuli = [
             Stimulus::Constant { level: amp },
             Stimulus::sine(amp, freq),
@@ -361,19 +405,40 @@ proptest! {
             Stimulus::Pulse { low: -amp, high: amp, period, duty },
         ];
         for s in stimuli {
-            prop_assert!(s.at(t).is_finite(), "{s:?} at {t}");
+            assert!(s.at(t).is_finite(), "seed={seed:#x}: {s:?} at {t}");
         }
     }
+}
 
-    /// Lexing arbitrary input never panics.
-    #[test]
-    fn lexer_is_total(src in ".{0,200}") {
+/// Random string from a charset, length `0..=max_len`.
+fn random_string(rng: &mut Rng, charset: &[char], max_len: usize) -> String {
+    let len = rng.index(max_len + 1);
+    (0..len).map(|_| charset[rng.index(charset.len())]).collect()
+}
+
+/// Lexing arbitrary input never panics.
+#[test]
+fn lexer_is_total() {
+    // Printable ASCII plus whitespace/control and some multibyte chars,
+    // standing in for proptest's arbitrary `.{0,200}` strings.
+    let mut charset: Vec<char> = (' '..='~').collect();
+    charset.extend(['\n', '\t', '\r', '\0', 'é', 'Ω', '∿', '🦀']);
+    for seed in case_seeds(0x1e_0001, 256) {
+        let mut rng = Rng::new(seed);
+        let src = random_string(&mut rng, &charset, 200);
         let _ = vase::frontend::lexer::lex(&src);
     }
+}
 
-    /// Parsing arbitrary token soup never panics.
-    #[test]
-    fn parser_is_total(src in "[a-z0-9+*/()=<>;:., ']{0,120}") {
+/// Parsing arbitrary token soup never panics.
+#[test]
+fn parser_is_total() {
+    let charset: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789+*/()=<>;:., '"
+        .chars()
+        .collect();
+    for seed in case_seeds(0x9a_0001, 256) {
+        let mut rng = Rng::new(seed);
+        let src = random_string(&mut rng, &charset, 120);
         let _ = vase::frontend::parse_design_file(&src);
         let _ = parse_expression(&src);
     }

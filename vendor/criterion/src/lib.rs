@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment for this repository cannot reach crates.io,
+//! so the Criterion benches run against this minimal harness instead:
+//! the same surface API (`criterion_group!`/`criterion_main!`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, `Bencher::iter`), a
+//! plain mean-of-samples measurement, and text output. It has no
+//! statistical analysis, HTML reports, or CLI filtering — swap the
+//! workspace dependency back to the real crate for those.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for API compatibility.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, measurement_time: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        run_one(id, sample_size, measurement_time, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target measurement budget (advisory: this harness always runs
+    /// exactly `sample_size` samples but caps none by time).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Record the per-iteration workload size (accepted, printed).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        let _ = t;
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Benchmark a closure that receives a shared input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.sample_size, self.measurement_time, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, _budget: Duration, f: &mut F) {
+    // One untimed warm-up sample.
+    let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+    f(&mut bencher);
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    for _ in 0..samples {
+        let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut bencher);
+        total += bencher.elapsed;
+        iters += bencher.iters;
+    }
+    let per_iter = if iters == 0 { Duration::ZERO } else { total / iters as u32 };
+    println!("bench {label:<48} {:>12.3} µs/iter ({iters} iters)", per_iter.as_secs_f64() * 1e6);
+}
+
+/// Times the closures a benchmark hands to [`Bencher::iter`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` once, timed. (The real criterion batches iterations; a
+    /// single timed call per sample keeps this stand-in simple.)
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Conversion into a printable benchmark id (strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Workload size per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group.sample_size(3).throughput(Throughput::Elements(1)).bench_function(
+            BenchmarkId::new("f", 1),
+            |b| {
+                b.iter(|| {
+                    runs += 1;
+                });
+            },
+        );
+        group.finish();
+        // 1 warm-up + 3 samples, one iter each.
+        assert_eq!(runs, 4);
+    }
+}

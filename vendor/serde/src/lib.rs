@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! See `vendor/serde_derive` for the rationale. `Serialize` and
+//! `Deserialize` are marker traits satisfied by every type through
+//! blanket impls, and the re-exported derive macros expand to nothing,
+//! so `#[derive(Serialize, Deserialize)]` plus `#[serde(...)]` helper
+//! attributes compile exactly as with the real crate. Nothing in-tree
+//! serializes reflectively — JSON reports are written explicitly by the
+//! bench binaries — so no data model is needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that the real serde could serialize.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that the real serde could deserialize.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker for types deserializable without borrowing, mirroring
+/// `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
