@@ -6,8 +6,12 @@
 
 #![warn(missing_docs)]
 
-pub mod json;
 pub mod rng;
+
+/// JSON writing lives in `vase-diag` (the lint engine shares the same
+/// writer for `vase lint --format json`); re-exported here so the bench
+/// binaries keep their `crate::json` path.
+pub use vase_diag::json;
 
 use rng::SplitMix64;
 use vase::vhif::{BlockId, BlockKind, SignalFlowGraph};

@@ -69,6 +69,27 @@ impl StdError for CompileError {
     }
 }
 
+impl CompileError {
+    /// Render the error as a lint [`Diagnostic`](vase_diag::Diagnostic):
+    /// compilation failures carry code `I100` with the source span when
+    /// the construct has one; wrapped structural [`VhifError`]s map onto
+    /// their own `I1xx` codes via
+    /// [`vase_vhif::verify::diagnostic_from_error`].
+    pub fn to_diagnostic(&self) -> vase_diag::Diagnostic {
+        use vase_diag::{Code, Diagnostic};
+        match self {
+            CompileError::Unsupported { span, .. }
+            | CompileError::NotStatic { span, .. }
+            | CompileError::UseBeforeDef { span, .. } => {
+                Diagnostic::new(Code::I100, self.to_string()).with_span(*span)
+            }
+            CompileError::Unsolvable { .. } => Diagnostic::new(Code::I100, self.to_string()),
+            CompileError::Vhif(e) => vase_vhif::verify::diagnostic_from_error(e)
+                .with_note("reported while assembling the VHIF design"),
+        }
+    }
+}
+
 impl From<VhifError> for CompileError {
     fn from(e: VhifError) -> Self {
         CompileError::Vhif(e)
@@ -91,5 +112,24 @@ mod tests {
     fn vhif_error_wraps_with_source() {
         let e = CompileError::from(VhifError::AlgebraicLoop);
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn diagnostics_carry_codes_and_spans() {
+        use vase_diag::Code;
+        use vase_frontend::span::Position;
+        let span = Span::new(
+            Position { line: 3, column: 5, offset: 40 },
+            Position { line: 3, column: 9, offset: 44 },
+        );
+        let e = CompileError::NotStatic { what: "loop bound".into(), span };
+        let d = e.to_diagnostic();
+        assert_eq!(d.code, Code::I100);
+        assert_eq!(d.span, span);
+        let e = CompileError::from(VhifError::AlgebraicLoop);
+        assert_eq!(e.to_diagnostic().code, Code::I103);
+        let e = CompileError::Unsolvable { detail: "x*x == 1".into() };
+        assert_eq!(e.to_diagnostic().code, Code::I100);
+        assert!(e.to_diagnostic().span.is_synthetic());
     }
 }

@@ -7,6 +7,9 @@
 //!     --greedy          use the greedy heuristic instead of branch-and-bound
 //!     --jobs <n>        mapper worker threads (0 = one per core, default 1)
 //!     --spice <out.sp>  also write a SPICE deck
+//! vase lint    <file.vhd> [options]   run every static check, report diagnostics
+//!     --format text|json    listing style (default text)
+//!     --deny warnings       exit nonzero on warnings too
 //! vase sim     <file.vhd> [options]   synthesize, then transient-simulate
 //!     --input name=<stim>   stimulus per input; <stim> is one of
 //!                           const:<v> | sine:<amp>,<freq> |
@@ -46,12 +49,13 @@ fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "parse" => cmd_parse(&args[1..]),
         "compile" => cmd_compile(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
         "synth" => cmd_synth(&args[1..]),
         "sim" => cmd_sim(&args[1..]),
         "table1" => cmd_table1(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("vase — VHDL-AMS behavioral synthesis of analog systems");
-            println!("commands: parse, compile, synth, sim, table1 (see crate docs)");
+            println!("commands: parse, compile, lint, synth, sim, table1 (see crate docs)");
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
@@ -107,6 +111,40 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             "DAE note: simultaneous statements admit multiple signal-flow solvers; the\n\
              compiler chose a causal assignment, the mapper explores the alternatives."
         );
+    }
+    Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    // The input file may appear before or after the flags.
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" | "--deny" => i += 2,
+            a if a.starts_with("--") => i += 1,
+            _ => {
+                path = Some(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let path = path.ok_or("missing input file")?;
+    let source =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut diags = vase::lint_source(&source);
+    if args.windows(2).any(|w| w[0] == "--deny" && w[1] == "warnings") {
+        vase::diag::deny_warnings(&mut diags);
+    }
+    match flag_value(args, "--format").unwrap_or("text") {
+        "text" => print!("{}", vase::diag::render_all(&diags, &source, &path)),
+        "json" => {
+            println!("{}", vase::diag::json::report_to_json(&path, &diags).to_string_pretty())
+        }
+        other => return Err(format!("unknown --format `{other}` (text, json)")),
+    }
+    if vase::diag::has_errors(&diags) {
+        return Err(format!("{path}: {}", vase::diag::summary(&diags)));
     }
     Ok(())
 }

@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use vase_archgen::{synthesize, MapError, MapperConfig, SynthesisResult};
 use vase_compiler::{compile, CompileError, VassStats};
+use vase_diag::Diagnostic;
 use vase_estimate::{Estimator, PerformanceConstraints};
 use vase_frontend::{analyze, parse_design_file, FrontendError};
 use vase_sim::{simulate_netlist, SimConfig, SimError, SimResult, Stimulus, SweepConfig};
@@ -27,6 +28,11 @@ pub struct FlowOptions {
     /// annotated frequency band and the largest annotated value range
     /// override the baseline.
     pub derive_constraints: bool,
+    /// Run the VHIF verifier pass between compilation and mapping;
+    /// verifier *errors* abort the flow with [`FlowError::Verify`].
+    pub verify: bool,
+    /// Treat verifier warnings as errors (`vase lint --deny warnings`).
+    pub deny_warnings: bool,
 }
 
 impl Default for FlowOptions {
@@ -35,6 +41,8 @@ impl Default for FlowOptions {
             mapper: MapperConfig::default(),
             constraints: PerformanceConstraints::default(),
             derive_constraints: true,
+            verify: true,
+            deny_warnings: false,
         }
     }
 }
@@ -82,6 +90,10 @@ pub enum FlowError {
     Frontend(FrontendError),
     /// VASS→VHIF translation failed.
     Compile(CompileError),
+    /// The VHIF verifier rejected the compiled design; mapping was not
+    /// attempted. Carries every diagnostic the pass produced (warnings
+    /// included), already sorted for reporting.
+    Verify(Vec<Diagnostic>),
     /// Architecture synthesis failed.
     Map(MapError),
 }
@@ -91,6 +103,13 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Frontend(e) => write!(f, "frontend: {e}"),
             FlowError::Compile(e) => write!(f, "compile: {e}"),
+            FlowError::Verify(diags) => {
+                write!(f, "verify: design rejected ({})", vase_diag::summary(diags))?;
+                if let Some(first) = diags.iter().find(|d| d.is_error()) {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
             FlowError::Map(e) => write!(f, "map: {e}"),
         }
     }
@@ -101,6 +120,7 @@ impl StdError for FlowError {
         match self {
             FlowError::Frontend(e) => Some(e),
             FlowError::Compile(e) => Some(e),
+            FlowError::Verify(_) => None,
             FlowError::Map(e) => Some(e),
         }
     }
@@ -155,6 +175,19 @@ pub fn synthesize_source(
     let compiled = compile(&analyzed)?;
     let mut out = Vec::new();
     for arch in compiled.designs {
+        if options.verify {
+            let ctx = analyzed
+                .architecture_of(&arch.entity)
+                .map(crate::lint::verify_context)
+                .unwrap_or_default();
+            let mut diags = vase_vhif::verify::verify_design(&arch.vhif, &ctx);
+            if options.deny_warnings {
+                vase_diag::deny_warnings(&mut diags);
+            }
+            if vase_diag::has_errors(&diags) {
+                return Err(FlowError::Verify(diags));
+            }
+        }
         let constraints = if options.derive_constraints {
             analyzed
                 .architecture_of(&arch.entity)
@@ -267,6 +300,31 @@ mod tests {
         assert!(matches!(err, FlowError::Frontend(_)));
         assert!(err.to_string().contains("frontend"));
         assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn verifier_gates_mapping_under_deny_warnings() {
+        // A gain of 4 can push y outside its annotated range: a
+        // verifier *warning* (A201). By default the flow still maps...
+        let src = "entity hot is
+                     port (quantity x : in real is voltage range -1.0 to 1.0;
+                           quantity y : out real is voltage range -0.5 to 0.5);
+                   end entity;
+                   architecture a of hot is begin y == x * 4.0; end architecture;";
+        let designs =
+            synthesize_source(src, &FlowOptions::default()).expect("warnings do not gate");
+        assert_eq!(designs.len(), 1);
+        // ...but with --deny warnings the verifier refuses to hand the
+        // design to the mapper.
+        let opts = FlowOptions { deny_warnings: true, ..FlowOptions::default() };
+        let err = synthesize_source(src, &opts).unwrap_err();
+        let FlowError::Verify(diags) = &err else { panic!("want Verify, got {err}") };
+        assert!(diags.iter().any(|d| d.code == vase_diag::Code::A201), "{diags:#?}");
+        assert!(err.to_string().contains("verify"));
+        // Verification off: the warning is not even computed.
+        let opts =
+            FlowOptions { deny_warnings: true, verify: false, ..FlowOptions::default() };
+        synthesize_source(src, &opts).expect("gate disabled");
     }
 
     #[test]

@@ -46,14 +46,17 @@
 
 pub mod benchmarks;
 pub mod flow;
+pub mod lint;
 pub mod report;
 
 pub use flow::{compile_source, synthesize_source, FlowError, FlowOptions, SynthesizedDesign};
+pub use lint::lint_source;
 pub use report::{format_table1, table1_row, Table1Row};
 
 // Re-export the stage crates so downstream users need only `vase`.
 pub use vase_archgen as archgen;
 pub use vase_compiler as compiler;
+pub use vase_diag as diag;
 pub use vase_estimate as estimate;
 pub use vase_frontend as frontend;
 pub use vase_library as library;

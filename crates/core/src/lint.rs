@@ -1,0 +1,192 @@
+//! The `vase lint` entry point: run every static check the toolchain
+//! knows — frontend (lex/parse/sema, `V0xx`), the VHIF verifier pass
+//! (`I1xx`), and annotation sanity (`A2xx`) — over one VASS source and
+//! collect the findings as [`Diagnostic`]s.
+//!
+//! Unlike [`crate::flow::synthesize_source`], which stops at the first
+//! failing stage, linting keeps going as far as it can: a source that
+//! does not parse reports only frontend diagnostics, a source that
+//! compiles reports everything the verifier finds across all of its
+//! architectures.
+
+use vase_compiler::compile;
+use vase_diag::{Code, Diagnostic};
+use vase_frontend::sema::AnalyzedArchitecture;
+use vase_frontend::{analyze, parse_design_file, AnnotationSet, FrontendError, SignalKind};
+use vase_vhif::verify::{verify_design, VerifyContext, WireKind};
+
+/// Build the verifier's annotation context for one analyzed
+/// architecture: declared kinds, well-formed value ranges, and the
+/// signal-class ports that may legally drive control inputs from
+/// outside (mirroring what [`vase_compiler::compile`] passes to
+/// `VhifDesign::validate`).
+pub fn verify_context(arch: &AnalyzedArchitecture) -> VerifyContext {
+    let mut ctx = VerifyContext::default();
+    for sym in arch.symbols.iter() {
+        let set = AnnotationSet::new(&sym.annotations);
+        if let Some(kind) = set.kind() {
+            let kind = match kind {
+                SignalKind::Voltage => WireKind::Voltage,
+                SignalKind::Current => WireKind::Current,
+            };
+            ctx.kinds.insert(sym.name.clone(), kind);
+        }
+        if let Some((lo, hi)) = set.value_range() {
+            if lo <= hi {
+                ctx.value_ranges.insert(sym.name.clone(), (lo, hi));
+            }
+        }
+    }
+    ctx.external_signals =
+        arch.symbols.ports().filter(|s| s.is_signal()).map(|s| s.name.clone()).collect();
+    ctx
+}
+
+/// Degenerate `range`/`frequency` annotations (`lo > hi`) — `A202`,
+/// anchored at the annotated object's declaration.
+fn annotation_diagnostics(arch: &AnalyzedArchitecture, diags: &mut Vec<Diagnostic>) {
+    for sym in arch.symbols.iter() {
+        let set = AnnotationSet::new(&sym.annotations);
+        for (what, range) in
+            [("range", set.value_range()), ("frequency", set.frequency_range())]
+        {
+            if let Some((lo, hi)) = range {
+                if lo > hi {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::A202,
+                            format!(
+                                "`{}` has a degenerate {what} annotation: {lo} to {hi} \
+                                 is empty",
+                                sym.name
+                            ),
+                        )
+                        .with_span(sym.span)
+                        .with_note("the lower bound must not exceed the upper bound"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Lint one VASS source, collecting diagnostics from every stage that
+/// can run. The result is sorted by source position (synthetic spans
+/// last); apply [`vase_diag::deny_warnings`] afterwards to promote
+/// warnings under `--deny warnings`.
+pub fn lint_source(source: &str) -> Vec<Diagnostic> {
+    let design = match parse_design_file(source) {
+        Ok(d) => d,
+        Err(e) => return vase_diag::frontend_diagnostics(&FrontendError::from(e)),
+    };
+    let analyzed = match analyze(&design) {
+        Ok(a) => a,
+        Err(e) => {
+            let mut diags = vase_diag::frontend_diagnostics(&e);
+            vase_diag::sort(&mut diags);
+            return diags;
+        }
+    };
+    let mut diags = Vec::new();
+    for arch in &analyzed.architectures {
+        annotation_diagnostics(arch, &mut diags);
+    }
+    match compile(&analyzed) {
+        Err(e) => diags.push(e.to_diagnostic()),
+        Ok(compiled) => {
+            for arch in &compiled.designs {
+                let ctx = analyzed
+                    .architecture_of(&arch.entity)
+                    .map(verify_context)
+                    .unwrap_or_default();
+                diags.extend(verify_design(&arch.vhif, &ctx));
+            }
+        }
+    }
+    vase_diag::sort(&mut diags);
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vase_diag::Severity;
+
+    #[test]
+    fn every_benchmark_lints_clean() {
+        for b in crate::benchmarks::all() {
+            let diags = lint_source(b.source);
+            assert!(diags.is_empty(), "{}: {diags:#?}", b.name);
+        }
+    }
+
+    #[test]
+    fn parse_error_reports_v002_with_span() {
+        let diags = lint_source("entity broken");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::V002);
+        assert!(!diags[0].span.is_synthetic());
+    }
+
+    #[test]
+    fn sema_errors_all_reported() {
+        // Undeclared names in two statements: lint reports both, not
+        // just the first.
+        let diags = lint_source(
+            "entity e is port (quantity y : out real is voltage;
+                               quantity z : out real is voltage); end entity;
+             architecture a of e is begin
+               y == ghost1 * 2.0;
+               z == ghost2 * 3.0;
+             end architecture;",
+        );
+        assert!(diags.len() >= 2, "{diags:#?}");
+        assert!(diags.iter().all(|d| d.code == Code::V010));
+    }
+
+    #[test]
+    fn restriction_violation_is_v013() {
+        let diags = lint_source(
+            "entity e is port (signal s1 : in bit; signal y : out bit); end entity;
+             architecture a of e is signal s2 : bit; begin
+               process (s1) is begin s2 <= '1'; y <= s2; end process;
+             end architecture;",
+        );
+        assert!(diags.iter().any(|d| d.code == Code::V013), "{diags:#?}");
+    }
+
+    #[test]
+    fn degenerate_range_is_a202_warning() {
+        let diags = lint_source(
+            "entity e is port (quantity x : in real is voltage range 1.0 to -1.0;
+                               quantity y : out real is voltage); end entity;
+             architecture a of e is begin y == x; end architecture;",
+        );
+        assert!(
+            diags.iter().any(|d| d.code == Code::A202 && d.severity == Severity::Warning),
+            "{diags:#?}"
+        );
+    }
+
+    #[test]
+    fn division_by_annotated_zero_crossing_range_warns() {
+        let diags = lint_source(
+            "entity e is port (quantity a : in real is voltage;
+                               quantity b : in real is voltage range -1.0 to 1.0;
+                               quantity y : out real is voltage); end entity;
+             architecture a of e is begin y == a / b; end architecture;",
+        );
+        assert!(diags.iter().any(|d| d.code == Code::A200), "{diags:#?}");
+    }
+
+    #[test]
+    fn out_of_range_drive_warns() {
+        let diags = lint_source(
+            "entity e is port (quantity x : in real is voltage range -1.0 to 1.0;
+                               quantity y : out real is voltage range -0.5 to 0.5);
+             end entity;
+             architecture a of e is begin y == x * 4.0; end architecture;",
+        );
+        assert!(diags.iter().any(|d| d.code == Code::A201), "{diags:#?}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerate the lint-code reference table:
+//!
+//! ```text
+//! cargo run -p vase-diag --example gen_lint_codes > docs/lint-codes.md
+//! ```
+
+fn main() {
+    print!("{}", vase_diag::reference_markdown());
+}

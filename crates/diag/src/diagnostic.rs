@@ -1,0 +1,191 @@
+//! The diagnostic value type and helpers over collections of them.
+
+use std::fmt;
+
+use vase_frontend::span::Span;
+
+use crate::code::Code;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Reported, but does not by itself stop the flow (unless promoted
+    /// with `--deny warnings`).
+    Warning,
+    /// Stops the flow: the design is not synthesized.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One diagnostic: a stable code, a severity, a source location, a
+/// message, and optional notes adding structural context (block ids,
+/// FSM state names, propagated intervals).
+///
+/// # Examples
+///
+/// ```
+/// use vase_diag::{Code, Diagnostic, Severity};
+///
+/// let d = Diagnostic::new(Code::I102, "input port 1 of b3 (sh) has no driver")
+///     .with_note("graph `main`");
+/// assert_eq!(d.severity, Severity::Error);
+/// assert!(d.span.is_synthetic()); // IR-level: no source span
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stable code (see [`crate::code::REGISTRY`]).
+    pub code: Code,
+    /// Severity; starts at the code's default, promotable.
+    pub severity: Severity,
+    /// Source location; [`Span::synthetic`] for IR-level findings.
+    pub span: Span,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Extra context lines rendered after the caret excerpt.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity and a synthetic
+    /// (no-source) span.
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            span: Span::synthetic(),
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Append a note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Whether this diagnostic is (currently) an error.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+/// `Display` is the single-line form `severity[code] at loc: message`
+/// used when no source text is available for caret rendering.
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if !self.span.is_synthetic() {
+            write!(f, " at {}", self.span)?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Sort diagnostics for reporting: source-anchored ones first in file
+/// order, then IR-level (synthetic-span) ones, ties broken by code.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by_key(|d| {
+        (d.span.is_synthetic(), d.span.start.offset, d.span.start.line, d.code)
+    });
+}
+
+/// Whether any diagnostic is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_error)
+}
+
+/// Promote every warning to an error (`--deny warnings`).
+pub fn deny_warnings(diags: &mut [Diagnostic]) {
+    for d in diags {
+        d.severity = Severity::Error;
+    }
+}
+
+/// A one-line count summary, e.g. `"2 errors, 1 warning"`; empty string
+/// when there are no diagnostics.
+pub fn summary(diags: &[Diagnostic]) -> String {
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.len() - errors;
+    let plural = |n: usize, word: &str| {
+        format!("{n} {word}{}", if n == 1 { "" } else { "s" })
+    };
+    match (errors, warnings) {
+        (0, 0) => String::new(),
+        (e, 0) => plural(e, "error"),
+        (0, w) => plural(w, "warning"),
+        (e, w) => format!("{}, {}", plural(e, "error"), plural(w, "warning")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vase_frontend::span::Position;
+
+    fn at(line: u32, column: u32) -> Span {
+        let p = Position { line, column, offset: (line - 1) * 100 + column };
+        Span { start: p, end: p }
+    }
+
+    #[test]
+    fn builder_defaults_from_code() {
+        let d = Diagnostic::new(Code::A200, "x / y may divide by zero");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.span.is_synthetic());
+        let d = d.with_span(at(3, 7)).with_note("divisor interval [-1, 1]");
+        assert!(!d.span.is_synthetic());
+        assert_eq!(d.notes.len(), 1);
+        assert!(!d.is_error());
+        assert!(Diagnostic::new(Code::V013, "wait").is_error());
+    }
+
+    #[test]
+    fn display_single_line() {
+        let d = Diagnostic::new(Code::V010, "no `x`").with_span(at(2, 5));
+        assert_eq!(d.to_string(), "error[V010] at 2:5: no `x`");
+        let d = Diagnostic::new(Code::I103, "loop through b2");
+        assert_eq!(d.to_string(), "error[I103]: loop through b2");
+    }
+
+    #[test]
+    fn sort_puts_source_spans_first_in_file_order() {
+        let mut v = vec![
+            Diagnostic::new(Code::I102, "ir"),
+            Diagnostic::new(Code::V012, "late").with_span(at(9, 1)),
+            Diagnostic::new(Code::V010, "early").with_span(at(1, 2)),
+        ];
+        sort(&mut v);
+        assert_eq!(v[0].message, "early");
+        assert_eq!(v[1].message, "late");
+        assert_eq!(v[2].message, "ir");
+    }
+
+    #[test]
+    fn deny_warnings_promotes_and_summary_counts() {
+        let mut v = vec![
+            Diagnostic::new(Code::A200, "w"),
+            Diagnostic::new(Code::V013, "e"),
+        ];
+        assert!(has_errors(&v));
+        assert_eq!(summary(&v), "1 error, 1 warning");
+        deny_warnings(&mut v);
+        assert!(v.iter().all(Diagnostic::is_error));
+        assert_eq!(summary(&v), "2 errors");
+        assert_eq!(summary(&[]), "");
+    }
+}

@@ -1,0 +1,97 @@
+//! Conversions from the frontend's error types onto the diagnostics
+//! engine, assigning each existing check a stable `V0xx` code.
+//!
+//! The frontend keeps its own error types (`vase-diag` depends on
+//! `vase-frontend` for [`vase_frontend::span::Span`], so the dependency
+//! cannot point the other way); these conversions are the single place
+//! where those types gain codes, making every lex/parse/sema check
+//! reportable through `vase lint` without loss.
+
+use vase_frontend::error::{FrontendError, LexError, ParseError, SemaError, SemaErrorKind};
+
+use crate::code::Code;
+use crate::diagnostic::Diagnostic;
+
+/// The stable code for a semantic-error category.
+pub fn code_for_sema(kind: SemaErrorKind) -> Code {
+    match kind {
+        SemaErrorKind::UndeclaredName => Code::V010,
+        SemaErrorKind::DuplicateDeclaration => Code::V011,
+        SemaErrorKind::TypeMismatch => Code::V012,
+        SemaErrorKind::RestrictionViolation => Code::V013,
+        SemaErrorKind::BadAnnotation => Code::V014,
+        SemaErrorKind::InvalidUse => Code::V015,
+    }
+}
+
+impl From<&LexError> for Diagnostic {
+    fn from(e: &LexError) -> Self {
+        Diagnostic::new(Code::V001, &e.message).with_span(e.span)
+    }
+}
+
+impl From<&ParseError> for Diagnostic {
+    fn from(e: &ParseError) -> Self {
+        Diagnostic::new(Code::V002, &e.message).with_span(e.span)
+    }
+}
+
+impl From<&SemaError> for Diagnostic {
+    fn from(e: &SemaError) -> Self {
+        Diagnostic::new(code_for_sema(e.kind), &e.message).with_span(e.span)
+    }
+}
+
+/// Every diagnostic carried by a [`FrontendError`] (a lex or parse
+/// failure yields one, semantic analysis yields all it collected).
+pub fn frontend_diagnostics(err: &FrontendError) -> Vec<Diagnostic> {
+    match err {
+        FrontendError::Lex(e) => vec![e.into()],
+        FrontendError::Parse(e) => vec![e.into()],
+        FrontendError::Sema(errs) => errs.iter().map(Diagnostic::from).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vase_frontend::span::Span;
+
+    #[test]
+    fn every_sema_kind_maps_to_a_distinct_code() {
+        let kinds = [
+            SemaErrorKind::UndeclaredName,
+            SemaErrorKind::DuplicateDeclaration,
+            SemaErrorKind::TypeMismatch,
+            SemaErrorKind::RestrictionViolation,
+            SemaErrorKind::BadAnnotation,
+            SemaErrorKind::InvalidUse,
+        ];
+        let codes: Vec<Code> = kinds.iter().map(|k| code_for_sema(*k)).collect();
+        for (i, a) in codes.iter().enumerate() {
+            assert!(a.as_str().starts_with('V'));
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn conversions_keep_span_and_message() {
+        let span = Span::default();
+        let lex = LexError { message: "bad char".into(), span };
+        let d: Diagnostic = (&lex).into();
+        assert_eq!(d.code, Code::V001);
+        assert_eq!(d.message, "bad char");
+        assert_eq!(d.span, span);
+
+        let sema = SemaError::new(SemaErrorKind::RestrictionViolation, "wait", span);
+        let d: Diagnostic = (&sema).into();
+        assert_eq!(d.code, Code::V013);
+
+        let all = frontend_diagnostics(&FrontendError::Sema(vec![sema.clone(), sema]));
+        assert_eq!(all.len(), 2);
+        let one = frontend_diagnostics(&FrontendError::Lex(lex));
+        assert_eq!(one.len(), 1);
+    }
+}

@@ -1,12 +1,14 @@
-//! Minimal JSON writer for the benchmark reports.
+//! Minimal JSON writer shared by `vase lint --format json` and the
+//! benchmark reports (`vase-bench` re-exports this module).
 //!
-//! The offline build environment has no `serde_json`, and the bench
-//! binaries only ever *emit* JSON (`BENCH_archgen.json`,
-//! `BENCH_sim.json`), so a tiny explicit value tree with a
+//! The offline build environment has no `serde_json`, and these tools
+//! only ever *emit* JSON, so a tiny explicit value tree with a
 //! pretty-printer covers everything needed. Keys keep insertion order
 //! so reports diff cleanly run-over-run.
 
 use std::fmt::Write as _;
+
+use crate::diagnostic::{Diagnostic, Severity};
 
 /// A JSON value. Objects preserve insertion order.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,9 +140,63 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// One diagnostic as a JSON object. Synthetic (IR-level) spans carry
+/// `null` line/column so consumers can distinguish "no source location"
+/// from line 1.
+pub fn diagnostic_to_json(d: &Diagnostic) -> Json {
+    let (line, column) = if d.span.is_synthetic() {
+        (Json::Null, Json::Null)
+    } else {
+        (Json::Int(d.span.start.line as i128), Json::Int(d.span.start.column as i128))
+    };
+    Json::obj([
+        ("code", Json::str(d.code.as_str())),
+        ("name", Json::str(d.code.name())),
+        ("severity", Json::str(d.severity.to_string())),
+        ("line", line),
+        ("column", column),
+        ("message", Json::str(&d.message)),
+        ("notes", Json::Arr(d.notes.iter().map(Json::str).collect())),
+    ])
+}
+
+/// The machine-readable lint report for one file.
+pub fn report_to_json(file: &str, diags: &[Diagnostic]) -> Json {
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    Json::obj([
+        ("file", Json::str(file)),
+        ("errors", Json::Int(errors as i128)),
+        ("warnings", Json::Int((diags.len() - errors) as i128)),
+        ("diagnostics", Json::Arr(diags.iter().map(diagnostic_to_json).collect())),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::code::Code;
+    use vase_frontend::span::{Position, Span};
+
+    #[test]
+    fn diagnostics_serialize_with_span_or_null() {
+        let p = Position { line: 3, column: 7, offset: 42 };
+        let with_span = Diagnostic::new(Code::V012, "real vs bit")
+            .with_span(Span { start: p, end: p })
+            .with_note("declared here");
+        let ir_level = Diagnostic::new(Code::I102, "port 1 of b4 undriven");
+        let report = report_to_json("bad.vhd", &[with_span.clone(), ir_level]);
+        let text = report.to_string_pretty();
+        assert!(text.contains("\"file\": \"bad.vhd\""));
+        assert!(text.contains("\"errors\": 2"));
+        assert!(text.contains("\"warnings\": 0"));
+        assert!(text.contains("\"code\": \"V012\""));
+        assert!(text.contains("\"name\": \"type-mismatch\""));
+        assert!(text.contains("\"line\": 3"));
+        assert!(text.contains("\"column\": 7"));
+        assert!(text.contains("\"notes\": [\n"));
+        // the IR-level diagnostic has null position
+        assert!(text.contains("\"line\": null"));
+    }
 
     #[test]
     fn renders_nested_report_shape() {

@@ -1,0 +1,45 @@
+//! # vase-diag
+//!
+//! The unified diagnostics engine of the VASE toolchain: one value type
+//! ([`Diagnostic`]) with stable codes ([`Code`], registry in
+//! [`code::REGISTRY`]), caret-annotated text rendering ([`render`]),
+//! and machine-readable JSON output ([`json`]).
+//!
+//! Three code groups cover the pipeline: `V0xx` for frontend findings
+//! (every [`vase_frontend::error::SemaError`] maps onto a code via
+//! [`frontend::code_for_sema`]), `I1xx` for the VHIF verifier, and
+//! `A2xx` for annotation/interval analysis. `vase lint` and the in-flow
+//! verifier gate both speak this type.
+//!
+//! # Examples
+//!
+//! ```
+//! use vase_diag::{Code, Diagnostic};
+//! use vase_frontend::span::{Position, Span};
+//!
+//! let start = Position { line: 2, column: 9, offset: 20 };
+//! let end = Position { line: 2, column: 13, offset: 24 };
+//! let d = Diagnostic::new(Code::V013, "`wait` is not allowed in VASS")
+//!     .with_span(Span { start, end });
+//! let text = vase_diag::render::render(&d, "entity e is\n        wait;\n", "e.vhd");
+//! assert!(text.contains("error[V013]"));
+//! assert!(text.contains("^^^^"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod code;
+pub mod diagnostic;
+pub mod frontend;
+pub mod json;
+pub mod render;
+
+pub use code::{reference_markdown, Code, CodeInfo, REGISTRY};
+pub use diagnostic::{deny_warnings, has_errors, sort, summary, Diagnostic, Severity};
+pub use frontend::{code_for_sema, frontend_diagnostics};
+pub use json::Json;
+pub use render::{render, render_all};
+
+// Re-exported so IR-level crates can build spanned diagnostics without
+// depending on the frontend directly.
+pub use vase_frontend::span::{Position, Span};

@@ -1,0 +1,131 @@
+//! Text rendering of diagnostics with source-line caret excerpts.
+
+use crate::diagnostic::Diagnostic;
+
+/// Render one diagnostic against its source text:
+///
+/// ```text
+/// error[V013]: `wait` statements are not allowed ...
+///   --> bad.vhd:7:9
+///    |
+///  7 |         wait;
+///    |         ^^^^^
+///    = note: ...
+/// ```
+///
+/// Diagnostics with synthetic spans (IR-level findings) skip the
+/// excerpt and keep only the header and notes.
+pub fn render(diag: &Diagnostic, source: &str, file: &str) -> String {
+    let mut out = format!("{}[{}]: {}\n", diag.severity, diag.code, diag.message);
+    if !diag.span.is_synthetic() {
+        let line_no = diag.span.start.line;
+        let col = diag.span.start.column.max(1) as usize;
+        out.push_str(&format!("  --> {file}:{line_no}:{col}\n"));
+        if let Some(line) = source.lines().nth(line_no.saturating_sub(1) as usize) {
+            let gutter = line_no.to_string();
+            let pad = " ".repeat(gutter.len());
+            let width = caret_width(diag, line, col);
+            out.push_str(&format!(" {pad} |\n"));
+            out.push_str(&format!(" {gutter} | {line}\n"));
+            out.push_str(&format!(" {pad} | {}{}\n", " ".repeat(col - 1), "^".repeat(width)));
+        }
+    }
+    for note in &diag.notes {
+        out.push_str(&format!("   = note: {note}\n"));
+    }
+    out
+}
+
+/// How many carets to draw: the span width when it stays on one line,
+/// clamped to the visible remainder of the line, at least one.
+fn caret_width(diag: &Diagnostic, line: &str, col: usize) -> usize {
+    let span = diag.span;
+    let width = if span.end.line == span.start.line && span.end.column > span.start.column {
+        (span.end.column - span.start.column) as usize
+    } else {
+        1
+    };
+    let remaining = line.chars().count().saturating_sub(col - 1).max(1);
+    width.min(remaining)
+}
+
+/// Render a whole listing: every diagnostic in order, then a count
+/// summary line when anything was reported.
+pub fn render_all(diags: &[Diagnostic], source: &str, file: &str) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&render(d, source, file));
+    }
+    let summary = crate::diagnostic::summary(diags);
+    if !summary.is_empty() {
+        out.push_str(&format!("{file}: {summary}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::Code;
+    use vase_frontend::span::{Position, Span};
+
+    fn span(line: u32, col: u32, width: u32) -> Span {
+        let start = Position { line, column: col, offset: 0 };
+        let end = Position { line, column: col + width, offset: width };
+        Span { start, end }
+    }
+
+    #[test]
+    fn caret_under_the_offending_token() {
+        let source = "entity e is\n  port (x : in real);\nend entity;\n";
+        let d = Diagnostic::new(Code::V010, "undeclared name `x`").with_span(span(2, 9, 1));
+        let text = render(&d, source, "t.vhd");
+        assert!(text.contains("error[V010]: undeclared name `x`"));
+        assert!(text.contains("--> t.vhd:2:9"));
+        assert!(text.contains(" 2 |   port (x : in real);"));
+        let caret_line = text.lines().find(|l| l.contains('^')).expect("caret line");
+        assert_eq!(caret_line.find('^'), Some(" 2 | ".len() + 8));
+    }
+
+    #[test]
+    fn multi_column_span_draws_wide_caret() {
+        let source = "y == x / z;\n";
+        let d = Diagnostic::new(Code::A200, "divisor may be zero")
+            .with_span(span(1, 6, 5))
+            .with_note("divisor interval [-1, 1]");
+        let text = render(&d, source, "t.vhd");
+        assert!(text.contains("^^^^^"), "{text}");
+        assert!(text.contains("= note: divisor interval [-1, 1]"));
+    }
+
+    #[test]
+    fn synthetic_span_skips_excerpt() {
+        let d = Diagnostic::new(Code::I103, "combinational cycle through b2")
+            .with_note("graph `main`");
+        let text = render(&d, "whatever", "t.vhd");
+        assert!(!text.contains("-->"));
+        assert!(!text.contains('^'));
+        assert!(text.contains("note: graph `main`"));
+    }
+
+    #[test]
+    fn caret_clamped_to_line_end() {
+        let source = "short\n";
+        let d = Diagnostic::new(Code::V002, "eof").with_span(span(1, 5, 40));
+        let text = render(&d, source, "t.vhd");
+        let caret_line = text.lines().find(|l| l.contains('^')).expect("caret line");
+        assert_eq!(caret_line.matches('^').count(), 1);
+    }
+
+    #[test]
+    fn render_all_appends_summary() {
+        let source = "x\n";
+        let diags = vec![
+            Diagnostic::new(Code::V010, "a").with_span(span(1, 1, 1)),
+            Diagnostic::new(Code::A200, "b"),
+        ];
+        let text = render_all(&diags, source, "t.vhd");
+        assert!(text.ends_with("t.vhd: 1 error, 1 warning\n"), "{text}");
+        assert_eq!(render_all(&[], source, "t.vhd"), "");
+    }
+}

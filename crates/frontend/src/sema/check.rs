@@ -722,14 +722,18 @@ impl<'a> Checker<'a> {
             collect_terminal_facets(stmt, &mut across, &mut through, &mut spans);
         }
         for name in across.intersection(&through) {
-            if symbols.get(name).is_some_and(|s| s.class == ObjectClass::Terminal) {
+            let Some(symbol) = symbols.get(name) else { continue };
+            if symbol.class == ObjectClass::Terminal {
+                // Point at a use site if one was collected, otherwise at
+                // the terminal's declaration — never at a made-up 1:1.
+                let span = spans.get(name).copied().unwrap_or(symbol.span);
                 self.error(
                     SemaErrorKind::RestrictionViolation,
                     format!(
                         "terminal `{name}` uses both its 'across and 'through facets; VASS \
                          permits only one facet per terminal port"
                     ),
-                    spans.get(name).copied().unwrap_or_default(),
+                    span,
                 );
             }
         }

@@ -251,12 +251,50 @@ pub fn fold_static(expr: &Expr, symbols: &SymbolTable) -> Option<f64> {
     }
 }
 
+/// Whether a `for`-loop bound is statically determined: it folds to a
+/// constant, or it is an arithmetic combination of constants and
+/// *enclosing* loop variables (which take a known value in every
+/// unrolled copy of the outer loop, so the nested loop still unrolls —
+/// e.g. `for j in 1 to i` inside `for i in 1 to 4`).
+fn is_static_bound(expr: &Expr, symbols: &SymbolTable, loop_vars: &HashSet<String>) -> bool {
+    use crate::ast::ExprKind;
+    if fold_static(expr, symbols).is_some() {
+        return true;
+    }
+    match &expr.kind {
+        ExprKind::Name(id) => loop_vars.contains(&id.name),
+        ExprKind::Unary { op, operand } => {
+            use crate::ast::UnaryOp::*;
+            matches!(op, Neg | Plus | Abs) && is_static_bound(operand, symbols, loop_vars)
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            use crate::ast::BinaryOp::*;
+            matches!(op, Add | Sub | Mul | Div | Pow | Mod | Rem)
+                && is_static_bound(lhs, symbols, loop_vars)
+                && is_static_bound(rhs, symbols, loop_vars)
+        }
+        _ => false,
+    }
+}
+
 /// Check that every `for` loop in `body` has statically-known bounds.
 pub fn check_for_bounds(body: &[SeqStmt], symbols: &SymbolTable, errors: &mut Vec<SemaError>) {
+    let mut loop_vars = HashSet::new();
+    check_for_bounds_in(body, symbols, &mut loop_vars, errors);
+}
+
+fn check_for_bounds_in(
+    body: &[SeqStmt],
+    symbols: &SymbolTable,
+    loop_vars: &mut HashSet<String>,
+    errors: &mut Vec<SemaError>,
+) {
     for stmt in body {
         match &stmt.kind {
             SeqStmtKind::For { var, lo, hi, body: fbody, .. } => {
-                if fold_static(lo, symbols).is_none() || fold_static(hi, symbols).is_none() {
+                if !is_static_bound(lo, symbols, loop_vars)
+                    || !is_static_bound(hi, symbols, loop_vars)
+                {
                     errors.push(SemaError::new(
                         SemaErrorKind::RestrictionViolation,
                         format!(
@@ -267,20 +305,29 @@ pub fn check_for_bounds(body: &[SeqStmt], symbols: &SymbolTable, errors: &mut Ve
                         stmt.span,
                     ));
                 }
-                check_for_bounds(fbody, symbols, errors);
+                // Inside the body the loop variable is static either
+                // way; treating it so even after a bad bound avoids
+                // cascading errors on the nested loops.
+                let added = loop_vars.insert(var.name.clone());
+                check_for_bounds_in(fbody, symbols, loop_vars, errors);
+                if added {
+                    loop_vars.remove(&var.name);
+                }
             }
             SeqStmtKind::If { branches, else_body } => {
                 for (_, b) in branches {
-                    check_for_bounds(b, symbols, errors);
+                    check_for_bounds_in(b, symbols, loop_vars, errors);
                 }
-                check_for_bounds(else_body, symbols, errors);
+                check_for_bounds_in(else_body, symbols, loop_vars, errors);
             }
             SeqStmtKind::Case { arms, .. } => {
                 for arm in arms {
-                    check_for_bounds(&arm.body, symbols, errors);
+                    check_for_bounds_in(&arm.body, symbols, loop_vars, errors);
                 }
             }
-            SeqStmtKind::While { body, .. } => check_for_bounds(body, symbols, errors),
+            SeqStmtKind::While { body, .. } => {
+                check_for_bounds_in(body, symbols, loop_vars, errors)
+            }
             _ => {}
         }
     }
@@ -430,6 +477,53 @@ mod tests {
         let mut errors = Vec::new();
         check_for_bounds(&body, &symbols(), &mut errors);
         assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn computed_static_bounds_accepted() {
+        for src in [
+            "for i in 0 to (lim - 1) loop v := v + x; end loop;",
+            "for i in -lim to lim loop v := v + x; end loop;",
+            "for i in 1 to 2 * lim + 1 loop v := v + x; end loop;",
+        ] {
+            let body = process_body(src);
+            let mut errors = Vec::new();
+            check_for_bounds(&body, &symbols(), &mut errors);
+            assert!(errors.is_empty(), "{src}: {errors:?}");
+        }
+    }
+
+    #[test]
+    fn nested_loop_bound_on_outer_var_accepted() {
+        let body = process_body(
+            "for i in 1 to lim loop
+               for j in 1 to i loop v := v + x; end loop;
+             end loop;",
+        );
+        let mut errors = Vec::new();
+        check_for_bounds(&body, &symbols(), &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+        // The loop variable is only static *inside* its loop.
+        let body = process_body(
+            "for i in 1 to lim loop v := v + x; end loop;
+             for j in 1 to i loop v := v + x; end loop;",
+        );
+        let mut errors = Vec::new();
+        check_for_bounds(&body, &symbols(), &mut errors);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+    }
+
+    #[test]
+    fn dynamic_outer_bound_reported_once_not_cascaded() {
+        let body = process_body(
+            "for i in 1 to q loop
+               for j in 1 to i loop v := v + x; end loop;
+             end loop;",
+        );
+        let mut errors = Vec::new();
+        check_for_bounds(&body, &symbols(), &mut errors);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].message.contains("`i`"));
     }
 
     #[test]

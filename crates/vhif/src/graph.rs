@@ -370,6 +370,14 @@ impl SignalFlowGraph {
     pub fn set_label(&mut self, id: BlockId, label: impl Into<String>) {
         self.blocks[id.index()].label = Some(label.into());
     }
+
+    /// The raw port table, one row per block in id order. Unlike
+    /// [`SignalFlowGraph::block_inputs`] this cannot panic, so the
+    /// verifier can inspect graphs deserialized from untrusted JSON
+    /// whose row count or row widths disagree with the block list.
+    pub(crate) fn raw_inputs(&self) -> &[Vec<Option<BlockId>>] {
+        &self.inputs
+    }
 }
 
 impl fmt::Display for SignalFlowGraph {

@@ -53,6 +53,7 @@ pub mod dp;
 pub mod error;
 pub mod fsm;
 pub mod graph;
+pub mod verify;
 
 pub use block::{Block, BlockKind, SignalClass};
 pub use design::{VhifDesign, VhifStats};
@@ -61,3 +62,4 @@ pub use dot::{design_to_dot, fsm_to_dot, graph_to_dot};
 pub use error::VhifError;
 pub use fsm::{Fsm, State, StateId, Transition, Trigger};
 pub use graph::{BlockId, SignalFlowGraph};
+pub use verify::{diagnostic_from_error, verify_design, VerifyContext, WireKind};

@@ -1,0 +1,1023 @@
+//! The VHIF verifier: a static-analysis pass over compiled designs.
+//!
+//! [`vase_vhif::SignalFlowGraph::validate`](crate::SignalFlowGraph::validate)
+//! and [`crate::Fsm::validate`] stop at the *first* structural error;
+//! this pass instead walks the whole design and reports *every*
+//! finding as a [`Diagnostic`] with a stable `I1xx`/`A2xx` code, so
+//! `vase lint` can show a complete listing and the flow can explain
+//! exactly why it refuses to map a design. Beyond the constructive
+//! invariants it re-checks (dangling edges, undriven ports, algebraic
+//! loops, class mismatches, FSM reachability), it verifies properties
+//! only expressible at the IR level:
+//!
+//! * the one-memory-per-signal rule of paper §4 ([`Code::I105`]),
+//! * the while→sampling-structure shape of paper Fig. 4
+//!   ([`Code::I106`]),
+//! * overlapping `'above` triggers and dead FSM states
+//!   ([`Code::I109`], [`Code::I110`]),
+//! * voltage/current kind consistency across wired interface ports
+//!   ([`Code::I111`]),
+//! * interval propagation of the `range` annotations to flag possible
+//!   division by zero and out-of-range drives ([`Code::A200`],
+//!   [`Code::A201`]).
+//!
+//! Diagnostics from this pass carry synthetic spans (the IR has no
+//! source positions); notes name the graph, block, or state involved.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vase_diag::{Code, Diagnostic};
+
+use crate::block::{BlockKind, SignalClass};
+use crate::design::VhifDesign;
+use crate::dp::Event;
+use crate::error::VhifError;
+use crate::fsm::{Fsm, StateId, Trigger};
+use crate::graph::{BlockId, SignalFlowGraph};
+
+/// Electrical kind of an interface wire, as declared by annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireKind {
+    /// An across quantity (voltage).
+    Voltage,
+    /// A through quantity (current).
+    Current,
+}
+
+impl std::fmt::Display for WireKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WireKind::Voltage => "voltage",
+            WireKind::Current => "current",
+        })
+    }
+}
+
+/// Annotation-derived facts the verifier checks the IR against. The
+/// flow fills this from the analyzed architecture; an empty context
+/// (the default) runs the purely structural checks only.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyContext {
+    /// Declared electrical kind per interface (port/quantity) name.
+    pub kinds: BTreeMap<String, WireKind>,
+    /// Declared value range per interface name (`range lo to hi`).
+    /// Degenerate ranges (`lo > hi`) must be filtered out by the caller.
+    pub value_ranges: BTreeMap<String, (f64, f64)>,
+    /// Signal-class ports that may drive control inputs from outside.
+    pub external_signals: Vec<String>,
+}
+
+/// Map a constructive [`VhifError`] onto the verifier's code space
+/// (used by the compiler to report lowering-time structural errors
+/// under the same stable codes).
+pub fn diagnostic_from_error(e: &VhifError) -> Diagnostic {
+    let code = match e {
+        VhifError::UnknownBlock
+        | VhifError::BadPort { .. }
+        | VhifError::PortAlreadyDriven { .. }
+        | VhifError::UnknownState => Code::I101,
+        VhifError::ClassMismatch { .. } => Code::I104,
+        VhifError::UndrivenPort { .. } => Code::I102,
+        VhifError::AlgebraicLoop => Code::I103,
+        VhifError::UnreachableState { .. } => Code::I107,
+        VhifError::AmbiguousTransition { .. } => Code::I108,
+    };
+    Diagnostic::new(code, e.to_string())
+}
+
+/// Verify a whole design: every graph, every FSM, the graph↔FSM
+/// interconnect, and the annotation-derived interval checks. Returns
+/// all findings, sorted for reporting ([`vase_diag::sort`]).
+pub fn verify_design(design: &VhifDesign, ctx: &VerifyContext) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for g in &design.graphs {
+        verify_graph(g, ctx, &mut diags);
+    }
+    for f in &design.fsms {
+        verify_fsm(f, &mut diags);
+    }
+    verify_interconnect(design, ctx, &mut diags);
+    vase_diag::sort(&mut diags);
+    diags
+}
+
+fn block_desc(g: &SignalFlowGraph, id: BlockId) -> String {
+    match g.raw_inputs().len() {
+        n if id.index() < n.min(g.len()) => format!("{id} ({})", g.block(id)),
+        _ => id.to_string(),
+    }
+}
+
+fn graph_note(g: &SignalFlowGraph) -> String {
+    format!("in graph `{}`", g.name())
+}
+
+/// Structural checks for one graph. Uses the raw port table throughout
+/// so it also survives malformed deserialized graphs.
+fn verify_graph(g: &SignalFlowGraph, ctx: &VerifyContext, diags: &mut Vec<Diagnostic>) {
+    let rows = g.raw_inputs();
+    if rows.len() != g.len() {
+        diags.push(
+            Diagnostic::new(
+                Code::I101,
+                format!(
+                    "graph `{}` has {} blocks but {} port rows",
+                    g.name(),
+                    g.len(),
+                    rows.len()
+                ),
+            )
+            .with_note("the connection table does not match the block list"),
+        );
+        return; // nothing below can be trusted
+    }
+    let mut structurally_sound = true;
+    for (id, block) in g.iter() {
+        let ports = &rows[id.index()];
+        let arity = block.kind.input_arity();
+        if ports.len() != arity {
+            diags.push(
+                Diagnostic::new(
+                    Code::I101,
+                    format!(
+                        "{} has {} wired ports but arity {arity}",
+                        block_desc(g, id),
+                        ports.len()
+                    ),
+                )
+                .with_note(graph_note(g)),
+            );
+            structurally_sound = false;
+            continue;
+        }
+        for (p, driver) in ports.iter().enumerate() {
+            match driver {
+                None => {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::I102,
+                            format!("input port {p} of {} has no driver", block_desc(g, id)),
+                        )
+                        .with_note(graph_note(g)),
+                    );
+                    structurally_sound = false;
+                }
+                Some(d) if d.index() >= g.len() => {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::I101,
+                            format!(
+                                "port {p} of {} is driven by {d}, which does not exist",
+                                block_desc(g, id)
+                            ),
+                        )
+                        .with_note(graph_note(g)),
+                    );
+                    structurally_sound = false;
+                }
+                Some(d) => {
+                    let want = if p >= block.kind.data_inputs() {
+                        SignalClass::Control
+                    } else {
+                        SignalClass::Analog
+                    };
+                    let got = g.kind(*d).output_class();
+                    if want != got {
+                        diags.push(
+                            Diagnostic::new(
+                                Code::I104,
+                                format!(
+                                    "{want} port {p} of {} is driven by the {got} output \
+                                     of {}",
+                                    block_desc(g, id),
+                                    block_desc(g, *d)
+                                ),
+                            )
+                            .with_note(graph_note(g)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if !structurally_sound {
+        return; // cycle/shape/interval analyses assume complete wiring
+    }
+    if let Some(on_cycle) = g.combinational_cycle() {
+        diags.push(
+            Diagnostic::new(
+                Code::I103,
+                format!(
+                    "combinational cycle through {} is not broken by an integrator, \
+                     sample-and-hold, or other stateful block",
+                    block_desc(g, on_cycle)
+                ),
+            )
+            .with_note(graph_note(g)),
+        );
+        return; // interval propagation needs a topological order
+    }
+    verify_memory_rule(g, diags);
+    verify_sampling_structures(g, diags);
+    verify_kinds(g, ctx, diags);
+    propagate_intervals(g, ctx, diags);
+}
+
+/// One-memory-per-signal at the graph level: no two memory blocks may
+/// store the same signal. (Multiple `ControlInput` blocks for one
+/// signal are fine — they are *readers*, one per consuming site.)
+fn verify_memory_rule(g: &SignalFlowGraph, diags: &mut Vec<Diagnostic>) {
+    let mut seen: BTreeMap<&str, BlockId> = BTreeMap::new();
+    for (id, block) in g.iter() {
+        let name = match (&block.kind, &block.label) {
+            (BlockKind::Memory, Some(label)) => Some(label.as_str()),
+            _ => None,
+        };
+        let Some(name) = name else { continue };
+        if let Some(first) = seen.insert(name, id) {
+            diags.push(
+                Diagnostic::new(
+                    Code::I105,
+                    format!(
+                        "signal `{name}` has more than one memory: {} and {}",
+                        block_desc(g, first),
+                        block_desc(g, id)
+                    ),
+                )
+                .with_note(graph_note(g))
+                .with_note("VASS allocates exactly one memory block per signal (paper §4)"),
+            );
+        }
+    }
+}
+
+/// The condition sources (non-logic control producers) feeding a
+/// control port, found by walking backwards through logic gates.
+fn condition_sources(g: &SignalFlowGraph, from: BlockId) -> BTreeSet<BlockId> {
+    let mut sources = BTreeSet::new();
+    let mut stack = vec![from];
+    let mut seen = BTreeSet::new();
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        if matches!(g.kind(id), BlockKind::Logic { .. }) {
+            stack.extend(g.block_inputs(id).iter().flatten().copied());
+        } else {
+            sources.insert(id);
+        }
+    }
+    sources
+}
+
+/// Shape-check every lowered `while` sampling structure against paper
+/// Fig. 4: the compiler labels the tracking S/H `sh1_<var>` and the
+/// latching S/H `sh2_<var>`; between them sits a switch, and the
+/// tracking control must combine two condition networks (the entry
+/// conditional `icontr` and the hysteresis loop conditional `contr`).
+fn verify_sampling_structures(g: &SignalFlowGraph, diags: &mut Vec<Diagnostic>) {
+    let mut pairs: BTreeMap<&str, [Option<BlockId>; 2]> = BTreeMap::new();
+    for (id, block) in g.iter() {
+        let Some(label) = block.label.as_deref() else { continue };
+        if let Some(var) = label.strip_prefix("sh1_") {
+            pairs.entry(var).or_default()[0] = Some(id);
+        } else if let Some(var) = label.strip_prefix("sh2_") {
+            pairs.entry(var).or_default()[1] = Some(id);
+        }
+    }
+    for (var, [sh1, sh2]) in pairs {
+        let bad = |diags: &mut Vec<Diagnostic>, msg: String| {
+            diags.push(
+                Diagnostic::new(Code::I106, msg).with_note(graph_note(g)).with_note(
+                    "a `while` sampling structure needs two condition networks and an \
+                     S/H pair bridged by a switch (paper Fig. 4)",
+                ),
+            );
+        };
+        let (Some(sh1), Some(sh2)) = (sh1, sh2) else {
+            let present = if sh1.is_some() { "sh1" } else { "sh2" };
+            bad(
+                diags,
+                format!(
+                    "sampling structure for `{var}` has only its {present} stage; the \
+                     S/H pair is incomplete"
+                ),
+            );
+            continue;
+        };
+        for id in [sh1, sh2] {
+            if !matches!(g.kind(id), BlockKind::SampleHold) {
+                bad(
+                    diags,
+                    format!(
+                        "{} is labelled as a sampling stage of `{var}` but is not a \
+                         sample-and-hold",
+                        block_desc(g, id)
+                    ),
+                );
+            }
+        }
+        // sh2's data input must come from a switch fed by sh1.
+        let latch_ok = matches!(
+            g.block_inputs(sh2).first().copied().flatten(),
+            Some(sw) if matches!(g.kind(sw), BlockKind::Switch)
+                && g.block_inputs(sw).first().copied().flatten() == Some(sh1)
+        );
+        if !latch_ok {
+            bad(
+                diags,
+                format!(
+                    "latching stage {} of `{var}` is not fed from {} through a switch",
+                    block_desc(g, sh2),
+                    block_desc(g, sh1)
+                ),
+            );
+        }
+        // The tracking control must merge at least two condition
+        // networks (entry conditional + hysteresis loop conditional).
+        if let Some(control) = g.block_inputs(sh1).get(1).copied().flatten() {
+            let conditions = condition_sources(g, control);
+            if conditions.len() < 2 {
+                bad(
+                    diags,
+                    format!(
+                        "tracking stage {} of `{var}` is gated by {} condition \
+                         network(s); the entry and loop conditionals must both reach it",
+                        block_desc(g, sh1),
+                        conditions.len()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Interface blocks wired straight through (optionally via output
+/// stages or limiters, which preserve the quantity's identity) must
+/// agree on electrical kind.
+fn verify_kinds(g: &SignalFlowGraph, ctx: &VerifyContext, diags: &mut Vec<Diagnostic>) {
+    if ctx.kinds.is_empty() {
+        return;
+    }
+    for (id, block) in g.iter() {
+        let BlockKind::Output { name: out_name } = &block.kind else { continue };
+        let Some(&out_kind) = ctx.kinds.get(out_name) else { continue };
+        // Walk back through identity-preserving stages.
+        let mut at = g.block_inputs(id).first().copied().flatten();
+        while let Some(src) = at {
+            match g.kind(src) {
+                BlockKind::OutputStage { .. } | BlockKind::Limiter { .. } => {
+                    at = g.block_inputs(src).first().copied().flatten();
+                }
+                BlockKind::Input { name: in_name } => {
+                    if let Some(&in_kind) = ctx.kinds.get(in_name) {
+                        if in_kind != out_kind {
+                            diags.push(
+                                Diagnostic::new(
+                                    Code::I111,
+                                    format!(
+                                        "{in_kind} input `{in_name}` is wired straight to \
+                                         {out_kind} output `{out_name}`",
+                                    ),
+                                )
+                                .with_note(graph_note(g))
+                                .with_note(
+                                    "converting between kinds needs an explicit \
+                                     transresistance/transconductance stage",
+                                ),
+                            );
+                        }
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+type Interval = (f64, f64);
+
+fn hull(a: Interval, b: Interval) -> Interval {
+    (a.0.min(b.0), a.1.max(b.1))
+}
+
+fn mul_interval(a: Interval, b: Interval) -> Interval {
+    let c = [a.0 * b.0, a.0 * b.1, a.1 * b.0, a.1 * b.1];
+    (c.iter().copied().fold(f64::INFINITY, f64::min),
+     c.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// Propagate annotated value ranges through the graph in topological
+/// order. Deliberately conservative: any block whose interval is not
+/// known exactly propagates "unknown", so no warning can come from a
+/// quantity the designer never bounded.
+fn propagate_intervals(g: &SignalFlowGraph, ctx: &VerifyContext, diags: &mut Vec<Diagnostic>) {
+    if ctx.value_ranges.is_empty() {
+        return;
+    }
+    let Ok(order) = g.topo_order() else { return };
+    let mut iv: Vec<Option<Interval>> = vec![None; g.len()];
+    for id in order {
+        let get = |p: usize| -> Option<Interval> {
+            g.block_inputs(id).get(p).copied().flatten().and_then(|d| iv[d.index()])
+        };
+        let data_arity = g.kind(id).data_inputs();
+        iv[id.index()] = match g.kind(id) {
+            BlockKind::Input { name } => ctx.value_ranges.get(name).copied(),
+            BlockKind::Const { value } => Some((*value, *value)),
+            BlockKind::Scale { gain } => get(0).map(|a| mul_interval(a, (*gain, *gain))),
+            BlockKind::Add { .. } => {
+                let mut acc = Some((0.0, 0.0));
+                for p in 0..data_arity {
+                    acc = match (acc, get(p)) {
+                        (Some(a), Some(b)) => Some((a.0 + b.0, a.1 + b.1)),
+                        _ => None,
+                    };
+                }
+                acc
+            }
+            BlockKind::Sub => match (get(0), get(1)) {
+                (Some(a), Some(b)) => Some((a.0 - b.1, a.1 - b.0)),
+                _ => None,
+            },
+            BlockKind::Mul => match (get(0), get(1)) {
+                (Some(a), Some(b)) => Some(mul_interval(a, b)),
+                _ => None,
+            },
+            BlockKind::Div => {
+                match get(1) {
+                    Some(b) if b.0 <= 0.0 && b.1 >= 0.0 => {
+                        diags.push(
+                            Diagnostic::new(
+                                Code::A200,
+                                format!(
+                                    "divider {} may divide by zero",
+                                    block_desc(g, id)
+                                ),
+                            )
+                            .with_note(graph_note(g))
+                            .with_note(format!(
+                                "the annotated ranges give the divisor the interval \
+                                 [{}, {}], which contains zero",
+                                b.0, b.1
+                            )),
+                        );
+                        None
+                    }
+                    Some(b) => get(0).map(|a| {
+                        let c = [a.0 / b.0, a.0 / b.1, a.1 / b.0, a.1 / b.1];
+                        (c.iter().copied().fold(f64::INFINITY, f64::min),
+                         c.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+                    }),
+                    None => None,
+                }
+            }
+            BlockKind::Abs => get(0).map(|a| {
+                let hi = a.0.abs().max(a.1.abs());
+                let lo = if a.0 <= 0.0 && a.1 >= 0.0 { 0.0 } else { a.0.abs().min(a.1.abs()) };
+                (lo, hi)
+            }),
+            BlockKind::Antilog => get(0).map(|a| (a.0.exp(), a.1.exp())),
+            BlockKind::Limiter { level } => {
+                let l = (-level.abs(), level.abs());
+                Some(get(0).map_or(l, |a| (a.0.clamp(l.0, l.1), a.1.clamp(l.0, l.1))))
+            }
+            BlockKind::OutputStage { limit, .. } => match (get(0), limit) {
+                (Some(a), Some(l)) => Some((a.0.clamp(-l.abs(), l.abs()), a.1.clamp(-l.abs(), l.abs()))),
+                (Some(a), None) => Some(a),
+                (None, Some(l)) => Some((-l.abs(), l.abs())),
+                (None, None) => None,
+            },
+            BlockKind::SampleHold => get(0),
+            BlockKind::Switch => get(0).map(|a| hull(a, (0.0, 0.0))),
+            BlockKind::Mux { arity } => {
+                let mut acc = get(0);
+                for p in 1..*arity {
+                    acc = match (acc, get(p)) {
+                        (Some(a), Some(b)) => Some(hull(a, b)),
+                        _ => None,
+                    };
+                }
+                acc
+            }
+            BlockKind::Output { name } => {
+                let computed = get(0);
+                if let (Some(c), Some(&(lo, hi))) = (computed, ctx.value_ranges.get(name)) {
+                    let tol = 1e-9 * lo.abs().max(hi.abs()).max(1.0);
+                    if c.0 < lo - tol || c.1 > hi + tol {
+                        diags.push(
+                            Diagnostic::new(
+                                Code::A201,
+                                format!(
+                                    "output `{name}` can leave its annotated range \
+                                     [{lo}, {hi}]"
+                                ),
+                            )
+                            .with_note(graph_note(g))
+                            .with_note(format!(
+                                "interval propagation bounds the driven value to \
+                                 [{}, {}]",
+                                c.0, c.1
+                            )),
+                        );
+                    }
+                }
+                computed
+            }
+            // Integrators, differentiators, logs, and all control-class
+            // producers are unbounded or non-analog: unknown.
+            _ => None,
+        };
+    }
+}
+
+/// FSM checks: dangling transitions, reachability, determinism,
+/// overlapping `'above` triggers, dead states.
+fn verify_fsm(f: &Fsm, diags: &mut Vec<Diagnostic>) {
+    let n = f.state_count();
+    let fsm_note = format!("in fsm `{}`", f.name());
+    let mut sound = true;
+    for t in f.transitions() {
+        for (role, s) in [("source", t.from), ("destination", t.to)] {
+            if s.index() >= n {
+                diags.push(
+                    Diagnostic::new(
+                        Code::I101,
+                        format!("transition {role} {s} does not exist"),
+                    )
+                    .with_note(fsm_note.clone()),
+                );
+                sound = false;
+            }
+        }
+    }
+    if !sound {
+        return;
+    }
+    // Reachability from start.
+    let mut seen = vec![false; n];
+    seen[f.start().index()] = true;
+    let mut stack = vec![f.start()];
+    while let Some(s) = stack.pop() {
+        for t in f.outgoing(s) {
+            if !seen[t.to.index()] {
+                seen[t.to.index()] = true;
+                stack.push(t.to);
+            }
+        }
+    }
+    for (id, state) in f.iter() {
+        if !seen[id.index()] {
+            diags.push(
+                Diagnostic::new(
+                    Code::I107,
+                    format!("state `{}` ({id}) is unreachable from the start state", state.name),
+                )
+                .with_note(fsm_note.clone()),
+            );
+        }
+    }
+    for (id, state) in f.iter() {
+        verify_state_determinism(f, id, &state.name, &fsm_note, diags);
+        // Duplicate data-path targets within one state's concurrent ops.
+        let mut targets: BTreeSet<&str> = BTreeSet::new();
+        for op in &state.ops {
+            if !targets.insert(&op.target) {
+                diags.push(
+                    Diagnostic::new(
+                        Code::I105,
+                        format!(
+                            "state `{}` assigns signal `{}` more than once in one step",
+                            state.name, op.target
+                        ),
+                    )
+                    .with_note(fsm_note.clone())
+                    .with_note("concurrent data-path ops write each memory at most once"),
+                );
+            }
+        }
+        if id != f.start() && f.outgoing(id).next().is_none() && n > 1 {
+            diags.push(
+                Diagnostic::new(
+                    Code::I110,
+                    format!(
+                        "state `{}` ({id}) has no outgoing transition; the process can \
+                         never suspend again",
+                        state.name
+                    ),
+                )
+                .with_note(fsm_note.clone()),
+            );
+        }
+    }
+}
+
+/// `Always`-arc determinism plus `'above` overlap analysis for one
+/// state.
+fn verify_state_determinism(
+    f: &Fsm,
+    id: StateId,
+    state_name: &str,
+    fsm_note: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let outgoing: Vec<_> = f.outgoing(id).collect();
+    let always = outgoing.iter().filter(|t| matches!(t.trigger, Trigger::Always)).count();
+    if always > 1 {
+        diags.push(
+            Diagnostic::new(
+                Code::I108,
+                format!("state `{state_name}` has {always} unconditional outgoing arcs"),
+            )
+            .with_note(fsm_note.to_owned()),
+        );
+    }
+    // 'above events across *different* transitions from this state.
+    let mut above: Vec<(usize, &str, f64)> = Vec::new();
+    for (i, t) in outgoing.iter().enumerate() {
+        if let Trigger::AnyEvent(events) = &t.trigger {
+            for e in events {
+                if let Event::Above { quantity, threshold } = e {
+                    above.push((i, quantity, *threshold));
+                }
+            }
+        }
+    }
+    let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (i, (ta, qa, va)) in above.iter().enumerate() {
+        for (tb, qb, vb) in above[i + 1..].iter() {
+            if ta == tb || qa != qb || !reported.insert((*ta, *tb)) {
+                continue;
+            }
+            if va == vb {
+                diags.push(
+                    Diagnostic::new(
+                        Code::I108,
+                        format!(
+                            "two transitions from state `{state_name}` fire on the same \
+                             event {qa}'above({va})"
+                        ),
+                    )
+                    .with_note(fsm_note.to_owned()),
+                );
+            } else {
+                diags.push(
+                    Diagnostic::new(
+                        Code::I109,
+                        format!(
+                            "transitions from state `{state_name}` watch `{qa}'above` at \
+                             thresholds {va} and {vb}; both events can be pending at once"
+                        ),
+                    )
+                    .with_note(fsm_note.to_owned())
+                    .with_note(
+                        "the paper's FSM model assumes one event at a time (no arbitration)",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Cross-checks between the graphs and the FSMs: control inputs must
+/// have exactly one producer (an FSM data-path or an external signal).
+fn verify_interconnect(design: &VhifDesign, ctx: &VerifyContext, diags: &mut Vec<Diagnostic>) {
+    let mut producers: BTreeMap<String, Vec<&str>> = BTreeMap::new();
+    for f in &design.fsms {
+        for signal in f.assigned_signals() {
+            producers.entry(signal).or_default().push(f.name());
+        }
+    }
+    for (signal, fsms) in &producers {
+        if fsms.len() > 1 {
+            diags.push(
+                Diagnostic::new(
+                    Code::I105,
+                    format!(
+                        "signal `{signal}` is driven by {} FSMs ({}); its memory block \
+                         would have several writers",
+                        fsms.len(),
+                        fsms.join(", ")
+                    ),
+                )
+                .with_note("VASS allocates exactly one memory block per signal (paper §4)"),
+            );
+        }
+    }
+    for g in &design.graphs {
+        if g.raw_inputs().len() != g.len() {
+            continue; // already reported as I101
+        }
+        for (_, block) in g.iter() {
+            if let BlockKind::ControlInput { name } = &block.kind {
+                if !producers.contains_key(name)
+                    && !ctx.external_signals.iter().any(|s| s == name)
+                {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::I102,
+                            format!(
+                                "control input `{name}` is produced by no FSM and is not \
+                                 an external signal"
+                            ),
+                        )
+                        .with_note(graph_note(g)),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::{DataOp, DpExpr};
+    use vase_diag::Severity;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    fn valid_chain() -> SignalFlowGraph {
+        let mut g = SignalFlowGraph::new("main");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let k = g.add(BlockKind::Scale { gain: 2.0 });
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, k, 0).expect("wire");
+        g.connect(k, y, 0).expect("wire");
+        g
+    }
+
+    #[test]
+    fn clean_graph_reports_nothing() {
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(valid_chain());
+        assert!(verify_design(&d, &VerifyContext::default()).is_empty());
+    }
+
+    #[test]
+    fn undriven_ports_all_reported() {
+        let mut g = SignalFlowGraph::new("main");
+        g.add(BlockKind::Scale { gain: 1.0 });
+        g.add(BlockKind::Sub);
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let diags = verify_design(&d, &VerifyContext::default());
+        // one scale port + two sub ports — validate() would stop at one
+        assert_eq!(codes(&diags), vec![Code::I102; 3]);
+    }
+
+    #[test]
+    fn algebraic_loop_reported_once_wiring_is_complete() {
+        let mut g = SignalFlowGraph::new("main");
+        let a = g.add(BlockKind::Add { arity: 2 });
+        let s = g.add(BlockKind::Scale { gain: 0.5 });
+        let c = g.add(BlockKind::Const { value: 1.0 });
+        g.connect(c, a, 0).expect("wire");
+        g.connect(s, a, 1).expect("wire");
+        g.connect(a, s, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let diags = verify_design(&d, &VerifyContext::default());
+        assert_eq!(codes(&diags), vec![Code::I103]);
+        assert!(diags[0].notes.iter().any(|n| n.contains("`main`")));
+    }
+
+    #[test]
+    fn duplicate_control_inputs_are_readers_not_conflicts() {
+        // The compiler emits one `ControlInput` per consuming site, so
+        // two readers of the same control signal are perfectly legal.
+        let mut g = SignalFlowGraph::new("main");
+        let a = g.add(BlockKind::ControlInput { name: "c1".into() });
+        let b = g.add(BlockKind::ControlInput { name: "c1".into() });
+        for id in [a, b] {
+            let sw = g.add(BlockKind::Switch);
+            let k = g.add(BlockKind::Const { value: 1.0 });
+            g.connect(k, sw, 0).expect("wire");
+            g.connect(id, sw, 1).expect("wire");
+        }
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let diags = verify_design(&d, &VerifyContext {
+            external_signals: vec!["c1".into()],
+            ..VerifyContext::default()
+        });
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn duplicate_memory_labels_are_memory_conflict() {
+        // Two memory blocks storing the same signal violate the
+        // one-memory-per-signal allocation rule.
+        let mut g = SignalFlowGraph::new("main");
+        let clk = g.add(BlockKind::ControlInput { name: "clk".into() });
+        for _ in 0..2 {
+            let k = g.add(BlockKind::Const { value: 1.0 });
+            let m = g.add(BlockKind::Memory);
+            g.set_label(m, "s1");
+            g.connect(k, m, 0).expect("wire");
+            g.connect(clk, m, 1).expect("wire");
+        }
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let diags = verify_design(&d, &VerifyContext {
+            external_signals: vec!["clk".into()],
+            ..VerifyContext::default()
+        });
+        assert_eq!(codes(&diags), vec![Code::I105]);
+    }
+
+    #[test]
+    fn broken_sampling_pair_detected() {
+        // An sh1 with no sh2 partner, driven legally.
+        let mut g = SignalFlowGraph::new("main");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let c = g.add(BlockKind::Comparator { threshold: 0.0 });
+        let sh = g.add(BlockKind::SampleHold);
+        g.set_label(sh, "sh1_v");
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, c, 0).expect("wire");
+        g.connect(x, sh, 0).expect("wire");
+        g.connect(c, sh, 1).expect("wire");
+        g.connect(sh, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let diags = verify_design(&d, &VerifyContext::default());
+        assert_eq!(codes(&diags), vec![Code::I106]);
+        assert!(diags[0].message.contains("incomplete"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn kind_mismatch_through_output_stage() {
+        let mut g = SignalFlowGraph::new("main");
+        let x = g.add(BlockKind::Input { name: "isens".into() });
+        let os = g.add(BlockKind::OutputStage {
+            load_ohms: 100.0,
+            peak_volts: 1.0,
+            limit: None,
+        });
+        let y = g.add(BlockKind::Output { name: "vout".into() });
+        g.connect(x, os, 0).expect("wire");
+        g.connect(os, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let mut ctx = VerifyContext::default();
+        ctx.kinds.insert("isens".into(), WireKind::Current);
+        ctx.kinds.insert("vout".into(), WireKind::Voltage);
+        let diags = verify_design(&d, &ctx);
+        assert_eq!(codes(&diags), vec![Code::I111]);
+    }
+
+    #[test]
+    fn division_by_possibly_zero_range_warns() {
+        let mut g = SignalFlowGraph::new("main");
+        let a = g.add(BlockKind::Input { name: "num".into() });
+        let b = g.add(BlockKind::Input { name: "den".into() });
+        let div = g.add(BlockKind::Div);
+        let y = g.add(BlockKind::Output { name: "q".into() });
+        g.connect(a, div, 0).expect("wire");
+        g.connect(b, div, 1).expect("wire");
+        g.connect(div, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let mut ctx = VerifyContext::default();
+        ctx.value_ranges.insert("den".into(), (-1.0, 1.0));
+        let diags = verify_design(&d, &ctx);
+        assert_eq!(codes(&diags), vec![Code::A200]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        // A divisor bounded away from zero is quiet.
+        ctx.value_ranges.insert("den".into(), (0.5, 1.0));
+        assert!(verify_design(&d, &ctx).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_drive_warns_and_unknowns_stay_quiet() {
+        let mut g = SignalFlowGraph::new("main");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let k = g.add(BlockKind::Scale { gain: 3.0 });
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, k, 0).expect("wire");
+        g.connect(k, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let mut ctx = VerifyContext::default();
+        ctx.value_ranges.insert("x".into(), (-1.0, 1.0));
+        ctx.value_ranges.insert("y".into(), (-1.0, 1.0));
+        let diags = verify_design(&d, &ctx);
+        assert_eq!(codes(&diags), vec![Code::A201]);
+        // No range on the input → conservative silence.
+        ctx.value_ranges.remove("x");
+        assert!(verify_design(&d, &ctx).is_empty());
+        // Gain that keeps the drive in range → silence.
+        ctx.value_ranges.insert("x".into(), (-0.25, 0.25));
+        assert!(verify_design(&d, &ctx).is_empty());
+    }
+
+    #[test]
+    fn fsm_unreachable_dead_and_overlapping_above() {
+        let mut f = Fsm::new("m");
+        let start = f.start();
+        let s1 = f.add_state("work");
+        let dead = f.add_state("trap");
+        let _orphan = f.add_state("orphan");
+        f.state_mut(s1).ops.push(DataOp::new("c1", DpExpr::Bit(true)));
+        f.state_mut(s1).ops.push(DataOp::new("c1", DpExpr::Bit(false)));
+        f.add_transition(
+            start,
+            s1,
+            Trigger::AnyEvent(vec![Event::Above { quantity: "x".into(), threshold: 0.1 }]),
+        );
+        f.add_transition(
+            start,
+            dead,
+            Trigger::AnyEvent(vec![Event::Above { quantity: "x".into(), threshold: 0.7 }]),
+        );
+        f.add_transition(s1, start, Trigger::Always);
+        let mut d = VhifDesign::new("t");
+        d.fsms.push(f);
+        let diags = verify_design(&d, &VerifyContext::default());
+        let got = codes(&diags);
+        assert!(got.contains(&Code::I107), "{got:?}"); // orphan unreachable
+        assert!(got.contains(&Code::I110), "{got:?}"); // trap has no exit
+        assert!(got.contains(&Code::I109), "{got:?}"); // two thresholds on x
+        assert!(got.contains(&Code::I105), "{got:?}"); // c1 assigned twice in one state
+    }
+
+    #[test]
+    fn dangling_transition_reported() {
+        let mut f = Fsm::new("m");
+        let start = f.start();
+        f.add_transition(start, StateId::from_index(7), Trigger::Always);
+        let mut d = VhifDesign::new("t");
+        d.fsms.push(f);
+        let diags = verify_design(&d, &VerifyContext::default());
+        assert_eq!(codes(&diags), vec![Code::I101]);
+    }
+
+    #[test]
+    fn control_input_without_producer_reported() {
+        let mut g = SignalFlowGraph::new("main");
+        let c = g.add(BlockKind::ControlInput { name: "ghost".into() });
+        let k = g.add(BlockKind::Const { value: 1.0 });
+        let sw = g.add(BlockKind::Switch);
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(k, sw, 0).expect("wire");
+        g.connect(c, sw, 1).expect("wire");
+        g.connect(sw, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let diags = verify_design(&d, &VerifyContext::default());
+        assert_eq!(codes(&diags), vec![Code::I102]);
+        let ctx =
+            VerifyContext { external_signals: vec!["ghost".into()], ..VerifyContext::default() };
+        assert!(verify_design(&d, &ctx).is_empty());
+    }
+
+    #[test]
+    fn same_signal_from_two_fsms_is_memory_conflict() {
+        let mut d = VhifDesign::new("t");
+        for name in ["p1", "p2"] {
+            let mut f = Fsm::new(name);
+            let start = f.start();
+            let s = f.add_state("s");
+            f.state_mut(s).ops.push(DataOp::new("c1", DpExpr::Bit(true)));
+            f.add_transition(start, s, Trigger::Always);
+            f.add_transition(s, start, Trigger::Always);
+            d.fsms.push(f);
+        }
+        let diags = verify_design(&d, &VerifyContext::default());
+        assert_eq!(codes(&diags), vec![Code::I105]);
+        assert!(diags[0].message.contains("p1, p2"));
+    }
+
+    #[test]
+    fn error_mapping_covers_every_variant() {
+        let cases: Vec<(VhifError, Code)> = vec![
+            (VhifError::UnknownBlock, Code::I101),
+            (VhifError::BadPort { block: "b1".into(), port: 3, arity: 1 }, Code::I101),
+            (VhifError::PortAlreadyDriven { block: "b1".into(), port: 0 }, Code::I101),
+            (
+                VhifError::ClassMismatch {
+                    from: "b0".into(),
+                    to: "b1".into(),
+                    port: 1,
+                    want: SignalClass::Control,
+                    got: SignalClass::Analog,
+                },
+                Code::I104,
+            ),
+            (VhifError::UndrivenPort { block: "b1".into(), port: 0 }, Code::I102),
+            (VhifError::AlgebraicLoop, Code::I103),
+            (VhifError::UnknownState, Code::I101),
+            (VhifError::UnreachableState { state: "s".into() }, Code::I107),
+            (VhifError::AmbiguousTransition { state: "s".into() }, Code::I108),
+        ];
+        for (e, code) in cases {
+            let d = diagnostic_from_error(&e);
+            assert_eq!(d.code, code, "{e}");
+            assert_eq!(d.message, e.to_string());
+        }
+    }
+}

@@ -1,0 +1,21 @@
+-- Warnings only: the design synthesizes, but interval propagation over
+-- the `range` annotations flags a divisor that can reach zero (A200),
+-- a drive that can leave its declared range (A201), and a degenerate
+-- range annotation (A202). Exits clean normally, nonzero under
+-- `--deny warnings`.
+entity scaler is
+  port (
+    quantity num : in  real is voltage range -1.0 to 1.0;
+    quantity den : in  real is voltage range -0.5 to 0.5;
+    quantity q   : out real is voltage;
+    quantity w   : out real is voltage range -0.1 to 0.1;
+    quantity z   : out real is voltage range 1.0 to -1.0
+  );
+end entity;
+
+architecture warn of scaler is
+begin
+  q == num / den;
+  w == num * 3.0;
+  z == num;
+end architecture;

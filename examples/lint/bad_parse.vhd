@@ -1,0 +1,6 @@
+-- Deliberately invalid: the port list is never closed, so parsing
+-- fails (V002) and lint exits nonzero.
+entity broken is
+  port (
+    quantity x : in real is voltage
+end entity;

@@ -1,0 +1,26 @@
+-- Deliberately invalid: breaks three VASS restrictions (paper §3) in
+-- one process — a `wait` statement, a signal read after it was
+-- assigned, and a for-loop whose bound is not statically known.
+entity ctrl is
+  port (
+    quantity x : in real is voltage;
+    signal trigger : in bit;
+    signal y : out bit
+  );
+end entity;
+
+architecture bad of ctrl is
+  signal s : bit;
+begin
+  process (trigger) is
+    variable v : real;
+    variable k : integer;
+  begin
+    s <= '1';
+    y <= s;
+    for i in 1 to k loop
+      v := v + x;
+    end loop;
+    wait;
+  end process;
+end architecture;

@@ -1,0 +1,15 @@
+-- Deliberately invalid: two statements reference names that were never
+-- declared, so lint reports one V010 per statement.
+entity amp is
+  port (
+    quantity vin  : in  real is voltage;
+    quantity vout : out real is voltage;
+    quantity vaux : out real is voltage
+  );
+end entity;
+
+architecture bad of amp is
+begin
+  vout == gain * vin;
+  vaux == offset + vin;
+end architecture;

@@ -1,0 +1,13 @@
+-- A well-formed specification: annotated ranges stay consistent, so
+-- `vase lint --deny warnings` accepts it with an empty listing.
+entity follower is
+  port (
+    quantity vin  : in  real is voltage range -1.0 to 1.0;
+    quantity vout : out real is voltage range -2.0 to 2.0
+  );
+end entity;
+
+architecture good of follower is
+begin
+  vout == vin * 1.5;
+end architecture;

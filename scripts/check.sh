@@ -15,6 +15,19 @@ cargo test -q
 echo "== tier 1: sim_bench --smoke =="
 ./target/release/sim_bench --smoke
 
+echo "== tier 1: vase lint over shipped specs and fixtures =="
+for f in crates/core/specs/*.vhd examples/lint/clean_*.vhd; do
+    # Every shipped design must lint clean, warnings included.
+    ./target/release/vase lint --deny warnings "$f" >/dev/null
+done
+for f in examples/lint/bad_*.vhd; do
+    # Every deliberately-invalid fixture must be rejected.
+    if ./target/release/vase lint --deny warnings "$f" >/dev/null 2>&1; then
+        echo "lint accepted invalid fixture $f" >&2
+        exit 1
+    fi
+done
+
 # Advisory only: the seed predates a formatting gate and is not
 # fmt-clean, so drift is reported without failing the check.
 if cargo fmt --version >/dev/null 2>&1; then
@@ -26,6 +39,7 @@ fi
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== tier 2: cargo clippy -D warnings =="
+    cargo clippy -p vase-diag --all-targets -- -D warnings
     cargo clippy --workspace --all-targets -- -D warnings
 else
     echo "== tier 2: cargo clippy unavailable; skipped =="

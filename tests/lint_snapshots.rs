@@ -1,0 +1,112 @@
+//! Golden lint snapshots: run `vase lint` over every VASS file the
+//! repository ships — the example specifications in `crates/core/specs`
+//! and the fixtures in `examples/lint` (including the deliberately
+//! invalid `bad_*` ones) — and compare the full rendered listing
+//! (codes, spans, messages, notes) against checked-in snapshots in
+//! `tests/snapshots/lint`.
+//!
+//! Regenerate after an intentional diagnostics change with:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test -p vase --test lint_snapshots
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+}
+
+/// Every `.vhd` file under the two shipped directories, sorted for a
+/// deterministic run order.
+fn vhd_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut out = Vec::new();
+    for dir in ["crates/core/specs", "examples/lint"] {
+        for entry in fs::read_dir(root.join(dir)).expect(dir) {
+            let path = entry.expect("dir entry").path();
+            if path.extension().is_some_and(|e| e == "vhd") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The full lint listing for one file, rendered against the bare file
+/// name so snapshots are machine-independent.
+fn listing(path: &Path) -> String {
+    let source = fs::read_to_string(path).expect("fixture readable");
+    let name = path.file_name().expect("file name").to_string_lossy();
+    let diags = vase::lint_source(&source);
+    vase::diag::render_all(&diags, &source, &name)
+}
+
+#[test]
+fn lint_snapshots_match() {
+    let snap_dir = repo_root().join("tests/snapshots/lint");
+    let update = std::env::var_os("UPDATE_SNAPSHOTS").is_some();
+    if update {
+        fs::create_dir_all(&snap_dir).expect("snapshot dir");
+    }
+    let files = vhd_files();
+    assert!(
+        files.len() >= 16,
+        "expected the 11 specs plus the lint fixtures, found {}",
+        files.len()
+    );
+    let mut failures = Vec::new();
+    for file in &files {
+        let got = listing(file);
+        let stem = file.file_stem().expect("stem").to_string_lossy();
+        let snap = snap_dir.join(format!("{stem}.txt"));
+        if update {
+            fs::write(&snap, &got).expect("write snapshot");
+            continue;
+        }
+        match fs::read_to_string(&snap) {
+            Ok(want) if want == got => {}
+            Ok(want) => failures.push(format!(
+                "{stem}: listing changed\n--- expected\n{want}\n--- got\n{got}"
+            )),
+            Err(_) => failures.push(format!(
+                "{stem}: missing snapshot {}; run with UPDATE_SNAPSHOTS=1",
+                snap.display()
+            )),
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn shipped_specs_lint_clean() {
+    for file in vhd_files() {
+        let in_specs = file.parent().is_some_and(|p| p.ends_with("specs"));
+        let is_bad = file
+            .file_name()
+            .is_some_and(|n| n.to_string_lossy().starts_with("bad_"));
+        if in_specs || !is_bad {
+            assert_eq!(listing(&file), "", "{} should lint clean", file.display());
+        }
+    }
+}
+
+#[test]
+fn bad_fixtures_all_report() {
+    let mut bad = 0;
+    for file in vhd_files() {
+        if !file.file_name().is_some_and(|n| n.to_string_lossy().starts_with("bad_")) {
+            continue;
+        }
+        bad += 1;
+        let source = fs::read_to_string(&file).expect("fixture readable");
+        let mut diags = vase::lint_source(&source);
+        assert!(!diags.is_empty(), "{} should report", file.display());
+        // Every bad fixture fails under --deny warnings.
+        vase::diag::deny_warnings(&mut diags);
+        assert!(vase::diag::has_errors(&diags), "{}", file.display());
+    }
+    assert!(bad >= 3, "need at least 3 invalid fixtures, found {bad}");
+}
