@@ -17,13 +17,22 @@ use crate::error::CompileError;
 /// instruction order is preserved *iff* the output of the block for an
 /// instruction is an input of the block for a following instruction —
 /// which falls out of rebinding a name to the newest defining block.
+///
+/// All emission goes through the builder: [`GraphBuilder::node`] is the
+/// canonicalizing path (constant dedup via [`GraphBuilder::const_block`]
+/// and value numbering of pure arithmetic), while
+/// [`GraphBuilder::raw_node`]/[`GraphBuilder::wire`] bypass
+/// canonicalization for blocks that are wired up incrementally
+/// (integrator feedback, sampling-structure muxes) or must stay
+/// distinct (interface markers, stateful and sampling blocks).
 pub struct GraphBuilder<'a> {
-    /// The graph under construction.
-    pub graph: SignalFlowGraph,
+    graph: SignalFlowGraph,
     env: HashMap<String, BlockId>,
     symbols: &'a SymbolTable,
     functions: HashMap<String, &'a FunctionDecl>,
     const_cache: HashMap<u64, BlockId>,
+    value_numbers: HashMap<String, BlockId>,
+    solver_rotation: usize,
 }
 
 impl<'a> GraphBuilder<'a> {
@@ -39,7 +48,19 @@ impl<'a> GraphBuilder<'a> {
             symbols,
             functions,
             const_cache: HashMap::new(),
+            value_numbers: HashMap::new(),
+            solver_rotation: 0,
         }
+    }
+
+    /// Read access to the graph under construction.
+    pub fn graph(&self) -> &SignalFlowGraph {
+        &self.graph
+    }
+
+    /// Take the finished graph out of the builder.
+    pub fn finish(self) -> SignalFlowGraph {
+        self.graph
     }
 
     /// The architecture symbol table.
@@ -50,6 +71,18 @@ impl<'a> GraphBuilder<'a> {
     /// Look up a visible function.
     pub fn function(&self, name: &str) -> Option<&'a FunctionDecl> {
         self.functions.get(name).copied()
+    }
+
+    /// How far to rotate DAE solver-candidate order (0 = the compiler's
+    /// preferred solver; used to lower alternative solver variants).
+    pub fn solver_rotation(&self) -> usize {
+        self.solver_rotation
+    }
+
+    /// Set the solver-candidate rotation (see
+    /// [`GraphBuilder::solver_rotation`]).
+    pub fn set_solver_rotation(&mut self, rotation: usize) {
+        self.solver_rotation = rotation;
     }
 
     /// Whether `name` currently has a defining block.
@@ -132,18 +165,84 @@ impl<'a> GraphBuilder<'a> {
     }
 
     /// Add a block with its inputs connected to `inputs` (in port
-    /// order).
+    /// order). Pure arithmetic blocks are value-numbered: requesting
+    /// the same operation on the same drivers returns the existing
+    /// block instead of emitting a duplicate.
     ///
     /// # Errors
     ///
     /// Propagates connection errors (arity/class violations).
     pub fn node(&mut self, kind: BlockKind, inputs: &[BlockId]) -> Result<BlockId, CompileError> {
+        let vn_key = value_numberable(&kind).then(|| {
+            // `f64`'s Debug renders the shortest round-trip form, which
+            // is injective, so the key distinguishes all parameters.
+            format!("{kind:?}|{inputs:?}")
+        });
+        if let Some(key) = &vn_key {
+            if let Some(&id) = self.value_numbers.get(key) {
+                return Ok(id);
+            }
+        }
         let id = self.graph.add(kind);
         for (port, &input) in inputs.iter().enumerate() {
             self.graph.connect(input, id, port)?;
         }
+        if let Some(key) = vn_key {
+            self.value_numbers.insert(key, id);
+        }
         Ok(id)
     }
+
+    /// Add a block *without* canonicalization — for blocks that must
+    /// stay distinct (stateful blocks, sampling structures) or whose
+    /// inputs are wired later (integrator feedback).
+    pub fn raw_node(&mut self, kind: BlockKind) -> BlockId {
+        self.graph.add(kind)
+    }
+
+    /// Connect `from`'s output to port `port` of `to`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors (arity/class violations).
+    pub fn wire(&mut self, from: BlockId, to: BlockId, port: usize) -> Result<(), CompileError> {
+        self.graph.connect(from, to, port)?;
+        Ok(())
+    }
+
+    /// The label of `id`, if any.
+    pub fn label(&self, id: BlockId) -> Option<&str> {
+        self.graph.block(id).label.as_deref()
+    }
+
+    /// Label block `id`.
+    pub fn set_label(&mut self, id: BlockId, label: impl Into<String>) {
+        self.graph.set_label(id, label);
+    }
+
+    /// The interface block (input/output/control-input) named `name`.
+    pub fn find_interface(&self, name: &str) -> Option<BlockId> {
+        self.graph.find_interface(name)
+    }
+}
+
+/// Whether two blocks of this kind fed by the same drivers always
+/// compute bit-identical outputs and may share one block. Stateful
+/// blocks, interface markers, control-class blocks, and sampling
+/// structures are excluded — they carry identity beyond their value.
+fn value_numberable(kind: &BlockKind) -> bool {
+    matches!(
+        kind,
+        BlockKind::Scale { .. }
+            | BlockKind::Add { .. }
+            | BlockKind::Sub
+            | BlockKind::Mul
+            | BlockKind::Div
+            | BlockKind::Log
+            | BlockKind::Antilog
+            | BlockKind::Abs
+            | BlockKind::Limiter { .. }
+    )
 }
 
 #[cfg(test)]
@@ -175,7 +274,7 @@ mod tests {
     fn in_port_materializes_input_block() {
         with_builder(|b| {
             let id = b.source("x", Span::synthetic()).expect("x");
-            assert!(matches!(b.graph.kind(id), BlockKind::Input { name } if name == "x"));
+            assert!(matches!(b.graph().kind(id), BlockKind::Input { name } if name == "x"));
             // cached on second lookup
             assert_eq!(b.source("x", Span::synthetic()).expect("x"), id);
         });
@@ -185,7 +284,7 @@ mod tests {
     fn signal_materializes_control_input() {
         with_builder(|b| {
             let id = b.source("s", Span::synthetic()).expect("s");
-            assert!(matches!(b.graph.kind(id), BlockKind::ControlInput { name } if name == "s"));
+            assert!(matches!(b.graph().kind(id), BlockKind::ControlInput { name } if name == "s"));
         });
     }
 
@@ -193,7 +292,7 @@ mod tests {
     fn constant_materializes_const_block() {
         with_builder(|b| {
             let id = b.source("k", Span::synthetic()).expect("k");
-            assert!(matches!(b.graph.kind(id), BlockKind::Const { value } if *value == 2.5));
+            assert!(matches!(b.graph().kind(id), BlockKind::Const { value } if *value == 2.5));
         });
     }
 
@@ -233,7 +332,33 @@ mod tests {
             let x = b.source("x", Span::synthetic()).expect("x");
             let k = b.const_block(3.0);
             let add = b.node(BlockKind::Add { arity: 2 }, &[x, k]).expect("add");
-            assert_eq!(b.graph.block_inputs(add), &[Some(x), Some(k)]);
+            assert_eq!(b.graph().block_inputs(add), &[Some(x), Some(k)]);
+        });
+    }
+
+    #[test]
+    fn pure_nodes_are_value_numbered() {
+        with_builder(|b| {
+            let x = b.source("x", Span::synthetic()).expect("x");
+            let a = b.node(BlockKind::Scale { gain: 2.0 }, &[x]).expect("scale");
+            let c = b.node(BlockKind::Scale { gain: 2.0 }, &[x]).expect("scale");
+            assert_eq!(a, c, "identical pure nodes share one block");
+            // Different gain bit patterns stay distinct (0.0 vs -0.0).
+            let z = b.node(BlockKind::Scale { gain: 0.0 }, &[x]).expect("scale");
+            let nz = b.node(BlockKind::Scale { gain: -0.0 }, &[x]).expect("scale");
+            assert_ne!(z, nz);
+        });
+    }
+
+    #[test]
+    fn stateful_nodes_are_never_shared() {
+        with_builder(|b| {
+            let x = b.source("x", Span::synthetic()).expect("x");
+            let i1 =
+                b.node(BlockKind::Integrate { gain: 1.0, initial: 0.0 }, &[x]).expect("integ");
+            let i2 =
+                b.node(BlockKind::Integrate { gain: 1.0, initial: 0.0 }, &[x]).expect("integ");
+            assert_ne!(i1, i2, "integrators keep their identity");
         });
     }
 }

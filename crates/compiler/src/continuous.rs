@@ -56,7 +56,23 @@ pub fn compile_continuous<'a>(
     symbols: &'a SymbolTable,
     functions: HashMap<String, &'a FunctionDecl>,
 ) -> Result<ContinuousPart, CompileError> {
+    compile_continuous_variant(arch, symbols, functions, 0)
+}
+
+/// Like [`compile_continuous`], but rotating each equation's
+/// solver-candidate order by `rotation` before picking the first
+/// resolvable one. Rotation 0 is the compiler's preferred solver;
+/// nonzero rotations lower *alternative* solver variants of the same
+/// DAE set (paper §4: each rearrangement is a distinct "solver" the
+/// mapper could explore).
+pub fn compile_continuous_variant<'a>(
+    arch: &'a Architecture,
+    symbols: &'a SymbolTable,
+    functions: HashMap<String, &'a FunctionDecl>,
+    rotation: usize,
+) -> Result<ContinuousPart, CompileError> {
     let mut builder = GraphBuilder::new("main", symbols, functions);
+    builder.set_solver_rotation(rotation);
     let mut dae_alternatives = Vec::new();
 
     // Collect continuous-time work items.
@@ -122,12 +138,12 @@ pub fn compile_continuous<'a>(
     // algebraic variable is defined.
     for (integ, expr, name, alternatives) in deferred {
         let u = lower_analog(&mut builder, &expr)?;
-        builder.graph.connect(u, integ, 0)?;
+        builder.wire(u, integ, 0)?;
         dae_alternatives.push((name, alternatives));
     }
 
     attach_outputs(&mut builder, symbols)?;
-    Ok(ContinuousPart { graph: builder.graph, dae_alternatives })
+    Ok(ContinuousPart { graph: builder.finish(), dae_alternatives })
 }
 
 /// Pick one stalled equation with an isolatable `v'dot`, create the
@@ -145,7 +161,7 @@ fn claim_state_variable(
             continue;
         };
         let eq = Equation { lhs: lhs.clone(), rhs: rhs.clone(), span: *span };
-        let candidates = solutions(&eq);
+        let candidates = rotated_solutions(builder, &eq);
         for (var, sol) in &candidates {
             if !matches!(sol, Solution::Integral(_)) || builder.is_defined(var) {
                 continue;
@@ -157,8 +173,8 @@ fn claim_state_variable(
             }) {
                 continue;
             }
-            let integ = builder.graph.add(BlockKind::Integrate { gain: 1.0, initial: 0.0 });
-            builder.graph.set_label(integ, var.clone());
+            let integ = builder.raw_node(BlockKind::Integrate { gain: 1.0, initial: 0.0 });
+            builder.set_label(integ, var.clone());
             builder.define(var.clone(), integ);
             *ode_counter += 1;
             let name = label
@@ -189,20 +205,14 @@ fn compile_ct_stmt<'a>(
                 .unwrap_or_else(|| format!("eq{eq_counter}"));
             let alternatives = solutions(&eq).len();
             let (var, id) = lower_equation(b, &eq)?;
-            if b.graph.block(id).label.is_none() {
-                b.graph.set_label(id, var.clone());
-            }
-            b.define(var, id);
+            bind_labelled(b, &var, id)?;
             dae_alternatives.push((name, alternatives));
             Ok(())
         }
         ConcurrentStmt::SimultaneousIf { branches, else_body, span, .. } => {
             let defs = compile_mode_select(b, branches, else_body, *span)?;
             for (var, id) in defs {
-                if b.graph.block(id).label.is_none() {
-                    b.graph.set_label(id, var.clone());
-                }
-                b.define(var, id);
+                bind_labelled(b, &var, id)?;
             }
             Ok(())
         }
@@ -275,9 +285,47 @@ fn compile_ct_stmt<'a>(
     }
 }
 
+/// Bind `var` to block `id` and label the block with the quantity name
+/// so the simulator and event part can observe it. When value numbering
+/// hands back a block already labelled for another quantity, a
+/// unit-gain alias keeps both names observable.
+fn bind_labelled(
+    b: &mut GraphBuilder<'_>,
+    var: &str,
+    id: BlockId,
+) -> Result<BlockId, CompileError> {
+    let current = b.label(id).map(str::to_owned);
+    let id = match current.as_deref() {
+        None => {
+            b.set_label(id, var);
+            id
+        }
+        Some(l) if l == var => id,
+        Some(_) => {
+            let alias = b.raw_node(BlockKind::Scale { gain: 1.0 });
+            b.wire(id, alias, 0)?;
+            b.set_label(alias, var);
+            alias
+        }
+    };
+    b.define(var, id);
+    Ok(id)
+}
+
+/// The solver candidates of `eq`, rotated by the builder's configured
+/// solver rotation (0 = preferred order).
+fn rotated_solutions(b: &GraphBuilder<'_>, eq: &Equation) -> Vec<(String, Solution)> {
+    let mut candidates = solutions(eq);
+    if candidates.len() > 1 {
+        let shift = b.solver_rotation() % candidates.len();
+        candidates.rotate_left(shift);
+    }
+    candidates
+}
+
 /// Pick and lower one solver for `eq`; returns `(defined_var, block)`.
 fn lower_equation(b: &mut GraphBuilder<'_>, eq: &Equation) -> Result<(String, BlockId), CompileError> {
-    let candidates = solutions(eq);
+    let candidates = rotated_solutions(b, eq);
     if candidates.is_empty() {
         return Err(CompileError::Unsolvable {
             detail: format!("no variable of `{} == {}` is isolatable", eq.lhs, eq.rhs),
@@ -420,10 +468,10 @@ fn lower_solution(
         Solution::Integral(expr) => {
             // Create the integrator first and bind the variable to its
             // output so self-references close the feedback loop.
-            let integ = b.graph.add(BlockKind::Integrate { gain: 1.0, initial: 0.0 });
+            let integ = b.raw_node(BlockKind::Integrate { gain: 1.0, initial: 0.0 });
             b.define(var, integ);
             let u = lower_analog(b, expr)?;
-            b.graph.connect(u, integ, 0)?;
+            b.wire(u, integ, 0)?;
             Ok(integ)
         }
     }
@@ -734,8 +782,8 @@ fn compile_while(
     // after the body is built).
     let mut route_mux = HashMap::new();
     for v in &vars {
-        let mux = b.graph.add(BlockKind::Mux { arity: 2 });
-        b.graph.connect(initial[v], mux, 0)?;
+        let mux = b.raw_node(BlockKind::Mux { arity: 2 });
+        b.wire(initial[v], mux, 0)?;
         b.define(v.clone(), mux);
         route_mux.insert(v.clone(), mux);
     }
@@ -760,14 +808,14 @@ fn compile_while(
     for v in &vars {
         // S/H1 trails the body output while the loop runs.
         let sh1 = b.node(BlockKind::SampleHold, &[body_out[v], active])?;
-        b.graph.set_label(sh1, format!("sh1_{v}"));
+        b.set_label(sh1, format!("sh1_{v}"));
         // Close the iteration feedback and select it while looping.
-        b.graph.connect(sh1, route_mux[v], 1)?;
-        b.graph.connect(contr, route_mux[v], 2)?;
+        b.wire(sh1, route_mux[v], 1)?;
+        b.wire(contr, route_mux[v], 2)?;
         // sw3 + S/H2 latch the result when the loop exits.
         let sw3 = b.node(BlockKind::Switch, &[sh1, not_contr])?;
         let sh2 = b.node(BlockKind::SampleHold, &[sw3, not_contr])?;
-        b.graph.set_label(sh2, format!("sh2_{v}"));
+        b.set_label(sh2, format!("sh2_{v}"));
         // If the loop never runs (icontr false), the initial value
         // passes through: final = mux(initial, sh2, icontr).
         let fin = b.node(BlockKind::Mux { arity: 2 }, &[initial[v], sh2, icontr])?;
@@ -828,13 +876,13 @@ fn attach_outputs(
                 None
             };
             value = b.node(BlockKind::OutputStage { load_ohms, peak_volts, limit }, &[value])?;
-            b.graph.set_label(value, format!("ostage_{name}"));
+            b.set_label(value, format!("ostage_{name}"));
         } else if set.is_limited() {
             let level = set.limit_level().unwrap_or(DEFAULT_LIMIT_LEVEL);
             value = b.node(BlockKind::Limiter { level }, &[value])?;
         }
         let out = b.node(BlockKind::Output { name: name.clone() }, &[value])?;
-        b.graph.set_label(out, format!("out_{name}"));
+        b.set_label(out, format!("out_{name}"));
     }
     Ok(())
 }

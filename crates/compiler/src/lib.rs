@@ -53,10 +53,14 @@ use std::collections::HashMap;
 
 use vase_frontend::ast::ConcurrentStmt;
 use vase_frontend::sema::AnalyzedDesign;
-use vase_vhif::VhifDesign;
+use vase_vhif::{SolverCandidate, VhifDesign};
 
 pub use error::CompileError;
-pub use stats::{vass_stats, VassStats};
+pub use stats::{lowering_stats, vass_stats, LoweringStats, VassStats};
+
+/// How many rotated solver orderings [`compile`] tries when collecting
+/// alternative solver-variant graphs for the mapper.
+const SOLVER_VARIANT_ROTATIONS: usize = 3;
 
 /// The compiled form of one architecture.
 #[derive(Debug, Clone)]
@@ -70,6 +74,14 @@ pub struct CompiledArchitecture {
     /// Per-equation counts of alternative DAE solvers (each a distinct
     /// signal-flow topology the mapper may explore).
     pub dae_alternatives: Vec<(String, usize)>,
+}
+
+impl CompiledArchitecture {
+    /// Post-lowering statistics measured on the VHIF design itself
+    /// (see [`lowering_stats`]).
+    pub fn lowering_stats(&self) -> LoweringStats {
+        lowering_stats(&self.vhif)
+    }
 }
 
 /// The result of compiling a design file.
@@ -118,6 +130,32 @@ pub fn compile(analyzed: &AnalyzedDesign) -> Result<CompiledDesign, CompileError
 
         let mut vhif = VhifDesign::new(arch_info.entity.clone());
         vhif.graphs.push(part.graph);
+
+        // Alternative solver variants: when some equation has more than
+        // one isolatable variable, re-lower the continuous part with
+        // rotated solver-candidate order. Distinct results are recorded
+        // as advisory candidates for the mapper (the primary graph
+        // above stays the one that is mapped and simulated).
+        if part.dae_alternatives.iter().any(|(_, n)| *n > 1) {
+            for rotation in 1..=SOLVER_VARIANT_ROTATIONS {
+                let Ok(variant) = continuous::compile_continuous_variant(
+                    arch,
+                    &arch_info.symbols,
+                    functions.clone(),
+                    rotation,
+                ) else {
+                    continue;
+                };
+                let graph = variant.graph;
+                if graph == vhif.graphs[0]
+                    || vhif.candidates.iter().any(|c| c.graph == graph)
+                {
+                    continue;
+                }
+                vhif.candidates
+                    .push(SolverCandidate { name: format!("solver{rotation}"), graph });
+            }
+        }
 
         let mut process_counter = 0usize;
         for stmt in &arch.stmts {

@@ -66,10 +66,10 @@ pub fn lower_analog(b: &mut GraphBuilder<'_>, expr: &Expr) -> Result<BlockId, Co
             AttributeKind::Across | AttributeKind::Through => {
                 // A terminal facet acts as an external analog input.
                 let name = format!("{}'{attr}", prefix.name);
-                if let Some(id) = b.graph.find_interface(&name) {
+                if let Some(id) = b.find_interface(&name) {
                     return Ok(id);
                 }
-                Ok(b.graph.add(BlockKind::Input { name }))
+                Ok(b.raw_node(BlockKind::Input { name }))
             }
             AttributeKind::Above => Err(CompileError::Unsupported {
                 what: "'above used as an analog value (it is an event)".into(),
@@ -557,7 +557,7 @@ mod tests {
     fn constant_expression_folds_to_const() {
         harness(|b| {
             let id = lower(b, "2.0 * k + 1.0");
-            assert!(matches!(b.graph.kind(id), BlockKind::Const { value } if *value == 7.0));
+            assert!(matches!(b.graph().kind(id), BlockKind::Const { value } if *value == 7.0));
         });
     }
 
@@ -565,7 +565,7 @@ mod tests {
     fn constant_factor_becomes_scale() {
         harness(|b| {
             let id = lower(b, "k * x");
-            assert!(matches!(b.graph.kind(id), BlockKind::Scale { gain } if *gain == 3.0));
+            assert!(matches!(b.graph().kind(id), BlockKind::Scale { gain } if *gain == 3.0));
         });
     }
 
@@ -573,7 +573,7 @@ mod tests {
     fn division_by_constant_becomes_scale() {
         harness(|b| {
             let id = lower(b, "x / 2.0");
-            assert!(matches!(b.graph.kind(id), BlockKind::Scale { gain } if *gain == 0.5));
+            assert!(matches!(b.graph().kind(id), BlockKind::Scale { gain } if *gain == 0.5));
         });
     }
 
@@ -582,7 +582,7 @@ mod tests {
         // The receiver's weighted sum: Aline*line + Alocal*local shape.
         harness(|b| {
             let id = lower(b, "0.5 * x + 0.25 * w + x");
-            assert!(matches!(b.graph.kind(id), BlockKind::Add { arity: 3 }));
+            assert!(matches!(b.graph().kind(id), BlockKind::Add { arity: 3 }));
         });
     }
 
@@ -590,7 +590,7 @@ mod tests {
     fn pure_difference_becomes_sub() {
         harness(|b| {
             let id = lower(b, "x - w");
-            assert!(matches!(b.graph.kind(id), BlockKind::Sub));
+            assert!(matches!(b.graph().kind(id), BlockKind::Sub));
         });
     }
 
@@ -598,7 +598,7 @@ mod tests {
     fn signal_times_signal_becomes_mul() {
         harness(|b| {
             let id = lower(b, "x * w");
-            assert!(matches!(b.graph.kind(id), BlockKind::Mul));
+            assert!(matches!(b.graph().kind(id), BlockKind::Mul));
         });
     }
 
@@ -606,9 +606,9 @@ mod tests {
     fn dot_and_integ_lower_to_calculus_blocks() {
         harness(|b| {
             let d = lower(b, "x'dot");
-            assert!(matches!(b.graph.kind(d), BlockKind::Differentiate { .. }));
+            assert!(matches!(b.graph().kind(d), BlockKind::Differentiate { .. }));
             let i = lower(b, "x'integ");
-            assert!(matches!(b.graph.kind(i), BlockKind::Integrate { .. }));
+            assert!(matches!(b.graph().kind(i), BlockKind::Integrate { .. }));
         });
     }
 
@@ -616,10 +616,10 @@ mod tests {
     fn small_integer_power_becomes_mul_chain() {
         harness(|b| {
             let id = lower(b, "x ** 3");
-            assert!(matches!(b.graph.kind(id), BlockKind::Mul));
+            assert!(matches!(b.graph().kind(id), BlockKind::Mul));
             // x**3 = (x*x)*x → two Mul blocks
             let muls =
-                b.graph.iter().filter(|(_, blk)| matches!(blk.kind, BlockKind::Mul)).count();
+                b.graph().iter().filter(|(_, blk)| matches!(blk.kind, BlockKind::Mul)).count();
             assert_eq!(muls, 2);
         });
     }
@@ -628,8 +628,8 @@ mod tests {
     fn fractional_power_uses_log_antilog() {
         harness(|b| {
             let id = lower(b, "x ** 0.5");
-            assert!(matches!(b.graph.kind(id), BlockKind::Antilog));
-            assert!(b.graph.iter().any(|(_, blk)| matches!(blk.kind, BlockKind::Log)));
+            assert!(matches!(b.graph().kind(id), BlockKind::Antilog));
+            assert!(b.graph().iter().any(|(_, blk)| matches!(blk.kind, BlockKind::Log)));
         });
     }
 
@@ -637,7 +637,7 @@ mod tests {
     fn intrinsic_log_exp() {
         harness(|b| {
             let id = lower(b, "exp(log(x))");
-            assert!(matches!(b.graph.kind(id), BlockKind::Antilog));
+            assert!(matches!(b.graph().kind(id), BlockKind::Antilog));
         });
     }
 
@@ -646,7 +646,7 @@ mod tests {
         harness(|b| {
             let id = lower(b, "sq(x)");
             // sq(x) = x * x → a Mul block, no call artifacts
-            assert!(matches!(b.graph.kind(id), BlockKind::Mul));
+            assert!(matches!(b.graph().kind(id), BlockKind::Mul));
         });
     }
 
@@ -655,8 +655,8 @@ mod tests {
         harness(|b| {
             let e = parse_expression("s = '1'").expect("parses");
             let id = lower_cond(b, &e, 0.0).expect("lowers");
-            assert_eq!(b.graph.kind(id).output_class(), SignalClass::Control);
-            assert!(matches!(b.graph.kind(id), BlockKind::ControlInput { .. }));
+            assert_eq!(b.graph().kind(id).output_class(), SignalClass::Control);
+            assert!(matches!(b.graph().kind(id), BlockKind::ControlInput { .. }));
         });
     }
 
@@ -666,7 +666,7 @@ mod tests {
             let e = parse_expression("s = '0'").expect("parses");
             let id = lower_cond(b, &e, 0.0).expect("lowers");
             assert!(matches!(
-                b.graph.kind(id),
+                b.graph().kind(id),
                 BlockKind::Logic { op: LogicOp::Not, .. }
             ));
         });
@@ -678,7 +678,7 @@ mod tests {
             let e = parse_expression("x'above(0.07)").expect("parses");
             let id = lower_cond(b, &e, 0.0).expect("lowers");
             assert!(matches!(
-                b.graph.kind(id),
+                b.graph().kind(id),
                 BlockKind::Comparator { threshold } if *threshold == 0.07
             ));
         });
@@ -689,7 +689,7 @@ mod tests {
         harness(|b| {
             let e = parse_expression("x'above(0.5)").expect("parses");
             let id = lower_cond(b, &e, 0.05).expect("lowers");
-            match b.graph.kind(id) {
+            match b.graph().kind(id) {
                 BlockKind::SchmittTrigger { low, high } => {
                     assert!((*low - 0.45).abs() < 1e-12);
                     assert!((*high - 0.55).abs() < 1e-12);
@@ -705,7 +705,7 @@ mod tests {
             let e = parse_expression("x > 1.5").expect("parses");
             let id = lower_cond(b, &e, 0.0).expect("lowers");
             assert!(matches!(
-                b.graph.kind(id),
+                b.graph().kind(id),
                 BlockKind::Comparator { threshold } if *threshold == 1.5
             ));
         });
@@ -716,8 +716,8 @@ mod tests {
         harness(|b| {
             let e = parse_expression("x >= w").expect("parses");
             let id = lower_cond(b, &e, 0.0).expect("lowers");
-            assert!(matches!(b.graph.kind(id), BlockKind::Comparator { .. }));
-            assert!(b.graph.iter().any(|(_, blk)| matches!(blk.kind, BlockKind::Sub)));
+            assert!(matches!(b.graph().kind(id), BlockKind::Comparator { .. }));
+            assert!(b.graph().iter().any(|(_, blk)| matches!(blk.kind, BlockKind::Sub)));
         });
     }
 
@@ -728,7 +728,7 @@ mod tests {
             // x < 2.0 ≡ 2.0 > x → Sub(2.0 - x)... constant on lhs: goes
             // through the Sub path since the *threshold* side is x.
             let id = lower_cond(b, &e, 0.0).expect("lowers");
-            assert!(matches!(b.graph.kind(id), BlockKind::Comparator { .. }));
+            assert!(matches!(b.graph().kind(id), BlockKind::Comparator { .. }));
         });
     }
 
@@ -737,7 +737,7 @@ mod tests {
         harness(|b| {
             let e = parse_expression("(x > 0.0) and (s = '1')").expect("parses");
             let id = lower_cond(b, &e, 0.0).expect("lowers");
-            assert!(matches!(b.graph.kind(id), BlockKind::Logic { op: LogicOp::And, .. }));
+            assert!(matches!(b.graph().kind(id), BlockKind::Logic { op: LogicOp::And, .. }));
         });
     }
 

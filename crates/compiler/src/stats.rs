@@ -1,11 +1,13 @@
 //! VASS specification statistics — the quantities Table 1 of the paper
 //! reports in columns 2–5 (continuous-time lines, quantities,
-//! event-driven lines, *signals*).
+//! event-driven lines, *signals*) — and post-lowering statistics
+//! measured on the produced VHIF design.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use vase_frontend::ast::{Architecture, ConcurrentStmt, DesignFile, ObjectClass, SeqStmt, SeqStmtKind};
+use vase_vhif::VhifDesign;
 
 /// Statistics of one VASS specification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -30,6 +32,43 @@ impl fmt::Display for VassStats {
             "CT {} lines / {} quantities, ED {} lines / {} signals",
             self.continuous_lines, self.quantities, self.event_driven_lines, self.signals
         )
+    }
+}
+
+/// Post-lowering statistics, measured on the produced [`VhifDesign`]
+/// itself rather than on counters kept during lowering — so they stay
+/// accurate after optimization passes rewrite the graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LoweringStats {
+    /// Total blocks across all signal-flow graphs (interface markers
+    /// included).
+    pub blocks: usize,
+    /// Processing (non-interface) blocks across all graphs.
+    pub operations: usize,
+    /// Driven input ports (edges) across all graphs.
+    pub edges: usize,
+    /// Signal-flow graph variants available to the mapper: the primary
+    /// graphs plus recorded alternative solver candidates.
+    pub solver_variants: usize,
+}
+
+impl fmt::Display for LoweringStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} blocks ({} operations), {} edges, {} solver variants",
+            self.blocks, self.operations, self.edges, self.solver_variants
+        )
+    }
+}
+
+/// Measure [`LoweringStats`] on a VHIF design.
+pub fn lowering_stats(design: &VhifDesign) -> LoweringStats {
+    LoweringStats {
+        blocks: design.graphs.iter().map(|g| g.len()).sum(),
+        operations: design.graphs.iter().map(|g| g.operation_count()).sum(),
+        edges: design.edge_count(),
+        solver_variants: design.graphs.len() + design.candidates.len(),
     }
 }
 

@@ -3,7 +3,12 @@
 //! ```text
 //! vase parse   <file.vhd>             check a VASS specification
 //! vase compile <file.vhd> [--dot out.dot]  dump the VHIF representation
+//! vase opt     <file.vhd> [options]   run VHIF optimization passes, dump the result
+//!     --passes a,b,c    explicit pass list (default: the -O2 pipeline)
+//!     --print-stats     per-pass block/edge/rewrite/timing statistics
+//!     --dot <base>      write <base>-before.dot and <base>-after.dot
 //! vase synth   <file.vhd> [options]   synthesize to an op-amp netlist
+//!     -O0|-O1|-O2       optimization level for the VHIF passes (default -O0)
 //!     --greedy          use the greedy heuristic instead of branch-and-bound
 //!     --jobs <n>        mapper worker threads (0 = one per core, default 1)
 //!     --spice <out.sp>  also write a SPICE deck
@@ -22,13 +27,15 @@
 //!                           concurrently (0 = one per core, default 1)
 //! vase table1 [--jobs <n>]             regenerate the paper's Table 1
 //!     --jobs <n>        synthesize the five applications concurrently
+//!
+//! `sim` and `table1` also accept the `-O` levels of `synth`.
 //! ```
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use vase::archgen::MapperConfig;
-use vase::flow::{compile_source, simulate_designs, synthesize_source, FlowOptions};
+use vase::flow::{compile_source, opt_diagnostics, simulate_designs, synthesize_source, FlowOptions};
 use vase::sim::{render_ascii, SimConfig, Stimulus, SweepConfig};
 
 fn main() -> ExitCode {
@@ -49,13 +56,14 @@ fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "parse" => cmd_parse(&args[1..]),
         "compile" => cmd_compile(&args[1..]),
+        "opt" => cmd_opt(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "synth" => cmd_synth(&args[1..]),
         "sim" => cmd_sim(&args[1..]),
         "table1" => cmd_table1(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("vase — VHDL-AMS behavioral synthesis of analog systems");
-            println!("commands: parse, compile, lint, synth, sim, table1 (see crate docs)");
+            println!("commands: parse, compile, opt, lint, synth, sim, table1 (see crate docs)");
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
@@ -63,7 +71,21 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn read_source(args: &[String]) -> Result<String, String> {
-    let path = args.first().ok_or("missing input file")?;
+    // The input file may appear before or after flags; skip the flags
+    // that take a value along with their operand.
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" | "--input" | "--format" | "--deny" | "--passes" | "--dot" => i += 2,
+            a if a.starts_with('-') => i += 1,
+            _ => {
+                path = Some(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let path = path.ok_or("missing input file")?;
     std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
 }
 
@@ -72,6 +94,22 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(|s| s.as_str())
+}
+
+/// Parse `-O<n>` optimization-level flags (`-O0`..`-O2`); `None` when
+/// absent.
+fn opt_level_flag(args: &[String]) -> Result<Option<u8>, String> {
+    for a in args {
+        if let Some(level) = a.strip_prefix("-O") {
+            return match level {
+                "0" => Ok(Some(0)),
+                "1" => Ok(Some(1)),
+                "2" | "" => Ok(Some(2)),
+                other => Err(format!("bad optimization level `-O{other}` (use -O0..-O2)")),
+            };
+        }
+    }
+    Ok(None)
 }
 
 /// Parse `--jobs <n>` (`0` = one worker per core).
@@ -111,6 +149,45 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             "DAE note: simultaneous statements admit multiple signal-flow solvers; the\n\
              compiler chose a causal assignment, the mapper explores the alternatives."
         );
+    }
+    Ok(())
+}
+
+fn cmd_opt(args: &[String]) -> Result<(), String> {
+    let source = read_source(args)?;
+    let manager = match flag_value(args, "--passes") {
+        Some(list) => {
+            let names: Vec<&str> =
+                list.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+            vase::vhif::PassManager::from_names(&names)?
+        }
+        None => vase::vhif::PassManager::for_opt_level(2),
+    };
+    let print_stats = args.iter().any(|a| a == "--print-stats");
+    for (entity, mut vhif, _) in compile_source(&source).map_err(|e| e.to_string())? {
+        if let Some(base) = flag_value(args, "--dot") {
+            let path = format!("{base}-before.dot");
+            std::fs::write(&path, vase::vhif::design_to_dot(&vhif))
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("DOT graph written to {path}");
+        }
+        let stats = manager.run(&mut vhif);
+        if let Some(base) = flag_value(args, "--dot") {
+            let path = format!("{base}-after.dot");
+            std::fs::write(&path, vase::vhif::design_to_dot(&vhif))
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("DOT graph written to {path}");
+        }
+        println!("-- entity {entity} (passes: {})", manager.pass_names().join(","));
+        println!("{vhif}");
+        if print_stats {
+            for s in &stats {
+                println!("{s}");
+            }
+        }
+        for d in opt_diagnostics(&stats) {
+            println!("{d}");
+        }
     }
     Ok(())
 }
@@ -174,11 +251,15 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
     }
     let options = FlowOptions {
         mapper,
+        opt_level: opt_level_flag(args)?.unwrap_or(0),
         ..FlowOptions::default()
     };
     let designs = synthesize_source(&source, &options).map_err(|e| e.to_string())?;
     for d in &designs {
         println!("-- entity {}", d.entity);
+        for diag in opt_diagnostics(&d.opt_stats) {
+            println!("{diag}");
+        }
         println!("{}", d.synthesis.netlist);
         println!("estimate: {}", d.synthesis.estimate);
         println!("search: {}", d.synthesis.stats);
@@ -248,7 +329,11 @@ fn parse_stimulus(spec: &str) -> Result<Stimulus, String> {
 
 fn cmd_sim(args: &[String]) -> Result<(), String> {
     let source = read_source(args)?;
-    let designs = synthesize_source(&source, &FlowOptions::default()).map_err(|e| e.to_string())?;
+    let options = FlowOptions {
+        opt_level: opt_level_flag(args)?.unwrap_or(0),
+        ..FlowOptions::default()
+    };
+    let designs = synthesize_source(&source, &options).map_err(|e| e.to_string())?;
     let t_end: f64 = flag_value(args, "--tend")
         .unwrap_or("5e-3")
         .parse()
@@ -302,8 +387,10 @@ fn cmd_table1(args: &[String]) -> Result<(), String> {
     if let Some(jobs) = jobs_flag(args)? {
         mapper.parallelism = jobs;
     }
+    let opt_level = opt_level_flag(args)?.unwrap_or(0);
     let options = FlowOptions {
         mapper,
+        opt_level,
         ..FlowOptions::default()
     };
     // With a worker budget, synthesize the five applications
@@ -312,6 +399,7 @@ fn cmd_table1(args: &[String]) -> Result<(), String> {
     let results: Vec<Result<vase::Table1Row, String>> = if mapper.effective_parallelism() > 1 {
         let app_options = FlowOptions {
             mapper: MapperConfig::default(),
+            opt_level,
             ..FlowOptions::default()
         };
         std::thread::scope(|scope| {

@@ -8,11 +8,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use vase_archgen::{synthesize, MapError, MapperConfig, SynthesisResult};
 use vase_compiler::{compile, CompileError, VassStats};
-use vase_diag::Diagnostic;
+use vase_diag::{Code, Diagnostic};
 use vase_estimate::{Estimator, PerformanceConstraints};
 use vase_frontend::{analyze, parse_design_file, FrontendError};
 use vase_sim::{simulate_netlist, SimConfig, SimError, SimResult, Stimulus, SweepConfig};
-use vase_vhif::VhifDesign;
+use vase_vhif::{PassManager, PassStats, VhifDesign};
 
 /// Options for the full flow.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +33,11 @@ pub struct FlowOptions {
     pub verify: bool,
     /// Treat verifier warnings as errors (`vase lint --deny warnings`).
     pub deny_warnings: bool,
+    /// Optimization level for the VHIF pass pipeline run between
+    /// compilation and verification/mapping: `0` = none, `1` =
+    /// constant folding + copy coalescing + dead-block elimination,
+    /// `2` = all passes (adds CSE and solver-candidate pruning).
+    pub opt_level: u8,
 }
 
 impl Default for FlowOptions {
@@ -43,6 +48,7 @@ impl Default for FlowOptions {
             derive_constraints: true,
             verify: true,
             deny_warnings: false,
+            opt_level: 0,
         }
     }
 }
@@ -79,6 +85,9 @@ pub struct SynthesizedDesign {
     pub vhif: VhifDesign,
     /// Per-equation DAE solver alternative counts.
     pub dae_alternatives: Vec<(String, usize)>,
+    /// Per-pass statistics of the optimization pipeline (empty at
+    /// `opt_level` 0).
+    pub opt_stats: Vec<PassStats>,
     /// The mapped netlist with estimate and search statistics.
     pub synthesis: SynthesisResult,
 }
@@ -174,7 +183,15 @@ pub fn synthesize_source(
     let analyzed = analyze(&design)?;
     let compiled = compile(&analyzed)?;
     let mut out = Vec::new();
-    for arch in compiled.designs {
+    for mut arch in compiled.designs {
+        // Optimization passes run between compilation and verification,
+        // so the verifier re-checks the *optimized* design before it is
+        // handed to the mapper.
+        let opt_stats = if options.opt_level > 0 {
+            PassManager::for_opt_level(options.opt_level).run(&mut arch.vhif)
+        } else {
+            Vec::new()
+        };
         if options.verify {
             let ctx = analyzed
                 .architecture_of(&arch.entity)
@@ -203,10 +220,46 @@ pub fn synthesize_source(
             vass_stats: arch.vass_stats,
             vhif: arch.vhif,
             dae_alternatives: arch.dae_alternatives,
+            opt_stats,
             synthesis,
         });
     }
     Ok(out)
+}
+
+/// Render optimization-pass statistics as `O3xx` informational
+/// diagnostics: one note per pass that changed the design, plus an
+/// `O300` summary when any pass ran.
+pub fn opt_diagnostics(stats: &[PassStats]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for s in stats {
+        if !s.changed() {
+            continue;
+        }
+        let code = match s.name {
+            "const-fold" => Code::O301,
+            "cse" => Code::O302,
+            "dce" => Code::O303,
+            "coalesce" => Code::O304,
+            "prune-solvers" => Code::O305,
+            _ => Code::O300,
+        };
+        diags.push(Diagnostic::new(code, s.to_string()));
+    }
+    if !stats.is_empty() {
+        let before: usize = stats.first().map(|s| s.blocks_before).unwrap_or(0);
+        let after: usize = stats.last().map(|s| s.blocks_after).unwrap_or(before);
+        diags.push(Diagnostic::new(
+            Code::O300,
+            format!(
+                "optimization pipeline ran {} passes: {} -> {} blocks",
+                stats.len(),
+                before,
+                after
+            ),
+        ));
+    }
+    diags
 }
 
 /// Compile a VASS source to VHIF only (no mapping) — the
@@ -291,6 +344,28 @@ mod tests {
             d.synthesis.netlist.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(d.synthesis.estimate.feasible(), "{} infeasible", b.name);
             assert!(d.synthesis.netlist.opamp_count() > 0, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn optimized_flow_synthesizes_every_benchmark() {
+        for b in benchmarks::all() {
+            let opts = FlowOptions { opt_level: 2, ..FlowOptions::default() };
+            let designs = synthesize_source(b.source, &opts)
+                .unwrap_or_else(|e| panic!("{} failed at -O2: {e}", b.name));
+            let d = &designs[0];
+            // The optimized design still passes netlist validation and
+            // the verifier (which gated mapping above).
+            d.synthesis.netlist.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(!d.opt_stats.is_empty(), "{}: no pass stats at -O2", b.name);
+            // Optimization never grows the design.
+            let before = d.opt_stats.first().expect("stats").blocks_before;
+            let after = d.opt_stats.last().expect("stats").blocks_after;
+            assert!(after <= before, "{}: {} -> {} blocks", b.name, before, after);
+            // O3xx notes render from the stats.
+            let diags = opt_diagnostics(&d.opt_stats);
+            assert!(diags.iter().any(|d| d.code == Code::O300));
+            assert!(diags.iter().all(|d| d.severity == vase_diag::Severity::Note));
         }
     }
 

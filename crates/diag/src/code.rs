@@ -8,7 +8,9 @@
 //! * `I1xx` — VHIF verifier (structural invariants of the compiled
 //!   signal-flow graphs and FSMs);
 //! * `A2xx` — annotation/interval analysis (value and frequency range
-//!   propagation).
+//!   propagation);
+//! * `O3xx` — optimization passes (informational notes about what each
+//!   transform rewrote or removed).
 //!
 //! Codes are append-only: a released code never changes meaning or
 //! number, so scripts that match on them keep working.
@@ -44,6 +46,12 @@ pub enum Code {
     A200,
     A201,
     A202,
+    O300,
+    O301,
+    O302,
+    O303,
+    O304,
+    O305,
 }
 
 /// One row of the code registry.
@@ -218,6 +226,47 @@ pub const REGISTRY: &[CodeInfo] = &[
         description: "a `range` or `frequency` annotation has its lower bound above its \
                       upper bound and is ignored by the interval analysis",
     },
+    CodeInfo {
+        code: Code::O300,
+        name: "opt-summary",
+        severity: Severity::Note,
+        description: "summary of an optimization pipeline run: total blocks and edges \
+                      before and after the passes",
+    },
+    CodeInfo {
+        code: Code::O301,
+        name: "opt-const-folded",
+        severity: Severity::Note,
+        description: "the `const-fold` pass replaced literal-fed arithmetic blocks with \
+                      constants (computed with the simulator's own arithmetic)",
+    },
+    CodeInfo {
+        code: Code::O302,
+        name: "opt-cse-merged",
+        severity: Severity::Note,
+        description: "the `cse` pass merged identical pure blocks fed by the same drivers",
+    },
+    CodeInfo {
+        code: Code::O303,
+        name: "opt-dead-blocks-removed",
+        severity: Severity::Note,
+        description: "the `dce` pass removed blocks with no path to an output port, \
+                      memory block, sampling structure, or FSM-read quantity",
+    },
+    CodeInfo {
+        code: Code::O304,
+        name: "opt-copies-coalesced",
+        severity: Severity::Note,
+        description: "the `coalesce` pass spliced out gain-1.0 scale blocks (copies)",
+    },
+    CodeInfo {
+        code: Code::O305,
+        name: "opt-solver-variants-pruned",
+        severity: Severity::Note,
+        description: "the `prune-solvers` pass dropped candidate solver lowerings that \
+                      are invalid or strictly dominated by another lowering with the \
+                      same interface",
+    },
 ];
 
 impl Code {
@@ -247,6 +296,12 @@ impl Code {
             Code::A200 => "A200",
             Code::A201 => "A201",
             Code::A202 => "A202",
+            Code::O300 => "O300",
+            Code::O301 => "O301",
+            Code::O302 => "O302",
+            Code::O303 => "O303",
+            Code::O304 => "O304",
+            Code::O305 => "O305",
         }
     }
 
@@ -287,9 +342,10 @@ pub fn reference_markdown() -> String {
     out.push_str("# Lint codes\n\n");
     out.push_str(
         "Stable diagnostic codes emitted by `vase lint` and the in-flow verifier.\n\
-         `V0xx` codes come from the frontend, `I1xx` from the VHIF verifier, and\n\
-         `A2xx` from the annotation/interval analysis. Warnings become errors under\n\
-         `--deny warnings`.\n\n\
+         `V0xx` codes come from the frontend, `I1xx` from the VHIF verifier, `A2xx`\n\
+         from the annotation/interval analysis, and `O3xx` are informational notes\n\
+         from the optimization passes. Warnings become errors under\n\
+         `--deny warnings`; notes are never promoted.\n\n\
          This file is generated from `crates/diag/src/code.rs` (`REGISTRY`); a test\n\
          in that crate asserts it stays in sync.\n\n",
     );
@@ -325,7 +381,10 @@ mod tests {
         // as_str matches the group prefix conventions.
         for info in REGISTRY {
             let s = info.code.as_str();
-            assert!(s.starts_with('V') || s.starts_with('I') || s.starts_with('A'), "{s}");
+            assert!(
+                s.starts_with('V') || s.starts_with('I') || s.starts_with('A') || s.starts_with('O'),
+                "{s}"
+            );
             assert_eq!(s.len(), 4, "{s}");
         }
     }
@@ -342,12 +401,17 @@ mod tests {
     #[test]
     fn lint_codes_doc_is_in_sync() {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/lint-codes.md");
+        let expected = reference_markdown();
+        if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+            std::fs::write(path, &expected).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            return;
+        }
         let on_disk = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        let expected = reference_markdown();
         assert!(
             on_disk == expected,
-            "docs/lint-codes.md is out of date; regenerate it with this content:\n\n{expected}"
+            "docs/lint-codes.md is out of date; regenerate with \
+             UPDATE_SNAPSHOTS=1 cargo test -p vase-diag, expected:\n\n{expected}"
         );
     }
 }

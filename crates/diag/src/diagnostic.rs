@@ -9,6 +9,9 @@ use crate::code::Code;
 /// How serious a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
+    /// Purely informational (optimization-pass reports); never promoted
+    /// and never counted against the flow.
+    Note,
     /// Reported, but does not by itself stop the flow (unless promoted
     /// with `--deny warnings`).
     Warning,
@@ -19,6 +22,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            Severity::Note => "note",
             Severity::Warning => "warning",
             Severity::Error => "error",
         })
@@ -109,27 +113,38 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(Diagnostic::is_error)
 }
 
-/// Promote every warning to an error (`--deny warnings`).
+/// Promote every warning to an error (`--deny warnings`). Notes are
+/// informational and stay notes.
 pub fn deny_warnings(diags: &mut [Diagnostic]) {
     for d in diags {
-        d.severity = Severity::Error;
+        if d.severity == Severity::Warning {
+            d.severity = Severity::Error;
+        }
     }
 }
 
 /// A one-line count summary, e.g. `"2 errors, 1 warning"`; empty string
-/// when there are no diagnostics.
+/// when there are no diagnostics. Notes are listed only when present.
 pub fn summary(diags: &[Diagnostic]) -> String {
-    let errors = diags.iter().filter(|d| d.is_error()).count();
-    let warnings = diags.len() - errors;
+    let count =
+        |s: Severity| diags.iter().filter(|d| d.severity == s).count();
+    let errors = count(Severity::Error);
+    let warnings = count(Severity::Warning);
+    let notes = count(Severity::Note);
     let plural = |n: usize, word: &str| {
         format!("{n} {word}{}", if n == 1 { "" } else { "s" })
     };
-    match (errors, warnings) {
-        (0, 0) => String::new(),
-        (e, 0) => plural(e, "error"),
-        (0, w) => plural(w, "warning"),
-        (e, w) => format!("{}, {}", plural(e, "error"), plural(w, "warning")),
+    let mut parts = Vec::new();
+    if errors > 0 {
+        parts.push(plural(errors, "error"));
     }
+    if warnings > 0 {
+        parts.push(plural(warnings, "warning"));
+    }
+    if notes > 0 {
+        parts.push(plural(notes, "note"));
+    }
+    parts.join(", ")
 }
 
 #[cfg(test)]
@@ -187,5 +202,20 @@ mod tests {
         assert!(v.iter().all(Diagnostic::is_error));
         assert_eq!(summary(&v), "2 errors");
         assert_eq!(summary(&[]), "");
+    }
+
+    #[test]
+    fn notes_are_never_promoted_and_counted_separately() {
+        let mut v = vec![
+            Diagnostic::new(Code::O303, "removed 3 dead blocks"),
+            Diagnostic::new(Code::A200, "w"),
+        ];
+        assert_eq!(v[0].severity, Severity::Note);
+        assert!(!has_errors(&v));
+        assert_eq!(summary(&v), "1 warning, 1 note");
+        deny_warnings(&mut v);
+        assert_eq!(v[0].severity, Severity::Note, "notes stay notes");
+        assert_eq!(v[1].severity, Severity::Error);
+        assert_eq!(summary(&v), "1 error, 1 note");
     }
 }

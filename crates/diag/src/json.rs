@@ -162,11 +162,12 @@ pub fn diagnostic_to_json(d: &Diagnostic) -> Json {
 
 /// The machine-readable lint report for one file.
 pub fn report_to_json(file: &str, diags: &[Diagnostic]) -> Json {
-    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let count = |s: Severity| diags.iter().filter(|d| d.severity == s).count() as i128;
     Json::obj([
         ("file", Json::str(file)),
-        ("errors", Json::Int(errors as i128)),
-        ("warnings", Json::Int((diags.len() - errors) as i128)),
+        ("errors", Json::Int(count(Severity::Error))),
+        ("warnings", Json::Int(count(Severity::Warning))),
+        ("notes", Json::Int(count(Severity::Note))),
         ("diagnostics", Json::Arr(diags.iter().map(diagnostic_to_json).collect())),
     ])
 }

@@ -32,6 +32,21 @@ impl fmt::Display for VhifStats {
     }
 }
 
+/// An alternative lowering of one signal-flow graph, produced when the
+/// compiler can solve a DAE system for more than one unknown (paper §5:
+/// "the compiler selects one solution; the alternatives are kept as
+/// candidates"). Candidates are advisory metadata — the mapped and
+/// simulated design is always [`VhifDesign::graphs`] — but the
+/// `prune-solvers` pass uses them to discard dominated variants before
+/// an architecture explorer would consider them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverCandidate {
+    /// Candidate name (`<graph>#<variant>`).
+    pub name: String,
+    /// The alternative lowering of that graph.
+    pub graph: SignalFlowGraph,
+}
+
 /// A complete VHIF representation of one analog system: the
 /// continuous-time part as interconnected signal-flow graphs and the
 /// event-driven part as FSMs. Control signals produced by the FSMs'
@@ -46,12 +61,21 @@ pub struct VhifDesign {
     pub graphs: Vec<SignalFlowGraph>,
     /// FSMs of the event-driven part (one per process).
     pub fsms: Vec<Fsm>,
+    /// Alternative solver lowerings of the graphs (possibly empty; see
+    /// [`SolverCandidate`]).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub candidates: Vec<SolverCandidate>,
 }
 
 impl VhifDesign {
     /// An empty design named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        VhifDesign { name: name.into(), graphs: Vec::new(), fsms: Vec::new() }
+        VhifDesign {
+            name: name.into(),
+            graphs: Vec::new(),
+            fsms: Vec::new(),
+            candidates: Vec::new(),
+        }
     }
 
     /// Structural statistics (Table 1 columns 6–8).
@@ -61,6 +85,11 @@ impl VhifDesign {
             states: self.fsms.iter().map(|f| f.state_count()).sum(),
             datapath_ops: self.fsms.iter().map(|f| f.datapath_op_count()).sum(),
         }
+    }
+
+    /// Total connected edges across all graphs.
+    pub fn edge_count(&self) -> usize {
+        self.graphs.iter().map(|g| g.edge_count()).sum()
     }
 
     /// Validate all graphs and machines, then cross-check the

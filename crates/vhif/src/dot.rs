@@ -1,6 +1,12 @@
 //! Graphviz (DOT) export of VHIF structures, for visualizing the
 //! paper's figures (signal-flow graphs like Fig. 3b/7a, FSMs like the
 //! process machines).
+//!
+//! Node identifiers and statement order are derived from block
+//! *content* (label, kind, parameters), not from raw block ids: two
+//! exports of the same design are byte-identical, and exports of a
+//! design before and after optimization passes diff cleanly — removing
+//! a block removes its lines without renumbering every other node.
 
 use std::fmt::Write as _;
 
@@ -11,31 +17,13 @@ use crate::graph::SignalFlowGraph;
 
 /// Render a signal-flow graph as a DOT digraph. Analog edges are
 /// solid, control edges dashed; interface blocks are drawn as plain
-/// ovals, operations as boxes.
+/// ovals, operations as boxes. Nodes and edges are emitted in a
+/// stable, sorted order (see module docs).
 pub fn graph_to_dot(graph: &SignalFlowGraph) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", graph.name());
     let _ = writeln!(out, "  rankdir=LR;");
-    for (id, block) in graph.iter() {
-        let shape = if block.kind.is_interface() { "oval" } else { "box" };
-        let label = match &block.label {
-            Some(l) => format!("{l}\\n{}", block.kind),
-            None => block.kind.to_string(),
-        };
-        let _ = writeln!(out, "  {id} [shape={shape} label=\"{}\"];", escape(&label));
-    }
-    for (id, _) in graph.iter() {
-        for (port, driver) in graph.block_inputs(id).iter().enumerate() {
-            let Some(driver) = driver else { continue };
-            let style = if graph.kind(*driver).output_class() == SignalClass::Control {
-                " [style=dashed]"
-            } else {
-                ""
-            };
-            let _ = writeln!(out, "  {driver} -> {id}{style};");
-            let _ = port;
-        }
-    }
+    emit_graph(&mut out, graph, "", "  ");
     out.push_str("}\n");
     out
 }
@@ -67,7 +55,9 @@ pub fn fsm_to_dot(fsm: &Fsm) -> String {
 }
 
 /// Render a whole design: each graph and FSM as a cluster in one DOT
-/// file.
+/// file. Graph clusters use the same renderer as [`graph_to_dot`], so
+/// labels, shapes, and control-edge styling survive, and node order is
+/// stable.
 pub fn design_to_dot(design: &VhifDesign) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", design.name);
@@ -75,28 +65,17 @@ pub fn design_to_dot(design: &VhifDesign) -> String {
     for (gi, graph) in design.graphs.iter().enumerate() {
         let _ = writeln!(out, "  subgraph cluster_g{gi} {{");
         let _ = writeln!(out, "    label=\"graph {}\";", graph.name());
-        for (id, block) in graph.iter() {
-            let shape = if block.kind.is_interface() { "oval" } else { "box" };
-            let _ = writeln!(
-                out,
-                "    g{gi}_{id} [shape={shape} label=\"{}\"];",
-                escape(&block.kind.to_string())
-            );
-        }
-        for (id, _) in graph.iter() {
-            for driver in graph.block_inputs(id).iter().flatten() {
-                let _ = writeln!(out, "    g{gi}_{driver} -> g{gi}_{id};");
-            }
-        }
+        emit_graph(&mut out, graph, &format!("g{gi}_"), "    ");
         let _ = writeln!(out, "  }}");
     }
     for (fi, fsm) in design.fsms.iter().enumerate() {
         let _ = writeln!(out, "  subgraph cluster_f{fi} {{");
         let _ = writeln!(out, "    label=\"fsm {}\";", fsm.name());
         for (id, state) in fsm.iter() {
+            let shape = if id == fsm.start() { "doublecircle" } else { "circle" };
             let _ = writeln!(
                 out,
-                "    f{fi}_{id} [shape=circle label=\"{}\"];",
+                "    f{fi}_{id} [shape={shape} label=\"{}\"];",
                 escape(&state.name)
             );
         }
@@ -107,6 +86,89 @@ pub fn design_to_dot(design: &VhifDesign) -> String {
     }
     out.push_str("}\n");
     out
+}
+
+/// Emit one graph's node and edge statements with content-derived node
+/// names, sorted.
+fn emit_graph(out: &mut String, graph: &SignalFlowGraph, prefix: &str, indent: &str) {
+    let names = stable_names(graph);
+    // Node statements, sorted by node name.
+    let mut nodes: Vec<String> = Vec::with_capacity(graph.len());
+    for (id, block) in graph.iter() {
+        let shape = if block.kind.is_interface() { "oval" } else { "box" };
+        let label = match &block.label {
+            Some(l) => format!("{l}\\n{}", block.kind),
+            None => block.kind.to_string(),
+        };
+        nodes.push(format!(
+            "{indent}{prefix}{} [shape={shape} label=\"{}\"];",
+            names[id.index()],
+            escape(&label)
+        ));
+    }
+    nodes.sort();
+    for n in nodes {
+        let _ = writeln!(out, "{n}");
+    }
+    // Edge statements, sorted. Multi-input consumers carry the port
+    // number so the wiring stays unambiguous.
+    let mut edges: Vec<String> = Vec::new();
+    for (id, block) in graph.iter() {
+        let multi = block.kind.input_arity() > 1;
+        for (port, driver) in graph.block_inputs(id).iter().enumerate() {
+            let Some(driver) = driver else { continue };
+            let mut attrs: Vec<String> = Vec::new();
+            if graph.kind(*driver).output_class() == SignalClass::Control {
+                attrs.push("style=dashed".into());
+            }
+            if multi {
+                attrs.push(format!("headlabel=\"{port}\""));
+            }
+            let attrs = if attrs.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", attrs.join(" "))
+            };
+            edges.push(format!(
+                "{indent}{prefix}{} -> {prefix}{}{attrs};",
+                names[driver.index()],
+                names[id.index()]
+            ));
+        }
+    }
+    edges.sort();
+    for e in edges {
+        let _ = writeln!(out, "{e}");
+    }
+}
+
+/// A stable DOT identifier per block: the sanitized label (preferred)
+/// or kind rendering, suffixed with the block's occurrence index among
+/// same-key blocks (in id order). The names depend only on content and
+/// relative order of identical blocks, so they survive the renumbering
+/// optimization passes perform.
+fn stable_names(graph: &SignalFlowGraph) -> Vec<String> {
+    let keys: Vec<String> = graph
+        .iter()
+        .map(|(_, b)| {
+            let text = match &b.label {
+                Some(l) => format!("{l}_{}", b.kind),
+                None => b.kind.to_string(),
+            };
+            sanitize(&text)
+        })
+        .collect();
+    let mut names = Vec::with_capacity(keys.len());
+    for (i, key) in keys.iter().enumerate() {
+        let occurrence = keys[..i].iter().filter(|k| *k == key).count();
+        names.push(format!("{key}_{occurrence}"));
+    }
+    names
+}
+
+/// Restrict to DOT-identifier-safe characters.
+fn sanitize(s: &str) -> String {
+    s.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
 }
 
 fn escape(s: &str) -> String {
@@ -137,12 +199,51 @@ mod tests {
     fn graph_dot_has_nodes_and_edges() {
         let dot = graph_to_dot(&small_graph());
         assert!(dot.starts_with("digraph \"t\""));
-        assert!(dot.contains("b0 [shape=oval"));
+        assert!(dot.contains("in_x__0 [shape=oval"), "{dot}");
         assert!(dot.contains("block1"));
-        assert!(dot.contains("b0 -> b1;"));
-        // the control edge is dashed
-        assert!(dot.contains("b2 -> b3 [style=dashed];"), "{dot}");
+        assert!(dot.contains("in_x__0 -> block1_scale_2__0;"), "{dot}");
+        // the control edge is dashed and port-labelled (switch is 2-ary)
+        assert!(
+            dot.contains("ctl_en__0 -> sw_0 [style=dashed headlabel=\"1\"];"),
+            "{dot}"
+        );
         assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn node_names_are_stable_under_renumbering() {
+        // The same content in a different insertion order produces the
+        // same node statements (only their position can differ).
+        let g1 = small_graph();
+        let mut g2 = SignalFlowGraph::new("t");
+        let y = g2.add(BlockKind::Output { name: "y".into() });
+        let sw = g2.add(BlockKind::Switch);
+        let c = g2.add(BlockKind::ControlInput { name: "en".into() });
+        let s = g2.add_labelled(BlockKind::Scale { gain: 2.0 }, "block1");
+        let x = g2.add(BlockKind::Input { name: "x".into() });
+        g2.connect(x, s, 0).expect("wire");
+        g2.connect(s, sw, 0).expect("wire");
+        g2.connect(c, sw, 1).expect("wire");
+        g2.connect(sw, y, 0).expect("wire");
+        assert_eq!(graph_to_dot(&g1), graph_to_dot(&g2));
+    }
+
+    #[test]
+    fn duplicate_blocks_get_distinct_names() {
+        let mut g = SignalFlowGraph::new("t");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let a = g.add(BlockKind::Scale { gain: 2.0 });
+        let b = g.add(BlockKind::Scale { gain: 2.0 });
+        let sum = g.add(BlockKind::Add { arity: 2 });
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, a, 0).expect("wire");
+        g.connect(x, b, 0).expect("wire");
+        g.connect(a, sum, 0).expect("wire");
+        g.connect(b, sum, 1).expect("wire");
+        g.connect(sum, y, 0).expect("wire");
+        let dot = graph_to_dot(&g);
+        assert!(dot.contains("scale_2__0 ["), "{dot}");
+        assert!(dot.contains("scale_2__1 ["), "{dot}");
     }
 
     #[test]
@@ -164,13 +265,18 @@ mod tests {
     }
 
     #[test]
-    fn design_dot_clusters_parts() {
+    fn design_dot_clusters_parts_with_full_styling() {
         let mut d = VhifDesign::new("sys");
         d.graphs.push(small_graph());
         d.fsms.push(Fsm::new("ctl"));
         let dot = design_to_dot(&d);
         assert!(dot.contains("subgraph cluster_g0"));
         assert!(dot.contains("subgraph cluster_f0"));
+        // design export keeps labels and control styling (it used to
+        // drop both)
+        assert!(dot.contains("block1"), "{dot}");
+        assert!(dot.contains("style=dashed"), "{dot}");
+        assert!(dot.contains("doublecircle"), "{dot}");
     }
 
     #[test]

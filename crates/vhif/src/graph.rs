@@ -378,6 +378,124 @@ impl SignalFlowGraph {
     pub(crate) fn raw_inputs(&self) -> &[Vec<Option<BlockId>>] {
         &self.inputs
     }
+
+    // ------------------------------------------------- rewrite utilities
+    //
+    // The optimization passes ([`crate::passes`]) rewrite graphs with
+    // the primitives below: redirect fanout, swap an operation in
+    // place, splice a pass-through block out of its wire, and compact
+    // away unreferenced blocks.
+
+    /// Number of connected edges (driven input ports) in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.inputs.iter().map(|row| row.iter().flatten().count()).sum()
+    }
+
+    /// Redirect every consumer of `old`'s output to read `new` instead
+    /// (`old`'s own input edges are left alone). Both blocks must carry
+    /// the same output class, otherwise the rewrite would break the
+    /// control/analog port discipline [`connect`](Self::connect)
+    /// enforces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output classes differ or either id is out of
+    /// range.
+    pub fn replace_uses(&mut self, old: BlockId, new: BlockId) {
+        assert_eq!(
+            self.blocks[old.index()].kind.output_class(),
+            self.blocks[new.index()].kind.output_class(),
+            "replace_uses must preserve the signal class"
+        );
+        if old == new {
+            return;
+        }
+        for row in &mut self.inputs {
+            for slot in row.iter_mut() {
+                if *slot == Some(old) {
+                    *slot = Some(new);
+                }
+            }
+        }
+    }
+
+    /// Replace the operation of `id` with `kind`, disconnecting all of
+    /// its input edges (the new kind's ports start undriven). The label
+    /// and every consumer connection are kept, so the new operation
+    /// must produce the same output class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output class changes.
+    pub fn replace_kind(&mut self, id: BlockId, kind: BlockKind) {
+        assert_eq!(
+            self.blocks[id.index()].kind.output_class(),
+            kind.output_class(),
+            "replace_kind must preserve the signal class"
+        );
+        self.inputs[id.index()] = vec![None; kind.input_arity()];
+        self.blocks[id.index()].kind = kind;
+    }
+
+    /// Splice a single-data-input, no-control block out of its wire:
+    /// every consumer of `id` is redirected to `id`'s port-0 driver.
+    /// Returns the driver, or `None` (no rewrite) when the block shape
+    /// does not allow splicing or the port is undriven. The block
+    /// itself stays in the graph — now fanout-free — until a
+    /// [`compact`](Self::compact) collects it.
+    pub fn splice_out(&mut self, id: BlockId) -> Option<BlockId> {
+        let kind = &self.blocks[id.index()].kind;
+        if kind.data_inputs() != 1 || kind.control_inputs() != 0 {
+            return None;
+        }
+        let driver = self.inputs[id.index()].first().copied().flatten()?;
+        if driver == id {
+            return None; // degenerate self-loop
+        }
+        self.replace_uses(id, driver);
+        Some(driver)
+    }
+
+    /// Garbage-collect: keep exactly the blocks with `keep[id] == true`,
+    /// renumbering the survivors densely in id order. Returns the remap
+    /// table (`old id → new id`, `None` for collected blocks). Edges
+    /// from a survivor to a collected block become undriven ports —
+    /// callers redirect fanout first, so a subsequent
+    /// [`validate`](Self::validate) catches any rewrite mistake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len()` differs from [`len`](Self::len).
+    pub fn compact(&mut self, keep: &[bool]) -> Vec<Option<BlockId>> {
+        assert_eq!(keep.len(), self.blocks.len(), "keep mask must cover every block");
+        let mut remap: Vec<Option<BlockId>> = Vec::with_capacity(keep.len());
+        let mut next = 0u32;
+        for &k in keep {
+            if k {
+                remap.push(Some(BlockId(next)));
+                next += 1;
+            } else {
+                remap.push(None);
+            }
+        }
+        let mut blocks = Vec::with_capacity(next as usize);
+        let mut inputs = Vec::with_capacity(next as usize);
+        for (i, block) in std::mem::take(&mut self.blocks).into_iter().enumerate() {
+            if remap[i].is_none() {
+                continue;
+            }
+            blocks.push(block);
+            inputs.push(
+                self.inputs[i]
+                    .iter()
+                    .map(|d| d.and_then(|b| remap[b.index()]))
+                    .collect(),
+            );
+        }
+        self.blocks = blocks;
+        self.inputs = inputs;
+        remap
+    }
 }
 
 impl fmt::Display for SignalFlowGraph {

@@ -53,13 +53,15 @@ pub mod dp;
 pub mod error;
 pub mod fsm;
 pub mod graph;
+pub mod passes;
 pub mod verify;
 
 pub use block::{Block, BlockKind, SignalClass};
-pub use design::{VhifDesign, VhifStats};
+pub use design::{SolverCandidate, VhifDesign, VhifStats};
 pub use dp::{DataOp, DpBinaryOp, DpExpr, Event};
 pub use dot::{design_to_dot, fsm_to_dot, graph_to_dot};
 pub use error::VhifError;
 pub use fsm::{Fsm, State, StateId, Transition, Trigger};
 pub use graph::{BlockId, SignalFlowGraph};
+pub use passes::{by_name, Pass, PassManager, PassStats, PASS_NAMES};
 pub use verify::{diagnostic_from_error, verify_design, VerifyContext, WireKind};

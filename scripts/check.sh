@@ -15,6 +15,19 @@ cargo test -q
 echo "== tier 1: sim_bench --smoke =="
 ./target/release/sim_bench --smoke
 
+echo "== tier 1: opt_bench --smoke =="
+./target/release/opt_bench --smoke
+
+echo "== tier 1: opt equivalence suite =="
+cargo test -q -p vase-sim --test opt_equivalence
+cargo test -q -p vase --test opt_snapshots
+
+echo "== tier 1: vase opt smoke over shipped specs =="
+for f in crates/core/specs/*.vhd; do
+    # Every spec must survive the full -O2 pipeline with clean stats.
+    ./target/release/vase opt --print-stats "$f" >/dev/null
+done
+
 echo "== tier 1: vase lint over shipped specs and fixtures =="
 for f in crates/core/specs/*.vhd examples/lint/clean_*.vhd; do
     # Every shipped design must lint clean, warnings included.
