@@ -23,6 +23,7 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
+use vase_budget::{BudgetMeter, CancelToken};
 use vase_estimate::{Estimator, NetlistEstimate};
 use vase_library::{MatchCache, Netlist, PatternMatch};
 use vase_vhif::{BlockId, SignalFlowGraph};
@@ -61,6 +62,48 @@ pub fn map_graph(
     estimator: &Estimator,
     config: &MapperConfig,
 ) -> Result<MapResult, MapError> {
+    map_graph_with_cancel(graph, estimator, config, None)
+}
+
+/// [`map_graph`] with an optional cooperative [`CancelToken`].
+///
+/// Tripping the token (from any thread) stops the search at the next
+/// metering checkpoint; like budget exhaustion it is *anytime* — the
+/// best incumbent found so far is returned with
+/// `stats.budget_exhausted` set. When `config.budget` is limited or a
+/// token is supplied, a greedy mapping seeds the incumbent before the
+/// search starts, so exhaustion at any point still yields a feasible,
+/// verifier-clean plan whenever one exists.
+///
+/// # Errors
+///
+/// As [`map_graph`]; additionally, cancellation or exhaustion before
+/// *any* feasible mapping (including the greedy seed) was found
+/// reports [`MapError::NoFeasibleMapping`].
+pub fn map_graph_with_cancel(
+    graph: &SignalFlowGraph,
+    estimator: &Estimator,
+    config: &MapperConfig,
+    token: Option<CancelToken>,
+) -> Result<MapResult, MapError> {
+    let seed_incumbent = config.budget.is_limited() || token.is_some();
+    let meter = BudgetMeter::new(config.effective_budget(), token);
+    map_graph_metered(graph, estimator, config, &meter, seed_incumbent)
+}
+
+/// The budget-aware mapping core: meters node visits on `meter`
+/// (shareable across several graphs of one design) and, when
+/// `seed_incumbent` is set, pre-seeds the search with a greedy mapping
+/// so exhaustion always has an incumbent to return. The greedy seed
+/// runs outside the meter — it is linear in the graph and counts as
+/// setup, not search.
+pub(crate) fn map_graph_metered(
+    graph: &SignalFlowGraph,
+    estimator: &Estimator,
+    config: &MapperConfig,
+    meter: &BudgetMeter,
+    seed_incumbent: bool,
+) -> Result<MapResult, MapError> {
     let start = Instant::now();
     // Run the matcher once per block, up front; both the pre-check and
     // every decision-tree visit read from this cache.
@@ -73,16 +116,29 @@ pub fn map_graph(
             });
         }
     }
-    let ctx = SearchCtx::new(graph, estimator, config, cache);
+    let seed = if seed_incumbent {
+        crate::greedy::map_graph_greedy(graph, estimator, config)
+            .ok()
+            .map(|r| Best {
+                area: r.estimate.area_m2,
+                netlist: r.netlist,
+                estimate: r.estimate,
+            })
+    } else {
+        None
+    };
+    let ctx = SearchCtx::new(graph, estimator, config, cache, meter);
     let jobs = config.effective_parallelism();
     let (best, mut stats) = if jobs <= 1 {
         let mut search = Search::sequential(&ctx);
+        search.best = seed;
         search.run(Plan::new(graph));
         (search.best, search.stats)
     } else {
-        run_parallel(&ctx, jobs)
+        run_parallel(&ctx, jobs, seed)
     };
     stats.elapsed_us = start.elapsed().as_micros() as u64;
+    stats.budget_exhausted = meter.exhausted();
     match best {
         Some(best) => Ok(MapResult {
             netlist: best.netlist,
@@ -113,6 +169,9 @@ pub(crate) struct SearchCtx<'a> {
     pub(crate) spec_ok: Vec<Vec<bool>>,
     pub(crate) order: Vec<BlockId>,
     pub(crate) min_area: f64,
+    /// The shared budget meter; every decision-tree visit notes a node
+    /// here, and exhaustion unwinds the search keeping its incumbent.
+    pub(crate) meter: &'a BudgetMeter,
 }
 
 impl<'a> SearchCtx<'a> {
@@ -121,6 +180,7 @@ impl<'a> SearchCtx<'a> {
         estimator: &'a Estimator,
         config: &'a MapperConfig,
         cache: MatchCache,
+        meter: &'a BudgetMeter,
     ) -> Self {
         let spec_ok = (0..graph.len())
             .map(|i| {
@@ -139,6 +199,7 @@ impl<'a> SearchCtx<'a> {
             spec_ok,
             order: coverage_order(graph),
             min_area: estimator.min_opamp_area(),
+            meter,
         }
     }
 
@@ -221,7 +282,11 @@ impl<'a> Search<'a> {
     }
 
     pub(crate) fn run(&mut self, plan: Plan) {
-        if self.over_node_limit() {
+        // The anytime contract: once the budget trips, every pending
+        // recursion unwinds immediately, leaving `self.best` as the
+        // incumbent to return.
+        if !self.ctx.meter.note_node() {
+            self.stats.budget_exhausted = true;
             return;
         }
         self.stats.visited_nodes += 1;
@@ -285,17 +350,6 @@ impl<'a> Search<'a> {
             let mut allocated = plan.clone();
             apply_match(&mut allocated, m, cur);
             self.run(allocated);
-        }
-    }
-
-    /// Whether the (shared, in a parallel run) visited-node budget is
-    /// exhausted. Counts the visit in the shared budget.
-    fn over_node_limit(&self) -> bool {
-        match self.shared {
-            Some(shared) => {
-                shared.visited.fetch_add(1, Ordering::Relaxed) >= self.ctx.config.node_limit
-            }
-            None => self.stats.visited_nodes >= self.ctx.config.node_limit,
         }
     }
 
@@ -666,6 +720,56 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, MapError::NoFeasibleMapping);
+    }
+
+    #[test]
+    fn node_budget_returns_verifier_clean_incumbent() {
+        use vase_budget::Budget;
+        let g = buffer_chain(12);
+        let unbudgeted = map_graph(&g, &estimator(), &MapperConfig::default()).expect("maps");
+        for parallelism in [1usize, 4] {
+            let config = MapperConfig {
+                budget: Budget::nodes(8),
+                parallelism,
+                ..MapperConfig::default()
+            };
+            let result = map_graph(&g, &estimator(), &config).expect("anytime mapping");
+            assert!(
+                result.stats.budget_exhausted,
+                "8 nodes cannot finish a 12-block chain (parallelism={parallelism})"
+            );
+            result.netlist.validate().expect("incumbent is structurally valid");
+            assert!(result.estimate.feasible(), "incumbent meets constraints");
+            // The incumbent can only be as good as or worse than the
+            // proven optimum.
+            assert!(result.estimate.area_m2 >= unbudgeted.estimate.area_m2 * 0.999);
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_still_yields_incumbent() {
+        let token = CancelToken::new();
+        token.cancel();
+        let g = buffer_chain(10);
+        let result = map_graph_with_cancel(&g, &estimator(), &MapperConfig::default(), Some(token))
+            .expect("cancellation is anytime, not an error");
+        assert!(result.stats.budget_exhausted);
+        result.netlist.validate().expect("valid");
+        assert!(result.estimate.feasible());
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_optimum() {
+        use vase_budget::Budget;
+        let g = fig6_graph();
+        let free = map_graph(&g, &estimator(), &MapperConfig::default()).expect("maps");
+        let config = MapperConfig {
+            budget: Budget::nodes(1_000_000),
+            ..MapperConfig::default()
+        };
+        let budgeted = map_graph(&g, &estimator(), &config).expect("maps");
+        assert!(!budgeted.stats.budget_exhausted);
+        assert_eq!(budgeted.netlist.opamp_count(), free.netlist.opamp_count());
     }
 
     #[test]

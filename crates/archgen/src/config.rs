@@ -3,6 +3,7 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+use vase_budget::Budget;
 use vase_library::MatchOptions;
 
 /// Configuration of the architecture generator. The boolean switches
@@ -48,6 +49,13 @@ pub struct MapperConfig {
     /// worker exist.
     #[serde(default)]
     pub split_depth: usize,
+    /// Caller-facing compute budget (wall-clock deadline and/or node
+    /// cap) on top of the `node_limit` safety cap. When any limit here
+    /// is set the search runs in *anytime* mode: a greedy mapping seeds
+    /// the incumbent up front, and budget exhaustion returns the best
+    /// plan found so far flagged [`MapStats::budget_exhausted`].
+    #[serde(default)]
+    pub budget: Budget,
 }
 
 fn default_parallelism() -> usize {
@@ -66,6 +74,7 @@ impl Default for MapperConfig {
             memoize: true,
             parallelism: default_parallelism(),
             split_depth: 0,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -114,6 +123,19 @@ impl MapperConfig {
             n => n,
         }
     }
+
+    /// The budget a search meter actually enforces: the caller-facing
+    /// [`budget`](MapperConfig::budget) with the `node_limit` safety
+    /// cap folded into its node cap (whichever is smaller wins).
+    pub fn effective_budget(&self) -> Budget {
+        Budget {
+            deadline_ms: self.budget.deadline_ms,
+            max_nodes: Some(match self.budget.max_nodes {
+                Some(n) => n.min(self.node_limit),
+                None => self.node_limit,
+            }),
+        }
+    }
 }
 
 /// Statistics of one mapping run.
@@ -133,6 +155,13 @@ pub struct MapStats {
     /// Wall-clock search time in microseconds.
     #[serde(default)]
     pub elapsed_us: u64,
+    /// Whether the search stopped on a compute budget (deadline, node
+    /// cap, or cancellation) rather than proving its result optimal.
+    /// When set, the returned mapping is the best *incumbent* — still
+    /// verifier-clean and constraint-feasible, but possibly not the
+    /// minimum-area architecture.
+    #[serde(default)]
+    pub budget_exhausted: bool,
 }
 
 impl MapStats {
@@ -146,6 +175,13 @@ impl MapStats {
         self.complete_mappings += other.complete_mappings;
         self.infeasible_mappings += other.infeasible_mappings;
         self.elapsed_us += other.elapsed_us;
+        self.budget_exhausted |= other.budget_exhausted;
+    }
+
+    /// Decision-tree nodes explored, the quantity compute budgets
+    /// meter (an alias for [`visited_nodes`](MapStats::visited_nodes)).
+    pub fn nodes_explored(&self) -> u64 {
+        self.visited_nodes
     }
 
     /// Search throughput: visited decision-tree nodes per second of
@@ -171,7 +207,11 @@ impl fmt::Display for MapStats {
             self.complete_mappings,
             self.infeasible_mappings,
             format_duration_us(self.elapsed_us),
-        )
+        )?;
+        if self.budget_exhausted {
+            write!(f, " [budget exhausted]")?;
+        }
+        Ok(())
     }
 }
 
@@ -233,6 +273,7 @@ mod tests {
             complete_mappings: 3,
             infeasible_mappings: 1,
             elapsed_us: 500,
+            ..MapStats::default()
         };
         let b = MapStats {
             visited_nodes: 5,
@@ -254,12 +295,49 @@ mod tests {
             complete_mappings: 8,
             infeasible_mappings: 1,
             elapsed_us: 4200,
+            ..MapStats::default()
         };
         let text = s.to_string();
         assert!(text.contains("1234"), "{text}");
         assert!(text.contains("56 bound-pruned"), "{text}");
         assert!(text.contains("7 memo-pruned"), "{text}");
         assert!(text.contains("4.20 ms"), "{text}");
+    }
+
+    #[test]
+    fn effective_budget_folds_node_limit() {
+        let c = MapperConfig::default();
+        assert_eq!(c.effective_budget().max_nodes, Some(c.node_limit));
+        assert_eq!(c.effective_budget().deadline_ms, None);
+        let tight = MapperConfig {
+            budget: Budget::nodes(10),
+            ..MapperConfig::default()
+        };
+        assert_eq!(tight.effective_budget().max_nodes, Some(10));
+        let loose = MapperConfig {
+            budget: Budget {
+                deadline_ms: Some(5),
+                max_nodes: Some(u64::MAX),
+            },
+            ..MapperConfig::default()
+        };
+        // The safety cap still wins over a looser caller budget.
+        assert_eq!(loose.effective_budget().max_nodes, Some(loose.node_limit));
+        assert_eq!(loose.effective_budget().deadline_ms, Some(5));
+    }
+
+    #[test]
+    fn budget_exhausted_merges_and_displays() {
+        let mut a = MapStats::default();
+        assert!(!a.to_string().contains("budget exhausted"));
+        let b = MapStats {
+            budget_exhausted: true,
+            ..MapStats::default()
+        };
+        a.merge(&b);
+        assert!(a.budget_exhausted);
+        assert!(a.to_string().contains("[budget exhausted]"));
+        assert_eq!(a.nodes_explored(), a.visited_nodes);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::time::Instant;
 
+use vase_budget::BudgetMeter;
 use vase_estimate::Estimator;
 use vase_library::MatchCache;
 use vase_vhif::SignalFlowGraph;
@@ -19,6 +20,12 @@ use crate::error::MapError;
 use crate::plan::{resolve, Plan, PlannedComponent};
 
 /// Map `graph` greedily: first (largest) match wins, no backtracking.
+///
+/// The single greedy pass is linear in the graph, so when
+/// `config.budget` trips mid-run the pass still completes — the
+/// finished mapping *is* the best incumbent — and the result is merely
+/// flagged [`MapStats::budget_exhausted`] so callers see the budget was
+/// insufficient even for the heuristic.
 ///
 /// # Errors
 ///
@@ -32,12 +39,14 @@ pub fn map_graph_greedy(
     config: &MapperConfig,
 ) -> Result<MapResult, MapError> {
     let start = Instant::now();
+    let meter = BudgetMeter::new(config.effective_budget(), None);
     let cache = MatchCache::build(graph, &config.match_options);
     let mut plan = Plan::new(graph);
     let order = crate::bnb::coverage_order(graph);
     let mut stats = MapStats::default();
     while let Some(cur) = order.iter().copied().find(|&b| !plan.is_covered(b)) {
         stats.visited_nodes += 1;
+        let _ = meter.note_node();
         let m = cache
             .at(cur)
             .iter()
@@ -75,6 +84,7 @@ pub fn map_graph_greedy(
         return Err(MapError::NoFeasibleMapping);
     }
     stats.elapsed_us = start.elapsed().as_micros() as u64;
+    stats.budget_exhausted = meter.exhausted();
     Ok(MapResult {
         netlist,
         estimate,

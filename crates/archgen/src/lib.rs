@@ -38,6 +38,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod bnb;
 pub mod config;
@@ -50,16 +51,20 @@ pub mod plan;
 
 use std::time::Instant;
 
+use vase_budget::BudgetMeter;
 use vase_estimate::{Estimator, NetlistEstimate};
 use vase_library::{Netlist, SourceRef};
 use vase_vhif::VhifDesign;
 
-pub use bnb::{map_graph, MapResult};
+pub use bnb::{map_graph, map_graph_with_cancel, MapResult};
 pub use config::{MapStats, MapperConfig};
 pub use cover::CoverSet;
 pub use error::MapError;
 pub use fsm_map::{map_fsm, map_fsm_with_bindings};
 pub use greedy::map_graph_greedy;
+// Budget primitives, re-exported so callers can configure anytime
+// mapping without depending on `vase-budget` directly.
+pub use vase_budget::{Budget, CancelToken};
 
 /// The result of synthesizing a complete VHIF design.
 #[derive(Debug, Clone)]
@@ -94,7 +99,32 @@ pub fn synthesize(
     estimator: &Estimator,
     config: &MapperConfig,
 ) -> Result<SynthesisResult, MapError> {
+    synthesize_with_cancel(design, estimator, config, None)
+}
+
+/// [`synthesize`] with an optional cooperative [`CancelToken`].
+///
+/// One budget meter spans the whole design: `config.budget`'s deadline
+/// and node cap bound the *sum* of all graph searches, not each graph
+/// individually. Under a limited budget (or with a token present) each
+/// graph search is seeded with its greedy mapping, so exhaustion
+/// mid-design still yields a complete, feasible architecture for every
+/// remaining graph — degraded to the heuristic — flagged
+/// `stats.budget_exhausted`.
+///
+/// # Errors
+///
+/// As [`synthesize`].
+pub fn synthesize_with_cancel(
+    design: &VhifDesign,
+    estimator: &Estimator,
+    config: &MapperConfig,
+    token: Option<CancelToken>,
+) -> Result<SynthesisResult, MapError> {
     let start = Instant::now();
+    let seed_incumbent = config.budget.is_limited() || token.is_some();
+    let meter = BudgetMeter::new(config.effective_budget(), token);
+    let meter = &meter;
     let jobs = config.effective_parallelism();
     let results: Vec<Result<MapResult, MapError>> = if jobs > 1 && design.graphs.len() > 1 {
         // Spread the worker budget across the graphs; each graph's own
@@ -107,7 +137,11 @@ pub fn synthesize(
             let handles: Vec<_> = design
                 .graphs
                 .iter()
-                .map(|graph| scope.spawn(move || map_graph(graph, estimator, &per_graph)))
+                .map(|graph| {
+                    scope.spawn(move || {
+                        bnb::map_graph_metered(graph, estimator, &per_graph, meter, seed_incumbent)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -118,7 +152,7 @@ pub fn synthesize(
         design
             .graphs
             .iter()
-            .map(|graph| map_graph(graph, estimator, config))
+            .map(|graph| bnb::map_graph_metered(graph, estimator, config, meter, seed_incumbent))
             .collect()
     };
     let mut netlist = Netlist::new();
@@ -129,6 +163,7 @@ pub fn synthesize(
         stats.merge(&result.stats);
     }
     stats.elapsed_us = start.elapsed().as_micros() as u64;
+    stats.budget_exhausted |= meter.exhausted();
     let mut control_bindings = Vec::new();
     for fsm in &design.fsms {
         let offset = netlist.components.len();

@@ -11,7 +11,10 @@
 //!   patterns), so the bounding rule prunes across workers;
 //! * the dominance memo is sharded across mutex-protected hash maps
 //!   keyed by the allocation-free [`CoverSet`];
-//! * the visited-node budget (`node_limit`) is a shared counter.
+//! * the compute budget (node cap, deadline, cancellation) is a shared
+//!   [`vase_budget::BudgetMeter`] owned by the calling context — every
+//!   frontier expansion and worker visit notes a node on it, and
+//!   exhaustion makes every worker unwind keeping its incumbent.
 //!
 //! Because a worker only ever *prunes* against the shared bound (the
 //! acceptance test for a new best is a strict improvement), the minimum
@@ -84,30 +87,38 @@ pub(crate) struct SharedSearchState {
     /// Bits of the best feasible area found by any worker
     /// (`f64::INFINITY.to_bits()` until one exists).
     pub(crate) best_area: AtomicU64,
-    /// Total visited decision-tree nodes (enforces `node_limit`).
-    pub(crate) visited: AtomicU64,
     /// The cross-worker dominance memo.
     pub(crate) memo: ShardedMemo,
 }
 
 impl SharedSearchState {
-    fn new(jobs: usize, already_visited: u64) -> Self {
+    fn new(jobs: usize) -> Self {
         SharedSearchState {
             best_area: AtomicU64::new(f64::INFINITY.to_bits()),
-            visited: AtomicU64::new(already_visited),
             memo: ShardedMemo::new(jobs),
         }
     }
 }
 
 /// Search the decision tree of `ctx` with `jobs` worker threads.
-pub(crate) fn run_parallel(ctx: &SearchCtx<'_>, jobs: usize) -> (Option<Best>, MapStats) {
+///
+/// `seed` (the greedy incumbent under a limited budget) both tightens
+/// the shared bound from the start and acts as the fallback result when
+/// the budget trips before any worker completes a better mapping.
+pub(crate) fn run_parallel(
+    ctx: &SearchCtx<'_>,
+    jobs: usize,
+    seed: Option<Best>,
+) -> (Option<Best>, MapStats) {
     let mut stats = MapStats::default();
     let tasks = expand_frontier(ctx, jobs, &mut stats);
     if tasks.is_empty() {
-        return (None, stats);
+        return (seed, stats);
     }
-    let shared = SharedSearchState::new(jobs, stats.visited_nodes);
+    let shared = SharedSearchState::new(jobs);
+    if let Some(s) = &seed {
+        shared.best_area.fetch_min(s.area.to_bits(), Ordering::Relaxed);
+    }
     let next = AtomicUsize::new(0);
     let workers = jobs.min(tasks.len());
     let per_task = std::thread::scope(|scope| {
@@ -149,7 +160,13 @@ pub(crate) fn run_parallel(ctx: &SearchCtx<'_>, jobs: usize) -> (Option<Best>, M
             best = Some((i, b));
         }
     }
-    (best.map(|(_, b)| b), stats)
+    // The seed wins ties: it existed before any worker ran, so the
+    // result does not depend on worker scheduling.
+    let best = match (best.map(|(_, b)| b), seed) {
+        (Some(b), Some(s)) => Some(if b.area < s.area { b } else { s }),
+        (b, s) => b.or(s),
+    };
+    (best, stats)
 }
 
 /// Expand the top of the decision tree breadth-first into subtree-root
@@ -178,6 +195,14 @@ fn expand_frontier(ctx: &SearchCtx<'_>, jobs: usize, stats: &mut MapStats) -> Ve
             if ctx.next_uncovered(&plan).is_none() {
                 // Already a complete mapping: keep it as its own task
                 // (the worker evaluates it as a leaf).
+                next.push(plan);
+                continue;
+            }
+            // Budget exhausted mid-expansion: keep the plan as an
+            // unexpanded task — the workers observe the tripped meter
+            // and return without searching it.
+            if !ctx.meter.note_node() {
+                stats.budget_exhausted = true;
                 next.push(plan);
                 continue;
             }
@@ -235,6 +260,7 @@ fn expand_children(ctx: &SearchCtx<'_>, plan: &Plan, out: &mut Vec<Plan>, stats:
 mod tests {
     use super::*;
     use crate::config::MapperConfig;
+    use vase_budget::BudgetMeter;
     use vase_estimate::Estimator;
     use vase_library::MatchCache;
     use vase_vhif::{BlockKind, SignalFlowGraph};
@@ -284,7 +310,8 @@ mod tests {
             ..MapperConfig::default()
         };
         let cache = MatchCache::build(&g, &config.match_options);
-        let ctx = SearchCtx::new(&g, &estimator, &config, cache);
+        let meter = BudgetMeter::new(config.effective_budget(), None);
+        let ctx = SearchCtx::new(&g, &estimator, &config, cache, &meter);
         let mut stats = MapStats::default();
         let tasks = expand_frontier(&ctx, 4, &mut stats);
         assert!(
@@ -305,7 +332,8 @@ mod tests {
         let estimator = Estimator::default();
         let seq_config = MapperConfig::default();
         let cache = MatchCache::build(&g, &seq_config.match_options);
-        let seq_ctx = SearchCtx::new(&g, &estimator, &seq_config, cache);
+        let seq_meter = BudgetMeter::new(seq_config.effective_budget(), None);
+        let seq_ctx = SearchCtx::new(&g, &estimator, &seq_config, cache, &seq_meter);
         let mut seq = Search::sequential(&seq_ctx);
         seq.run(Plan::new(&g));
         let seq_best = seq.best.expect("sequential finds a mapping");
@@ -315,8 +343,9 @@ mod tests {
             ..MapperConfig::default()
         };
         let cache = MatchCache::build(&g, &par_config.match_options);
-        let par_ctx = SearchCtx::new(&g, &estimator, &par_config, cache);
-        let (par_best, par_stats) = run_parallel(&par_ctx, 4);
+        let par_meter = BudgetMeter::new(par_config.effective_budget(), None);
+        let par_ctx = SearchCtx::new(&g, &estimator, &par_config, cache, &par_meter);
+        let (par_best, par_stats) = run_parallel(&par_ctx, 4, None);
         let par_best = par_best.expect("parallel finds a mapping");
         assert!((par_best.area - seq_best.area).abs() <= seq_best.area * 1e-12);
         assert!(par_stats.visited_nodes > 0);

@@ -9,7 +9,7 @@
 //! stream) instead of proptest, which is unavailable in the offline
 //! build environment; every case is reproducible from its printed seed.
 
-use vase_archgen::{map_graph, MapperConfig};
+use vase_archgen::{map_graph, Budget, MapperConfig};
 use vase_estimate::Estimator;
 use vase_vhif::{BlockKind, SignalFlowGraph};
 
@@ -137,5 +137,90 @@ fn parallel_area_is_deterministic() {
             (Err(a), Err(b)) => assert_eq!(a, b, "seed={seed:#x}"),
             (a, b) => panic!("seed={seed:#x}: nondeterministic: {a:?} vs {b:?}"),
         }
+    }
+}
+
+/// Under the same tight node budget, the sequential and parallel
+/// mappers both report exhaustion, and both incumbents are valid,
+/// feasible netlists — the anytime contract holds at every worker
+/// count.
+#[test]
+fn budget_exhaustion_is_reported_consistently_across_worker_counts() {
+    for case in 0u64..16 {
+        let seed = 0xb0d6_e7edu64.wrapping_add(case.wrapping_mul(0x9e37_79b9));
+        let g = random_graph(seed);
+        let estimator = Estimator::default();
+        // Only graphs whose full search needs clearly more than the
+        // budget make exhaustion certain at every worker count; tiny
+        // graphs can complete inside any nonzero budget.
+        let full = map_graph(&g, &estimator, &MapperConfig::default()).expect("maps");
+        if full.stats.nodes_explored() <= 8 {
+            continue;
+        }
+        let budget = Budget::nodes(2);
+        for workers in [1usize, 2, 4] {
+            let config = MapperConfig { parallelism: workers, budget, ..MapperConfig::default() };
+            let result = map_graph(&g, &estimator, &config)
+                .unwrap_or_else(|e| panic!("seed={seed:#x} workers={workers}: {e}"));
+            assert!(
+                result.stats.budget_exhausted,
+                "seed={seed:#x} workers={workers}: a 2-node budget must exhaust"
+            );
+            assert!(
+                result.stats.nodes_explored() >= 1,
+                "seed={seed:#x} workers={workers}: exhaustion still explores"
+            );
+            result.netlist.validate().unwrap_or_else(|e| {
+                panic!("seed={seed:#x} workers={workers}: incumbent invalid: {e}")
+            });
+        }
+    }
+}
+
+/// Budget-exhausted incumbents are deterministic per worker count and
+/// never worse than the greedy seed they start from.
+#[test]
+fn budgeted_incumbent_is_deterministic() {
+    for case in 0u64..12 {
+        let seed = 0x1ac5_eed5u64.wrapping_add(case.wrapping_mul(0x9e37_79b9));
+        let g = random_graph(seed);
+        let estimator = Estimator::default();
+        let config = MapperConfig { budget: Budget::nodes(8), ..MapperConfig::default() };
+        let a = map_graph(&g, &estimator, &config).expect("maps");
+        let b = map_graph(&g, &estimator, &config).expect("maps");
+        assert_eq!(a.netlist.opamp_count(), b.netlist.opamp_count(), "seed={seed:#x}");
+        assert!(
+            (a.estimate.area_m2 - b.estimate.area_m2).abs() <= a.estimate.area_m2 * 1e-12,
+            "seed={seed:#x}: {} vs {}",
+            a.estimate.area_m2,
+            b.estimate.area_m2
+        );
+    }
+}
+
+/// An unlimited budget must not change results: with and without the
+/// (default) unlimited budget the mapper finds the same optimum and
+/// never reports exhaustion.
+#[test]
+fn unlimited_budget_matches_seed_behavior() {
+    for case in 0u64..12 {
+        let seed = 0x5eed_0000u64.wrapping_add(case.wrapping_mul(0x9e37_79b9));
+        let g = random_graph(seed);
+        let estimator = Estimator::default();
+        let base = map_graph(&g, &estimator, &MapperConfig::default()).expect("maps");
+        let explicit = MapperConfig { budget: Budget::unlimited(), ..MapperConfig::default() };
+        let with_budget = map_graph(&g, &estimator, &explicit).expect("maps");
+        assert!(!base.stats.budget_exhausted, "seed={seed:#x}");
+        assert!(!with_budget.stats.budget_exhausted, "seed={seed:#x}");
+        assert_eq!(
+            base.netlist.opamp_count(),
+            with_budget.netlist.opamp_count(),
+            "seed={seed:#x}"
+        );
+        assert!(
+            (base.estimate.area_m2 - with_budget.estimate.area_m2).abs()
+                <= base.estimate.area_m2 * 1e-12,
+            "seed={seed:#x}"
+        );
     }
 }

@@ -1,0 +1,274 @@
+//! `vase-fuzz` — deterministic mutation fuzzing of the analysis
+//! pipeline.
+//!
+//! Mutates the 16 shipped VASS specifications (the 11-example
+//! benchmark corpus plus the 5 lint fixtures) with the offline
+//! SplitMix64 generator and asserts that the full
+//! parse → sema → compile → verify path ([`vase::lint_source`]) never
+//! panics — broken input must come back as diagnostics, not aborts.
+//!
+//! ```text
+//! vase-fuzz [--smoke] [--seed <n>] [--mutants <n>] [--verbose]
+//! ```
+//!
+//! `--smoke` is the CI configuration: fixed seed, 128 mutants, exit
+//! nonzero on any panic. Every run is bit-reproducible from its seed;
+//! a failing mutant is reprinted with the `--seed`/`--mutants` pair
+//! that regenerates it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use vase_bench::rng::SplitMix64;
+
+/// The fixed seed of `--smoke` runs (and the default otherwise).
+const SMOKE_SEED: u64 = 0x00F0_5EED;
+/// Mutant count of `--smoke` runs: ≥ 100 per the resilience contract.
+const SMOKE_MUTANTS: usize = 128;
+
+/// VHDL-AMS-ish tokens spliced into mutants to stress keyword
+/// handling, not just byte soup.
+const TOKENS: [&str; 16] = [
+    "entity",
+    "architecture",
+    "process",
+    "quantity",
+    "signal",
+    "port",
+    "begin",
+    "end",
+    "is",
+    "use",
+    "when",
+    "range",
+    "==",
+    "<=",
+    "'",
+    ";",
+];
+
+/// The mutation corpus: every shipped spec and lint fixture as
+/// `(name, source)`.
+fn corpus() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = vase::benchmarks::corpus()
+        .into_iter()
+        .map(|(name, _, source)| (name.to_string(), source.to_string()))
+        .collect();
+    for (name, source) in [
+        (
+            "lint/bad_annotations",
+            include_str!("../../../../examples/lint/bad_annotations.vhd"),
+        ),
+        (
+            "lint/bad_parse",
+            include_str!("../../../../examples/lint/bad_parse.vhd"),
+        ),
+        (
+            "lint/bad_restrictions",
+            include_str!("../../../../examples/lint/bad_restrictions.vhd"),
+        ),
+        (
+            "lint/bad_undeclared",
+            include_str!("../../../../examples/lint/bad_undeclared.vhd"),
+        ),
+        (
+            "lint/clean_follower",
+            include_str!("../../../../examples/lint/clean_follower.vhd"),
+        ),
+    ] {
+        out.push((name.to_string(), source.to_string()));
+    }
+    out
+}
+
+/// Apply one random mutation to `chars`. Operating on a char vector
+/// sidesteps UTF-8 boundary bookkeeping entirely.
+fn mutate_once(chars: &mut Vec<char>, donor: &str, rng: &mut SplitMix64) {
+    if chars.is_empty() {
+        chars.extend(TOKENS[rng.index(TOKENS.len())].chars());
+        return;
+    }
+    match rng.index(7) {
+        // Delete a random character.
+        0 => {
+            let at = rng.index(chars.len());
+            chars.remove(at);
+        }
+        // Duplicate a random chunk in place.
+        1 => {
+            let at = rng.index(chars.len());
+            let len = 1 + rng.index(16).min(chars.len() - at - 1);
+            let chunk: Vec<char> = chars[at..at + len].to_vec();
+            chars.splice(at..at, chunk);
+        }
+        // Replace a character with random printable ASCII.
+        2 => {
+            let at = rng.index(chars.len());
+            chars[at] = (b' ' + rng.index(95) as u8) as char;
+        }
+        // Insert a language token at a random position.
+        3 => {
+            let at = rng.index(chars.len() + 1);
+            let token: Vec<char> = TOKENS[rng.index(TOKENS.len())].chars().collect();
+            chars.splice(at..at, token);
+        }
+        // Truncate at a random position.
+        4 => chars.truncate(rng.index(chars.len())),
+        // Swap two random characters.
+        5 => {
+            let a = rng.index(chars.len());
+            let b = rng.index(chars.len());
+            chars.swap(a, b);
+        }
+        // Splice a chunk from another spec (crossover).
+        _ => {
+            let donor: Vec<char> = donor.chars().collect();
+            if donor.is_empty() {
+                return;
+            }
+            let from = rng.index(donor.len());
+            let len = 1 + rng.index(40).min(donor.len() - from - 1);
+            let at = rng.index(chars.len() + 1);
+            chars.splice(at..at, donor[from..from + len].iter().copied());
+        }
+    }
+}
+
+/// Build mutant `i` of the run. Reconstructible from `(seed, i)` alone.
+fn build_mutant(specs: &[(String, String)], seed: u64, i: usize) -> (usize, String) {
+    // A per-mutant generator keyed on (seed, index) keeps every mutant
+    // independent of how many came before it.
+    let mut rng = SplitMix64::new(seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let pick = rng.index(specs.len());
+    let donor = &specs[rng.index(specs.len())].1;
+    let mut chars: Vec<char> = specs[pick].1.chars().collect();
+    for _ in 0..1 + rng.index(4) {
+        mutate_once(&mut chars, donor, &mut rng);
+    }
+    (pick, chars.into_iter().collect())
+}
+
+struct RunStats {
+    clean: usize,
+    diagnosed: usize,
+    panics: usize,
+}
+
+fn run(seed: u64, mutants: usize, verbose: bool) -> RunStats {
+    let specs = corpus();
+    let mut stats = RunStats {
+        clean: 0,
+        diagnosed: 0,
+        panics: 0,
+    };
+    // Silence the default per-panic backtrace spew; panics are counted
+    // and reported in the summary instead.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for i in 0..mutants {
+        let (pick, mutant) = build_mutant(&specs, seed, i);
+        match catch_unwind(AssertUnwindSafe(|| vase::lint_source(&mutant))) {
+            Ok(diags) if diags.is_empty() => stats.clean += 1,
+            Ok(diags) => {
+                stats.diagnosed += 1;
+                if verbose {
+                    println!(
+                        "mutant {i} ({}): {} diagnostic(s), first: {}",
+                        specs[pick].0,
+                        diags.len(),
+                        diags[0]
+                    );
+                }
+            }
+            Err(_) => {
+                stats.panics += 1;
+                eprintln!(
+                    "PANIC on mutant {i} of {} (base spec `{}`); reproduce with \
+                     --seed {seed:#x} --mutants {mutants}\n--- mutant source ---\n{}\n---",
+                    specs[pick].0, specs[pick].0, mutant
+                );
+            }
+        }
+    }
+    std::panic::set_hook(hook);
+    stats
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let seed = match flag_value(&args, "--seed") {
+        Some(v) => {
+            let v = v.trim_start_matches("0x");
+            match u64::from_str_radix(v, 16).or_else(|_| v.parse()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: bad --seed `{v}`: {e}");
+                    return std::process::ExitCode::FAILURE;
+                }
+            }
+        }
+        None => SMOKE_SEED,
+    };
+    let mutants = match flag_value(&args, "--mutants") {
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("error: bad --mutants `{v}`: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        },
+        None if smoke => SMOKE_MUTANTS,
+        None => 512,
+    };
+    let stats = run(seed, mutants, verbose);
+    println!(
+        "fuzz: {mutants} mutants over {} specs (seed {seed:#x}): {} clean, {} diagnosed, \
+         {} panic(s)",
+        corpus().len(),
+        stats.clean,
+        stats.diagnosed,
+        stats.panics
+    );
+    if stats.panics > 0 {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_sixteen_specs() {
+        assert_eq!(corpus().len(), 16);
+    }
+
+    #[test]
+    fn mutants_are_reproducible_from_seed_and_index() {
+        let specs = corpus();
+        for i in 0..8 {
+            assert_eq!(
+                build_mutant(&specs, 0xABCD, i),
+                build_mutant(&specs, 0xABCD, i)
+            );
+        }
+        assert_ne!(build_mutant(&specs, 1, 0).1, build_mutant(&specs, 2, 0).1);
+    }
+
+    #[test]
+    fn smoke_sized_run_never_panics() {
+        let stats = run(SMOKE_SEED, 32, false);
+        assert_eq!(stats.panics, 0);
+        assert_eq!(stats.clean + stats.diagnosed, 32);
+    }
+}

@@ -1,0 +1,321 @@
+//! Cooperative compute budgets for long-running synthesis stages.
+//!
+//! Branch-and-bound mapping is worst-case exponential in the number of
+//! solver candidates, so production use (ROADMAP north star: bounded
+//! synthesis latency) needs a way to say "give me the best architecture
+//! you can find in 200 ms / 50k nodes" rather than waiting for an
+//! exhaustive proof of optimality. This crate provides the three
+//! primitives the flow threads through its search loops:
+//!
+//! * [`Budget`] — a declarative limit (wall-clock deadline and/or
+//!   explored-node cap) carried inside mapper configuration;
+//! * [`CancelToken`] — an out-of-band cooperative cancellation handle a
+//!   caller can trip from another thread;
+//! * [`BudgetMeter`] — the shared runtime counterpart: search loops
+//!   call [`BudgetMeter::note_node`] once per explored node and unwind
+//!   (keeping their incumbent) as soon as it reports exhaustion.
+//!
+//! The contract is *anytime*, not abortive: exhaustion never discards
+//! work already done. Callers that observe [`BudgetMeter::exhausted`]
+//! return their best-so-far result flagged `budget_exhausted` (see
+//! `vase_archgen::MapStats`), and the diagnostic layer reports the
+//! condition as `A210` instead of an error.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+/// Declarative compute limits for a search or synthesis stage.
+///
+/// The default budget is unlimited; either or both limits may be set.
+/// `Budget` is plain data (`Copy`) so it can live inside configuration
+/// structs; the runtime state lives in the [`BudgetMeter`] built from
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Budget {
+    /// Wall-clock deadline in milliseconds, measured from the moment
+    /// the meter is created. `None` means no deadline.
+    pub deadline_ms: Option<u64>,
+    /// Maximum number of explored search nodes across all workers.
+    /// `None` means no node cap.
+    pub max_nodes: Option<u64>,
+}
+
+impl Budget {
+    /// A budget with no limits: searches run to completion.
+    pub const fn unlimited() -> Self {
+        Budget { deadline_ms: None, max_nodes: None }
+    }
+
+    /// A node-count budget with no deadline.
+    pub const fn nodes(max_nodes: u64) -> Self {
+        Budget { deadline_ms: None, max_nodes: Some(max_nodes) }
+    }
+
+    /// A wall-clock budget with no node cap.
+    pub const fn deadline_ms(ms: u64) -> Self {
+        Budget { deadline_ms: Some(ms), max_nodes: None }
+    }
+
+    /// Whether any limit is set.
+    pub fn is_limited(&self) -> bool {
+        self.deadline_ms.is_some() || self.max_nodes.is_some()
+    }
+
+    /// The deadline as a [`Duration`], if one is set.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline_ms.map(Duration::from_millis)
+    }
+}
+
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.deadline_ms, self.max_nodes) {
+            (None, None) => write!(f, "unlimited"),
+            (Some(ms), None) => write!(f, "{ms} ms"),
+            (None, Some(n)) => write!(f, "{n} nodes"),
+            (Some(ms), Some(n)) => write!(f, "{ms} ms / {n} nodes"),
+        }
+    }
+}
+
+/// Why a meter stopped a search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The explored-node cap was reached.
+    NodeCap,
+    /// The caller tripped the [`CancelToken`].
+    Cancelled,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::Deadline => write!(f, "deadline exceeded"),
+            StopReason::NodeCap => write!(f, "node budget exhausted"),
+            StopReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// Cooperative cancellation handle.
+///
+/// Cloning shares the underlying flag: a caller keeps one clone and
+/// hands another to the budgeted computation (via a [`BudgetMeter`]).
+/// Cancellation is a one-way latch — there is no reset.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the token; every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](CancelToken::cancel) has been called on any
+    /// clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// How many `note_node` calls between wall-clock / token checks.
+/// `Instant::now` costs tens of nanoseconds; amortizing it over a
+/// power-of-two stride keeps metering invisible next to the real
+/// per-node work (matching, bounding, memo probes).
+const CHECK_STRIDE: u64 = 256;
+
+/// Sentinel meaning "stop reason not yet recorded".
+const STOP_NONE: u8 = 0;
+const STOP_DEADLINE: u8 = 1;
+const STOP_NODE_CAP: u8 = 2;
+const STOP_CANCELLED: u8 = 3;
+
+/// Shared runtime accounting for one budgeted computation.
+///
+/// Create one meter per top-level call and share it by reference with
+/// every worker thread. Workers call [`note_node`](Self::note_node)
+/// once per explored node; a `false` return (or a later
+/// [`exhausted`](Self::exhausted) check) means "stop expanding and
+/// return your incumbent". The first limit to trip is recorded and
+/// sticky — once exhausted, a meter stays exhausted.
+#[derive(Debug)]
+pub struct BudgetMeter {
+    start: Instant,
+    deadline: Option<Duration>,
+    /// Node cap; `u64::MAX` when unlimited.
+    max_nodes: u64,
+    token: Option<CancelToken>,
+    nodes: AtomicU64,
+    stopped: AtomicU8,
+}
+
+impl BudgetMeter {
+    /// Start metering `budget`, optionally honouring `token`.
+    pub fn new(budget: Budget, token: Option<CancelToken>) -> Self {
+        BudgetMeter {
+            start: Instant::now(),
+            deadline: budget.deadline(),
+            max_nodes: budget.max_nodes.unwrap_or(u64::MAX),
+            token,
+            nodes: AtomicU64::new(0),
+            stopped: AtomicU8::new(STOP_NONE),
+        }
+    }
+
+    /// An unlimited meter (never reports exhaustion on its own; a
+    /// token, if supplied, can still stop it).
+    pub fn unlimited() -> Self {
+        Self::new(Budget::unlimited(), None)
+    }
+
+    /// Record one explored node. Returns `true` while the search may
+    /// continue, `false` once any limit has tripped. The node cap is
+    /// checked on every call; the deadline and cancel token every
+    /// [`CHECK_STRIDE`] nodes (and on the first).
+    pub fn note_node(&self) -> bool {
+        if self.stopped.load(Ordering::Relaxed) != STOP_NONE {
+            return false;
+        }
+        let n = self.nodes.fetch_add(1, Ordering::Relaxed);
+        if n >= self.max_nodes {
+            self.stop(STOP_NODE_CAP);
+            return false;
+        }
+        if n.is_multiple_of(CHECK_STRIDE) {
+            if self.token.as_ref().is_some_and(CancelToken::is_cancelled) {
+                self.stop(STOP_CANCELLED);
+                return false;
+            }
+            if self.deadline.is_some_and(|d| self.start.elapsed() >= d) {
+                self.stop(STOP_DEADLINE);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Total nodes recorded so far across all workers.
+    pub fn nodes_explored(&self) -> u64 {
+        self.nodes.load(Ordering::Relaxed)
+    }
+
+    /// Whether any limit has tripped.
+    pub fn exhausted(&self) -> bool {
+        self.stopped.load(Ordering::Relaxed) != STOP_NONE
+    }
+
+    /// The first limit that tripped, if any.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        match self.stopped.load(Ordering::Relaxed) {
+            STOP_DEADLINE => Some(StopReason::Deadline),
+            STOP_NODE_CAP => Some(StopReason::NodeCap),
+            STOP_CANCELLED => Some(StopReason::Cancelled),
+            _ => None,
+        }
+    }
+
+    fn stop(&self, reason: u8) {
+        // First writer wins; later trips keep the original reason.
+        let _ = self.stopped.compare_exchange(
+            STOP_NONE,
+            reason,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let meter = BudgetMeter::unlimited();
+        for _ in 0..10_000 {
+            assert!(meter.note_node());
+        }
+        assert!(!meter.exhausted());
+        assert_eq!(meter.stop_reason(), None);
+        assert_eq!(meter.nodes_explored(), 10_000);
+    }
+
+    #[test]
+    fn node_cap_trips_exactly_at_limit() {
+        let meter = BudgetMeter::new(Budget::nodes(100), None);
+        let mut allowed = 0u64;
+        for _ in 0..200 {
+            if meter.note_node() {
+                allowed += 1;
+            }
+        }
+        assert_eq!(allowed, 100);
+        assert!(meter.exhausted());
+        assert_eq!(meter.stop_reason(), Some(StopReason::NodeCap));
+    }
+
+    #[test]
+    fn exhaustion_is_sticky() {
+        let meter = BudgetMeter::new(Budget::nodes(1), None);
+        assert!(meter.note_node());
+        assert!(!meter.note_node());
+        assert!(!meter.note_node());
+        assert_eq!(meter.stop_reason(), Some(StopReason::NodeCap));
+    }
+
+    #[test]
+    fn zero_deadline_trips_on_first_check() {
+        let meter = BudgetMeter::new(Budget::deadline_ms(0), None);
+        // The first note_node lands on the stride boundary and sees the
+        // already-expired deadline.
+        assert!(!meter.note_node());
+        assert_eq!(meter.stop_reason(), Some(StopReason::Deadline));
+    }
+
+    #[test]
+    fn cancel_token_stops_all_clones() {
+        let token = CancelToken::new();
+        let meter = BudgetMeter::new(Budget::unlimited(), Some(token.clone()));
+        assert!(meter.note_node());
+        token.cancel();
+        // Cancellation is observed on the next stride boundary; drive
+        // the meter across one.
+        let mut stopped = false;
+        for _ in 0..(CHECK_STRIDE + 1) {
+            if !meter.note_node() {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped);
+        assert_eq!(meter.stop_reason(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn budget_display_and_limit_queries() {
+        assert_eq!(Budget::unlimited().to_string(), "unlimited");
+        assert_eq!(Budget::nodes(50).to_string(), "50 nodes");
+        assert_eq!(Budget::deadline_ms(200).to_string(), "200 ms");
+        let both = Budget { deadline_ms: Some(10), max_nodes: Some(99) };
+        assert_eq!(both.to_string(), "10 ms / 99 nodes");
+        assert!(!Budget::unlimited().is_limited());
+        assert!(Budget::nodes(1).is_limited());
+        assert!(Budget::deadline_ms(1).is_limited());
+        assert_eq!(Budget::deadline_ms(250).deadline(), Some(Duration::from_millis(250)));
+    }
+}

@@ -7,11 +7,17 @@
 //!     --passes a,b,c    explicit pass list (default: the -O2 pipeline)
 //!     --print-stats     per-pass block/edge/rewrite/timing statistics
 //!     --dot <base>      write <base>-before.dot and <base>-after.dot
-//! vase synth   <file.vhd> [options]   synthesize to an op-amp netlist
+//! vase synth   <file.vhd>... [options] synthesize to an op-amp netlist
 //!     -O0|-O1|-O2       optimization level for the VHIF passes (default -O0)
 //!     --greedy          use the greedy heuristic instead of branch-and-bound
 //!     --jobs <n>        mapper worker threads (0 = one per core, default 1)
+//!     --deadline-ms <t> mapping wall-clock budget; on exhaustion the best
+//!                       incumbent architecture is returned (exit code 3)
+//!     --max-nodes <n>   mapping explored-node budget (same anytime contract)
+//!     --format text|json  report style for multi-file batches (default text)
 //!     --spice <out.sp>  also write a SPICE deck
+//!     Multiple input files run as a panic-isolated batch: a failing
+//!     file is reported and the rest still synthesize.
 //! vase lint    <file.vhd> [options]   run every static check, report diagnostics
 //!     --format text|json    listing style (default text)
 //!     --deny warnings       exit nonzero on warnings too
@@ -27,21 +33,36 @@
 //!                           concurrently (0 = one per core, default 1)
 //! vase table1 [--jobs <n>]             regenerate the paper's Table 1
 //!     --jobs <n>        synthesize the five applications concurrently
+//!     --deadline-ms/--max-nodes  mapping budget, as in `synth`
 //!
 //! `sim` and `table1` also accept the `-O` levels of `synth`.
+//!
+//! Exit codes: `0` success, `1` hard failure (flow error, denied
+//! diagnostics, bad usage), `3` degraded success (a mapping budget was
+//! exhausted or a simulation aborted with a partial trace).
 //! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use vase::archgen::MapperConfig;
-use vase::flow::{compile_source, opt_diagnostics, simulate_designs, synthesize_source, FlowOptions};
+use vase::archgen::{Budget, MapperConfig};
+use vase::diag::json::{diagnostic_to_json, Json};
+use vase::flow::{
+    compile_source, opt_diagnostics, sim_diagnostics, simulate_designs_reported,
+    synthesize_designs, synthesize_source, FlowOptions, FlowStatus,
+};
 use vase::sim::{render_ascii, SimConfig, Stimulus, SweepConfig};
+
+/// Exit code for degraded-but-usable results (budget-exhausted
+/// incumbent plans, partial simulation traces).
+const EXIT_DEGRADED: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
@@ -49,7 +70,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<u8, String> {
     let Some(command) = args.first() else {
         return Err("missing command; try `vase parse|compile|synth|sim|table1`".into());
     };
@@ -64,29 +85,81 @@ fn run(args: &[String]) -> Result<(), String> {
         "--help" | "-h" | "help" => {
             println!("vase — VHDL-AMS behavioral synthesis of analog systems");
             println!("commands: parse, compile, opt, lint, synth, sim, table1 (see crate docs)");
-            Ok(())
+            Ok(0)
         }
         other => Err(format!("unknown command `{other}`")),
     }
 }
 
-fn read_source(args: &[String]) -> Result<String, String> {
-    // The input file may appear before or after flags; skip the flags
-    // that take a value along with their operand.
-    let mut path = None;
+/// Flags that take a value operand (so a value is never mistaken for
+/// an input path).
+const VALUE_FLAGS: [&str; 12] = [
+    "--jobs",
+    "--input",
+    "--format",
+    "--deny",
+    "--passes",
+    "--dot",
+    "--tend",
+    "--dt",
+    "--csv",
+    "--spice",
+    "--deadline-ms",
+    "--max-nodes",
+];
+
+/// Every non-flag argument, in order: the input file paths.
+fn input_paths(args: &[String]) -> Vec<&String> {
+    let mut paths = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--jobs" | "--input" | "--format" | "--deny" | "--passes" | "--dot" => i += 2,
+            a if VALUE_FLAGS.contains(&a) => i += 2,
             a if a.starts_with('-') => i += 1,
             _ => {
-                path = Some(&args[i]);
+                paths.push(&args[i]);
                 i += 1;
             }
         }
     }
-    let path = path.ok_or("missing input file")?;
+    paths
+}
+
+fn read_source(args: &[String]) -> Result<String, String> {
+    // The input file may appear before or after flags; skip the flags
+    // that take a value along with their operand.
+    let path = input_paths(args).into_iter().next_back().ok_or("missing input file")?;
     std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+/// Read every input file of a multi-file batch as `(path, source)`.
+fn read_sources(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    let paths = input_paths(args);
+    if paths.is_empty() {
+        return Err("missing input file".into());
+    }
+    paths
+        .into_iter()
+        .map(|path| {
+            std::fs::read_to_string(path)
+                .map(|source| (path.clone(), source))
+                .map_err(|e| format!("cannot read `{path}`: {e}"))
+        })
+        .collect()
+}
+
+/// Parse the `--deadline-ms`/`--max-nodes` mapping-budget flags.
+fn budget_flags(args: &[String]) -> Result<Budget, String> {
+    let mut budget = Budget::unlimited();
+    if let Some(v) = flag_value(args, "--deadline-ms") {
+        budget.deadline_ms =
+            Some(v.parse::<u64>().map_err(|e| format!("bad --deadline-ms `{v}`: {e}"))?);
+    }
+    if let Some(v) = flag_value(args, "--max-nodes") {
+        budget.max_nodes =
+            Some(v.parse::<u64>().map_err(|e| format!("bad --max-nodes `{v}`: {e}"))?);
+    }
+    Ok(budget)
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -123,7 +196,7 @@ fn jobs_flag(args: &[String]) -> Result<Option<usize>, String> {
     }
 }
 
-fn cmd_parse(args: &[String]) -> Result<(), String> {
+fn cmd_parse(args: &[String]) -> Result<u8, String> {
     let source = read_source(args)?;
     let design = vase::frontend::parse_design_file(&source).map_err(|e| e.to_string())?;
     let analyzed = vase::frontend::analyze(&design).map_err(|e| e.to_string())?;
@@ -132,10 +205,10 @@ fn cmd_parse(args: &[String]) -> Result<(), String> {
         println!("architecture {} of {}: {}", arch.name, arch.entity, stats);
     }
     println!("ok");
-    Ok(())
+    Ok(0)
 }
 
-fn cmd_compile(args: &[String]) -> Result<(), String> {
+fn cmd_compile(args: &[String]) -> Result<u8, String> {
     let source = read_source(args)?;
     for (entity, vhif, stats) in compile_source(&source).map_err(|e| e.to_string())? {
         println!("-- entity {entity} ({stats})");
@@ -150,10 +223,10 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
              compiler chose a causal assignment, the mapper explores the alternatives."
         );
     }
-    Ok(())
+    Ok(0)
 }
 
-fn cmd_opt(args: &[String]) -> Result<(), String> {
+fn cmd_opt(args: &[String]) -> Result<u8, String> {
     let source = read_source(args)?;
     let manager = match flag_value(args, "--passes") {
         Some(list) => {
@@ -189,10 +262,10 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
             println!("{d}");
         }
     }
-    Ok(())
+    Ok(0)
 }
 
-fn cmd_lint(args: &[String]) -> Result<(), String> {
+fn cmd_lint(args: &[String]) -> Result<u8, String> {
     // The input file may appear before or after the flags.
     let mut path = None;
     let mut i = 0;
@@ -223,19 +296,21 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
     if vase::diag::has_errors(&diags) {
         return Err(format!("{path}: {}", vase::diag::summary(&diags)));
     }
-    Ok(())
+    Ok(0)
 }
 
-fn cmd_synth(args: &[String]) -> Result<(), String> {
-    let source = read_source(args)?;
+fn cmd_synth(args: &[String]) -> Result<u8, String> {
     let greedy = args.iter().any(|a| a == "--greedy");
     let mut mapper = MapperConfig::default();
     if let Some(jobs) = jobs_flag(args)? {
         mapper.parallelism = jobs;
     }
+    mapper.budget = budget_flags(args)?;
     if greedy {
         // Greedy applies per graph; run the pieces manually.
+        let source = read_source(args)?;
         let compiled = compile_source(&source).map_err(|e| e.to_string())?;
+        let mut degraded = false;
         for (entity, vhif, _) in compiled {
             let estimator = vase::estimate::Estimator::default();
             for graph in &vhif.graphs {
@@ -245,31 +320,113 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
                 println!("{}", result.netlist);
                 println!("estimate: {}", result.estimate);
                 println!("search: {}", result.stats);
+                degraded |= result.stats.budget_exhausted;
             }
         }
-        return Ok(());
+        return Ok(if degraded { EXIT_DEGRADED } else { 0 });
     }
     let options = FlowOptions {
         mapper,
         opt_level: opt_level_flag(args)?.unwrap_or(0),
         ..FlowOptions::default()
     };
-    let designs = synthesize_source(&source, &options).map_err(|e| e.to_string())?;
-    for d in &designs {
-        println!("-- entity {}", d.entity);
-        for diag in opt_diagnostics(&d.opt_stats) {
+    let sources = read_sources(args)?;
+    let reports = synthesize_designs(&sources, &options);
+    match flag_value(args, "--format").unwrap_or("text") {
+        "text" => render_synth_text(args, &reports)?,
+        "json" => println!("{}", synth_reports_to_json(&reports).to_string_pretty()),
+        other => return Err(format!("unknown --format `{other}` (text, json)")),
+    }
+    let hard_failure = reports
+        .iter()
+        .any(|r| matches!(r.status(), FlowStatus::Error | FlowStatus::Panicked));
+    if hard_failure {
+        Err("one or more input files failed to synthesize".into())
+    } else if reports.iter().any(|r| r.budget_exhausted()) {
+        Ok(EXIT_DEGRADED)
+    } else {
+        Ok(0)
+    }
+}
+
+fn render_synth_text(args: &[String], reports: &[vase::flow::FlowReport]) -> Result<(), String> {
+    let multi = reports.len() > 1;
+    for report in reports {
+        if multi {
+            println!("== {} [{}]", report.name, report.status());
+        }
+        for diag in &report.diagnostics {
             println!("{diag}");
         }
-        println!("{}", d.synthesis.netlist);
-        println!("estimate: {}", d.synthesis.estimate);
-        println!("search: {}", d.synthesis.stats);
-        if let Some(path) = flag_value(args, "--spice") {
-            let deck = vase::library::to_spice(&d.synthesis.netlist, &d.entity, 5e-3);
-            std::fs::write(path, deck).map_err(|e| format!("cannot write `{path}`: {e}"))?;
-            println!("SPICE deck written to {path}");
+        if let Some(error) = &report.error {
+            eprintln!("error: {}: {error}", report.name);
+            continue;
+        }
+        for d in &report.designs {
+            println!("-- entity {}", d.entity);
+            println!("{}", d.synthesis.netlist);
+            println!("estimate: {}", d.synthesis.estimate);
+            println!("search: {}", d.synthesis.stats);
+            if let Some(path) = flag_value(args, "--spice") {
+                let deck = vase::library::to_spice(&d.synthesis.netlist, &d.entity, 5e-3);
+                std::fs::write(path, deck).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                println!("SPICE deck written to {path}");
+            }
         }
     }
     Ok(())
+}
+
+fn synth_reports_to_json(reports: &[vase::flow::FlowReport]) -> Json {
+    Json::Arr(
+        reports
+            .iter()
+            .map(|report| {
+                Json::obj(vec![
+                    ("file", Json::str(&report.name)),
+                    ("status", Json::str(report.status().to_string())),
+                    (
+                        "error",
+                        match &report.error {
+                            Some(e) => Json::str(e.to_string()),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "diagnostics",
+                        Json::Arr(report.diagnostics.iter().map(diagnostic_to_json).collect()),
+                    ),
+                    (
+                        "designs",
+                        Json::Arr(
+                            report
+                                .designs
+                                .iter()
+                                .map(|d| {
+                                    Json::obj(vec![
+                                        ("entity", Json::str(&d.entity)),
+                                        (
+                                            "opamps",
+                                            Json::Int(d.synthesis.netlist.opamp_count() as i128),
+                                        ),
+                                        ("area_m2", Json::Num(d.synthesis.estimate.area_m2)),
+                                        (
+                                            "budget_exhausted",
+                                            Json::Bool(d.synthesis.stats.budget_exhausted),
+                                        ),
+                                        (
+                                            "nodes_explored",
+                                            Json::Int(d.synthesis.stats.nodes_explored() as i128),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn parse_stimulus(spec: &str) -> Result<Stimulus, String> {
@@ -327,7 +484,7 @@ fn parse_stimulus(spec: &str) -> Result<Stimulus, String> {
     }
 }
 
-fn cmd_sim(args: &[String]) -> Result<(), String> {
+fn cmd_sim(args: &[String]) -> Result<u8, String> {
     let source = read_source(args)?;
     let options = FlowOptions {
         opt_level: opt_level_flag(args)?.unwrap_or(0),
@@ -360,22 +517,42 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         Some(jobs) => SweepConfig::with_jobs(jobs),
         None => SweepConfig::default(),
     };
-    let results = simulate_designs(&designs, &stimuli, &SimConfig::new(dt, t_end), &sweep)
-        .map_err(|e| e.to_string())?;
+    let config = SimConfig::new(dt, t_end);
+    let results = simulate_designs_reported(&designs, &stimuli, &config, &sweep);
+    let mut failed = false;
+    let mut partial = false;
     for (d, result) in designs.iter().zip(&results) {
-        for (name, _) in &d.synthesis.netlist.outputs {
-            println!("{}", render_ascii(result, name, 72, 14));
-        }
-        if let Some(path) = flag_value(args, "--csv") {
-            std::fs::write(path, result.to_csv(&[]))
-                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
-            println!("traces written to {path}");
+        match result {
+            Ok(result) => {
+                for diag in sim_diagnostics(&config, result) {
+                    println!("{diag}");
+                }
+                partial |= result.is_partial();
+                for (name, _) in &d.synthesis.netlist.outputs {
+                    println!("{}", render_ascii(result, name, 72, 14));
+                }
+                if let Some(path) = flag_value(args, "--csv") {
+                    std::fs::write(path, result.to_csv(&[]))
+                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                    println!("traces written to {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: entity {}: {e}", d.entity);
+                failed = true;
+            }
         }
     }
-    Ok(())
+    if failed {
+        Err("one or more architectures failed to simulate".into())
+    } else if partial {
+        Ok(EXIT_DEGRADED)
+    } else {
+        Ok(0)
+    }
 }
 
-fn cmd_table1(args: &[String]) -> Result<(), String> {
+fn cmd_table1(args: &[String]) -> Result<u8, String> {
     static BENCHMARKS: [vase::benchmarks::Benchmark; 5] = [
         vase::benchmarks::RECEIVER,
         vase::benchmarks::POWER_METER,
@@ -387,6 +564,7 @@ fn cmd_table1(args: &[String]) -> Result<(), String> {
     if let Some(jobs) = jobs_flag(args)? {
         mapper.parallelism = jobs;
     }
+    mapper.budget = budget_flags(args)?;
     let opt_level = opt_level_flag(args)?.unwrap_or(0);
     let options = FlowOptions {
         mapper,
@@ -398,7 +576,7 @@ fn cmd_table1(args: &[String]) -> Result<(), String> {
     // spent across apps).
     let results: Vec<Result<vase::Table1Row, String>> = if mapper.effective_parallelism() > 1 {
         let app_options = FlowOptions {
-            mapper: MapperConfig::default(),
+            mapper: MapperConfig { budget: mapper.budget, ..MapperConfig::default() },
             opt_level,
             ..FlowOptions::default()
         };
@@ -428,5 +606,9 @@ fn cmd_table1(args: &[String]) -> Result<(), String> {
     for (row, _) in &rows {
         println!("{:<22} search: {}", row.application, row.stats);
     }
-    Ok(())
+    if rows.iter().any(|(row, _)| row.stats.budget_exhausted) {
+        Ok(EXIT_DEGRADED)
+    } else {
+        Ok(0)
+    }
 }

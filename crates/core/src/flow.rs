@@ -4,14 +4,17 @@
 use std::collections::BTreeMap;
 use std::error::Error as StdError;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use vase_archgen::{synthesize, MapError, MapperConfig, SynthesisResult};
+use vase_archgen::{synthesize, MapError, MapStats, MapperConfig, SynthesisResult};
 use vase_compiler::{compile, CompileError, VassStats};
 use vase_diag::{Code, Diagnostic};
 use vase_estimate::{Estimator, PerformanceConstraints};
 use vase_frontend::{analyze, parse_design_file, FrontendError};
-use vase_sim::{simulate_netlist, SimConfig, SimError, SimResult, Stimulus, SweepConfig};
+use vase_sim::{
+    simulate_netlist, FaultKind, SimConfig, SimError, SimResult, Stimulus, SweepConfig,
+};
 use vase_vhif::{PassManager, PassStats, VhifDesign};
 
 /// Options for the full flow.
@@ -227,6 +230,197 @@ pub fn synthesize_source(
     Ok(out)
 }
 
+/// The kind of failure a batch unit ended with.
+#[derive(Debug, Clone)]
+pub enum BatchError {
+    /// A flow stage returned a structured error.
+    Flow(FlowError),
+    /// The flow panicked; the panic was caught and the rest of the
+    /// batch continued. Carries the panic payload's message.
+    Panic(String),
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Flow(e) => write!(f, "{e}"),
+            BatchError::Panic(message) => write!(f, "panicked: {message}"),
+        }
+    }
+}
+
+/// Coarse status of one batch unit, for report rendering and exit
+/// codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowStatus {
+    /// Flow completed and every mapping ran to proven optimality.
+    Ok,
+    /// Flow completed but at least one mapping returned a
+    /// budget-exhausted incumbent (diagnostic `A210`).
+    BudgetExhausted,
+    /// A flow stage failed with a structured [`FlowError`].
+    Error,
+    /// The flow panicked (caught; the batch continued).
+    Panicked,
+}
+
+impl fmt::Display for FlowStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FlowStatus::Ok => "ok",
+            FlowStatus::BudgetExhausted => "budget-exhausted",
+            FlowStatus::Error => "error",
+            FlowStatus::Panicked => "panicked",
+        })
+    }
+}
+
+/// The structured per-unit outcome of a panic-isolated batch run
+/// ([`synthesize_designs`]).
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// The unit's name (typically the source file path).
+    pub name: String,
+    /// The synthesized designs; empty when the unit failed.
+    pub designs: Vec<SynthesizedDesign>,
+    /// Diagnostics accumulated for the unit: `A210` budget warnings,
+    /// `O3xx` optimization notes, and the verifier's findings when it
+    /// rejected the design.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The failure that stopped the unit, if any.
+    pub error: Option<BatchError>,
+}
+
+impl FlowReport {
+    /// The unit's coarse status.
+    pub fn status(&self) -> FlowStatus {
+        match &self.error {
+            Some(BatchError::Panic(_)) => FlowStatus::Panicked,
+            Some(BatchError::Flow(_)) => FlowStatus::Error,
+            None if self.budget_exhausted() => FlowStatus::BudgetExhausted,
+            None => FlowStatus::Ok,
+        }
+    }
+
+    /// Whether any of the unit's mappings stopped on its compute
+    /// budget.
+    pub fn budget_exhausted(&self) -> bool {
+        self.designs.iter().any(|d| d.synthesis.stats.budget_exhausted)
+    }
+}
+
+/// Synthesize a batch of `(name, source)` units with per-unit panic
+/// isolation: each unit runs the full flow under `catch_unwind`, and a
+/// failing or even panicking unit produces a [`FlowReport`] entry
+/// instead of aborting the batch. Reports come back in input order.
+pub fn synthesize_designs(
+    sources: &[(String, String)],
+    options: &FlowOptions,
+) -> Vec<FlowReport> {
+    sources
+        .iter()
+        .map(|(name, source)| {
+            let outcome =
+                catch_unwind(AssertUnwindSafe(|| synthesize_source(source, options)));
+            match outcome {
+                Ok(Ok(designs)) => {
+                    let mut diagnostics = Vec::new();
+                    for d in &designs {
+                        diagnostics.extend(opt_diagnostics(&d.opt_stats));
+                        diagnostics.extend(budget_diagnostics(&d.synthesis.stats));
+                    }
+                    FlowReport { name: name.clone(), designs, diagnostics, error: None }
+                }
+                Ok(Err(e)) => {
+                    let diagnostics = match &e {
+                        FlowError::Verify(diags) => diags.clone(),
+                        _ => Vec::new(),
+                    };
+                    FlowReport {
+                        name: name.clone(),
+                        designs: Vec::new(),
+                        diagnostics,
+                        error: Some(BatchError::Flow(e)),
+                    }
+                }
+                Err(payload) => FlowReport {
+                    name: name.clone(),
+                    designs: Vec::new(),
+                    diagnostics: Vec::new(),
+                    error: Some(BatchError::Panic(panic_message(payload))),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Best-effort text out of a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Render a budget-exhausted mapping as the `A210` warning: the
+/// returned architecture is the best *incumbent*, not proven optimal.
+pub fn budget_diagnostics(stats: &MapStats) -> Vec<Diagnostic> {
+    if !stats.budget_exhausted {
+        return Vec::new();
+    }
+    vec![Diagnostic::new(
+        Code::A210,
+        format!(
+            "mapping budget exhausted after {} explored nodes; the returned \
+             architecture is the best incumbent found, not proven minimal",
+            stats.nodes_explored()
+        ),
+    )]
+}
+
+/// Render a simulation outcome's numerical-fault story as `S4xx`
+/// diagnostics: an `S403` note when fault injection was active, an
+/// `S401` warning for steps rescued by step halving, and an
+/// `S400`/`S402` error when an unrecoverable fault cut the run short
+/// (the result then carries the partial trace).
+pub fn sim_diagnostics(config: &SimConfig, result: &SimResult) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if config.fault_injection.is_some() {
+        diags.push(Diagnostic::new(
+            Code::S403,
+            "deterministic fault injection is active; traces include injected faults"
+                .to_owned(),
+        ));
+    }
+    if result.recovered_steps > 0 {
+        diags.push(Diagnostic::new(
+            Code::S401,
+            format!(
+                "{} step(s) tripped the numerical fault detector and recovered \
+                 by step halving",
+                result.recovered_steps
+            ),
+        ));
+    }
+    if let Some(fault) = &result.fault {
+        let code = match fault.kind {
+            FaultKind::NonFinite => Code::S400,
+            FaultKind::Divergence => Code::S402,
+        };
+        diags.push(Diagnostic::new(
+            code,
+            format!(
+                "simulation aborted: {fault}; the partial trace holds {} sample(s)",
+                result.time.len()
+            ),
+        ));
+    }
+    diags
+}
+
 /// Render optimization-pass statistics as `O3xx` informational
 /// diagnostics: one note per pass that changed the design, plus an
 /// `O300` summary when any pass ran.
@@ -297,8 +491,30 @@ pub fn simulate_designs(
     config: &SimConfig,
     sweep: &SweepConfig,
 ) -> Result<Vec<SimResult>, SimError> {
+    simulate_designs_reported(designs, stimuli, config, sweep).into_iter().collect()
+}
+
+/// Panic-isolated batch variant of [`simulate_designs`]: one outcome
+/// per design, in design order, continuing past failures. Each
+/// per-design simulation runs under `catch_unwind`, so a panicking
+/// design yields [`SimError::Panicked`] for its slot — it neither
+/// kills a worker thread nor aborts the rest of the batch.
+pub fn simulate_designs_reported(
+    designs: &[SynthesizedDesign],
+    stimuli: &BTreeMap<String, Stimulus>,
+    config: &SimConfig,
+    sweep: &SweepConfig,
+) -> Vec<Result<SimResult, SimError>> {
     let simulate = |d: &SynthesizedDesign| {
-        simulate_netlist(&d.synthesis.netlist, stimuli, &d.synthesis.control_bindings, config)
+        catch_unwind(AssertUnwindSafe(|| {
+            simulate_netlist(
+                &d.synthesis.netlist,
+                stimuli,
+                &d.synthesis.control_bindings,
+                config,
+            )
+        }))
+        .unwrap_or_else(|payload| Err(SimError::Panicked { message: panic_message(payload) }))
     };
     let jobs = sweep.effective_jobs().min(designs.len().max(1));
     if jobs <= 1 {
@@ -454,6 +670,114 @@ mod tests {
             .expect("parallel batch");
         assert_eq!(seq.len(), designs.len());
         assert_eq!(seq, par, "worker count must not change any trace bit");
+    }
+
+    #[test]
+    fn batch_continues_past_failing_units() {
+        let sources = vec![
+            ("good".to_owned(), benchmarks::RECEIVER.source.to_owned()),
+            ("bad".to_owned(), "entity broken".to_owned()),
+            ("also-good".to_owned(), benchmarks::FUNCTION_GENERATOR.source.to_owned()),
+        ];
+        let reports = synthesize_designs(&sources, &FlowOptions::default());
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].status(), FlowStatus::Ok);
+        assert_eq!(reports[0].name, "good");
+        assert!(!reports[0].designs.is_empty());
+        assert_eq!(reports[1].status(), FlowStatus::Error);
+        assert!(matches!(
+            reports[1].error,
+            Some(BatchError::Flow(FlowError::Frontend(_)))
+        ));
+        assert_eq!(reports[2].status(), FlowStatus::Ok, "batch continued past the failure");
+    }
+
+    #[test]
+    fn batch_flags_budget_exhaustion_with_a210() {
+        let options = FlowOptions {
+            mapper: MapperConfig {
+                budget: vase_archgen::Budget::nodes(3),
+                ..MapperConfig::default()
+            },
+            ..FlowOptions::default()
+        };
+        let sources =
+            vec![("receiver".to_owned(), benchmarks::RECEIVER.source.to_owned())];
+        let reports = synthesize_designs(&sources, &options);
+        let report = &reports[0];
+        assert_eq!(report.status(), FlowStatus::BudgetExhausted, "{:?}", report.error);
+        assert!(report.budget_exhausted());
+        assert!(report.diagnostics.iter().any(|d| d.code == Code::A210), "{:?}", report.diagnostics);
+        // The incumbent is still a valid, feasible architecture.
+        let d = &report.designs[0];
+        d.synthesis.netlist.validate().expect("incumbent is verifier-clean");
+        assert!(d.synthesis.estimate.feasible());
+    }
+
+    #[test]
+    fn verify_rejection_report_carries_diagnostics() {
+        let src = "entity hot is
+                     port (quantity x : in real is voltage range -1.0 to 1.0;
+                           quantity y : out real is voltage range -0.5 to 0.5);
+                   end entity;
+                   architecture a of hot is begin y == x * 4.0; end architecture;";
+        let options = FlowOptions { deny_warnings: true, ..FlowOptions::default() };
+        let reports = synthesize_designs(&[("hot".to_owned(), src.to_owned())], &options);
+        assert_eq!(reports[0].status(), FlowStatus::Error);
+        assert!(reports[0].diagnostics.iter().any(|d| d.code == Code::A201));
+    }
+
+    #[test]
+    fn sim_diagnostics_cover_the_s4xx_family() {
+        use vase_sim::{FaultInjection, SimFault};
+        let mut config = SimConfig::new(1e-5, 1e-3);
+        let clean = SimResult::default();
+        assert!(sim_diagnostics(&config, &clean).is_empty());
+
+        config.fault_injection = Some(FaultInjection::transient_nan(1, 0.5));
+        let recovered = SimResult { recovered_steps: 3, ..SimResult::default() };
+        let diags = sim_diagnostics(&config, &recovered);
+        assert!(diags.iter().any(|d| d.code == Code::S403));
+        assert!(diags.iter().any(|d| d.code == Code::S401));
+
+        let aborted = SimResult {
+            fault: Some(SimFault {
+                step: 7,
+                time: 7e-5,
+                kind: vase_sim::FaultKind::Divergence,
+                retries: 5,
+            }),
+            ..SimResult::default()
+        };
+        let diags = sim_diagnostics(&config, &aborted);
+        assert!(diags.iter().any(|d| d.code == Code::S402 && d.severity == vase_diag::Severity::Error));
+        let nonfinite = SimResult {
+            fault: Some(SimFault {
+                step: 7,
+                time: 7e-5,
+                kind: vase_sim::FaultKind::NonFinite,
+                retries: 5,
+            }),
+            ..SimResult::default()
+        };
+        assert!(sim_diagnostics(&config, &nonfinite).iter().any(|d| d.code == Code::S400));
+    }
+
+    #[test]
+    fn simulate_designs_reported_isolates_per_design_errors() {
+        let designs = synthesize_source(benchmarks::RECEIVER.source, &FlowOptions::default())
+            .expect("receiver synthesizes");
+        // No stimuli: every design fails with MissingStimulus, but the
+        // reported variant returns one slot per design instead of one
+        // collapsed error.
+        let outcomes = simulate_designs_reported(
+            &designs,
+            &BTreeMap::new(),
+            &SimConfig::new(1e-5, 1e-4),
+            &SweepConfig::default(),
+        );
+        assert_eq!(outcomes.len(), designs.len());
+        assert!(outcomes.iter().all(|o| matches!(o, Err(SimError::MissingStimulus { .. }))));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use vase_compiler::compile;
 use vase_diag::{Code, Diagnostic};
 use vase_frontend::sema::AnalyzedArchitecture;
-use vase_frontend::{analyze, parse_design_file, AnnotationSet, FrontendError, SignalKind};
+use vase_frontend::{analyze, parse_design_file_recovering, AnnotationSet, SignalKind};
 use vase_vhif::verify::{verify_design, VerifyContext, WireKind};
 
 /// Build the verifier's annotation context for one analyzed
@@ -75,19 +75,23 @@ fn annotation_diagnostics(arch: &AnalyzedArchitecture, diags: &mut Vec<Diagnosti
 /// last); apply [`vase_diag::deny_warnings`] afterwards to promote
 /// warnings under `--deny warnings`.
 pub fn lint_source(source: &str) -> Vec<Diagnostic> {
-    let design = match parse_design_file(source) {
-        Ok(d) => d,
-        Err(e) => return vase_diag::frontend_diagnostics(&FrontendError::from(e)),
-    };
+    // The recovering parser reports *every* syntax error it can
+    // resynchronize past, and still hands back the units that did
+    // parse so the later stages can report on them too.
+    let (design, parse_errors) = parse_design_file_recovering(source);
+    let mut diags: Vec<Diagnostic> = parse_errors.iter().map(Diagnostic::from).collect();
+    if design.units.is_empty() {
+        vase_diag::sort(&mut diags);
+        return diags;
+    }
     let analyzed = match analyze(&design) {
         Ok(a) => a,
         Err(e) => {
-            let mut diags = vase_diag::frontend_diagnostics(&e);
+            diags.extend(vase_diag::frontend_diagnostics(&e));
             vase_diag::sort(&mut diags);
             return diags;
         }
     };
-    let mut diags = Vec::new();
     for arch in &analyzed.architectures {
         annotation_diagnostics(arch, &mut diags);
     }
@@ -126,6 +130,27 @@ mod tests {
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, Code::V002);
         assert!(!diags[0].span.is_synthetic());
+    }
+
+    #[test]
+    fn multiple_parse_errors_all_reported() {
+        // Two broken statements: the recovering parser reports both
+        // V002s and the file's surviving statement still reaches the
+        // later stages.
+        let diags = lint_source(
+            "entity e is port (quantity x : in real is voltage;
+                               quantity y : out real is voltage); end entity;
+             architecture a of e is begin
+               y == x + ;
+               y == * x;
+               y == 2.0 * x;
+             end architecture;",
+        );
+        assert_eq!(
+            diags.iter().filter(|d| d.code == Code::V002).count(),
+            2,
+            "{diags:#?}"
+        );
     }
 
     #[test]

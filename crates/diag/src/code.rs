@@ -10,7 +10,9 @@
 //! * `A2xx` — annotation/interval analysis (value and frequency range
 //!   propagation);
 //! * `O3xx` — optimization passes (informational notes about what each
-//!   transform rewrote or removed).
+//!   transform rewrote or removed);
+//! * `S4xx` — simulation runtime (numerical faults detected by the
+//!   compiled RK4 stepper and their recovery outcomes).
 //!
 //! Codes are append-only: a released code never changes meaning or
 //! number, so scripts that match on them keep working.
@@ -46,12 +48,17 @@ pub enum Code {
     A200,
     A201,
     A202,
+    A210,
     O300,
     O301,
     O302,
     O303,
     O304,
     O305,
+    S400,
+    S401,
+    S402,
+    S403,
 }
 
 /// One row of the code registry.
@@ -227,6 +234,14 @@ pub const REGISTRY: &[CodeInfo] = &[
                       upper bound and is ignored by the interval analysis",
     },
     CodeInfo {
+        code: Code::A210,
+        name: "mapping-budget-exhausted",
+        severity: Severity::Warning,
+        description: "the branch-and-bound mapper hit its compute budget (deadline, node \
+                      cap, or cancellation) and returned its best incumbent architecture \
+                      instead of a proven optimum",
+    },
+    CodeInfo {
         code: Code::O300,
         name: "opt-summary",
         severity: Severity::Note,
@@ -267,6 +282,37 @@ pub const REGISTRY: &[CodeInfo] = &[
                       are invalid or strictly dominated by another lowering with the \
                       same interface",
     },
+    CodeInfo {
+        code: Code::S400,
+        name: "sim-numerical-fault",
+        severity: Severity::Error,
+        description: "the transient simulation produced a non-finite value (NaN or \
+                      infinity) that step-halving could not repair; the run aborted \
+                      early and the result carries the partial trace",
+    },
+    CodeInfo {
+        code: Code::S401,
+        name: "sim-step-halved",
+        severity: Severity::Warning,
+        description: "the transient simulation recovered from a numerical fault by \
+                      re-integrating one or more steps at a reduced internal step size",
+    },
+    CodeInfo {
+        code: Code::S402,
+        name: "sim-divergence",
+        severity: Severity::Error,
+        description: "the transient simulation state exceeded the divergence threshold \
+                      and could not be repaired by step-halving; the run aborted early \
+                      and the result carries the partial trace",
+    },
+    CodeInfo {
+        code: Code::S403,
+        name: "sim-fault-injection-active",
+        severity: Severity::Note,
+        description: "deterministic fault injection perturbed block evaluations during \
+                      this run (test/diagnostic mode); traces do not reflect the \
+                      unperturbed design",
+    },
 ];
 
 impl Code {
@@ -296,12 +342,17 @@ impl Code {
             Code::A200 => "A200",
             Code::A201 => "A201",
             Code::A202 => "A202",
+            Code::A210 => "A210",
             Code::O300 => "O300",
             Code::O301 => "O301",
             Code::O302 => "O302",
             Code::O303 => "O303",
             Code::O304 => "O304",
             Code::O305 => "O305",
+            Code::S400 => "S400",
+            Code::S401 => "S401",
+            Code::S402 => "S402",
+            Code::S403 => "S403",
         }
     }
 
@@ -343,8 +394,10 @@ pub fn reference_markdown() -> String {
     out.push_str(
         "Stable diagnostic codes emitted by `vase lint` and the in-flow verifier.\n\
          `V0xx` codes come from the frontend, `I1xx` from the VHIF verifier, `A2xx`\n\
-         from the annotation/interval analysis, and `O3xx` are informational notes\n\
-         from the optimization passes. Warnings become errors under\n\
+         from the annotation/interval analysis (including the `A210`\n\
+         mapping-budget report), `O3xx` are informational notes from the\n\
+         optimization passes, and `S4xx` report numerical faults detected by the\n\
+         simulation runtime. Warnings become errors under\n\
          `--deny warnings`; notes are never promoted.\n\n\
          This file is generated from `crates/diag/src/code.rs` (`REGISTRY`); a test\n\
          in that crate asserts it stays in sync.\n\n",
@@ -382,7 +435,11 @@ mod tests {
         for info in REGISTRY {
             let s = info.code.as_str();
             assert!(
-                s.starts_with('V') || s.starts_with('I') || s.starts_with('A') || s.starts_with('O'),
+                s.starts_with('V')
+                    || s.starts_with('I')
+                    || s.starts_with('A')
+                    || s.starts_with('O')
+                    || s.starts_with('S'),
                 "{s}"
             );
             assert_eq!(s.len(), 4, "{s}");

@@ -53,5 +53,5 @@ pub mod token;
 
 pub use annot::{Annotation, AnnotationSet, SignalKind};
 pub use error::{FrontendError, LexError, ParseError, SemaError, SemaErrorKind};
-pub use parser::{parse_design_file, parse_expression};
+pub use parser::{parse_design_file, parse_design_file_recovering, parse_expression};
 pub use sema::{analyze, AnalyzedDesign};

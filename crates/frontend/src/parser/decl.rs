@@ -22,7 +22,26 @@ impl Parser {
         if self.eat_keyword(Keyword::Port) {
             self.expect(&TokenKind::LParen)?;
             loop {
-                ports.push(self.parse_port_decl()?);
+                match self.parse_port_decl() {
+                    Ok(port) => ports.push(port),
+                    Err(e) => {
+                        // Recovery: skip the broken port, resume at the
+                        // next `;` (next port) or `)` (end of list).
+                        self.note_error(e)?;
+                        while !self.at_eof()
+                            && !matches!(
+                                self.peek_kind(),
+                                TokenKind::Semicolon | TokenKind::RParen
+                            )
+                            && !self.check_keyword(Keyword::End)
+                        {
+                            self.advance();
+                        }
+                        if self.check_keyword(Keyword::End) || self.at_eof() {
+                            break;
+                        }
+                    }
+                }
                 if !self.eat(&TokenKind::Semicolon) {
                     break;
                 }
@@ -84,17 +103,26 @@ impl Parser {
         self.expect_keyword(Keyword::Is)?;
         let mut decls = Vec::new();
         let mut functions = Vec::new();
-        while !self.check_keyword(Keyword::Begin) {
-            if self.check_keyword(Keyword::Function) {
-                functions.push(self.parse_function_decl()?);
+        while !self.check_keyword(Keyword::Begin)
+            && !self.check_keyword(Keyword::End)
+            && !self.at_eof()
+        {
+            let item = if self.check_keyword(Keyword::Function) {
+                self.parse_function_decl().map(|f| functions.push(f))
             } else {
-                decls.push(self.parse_object_decl()?);
+                self.parse_object_decl().map(|d| decls.push(d))
+            };
+            if let Err(e) = item {
+                self.recover_from(e, &[Keyword::Begin, Keyword::End])?;
             }
         }
         self.expect_keyword(Keyword::Begin)?;
         let mut stmts = Vec::new();
-        while !self.check_keyword(Keyword::End) {
-            stmts.push(self.parse_concurrent_stmt()?);
+        while !self.check_keyword(Keyword::End) && !self.at_eof() {
+            match self.parse_concurrent_stmt() {
+                Ok(s) => stmts.push(s),
+                Err(e) => self.recover_from(e, &[Keyword::End])?,
+            }
         }
         self.expect_keyword(Keyword::End)?;
         self.eat_keyword(Keyword::Architecture);
@@ -120,11 +148,14 @@ impl Parser {
         self.expect_keyword(Keyword::Is)?;
         let mut decls = Vec::new();
         let mut functions = Vec::new();
-        while !self.check_keyword(Keyword::End) {
-            if self.check_keyword(Keyword::Function) {
-                functions.push(self.parse_function_decl()?);
+        while !self.check_keyword(Keyword::End) && !self.at_eof() {
+            let item = if self.check_keyword(Keyword::Function) {
+                self.parse_function_decl().map(|f| functions.push(f))
             } else {
-                decls.push(self.parse_object_decl()?);
+                self.parse_object_decl().map(|d| decls.push(d))
+            };
+            if let Err(e) = item {
+                self.recover_from(e, &[Keyword::End])?;
             }
         }
         self.expect_keyword(Keyword::End)?;
@@ -189,13 +220,22 @@ impl Parser {
         let ret = self.parse_type_name()?;
         self.expect_keyword(Keyword::Is)?;
         let mut decls = Vec::new();
-        while !self.check_keyword(Keyword::Begin) {
-            decls.push(self.parse_object_decl()?);
+        while !self.check_keyword(Keyword::Begin)
+            && !self.check_keyword(Keyword::End)
+            && !self.at_eof()
+        {
+            match self.parse_object_decl() {
+                Ok(d) => decls.push(d),
+                Err(e) => self.recover_from(e, &[Keyword::Begin, Keyword::End])?,
+            }
         }
         self.expect_keyword(Keyword::Begin)?;
         let mut body = Vec::new();
-        while !self.check_keyword(Keyword::End) {
-            body.push(self.parse_seq_stmt()?);
+        while !self.check_keyword(Keyword::End) && !self.at_eof() {
+            match self.parse_seq_stmt() {
+                Ok(s) => body.push(s),
+                Err(e) => self.recover_from(e, &[Keyword::End])?,
+            }
         }
         self.expect_keyword(Keyword::End)?;
         self.eat_keyword(Keyword::Function);

@@ -56,6 +56,41 @@ pub fn parse_design_file(source: &str) -> Result<DesignFile, ParseError> {
     Ok(file)
 }
 
+/// Parse with error recovery: collect as many design units *and* as
+/// many parse errors as the source allows, instead of stopping at the
+/// first problem.
+///
+/// Recovery is syntactic resynchronization: a failed statement or
+/// declaration skips to the next `;`, a failed port to the next `;`
+/// or `)`, and a failed design unit to the next top-level
+/// `entity`/`architecture`/`package` keyword. Units (or statements)
+/// that failed are omitted from the returned file, so downstream
+/// analysis only ever sees well-formed AST — but it may see *partial*
+/// designs, and its diagnostics read accordingly.
+///
+/// An empty error vector means the file parsed cleanly and the result
+/// is identical to [`parse_design_file`]'s.
+pub fn parse_design_file_recovering(source: &str) -> (DesignFile, Vec<ParseError>) {
+    let tokens = match lex(source) {
+        Ok(t) => t,
+        Err(e) => {
+            return (DesignFile::new(), vec![ParseError { message: e.message, span: e.span }])
+        }
+    };
+    let mut parser = Parser::recovering(tokens);
+    let mut file = DesignFile::new();
+    while !parser.at_eof() {
+        match parser.parse_design_unit() {
+            Ok(unit) => file.units.push(unit),
+            Err(e) => {
+                parser.errors.push(e);
+                parser.sync_to_unit_start();
+            }
+        }
+    }
+    (file, parser.errors)
+}
+
 /// Parse a standalone expression (primarily for tests and tooling).
 ///
 /// # Errors
@@ -73,15 +108,87 @@ pub fn parse_expression(source: &str) -> Result<Expr, ParseError> {
     Ok(expr)
 }
 
-/// The parser state: a token buffer and a cursor.
+/// The parser state: a token buffer, a cursor, and (in recovery mode)
+/// the errors survived so far.
 pub(crate) struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// When set, statement/declaration/port loops resynchronize after
+    /// an error instead of propagating it.
+    recover: bool,
+    /// Errors recorded while recovering, in source order.
+    pub(crate) errors: Vec<ParseError>,
 }
 
 impl Parser {
     pub(crate) fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0 }
+        Parser { tokens, pos: 0, recover: false, errors: Vec::new() }
+    }
+
+    /// A parser that recovers from errors rather than failing fast.
+    pub(crate) fn recovering(tokens: Vec<Token>) -> Self {
+        Parser { recover: true, ..Parser::new(tokens) }
+    }
+
+    /// Record `e` in recovery mode (the caller then resynchronizes);
+    /// propagate it in strict mode.
+    pub(crate) fn note_error(&mut self, e: ParseError) -> Result<(), ParseError> {
+        if self.recover {
+            self.errors.push(e);
+            Ok(())
+        } else {
+            Err(e)
+        }
+    }
+
+    /// Handle a parse error inside a statement/declaration loop: in
+    /// strict mode propagate it; in recovery mode record it and skip
+    /// to just past the next `;` (or stop, unconsumed, at one of the
+    /// `stops` keywords that terminates the caller's loop).
+    pub(crate) fn recover_from(
+        &mut self,
+        e: ParseError,
+        stops: &[Keyword],
+    ) -> Result<(), ParseError> {
+        self.note_error(e)?;
+        while !self.at_eof() {
+            if self.eat(&TokenKind::Semicolon) {
+                return Ok(());
+            }
+            if stops.iter().any(|kw| self.check_keyword(*kw)) {
+                return Ok(());
+            }
+            self.advance();
+        }
+        Ok(())
+    }
+
+    /// Skip to the start of the next top-level design unit. `end …;`
+    /// closings are consumed whole so their `entity`/`architecture`
+    /// keywords are not mistaken for a new unit, and a unit keyword
+    /// only counts as a start when a name (or `body`) follows it —
+    /// `end entity;` fragments do not.
+    fn sync_to_unit_start(&mut self) {
+        if !self.at_eof() {
+            self.advance();
+        }
+        while !self.at_eof() {
+            if self.check_keyword(Keyword::End) {
+                while !self.at_eof() && !self.eat(&TokenKind::Semicolon) {
+                    self.advance();
+                }
+                continue;
+            }
+            let unit_start = self.check_keyword(Keyword::Entity)
+                || self.check_keyword(Keyword::Architecture)
+                || self.check_keyword(Keyword::Package);
+            let named = matches!(self.peek_nth(1).kind, TokenKind::Ident(_))
+                || self.peek_nth(1).is_keyword(Keyword::Body);
+            if unit_start && named {
+                return;
+            }
+            self.advance();
+        }
     }
 
     pub(crate) fn peek(&self) -> &Token {
@@ -231,5 +338,78 @@ mod tests {
     fn expression_entry_point_rejects_trailing_tokens() {
         assert!(parse_expression("1 + 2").is_ok());
         assert!(parse_expression("1 + 2 extra").is_err());
+    }
+
+    #[test]
+    fn recovery_reports_multiple_statement_errors() {
+        let (file, errors) = parse_design_file_recovering(
+            "entity e is port (quantity x : in real is voltage;
+                               quantity y : out real is voltage); end entity;
+             architecture a of e is begin
+               y == x + ;
+               y == * x;
+               y == 2.0 * x;
+             end architecture;",
+        );
+        assert_eq!(errors.len(), 2, "{errors:#?}");
+        let arch = file.architecture_of("e").expect("architecture survives");
+        assert_eq!(arch.stmts.len(), 1, "the good statement is kept");
+        // Errors arrive in source order with distinct positions.
+        assert!(errors[0].span.start.line < errors[1].span.start.line);
+    }
+
+    #[test]
+    fn recovery_skips_broken_unit_and_keeps_the_next() {
+        let (file, errors) = parse_design_file_recovering(
+            "entity broken is port ( end entity;
+             entity ok is end entity;
+             architecture a of ok is begin end architecture;",
+        );
+        assert!(!errors.is_empty());
+        assert!(file.entity("ok").is_some());
+        assert!(file.architecture_of("ok").is_some());
+    }
+
+    #[test]
+    fn recovery_collects_port_and_declaration_errors() {
+        let (file, errors) = parse_design_file_recovering(
+            "entity e is port (quantity a : in real is voltage;
+                               quantity b : mystery;
+                               quantity y : out real is voltage); end entity;
+             architecture a of e is
+               quantity q1 : real
+             begin
+               y == a;
+             end architecture;",
+        );
+        assert_eq!(errors.len(), 2, "{errors:#?}");
+        let entity = file.entity("e").expect("entity survives");
+        assert_eq!(entity.ports.len(), 2, "good ports are kept");
+        assert_eq!(file.architecture_of("e").expect("arch").stmts.len(), 1);
+    }
+
+    #[test]
+    fn recovery_on_clean_source_matches_strict_parse() {
+        let src = "entity e is port (quantity x : in real is voltage;
+                                     quantity y : out real is voltage); end entity;
+                   architecture a of e is begin y == 2.0 * x; end architecture;";
+        let (file, errors) = parse_design_file_recovering(src);
+        assert!(errors.is_empty());
+        assert_eq!(file.units.len(), parse_design_file(src).expect("parses").units.len());
+    }
+
+    #[test]
+    fn recovery_never_loops_on_truncated_input() {
+        // Truncations that leave every bracket and region open must
+        // still terminate (with errors), not spin.
+        let src = "entity e is port (quantity x : in real is voltage;
+                    quantity y : out real is voltage); end entity;
+                   architecture a of e is begin y == x;";
+        for len in 0..src.len() {
+            if !src.is_char_boundary(len) {
+                continue;
+            }
+            let (_, _) = parse_design_file_recovering(&src[..len]);
+        }
     }
 }

@@ -98,13 +98,13 @@ impl Parser {
 
     /// Concurrent statements until `elsif`/`else`/`end`/`when`.
     fn parse_concurrent_body(&mut self) -> Result<Vec<ConcurrentStmt>, ParseError> {
+        const STOPS: [Keyword; 4] = [Keyword::Elsif, Keyword::Else, Keyword::End, Keyword::When];
         let mut body = Vec::new();
-        while !(self.check_keyword(Keyword::Elsif)
-            || self.check_keyword(Keyword::Else)
-            || self.check_keyword(Keyword::End)
-            || self.check_keyword(Keyword::When))
-        {
-            body.push(self.parse_concurrent_stmt()?);
+        while !STOPS.iter().any(|kw| self.check_keyword(*kw)) && !self.at_eof() {
+            match self.parse_concurrent_stmt() {
+                Ok(s) => body.push(s),
+                Err(e) => self.recover_from(e, &STOPS)?,
+            }
         }
         Ok(body)
     }
@@ -172,14 +172,17 @@ impl Parser {
         }
         self.eat_keyword(Keyword::Is);
         let mut decls = Vec::new();
-        while !self.check_keyword(Keyword::Begin) {
-            decls.push(self.parse_object_decl()?);
+        while !self.check_keyword(Keyword::Begin)
+            && !self.check_keyword(Keyword::End)
+            && !self.at_eof()
+        {
+            match self.parse_object_decl() {
+                Ok(d) => decls.push(d),
+                Err(e) => self.recover_from(e, &[Keyword::Begin, Keyword::End])?,
+            }
         }
         self.expect_keyword(Keyword::Begin)?;
-        let mut body = Vec::new();
-        while !self.check_keyword(Keyword::End) {
-            body.push(self.parse_seq_stmt()?);
-        }
+        let body = self.parse_seq_body_until(&[Keyword::End])?;
         self.expect_keyword(Keyword::End)?;
         self.eat_keyword(Keyword::Process);
         self.eat_trailing_name();
@@ -203,14 +206,17 @@ impl Parser {
         self.expect_keyword(Keyword::Procedural)?;
         self.eat_keyword(Keyword::Is);
         let mut decls = Vec::new();
-        while !self.check_keyword(Keyword::Begin) {
-            decls.push(self.parse_object_decl()?);
+        while !self.check_keyword(Keyword::Begin)
+            && !self.check_keyword(Keyword::End)
+            && !self.at_eof()
+        {
+            match self.parse_object_decl() {
+                Ok(d) => decls.push(d),
+                Err(e) => self.recover_from(e, &[Keyword::Begin, Keyword::End])?,
+            }
         }
         self.expect_keyword(Keyword::Begin)?;
-        let mut body = Vec::new();
-        while !self.check_keyword(Keyword::End) {
-            body.push(self.parse_seq_stmt()?);
-        }
+        let body = self.parse_seq_body_until(&[Keyword::End])?;
         self.expect_keyword(Keyword::End)?;
         self.eat_keyword(Keyword::Procedural);
         self.eat_trailing_name();
@@ -291,7 +297,10 @@ impl Parser {
     fn parse_seq_body_until(&mut self, stops: &[Keyword]) -> Result<Vec<SeqStmt>, ParseError> {
         let mut body = Vec::new();
         while !stops.iter().any(|kw| self.check_keyword(*kw)) && !self.at_eof() {
-            body.push(self.parse_seq_stmt()?);
+            match self.parse_seq_stmt() {
+                Ok(s) => body.push(s),
+                Err(e) => self.recover_from(e, stops)?,
+            }
         }
         Ok(body)
     }

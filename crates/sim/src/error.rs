@@ -25,6 +25,13 @@ pub enum SimError {
         /// Description.
         what: String,
     },
+    /// The simulation panicked; the panic was caught by a
+    /// panic-isolated batch driver (see `vase::flow`) and converted so
+    /// the rest of the batch could continue.
+    Panicked {
+        /// The panic payload's message.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -38,6 +45,7 @@ impl fmt::Display for SimError {
                 write!(f, "event-driven part references unknown quantity `{name}`")
             }
             SimError::BadConfig { what } => write!(f, "bad simulation config: {what}"),
+            SimError::Panicked { message } => write!(f, "simulation panicked: {message}"),
         }
     }
 }

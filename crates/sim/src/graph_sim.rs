@@ -20,6 +20,7 @@ use std::collections::BTreeMap;
 use vase_vhif::VhifDesign;
 
 use crate::error::SimError;
+use crate::fault::FaultInjection;
 use crate::plan::CompiledSim;
 use crate::stimulus::Stimulus;
 use crate::trace::SimResult;
@@ -31,18 +32,39 @@ pub struct SimConfig {
     pub dt: f64,
     /// End time, s.
     pub t_end: f64,
+    /// Any block value or integrator state whose magnitude exceeds
+    /// this is treated as numerical divergence: the step is rolled
+    /// back and retried at a halved step, and an unrecoverable step
+    /// ends the run with a partial trace and a
+    /// [`SimFault`](crate::SimFault) record.
+    pub divergence_limit: f64,
+    /// Maximum step-halving retries for a faulty step (`k` retries
+    /// re-integrate the step with `2^k` substeps of `dt / 2^k`). `0`
+    /// disables recovery: the first fault aborts the run.
+    pub max_step_halvings: u32,
+    /// Opt-in deterministic fault injection (see
+    /// [`FaultInjection`](crate::FaultInjection)); `None` — the
+    /// default — costs nothing in the step loop.
+    pub fault_injection: Option<FaultInjection>,
 }
 
 impl SimConfig {
-    /// `n` samples over `t_end` seconds.
+    /// `n` samples over `t_end` seconds, with default fault handling
+    /// (divergence limit `1e12`, up to 5 step halvings, no injection).
     pub fn new(dt: f64, t_end: f64) -> Self {
-        SimConfig { dt, t_end }
+        SimConfig { dt, t_end, ..SimConfig::default() }
     }
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { dt: 1e-5, t_end: 10e-3 }
+        SimConfig {
+            dt: 1e-5,
+            t_end: 10e-3,
+            divergence_limit: 1e12,
+            max_step_halvings: 5,
+            fault_injection: None,
+        }
     }
 }
 

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod graph_sim;
 pub mod netlist_sim;
 pub mod plan;
@@ -58,6 +59,7 @@ pub mod stimulus;
 pub mod trace;
 
 pub use error::SimError;
+pub use fault::{FaultInjection, FaultKind, SimFault};
 pub use graph_sim::{simulate_design, SimConfig};
 pub use plan::{CompiledSim, SimSession};
 pub use netlist_sim::{simulate_netlist, CompiledNetlist, AMP_SATURATION};

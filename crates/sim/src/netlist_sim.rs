@@ -20,6 +20,7 @@ use std::collections::BTreeMap;
 use vase_library::{ComponentKind, Netlist, SourceRef};
 
 use crate::error::SimError;
+use crate::fault::{FaultKind, SimFault};
 use crate::graph_sim::SimConfig;
 use crate::stimulus::Stimulus;
 use crate::trace::SimResult;
@@ -260,6 +261,16 @@ impl<'n> CompiledNetlist<'n> {
         for step in 0..=self.steps {
             let t = step as f64 * self.dt;
             self.step(t, &mut state);
+            // The macromodels clamp at the supply rails, so divergence
+            // cannot occur here; a non-finite value means a corrupted
+            // model or input. Mirror the behavioral engine's graceful
+            // abort: keep the samples recorded so far as a partial
+            // trace instead of propagating NaN.
+            if state.values.iter().chain(state.integ.iter()).any(|v| !v.is_finite()) {
+                result.fault =
+                    Some(SimFault { step, time: t, kind: FaultKind::NonFinite, retries: 0 });
+                break;
+            }
             result.time.push(t);
             for ((_, src), values) in self.traces.iter().zip(&mut trace_values) {
                 values.push(self.src_value(*src, t, &state.values));

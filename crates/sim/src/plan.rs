@@ -29,6 +29,7 @@ use vase_vhif::{
 };
 
 use crate::error::SimError;
+use crate::fault::{FaultInjection, FaultKind, SimFault, SplitMix64};
 use crate::graph_sim::SimConfig;
 use crate::stimulus::Stimulus;
 use crate::trace::SimResult;
@@ -56,6 +57,12 @@ pub struct CompiledSim<'d> {
     dt: f64,
     /// Number of steps; the session records `steps + 1` samples.
     steps: usize,
+    /// Numerical-fault detection threshold (see [`SimConfig`]).
+    divergence_limit: f64,
+    /// Step-halving retry budget for faulty steps.
+    max_halvings: u32,
+    /// Opt-in deterministic fault injection.
+    injection: Option<FaultInjection>,
 }
 
 /// Compiled per-graph evaluation plan.
@@ -305,6 +312,9 @@ impl<'d> CompiledSim<'d> {
             traces,
             dt: config.dt,
             steps,
+            divergence_limit: config.divergence_limit.abs(),
+            max_halvings: config.max_step_halvings,
+            injection: config.fault_injection,
         })
     }
 
@@ -616,6 +626,17 @@ pub struct SimSession<'p, 'd> {
     k2: Vec<f64>,
     k3: Vec<f64>,
     k4: Vec<f64>,
+    /// Pre-step snapshots of the mutable continuous/discrete state,
+    /// for rolling back a step the fault detector rejects.
+    saved_integ: Vec<f64>,
+    saved_discrete: Vec<f64>,
+    saved_prev_in: Vec<f64>,
+    /// Deterministic fault-injection stream (None when disabled).
+    rng: Option<SplitMix64>,
+    /// Unrecoverable fault that ended the run, if any.
+    fault: Option<SimFault>,
+    /// Steps rescued by the step-halving retry.
+    recovered_steps: u64,
     /// Recorded output.
     time: Vec<f64>,
     trace_values: Vec<Vec<f64>>,
@@ -651,6 +672,12 @@ impl<'p, 'd> SimSession<'p, 'd> {
             k2: vec![0.0; max_integ],
             k3: vec![0.0; max_integ],
             k4: vec![0.0; max_integ],
+            saved_integ: vec![0.0; total],
+            saved_discrete: vec![0.0; total],
+            saved_prev_in: vec![0.0; total],
+            rng: plan.injection.map(|inj| SplitMix64::new(inj.seed)),
+            fault: None,
+            recovered_steps: 0,
             time: Vec::with_capacity(samples),
             trace_values: plan.traces.iter().map(|_| Vec::with_capacity(samples)).collect(),
         }
@@ -661,9 +688,24 @@ impl<'p, 'd> SimSession<'p, 'd> {
         self.step > self.plan.steps
     }
 
+    /// The unrecoverable numerical fault that ended the run early, if
+    /// any (also carried by [`into_result`](Self::into_result)).
+    pub fn fault(&self) -> Option<&SimFault> {
+        self.fault.as_ref()
+    }
+
     /// Advance one time step: evaluate every graph (RK4 over the
     /// integrator states), fire the FSMs on event edges, record the
     /// traces. Allocation-free.
+    ///
+    /// After the graph evaluation the state vector is checked for
+    /// numerical faults (NaN/infinity, or divergence past the
+    /// configured limit). A faulty step is rolled back and
+    /// re-integrated with `2^k` halved substeps; a step that stays
+    /// faulty ends the run gracefully — [`done`](Self::done) becomes
+    /// true, the samples recorded so far remain as a partial trace,
+    /// and the fault is reported via [`fault`](Self::fault) and the
+    /// [`SimResult`].
     pub fn step(&mut self) {
         if self.done() {
             return;
@@ -671,9 +713,48 @@ impl<'p, 'd> SimSession<'p, 'd> {
         let t = self.step as f64 * self.plan.dt;
         let dt = self.plan.dt;
 
-        // 1. Evaluate each graph.
-        for gi in 0..self.plan.graphs.len() {
-            self.step_graph(gi, t, dt);
+        // Snapshot the pre-step state so a faulty step can roll back,
+        // and draw this step's injected fault (if any) up front so
+        // retries replay the same deterministic schedule.
+        self.saved_integ.copy_from_slice(&self.integ);
+        self.saved_discrete.copy_from_slice(&self.discrete);
+        self.saved_prev_in.copy_from_slice(&self.prev_in);
+        let poison = self.draw_poison();
+
+        // 1. Evaluate each graph; on a numerical fault, retry the step
+        //    with halved substeps before giving up.
+        self.advance_graphs(t, dt, 1, poison);
+        if let Some(first_kind) = self.fault_kind() {
+            let mut kind = first_kind;
+            let mut recovered = false;
+            let mut retries = 0;
+            let persistent = self.plan.injection.is_some_and(|inj| inj.persistent);
+            let retry_poison = if persistent { poison } else { None };
+            while retries < self.plan.max_halvings {
+                retries += 1;
+                self.rollback();
+                self.advance_graphs(t, dt, 1usize << retries, retry_poison);
+                match self.fault_kind() {
+                    None => {
+                        recovered = true;
+                        break;
+                    }
+                    Some(k) => kind = k,
+                }
+            }
+            if recovered {
+                self.recovered_steps += 1;
+                // Keep the recorded sample on the fixed grid: re-derive
+                // the start-of-step values from the pre-step state.
+                self.refresh_values(t);
+            } else {
+                // Graceful abort: discard the poisoned state, keep the
+                // partial trace, report the fault, end the run.
+                self.rollback();
+                self.fault = Some(SimFault { step: self.step, time: t, kind, retries });
+                self.step = self.plan.steps + 1;
+                return;
+            }
         }
 
         // 2. Event-driven part: fire machines on event edges.
@@ -704,11 +785,87 @@ impl<'p, 'd> SimSession<'p, 'd> {
 
     /// Finish into a [`SimResult`] (sorted trace names, as before).
     pub fn into_result(self) -> SimResult {
-        let mut result = SimResult { time: self.time, traces: BTreeMap::new() };
+        let mut result = SimResult {
+            time: self.time,
+            traces: BTreeMap::new(),
+            fault: self.fault,
+            recovered_steps: self.recovered_steps,
+        };
         for ((name, _), values) in self.plan.traces.iter().zip(self.trace_values) {
             result.traces.insert(name.clone(), values);
         }
         result
+    }
+
+    /// Evaluate every graph over `[t, t + dt]` in `substeps` equal
+    /// substeps, then overwrite one block value with the injected
+    /// fault, if any. Allocation-free.
+    fn advance_graphs(&mut self, t: f64, dt: f64, substeps: usize, poison: Option<(usize, f64)>) {
+        let sub_dt = dt / substeps as f64;
+        for s in 0..substeps {
+            let ts = t + s as f64 * sub_dt;
+            for gi in 0..self.plan.graphs.len() {
+                self.step_graph(gi, ts, sub_dt);
+            }
+        }
+        if let Some((slot, v)) = poison {
+            self.values[slot] = v;
+        }
+    }
+
+    /// Restore the continuous/discrete state captured at the start of
+    /// the current step.
+    fn rollback(&mut self) {
+        self.integ.copy_from_slice(&self.saved_integ);
+        self.discrete.copy_from_slice(&self.saved_discrete);
+        self.prev_in.copy_from_slice(&self.saved_prev_in);
+    }
+
+    /// Scan the post-step state for numerical faults. Non-finite
+    /// values dominate divergence when both are present.
+    fn fault_kind(&self) -> Option<FaultKind> {
+        let limit = self.plan.divergence_limit;
+        let mut diverged = false;
+        for &v in self.values.iter().chain(self.integ.iter()) {
+            if !v.is_finite() {
+                return Some(FaultKind::NonFinite);
+            }
+            diverged |= v.abs() > limit;
+        }
+        diverged.then_some(FaultKind::Divergence)
+    }
+
+    /// Draw this step's injected fault from the deterministic stream:
+    /// one uniform draw per step decides whether it fires, a second
+    /// picks the perturbed block slot.
+    fn draw_poison(&mut self) -> Option<(usize, f64)> {
+        let inj = self.plan.injection?;
+        let rng = self.rng.as_mut()?;
+        if self.values.is_empty() || rng.next_f64() >= inj.rate {
+            return None;
+        }
+        Some((rng.index(self.values.len()), inj.value))
+    }
+
+    /// Re-derive `values` as the start-of-step evaluation against the
+    /// pre-step snapshot — after a substepped recovery the recorded
+    /// sample then keeps the fixed-grid semantics of an ordinary step.
+    fn refresh_values(&mut self, t: f64) {
+        for g in &self.plan.graphs {
+            let base = g.base;
+            let n = g.graph.len();
+            eval_graph(
+                g,
+                t,
+                &self.saved_integ[base..base + n],
+                &self.saved_discrete[base..base + n],
+                &self.saved_prev_in[base..base + n],
+                &self.stims,
+                &self.signals,
+                self.plan.dt,
+                &mut self.values[base..base + n],
+            );
+        }
     }
 
     /// Evaluate graph `gi` at time `t` into `self.values` and advance

@@ -5,6 +5,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::SimFault;
+
 /// The result of one transient simulation.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SimResult {
@@ -13,9 +15,25 @@ pub struct SimResult {
     /// Named traces (outputs, probes, control signals), one sample per
     /// time point.
     pub traces: BTreeMap<String, Vec<f64>>,
+    /// The unrecoverable numerical fault that ended the run early, if
+    /// any. When set, `time` and `traces` hold the partial trace up to
+    /// the faulty step.
+    #[serde(default)]
+    pub fault: Option<SimFault>,
+    /// Steps that tripped the numerical fault detector but recovered
+    /// via step-halving retries.
+    #[serde(default)]
+    pub recovered_steps: u64,
 }
 
 impl SimResult {
+    /// Whether the run ended early on an unrecoverable numerical
+    /// fault (the traces are then a partial prefix of the requested
+    /// window).
+    pub fn is_partial(&self) -> bool {
+        self.fault.is_some()
+    }
+
     /// The trace named `name`.
     pub fn trace(&self, name: &str) -> Option<&[f64]> {
         self.traces.get(name).map(|v| v.as_slice())
@@ -76,6 +94,9 @@ impl fmt::Display for SimResult {
         for name in self.traces.keys() {
             let (lo, hi) = self.range(name).unwrap_or((0.0, 0.0));
             write!(f, " {name}[{lo:.3},{hi:.3}]")?;
+        }
+        if let Some(fault) = &self.fault {
+            write!(f, " [partial: {fault}]")?;
         }
         Ok(())
     }

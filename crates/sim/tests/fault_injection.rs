@@ -1,0 +1,188 @@
+//! Numerical fault handling: injected and organic faults either
+//! recover by step halving or abort gracefully with a partial trace —
+//! the step loop never panics and never records non-finite samples.
+
+use std::collections::BTreeMap;
+
+use vase_sim::{
+    simulate_design, FaultInjection, FaultKind, SimConfig, Stimulus,
+};
+use vase_vhif::{BlockKind, SignalFlowGraph, VhifDesign};
+
+/// A first-order lag driven by a sine: dx/dt = u - x.
+fn lag_design() -> VhifDesign {
+    let mut g = SignalFlowGraph::new("lag");
+    let u = g.add(BlockKind::Input { name: "u".into() });
+    let sum = g.add(BlockKind::Add { arity: 2 });
+    let neg = g.add(BlockKind::Scale { gain: -1.0 });
+    let x = g.add(BlockKind::Integrate { gain: 1.0, initial: 0.0 });
+    let y = g.add(BlockKind::Output { name: "y".into() });
+    g.connect(u, sum, 0).expect("wire");
+    g.connect(neg, sum, 1).expect("wire");
+    g.connect(sum, x, 0).expect("wire");
+    g.connect(x, neg, 0).expect("wire");
+    g.connect(x, y, 0).expect("wire");
+    let mut d = VhifDesign::new("lag");
+    d.graphs.push(g);
+    d
+}
+
+/// A stiff decay dx/dt = -lambda * x whose full-step RK4 is unstable
+/// at the chosen dt (lambda * dt = 5 > 2.785), but stable once halved.
+fn stiff_design(lambda: f64) -> VhifDesign {
+    let mut g = SignalFlowGraph::new("stiff");
+    let x = g.add(BlockKind::Integrate { gain: 1.0, initial: 1.0 });
+    let fb = g.add(BlockKind::Scale { gain: -lambda });
+    let y = g.add(BlockKind::Output { name: "x".into() });
+    g.connect(x, fb, 0).expect("wire");
+    g.connect(fb, x, 0).expect("wire");
+    g.connect(x, y, 0).expect("wire");
+    let mut d = VhifDesign::new("stiff");
+    d.graphs.push(g);
+    d
+}
+
+fn stim(entries: &[(&str, Stimulus)]) -> BTreeMap<String, Stimulus> {
+    entries.iter().map(|(n, s)| (n.to_string(), *s)).collect()
+}
+
+fn all_finite(r: &vase_sim::SimResult) -> bool {
+    r.traces.values().all(|t| t.iter().all(|v| v.is_finite()))
+}
+
+#[test]
+fn clean_run_reports_no_faults() {
+    let d = lag_design();
+    let r = simulate_design(
+        &d,
+        &stim(&[("u", Stimulus::sine(1.0, 100.0))]),
+        &SimConfig::new(1e-5, 2e-3),
+    )
+    .expect("simulates");
+    assert!(r.fault.is_none() && !r.is_partial());
+    assert_eq!(r.recovered_steps, 0);
+    assert_eq!(r.time.len(), 201);
+}
+
+#[test]
+fn transient_injected_nan_recovers_by_step_halving() {
+    let d = lag_design();
+    let mut config = SimConfig::new(1e-5, 2e-3);
+    config.fault_injection = Some(FaultInjection::transient_nan(0xFA57, 0.25));
+    let r = simulate_design(&d, &stim(&[("u", Stimulus::sine(1.0, 100.0))]), &config)
+        .expect("simulates");
+    assert!(r.fault.is_none(), "transient faults must be recoverable: {:?}", r.fault);
+    assert!(r.recovered_steps > 0, "a 25% rate over 200 steps must fire");
+    assert_eq!(r.time.len(), 201, "recovered run keeps the full grid");
+    assert!(all_finite(&r), "no NaN may leak into the traces");
+}
+
+#[test]
+fn persistent_injected_nan_aborts_with_partial_trace() {
+    let d = lag_design();
+    let mut config = SimConfig::new(1e-5, 2e-3);
+    config.fault_injection = Some(FaultInjection::persistent_nan(7, 1.0));
+    let r = simulate_design(&d, &stim(&[("u", Stimulus::sine(1.0, 100.0))]), &config)
+        .expect("construction still succeeds");
+    let fault = r.fault.expect("a persistent always-on fault must abort");
+    assert_eq!(fault.kind, FaultKind::NonFinite);
+    assert_eq!(fault.retries, config.max_step_halvings);
+    assert_eq!(fault.step, 0, "rate 1.0 poisons the very first step");
+    assert_eq!(r.time.len(), fault.step, "samples = steps before the fault");
+    assert!(r.is_partial());
+    assert!(all_finite(&r));
+    assert!(r.to_string().contains("partial"), "{r}");
+}
+
+#[test]
+fn injection_is_deterministic_per_seed() {
+    let d = lag_design();
+    let inputs = stim(&[("u", Stimulus::sine(1.0, 100.0))]);
+    let mut config = SimConfig::new(1e-5, 2e-3);
+    config.fault_injection = Some(FaultInjection::transient_nan(99, 0.3));
+    let a = simulate_design(&d, &inputs, &config).expect("simulates");
+    let b = simulate_design(&d, &inputs, &config).expect("simulates");
+    assert_eq!(a, b, "same seed, same faults, same result");
+    config.fault_injection = Some(FaultInjection::transient_nan(100, 0.3));
+    let c = simulate_design(&d, &inputs, &config).expect("simulates");
+    // A different seed fires on different steps (recovery count is the
+    // observable); identical traces are still possible but the
+    // schedule must come from the seed, so recovered counts differ
+    // with overwhelming probability.
+    assert!(
+        c.recovered_steps != a.recovered_steps || c == a,
+        "schedule must be seed-driven"
+    );
+}
+
+#[test]
+fn stiff_step_recovers_by_halving_without_injection() {
+    // lambda * dt = 5: full-step RK4 amplifies ~13.7x per step, so the
+    // state blows past the divergence limit organically; one halving
+    // (lambda * dt/2 = 2.5 < 2.785) is stable again.
+    let d = stiff_design(5_000.0);
+    let mut config = SimConfig::new(1e-3, 0.05);
+    config.divergence_limit = 1e6;
+    let r = simulate_design(&d, &BTreeMap::new(), &config).expect("simulates");
+    assert!(r.fault.is_none(), "halving must rescue the unstable steps: {:?}", r.fault);
+    assert!(r.recovered_steps > 0, "the divergence detector must have tripped");
+    assert_eq!(r.time.len(), 51);
+    assert!(all_finite(&r));
+    let x = r.trace("x").expect("trace");
+    assert!(x.iter().all(|v| v.abs() <= 1e6), "state stays bounded");
+}
+
+#[test]
+fn divergence_with_no_retry_budget_aborts() {
+    let d = stiff_design(5_000.0);
+    let mut config = SimConfig::new(1e-3, 0.05);
+    config.divergence_limit = 1e6;
+    config.max_step_halvings = 0;
+    let r = simulate_design(&d, &BTreeMap::new(), &config).expect("simulates");
+    let fault = r.fault.expect("without retries the divergence must abort");
+    assert_eq!(fault.kind, FaultKind::Divergence);
+    assert_eq!(fault.retries, 0);
+    assert!(fault.step > 0, "the first few steps are still below the limit");
+    assert_eq!(r.time.len(), fault.step);
+    assert!(all_finite(&r), "the diverged state is discarded, not recorded");
+}
+
+#[test]
+fn injection_survives_designs_with_fsms() {
+    // The receiver-style shape: a graph plus an FSM-driven control
+    // signal. Injection must not disturb FSM bookkeeping.
+    use vase_vhif::{DataOp, DpExpr, Event, Fsm, Trigger};
+    let mut g = SignalFlowGraph::new("sw");
+    let line = g.add(BlockKind::Input { name: "line".into() });
+    let ctl = g.add(BlockKind::ControlInput { name: "c1".into() });
+    let sw = g.add(BlockKind::Switch);
+    let y = g.add(BlockKind::Output { name: "y".into() });
+    g.connect(line, sw, 0).expect("wire");
+    g.connect(ctl, sw, 1).expect("wire");
+    g.connect(sw, y, 0).expect("wire");
+    let mut fsm = Fsm::new("ctl");
+    let start = fsm.start();
+    let on = fsm.add_state("on");
+    fsm.state_mut(on).ops.push(DataOp::new("c1", DpExpr::Bit(true)));
+    fsm.add_transition(
+        start,
+        on,
+        Trigger::AnyEvent(vec![Event::Above { quantity: "line".into(), threshold: 0.5 }]),
+    );
+    fsm.add_transition(on, start, Trigger::Always);
+    let mut d = VhifDesign::new("t");
+    d.graphs.push(g);
+    d.fsms.push(fsm);
+
+    let mut config = SimConfig::new(1e-4, 1e-2);
+    config.fault_injection = Some(FaultInjection::transient_nan(3, 0.5));
+    let r = simulate_design(
+        &d,
+        &stim(&[("line", Stimulus::Step { before: 0.0, after: 1.0, at: 5e-3 })]),
+        &config,
+    )
+    .expect("simulates");
+    assert!(r.fault.is_none());
+    assert!(all_finite(&r));
+    assert_eq!(*r.trace("c1").expect("c1 recorded").last().unwrap(), 1.0);
+}

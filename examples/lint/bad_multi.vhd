@@ -1,0 +1,16 @@
+-- Deliberately invalid in three separate places. The recovering
+-- parser resynchronizes after each error, so `vase lint` reports all
+-- three V002 diagnostics (and still analyzes what did parse) instead
+-- of stopping at the first.
+entity multi is
+  port (quantity a : in real is voltage;
+        quantity b : bad_type;
+        quantity y : out real is voltage);
+end entity;
+
+architecture arch of multi is
+  quantity q1 : real
+begin
+  y == a + ;
+  y == a * 2.0;
+end architecture;

@@ -22,6 +22,12 @@ echo "== tier 1: opt equivalence suite =="
 cargo test -q -p vase-sim --test opt_equivalence
 cargo test -q -p vase --test opt_snapshots
 
+echo "== tier 1: sim fault-injection suite =="
+cargo test -q -p vase-sim --test fault_injection
+
+echo "== tier 1: vase-fuzz --smoke =="
+./target/release/vase-fuzz --smoke
+
 echo "== tier 1: vase opt smoke over shipped specs =="
 for f in crates/core/specs/*.vhd; do
     # Every spec must survive the full -O2 pipeline with clean stats.
