@@ -30,7 +30,16 @@
 //!     --dt <seconds>        time step           (default 1e-6)
 //!     --csv <out.csv>       write raw traces
 //!     --jobs <n>            simulate multiple architectures
-//!                           concurrently (0 = one per core, default 1)
+//!                           concurrently (0 = auto: one per core, derated
+//!                           to the lane-batched task count; default 1)
+//!     --monte-carlo <n>     instead of one transient, run <n>
+//!                           tolerance-perturbed samples per design through
+//!                           lane batches and report yield against the
+//!                           specification's `range` annotations
+//!     --tolerance <pct>     component tolerance in percent (default 5)
+//!     --seed <u64>          perturbation stream seed (default 0x5EED)
+//!     --inject-lane <s>:<t> poison sample <s> at step <t> (fault-isolation
+//!                           demo: that lane degrades, the batch completes)
 //! vase table1 [--jobs <n>]             regenerate the paper's Table 1
 //!     --jobs <n>        synthesize the five applications concurrently
 //!     --deadline-ms/--max-nodes  mapping budget, as in `synth`
@@ -50,10 +59,11 @@ use std::process::ExitCode;
 use vase::archgen::{Budget, MapperConfig};
 use vase::diag::json::{diagnostic_to_json, Json};
 use vase::flow::{
-    compile_source, opt_diagnostics, sim_diagnostics, simulate_designs_reported,
-    synthesize_designs, synthesize_source, FlowOptions, FlowStatus,
+    compile_source, monte_carlo_designs, opt_diagnostics, sim_diagnostics,
+    simulate_designs_reported, synthesize_designs, synthesize_source, yield_diagnostics,
+    FlowOptions, FlowStatus,
 };
-use vase::sim::{render_ascii, SimConfig, Stimulus, SweepConfig};
+use vase::sim::{render_ascii, MonteCarloConfig, SimConfig, Stimulus, SweepConfig};
 
 /// Exit code for degraded-but-usable results (budget-exhausted
 /// incumbent plans, partial simulation traces).
@@ -93,7 +103,7 @@ fn run(args: &[String]) -> Result<u8, String> {
 
 /// Flags that take a value operand (so a value is never mistaken for
 /// an input path).
-const VALUE_FLAGS: [&str; 12] = [
+const VALUE_FLAGS: [&str; 16] = [
     "--jobs",
     "--input",
     "--format",
@@ -106,6 +116,10 @@ const VALUE_FLAGS: [&str; 12] = [
     "--spice",
     "--deadline-ms",
     "--max-nodes",
+    "--monte-carlo",
+    "--tolerance",
+    "--seed",
+    "--inject-lane",
 ];
 
 /// Every non-flag argument, in order: the input file paths.
@@ -514,10 +528,14 @@ fn cmd_sim(args: &[String]) -> Result<u8, String> {
         }
     }
     let sweep = match jobs_flag(args)? {
+        Some(0) => SweepConfig::auto(),
         Some(jobs) => SweepConfig::with_jobs(jobs),
         None => SweepConfig::default(),
     };
     let config = SimConfig::new(dt, t_end);
+    if flag_value(args, "--monte-carlo").is_some() {
+        return cmd_sim_monte_carlo(args, &designs, &stimuli, &config, &sweep);
+    }
     let results = simulate_designs_reported(&designs, &stimuli, &config, &sweep);
     let mut failed = false;
     let mut partial = false;
@@ -546,6 +564,98 @@ fn cmd_sim(args: &[String]) -> Result<u8, String> {
     if failed {
         Err("one or more architectures failed to simulate".into())
     } else if partial {
+        Ok(EXIT_DEGRADED)
+    } else {
+        Ok(0)
+    }
+}
+
+/// The `vase sim --monte-carlo` mode: instead of one nominal transient,
+/// run tolerance-perturbed samples of each design through lane batches
+/// and report per-trace yield against the specification's `range`
+/// annotations.
+fn cmd_sim_monte_carlo(
+    args: &[String],
+    designs: &[vase::flow::SynthesizedDesign],
+    stimuli: &BTreeMap<String, Stimulus>,
+    config: &SimConfig,
+    sweep: &SweepConfig,
+) -> Result<u8, String> {
+    let samples: usize = flag_value(args, "--monte-carlo")
+        .expect("checked by caller")
+        .parse()
+        .map_err(|e| format!("bad --monte-carlo: {e}"))?;
+    let pct: f64 = flag_value(args, "--tolerance")
+        .unwrap_or("5")
+        .parse()
+        .map_err(|e| format!("bad --tolerance: {e}"))?;
+    if !(0.0..100.0).contains(&pct) {
+        return Err(format!("--tolerance is a percentage in [0, 100), got {pct}"));
+    }
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(v) => v.parse().map_err(|e| format!("bad --seed `{v}`: {e}"))?,
+        None => MonteCarloConfig::default().seed,
+    };
+    let inject = match flag_value(args, "--inject-lane") {
+        Some(spec) => {
+            let (s, t) = spec.split_once(':').ok_or_else(|| {
+                format!("bad --inject-lane `{spec}`, expected <sample>:<step>")
+            })?;
+            Some((
+                s.parse().map_err(|e| format!("bad --inject-lane sample `{s}`: {e}"))?,
+                t.parse().map_err(|e| format!("bad --inject-lane step `{t}`: {e}"))?,
+            ))
+        }
+        None => None,
+    };
+    let mc = MonteCarloConfig {
+        samples,
+        tolerance: pct / 100.0,
+        seed,
+        lanes: sweep.effective_lanes(),
+        inject,
+    };
+    let reports = monte_carlo_designs(designs, stimuli, config, &mc);
+    let mut failed = false;
+    let mut degraded = false;
+    for (d, report) in designs.iter().zip(&reports) {
+        match report {
+            Ok(report) => {
+                for diag in yield_diagnostics(&mc, report) {
+                    println!("{diag}");
+                }
+                degraded |= report.degraded > 0;
+                println!(
+                    "entity {}: yield {}/{} ({:.1}%) at \u{00b1}{pct}% tolerance, \
+                     {} degraded",
+                    d.entity,
+                    report.passed,
+                    report.samples,
+                    100.0 * report.yield_fraction(),
+                    report.degraded,
+                );
+                if report.traces.is_empty() {
+                    println!(
+                        "  (no `range` annotation matches a recorded trace; yield \
+                         counts fault-free completion only)"
+                    );
+                }
+                for ty in &report.traces {
+                    println!(
+                        "  {:<16} range [{}, {}]: {} passed, {} failed",
+                        ty.name, ty.lo, ty.hi, ty.passed, ty.failed
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("error: entity {}: {e}", d.entity);
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        Err("one or more architectures failed Monte Carlo simulation".into())
+    } else if degraded {
         Ok(EXIT_DEGRADED)
     } else {
         Ok(0)

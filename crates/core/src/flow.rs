@@ -13,7 +13,8 @@ use vase_diag::{Code, Diagnostic};
 use vase_estimate::{Estimator, PerformanceConstraints};
 use vase_frontend::{analyze, parse_design_file, FrontendError};
 use vase_sim::{
-    simulate_netlist, FaultKind, SimConfig, SimError, SimResult, Stimulus, SweepConfig,
+    monte_carlo_netlist, simulate_netlist, CompiledNetlist, FaultKind, MonteCarloConfig,
+    SimConfig, SimError, SimResult, Stimulus, SweepConfig, YieldReport,
 };
 use vase_vhif::{PassManager, PassStats, VhifDesign};
 
@@ -77,6 +78,25 @@ pub fn derive_constraints(
     constraints
 }
 
+/// Extract every `'range lo to hi` annotation of an analyzed
+/// architecture as `name -> (lo, hi)` — the acceptance envelope that
+/// Monte Carlo yield analysis scores traces against. Degenerate ranges
+/// (`lo > hi`, already flagged as `A202` by the linter) are skipped.
+pub fn value_ranges(
+    arch: &vase_frontend::sema::AnalyzedArchitecture,
+) -> BTreeMap<String, (f64, f64)> {
+    let mut ranges = BTreeMap::new();
+    for sym in arch.symbols.iter() {
+        let set = vase_frontend::AnnotationSet::new(&sym.annotations);
+        if let Some((lo, hi)) = set.value_range() {
+            if lo <= hi {
+                ranges.insert(sym.name.clone(), (lo, hi));
+            }
+        }
+    }
+    ranges
+}
+
 /// Everything produced for one architecture by the full flow.
 #[derive(Debug, Clone)]
 pub struct SynthesizedDesign {
@@ -93,6 +113,10 @@ pub struct SynthesizedDesign {
     pub opt_stats: Vec<PassStats>,
     /// The mapped netlist with estimate and search statistics.
     pub synthesis: SynthesisResult,
+    /// Declared `'range` envelopes (`name -> (lo, hi)`) harvested from
+    /// the specification — the pass/fail criteria of tolerance
+    /// analysis.
+    pub value_ranges: BTreeMap<String, (f64, f64)>,
 }
 
 /// An error from any stage of the flow.
@@ -218,6 +242,8 @@ pub fn synthesize_source(
         };
         let estimator = Estimator::new(constraints);
         let synthesis = synthesize(&arch.vhif, &estimator, &options.mapper)?;
+        let ranges =
+            analyzed.architecture_of(&arch.entity).map(value_ranges).unwrap_or_default();
         out.push(SynthesizedDesign {
             entity: arch.entity,
             vass_stats: arch.vass_stats,
@@ -225,6 +251,7 @@ pub fn synthesize_source(
             dae_alternatives: arch.dae_alternatives,
             opt_stats,
             synthesis,
+            value_ranges: ranges,
         });
     }
     Ok(out)
@@ -544,6 +571,70 @@ pub fn simulate_designs_reported(
     simulated.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Monte Carlo tolerance/yield analysis of every synthesized design:
+/// each design's netlist is simulated `mc.samples` times through lane
+/// batches with every gain-setting component perturbed by the
+/// configured tolerance, and each run is scored against the design's
+/// own `'range` annotations ([`SynthesizedDesign::value_ranges`]).
+/// One [`YieldReport`] per design, in design order.
+///
+/// # Errors
+///
+/// A per-design [`SimError`] when the netlist fails to compile against
+/// the stimuli; a panicking sample yields [`SimError::Panicked`] for
+/// its design without aborting the rest of the batch.
+pub fn monte_carlo_designs(
+    designs: &[SynthesizedDesign],
+    stimuli: &BTreeMap<String, Stimulus>,
+    config: &SimConfig,
+    mc: &MonteCarloConfig,
+) -> Vec<Result<YieldReport, SimError>> {
+    designs
+        .iter()
+        .map(|d| {
+            catch_unwind(AssertUnwindSafe(|| {
+                let plan = CompiledNetlist::new(
+                    &d.synthesis.netlist,
+                    stimuli,
+                    &d.synthesis.control_bindings,
+                    config,
+                )?;
+                Ok(monte_carlo_netlist(&plan, &d.value_ranges, mc))
+            }))
+            .unwrap_or_else(|payload| {
+                Err(SimError::Panicked { message: panic_message(payload) })
+            })
+        })
+        .collect()
+}
+
+/// Render a Monte Carlo yield outcome as diagnostics: an `S404`
+/// warning when any lane retired early with a fault (degraded
+/// samples), and an `S403` note when a fault was injected on purpose.
+pub fn yield_diagnostics(mc: &MonteCarloConfig, report: &YieldReport) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if mc.inject.is_some() {
+        diags.push(Diagnostic::new(
+            Code::S403,
+            "deterministic lane-fault injection is active; yield counts an \
+             intentionally poisoned sample"
+                .to_owned(),
+        ));
+    }
+    if report.degraded > 0 {
+        diags.push(Diagnostic::new(
+            Code::S404,
+            format!(
+                "{} of {} Monte Carlo sample(s) degraded to partial traces \
+                 (unrecoverable numerical fault in their lane); the remaining \
+                 lanes completed and were scored normally",
+                report.degraded, report.samples
+            ),
+        ));
+    }
+    diags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -670,6 +761,41 @@ mod tests {
             .expect("parallel batch");
         assert_eq!(seq.len(), designs.len());
         assert_eq!(seq, par, "worker count must not change any trace bit");
+    }
+
+    #[test]
+    fn monte_carlo_designs_score_against_annotated_ranges() {
+        let designs = synthesize_source(benchmarks::RECEIVER.source, &FlowOptions::default())
+            .expect("receiver synthesizes");
+        assert!(
+            !designs[0].value_ranges.is_empty(),
+            "the receiver annotates value ranges; synthesis must carry them"
+        );
+        let mut stimuli = BTreeMap::new();
+        stimuli.insert("line".to_string(), Stimulus::sine(1.0, 1_000.0));
+        stimuli.insert("local".to_string(), Stimulus::sine(0.2, 1_000.0));
+        let config = SimConfig::new(1e-5, 1e-3);
+        let mc = MonteCarloConfig {
+            samples: 16,
+            tolerance: 0.02,
+            ..MonteCarloConfig::default()
+        };
+        let reports = monte_carlo_designs(&designs, &stimuli, &config, &mc);
+        assert_eq!(reports.len(), 1);
+        let report = reports[0].as_ref().expect("yield report");
+        assert_eq!(report.samples, 16);
+        assert_eq!(report.degraded, 0);
+        assert!(yield_diagnostics(&mc, report).is_empty());
+
+        // Poisoning one sample degrades exactly that lane and surfaces
+        // as the S404 warning — the batch itself still completes.
+        let poisoned = MonteCarloConfig { inject: Some((3, 10)), ..mc };
+        let reports = monte_carlo_designs(&designs, &stimuli, &config, &poisoned);
+        let report = reports[0].as_ref().expect("yield report");
+        assert_eq!(report.degraded, 1);
+        let diags = yield_diagnostics(&poisoned, report);
+        assert!(diags.iter().any(|d| d.code == Code::S404));
+        assert!(diags.iter().any(|d| d.code == Code::S403));
     }
 
     #[test]

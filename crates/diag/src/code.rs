@@ -59,6 +59,7 @@ pub enum Code {
     S401,
     S402,
     S403,
+    S404,
 }
 
 /// One row of the code registry.
@@ -313,6 +314,14 @@ pub const REGISTRY: &[CodeInfo] = &[
                       this run (test/diagnostic mode); traces do not reflect the \
                       unperturbed design",
     },
+    CodeInfo {
+        code: Code::S404,
+        name: "sim-lane-degraded",
+        severity: Severity::Warning,
+        description: "one or more lanes of a batched simulation retired early with an \
+                      unrecoverable numerical fault; the remaining lanes completed \
+                      normally and the degraded lanes carry partial traces",
+    },
 ];
 
 impl Code {
@@ -353,6 +362,7 @@ impl Code {
             Code::S401 => "S401",
             Code::S402 => "S402",
             Code::S403 => "S403",
+            Code::S404 => "S404",
         }
     }
 

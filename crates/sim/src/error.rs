@@ -58,7 +58,11 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(SimError::MissingStimulus { name: "line".into() }.to_string().contains("line"));
+        assert!(SimError::MissingStimulus {
+            name: "line".into()
+        }
+        .to_string()
+        .contains("line"));
         assert!(SimError::AlgebraicLoop.to_string().contains("loop"));
     }
 }

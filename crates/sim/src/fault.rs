@@ -95,13 +95,23 @@ pub struct FaultInjection {
 impl FaultInjection {
     /// Transient NaN injection: recoverable by the step-halving retry.
     pub fn transient_nan(seed: u64, rate: f64) -> Self {
-        FaultInjection { seed, rate, value: f64::NAN, persistent: false }
+        FaultInjection {
+            seed,
+            rate,
+            value: f64::NAN,
+            persistent: false,
+        }
     }
 
     /// Persistent NaN injection: forces a graceful abort with a
     /// partial trace once a step fires.
     pub fn persistent_nan(seed: u64, rate: f64) -> Self {
-        FaultInjection { seed, rate, value: f64::NAN, persistent: true }
+        FaultInjection {
+            seed,
+            rate,
+            value: f64::NAN,
+            persistent: true,
+        }
     }
 }
 
@@ -164,7 +174,12 @@ mod tests {
 
     #[test]
     fn fault_display_names_step_and_kind() {
-        let f = SimFault { step: 12, time: 1.2e-4, kind: FaultKind::NonFinite, retries: 5 };
+        let f = SimFault {
+            step: 12,
+            time: 1.2e-4,
+            kind: FaultKind::NonFinite,
+            retries: 5,
+        };
         let s = f.to_string();
         assert!(s.contains("non-finite"), "{s}");
         assert!(s.contains("step 12"), "{s}");

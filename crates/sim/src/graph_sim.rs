@@ -52,7 +52,11 @@ impl SimConfig {
     /// `n` samples over `t_end` seconds, with default fault handling
     /// (divergence limit `1e12`, up to 5 step halvings, no injection).
     pub fn new(dt: f64, t_end: f64) -> Self {
-        SimConfig { dt, t_end, ..SimConfig::default() }
+        SimConfig {
+            dt,
+            t_end,
+            ..SimConfig::default()
+        }
     }
 }
 
@@ -121,7 +125,10 @@ mod tests {
     fn first_order_decay_matches_analytic() {
         // dx/dt = -x, x(0)=1 → x(t) = e^{-t}.
         let mut g = SignalFlowGraph::new("ode");
-        let integ = g.add(BlockKind::Integrate { gain: 1.0, initial: 1.0 });
+        let integ = g.add(BlockKind::Integrate {
+            gain: 1.0,
+            initial: 1.0,
+        });
         let neg = g.add(BlockKind::Scale { gain: -1.0 });
         let y = g.add(BlockKind::Output { name: "x".into() });
         g.connect(integ, neg, 0).expect("wire");
@@ -129,8 +136,8 @@ mod tests {
         g.connect(integ, y, 0).expect("wire");
         let mut d = VhifDesign::new("t");
         d.graphs.push(g);
-        let r = simulate_design(&d, &BTreeMap::new(), &SimConfig::new(1e-3, 1.0))
-            .expect("simulates");
+        let r =
+            simulate_design(&d, &BTreeMap::new(), &SimConfig::new(1e-3, 1.0)).expect("simulates");
         let x = r.trace("x").expect("trace");
         let expected = (-1.0_f64).exp();
         assert!(
@@ -145,8 +152,14 @@ mod tests {
         // x'' = -x via two integrators: RK4 should keep amplitude ~1
         // over a few periods.
         let mut g = SignalFlowGraph::new("osc");
-        let i1 = g.add(BlockKind::Integrate { gain: 1.0, initial: 1.0 }); // x
-        let i2 = g.add(BlockKind::Integrate { gain: 1.0, initial: 0.0 }); // v? order below
+        let i1 = g.add(BlockKind::Integrate {
+            gain: 1.0,
+            initial: 1.0,
+        }); // x
+        let i2 = g.add(BlockKind::Integrate {
+            gain: 1.0,
+            initial: 0.0,
+        }); // v? order below
         let neg = g.add(BlockKind::Scale { gain: -1.0 });
         let out = g.add(BlockKind::Output { name: "x".into() });
         // v' = -x ; x' = v
@@ -156,8 +169,8 @@ mod tests {
         g.connect(i1, out, 0).expect("x -> out");
         let mut d = VhifDesign::new("t");
         d.graphs.push(g);
-        let r = simulate_design(&d, &BTreeMap::new(), &SimConfig::new(1e-3, 12.6))
-            .expect("simulates");
+        let r =
+            simulate_design(&d, &BTreeMap::new(), &SimConfig::new(1e-3, 12.6)).expect("simulates");
         let (lo, hi) = r.range("x").expect("range");
         assert!((hi - 1.0).abs() < 1e-3, "hi {hi}");
         assert!((lo + 1.0).abs() < 1e-3, "lo {lo}");
@@ -181,14 +194,19 @@ mod tests {
         .expect("simulates");
         let (lo, hi) = r.range("y").expect("range");
         assert!(hi <= 1.5 + 1e-9 && lo >= -1.5 - 1e-9);
-        assert!(r.fraction_at_level("y", 1.5, 1e-6) > 0.1, "clipping plateau expected");
+        assert!(
+            r.fraction_at_level("y", 1.5, 1e-6) > 0.1,
+            "clipping plateau expected"
+        );
     }
 
     #[test]
     fn fsm_event_sets_control_signal() {
         // A switch passes the input only after `line` rises above 0.5.
         let mut g = SignalFlowGraph::new("sw");
-        let line = g.add(BlockKind::Input { name: "line".into() });
+        let line = g.add(BlockKind::Input {
+            name: "line".into(),
+        });
         let ctl = g.add(BlockKind::ControlInput { name: "c1".into() });
         let sw = g.add(BlockKind::Switch);
         let y = g.add(BlockKind::Output { name: "y".into() });
@@ -199,11 +217,16 @@ mod tests {
         let mut fsm = Fsm::new("ctl");
         let start = fsm.start();
         let on = fsm.add_state("on");
-        fsm.state_mut(on).ops.push(DataOp::new("c1", DpExpr::Bit(true)));
+        fsm.state_mut(on)
+            .ops
+            .push(DataOp::new("c1", DpExpr::Bit(true)));
         fsm.add_transition(
             start,
             on,
-            Trigger::AnyEvent(vec![Event::Above { quantity: "line".into(), threshold: 0.5 }]),
+            Trigger::AnyEvent(vec![Event::Above {
+                quantity: "line".into(),
+                threshold: 0.5,
+            }]),
         );
         fsm.add_transition(on, start, Trigger::Always);
 
@@ -212,13 +235,23 @@ mod tests {
         d.fsms.push(fsm);
         let r = simulate_design(
             &d,
-            &stim(&[("line", Stimulus::Step { before: 0.0, after: 1.0, at: 5e-3 })]),
+            &stim(&[(
+                "line",
+                Stimulus::Step {
+                    before: 0.0,
+                    after: 1.0,
+                    at: 5e-3,
+                },
+            )]),
             &SimConfig::new(1e-4, 1e-2),
         )
         .expect("simulates");
         let y = r.trace("y").expect("trace");
         assert!((y[10] - 0.0).abs() < 1e-9, "switch open before event");
-        assert!((y.last().unwrap() - 1.0).abs() < 1e-9, "switch closed after event");
+        assert!(
+            (y.last().unwrap() - 1.0).abs() < 1e-9,
+            "switch closed after event"
+        );
         let c1 = r.trace("c1").expect("c1 recorded");
         assert_eq!(*c1.last().unwrap(), 1.0);
     }
@@ -231,10 +264,17 @@ mod tests {
         let start = fsm.start();
         let s_set = fsm.add_state("set");
         let s_clr = fsm.add_state("clear");
-        let ev = Event::Above { quantity: "line".into(), threshold: 0.5 };
+        let ev = Event::Above {
+            quantity: "line".into(),
+            threshold: 0.5,
+        };
         fsm.add_transition(start, s_set, Trigger::AnyEvent(vec![ev.clone()]));
-        fsm.state_mut(s_set).ops.push(DataOp::new("c1", DpExpr::Bit(true)));
-        fsm.state_mut(s_clr).ops.push(DataOp::new("c1", DpExpr::Bit(false)));
+        fsm.state_mut(s_set)
+            .ops
+            .push(DataOp::new("c1", DpExpr::Bit(true)));
+        fsm.state_mut(s_clr)
+            .ops
+            .push(DataOp::new("c1", DpExpr::Bit(false)));
         // guard split after resume
         let g_up = Trigger::Guard(DpExpr::EventLevel(ev.clone()));
         let g_dn = Trigger::Guard(DpExpr::Not(Box::new(DpExpr::EventLevel(ev))));
@@ -244,12 +284,19 @@ mod tests {
         let chooser = fsm2.add_state("chooser");
         let set2 = fsm2.add_state("set");
         let clr2 = fsm2.add_state("clear");
-        fsm2.state_mut(set2).ops.push(DataOp::new("c1", DpExpr::Bit(true)));
-        fsm2.state_mut(clr2).ops.push(DataOp::new("c1", DpExpr::Bit(false)));
+        fsm2.state_mut(set2)
+            .ops
+            .push(DataOp::new("c1", DpExpr::Bit(true)));
+        fsm2.state_mut(clr2)
+            .ops
+            .push(DataOp::new("c1", DpExpr::Bit(false)));
         fsm2.add_transition(
             start2,
             chooser,
-            Trigger::AnyEvent(vec![Event::Above { quantity: "line".into(), threshold: 0.5 }]),
+            Trigger::AnyEvent(vec![Event::Above {
+                quantity: "line".into(),
+                threshold: 0.5,
+            }]),
         );
         fsm2.add_transition(chooser, set2, g_up);
         fsm2.add_transition(chooser, clr2, g_dn);
@@ -258,7 +305,9 @@ mod tests {
         drop(fsm);
 
         let mut g = SignalFlowGraph::new("g");
-        let _ = g.add(BlockKind::Input { name: "line".into() });
+        let _ = g.add(BlockKind::Input {
+            name: "line".into(),
+        });
         let mut d = VhifDesign::new("t");
         d.graphs.push(g);
         d.fsms.push(fsm2);
@@ -278,7 +327,9 @@ mod tests {
     #[test]
     fn missing_stimulus_reported() {
         let mut g = SignalFlowGraph::new("g");
-        let _ = g.add(BlockKind::Input { name: "nope".into() });
+        let _ = g.add(BlockKind::Input {
+            name: "nope".into(),
+        });
         let mut d = VhifDesign::new("t");
         d.graphs.push(g);
         let err = simulate_design(&d, &BTreeMap::new(), &SimConfig::default()).unwrap_err();
@@ -288,8 +339,7 @@ mod tests {
     #[test]
     fn bad_config_rejected() {
         let d = VhifDesign::new("t");
-        let err =
-            simulate_design(&d, &BTreeMap::new(), &SimConfig::new(0.0, 1.0)).unwrap_err();
+        let err = simulate_design(&d, &BTreeMap::new(), &SimConfig::new(0.0, 1.0)).unwrap_err();
         assert!(matches!(err, SimError::BadConfig { .. }));
     }
 
@@ -308,15 +358,33 @@ mod tests {
         let r = simulate_design(
             &d,
             &stim(&[
-                ("x", Stimulus::Ramp { from: 0.0, to: 1.0, duration: 1e-2 }),
-                ("ctl", Stimulus::Step { before: 1.0, after: 0.0, at: 5e-3 }),
+                (
+                    "x",
+                    Stimulus::Ramp {
+                        from: 0.0,
+                        to: 1.0,
+                        duration: 1e-2,
+                    },
+                ),
+                (
+                    "ctl",
+                    Stimulus::Step {
+                        before: 1.0,
+                        after: 0.0,
+                        at: 5e-3,
+                    },
+                ),
             ]),
             &SimConfig::new(1e-4, 1e-2),
         )
         .expect("simulates");
         let y = r.trace("y").expect("trace");
         // Held at the value when ctl dropped (~0.5), not the final 1.0.
-        assert!((y.last().unwrap() - 0.5).abs() < 0.02, "held {}", y.last().unwrap());
+        assert!(
+            (y.last().unwrap() - 0.5).abs() < 0.02,
+            "held {}",
+            y.last().unwrap()
+        );
     }
 
     #[test]
@@ -332,8 +400,7 @@ mod tests {
         let mut d = VhifDesign::new("t");
         d.graphs.push(g);
         let inputs = stim(&[("x", Stimulus::Constant { level: 1.0 })]);
-        let plan =
-            CompiledSim::new(&d, &inputs, &SimConfig::new(1e-4, 1e-3)).expect("compiles");
+        let plan = CompiledSim::new(&d, &inputs, &SimConfig::new(1e-4, 1e-3)).expect("compiles");
 
         let a = plan.run();
         let b = plan.run();

@@ -47,10 +47,14 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod batch;
 pub mod error;
 pub mod fault;
 pub mod graph_sim;
+pub mod math;
+pub mod monte;
 pub mod netlist_sim;
 pub mod plan;
 pub mod plot;
@@ -58,11 +62,13 @@ pub mod response;
 pub mod stimulus;
 pub mod trace;
 
+pub use batch::{AdaptiveConfig, AdaptiveStats, BatchLane, BatchSession, MAX_LANES};
 pub use error::SimError;
 pub use fault::{FaultInjection, FaultKind, SimFault};
 pub use graph_sim::{simulate_design, SimConfig};
+pub use monte::{monte_carlo_netlist, MonteCarloConfig, TraceYield, YieldReport};
+pub use netlist_sim::{simulate_netlist, BatchNetlistSession, CompiledNetlist, AMP_SATURATION};
 pub use plan::{CompiledSim, SimSession};
-pub use netlist_sim::{simulate_netlist, CompiledNetlist, AMP_SATURATION};
 pub use plot::render_ascii;
 pub use response::{
     frequency_response, frequency_response_with, log_sweep, ResponsePoint, SweepConfig,

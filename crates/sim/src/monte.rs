@@ -1,0 +1,294 @@
+//! Monte Carlo tolerance / yield analysis over lane-batched netlist
+//! simulation.
+//!
+//! The paper sizes components against the MOSIS process corners; this
+//! module asks the statistical version of that question: with every
+//! gain-setting component (resistor-ratio gains, integrator RC weights,
+//! reference levels) perturbed by a uniform manufacturing tolerance,
+//! what fraction of produced circuits still keeps every annotated
+//! quantity inside its declared range?
+//!
+//! Sampling is deterministic and lane-packing independent: all
+//! perturbation factors are drawn up front, in sample order, from one
+//! [`SplitMix64`](crate::fault) stream seeded by
+//! [`MonteCarloConfig::seed`] — changing the batch width reorders only
+//! the *execution*, never the factors, so yields are reproducible
+//! across lane configurations.
+
+use std::collections::BTreeMap;
+
+use crate::batch::MAX_LANES;
+use crate::fault::SplitMix64;
+use crate::netlist_sim::CompiledNetlist;
+
+/// Configuration of one Monte Carlo yield run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloConfig {
+    /// Number of perturbed circuit samples to simulate.
+    pub samples: usize,
+    /// Fractional component tolerance: each perturbable parameter is
+    /// scaled by a factor drawn uniformly from
+    /// `[1 - tolerance, 1 + tolerance]`. Must be in `[0, 1)` so gains
+    /// keep their sign.
+    pub tolerance: f64,
+    /// Seed of the perturbation stream.
+    pub seed: u64,
+    /// Batch width (clamped to `1..=`[`MAX_LANES`]).
+    pub lanes: usize,
+    /// Demo/test hook: poison `(sample, step)` with a NaN so that lane
+    /// degrades to a partial trace (the batch keeps going).
+    pub inject: Option<(usize, usize)>,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            samples: 256,
+            tolerance: 0.05,
+            seed: 0x5EED,
+            lanes: MAX_LANES,
+            inject: None,
+        }
+    }
+}
+
+/// Yield of one range-annotated trace across the sample population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceYield {
+    /// Trace name.
+    pub name: String,
+    /// Declared range lower bound.
+    pub lo: f64,
+    /// Declared range upper bound.
+    pub hi: f64,
+    /// Samples whose trace stayed inside the range (non-degraded only).
+    pub passed: usize,
+    /// Samples whose trace left the range.
+    pub failed: usize,
+}
+
+/// Aggregate result of [`monte_carlo_netlist`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct YieldReport {
+    /// Total simulated samples.
+    pub samples: usize,
+    /// Samples that completed and kept every checked trace in range.
+    pub passed: usize,
+    /// Samples retired early with a [`crate::SimFault`] (partial
+    /// trace); these count against yield but not against any one trace.
+    pub degraded: usize,
+    /// Per-trace breakdown, for every declared range that matches a
+    /// recorded trace.
+    pub traces: Vec<TraceYield>,
+}
+
+impl YieldReport {
+    /// Overall yield in `[0, 1]` (1.0 for an empty run).
+    pub fn yield_fraction(&self) -> f64 {
+        if self.samples == 0 {
+            1.0
+        } else {
+            self.passed as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Run `cfg.samples` tolerance-perturbed transients of `plan` through
+/// lane batches and score each against the declared `ranges`
+/// (`name -> (lo, hi)`, e.g. from `'range lo to hi` annotations).
+///
+/// A sample *passes* when it completes without a fault and every
+/// checked trace stays within its range (with a small absolute slack
+/// proportional to the bound magnitudes, so exact-rail designs are not
+/// failed on representation noise).
+///
+/// # Panics
+///
+/// Panics when `cfg.tolerance` is not in `[0, 1)`.
+pub fn monte_carlo_netlist(
+    plan: &CompiledNetlist<'_>,
+    ranges: &BTreeMap<String, (f64, f64)>,
+    cfg: &MonteCarloConfig,
+) -> YieldReport {
+    assert!(
+        cfg.tolerance.is_finite() && (0.0..1.0).contains(&cfg.tolerance),
+        "tolerance must be a fraction in [0, 1), got {}",
+        cfg.tolerance
+    );
+    let np = plan.param_count();
+    // All factors up front, in sample order: lane packing cannot change
+    // which perturbation a sample receives.
+    let mut rng = SplitMix64::new(cfg.seed);
+    let factors: Vec<Vec<f64>> = (0..cfg.samples)
+        .map(|_| {
+            (0..np)
+                .map(|_| 1.0 + cfg.tolerance * (2.0 * rng.next_f64() - 1.0))
+                .collect()
+        })
+        .collect();
+
+    let lanes = cfg.lanes.clamp(1, MAX_LANES);
+    let mut report = YieldReport {
+        samples: cfg.samples,
+        ..YieldReport::default()
+    };
+    // (name, lo, hi, passed, failed), filled lazily from the first
+    // completed sample so only recorded traces are scored.
+    let mut scored: Option<Vec<TraceYield>> = None;
+
+    let mut base = 0;
+    while base < cfg.samples {
+        let chunk = (cfg.samples - base).min(lanes);
+        let mut session = plan.batch_session(&factors[base..base + chunk]);
+        if let Some((sample, step)) = cfg.inject {
+            if (base..base + chunk).contains(&sample) {
+                session.inject_lane_fault(sample - base, step);
+            }
+        }
+        session.run();
+        for result in session.into_results() {
+            if result.fault.is_some() {
+                report.degraded += 1;
+                continue;
+            }
+            let scored = scored.get_or_insert_with(|| {
+                ranges
+                    .iter()
+                    .filter(|(name, _)| result.traces.contains_key(*name))
+                    .map(|(name, &(lo, hi))| TraceYield {
+                        name: name.clone(),
+                        lo,
+                        hi,
+                        passed: 0,
+                        failed: 0,
+                    })
+                    .collect()
+            });
+            let mut sample_ok = true;
+            for ty in scored.iter_mut() {
+                let eps = 1e-9 * (1.0 + ty.lo.abs().max(ty.hi.abs()));
+                let samples = result
+                    .traces
+                    .get(&ty.name)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
+                let ok = samples
+                    .iter()
+                    .all(|&v| v >= ty.lo - eps && v <= ty.hi + eps);
+                if ok {
+                    ty.passed += 1;
+                } else {
+                    ty.failed += 1;
+                    sample_ok = false;
+                }
+            }
+            if sample_ok {
+                report.passed += 1;
+            }
+        }
+        base += chunk;
+    }
+
+    report.traces = scored.unwrap_or_default();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_sim::SimConfig;
+    use crate::stimulus::Stimulus;
+    use vase_library::{ComponentKind, Netlist, PlacedComponent, SourceRef};
+
+    fn amp_netlist(gain: f64) -> Netlist {
+        let mut n = Netlist::new();
+        n.push(PlacedComponent {
+            kind: ComponentKind::InvertingAmp { gain },
+            inputs: vec![SourceRef::External("x".into())],
+            implements: vec![],
+            label: "a".into(),
+        });
+        n.outputs.push(("y".into(), SourceRef::Component(0)));
+        n
+    }
+
+    fn stims() -> BTreeMap<String, Stimulus> {
+        [("x".to_string(), Stimulus::sine(1.0, 100.0))]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn zero_tolerance_has_full_yield_inside_range() {
+        let n = amp_netlist(-1.5);
+        let plan =
+            CompiledNetlist::new(&n, &stims(), &[], &SimConfig::new(1e-4, 0.02)).expect("compiles");
+        let ranges = [("y".to_string(), (-2.0, 2.0))].into_iter().collect();
+        let cfg = MonteCarloConfig {
+            samples: 16,
+            tolerance: 0.0,
+            ..MonteCarloConfig::default()
+        };
+        let report = monte_carlo_netlist(&plan, &ranges, &cfg);
+        assert_eq!(report.passed, 16);
+        assert_eq!(report.degraded, 0);
+        assert!((report.yield_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_failures_show_up_in_trace_yield() {
+        // Gain -1.5 into a ±1.5 range: any upward gain perturbation
+        // pushes the peak out of range, so yield must drop below 1.
+        let n = amp_netlist(-1.5);
+        let plan =
+            CompiledNetlist::new(&n, &stims(), &[], &SimConfig::new(1e-4, 0.02)).expect("compiles");
+        let ranges = [("y".to_string(), (-1.5, 1.5))].into_iter().collect();
+        let cfg = MonteCarloConfig {
+            samples: 64,
+            tolerance: 0.1,
+            ..MonteCarloConfig::default()
+        };
+        let report = monte_carlo_netlist(&plan, &ranges, &cfg);
+        assert!(report.passed < 64, "some gain-up samples must fail");
+        assert!(report.passed > 0, "some gain-down samples must pass");
+        let ty = &report.traces[0];
+        assert_eq!(ty.name, "y");
+        assert_eq!(ty.passed + ty.failed, 64);
+    }
+
+    #[test]
+    fn yield_is_independent_of_lane_packing() {
+        let n = amp_netlist(-1.5);
+        let plan =
+            CompiledNetlist::new(&n, &stims(), &[], &SimConfig::new(1e-4, 0.02)).expect("compiles");
+        let ranges: BTreeMap<String, (f64, f64)> =
+            [("y".to_string(), (-1.5, 1.5))].into_iter().collect();
+        let base = MonteCarloConfig {
+            samples: 33,
+            tolerance: 0.1,
+            ..MonteCarloConfig::default()
+        };
+        let wide = monte_carlo_netlist(&plan, &ranges, &MonteCarloConfig { lanes: 8, ..base });
+        let narrow = monte_carlo_netlist(&plan, &ranges, &MonteCarloConfig { lanes: 1, ..base });
+        let odd = monte_carlo_netlist(&plan, &ranges, &MonteCarloConfig { lanes: 3, ..base });
+        assert_eq!(wide, narrow);
+        assert_eq!(wide, odd);
+    }
+
+    #[test]
+    fn injected_lane_degrades_without_failing_the_batch() {
+        let n = amp_netlist(-1.0);
+        let plan =
+            CompiledNetlist::new(&n, &stims(), &[], &SimConfig::new(1e-4, 0.02)).expect("compiles");
+        let ranges = [("y".to_string(), (-2.0, 2.0))].into_iter().collect();
+        let cfg = MonteCarloConfig {
+            samples: 8,
+            tolerance: 0.01,
+            inject: Some((3, 50)),
+            ..MonteCarloConfig::default()
+        };
+        let report = monte_carlo_netlist(&plan, &ranges, &cfg);
+        assert_eq!(report.degraded, 1, "exactly the poisoned sample degrades");
+        assert_eq!(report.passed, 7, "its batchmates complete and pass");
+    }
+}

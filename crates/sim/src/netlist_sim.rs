@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 
 use vase_library::{ComponentKind, Netlist, SourceRef};
 
+use crate::batch::MAX_LANES;
 use crate::error::SimError;
 use crate::fault::{FaultKind, SimFault};
 use crate::graph_sim::SimConfig;
@@ -65,9 +66,21 @@ enum Src {
 
 /// End-of-step discrete-state updates, pre-resolved.
 enum DiscreteUpdate {
-    Latch { comp: u32, data: Src, clock: Src },
-    Hysteresis { comp: u32, input: Src, low: f64, high: f64 },
-    PrevIn { comp: u32, input: Src },
+    Latch {
+        comp: u32,
+        data: Src,
+        clock: Src,
+    },
+    Hysteresis {
+        comp: u32,
+        input: Src,
+        low: f64,
+        high: f64,
+    },
+    PrevIn {
+        comp: u32,
+        input: Src,
+    },
 }
 
 /// A compiled netlist-simulation plan: cached evaluation order, dense
@@ -94,8 +107,34 @@ pub struct CompiledNetlist<'n> {
     stims: Vec<Stimulus>,
     /// Trace name and resolved source, in recording order.
     traces: Vec<(String, Src)>,
+    /// Perturbable gain-like parameters, flattened: component `i`'s
+    /// parameters are `params[param_offset[i] .. param_offset[i + 1]]`
+    /// (see [`component_params`]). Threshold-type parameters
+    /// (comparator/detector levels, hysteresis bands, output-stage
+    /// limits) are deliberately absent: in the target process they are
+    /// set by ratioed references rather than absolute RC products, so
+    /// tolerance analysis treats them as exact.
+    param_offset: Vec<u32>,
+    params: Vec<f64>,
     dt: f64,
     steps: usize,
+}
+
+/// The perturbable gain-like parameters of one component kind, in the
+/// order the Monte Carlo param table flattens them.
+fn component_params(kind: &ComponentKind) -> Vec<f64> {
+    match kind {
+        ComponentKind::InvertingAmp { gain }
+        | ComponentKind::NonInvertingAmp { gain }
+        | ComponentKind::DifferenceAmp { gain }
+        | ComponentKind::Differentiator { gain } => vec![*gain],
+        ComponentKind::AmplifierChain { stage_gains } => stage_gains.clone(),
+        ComponentKind::SummingAmp { weights } => weights.clone(),
+        ComponentKind::SwitchedGainAmp { gains } => gains.clone(),
+        ComponentKind::Integrator { weights, .. } => weights.clone(),
+        ComponentKind::VoltageRef { level } | ComponentKind::Limiter { level } => vec![*level],
+        _ => Vec::new(),
+    }
 }
 
 impl<'n> CompiledNetlist<'n> {
@@ -113,7 +152,9 @@ impl<'n> CompiledNetlist<'n> {
         config: &SimConfig,
     ) -> Result<Self, SimError> {
         if config.dt <= 0.0 || config.t_end <= 0.0 {
-            return Err(SimError::BadConfig { what: "dt and t_end must be positive".into() });
+            return Err(SimError::BadConfig {
+                what: "dt and t_end must be positive".into(),
+            });
         }
         let stim_names: Vec<&String> = stimuli.keys().collect();
         let stims: Vec<Stimulus> = stimuli.values().copied().collect();
@@ -148,7 +189,13 @@ impl<'n> CompiledNetlist<'n> {
                 input_src.push(resolve(input)?);
             }
             let src_at = |p: usize| -> Src {
-                c.inputs.get(p).map(&resolve).transpose().ok().flatten().unwrap_or(Src::Zero)
+                c.inputs
+                    .get(p)
+                    .map(&resolve)
+                    .transpose()
+                    .ok()
+                    .flatten()
+                    .unwrap_or(Src::Zero)
             };
             match &c.kind {
                 ComponentKind::Integrator { weights, initial } => {
@@ -179,7 +226,10 @@ impl<'n> CompiledNetlist<'n> {
                     });
                 }
                 ComponentKind::Differentiator { .. } => {
-                    discretes.push(DiscreteUpdate::PrevIn { comp: i as u32, input: src_at(0) });
+                    discretes.push(DiscreteUpdate::PrevIn {
+                        comp: i as u32,
+                        input: src_at(0),
+                    });
                 }
                 _ => {}
             }
@@ -190,8 +240,7 @@ impl<'n> CompiledNetlist<'n> {
 
         // Trace sources, resolved with the recording precedence of the
         // interpreter: netlist output, else binding, else stimulus.
-        let mut trace_names: Vec<String> =
-            netlist.outputs.iter().map(|(n, _)| n.clone()).collect();
+        let mut trace_names: Vec<String> = netlist.outputs.iter().map(|(n, _)| n.clone()).collect();
         trace_names.extend(bindings.iter().map(|(s, _)| s.clone()));
         trace_names.extend(stimuli.keys().cloned());
         trace_names.sort();
@@ -216,6 +265,14 @@ impl<'n> CompiledNetlist<'n> {
             })
             .collect();
 
+        let mut param_offset = Vec::with_capacity(n + 1);
+        let mut params = Vec::new();
+        for c in &netlist.components {
+            param_offset.push(params.len() as u32);
+            params.extend(component_params(&c.kind));
+        }
+        param_offset.push(params.len() as u32);
+
         Ok(CompiledNetlist {
             netlist,
             order: order.into_iter().map(|i| i as u32).collect(),
@@ -226,9 +283,36 @@ impl<'n> CompiledNetlist<'n> {
             integ_init,
             stims,
             traces,
+            param_offset,
+            params,
             dt: config.dt,
             steps: (config.t_end / config.dt).ceil() as usize,
         })
+    }
+
+    /// Number of perturbable gain-like parameters (the Monte Carlo
+    /// factor-vector length for [`CompiledNetlist::batch_session`]).
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The nominal values of the perturbable parameters.
+    pub fn param_values(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Start a lane-batched run; lane `l` scales every perturbable
+    /// parameter by `lane_factors[l]` (a factor of exactly `1.0`
+    /// reproduces the scalar [`run`](CompiledNetlist::run) bit for bit,
+    /// since `x * 1.0 == x` in IEEE 754).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane_factors` is empty or longer than
+    /// [`MAX_LANES`], or when a factor vector's length differs from
+    /// [`param_count`](CompiledNetlist::param_count).
+    pub fn batch_session<'p>(&'p self, lane_factors: &[Vec<f64>]) -> BatchNetlistSession<'p, 'n> {
+        BatchNetlistSession::new(self, lane_factors)
     }
 
     /// Number of time steps a run takes (`steps + 1` samples).
@@ -255,8 +339,11 @@ impl<'n> CompiledNetlist<'n> {
         let samples = self.steps + 1;
         let mut result = SimResult::default();
         result.time.reserve_exact(samples);
-        let mut trace_values: Vec<Vec<f64>> =
-            self.traces.iter().map(|_| Vec::with_capacity(samples)).collect();
+        let mut trace_values: Vec<Vec<f64>> = self
+            .traces
+            .iter()
+            .map(|_| Vec::with_capacity(samples))
+            .collect();
 
         for step in 0..=self.steps {
             let t = step as f64 * self.dt;
@@ -266,9 +353,18 @@ impl<'n> CompiledNetlist<'n> {
             // model or input. Mirror the behavioral engine's graceful
             // abort: keep the samples recorded so far as a partial
             // trace instead of propagating NaN.
-            if state.values.iter().chain(state.integ.iter()).any(|v| !v.is_finite()) {
-                result.fault =
-                    Some(SimFault { step, time: t, kind: FaultKind::NonFinite, retries: 0 });
+            if state
+                .values
+                .iter()
+                .chain(state.integ.iter())
+                .any(|v| !v.is_finite())
+            {
+                result.fault = Some(SimFault {
+                    step,
+                    time: t,
+                    kind: FaultKind::NonFinite,
+                    retries: 0,
+                });
                 break;
             }
             result.time.push(t);
@@ -296,7 +392,13 @@ impl<'n> CompiledNetlist<'n> {
     /// integrator states, apply discrete updates. Allocation-free.
     fn step(&self, t: f64, state: &mut RunState) {
         let dt = self.dt;
-        self.eval(t, &state.integ, &state.discrete, &state.prev_in, &mut state.values);
+        self.eval(
+            t,
+            &state.integ,
+            &state.discrete,
+            &state.prev_in,
+            &mut state.values,
+        );
 
         if !self.integrators.is_empty() {
             self.deriv(&state.values, t, &mut state.k1);
@@ -328,7 +430,12 @@ impl<'n> CompiledNetlist<'n> {
                         state.discrete[comp as usize] = self.src_value(data, t, &state.values);
                     }
                 }
-                DiscreteUpdate::Hysteresis { comp, input, low, high } => {
+                DiscreteUpdate::Hysteresis {
+                    comp,
+                    input,
+                    low,
+                    high,
+                } => {
                     let u = self.src_value(input, t, &state.values);
                     if u > high {
                         state.discrete[comp as usize] = 1.0;
@@ -347,7 +454,13 @@ impl<'n> CompiledNetlist<'n> {
     /// vector, into `state.stage_values`.
     fn eval_stage(&self, t: f64, state: &mut RunState) {
         // Split borrows: stage_values is written, the rest is read.
-        let RunState { discrete, prev_in, stage_values, stage_state, .. } = state;
+        let RunState {
+            discrete,
+            prev_in,
+            stage_values,
+            stage_state,
+            ..
+        } = state;
         self.eval(t, stage_state, discrete, prev_in, stage_values);
     }
 
@@ -359,7 +472,10 @@ impl<'n> CompiledNetlist<'n> {
                 .iter()
                 .enumerate()
                 .map(|(p, w)| {
-                    w * inputs.get(p).map(|&s| self.src_value(s, t, values)).unwrap_or(0.0)
+                    w * inputs
+                        .get(p)
+                        .map(|&s| self.src_value(s, t, values))
+                        .unwrap_or(0.0)
                 })
                 .sum();
         }
@@ -386,70 +502,79 @@ impl<'n> CompiledNetlist<'n> {
             let component = &self.netlist.components[i];
             let inputs = self.inputs(i);
             let input = |p: usize| -> f64 {
-                inputs.get(p).map(|&s| self.src_value(s, t, out)).unwrap_or(0.0)
+                inputs
+                    .get(p)
+                    .map(|&s| self.src_value(s, t, out))
+                    .unwrap_or(0.0)
             };
             let sat = |v: f64| v.clamp(-AMP_SATURATION, AMP_SATURATION);
-            out[i] = match &component.kind {
-                ComponentKind::InvertingAmp { gain }
-                | ComponentKind::NonInvertingAmp { gain } => sat(gain * input(0)),
-                ComponentKind::Follower => sat(input(0)),
-                ComponentKind::AmplifierChain { stage_gains } => {
-                    let mut v = input(0);
-                    for g in stage_gains {
-                        v = sat(g * v);
+            out[i] =
+                match &component.kind {
+                    ComponentKind::InvertingAmp { gain }
+                    | ComponentKind::NonInvertingAmp { gain } => sat(gain * input(0)),
+                    ComponentKind::Follower => sat(input(0)),
+                    ComponentKind::AmplifierChain { stage_gains } => {
+                        let mut v = input(0);
+                        for g in stage_gains {
+                            v = sat(g * v);
+                        }
+                        v
                     }
-                    v
-                }
-                ComponentKind::SummingAmp { weights } => {
-                    sat(weights.iter().enumerate().map(|(p, w)| w * input(p)).sum())
-                }
-                ComponentKind::DifferenceAmp { gain } => sat(gain * (input(0) - input(1))),
-                ComponentKind::SwitchedGainAmp { gains } => {
-                    let sel = input(1).round().clamp(0.0, gains.len() as f64 - 1.0) as usize;
-                    sat(gains[sel] * input(0))
-                }
-                ComponentKind::Integrator { .. } => sat(integ[i]),
-                ComponentKind::Differentiator { gain } => {
-                    sat(gain * (input(0) - prev_in[i]) / self.dt)
-                }
-                ComponentKind::LogAmp => sat((input(0).max(1e-12)).ln()),
-                ComponentKind::AntilogAmp => sat(input(0).clamp(-50.0, 50.0).exp()),
-                ComponentKind::Multiplier => sat(input(0) * input(1)),
-                ComponentKind::Divider => {
-                    let d = input(1);
-                    sat(input(0) / if d.abs() < 1e-6 { 1e-6_f64.copysign(d + 1e-30) } else { d })
-                }
-                ComponentKind::PrecisionRectifier => sat(input(0).abs()),
-                ComponentKind::Comparator { threshold } => f64::from(input(0) > *threshold),
-                ComponentKind::ZeroCrossDetector { .. }
-                | ComponentKind::SchmittTrigger { .. } => discrete[i],
-                ComponentKind::SampleHold | ComponentKind::MemoryCell => discrete[i],
-                ComponentKind::AnalogSwitch => {
-                    if input(1) > 0.5 {
-                        input(0)
-                    } else {
-                        0.0
+                    ComponentKind::SummingAmp { weights } => {
+                        sat(weights.iter().enumerate().map(|(p, w)| w * input(p)).sum())
                     }
-                }
-                ComponentKind::AnalogMux { inputs } => {
-                    let sel = input(*inputs).round().clamp(0.0, *inputs as f64 - 1.0) as usize;
-                    input(sel)
-                }
-                ComponentKind::Adc { bits } => {
-                    let lsb = 5.0 / f64::from(1u32 << (*bits).min(24));
-                    (input(0) / lsb).round() * lsb
-                }
-                ComponentKind::LogicGate => f64::from(input(0) <= 0.5), // inverter model
-                ComponentKind::VoltageRef { level } => *level,
-                ComponentKind::Limiter { level } => input(0).clamp(-level, *level),
-                ComponentKind::OutputStage { limit, .. } => {
-                    let v = sat(input(0));
-                    match limit {
-                        Some(l) => v.clamp(-l, *l),
-                        None => v,
+                    ComponentKind::DifferenceAmp { gain } => sat(gain * (input(0) - input(1))),
+                    ComponentKind::SwitchedGainAmp { gains } => {
+                        let sel = input(1).round().clamp(0.0, gains.len() as f64 - 1.0) as usize;
+                        sat(gains[sel] * input(0))
                     }
-                }
-            };
+                    ComponentKind::Integrator { .. } => sat(integ[i]),
+                    ComponentKind::Differentiator { gain } => {
+                        sat(gain * (input(0) - prev_in[i]) / self.dt)
+                    }
+                    ComponentKind::LogAmp => sat(crate::math::ln(input(0).max(1e-12))),
+                    ComponentKind::AntilogAmp => sat(crate::math::exp(input(0).clamp(-50.0, 50.0))),
+                    ComponentKind::Multiplier => sat(input(0) * input(1)),
+                    ComponentKind::Divider => {
+                        let d = input(1);
+                        sat(input(0)
+                            / if d.abs() < 1e-6 {
+                                1e-6_f64.copysign(d + 1e-30)
+                            } else {
+                                d
+                            })
+                    }
+                    ComponentKind::PrecisionRectifier => sat(input(0).abs()),
+                    ComponentKind::Comparator { threshold } => f64::from(input(0) > *threshold),
+                    ComponentKind::ZeroCrossDetector { .. }
+                    | ComponentKind::SchmittTrigger { .. } => discrete[i],
+                    ComponentKind::SampleHold | ComponentKind::MemoryCell => discrete[i],
+                    ComponentKind::AnalogSwitch => {
+                        if input(1) > 0.5 {
+                            input(0)
+                        } else {
+                            0.0
+                        }
+                    }
+                    ComponentKind::AnalogMux { inputs } => {
+                        let sel = input(*inputs).round().clamp(0.0, *inputs as f64 - 1.0) as usize;
+                        input(sel)
+                    }
+                    ComponentKind::Adc { bits } => {
+                        let lsb = 5.0 / f64::from(1u32 << (*bits).min(24));
+                        (input(0) / lsb).round() * lsb
+                    }
+                    ComponentKind::LogicGate => f64::from(input(0) <= 0.5), // inverter model
+                    ComponentKind::VoltageRef { level } => *level,
+                    ComponentKind::Limiter { level } => input(0).clamp(-level, *level),
+                    ComponentKind::OutputStage { limit, .. } => {
+                        let v = sat(input(0));
+                        match limit {
+                            Some(l) => v.clamp(-l, *l),
+                            None => v,
+                        }
+                    }
+                };
         }
     }
 }
@@ -466,6 +591,534 @@ struct RunState {
     k2: Vec<f64>,
     k3: Vec<f64>,
     k4: Vec<f64>,
+}
+
+/// A lane-batched macromodel run: up to [`MAX_LANES`] parameter
+/// variants of one [`CompiledNetlist`] advance in lockstep over
+/// lane-strided SoA buffers, each lane evaluating with its own
+/// perturbed copy of the plan's gain-like parameters. This is the
+/// Monte Carlo / tolerance-corner engine behind
+/// [`crate::monte_carlo_netlist`].
+///
+/// Fault isolation mirrors the scalar engine's graceful abort: a lane
+/// that produces a non-finite value is retired with a [`SimFault`] and
+/// keeps its samples so far as a partial trace; its batchmates keep
+/// stepping. Lanes never exchange values, so a poisoned lane cannot
+/// contaminate the rest of its batch.
+pub struct BatchNetlistSession<'p, 'n> {
+    plan: &'p CompiledNetlist<'n>,
+    lanes: usize,
+    step: usize,
+    alive: usize,
+    active: Vec<bool>,
+    /// Perturbed parameter values, lane-strided:
+    /// `lane_params[p * lanes + l]`.
+    lane_params: Vec<f64>,
+    // Lane-strided state and RK4 scratch (`buf[comp * lanes + lane]`).
+    values: Vec<f64>,
+    integ: Vec<f64>,
+    discrete: Vec<f64>,
+    prev_in: Vec<f64>,
+    stage_values: Vec<f64>,
+    stage_state: Vec<f64>,
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    /// Test/demo hook: force component 0 of `(lane, step)` to NaN.
+    inject: Option<(usize, usize)>,
+    faults: Vec<Option<SimFault>>,
+    recorded: Vec<usize>,
+    /// Shared fixed-grid time axis; lane `l` owns the first
+    /// `recorded[l]` entries.
+    time: Vec<f64>,
+    /// Recorded traces, `[trace * lanes + lane]`.
+    trace_values: Vec<Vec<f64>>,
+}
+
+impl<'p, 'n> BatchNetlistSession<'p, 'n> {
+    fn new(plan: &'p CompiledNetlist<'n>, lane_factors: &[Vec<f64>]) -> Self {
+        let stride = lane_factors.len();
+        assert!(
+            (1..=MAX_LANES).contains(&stride),
+            "batch width must be 1..={MAX_LANES}, got {stride}"
+        );
+        let np = plan.params.len();
+        let mut lane_params = vec![0.0; np * stride];
+        for (l, factors) in lane_factors.iter().enumerate() {
+            assert_eq!(
+                factors.len(),
+                np,
+                "factor vector length must equal param_count()"
+            );
+            for (p, &factor) in factors.iter().enumerate() {
+                lane_params[p * stride + l] = plan.params[p] * factor;
+            }
+        }
+        let n = plan.netlist.components.len();
+        let mut integ = vec![0.0; n * stride];
+        for (i, &init) in plan.integ_init.iter().enumerate() {
+            integ[i * stride..(i + 1) * stride].fill(init);
+        }
+        let samples = plan.steps + 1;
+        BatchNetlistSession {
+            plan,
+            lanes: stride,
+            step: 0,
+            alive: stride,
+            active: vec![true; stride],
+            lane_params,
+            values: vec![0.0; n * stride],
+            integ,
+            discrete: vec![0.0; n * stride],
+            prev_in: vec![0.0; n * stride],
+            stage_values: vec![0.0; n * stride],
+            stage_state: vec![0.0; n * stride],
+            k1: vec![0.0; plan.integrators.len() * stride],
+            k2: vec![0.0; plan.integrators.len() * stride],
+            k3: vec![0.0; plan.integrators.len() * stride],
+            k4: vec![0.0; plan.integrators.len() * stride],
+            inject: None,
+            faults: vec![None; stride],
+            recorded: vec![0; stride],
+            time: Vec::with_capacity(samples),
+            trace_values: (0..plan.traces.len() * stride)
+                .map(|_| Vec::with_capacity(samples))
+                .collect(),
+        }
+    }
+
+    /// The batch width.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Arrange for component 0 of `lane` to read NaN at `step` — the
+    /// deterministic fault used to demonstrate per-lane isolation.
+    pub fn inject_lane_fault(&mut self, lane: usize, step: usize) {
+        self.inject = Some((lane, step));
+    }
+
+    /// The fault that retired lane `lane` early, if any.
+    pub fn fault(&self, lane: usize) -> Option<&SimFault> {
+        self.faults.get(lane).and_then(Option::as_ref)
+    }
+
+    /// Run the whole transient window (or until every lane has died).
+    pub fn run(&mut self) {
+        let plan = self.plan;
+        while self.step <= plan.steps && self.alive > 0 {
+            let t = self.step as f64 * plan.dt;
+            self.step_all(t);
+            if let Some((lane, at)) = self.inject {
+                if at == self.step
+                    && lane < self.lanes
+                    && self.active[lane]
+                    && !plan.netlist.components.is_empty()
+                {
+                    self.values[lane] = f64::NAN; // component 0, lane `lane`
+                }
+            }
+            // Per-lane scan, mirroring the scalar engine's graceful
+            // abort: the faulty sample is not recorded.
+            for l in 0..self.lanes {
+                if self.active[l] && self.lane_non_finite(l) {
+                    self.faults[l] = Some(SimFault {
+                        step: self.step,
+                        time: t,
+                        kind: FaultKind::NonFinite,
+                        retries: 0,
+                    });
+                    self.active[l] = false;
+                    self.alive -= 1;
+                    self.zero_lane(l);
+                }
+            }
+            if self.alive > 0 {
+                self.time.push(t);
+                for (ti, (_, src)) in plan.traces.iter().enumerate() {
+                    let tb = ti * self.lanes;
+                    for l in 0..self.lanes {
+                        if self.active[l] {
+                            let v = self.src_value_lane(*src, t, l);
+                            self.trace_values[tb + l].push(v);
+                        }
+                    }
+                }
+                for l in 0..self.lanes {
+                    if self.active[l] {
+                        self.recorded[l] += 1;
+                    }
+                }
+            }
+            self.step += 1;
+        }
+    }
+
+    /// Finish into one [`SimResult`] per lane (lane order preserved).
+    pub fn into_results(mut self) -> Vec<SimResult> {
+        let stride = self.lanes;
+        let plan = self.plan;
+        (0..stride)
+            .map(|l| {
+                let mut result = SimResult {
+                    time: self.time[..self.recorded[l]].to_vec(),
+                    fault: self.faults[l],
+                    ..SimResult::default()
+                };
+                for (ti, (name, _)) in plan.traces.iter().enumerate() {
+                    result.traces.insert(
+                        name.clone(),
+                        std::mem::take(&mut self.trace_values[ti * stride + l]),
+                    );
+                }
+                result
+            })
+            .collect()
+    }
+
+    fn lane_non_finite(&self, l: usize) -> bool {
+        let stride = self.lanes;
+        let n = self.plan.netlist.components.len();
+        (0..n).any(|i| {
+            !self.values[i * stride + l].is_finite() || !self.integ[i * stride + l].is_finite()
+        })
+    }
+
+    fn zero_lane(&mut self, l: usize) {
+        let stride = self.lanes;
+        for i in 0..self.plan.netlist.components.len() {
+            self.values[i * stride + l] = 0.0;
+            self.integ[i * stride + l] = 0.0;
+            self.discrete[i * stride + l] = 0.0;
+            self.prev_in[i * stride + l] = 0.0;
+        }
+    }
+
+    fn src_value_lane(&self, src: Src, t: f64, l: usize) -> f64 {
+        match src {
+            Src::Component(i) => self.values[i as usize * self.lanes + l],
+            Src::Stim(s) => self.plan.stims[s as usize].at(t),
+            Src::Const(v) => v,
+            Src::Zero => 0.0,
+        }
+    }
+
+    /// One lockstep transient step at `t`: per-lane arithmetic is
+    /// bit-identical to [`CompiledNetlist::step`], only the indexing is
+    /// strided and gain-like parameters come from the lane table.
+    fn step_all(&mut self, t: f64) {
+        let plan = self.plan;
+        let stride = self.lanes;
+        let dt = plan.dt;
+        eval_netlist_span(
+            plan,
+            stride,
+            t,
+            &self.lane_params,
+            &self.integ,
+            &self.discrete,
+            &self.prev_in,
+            &mut self.values,
+        );
+
+        if !plan.integrators.is_empty() {
+            deriv_netlist_span(
+                plan,
+                stride,
+                t,
+                &self.lane_params,
+                &self.values,
+                &mut self.k1,
+            );
+            shift_state_span(
+                plan,
+                stride,
+                &self.integ,
+                &self.k1,
+                dt / 2.0,
+                &mut self.stage_state,
+            );
+            eval_netlist_span(
+                plan,
+                stride,
+                t + dt / 2.0,
+                &self.lane_params,
+                &self.stage_state,
+                &self.discrete,
+                &self.prev_in,
+                &mut self.stage_values,
+            );
+            deriv_netlist_span(
+                plan,
+                stride,
+                t + dt / 2.0,
+                &self.lane_params,
+                &self.stage_values,
+                &mut self.k2,
+            );
+            shift_state_span(
+                plan,
+                stride,
+                &self.integ,
+                &self.k2,
+                dt / 2.0,
+                &mut self.stage_state,
+            );
+            eval_netlist_span(
+                plan,
+                stride,
+                t + dt / 2.0,
+                &self.lane_params,
+                &self.stage_state,
+                &self.discrete,
+                &self.prev_in,
+                &mut self.stage_values,
+            );
+            deriv_netlist_span(
+                plan,
+                stride,
+                t + dt / 2.0,
+                &self.lane_params,
+                &self.stage_values,
+                &mut self.k3,
+            );
+            shift_state_span(
+                plan,
+                stride,
+                &self.integ,
+                &self.k3,
+                dt,
+                &mut self.stage_state,
+            );
+            eval_netlist_span(
+                plan,
+                stride,
+                t + dt,
+                &self.lane_params,
+                &self.stage_state,
+                &self.discrete,
+                &self.prev_in,
+                &mut self.stage_values,
+            );
+            deriv_netlist_span(
+                plan,
+                stride,
+                t + dt,
+                &self.lane_params,
+                &self.stage_values,
+                &mut self.k4,
+            );
+            for (j, (i, _)) in plan.integrators.iter().enumerate() {
+                let ib = *i as usize * stride;
+                let kb = j * stride;
+                for l in 0..stride {
+                    self.integ[ib + l] = (self.integ[ib + l]
+                        + dt / 6.0
+                            * (self.k1[kb + l]
+                                + 2.0 * self.k2[kb + l]
+                                + 2.0 * self.k3[kb + l]
+                                + self.k4[kb + l]))
+                        .clamp(-AMP_SATURATION, AMP_SATURATION);
+                }
+            }
+        }
+
+        // Discrete updates from start-of-step values.
+        for update in &plan.discretes {
+            match *update {
+                DiscreteUpdate::Latch { comp, data, clock } => {
+                    let cb = comp as usize * stride;
+                    for l in 0..stride {
+                        if self.src_value_lane(clock, t, l) > 0.5 {
+                            self.discrete[cb + l] = self.src_value_lane(data, t, l);
+                        }
+                    }
+                }
+                DiscreteUpdate::Hysteresis {
+                    comp,
+                    input,
+                    low,
+                    high,
+                } => {
+                    let cb = comp as usize * stride;
+                    for l in 0..stride {
+                        let u = self.src_value_lane(input, t, l);
+                        if u > high {
+                            self.discrete[cb + l] = 1.0;
+                        } else if u < low {
+                            self.discrete[cb + l] = 0.0;
+                        }
+                    }
+                }
+                DiscreteUpdate::PrevIn { comp, input } => {
+                    let cb = comp as usize * stride;
+                    for l in 0..stride {
+                        self.prev_in[cb + l] = self.src_value_lane(input, t, l);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lane-strided mirror of [`CompiledNetlist::eval`]: identical per-lane
+/// arithmetic, with gain-like parameters read from the perturbed lane
+/// table instead of the component kinds. Keep the two in lockstep.
+#[allow(clippy::too_many_arguments)]
+fn eval_netlist_span(
+    plan: &CompiledNetlist<'_>,
+    stride: usize,
+    t: f64,
+    lane_params: &[f64],
+    integ: &[f64],
+    discrete: &[f64],
+    prev_in: &[f64],
+    out: &mut [f64],
+) {
+    for &ci in &plan.order {
+        let i = ci as usize;
+        let component = &plan.netlist.components[i];
+        let inputs = plan.inputs(i);
+        let po = plan.param_offset[i] as usize;
+        let o = i * stride;
+        for l in 0..stride {
+            let input = |p: usize| -> f64 {
+                match inputs.get(p) {
+                    Some(Src::Component(j)) => out[*j as usize * stride + l],
+                    Some(Src::Stim(s)) => plan.stims[*s as usize].at(t),
+                    Some(Src::Const(v)) => *v,
+                    Some(Src::Zero) | None => 0.0,
+                }
+            };
+            let prm = |k: usize| -> f64 { lane_params[(po + k) * stride + l] };
+            let sat = |v: f64| v.clamp(-AMP_SATURATION, AMP_SATURATION);
+            out[o + l] = match &component.kind {
+                ComponentKind::InvertingAmp { .. } | ComponentKind::NonInvertingAmp { .. } => {
+                    sat(prm(0) * input(0))
+                }
+                ComponentKind::Follower => sat(input(0)),
+                ComponentKind::AmplifierChain { stage_gains } => {
+                    let mut v = input(0);
+                    for k in 0..stage_gains.len() {
+                        v = sat(prm(k) * v);
+                    }
+                    v
+                }
+                ComponentKind::SummingAmp { weights } => {
+                    let mut acc = 0.0;
+                    for p in 0..weights.len() {
+                        acc += prm(p) * input(p);
+                    }
+                    sat(acc)
+                }
+                ComponentKind::DifferenceAmp { .. } => sat(prm(0) * (input(0) - input(1))),
+                ComponentKind::SwitchedGainAmp { gains } => {
+                    let sel = input(1).round().clamp(0.0, gains.len() as f64 - 1.0) as usize;
+                    sat(prm(sel) * input(0))
+                }
+                ComponentKind::Integrator { .. } => sat(integ[o + l]),
+                ComponentKind::Differentiator { .. } => {
+                    sat(prm(0) * (input(0) - prev_in[o + l]) / plan.dt)
+                }
+                ComponentKind::LogAmp => sat(crate::math::ln(input(0).max(1e-12))),
+                ComponentKind::AntilogAmp => sat(crate::math::exp(input(0).clamp(-50.0, 50.0))),
+                ComponentKind::Multiplier => sat(input(0) * input(1)),
+                ComponentKind::Divider => {
+                    let d = input(1);
+                    sat(input(0)
+                        / if d.abs() < 1e-6 {
+                            1e-6_f64.copysign(d + 1e-30)
+                        } else {
+                            d
+                        })
+                }
+                ComponentKind::PrecisionRectifier => sat(input(0).abs()),
+                ComponentKind::Comparator { threshold } => f64::from(input(0) > *threshold),
+                ComponentKind::ZeroCrossDetector { .. } | ComponentKind::SchmittTrigger { .. } => {
+                    discrete[o + l]
+                }
+                ComponentKind::SampleHold | ComponentKind::MemoryCell => discrete[o + l],
+                ComponentKind::AnalogSwitch => {
+                    if input(1) > 0.5 {
+                        input(0)
+                    } else {
+                        0.0
+                    }
+                }
+                ComponentKind::AnalogMux { inputs } => {
+                    let sel = input(*inputs).round().clamp(0.0, *inputs as f64 - 1.0) as usize;
+                    input(sel)
+                }
+                ComponentKind::Adc { bits } => {
+                    let lsb = 5.0 / f64::from(1u32 << (*bits).min(24));
+                    (input(0) / lsb).round() * lsb
+                }
+                ComponentKind::LogicGate => f64::from(input(0) <= 0.5), // inverter model
+                ComponentKind::VoltageRef { .. } => prm(0),
+                ComponentKind::Limiter { .. } => {
+                    let lv = prm(0);
+                    input(0).clamp(-lv, lv)
+                }
+                ComponentKind::OutputStage { limit, .. } => {
+                    let v = sat(input(0));
+                    match limit {
+                        Some(lim) => v.clamp(-lim, *lim),
+                        None => v,
+                    }
+                }
+            };
+        }
+    }
+}
+
+/// Lane-strided mirror of [`CompiledNetlist::deriv`], with integrator
+/// weights from the perturbed lane table.
+fn deriv_netlist_span(
+    plan: &CompiledNetlist<'_>,
+    stride: usize,
+    t: f64,
+    lane_params: &[f64],
+    values: &[f64],
+    out: &mut [f64],
+) {
+    for (j, (i, weights)) in plan.integrators.iter().enumerate() {
+        let inputs = plan.inputs(*i as usize);
+        let po = plan.param_offset[*i as usize] as usize;
+        let ob = j * stride;
+        for l in 0..stride {
+            let mut acc = 0.0;
+            for p in 0..weights.len() {
+                let v = match inputs.get(p) {
+                    Some(Src::Component(c)) => values[*c as usize * stride + l],
+                    Some(Src::Stim(s)) => plan.stims[*s as usize].at(t),
+                    Some(Src::Const(v)) => *v,
+                    Some(Src::Zero) | None => 0.0,
+                };
+                acc += lane_params[(po + p) * stride + l] * v;
+            }
+            out[ob + l] = acc;
+        }
+    }
+}
+
+/// Lane-strided mirror of [`CompiledNetlist::shift_state`].
+fn shift_state_span(
+    plan: &CompiledNetlist<'_>,
+    stride: usize,
+    base: &[f64],
+    k: &[f64],
+    h: f64,
+    out: &mut [f64],
+) {
+    out.copy_from_slice(base);
+    for (j, (i, _)) in plan.integrators.iter().enumerate() {
+        let ib = *i as usize * stride;
+        let kb = j * stride;
+        for l in 0..stride {
+            out[ib + l] = base[ib + l] + h * k[kb + l];
+        }
+    }
 }
 
 /// Topological order over component dependencies (including
@@ -530,7 +1183,12 @@ mod tests {
     }
 
     fn place(kind: ComponentKind, inputs: Vec<SourceRef>) -> PlacedComponent {
-        PlacedComponent { kind, inputs, implements: vec![], label: "c".into() }
+        PlacedComponent {
+            kind,
+            inputs,
+            implements: vec![],
+            label: "c".into(),
+        }
     }
 
     #[test]
@@ -563,7 +1221,11 @@ mod tests {
             vec![SourceRef::External("x".into())],
         ));
         n.push(place(
-            ComponentKind::OutputStage { load_ohms: 270.0, peak_volts: 0.285, limit: Some(1.5) },
+            ComponentKind::OutputStage {
+                load_ohms: 270.0,
+                peak_volts: 0.285,
+                limit: Some(1.5),
+            },
             vec![SourceRef::Component(0)],
         ));
         n.outputs.push(("y".into(), SourceRef::Component(1)));
@@ -585,7 +1247,10 @@ mod tests {
         // y = ∫ 1 dt → ramp.
         let mut n = Netlist::new();
         n.push(place(
-            ComponentKind::Integrator { weights: vec![1.0], initial: 0.0 },
+            ComponentKind::Integrator {
+                weights: vec![1.0],
+                initial: 0.0,
+            },
             vec![SourceRef::External("u".into())],
         ));
         n.outputs.push(("y".into(), SourceRef::Component(0)));
@@ -607,12 +1272,20 @@ mod tests {
         // select through the "c1" binding.
         let mut n = Netlist::new();
         let zcd = n.push(place(
-            ComponentKind::ZeroCrossDetector { level: 0.0, hysteresis: 0.01 },
+            ComponentKind::ZeroCrossDetector {
+                level: 0.0,
+                hysteresis: 0.01,
+            },
             vec![SourceRef::External("line".into())],
         ));
         n.push(place(
-            ComponentKind::SwitchedGainAmp { gains: vec![1.0, 2.0] },
-            vec![SourceRef::External("line".into()), SourceRef::External("c1".into())],
+            ComponentKind::SwitchedGainAmp {
+                gains: vec![1.0, 2.0],
+            },
+            vec![
+                SourceRef::External("line".into()),
+                SourceRef::External("c1".into()),
+            ],
         ));
         n.outputs.push(("y".into(), SourceRef::Component(1)));
         let bindings = vec![("c1".to_owned(), zcd)];
@@ -624,8 +1297,11 @@ mod tests {
         )
         .expect("simulates");
         let y = r.trace("y").expect("trace");
-        let line: Vec<f64> =
-            r.time.iter().map(|&t| Stimulus::sine(1.0, 100.0).at(t)).collect();
+        let line: Vec<f64> = r
+            .time
+            .iter()
+            .map(|&t| Stimulus::sine(1.0, 100.0).at(t))
+            .collect();
         // Positive half-waves get gain 2, negative gain 1.
         let mut saw_double = false;
         let mut saw_single = false;
@@ -647,19 +1323,26 @@ mod tests {
     #[test]
     fn missing_external_reported() {
         let mut n = Netlist::new();
-        n.push(place(ComponentKind::Follower, vec![SourceRef::External("ghost".into())]));
-        let err =
-            simulate_netlist(&n, &BTreeMap::new(), &[], &SimConfig::default()).unwrap_err();
+        n.push(place(
+            ComponentKind::Follower,
+            vec![SourceRef::External("ghost".into())],
+        ));
+        let err = simulate_netlist(&n, &BTreeMap::new(), &[], &SimConfig::default()).unwrap_err();
         assert!(matches!(err, SimError::MissingStimulus { name } if name == "ghost"));
     }
 
     #[test]
     fn stateless_cycle_detected() {
         let mut n = Netlist::new();
-        n.push(place(ComponentKind::Follower, vec![SourceRef::Component(1)]));
-        n.push(place(ComponentKind::Follower, vec![SourceRef::Component(0)]));
-        let err =
-            simulate_netlist(&n, &BTreeMap::new(), &[], &SimConfig::default()).unwrap_err();
+        n.push(place(
+            ComponentKind::Follower,
+            vec![SourceRef::Component(1)],
+        ));
+        n.push(place(
+            ComponentKind::Follower,
+            vec![SourceRef::Component(0)],
+        ));
+        let err = simulate_netlist(&n, &BTreeMap::new(), &[], &SimConfig::default()).unwrap_err();
         assert_eq!(err, SimError::AlgebraicLoop);
     }
 
@@ -668,7 +1351,10 @@ mod tests {
         // Integrator fed by -1 × its own output: exponential decay.
         let mut n = Netlist::new();
         n.push(place(
-            ComponentKind::Integrator { weights: vec![-1.0], initial: 1.0 },
+            ComponentKind::Integrator {
+                weights: vec![-1.0],
+                initial: 1.0,
+            },
             vec![SourceRef::Component(0)],
         ));
         n.outputs.push(("x".into(), SourceRef::Component(0)));
@@ -682,13 +1368,15 @@ mod tests {
     fn compiled_netlist_runs_are_deterministic() {
         let mut n = Netlist::new();
         n.push(place(
-            ComponentKind::Integrator { weights: vec![-1.0], initial: 1.0 },
+            ComponentKind::Integrator {
+                weights: vec![-1.0],
+                initial: 1.0,
+            },
             vec![SourceRef::Component(0)],
         ));
         n.outputs.push(("x".into(), SourceRef::Component(0)));
-        let plan =
-            CompiledNetlist::new(&n, &BTreeMap::new(), &[], &SimConfig::new(1e-3, 0.1))
-                .expect("compiles");
+        let plan = CompiledNetlist::new(&n, &BTreeMap::new(), &[], &SimConfig::new(1e-3, 0.1))
+            .expect("compiles");
         assert_eq!(plan.run(), plan.run());
     }
 }

@@ -44,50 +44,50 @@ use crate::trace::SimResult;
 /// reports. The plan is immutable and `Sync`; spawn any number of
 /// [`SimSession`]s from it, concurrently if desired.
 pub struct CompiledSim<'d> {
-    graphs: Vec<GraphPlan<'d>>,
-    machines: Vec<MachinePlan>,
+    pub(crate) graphs: Vec<GraphPlan<'d>>,
+    pub(crate) machines: Vec<MachinePlan>,
     /// Stimulus name per dense index (sorted; mirrors the input map).
-    stim_names: Vec<String>,
+    pub(crate) stim_names: Vec<String>,
     /// Stimulus per dense index.
-    stims: Vec<Stimulus>,
+    pub(crate) stims: Vec<Stimulus>,
     /// FSM-assigned signal name per dense index.
-    signal_names: Vec<String>,
+    pub(crate) signal_names: Vec<String>,
     /// Trace name and resolved source, in recording order.
-    traces: Vec<(String, TraceSrc)>,
-    dt: f64,
+    pub(crate) traces: Vec<(String, TraceSrc)>,
+    pub(crate) dt: f64,
     /// Number of steps; the session records `steps + 1` samples.
-    steps: usize,
+    pub(crate) steps: usize,
     /// Numerical-fault detection threshold (see [`SimConfig`]).
-    divergence_limit: f64,
+    pub(crate) divergence_limit: f64,
     /// Step-halving retry budget for faulty steps.
-    max_halvings: u32,
+    pub(crate) max_halvings: u32,
     /// Opt-in deterministic fault injection.
-    injection: Option<FaultInjection>,
+    pub(crate) injection: Option<FaultInjection>,
 }
 
 /// Compiled per-graph evaluation plan.
-struct GraphPlan<'d> {
-    graph: &'d SignalFlowGraph,
+pub(crate) struct GraphPlan<'d> {
+    pub(crate) graph: &'d SignalFlowGraph,
     /// Cached topological order (block indices).
-    order: Vec<u32>,
+    pub(crate) order: Vec<u32>,
     /// Resolved operation per block index.
-    ops: Vec<CompiledOp>,
+    pub(crate) ops: Vec<CompiledOp>,
     /// `port_driver[port_offset[i] .. port_offset[i + 1]]` are block
     /// `i`'s input drivers; `NO_DRIVER` marks an unconnected port.
-    port_offset: Vec<u32>,
-    port_driver: Vec<i32>,
+    pub(crate) port_offset: Vec<u32>,
+    pub(crate) port_driver: Vec<i32>,
     /// One entry per integrator: (block index, driver block index, gain).
-    integrators: Vec<(u32, u32, f64)>,
+    pub(crate) integrators: Vec<(u32, u32, f64)>,
     /// Discrete-state updates applied at the end of each step.
-    discretes: Vec<DiscreteUpdate>,
+    pub(crate) discretes: Vec<DiscreteUpdate>,
     /// Offset of this graph's slice in the session-wide value buffers.
-    base: usize,
+    pub(crate) base: usize,
 }
 
-const NO_DRIVER: i32 = -1;
+pub(crate) const NO_DRIVER: i32 = -1;
 
 /// A block operation with every name resolved to a dense index.
-enum CompiledOp {
+pub(crate) enum CompiledOp {
     /// Analog input: stimulus index (checked present at compile time).
     Input(u32),
     /// Control input: FSM signal index, stimulus fallback, or zero.
@@ -121,41 +121,46 @@ enum CompiledOp {
 /// Where a control input reads from (pre-resolved precedence:
 /// FSM signal, else stimulus, else constant zero).
 #[derive(Clone, Copy)]
-enum CtlSrc {
+pub(crate) enum CtlSrc {
     Signal(u32),
     Stim(u32),
     Zero,
 }
 
 /// End-of-step discrete-state updates, pre-resolved.
-enum DiscreteUpdate {
+pub(crate) enum DiscreteUpdate {
     /// S/H and memory: latch port 0 while port 1 is high.
     Latch { block: u32, data: i32, clock: i32 },
     /// Schmitt trigger hysteresis on port 0.
-    Schmitt { block: u32, input: i32, low: f64, high: f64 },
+    Schmitt {
+        block: u32,
+        input: i32,
+        low: f64,
+        high: f64,
+    },
     /// Differentiator: remember port 0 for the next step.
     PrevIn { block: u32, input: i32 },
 }
 
 /// Compiled per-FSM plan.
-struct MachinePlan {
+pub(crate) struct MachinePlan {
     /// Deduplicated watched events with resolved level sources.
-    events: Vec<CompiledEvent>,
+    pub(crate) events: Vec<CompiledEvent>,
     /// Per state: data-path ops and outgoing transitions.
-    states: Vec<CompiledState>,
-    start: StateId,
+    pub(crate) states: Vec<CompiledState>,
+    pub(crate) start: StateId,
     /// Walk cap (`4 * state_count + 4`), precomputed.
-    walk_cap: usize,
+    pub(crate) walk_cap: usize,
 }
 
-struct CompiledState {
+pub(crate) struct CompiledState {
     /// `(signal index, value expression)` per data-path op, in order.
-    ops: Vec<(u32, CompiledDp)>,
+    pub(crate) ops: Vec<(u32, CompiledDp)>,
     /// `(trigger, target state)` per outgoing arc, in declaration order.
-    transitions: Vec<(CompiledTrigger, StateId)>,
+    pub(crate) transitions: Vec<(CompiledTrigger, StateId)>,
 }
 
-enum CompiledTrigger {
+pub(crate) enum CompiledTrigger {
     Always,
     /// Event arcs are taken only when resuming from `start`.
     AnyEvent,
@@ -163,7 +168,7 @@ enum CompiledTrigger {
 }
 
 /// A watched event with its boolean level pre-resolved.
-enum CompiledEvent {
+pub(crate) enum CompiledEvent {
     /// `quantity > threshold` where the quantity reads a block value,
     /// a stimulus, or constant zero.
     Above { src: ValueSrc, threshold: f64 },
@@ -174,7 +179,7 @@ enum CompiledEvent {
 /// Where an FSM quantity reference reads from: a block value in some
 /// graph (interface or labelled block), a stimulus, or constant zero.
 #[derive(Clone, Copy)]
-enum ValueSrc {
+pub(crate) enum ValueSrc {
     /// Absolute index into the session's flattened value buffer.
     Value(usize),
     Stim(u32),
@@ -182,7 +187,7 @@ enum ValueSrc {
 }
 
 /// A data-path expression with every name resolved.
-enum CompiledDp {
+pub(crate) enum CompiledDp {
     Const(f64),
     Signal(u32),
     Quantity(ValueSrc),
@@ -190,14 +195,18 @@ enum CompiledDp {
     EventLevel(Box<CompiledEvent>),
     Adc(Box<CompiledDp>),
     Not(Box<CompiledDp>),
-    Binary { op: DpBinaryOp, lhs: Box<CompiledDp>, rhs: Box<CompiledDp> },
+    Binary {
+        op: DpBinaryOp,
+        lhs: Box<CompiledDp>,
+        rhs: Box<CompiledDp>,
+    },
 }
 
 /// Where a recorded trace reads from, pre-resolved with the same
 /// precedence the interpreter used: interface port value, else FSM
 /// signal, else stimulus, else constant zero.
 #[derive(Clone, Copy)]
-enum TraceSrc {
+pub(crate) enum TraceSrc {
     /// Absolute index into the flattened value buffer.
     Value(usize),
     Signal(u32),
@@ -220,12 +229,13 @@ impl<'d> CompiledSim<'d> {
         config: &SimConfig,
     ) -> Result<Self, SimError> {
         if config.dt <= 0.0 || config.t_end <= 0.0 {
-            return Err(SimError::BadConfig { what: "dt and t_end must be positive".into() });
+            return Err(SimError::BadConfig {
+                what: "dt and t_end must be positive".into(),
+            });
         }
         let stim_names: Vec<String> = inputs.keys().cloned().collect();
         let stims: Vec<Stimulus> = inputs.values().copied().collect();
-        let stim_index =
-            |name: &str| stim_names.binary_search_by(|n| n.as_str().cmp(name)).ok();
+        let stim_index = |name: &str| stim_names.binary_search_by(|n| n.as_str().cmp(name)).ok();
 
         // Dense index for every FSM-assigned signal.
         let mut signal_names: Vec<String> = Vec::new();
@@ -251,8 +261,10 @@ impl<'d> CompiledSim<'d> {
         // port or labelled block of that name, else stimulus, else 0.
         let quantity_src = |name: &str| -> ValueSrc {
             for plan in &graphs {
-                if let Some(id) =
-                    plan.graph.find_interface(name).or_else(|| plan.graph.find_labelled(name))
+                if let Some(id) = plan
+                    .graph
+                    .find_interface(name)
+                    .or_else(|| plan.graph.find_labelled(name))
                 {
                     return ValueSrc::Value(plan.base + id.index());
                 }
@@ -322,7 +334,9 @@ impl<'d> CompiledSim<'d> {
     /// [`session_with`](Self::session_with) runs (e.g. one sweep point
     /// per session at a different frequency).
     pub fn stimulus_index(&self, name: &str) -> Option<usize> {
-        self.stim_names.binary_search_by(|n| n.as_str().cmp(name)).ok()
+        self.stim_names
+            .binary_search_by(|n| n.as_str().cmp(name))
+            .ok()
     }
 
     /// The compiled stimulus vector (indexed per
@@ -348,7 +362,11 @@ impl<'d> CompiledSim<'d> {
     ///
     /// Panics if `stims.len()` differs from the compiled vector's.
     pub fn session_with(&self, stims: Vec<Stimulus>) -> SimSession<'_, 'd> {
-        assert_eq!(stims.len(), self.stims.len(), "stimulus vector layout mismatch");
+        assert_eq!(
+            stims.len(),
+            self.stims.len(),
+            "stimulus vector layout mismatch"
+        );
         SimSession::new(self, stims)
     }
 
@@ -361,8 +379,11 @@ impl<'d> CompiledSim<'d> {
 
     /// Total block count across graphs (the flattened value-buffer
     /// length).
-    fn total_blocks(&self) -> usize {
-        self.graphs.last().map(|g| g.base + g.graph.len()).unwrap_or(0)
+    pub(crate) fn total_blocks(&self) -> usize {
+        self.graphs
+            .last()
+            .map(|g| g.base + g.graph.len())
+            .unwrap_or(0)
     }
 }
 
@@ -392,10 +413,17 @@ impl GraphPlan<'_> {
             port_offset.push(port_driver.len() as u32);
             let ports = graph.block_inputs(id);
             port_driver.extend(
-                ports.iter().map(|d| d.map(|b| b.index() as i32).unwrap_or(NO_DRIVER)),
+                ports
+                    .iter()
+                    .map(|d| d.map(|b| b.index() as i32).unwrap_or(NO_DRIVER)),
             );
             let port = |p: usize| -> i32 {
-                ports.get(p).copied().flatten().map(|b| b.index() as i32).unwrap_or(NO_DRIVER)
+                ports
+                    .get(p)
+                    .copied()
+                    .flatten()
+                    .map(|b| b.index() as i32)
+                    .unwrap_or(NO_DRIVER)
             };
 
             let op = match &block.kind {
@@ -431,7 +459,10 @@ impl GraphPlan<'_> {
                     CompiledOp::Integrate
                 }
                 BlockKind::Differentiate { gain } => {
-                    discretes.push(DiscreteUpdate::PrevIn { block: i as u32, input: port(0) });
+                    discretes.push(DiscreteUpdate::PrevIn {
+                        block: i as u32,
+                        input: port(0),
+                    });
                     CompiledOp::Differentiate(*gain)
                 }
                 BlockKind::Log => CompiledOp::Log,
@@ -469,12 +500,21 @@ impl GraphPlan<'_> {
         }
         port_offset.push(port_driver.len() as u32);
 
-        Ok(GraphPlan { graph, order, ops, port_offset, port_driver, integrators, discretes, base })
+        Ok(GraphPlan {
+            graph,
+            order,
+            ops,
+            port_offset,
+            port_driver,
+            integrators,
+            discretes,
+            base,
+        })
     }
 
     /// Input-port drivers of block `i` (flattened lookup).
     #[inline]
-    fn ports(&self, i: usize) -> &[i32] {
+    pub(crate) fn ports(&self, i: usize) -> &[i32] {
         &self.port_driver[self.port_offset[i] as usize..self.port_offset[i + 1] as usize]
     }
 }
@@ -496,7 +536,10 @@ impl MachinePlan {
         }
         let compile_event = |event: &Event| -> CompiledEvent {
             match event {
-                Event::Above { quantity, threshold } => CompiledEvent::Above {
+                Event::Above {
+                    quantity,
+                    threshold,
+                } => CompiledEvent::Above {
                     src: quantity_src(quantity),
                     threshold: *threshold,
                 },
@@ -528,9 +571,7 @@ impl MachinePlan {
                     None => CompiledDp::Const(0.0),
                 },
                 DpExpr::Quantity(name) => CompiledDp::Quantity(quantity_src(name)),
-                DpExpr::EventLevel(event) => {
-                    CompiledDp::EventLevel(Box::new(compile_event(event)))
-                }
+                DpExpr::EventLevel(event) => CompiledDp::EventLevel(Box::new(compile_event(event))),
                 DpExpr::Adc(inner) => CompiledDp::Adc(Box::new(compile_dp(
                     inner,
                     quantity_src,
@@ -558,8 +599,8 @@ impl MachinePlan {
                     .ops
                     .iter()
                     .map(|op| {
-                        let target = signal_index(&op.target)
-                            .expect("assigned signals are indexed") as u32;
+                        let target =
+                            signal_index(&op.target).expect("assigned signals are indexed") as u32;
                         let value =
                             compile_dp(&op.value, quantity_src, signal_index, &compile_event);
                         (target, value)
@@ -654,7 +695,12 @@ impl<'p, 'd> SimSession<'p, 'd> {
             }
         }
         let max_blocks = plan.graphs.iter().map(|g| g.graph.len()).max().unwrap_or(0);
-        let max_integ = plan.graphs.iter().map(|g| g.integrators.len()).max().unwrap_or(0);
+        let max_integ = plan
+            .graphs
+            .iter()
+            .map(|g| g.integrators.len())
+            .max()
+            .unwrap_or(0);
         let samples = plan.steps + 1;
         SimSession {
             plan,
@@ -665,7 +711,11 @@ impl<'p, 'd> SimSession<'p, 'd> {
             discrete: vec![0.0; total],
             prev_in: vec![0.0; total],
             signals: vec![0.0; plan.signal_names.len()],
-            prev_levels: plan.machines.iter().map(|m| vec![false; m.events.len()]).collect(),
+            prev_levels: plan
+                .machines
+                .iter()
+                .map(|m| vec![false; m.events.len()])
+                .collect(),
             stage_values: vec![0.0; max_blocks],
             stage_state: vec![0.0; max_blocks],
             k1: vec![0.0; max_integ],
@@ -679,7 +729,11 @@ impl<'p, 'd> SimSession<'p, 'd> {
             fault: None,
             recovered_steps: 0,
             time: Vec::with_capacity(samples),
-            trace_values: plan.traces.iter().map(|_| Vec::with_capacity(samples)).collect(),
+            trace_values: plan
+                .traces
+                .iter()
+                .map(|_| Vec::with_capacity(samples))
+                .collect(),
         }
     }
 
@@ -751,7 +805,12 @@ impl<'p, 'd> SimSession<'p, 'd> {
                 // Graceful abort: discard the poisoned state, keep the
                 // partial trace, report the fault, end the run.
                 self.rollback();
-                self.fault = Some(SimFault { step: self.step, time: t, kind, retries });
+                self.fault = Some(SimFault {
+                    step: self.step,
+                    time: t,
+                    kind,
+                    retries,
+                });
                 self.step = self.plan.steps + 1;
                 return;
             }
@@ -954,8 +1013,8 @@ impl<'p, 'd> SimSession<'p, 'd> {
                 self.k4[j] = gain * self.stage_values[driver as usize];
             }
             for (j, &(i, _, _)) in g.integrators.iter().enumerate() {
-                self.integ[base + i as usize] += dt / 6.0
-                    * (self.k1[j] + 2.0 * self.k2[j] + 2.0 * self.k3[j] + self.k4[j]);
+                self.integ[base + i as usize] +=
+                    dt / 6.0 * (self.k1[j] + 2.0 * self.k2[j] + 2.0 * self.k3[j] + self.k4[j]);
             }
         }
 
@@ -974,7 +1033,12 @@ impl<'p, 'd> SimSession<'p, 'd> {
                         self.discrete[base + block as usize] = value_at(data);
                     }
                 }
-                DiscreteUpdate::Schmitt { block, input, low, high } => {
+                DiscreteUpdate::Schmitt {
+                    block,
+                    input,
+                    low,
+                    high,
+                } => {
                     let u = value_at(input);
                     if u > high {
                         self.discrete[base + block as usize] = 1.0;
@@ -1079,12 +1143,17 @@ fn eval_graph(
             CompiledOp::Mul => input(0) * input(1),
             CompiledOp::Div => {
                 let d = input(1);
-                input(0) / if d.abs() < 1e-12 { 1e-12_f64.copysign(d + 1e-30) } else { d }
+                input(0)
+                    / if d.abs() < 1e-12 {
+                        1e-12_f64.copysign(d + 1e-30)
+                    } else {
+                        d
+                    }
             }
             CompiledOp::Integrate => state[i],
             CompiledOp::Differentiate(gain) => gain * (input(0) - prev_in[i]) / dt,
-            CompiledOp::Log => (input(0).max(1e-12)).ln(),
-            CompiledOp::Antilog => input(0).clamp(-50.0, 50.0).exp(),
+            CompiledOp::Log => crate::math::ln(input(0).max(1e-12)),
+            CompiledOp::Antilog => crate::math::exp(input(0).clamp(-50.0, 50.0)),
             CompiledOp::Abs => input(0).abs(),
             CompiledOp::DiscreteState => discrete[i],
             CompiledOp::Switch => {
@@ -1165,9 +1234,7 @@ fn eval_compiled_dp(
             ValueSrc::Stim(s) => stims[s as usize].at(t),
             ValueSrc::Zero => 0.0,
         },
-        CompiledDp::EventLevel(event) => {
-            f64::from(event_level(event, values, signals, stims, t))
-        }
+        CompiledDp::EventLevel(event) => f64::from(event_level(event, values, signals, stims, t)),
         CompiledDp::Adc(inner) => {
             let v = eval_compiled_dp(inner, values, signals, stims, t);
             let lsb = 5.0 / 256.0;

@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn flat_trace_does_not_divide_by_zero() {
-        let mut r = SimResult { time: vec![0.0, 1.0], ..Default::default() };
+        let mut r = SimResult {
+            time: vec![0.0, 1.0],
+            ..Default::default()
+        };
         r.traces.insert("c".into(), vec![1.0, 1.0]);
         let plot = render_ascii(&r, "c", 20, 5);
         assert!(plot.contains('*'));

@@ -19,36 +19,72 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use serde::{Deserialize, Serialize};
 use vase_vhif::VhifDesign;
 
+use crate::batch::{BatchLane, MAX_LANES};
 use crate::error::SimError;
-use crate::graph_sim::{simulate_design, SimConfig};
+use crate::graph_sim::SimConfig;
+use crate::plan::CompiledSim;
 use crate::stimulus::Stimulus;
+use crate::trace::SimResult;
 
-/// Worker-thread configuration for sweep-style workloads (frequency
-/// sweeps, multi-design simulation) — the simulation counterpart of the
-/// mapper's `MapperConfig::parallelism`.
+fn default_lanes() -> usize {
+    MAX_LANES
+}
+
+/// Worker-thread and lane-batch configuration for sweep-style workloads
+/// (frequency sweeps, multi-design simulation) — the simulation
+/// counterpart of the mapper's `MapperConfig::parallelism`.
+///
+/// Sweep points are packed into SIMD-friendly lane batches of
+/// [`lanes`](SweepConfig::lanes) points first; threads (if any) then
+/// claim whole *batches*, so the unit of parallel work is
+/// `ceil(points / lanes)` tasks and `jobs × lanes` never oversubscribes
+/// the sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SweepConfig {
     /// Worker threads; `0` means one per available hardware thread.
     /// The default is `1` (sequential), which skips thread setup
     /// entirely.
     pub jobs: usize,
+    /// Lane-batch width: how many sweep points one [`crate::BatchSession`]
+    /// advances in lockstep (clamped to `1..=`[`MAX_LANES`]).
+    #[serde(default = "default_lanes")]
+    pub lanes: usize,
 }
 
 impl Default for SweepConfig {
     fn default() -> Self {
-        SweepConfig { jobs: 1 }
+        SweepConfig {
+            jobs: 1,
+            lanes: default_lanes(),
+        }
     }
 }
 
 impl SweepConfig {
-    /// Exactly `jobs` workers (`0` = auto).
+    /// Exactly `jobs` workers (`0` = auto), full-width lane batches.
     pub fn with_jobs(jobs: usize) -> Self {
-        SweepConfig { jobs }
+        SweepConfig {
+            jobs,
+            ..SweepConfig::default()
+        }
     }
 
     /// One worker per available hardware thread.
     pub fn parallel() -> Self {
-        SweepConfig { jobs: 0 }
+        SweepConfig {
+            jobs: 0,
+            ..SweepConfig::default()
+        }
+    }
+
+    /// Machine-sized configuration: auto worker count *and* full-width
+    /// lane batches, with the worker count derated per workload by
+    /// [`effective_jobs_for`](SweepConfig::effective_jobs_for).
+    pub fn auto() -> Self {
+        SweepConfig {
+            jobs: 0,
+            lanes: MAX_LANES,
+        }
     }
 
     /// The worker count after resolving `0` to the machine's hardware
@@ -58,6 +94,20 @@ impl SweepConfig {
             0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             jobs => jobs,
         }
+    }
+
+    /// The lane-batch width after clamping to `1..=`[`MAX_LANES`].
+    pub fn effective_lanes(&self) -> usize {
+        self.lanes.clamp(1, MAX_LANES)
+    }
+
+    /// The worker count for a sweep of `points` points: lane batching
+    /// reduces the work to `ceil(points / lanes)` tasks, and spawning
+    /// more workers than tasks would only oversubscribe, so the
+    /// resolved job count is capped there.
+    pub fn effective_jobs_for(&self, points: usize) -> usize {
+        let tasks = points.div_ceil(self.effective_lanes()).max(1);
+        self.effective_jobs().min(tasks)
     }
 }
 
@@ -107,12 +157,35 @@ pub fn frequency_response(
     )
 }
 
-/// [`frequency_response`] with an explicit worker configuration.
+/// Settle/measure windows of the sweep, in stimulus periods. Every
+/// point runs the same *number* of steps (200 per period, 20 periods),
+/// which is exactly what lets points with different frequencies share
+/// one lane batch: only the step size and the sine differ.
+const PERIODS_SETTLE: f64 = 12.0;
+const PERIODS_MEASURE: f64 = 8.0;
+
+fn sweep_window(frequency: f64) -> (f64, f64) {
+    (
+        1.0 / (frequency * 200.0),
+        (PERIODS_SETTLE + PERIODS_MEASURE) / frequency,
+    )
+}
+
+fn bad_frequency(frequency: f64) -> SimError {
+    SimError::BadConfig {
+        what: format!("frequency {frequency} <= 0"),
+    }
+}
+
+/// [`frequency_response`] with an explicit worker/lane configuration.
 ///
-/// Points are claimed by index from a shared counter and merged back in
-/// `frequencies` order, so the returned vector — and, on failure, the
-/// reported error (the one at the lowest frequency index) — is
-/// bit-identical for every `sweep.jobs` value.
+/// The sweep compiles the design once, packs points into lane batches
+/// of [`SweepConfig::lanes`] (each lane carrying its own sine stimulus
+/// and step size), and advances each batch in lockstep; worker threads,
+/// if any, claim whole batches from a shared counter. Lane execution is
+/// bit-identical to the scalar per-point loop, so the returned vector —
+/// and, on failure, the reported error (the one at the lowest frequency
+/// index) — is bit-identical for every `jobs`/`lanes` combination.
 ///
 /// # Errors
 ///
@@ -126,38 +199,56 @@ pub fn frequency_response_with(
     extra_inputs: &BTreeMap<String, Stimulus>,
     sweep: &SweepConfig,
 ) -> Result<Vec<ResponsePoint>, SimError> {
-    let jobs = sweep.effective_jobs().min(frequencies.len().max(1));
-    if jobs <= 1 {
-        return frequencies
-            .iter()
-            .map(|&f| measure_point(design, input, output, amplitude, f, extra_inputs))
-            .collect();
+    if frequencies.is_empty() {
+        return Ok(Vec::new());
     }
+    // The sequential sweep's first action is validating point 0, so the
+    // plan compile below never masks that error.
+    if frequencies[0] <= 0.0 {
+        return Err(bad_frequency(frequencies[0]));
+    }
+    let f_ref = frequencies[0];
+    let mut inputs = extra_inputs.clone();
+    inputs.insert(input.to_owned(), Stimulus::sine(amplitude, f_ref));
+    let (dt_ref, t_end_ref) = sweep_window(f_ref);
+    let plan = CompiledSim::new(design, &inputs, &SimConfig::new(dt_ref, t_end_ref))?;
+    let input_slot = plan
+        .stimulus_index(input)
+        .expect("the swept input was inserted before compiling");
+
+    let width = sweep.effective_lanes();
+    let jobs = sweep.effective_jobs_for(frequencies.len());
+    if jobs <= 1 {
+        let mut points = Vec::with_capacity(frequencies.len());
+        for chunk in frequencies.chunks(width) {
+            points.extend(measure_chunk(&plan, input_slot, output, amplitude, chunk)?);
+        }
+        return Ok(points);
+    }
+    let chunk_count = frequencies.len().div_ceil(width);
     let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     let mut measured = std::thread::scope(|scope| {
+        let plan = &plan;
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 scope.spawn(|| {
                     let mut out = Vec::new();
                     while !failed.load(Ordering::Relaxed) {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&frequency) = frequencies.get(i) else { break };
-                        let point = measure_point(
-                            design,
-                            input,
-                            output,
-                            amplitude,
-                            frequency,
-                            extra_inputs,
-                        );
-                        if point.is_err() {
-                            // Other workers stop claiming new points;
+                        let ci = next.fetch_add(1, Ordering::Relaxed);
+                        if ci >= chunk_count {
+                            break;
+                        }
+                        let chunk =
+                            &frequencies[ci * width..frequencies.len().min((ci + 1) * width)];
+                        let points = measure_chunk(plan, input_slot, output, amplitude, chunk);
+                        if points.is_err() {
+                            // Other workers stop claiming new batches;
                             // the merge below still reports the error
                             // at the lowest index deterministically.
                             failed.store(true, Ordering::Relaxed);
                         }
-                        out.push((i, point));
+                        out.push((ci, points));
                     }
                     out
                 })
@@ -170,40 +261,72 @@ pub fn frequency_response_with(
     });
     measured.sort_unstable_by_key(|(i, _)| *i);
     let mut points = Vec::with_capacity(frequencies.len());
-    for (_, point) in measured {
-        points.push(point?);
+    for (_, chunk_points) in measured {
+        points.extend(chunk_points?);
     }
-    // A worker that saw the stop flag may have skipped points after an
+    // A worker that saw the stop flag may have skipped batches after an
     // error; if no error survived the merge, everything was measured.
     debug_assert_eq!(points.len(), frequencies.len());
     Ok(points)
 }
 
-/// Measure one frequency point: transient run, then quadrature
-/// correlation over the settled tail.
-fn measure_point(
-    design: &VhifDesign,
-    input: &str,
+/// Measure one batch of sweep points in lockstep lanes. Error order
+/// follows the sequential per-point loop: the lowest lane index with an
+/// invalid frequency (checked before anything runs) or a missing output
+/// trace wins.
+fn measure_chunk(
+    plan: &CompiledSim<'_>,
+    input_slot: usize,
+    output: &str,
+    amplitude: f64,
+    freqs: &[f64],
+) -> Result<Vec<ResponsePoint>, SimError> {
+    let has_output = plan.traces.iter().any(|(name, _)| name == output);
+    let mut lanes = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        if f <= 0.0 {
+            return Err(bad_frequency(f));
+        }
+        if !has_output {
+            return Err(SimError::UnknownQuantity {
+                name: output.to_owned(),
+            });
+        }
+        let (dt, _) = sweep_window(f);
+        if !(dt > 0.0 && dt.is_finite()) {
+            return Err(SimError::BadConfig {
+                what: "dt and t_end must be positive".into(),
+            });
+        }
+        let mut stims = plan.stimuli().to_vec();
+        stims[input_slot] = Stimulus::sine(amplitude, f);
+        lanes.push(BatchLane { stims, dt });
+    }
+    let mut batch = plan.batch_session(&lanes);
+    batch.run();
+    batch
+        .into_results()
+        .iter()
+        .zip(freqs)
+        .map(|(result, &f)| correlate(result, output, amplitude, f))
+        .collect()
+}
+
+/// Quadrature correlation of the settled tail of one transient run —
+/// the arithmetic of the original scalar `measure_point`, unchanged.
+fn correlate(
+    result: &SimResult,
     output: &str,
     amplitude: f64,
     frequency: f64,
-    extra_inputs: &BTreeMap<String, Stimulus>,
 ) -> Result<ResponsePoint, SimError> {
-    if frequency <= 0.0 {
-        return Err(SimError::BadConfig { what: format!("frequency {frequency} <= 0") });
-    }
-    let periods_settle = 12.0;
-    let periods_measure = 8.0;
-    let t_end = (periods_settle + periods_measure) / frequency;
-    let dt = 1.0 / (frequency * 200.0);
-    let mut inputs = extra_inputs.clone();
-    inputs.insert(input.to_owned(), Stimulus::sine(amplitude, frequency));
-    let result = simulate_design(design, &inputs, &SimConfig::new(dt, t_end))?;
     let trace = result
         .trace(output)
-        .ok_or_else(|| SimError::UnknownQuantity { name: output.to_owned() })?;
-    // Correlate the tail against sin/cos references.
-    let start = (periods_settle / frequency / dt) as usize;
+        .ok_or_else(|| SimError::UnknownQuantity {
+            name: output.to_owned(),
+        })?;
+    let dt = 1.0 / (frequency * 200.0);
+    let start = (PERIODS_SETTLE / frequency / dt) as usize;
     let mut i_acc = 0.0; // in-phase
     let mut q_acc = 0.0; // quadrature
     let mut n = 0usize;
@@ -257,7 +380,10 @@ mod tests {
         let mut g = SignalFlowGraph::new("rc");
         let x = g.add(BlockKind::Input { name: "x".into() });
         let sub = g.add(BlockKind::Sub);
-        let integ = g.add(BlockKind::Integrate { gain: w0, initial: 0.0 });
+        let integ = g.add(BlockKind::Integrate {
+            gain: w0,
+            initial: 0.0,
+        });
         let y = g.add(BlockKind::Output { name: "y".into() });
         g.connect(x, sub, 0).expect("wire");
         g.connect(integ, sub, 1).expect("wire");
@@ -281,7 +407,12 @@ mod tests {
         )
         .expect("measures");
         for p in points {
-            assert!((p.gain - 3.0).abs() < 0.05, "gain {} at {}", p.gain, p.frequency_hz);
+            assert!(
+                (p.gain - 3.0).abs() < 0.05,
+                "gain {} at {}",
+                p.gain,
+                p.frequency_hz
+            );
             assert!(p.phase_rad.abs() < 0.1);
         }
     }
@@ -299,9 +430,16 @@ mod tests {
             &BTreeMap::new(),
         )
         .expect("measures");
-        assert!((points[0].gain - 1.0).abs() < 0.03, "passband {}", points[0].gain);
+        assert!(
+            (points[0].gain - 1.0).abs() < 0.03,
+            "passband {}",
+            points[0].gain
+        );
         let db_at_cutoff = points[1].gain_db();
-        assert!((db_at_cutoff + 3.0).abs() < 0.6, "-3 dB point, got {db_at_cutoff}");
+        assert!(
+            (db_at_cutoff + 3.0).abs() < 0.6,
+            "-3 dB point, got {db_at_cutoff}"
+        );
         assert!(points[2].gain < 0.15, "stopband {}", points[2].gain);
         // Phase lags toward -90°.
         assert!(points[2].phase_rad < -1.2, "phase {}", points[2].phase_rad);
@@ -360,8 +498,7 @@ mod tests {
         // sweeps must report the same failure.
         let d = gain_stage(1.0);
         let freqs = [500.0, 700.0, -1.0, 900.0, 1_100.0, -2.0];
-        let seq =
-            frequency_response(&d, "x", "y", 0.1, &freqs, &BTreeMap::new()).unwrap_err();
+        let seq = frequency_response(&d, "x", "y", 0.1, &freqs, &BTreeMap::new()).unwrap_err();
         let par = frequency_response_with(
             &d,
             "x",
@@ -380,5 +517,55 @@ mod tests {
         assert_eq!(SweepConfig::default().effective_jobs(), 1);
         assert_eq!(SweepConfig::with_jobs(3).effective_jobs(), 3);
         assert!(SweepConfig::parallel().effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn lane_batching_derates_effective_jobs() {
+        // 16 points in 8-wide batches are 2 tasks, so even a 64-worker
+        // request resolves to 2 — jobs × lanes never oversubscribes.
+        let cfg = SweepConfig::with_jobs(64);
+        assert_eq!(cfg.effective_lanes(), 8);
+        assert_eq!(cfg.effective_jobs_for(16), 2);
+        assert_eq!(cfg.effective_jobs_for(17), 3);
+        assert_eq!(cfg.effective_jobs_for(0), 1);
+        let narrow = SweepConfig { jobs: 64, lanes: 1 };
+        assert_eq!(narrow.effective_jobs_for(16), 16);
+        // auto() resolves both dimensions machine-side.
+        let auto = SweepConfig::auto();
+        assert_eq!(auto.jobs, 0);
+        assert!(auto.effective_jobs() >= 1);
+        assert_eq!(auto.effective_lanes(), 8);
+        // Out-of-range widths clamp instead of panicking.
+        assert_eq!(SweepConfig { jobs: 1, lanes: 0 }.effective_lanes(), 1);
+        assert_eq!(SweepConfig { jobs: 1, lanes: 99 }.effective_lanes(), 8);
+    }
+
+    #[test]
+    fn lane_width_does_not_change_sweep_bits() {
+        let d = rc_lowpass(2.0 * std::f64::consts::PI * 1_000.0);
+        let freqs = log_sweep(200.0, 5_000.0, 10);
+        let reference = frequency_response_with(
+            &d,
+            "x",
+            "y",
+            0.1,
+            &freqs,
+            &BTreeMap::new(),
+            &SweepConfig { jobs: 1, lanes: 1 },
+        )
+        .expect("lanes = 1 sweep");
+        for lanes in [2, 3, 8] {
+            let wide = frequency_response_with(
+                &d,
+                "x",
+                "y",
+                0.1,
+                &freqs,
+                &BTreeMap::new(),
+                &SweepConfig { jobs: 1, lanes },
+            )
+            .expect("wide sweep");
+            assert_eq!(reference, wide, "lanes = {lanes} must not change any bit");
+        }
     }
 }

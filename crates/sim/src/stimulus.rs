@@ -57,15 +57,27 @@ pub enum Stimulus {
 impl Stimulus {
     /// A convenience sine with zero phase and offset.
     pub fn sine(amplitude: f64, frequency: f64) -> Self {
-        Stimulus::Sine { amplitude, frequency, phase: 0.0, offset: 0.0 }
+        Stimulus::Sine {
+            amplitude,
+            frequency,
+            phase: 0.0,
+            offset: 0.0,
+        }
     }
 
     /// Evaluate the stimulus at time `t`.
     pub fn at(&self, t: f64) -> f64 {
         match *self {
             Stimulus::Constant { level } => level,
-            Stimulus::Sine { amplitude, frequency, phase, offset } => {
-                offset + amplitude * (2.0 * std::f64::consts::PI * frequency * t + phase).sin()
+            Stimulus::Sine {
+                amplitude,
+                frequency,
+                phase,
+                offset,
+            } => {
+                offset
+                    + amplitude
+                        * crate::math::sin(2.0 * std::f64::consts::PI * frequency * t + phase)
             }
             Stimulus::Step { before, after, at } => {
                 if t < at {
@@ -83,7 +95,12 @@ impl Stimulus {
                     from + (to - from) * t / duration
                 }
             }
-            Stimulus::Pulse { low, high, period, duty } => {
+            Stimulus::Pulse {
+                low,
+                high,
+                period,
+                duty,
+            } => {
                 if period <= 0.0 {
                     return low;
                 }
@@ -112,14 +129,22 @@ mod tests {
 
     #[test]
     fn step_switches_at_time() {
-        let s = Stimulus::Step { before: 0.0, after: 1.0, at: 1e-3 };
+        let s = Stimulus::Step {
+            before: 0.0,
+            after: 1.0,
+            at: 1e-3,
+        };
         assert_eq!(s.at(0.5e-3), 0.0);
         assert_eq!(s.at(1.5e-3), 1.0);
     }
 
     #[test]
     fn ramp_holds_after_duration() {
-        let s = Stimulus::Ramp { from: 0.0, to: 2.0, duration: 1.0 };
+        let s = Stimulus::Ramp {
+            from: 0.0,
+            to: 2.0,
+            duration: 1.0,
+        };
         assert_eq!(s.at(0.5), 1.0);
         assert_eq!(s.at(5.0), 2.0);
         assert_eq!(s.at(-1.0), 0.0);
@@ -127,7 +152,12 @@ mod tests {
 
     #[test]
     fn pulse_duty_cycle() {
-        let s = Stimulus::Pulse { low: 0.0, high: 1.0, period: 1.0, duty: 0.25 };
+        let s = Stimulus::Pulse {
+            low: 0.0,
+            high: 1.0,
+            period: 1.0,
+            duty: 0.25,
+        };
         assert_eq!(s.at(0.1), 1.0);
         assert_eq!(s.at(0.5), 0.0);
         assert_eq!(s.at(1.1), 1.0);
@@ -135,9 +165,18 @@ mod tests {
 
     #[test]
     fn degenerate_periods_are_safe() {
-        let s = Stimulus::Pulse { low: 0.0, high: 1.0, period: 0.0, duty: 0.5 };
+        let s = Stimulus::Pulse {
+            low: 0.0,
+            high: 1.0,
+            period: 0.0,
+            duty: 0.5,
+        };
         assert_eq!(s.at(1.0), 0.0);
-        let r = Stimulus::Ramp { from: 1.0, to: 2.0, duration: 0.0 };
+        let r = Stimulus::Ramp {
+            from: 1.0,
+            to: 2.0,
+            duration: 0.0,
+        };
         assert_eq!(r.at(0.0), 2.0);
     }
 }

@@ -54,7 +54,9 @@ impl SimResult {
     /// Fraction of samples (after a settle prefix) within `tol` of
     /// `level` — used to verify clipping plateaus (paper Fig. 8).
     pub fn fraction_at_level(&self, name: &str, level: f64, tol: f64) -> f64 {
-        let Some(t) = self.traces.get(name) else { return 0.0 };
+        let Some(t) = self.traces.get(name) else {
+            return 0.0;
+        };
         if t.is_empty() {
             return 0.0;
         }
@@ -68,7 +70,10 @@ impl SimResult {
         let selected: Vec<&String> = if names.is_empty() {
             self.traces.keys().collect()
         } else {
-            self.traces.keys().filter(|k| names.contains(&k.as_str())).collect()
+            self.traces
+                .keys()
+                .filter(|k| names.contains(&k.as_str()))
+                .collect()
         };
         let mut out = String::from("time");
         for name in &selected {
@@ -107,7 +112,10 @@ mod tests {
     use super::*;
 
     fn result() -> SimResult {
-        let mut r = SimResult { time: vec![0.0, 1.0, 2.0, 3.0], ..Default::default() };
+        let mut r = SimResult {
+            time: vec![0.0, 1.0, 2.0, 3.0],
+            ..Default::default()
+        };
         r.traces.insert("y".into(), vec![0.0, 1.5, 1.5, -1.5]);
         r
     }

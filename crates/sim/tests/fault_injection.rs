@@ -4,9 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use vase_sim::{
-    simulate_design, FaultInjection, FaultKind, SimConfig, Stimulus,
-};
+use vase_sim::{simulate_design, FaultInjection, FaultKind, SimConfig, Stimulus};
 use vase_vhif::{BlockKind, SignalFlowGraph, VhifDesign};
 
 /// A first-order lag driven by a sine: dx/dt = u - x.
@@ -15,7 +13,10 @@ fn lag_design() -> VhifDesign {
     let u = g.add(BlockKind::Input { name: "u".into() });
     let sum = g.add(BlockKind::Add { arity: 2 });
     let neg = g.add(BlockKind::Scale { gain: -1.0 });
-    let x = g.add(BlockKind::Integrate { gain: 1.0, initial: 0.0 });
+    let x = g.add(BlockKind::Integrate {
+        gain: 1.0,
+        initial: 0.0,
+    });
     let y = g.add(BlockKind::Output { name: "y".into() });
     g.connect(u, sum, 0).expect("wire");
     g.connect(neg, sum, 1).expect("wire");
@@ -31,7 +32,10 @@ fn lag_design() -> VhifDesign {
 /// at the chosen dt (lambda * dt = 5 > 2.785), but stable once halved.
 fn stiff_design(lambda: f64) -> VhifDesign {
     let mut g = SignalFlowGraph::new("stiff");
-    let x = g.add(BlockKind::Integrate { gain: 1.0, initial: 1.0 });
+    let x = g.add(BlockKind::Integrate {
+        gain: 1.0,
+        initial: 1.0,
+    });
     let fb = g.add(BlockKind::Scale { gain: -lambda });
     let y = g.add(BlockKind::Output { name: "x".into() });
     g.connect(x, fb, 0).expect("wire");
@@ -71,7 +75,11 @@ fn transient_injected_nan_recovers_by_step_halving() {
     config.fault_injection = Some(FaultInjection::transient_nan(0xFA57, 0.25));
     let r = simulate_design(&d, &stim(&[("u", Stimulus::sine(1.0, 100.0))]), &config)
         .expect("simulates");
-    assert!(r.fault.is_none(), "transient faults must be recoverable: {:?}", r.fault);
+    assert!(
+        r.fault.is_none(),
+        "transient faults must be recoverable: {:?}",
+        r.fault
+    );
     assert!(r.recovered_steps > 0, "a 25% rate over 200 steps must fire");
     assert_eq!(r.time.len(), 201, "recovered run keeps the full grid");
     assert!(all_finite(&r), "no NaN may leak into the traces");
@@ -124,8 +132,15 @@ fn stiff_step_recovers_by_halving_without_injection() {
     let mut config = SimConfig::new(1e-3, 0.05);
     config.divergence_limit = 1e6;
     let r = simulate_design(&d, &BTreeMap::new(), &config).expect("simulates");
-    assert!(r.fault.is_none(), "halving must rescue the unstable steps: {:?}", r.fault);
-    assert!(r.recovered_steps > 0, "the divergence detector must have tripped");
+    assert!(
+        r.fault.is_none(),
+        "halving must rescue the unstable steps: {:?}",
+        r.fault
+    );
+    assert!(
+        r.recovered_steps > 0,
+        "the divergence detector must have tripped"
+    );
     assert_eq!(r.time.len(), 51);
     assert!(all_finite(&r));
     let x = r.trace("x").expect("trace");
@@ -142,9 +157,15 @@ fn divergence_with_no_retry_budget_aborts() {
     let fault = r.fault.expect("without retries the divergence must abort");
     assert_eq!(fault.kind, FaultKind::Divergence);
     assert_eq!(fault.retries, 0);
-    assert!(fault.step > 0, "the first few steps are still below the limit");
+    assert!(
+        fault.step > 0,
+        "the first few steps are still below the limit"
+    );
     assert_eq!(r.time.len(), fault.step);
-    assert!(all_finite(&r), "the diverged state is discarded, not recorded");
+    assert!(
+        all_finite(&r),
+        "the diverged state is discarded, not recorded"
+    );
 }
 
 #[test]
@@ -153,7 +174,9 @@ fn injection_survives_designs_with_fsms() {
     // signal. Injection must not disturb FSM bookkeeping.
     use vase_vhif::{DataOp, DpExpr, Event, Fsm, Trigger};
     let mut g = SignalFlowGraph::new("sw");
-    let line = g.add(BlockKind::Input { name: "line".into() });
+    let line = g.add(BlockKind::Input {
+        name: "line".into(),
+    });
     let ctl = g.add(BlockKind::ControlInput { name: "c1".into() });
     let sw = g.add(BlockKind::Switch);
     let y = g.add(BlockKind::Output { name: "y".into() });
@@ -163,11 +186,16 @@ fn injection_survives_designs_with_fsms() {
     let mut fsm = Fsm::new("ctl");
     let start = fsm.start();
     let on = fsm.add_state("on");
-    fsm.state_mut(on).ops.push(DataOp::new("c1", DpExpr::Bit(true)));
+    fsm.state_mut(on)
+        .ops
+        .push(DataOp::new("c1", DpExpr::Bit(true)));
     fsm.add_transition(
         start,
         on,
-        Trigger::AnyEvent(vec![Event::Above { quantity: "line".into(), threshold: 0.5 }]),
+        Trigger::AnyEvent(vec![Event::Above {
+            quantity: "line".into(),
+            threshold: 0.5,
+        }]),
     );
     fsm.add_transition(on, start, Trigger::Always);
     let mut d = VhifDesign::new("t");
@@ -178,7 +206,14 @@ fn injection_survives_designs_with_fsms() {
     config.fault_injection = Some(FaultInjection::transient_nan(3, 0.5));
     let r = simulate_design(
         &d,
-        &stim(&[("line", Stimulus::Step { before: 0.0, after: 1.0, at: 5e-3 })]),
+        &stim(&[(
+            "line",
+            Stimulus::Step {
+                before: 0.0,
+                after: 1.0,
+                at: 5e-3,
+            },
+        )]),
         &config,
     )
     .expect("simulates");

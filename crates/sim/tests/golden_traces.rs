@@ -18,7 +18,10 @@ fn rc_lowpass(w0: f64) -> VhifDesign {
     let mut g = SignalFlowGraph::new("rc");
     let x = g.add(BlockKind::Input { name: "x".into() });
     let sub = g.add(BlockKind::Sub);
-    let integ = g.add(BlockKind::Integrate { gain: w0, initial: 0.0 });
+    let integ = g.add(BlockKind::Integrate {
+        gain: w0,
+        initial: 0.0,
+    });
     let y = g.add(BlockKind::Output { name: "y".into() });
     g.connect(x, sub, 0).expect("wire");
     g.connect(integ, sub, 1).expect("wire");
@@ -34,8 +37,14 @@ fn rc_lowpass(w0: f64) -> VhifDesign {
 fn harmonic_oscillator(w: f64) -> VhifDesign {
     let mut g = SignalFlowGraph::new("osc");
     let neg = g.add(BlockKind::Scale { gain: -1.0 });
-    let v = g.add(BlockKind::Integrate { gain: w, initial: 0.0 }); // x' / w
-    let x = g.add(BlockKind::Integrate { gain: w, initial: 1.0 });
+    let v = g.add(BlockKind::Integrate {
+        gain: w,
+        initial: 0.0,
+    }); // x' / w
+    let x = g.add(BlockKind::Integrate {
+        gain: w,
+        initial: 1.0,
+    });
     let out = g.add(BlockKind::Output { name: "x".into() });
     g.connect(x, neg, 0).expect("wire");
     g.connect(neg, v, 0).expect("wire");
@@ -53,8 +62,8 @@ fn rc_lowpass_step_response_matches_analytic() {
     let tau = 1e-3;
     let d = rc_lowpass(1.0 / tau);
     let inputs = stim(&[("x", Stimulus::Constant { level: 1.0 })]);
-    let r = simulate_design(&d, &inputs, &SimConfig::new(tau / 100.0, 5.0 * tau))
-        .expect("simulates");
+    let r =
+        simulate_design(&d, &inputs, &SimConfig::new(tau / 100.0, 5.0 * tau)).expect("simulates");
     let y = r.trace("y").expect("trace");
     for (&t, &v) in r.time.iter().zip(y) {
         let exact = 1.0 - (-t / tau).exp();

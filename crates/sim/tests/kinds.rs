@@ -14,7 +14,12 @@ fn stim(entries: &[(&str, Stimulus)]) -> BTreeMap<String, Stimulus> {
 }
 
 fn place(kind: ComponentKind, inputs: Vec<SourceRef>) -> PlacedComponent {
-    PlacedComponent { kind, inputs, implements: vec![], label: "c".into() }
+    PlacedComponent {
+        kind,
+        inputs,
+        implements: vec![],
+        label: "c".into(),
+    }
 }
 
 /// Simulate a single component with the given external drives and
@@ -23,7 +28,10 @@ fn settle(kind: ComponentKind, drives: &[(&str, f64)]) -> f64 {
     let mut netlist = Netlist::new();
     let inputs = (0..kind.data_inputs())
         .map(|i| SourceRef::External(format!("in{i}")))
-        .chain(kind.has_control_input().then(|| SourceRef::External("ctl".into())))
+        .chain(
+            kind.has_control_input()
+                .then(|| SourceRef::External("ctl".into())),
+        )
         .collect();
     netlist.push(place(kind, inputs));
     netlist.outputs.push(("y".into(), SourceRef::Component(0)));
@@ -31,15 +39,17 @@ fn settle(kind: ComponentKind, drives: &[(&str, f64)]) -> f64 {
         .iter()
         .map(|(n, v)| (n.to_string(), Stimulus::Constant { level: *v }))
         .collect();
-    let result = simulate_netlist(&netlist, &stimuli, &[], &SimConfig::new(1e-5, 1e-3))
-        .expect("simulates");
+    let result =
+        simulate_netlist(&netlist, &stimuli, &[], &SimConfig::new(1e-5, 1e-3)).expect("simulates");
     *result.trace("y").expect("trace").last().expect("samples")
 }
 
 #[test]
 fn amplifier_chain_multiplies_stage_gains() {
     let y = settle(
-        ComponentKind::AmplifierChain { stage_gains: vec![-2.0, -3.0] },
+        ComponentKind::AmplifierChain {
+            stage_gains: vec![-2.0, -3.0],
+        },
         &[("in0", 0.3)],
     );
     assert!((y - 1.8).abs() < 1e-9, "y = {y}");
@@ -49,7 +59,9 @@ fn amplifier_chain_multiplies_stage_gains() {
 fn chain_saturates_per_stage() {
     // First stage saturates before the second multiplies.
     let y = settle(
-        ComponentKind::AmplifierChain { stage_gains: vec![10.0, 1.0] },
+        ComponentKind::AmplifierChain {
+            stage_gains: vec![10.0, 1.0],
+        },
         &[("in0", 1.0)],
     );
     assert!((y - AMP_SATURATION).abs() < 1e-9);
@@ -81,7 +93,10 @@ fn rectifier_takes_magnitude() {
 #[test]
 fn adc_quantizes_to_lsb() {
     let lsb = 5.0 / 256.0;
-    let y = settle(ComponentKind::Adc { bits: 8 }, &[("in0", 0.5), ("ctl", 1.0)]);
+    let y = settle(
+        ComponentKind::Adc { bits: 8 },
+        &[("in0", 0.5), ("ctl", 1.0)],
+    );
     assert!((y / lsb).fract().abs() < 1e-9 || ((y / lsb).fract() - 1.0).abs() < 1e-9);
     assert!((y - 0.5).abs() <= lsb);
 }
@@ -130,7 +145,9 @@ fn settle_block(kind: BlockKind, drives: &[(&str, f64)]) -> f64 {
     let mut port = 0;
     let mut wires = Vec::new();
     for i in 0..kind.data_inputs() {
-        let b = g.add(BlockKind::Input { name: format!("in{i}") });
+        let b = g.add(BlockKind::Input {
+            name: format!("in{i}"),
+        });
         wires.push((b, port));
         port += 1;
     }
@@ -151,8 +168,7 @@ fn settle_block(kind: BlockKind, drives: &[(&str, f64)]) -> f64 {
         .iter()
         .map(|(n, v)| (n.to_string(), Stimulus::Constant { level: *v }))
         .collect();
-    let result =
-        simulate_design(&d, &stimuli, &SimConfig::new(1e-5, 1e-3)).expect("simulates");
+    let result = simulate_design(&d, &stimuli, &SimConfig::new(1e-5, 1e-3)).expect("simulates");
     *result.trace("y").expect("trace").last().expect("samples")
 }
 
@@ -228,13 +244,24 @@ fn behavioral_memory_holds_on_write_edge() {
         &stim(&[
             ("x", Stimulus::Constant { level: 1.0 }),
             // write pulse early, then released
-            ("w", Stimulus::Step { before: 1.0, after: 0.0, at: 3e-4 }),
+            (
+                "w",
+                Stimulus::Step {
+                    before: 1.0,
+                    after: 0.0,
+                    at: 3e-4,
+                },
+            ),
         ]),
         &SimConfig::new(1e-5, 1e-3),
     )
     .expect("simulates");
     let y = result.trace("y").expect("trace");
-    assert_eq!(*y.last().expect("samples"), 1.0, "memory held the written 1");
+    assert_eq!(
+        *y.last().expect("samples"),
+        1.0,
+        "memory held the written 1"
+    );
 }
 
 #[test]
@@ -256,7 +283,11 @@ fn behavioral_power_matches_netlist_multiplier() {
         &SimConfig::new(1e-5, 1e-4),
     )
     .expect("simulates");
-    let got = *behavioral.trace("y").expect("trace").last().expect("samples");
+    let got = *behavioral
+        .trace("y")
+        .expect("trace")
+        .last()
+        .expect("samples");
     assert!((got - 0.36).abs() < 1e-9);
 
     let y = settle(ComponentKind::Multiplier, &[("in0", 0.6), ("in1", 0.6)]);

@@ -47,7 +47,10 @@ fn rc_lowpass_design() -> VhifDesign {
     let mut g = SignalFlowGraph::new("rc");
     let x = g.add(BlockKind::Input { name: "x".into() });
     let sub = g.add(BlockKind::Sub);
-    let integ = g.add(BlockKind::Integrate { gain: 1_000.0, initial: 0.0 });
+    let integ = g.add(BlockKind::Integrate {
+        gain: 1_000.0,
+        initial: 0.0,
+    });
     let y = g.add(BlockKind::Output { name: "y".into() });
     g.connect(x, sub, 0).expect("wire");
     g.connect(integ, sub, 1).expect("wire");
@@ -62,7 +65,9 @@ fn rc_lowpass_design() -> VhifDesign {
 /// path: event edge detection, state walking, data-path evaluation.
 fn fsm_design() -> VhifDesign {
     let mut g = SignalFlowGraph::new("sw");
-    let line = g.add(BlockKind::Input { name: "line".into() });
+    let line = g.add(BlockKind::Input {
+        name: "line".into(),
+    });
     let ctl = g.add(BlockKind::ControlInput { name: "c1".into() });
     let sw = g.add(BlockKind::Switch);
     let y = g.add(BlockKind::Output { name: "y".into() });
@@ -73,11 +78,16 @@ fn fsm_design() -> VhifDesign {
     let mut fsm = Fsm::new("ctl");
     let start = fsm.start();
     let on = fsm.add_state("on");
-    fsm.state_mut(on).ops.push(DataOp::new("c1", DpExpr::Bit(true)));
+    fsm.state_mut(on)
+        .ops
+        .push(DataOp::new("c1", DpExpr::Bit(true)));
     fsm.add_transition(
         start,
         on,
-        Trigger::AnyEvent(vec![Event::Above { quantity: "line".into(), threshold: 0.0 }]),
+        Trigger::AnyEvent(vec![Event::Above {
+            quantity: "line".into(),
+            threshold: 0.0,
+        }]),
     );
     fsm.add_transition(on, start, Trigger::Always);
 
@@ -113,9 +123,56 @@ fn assert_steady_state_alloc_free(design: &VhifDesign, inputs: &[(&str, Stimulus
     assert_eq!(result.time.len(), plan.steps() + 1);
 }
 
+fn assert_batched_steady_state_alloc_free(
+    design: &VhifDesign,
+    inputs: &[(&str, Stimulus)],
+    lanes: usize,
+) {
+    let inputs: BTreeMap<String, Stimulus> =
+        inputs.iter().map(|(n, s)| (n.to_string(), *s)).collect();
+    let config = SimConfig::new(1e-5, 10e-3); // 1000 steps
+    let plan = CompiledSim::new(design, &inputs, &config).expect("compiles");
+    let mut session = plan.batch_replicated(lanes);
+    session.step();
+    session.step();
+    let before = allocations();
+    while !session.done() {
+        session.step();
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state lane-batched stepping must not allocate ({} allocations over {} steps x {lanes} lanes)",
+        after - before,
+        plan.steps(),
+    );
+    for result in session.into_results() {
+        assert_eq!(result.time.len(), plan.steps() + 1);
+    }
+}
+
 #[test]
 fn continuous_stepping_is_allocation_free() {
     assert_steady_state_alloc_free(&rc_lowpass_design(), &[("x", Stimulus::sine(1.0, 200.0))]);
+}
+
+#[test]
+fn batched_continuous_stepping_is_allocation_free() {
+    assert_batched_steady_state_alloc_free(
+        &rc_lowpass_design(),
+        &[("x", Stimulus::sine(1.0, 200.0))],
+        8,
+    );
+}
+
+#[test]
+fn batched_fsm_stepping_is_allocation_free() {
+    assert_batched_steady_state_alloc_free(
+        &fsm_design(),
+        &[("line", Stimulus::sine(1.0, 500.0))],
+        4,
+    );
 }
 
 #[test]

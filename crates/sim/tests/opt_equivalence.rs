@@ -25,7 +25,10 @@ fn optimized(d: &VhifDesign) -> VhifDesign {
     assert!(rewrites > 0, "redundancy was not exercised: {stats:#?}");
     let before: usize = d.graphs.iter().map(|g| g.len()).sum();
     let after: usize = opt.graphs.iter().map(|g| g.len()).sum();
-    assert!(after < before, "expected a block reduction ({before} -> {after})");
+    assert!(
+        after < before,
+        "expected a block reduction ({before} -> {after})"
+    );
     opt
 }
 
@@ -43,14 +46,19 @@ fn redundant_rc_lowpass(w0: f64) -> VhifDesign {
     let x = g.add(BlockKind::Input { name: "x".into() });
     let copy = g.add(BlockKind::Scale { gain: 1.0 });
     let sub = g.add(BlockKind::Sub);
-    let integ = g.add(BlockKind::Integrate { gain: w0, initial: 0.0 });
+    let integ = g.add(BlockKind::Integrate {
+        gain: w0,
+        initial: 0.0,
+    });
     let tap_a = g.add(BlockKind::Scale { gain: 1.0 });
     let tap_b = g.add(BlockKind::Scale { gain: 1.0 });
     let y = g.add(BlockKind::Output { name: "y".into() });
     let c2 = g.add(BlockKind::Const { value: 2.0 });
     let c3 = g.add(BlockKind::Const { value: 3.0 });
     let mul = g.add(BlockKind::Mul);
-    let bias = g.add(BlockKind::Output { name: "bias".into() });
+    let bias = g.add(BlockKind::Output {
+        name: "bias".into(),
+    });
     let dead = g.add(BlockKind::Scale { gain: 5.0 });
     g.connect(x, copy, 0).expect("wire");
     g.connect(copy, sub, 0).expect("wire");
@@ -75,8 +83,14 @@ fn redundant_oscillator(w: f64) -> VhifDesign {
     let mut g = SignalFlowGraph::new("osc");
     let neg_a = g.add(BlockKind::Scale { gain: -1.0 });
     let neg_b = g.add(BlockKind::Scale { gain: -1.0 });
-    let v = g.add(BlockKind::Integrate { gain: w, initial: 0.0 });
-    let x = g.add(BlockKind::Integrate { gain: w, initial: 1.0 });
+    let v = g.add(BlockKind::Integrate {
+        gain: w,
+        initial: 0.0,
+    });
+    let x = g.add(BlockKind::Integrate {
+        gain: w,
+        initial: 1.0,
+    });
     let loop_copy = g.add(BlockKind::Scale { gain: 1.0 });
     let out = g.add(BlockKind::Output { name: "x".into() });
     let dead = g.add(BlockKind::Abs);

@@ -25,6 +25,28 @@ cargo test -q -p vase --test opt_snapshots
 echo "== tier 1: sim fault-injection suite =="
 cargo test -q -p vase-sim --test fault_injection
 
+echo "== tier 1: wide-simulation equivalence + no-alloc suites =="
+cargo test -q -p vase-sim --test lane_equivalence
+cargo test -q -p vase-sim --test no_alloc
+cargo test -q -p vase --test lane_corpus
+
+echo "== tier 1: Monte Carlo yield smoke (lane-batched) =="
+# A small sample count exercises the whole batched MC path: netlist
+# perturbation, lane batching, range scoring, and the yield report.
+./target/release/vase sim crates/core/specs/funcgen.vhd \
+    --input ramp=sine:0.5,1000 --monte-carlo 16 --tolerance 2 >/dev/null
+# A poisoned lane must degrade (exit 3), not fail the batch.
+set +e
+./target/release/vase sim crates/core/specs/funcgen.vhd \
+    --input ramp=sine:0.5,1000 --monte-carlo 16 --tolerance 2 \
+    --inject-lane 0:50 >/dev/null
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+    echo "injected-lane Monte Carlo run exited $rc, expected 3 (degraded)" >&2
+    exit 1
+fi
+
 echo "== tier 1: vase-fuzz --smoke =="
 ./target/release/vase-fuzz --smoke
 
