@@ -24,11 +24,12 @@ use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 use vase_budget::{BudgetMeter, CancelToken};
-use vase_estimate::{Estimator, NetlistEstimate};
+use vase_estimate::{EstimateMemo, Estimator, NetlistEstimate};
 use vase_library::{MatchCache, Netlist, PatternMatch};
 use vase_vhif::{BlockId, SignalFlowGraph};
 
-use crate::config::{MapStats, MapperConfig};
+use crate::cache::CoverCache;
+use crate::config::{MapStats, MapperConfig, SearchStrategy};
 use crate::cover::CoverSet;
 use crate::error::MapError;
 use crate::parallel::{run_parallel, ShardedMemo, SharedSearchState};
@@ -91,6 +92,27 @@ pub fn map_graph_with_cancel(
     map_graph_metered(graph, estimator, config, &meter, seed_incumbent)
 }
 
+/// [`map_graph`] consulting (and updating) a content-addressed
+/// [`CoverCache`]: when the cache holds a valid best-known cover for a
+/// structurally identical graph under the same constraints/options, the
+/// mapping is answered in O(lookup) with `stats.cache_hits = 1` and no
+/// search at all; otherwise the search runs normally and its optimal
+/// cover is recorded (unless it stopped on a budget).
+///
+/// # Errors
+///
+/// As [`map_graph`].
+pub fn map_graph_with_cache(
+    graph: &SignalFlowGraph,
+    estimator: &Estimator,
+    config: &MapperConfig,
+    cache: &CoverCache,
+) -> Result<MapResult, MapError> {
+    let seed_incumbent = config.budget.is_limited();
+    let meter = BudgetMeter::new(config.effective_budget(), None);
+    map_graph_metered_cached(graph, estimator, config, &meter, seed_incumbent, Some(cache))
+}
+
 /// The budget-aware mapping core: meters node visits on `meter`
 /// (shareable across several graphs of one design) and, when
 /// `seed_incumbent` is set, pre-seeds the search with a greedy mapping
@@ -104,6 +126,19 @@ pub(crate) fn map_graph_metered(
     meter: &BudgetMeter,
     seed_incumbent: bool,
 ) -> Result<MapResult, MapError> {
+    map_graph_metered_cached(graph, estimator, config, meter, seed_incumbent, None)
+}
+
+/// [`map_graph_metered`] with an optional cover cache consulted before
+/// branching and updated after a completed (non-exhausted) search.
+pub(crate) fn map_graph_metered_cached(
+    graph: &SignalFlowGraph,
+    estimator: &Estimator,
+    config: &MapperConfig,
+    meter: &BudgetMeter,
+    seed_incumbent: bool,
+    cover_cache: Option<&CoverCache>,
+) -> Result<MapResult, MapError> {
     let start = Instant::now();
     // Run the matcher once per block, up front; both the pre-check and
     // every decision-tree visit read from this cache.
@@ -116,35 +151,66 @@ pub(crate) fn map_graph_metered(
             });
         }
     }
+    // Content-addressed reuse: a structurally identical graph mapped
+    // before (under the same constraints and options) resolves in
+    // O(lookup), skipping the search entirely.
+    let cache_key = cover_cache.map(|c| (c, CoverCache::key(graph, estimator, config)));
+    if let Some((cc, key)) = &cache_key {
+        if let Some((netlist, estimate)) = cc.lookup(*key, graph, estimator, config) {
+            let stats = MapStats {
+                cache_hits: 1,
+                elapsed_us: start.elapsed().as_micros() as u64,
+                ..MapStats::default()
+            };
+            return Ok(MapResult { netlist, estimate, stats });
+        }
+    }
     let seed = if seed_incumbent {
-        crate::greedy::map_graph_greedy(graph, estimator, config)
+        crate::greedy::map_graph_greedy_planned(graph, estimator, config)
             .ok()
-            .map(|r| Best {
+            .map(|(r, components, opamps)| Best {
                 area: r.estimate.area_m2,
                 netlist: r.netlist,
                 estimate: r.estimate,
+                components,
+                opamps,
             })
     } else {
         None
     };
     let ctx = SearchCtx::new(graph, estimator, config, cache, meter);
     let jobs = config.effective_parallelism();
-    let (best, mut stats) = if jobs <= 1 {
-        let mut search = Search::sequential(&ctx);
-        search.best = seed;
-        search.run(Plan::new(graph));
-        (search.best, search.stats)
-    } else {
-        run_parallel(&ctx, jobs, seed)
+    let (best, mut stats) = match config.strategy {
+        SearchStrategy::Guided => crate::guide::run_guided(&ctx, seed),
+        SearchStrategy::Exact if jobs <= 1 => {
+            let mut search = Search::sequential(&ctx);
+            search.best = seed;
+            search.run(Plan::new(graph));
+            (search.best, search.stats)
+        }
+        SearchStrategy::Exact => run_parallel(&ctx, jobs, seed),
     };
     stats.elapsed_us = start.elapsed().as_micros() as u64;
     stats.budget_exhausted = meter.exhausted();
     match best {
-        Some(best) => Ok(MapResult {
-            netlist: best.netlist,
-            estimate: best.estimate,
-            stats,
-        }),
+        Some(best) => {
+            if let Some((cc, key)) = cache_key {
+                // Only proven-complete searches are worth remembering:
+                // a budget-exhausted incumbent must not masquerade as
+                // the best-known cover. (A greedy seed that survives a
+                // *completed* search is fine — completion proved it
+                // area-optimal.)
+                if !stats.budget_exhausted && !best.components.is_empty() {
+                    cc.insert(key, best.opamps, best.components.clone());
+                }
+                stats.cache_misses = 1;
+            }
+            Ok(MapResult {
+                netlist: best.netlist,
+                estimate: best.estimate,
+                stats,
+            })
+        }
         None => Err(MapError::NoFeasibleMapping),
     }
 }
@@ -154,6 +220,10 @@ pub(crate) struct Best {
     pub(crate) area: f64,
     pub(crate) netlist: Netlist,
     pub(crate) estimate: NetlistEstimate,
+    /// The winning plan's components, for cover-cache insertion.
+    pub(crate) components: Vec<PlannedComponent>,
+    /// The winning plan's op-amp count (matches `components`).
+    pub(crate) opamps: usize,
 }
 
 /// Immutable, thread-shareable context of one `map_graph` call: the
@@ -167,6 +237,12 @@ pub(crate) struct SearchCtx<'a> {
     /// `spec_ok[block][alternative]`: whether the matched component's
     /// op-amp spec is achievable at all (computed once, not per node).
     pub(crate) spec_ok: Vec<Vec<bool>>,
+    /// `alt_area[block][alternative]`: the matched component's
+    /// estimated area. The guided search accumulates these as its
+    /// admissible placed-area bound; computed alongside `spec_ok` from
+    /// the same (memoized) estimates, so the search itself never calls
+    /// the estimator per node.
+    pub(crate) alt_area: Vec<Vec<f64>>,
     pub(crate) order: Vec<BlockId>,
     pub(crate) min_area: f64,
     /// The shared budget meter; every decision-tree visit notes a node
@@ -182,21 +258,32 @@ impl<'a> SearchCtx<'a> {
         cache: MatchCache,
         meter: &'a BudgetMeter,
     ) -> Self {
-        let spec_ok = (0..graph.len())
-            .map(|i| {
-                cache
-                    .at(BlockId::from_index(i))
-                    .iter()
-                    .map(|m| estimator.estimate_component(&m.kind).spec_met)
-                    .collect()
-            })
-            .collect();
+        // One estimator run per *distinct* kind: alternatives repeat
+        // kinds heavily (every Scale block matches the same follower /
+        // inverting-amp shapes), so the memo collapses the square-law
+        // sizing work while staying bitwise identical to fresh calls.
+        let mut memo = EstimateMemo::new();
+        let mut spec_ok = Vec::with_capacity(graph.len());
+        let mut alt_area = Vec::with_capacity(graph.len());
+        for i in 0..graph.len() {
+            let alternatives = cache.at(BlockId::from_index(i));
+            let mut ok = Vec::with_capacity(alternatives.len());
+            let mut area = Vec::with_capacity(alternatives.len());
+            for m in alternatives {
+                let e = memo.estimate(estimator, &m.kind);
+                ok.push(e.spec_met);
+                area.push(e.area_m2);
+            }
+            spec_ok.push(ok);
+            alt_area.push(area);
+        }
         SearchCtx {
             graph,
             estimator,
             config,
             cache,
             spec_ok,
+            alt_area,
             order: coverage_order(graph),
             min_area: estimator.min_opamp_area(),
             meter,
@@ -379,6 +466,8 @@ impl<'a> Search<'a> {
                 area,
                 netlist,
                 estimate,
+                components: plan.components.clone(),
+                opamps: plan.opamps,
             });
         }
         if let Some(shared) = self.shared {

@@ -6,6 +6,27 @@ use serde::{Deserialize, Serialize};
 use vase_budget::Budget;
 use vase_library::MatchOptions;
 
+/// Which search algorithm explores the mapping decision tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum SearchStrategy {
+    /// The paper's depth-first branch-and-bound (Fig. 5): exact, with
+    /// the largest-cover-first sequencing rule and the
+    /// `opamps · MinArea` bounding rule.
+    #[default]
+    Exact,
+    /// Model-guided best-first search: candidates are expanded in order
+    /// of an estimator-derived score (placed-component area plus a
+    /// remaining-coverage heuristic) and pruned against the incumbent
+    /// with the *admissible* placed-area lower bound — a much tighter
+    /// bound than `opamps · MinArea`. Run to completion it returns the
+    /// same optimal netlist as [`SearchStrategy::Exact`]
+    /// (property-tested bit-identical); under a limited
+    /// [`Budget`] it is anytime exactly like the exact search. The
+    /// guided search is sequential — `parallelism` is ignored.
+    Guided,
+}
+
 /// Configuration of the architecture generator. The boolean switches
 /// correspond to the algorithm ingredients of paper Section 5 and feed
 /// the ablation benchmarks.
@@ -56,6 +77,11 @@ pub struct MapperConfig {
     /// plan found so far flagged [`MapStats::budget_exhausted`].
     #[serde(default)]
     pub budget: Budget,
+    /// Which algorithm explores the decision tree (exact depth-first
+    /// branch-and-bound by default; model-guided best-first with
+    /// [`SearchStrategy::Guided`]).
+    #[serde(default)]
+    pub strategy: SearchStrategy,
 }
 
 fn default_parallelism() -> usize {
@@ -75,6 +101,7 @@ impl Default for MapperConfig {
             parallelism: default_parallelism(),
             split_depth: 0,
             budget: Budget::unlimited(),
+            strategy: SearchStrategy::default(),
         }
     }
 }
@@ -108,6 +135,15 @@ impl MapperConfig {
     pub fn parallel() -> Self {
         MapperConfig {
             parallelism: 0,
+            ..MapperConfig::default()
+        }
+    }
+
+    /// The default configuration with the model-guided best-first
+    /// search strategy.
+    pub fn guided() -> Self {
+        MapperConfig {
+            strategy: SearchStrategy::Guided,
             ..MapperConfig::default()
         }
     }
@@ -162,6 +198,14 @@ pub struct MapStats {
     /// minimum-area architecture.
     #[serde(default)]
     pub budget_exhausted: bool,
+    /// Graphs answered from the content-addressed cover cache without
+    /// any search (one per cached graph in the design).
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Graphs that consulted a cover cache and had to search (their
+    /// results were recorded for future reuse).
+    #[serde(default)]
+    pub cache_misses: u64,
 }
 
 impl MapStats {
@@ -176,6 +220,8 @@ impl MapStats {
         self.infeasible_mappings += other.infeasible_mappings;
         self.elapsed_us += other.elapsed_us;
         self.budget_exhausted |= other.budget_exhausted;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 
     /// Decision-tree nodes explored, the quantity compute budgets
@@ -211,6 +257,9 @@ impl fmt::Display for MapStats {
         if self.budget_exhausted {
             write!(f, " [budget exhausted]")?;
         }
+        if self.cache_hits > 0 {
+            write!(f, " [{} cover-cache hit(s)]", self.cache_hits)?;
+        }
         Ok(())
     }
 }
@@ -236,6 +285,28 @@ mod tests {
         assert!(c.match_options.multi_block && c.match_options.transforms);
         assert_eq!(c.parallelism, 1);
         assert_eq!(c.split_depth, 0);
+        assert_eq!(c.strategy, SearchStrategy::Exact);
+    }
+
+    #[test]
+    fn guided_config_switches_strategy_only() {
+        let c = MapperConfig::guided();
+        assert_eq!(c.strategy, SearchStrategy::Guided);
+        assert_eq!(
+            MapperConfig { strategy: SearchStrategy::Exact, ..c },
+            MapperConfig::default()
+        );
+    }
+
+    #[test]
+    fn stats_merge_sums_cache_counters() {
+        let mut a = MapStats { cache_hits: 1, cache_misses: 2, ..MapStats::default() };
+        let b = MapStats { cache_hits: 3, cache_misses: 1, ..MapStats::default() };
+        a.merge(&b);
+        assert_eq!(a.cache_hits, 4);
+        assert_eq!(a.cache_misses, 3);
+        assert!(a.to_string().contains("4 cover-cache hit(s)"));
+        assert!(!MapStats::default().to_string().contains("cover-cache"));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use vase_budget::BudgetMeter;
-use vase_estimate::Estimator;
+use vase_estimate::{EstimateMemo, Estimator};
 use vase_library::MatchCache;
 use vase_vhif::SignalFlowGraph;
 
@@ -38,12 +38,26 @@ pub fn map_graph_greedy(
     estimator: &Estimator,
     config: &MapperConfig,
 ) -> Result<MapResult, MapError> {
+    map_graph_greedy_planned(graph, estimator, config).map(|(result, _, _)| result)
+}
+
+/// [`map_graph_greedy`] that also returns the winning plan's components
+/// and op-amp count, so a search seeded with the greedy incumbent can
+/// cache the cover when the seed survives to completion.
+pub(crate) fn map_graph_greedy_planned(
+    graph: &SignalFlowGraph,
+    estimator: &Estimator,
+    config: &MapperConfig,
+) -> Result<(MapResult, Vec<PlannedComponent>, usize), MapError> {
     let start = Instant::now();
     let meter = BudgetMeter::new(config.effective_budget(), None);
     let cache = MatchCache::build(graph, &config.match_options);
     let mut plan = Plan::new(graph);
     let order = crate::bnb::coverage_order(graph);
     let mut stats = MapStats::default();
+    // Alternatives repeat the same few kinds across blocks; memoize so
+    // square-law sizing runs once per distinct kind, not per match.
+    let mut memo = EstimateMemo::new();
     while let Some(cur) = order.iter().copied().find(|&b| !plan.is_covered(b)) {
         stats.visited_nodes += 1;
         let _ = meter.note_node();
@@ -52,7 +66,7 @@ pub fn map_graph_greedy(
             .iter()
             .find(|m| {
                 !m.covered.iter().any(|&b| plan.is_covered(b))
-                    && estimator.estimate_component(&m.kind).spec_met
+                    && memo.estimate(estimator, &m.kind).spec_met
             })
             .ok_or_else(|| MapError::NoPattern {
                 block: format!("{cur} ({})", graph.kind(cur)),
@@ -85,11 +99,16 @@ pub fn map_graph_greedy(
     }
     stats.elapsed_us = start.elapsed().as_micros() as u64;
     stats.budget_exhausted = meter.exhausted();
-    Ok(MapResult {
-        netlist,
-        estimate,
-        stats,
-    })
+    let opamps = plan.opamps;
+    Ok((
+        MapResult {
+            netlist,
+            estimate,
+            stats,
+        },
+        plan.components,
+        opamps,
+    ))
 }
 
 #[cfg(test)]

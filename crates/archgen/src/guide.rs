@@ -1,0 +1,456 @@
+//! Model-guided best-first mapping search.
+//!
+//! The exact branch-and-bound search ([`crate::bnb`]) expands the
+//! decision tree depth-first and bounds partial mappings by
+//! `(opamps + added) · MinArea`. That bound only counts op amps, so on
+//! larger graphs the DFS spends most of its nodes proving optimality of
+//! branches whose *actual* placed area is already hopeless.
+//!
+//! The guided strategy uses the performance estimator as a search
+//! model instead:
+//!
+//! * **g** — the sum of the estimated areas of the components placed so
+//!   far (read from [`SearchCtx::alt_area`], which is precomputed once
+//!   per mapping call through an [`vase_estimate::EstimateMemo`]). This
+//!   is an *admissible* lower bound on the final netlist area: the
+//!   final estimate is the sum of per-component estimates, and
+//!   resolution only ever adds fan-out follower buffers (non-negative
+//!   area). Nodes with `g > incumbent` are pruned — strictly, so no
+//!   prefix of an optimal leaf is ever dropped.
+//! * **h** — `uncovered_blocks · MinArea`, an optimistic completion
+//!   estimate used only to *order* the frontier (best `f = g + h`
+//!   first). It is not used for pruning, so its slight inadmissibility
+//!   on multi-block folds and shared components cannot affect the
+//!   result.
+//!
+//! Expansion order within a node, the dominance memo, and the
+//! completion check are identical to the exact search; ties on
+//! bitwise-equal area are broken towards the leaf the DFS would have
+//! reported (smallest branch-choice path in preorder), so a guided run
+//! that reaches frontier exhaustion returns a bit-identical netlist to
+//! the exact search. Under a budget it is *anytime* like the DFS: the
+//! best incumbent so far is returned with `budget_exhausted` set —
+//! and because the frontier is ordered by the model, that incumbent is
+//! typically optimal or near-optimal long before exhaustion.
+//!
+//! The guided search is sequential; `parallelism` is ignored.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+use crate::bnb::{apply_match, Best, SearchCtx};
+use crate::config::MapStats;
+use crate::cover::CoverSet;
+use crate::plan::{resolve, Plan};
+
+/// One frontier entry, stored copy-on-write: the *parent's* plan
+/// (shared with every sibling via `Arc`) plus the one pending branch
+/// action, materialized only if the node survives its pop-time bound
+/// check. This keeps plan cloning O(pops) instead of O(pushes) —
+/// branching-factor times fewer clones, and none at all for frontier
+/// entries killed by an improved incumbent.
+struct Node {
+    /// `f = g + h` as ordered bits (non-negative IEEE doubles order the
+    /// same as their bit patterns).
+    f_bits: u64,
+    /// Insertion sequence number: ties on `f` pop in push order, which
+    /// matches the DFS visit order on equal-bound frontiers.
+    seq: u64,
+    /// Sum of placed component areas (admissible lower bound) *after*
+    /// the pending action.
+    g: f64,
+    /// The plan before this node's branch action (the root carries the
+    /// empty plan and no action).
+    parent: Arc<Plan>,
+    /// The pending branch action — the last entry of `path` — or `None`
+    /// for the root. Replayed against `parent` at pop time.
+    action: Option<u16>,
+    /// Branch choices from the root: `2k` = share at visit-rank `k`,
+    /// `2k + 1` = allocate at visit-rank `k`. Lexicographic order over
+    /// these paths is exactly the DFS preorder.
+    path: Vec<u16>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.f_bits == other.f_bits && self.seq == other.seq
+    }
+}
+
+impl Eq for Node {}
+
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest
+        // (f, seq) on top.
+        other
+            .f_bits
+            .cmp(&self.f_bits)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Run the guided best-first search over `ctx`'s decision tree.
+///
+/// `seed` is an optional greedy incumbent (path-less: it only loses to
+/// strictly better completions, mirroring the DFS seed semantics).
+pub(crate) fn run_guided(ctx: &SearchCtx, seed: Option<Best>) -> (Option<Best>, MapStats) {
+    let mut stats = MapStats::default();
+    let mut best = seed;
+    let mut best_path: Option<Vec<u16>> = None;
+    let mut memo: Option<HashMap<CoverSet, usize>> = if ctx.config.memoize {
+        Some(HashMap::new())
+    } else {
+        None
+    };
+    let mut heap = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let root = Arc::new(Plan::new(ctx.graph));
+    heap.push(Node {
+        f_bits: completion_f(ctx, 0.0, root.covered.count()).to_bits(),
+        seq,
+        g: 0.0,
+        parent: root,
+        action: None,
+        path: Vec::new(),
+    });
+
+    while let Some(node) = heap.pop() {
+        if !ctx.meter.note_node() {
+            stats.budget_exhausted = true;
+            break;
+        }
+        stats.visited_nodes += 1;
+
+        let bound = best.as_ref().map_or(f64::INFINITY, |b| b.area);
+        // The incumbent may have improved since this node was pushed:
+        // re-check the admissible bound at pop time so stale frontier
+        // entries die cheaply — before even materializing the plan.
+        if ctx.config.bounding && node.g > bound {
+            stats.pruned_nodes += 1;
+            continue;
+        }
+        let plan = materialize(ctx, &node);
+        if let Some(memo) = memo.as_mut() {
+            if dominated(memo, &plan.covered, plan.opamps) {
+                stats.memo_pruned += 1;
+                continue;
+            }
+        }
+
+        let Some(cur) = ctx.next_uncovered(&plan) else {
+            complete(ctx, &plan, &node.path, &mut best, &mut best_path, &mut stats);
+            continue;
+        };
+
+        let covered = plan.covered.count();
+        let alternatives = ctx.cache.at(cur);
+        for k in 0..alternatives.len() {
+            // Same visit order as the DFS (sequencing rule:
+            // largest-cover-first when enabled).
+            let i = if ctx.config.sequencing {
+                k
+            } else {
+                alternatives.len() - 1 - k
+            };
+            let m = &alternatives[i];
+            if m.covered.iter().any(|&b| plan.is_covered(b)) {
+                continue;
+            }
+            // Every block of `m.covered` is currently uncovered, so the
+            // child's covered count is exactly `covered + m.covered.len()`
+            // on both branches — no need to apply the action to rank it.
+            let child_covered = covered + m.covered.len();
+            // Share branch first, like the DFS. Sharing places no new
+            // component, so `g` is unchanged.
+            if ctx.config.sharing && plan.find_shareable(&m.kind, &m.inputs).is_some() {
+                let mut path = node.path.clone();
+                path.push((2 * k) as u16);
+                seq += 1;
+                heap.push(Node {
+                    f_bits: completion_f(ctx, node.g, child_covered).to_bits(),
+                    seq,
+                    g: node.g,
+                    parent: Arc::clone(&plan),
+                    action: Some((2 * k) as u16),
+                    path,
+                });
+            }
+            // Allocate branch: reject spec-impossible components
+            // locally (same as the DFS), then prune on the admissible
+            // placed-area bound.
+            if !ctx.spec_ok[cur.index()][i] {
+                stats.pruned_nodes += 1;
+                continue;
+            }
+            let g_new = node.g + ctx.alt_area[cur.index()][i];
+            if ctx.config.bounding && g_new > bound {
+                stats.pruned_nodes += 1;
+                continue;
+            }
+            let mut path = node.path.clone();
+            path.push((2 * k + 1) as u16);
+            seq += 1;
+            heap.push(Node {
+                f_bits: completion_f(ctx, g_new, child_covered).to_bits(),
+                seq,
+                g: g_new,
+                parent: Arc::clone(&plan),
+                action: Some((2 * k + 1) as u16),
+                path,
+            });
+        }
+    }
+    (best, stats)
+}
+
+/// Apply a popped node's pending action to its (shared) parent plan.
+/// The replay is deterministic: the parent plan is in exactly the state
+/// it was in when the child was pushed, so `next_uncovered` and
+/// `find_shareable` re-derive the same block and share target.
+fn materialize(ctx: &SearchCtx, node: &Node) -> Arc<Plan> {
+    let Some(entry) = node.action else {
+        return Arc::clone(&node.parent);
+    };
+    let mut plan = (*node.parent).clone();
+    let cur = ctx
+        .next_uncovered(&plan)
+        .expect("a pending action implies an uncovered block");
+    let alternatives = ctx.cache.at(cur);
+    let k = (entry >> 1) as usize;
+    let i = if ctx.config.sequencing {
+        k
+    } else {
+        alternatives.len() - 1 - k
+    };
+    let m = &alternatives[i];
+    if entry & 1 == 0 {
+        let existing = plan
+            .find_shareable(&m.kind, &m.inputs)
+            .expect("share action implies a shareable component");
+        for &b in &m.covered {
+            plan.cover(b);
+            plan.components[existing].covered.push(b);
+        }
+    } else {
+        apply_match(&mut plan, m, cur);
+    }
+    Arc::new(plan)
+}
+
+/// Frontier ordering key `f = g + uncovered · MinArea`, from the plan's
+/// covered-block count. All interface blocks are pre-covered by
+/// [`Plan::new`], so every uncovered block is an operation block
+/// needing at least a minimum-area op amp (ordering heuristic only —
+/// multi-block folds and sharing can beat it, which is why it never
+/// prunes).
+fn completion_f(ctx: &SearchCtx, g: f64, covered: usize) -> f64 {
+    let uncovered = ctx.graph.len() - covered;
+    g + uncovered as f64 * ctx.min_area
+}
+
+/// The exact search's dominance rule: a cover set reached before with
+/// as few or fewer op amps dominates this visit.
+fn dominated(memo: &mut HashMap<CoverSet, usize>, key: &CoverSet, opamps: usize) -> bool {
+    match memo.get_mut(key) {
+        Some(prev) if *prev <= opamps => true,
+        Some(prev) => {
+            *prev = opamps;
+            false
+        }
+        None => {
+            memo.insert(key.clone(), opamps);
+            false
+        }
+    }
+}
+
+/// Resolve, estimate, and (maybe) accept a complete plan. Acceptance
+/// mirrors the DFS: strictly smaller area always wins; on *bitwise*
+/// equal area the preorder-smaller branch path wins, which is the leaf
+/// the DFS would have kept (its first-found optimum). The greedy seed
+/// carries no path and only loses to strict improvements.
+fn complete(
+    ctx: &SearchCtx,
+    plan: &Plan,
+    path: &[u16],
+    best: &mut Option<Best>,
+    best_path: &mut Option<Vec<u16>>,
+    stats: &mut MapStats,
+) {
+    stats.complete_mappings += 1;
+    let Ok(netlist) = resolve(ctx.graph, plan, ctx.config.fanout_limit) else {
+        return;
+    };
+    let estimate = ctx.estimator.estimate_netlist(&netlist);
+    if !estimate.feasible() {
+        stats.infeasible_mappings += 1;
+        return;
+    }
+    let area = estimate.area_m2;
+    let accept = match best.as_ref() {
+        None => true,
+        Some(b) => {
+            area < b.area
+                || (area.to_bits() == b.area.to_bits()
+                    && best_path.as_ref().is_some_and(|bp| path < &bp[..]))
+        }
+    };
+    if accept {
+        *best = Some(Best {
+            area,
+            netlist,
+            estimate,
+            components: plan.components.clone(),
+            opamps: plan.opamps,
+        });
+        *best_path = Some(path.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::bnb::map_graph;
+    use crate::config::{MapperConfig, SearchStrategy};
+    use vase_budget::Budget;
+    use vase_estimate::Estimator;
+    use vase_vhif::{BlockKind, SignalFlowGraph};
+
+    fn estimator() -> Estimator {
+        Estimator::default()
+    }
+
+    fn fig6_graph() -> SignalFlowGraph {
+        let mut g = SignalFlowGraph::new("fig6");
+        let a = g.add(BlockKind::Input { name: "a".into() });
+        let b = g.add(BlockKind::Input { name: "b".into() });
+        let s1 = g.add_labelled(BlockKind::Scale { gain: 2.0 }, "block1");
+        let s2 = g.add_labelled(BlockKind::Scale { gain: 3.0 }, "block2");
+        let add = g.add_labelled(BlockKind::Add { arity: 2 }, "block3");
+        let s3 = g.add_labelled(BlockKind::Scale { gain: 0.5 }, "block4");
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(a, s1, 0).expect("wire");
+        g.connect(b, s2, 0).expect("wire");
+        g.connect(s1, add, 0).expect("wire");
+        g.connect(s2, add, 1).expect("wire");
+        g.connect(add, s3, 0).expect("wire");
+        g.connect(s3, y, 0).expect("wire");
+        g
+    }
+
+    fn buffer_chain(n: usize) -> SignalFlowGraph {
+        let mut g = SignalFlowGraph::new("chain");
+        let mut prev = g.add(BlockKind::Input { name: "x".into() });
+        for _ in 0..n {
+            let s = g.add(BlockKind::Scale { gain: 1.0 });
+            g.connect(prev, s, 0).expect("wire");
+            prev = s;
+        }
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(prev, y, 0).expect("wire");
+        g
+    }
+
+    #[test]
+    fn guided_matches_exact_bitwise_on_small_graphs() {
+        for graph in [fig6_graph(), buffer_chain(8), buffer_chain(11)] {
+            let exact = map_graph(&graph, &estimator(), &MapperConfig::default()).expect("maps");
+            let guided = map_graph(&graph, &estimator(), &MapperConfig::guided()).expect("maps");
+            assert_eq!(
+                guided.netlist, exact.netlist,
+                "guided-to-completion must be bit-identical on {}",
+                graph.name()
+            );
+            assert_eq!(
+                guided.estimate.area_m2.to_bits(),
+                exact.estimate.area_m2.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn guided_matches_exact_under_each_ablation() {
+        let g = fig6_graph();
+        for (memoize, sharing, sequencing, bounding) in [
+            (false, true, true, true),
+            (true, false, true, true),
+            (true, true, false, true),
+            (true, true, true, false),
+            (false, false, false, false),
+        ] {
+            let base = MapperConfig {
+                memoize,
+                sharing,
+                sequencing,
+                bounding,
+                ..MapperConfig::default()
+            };
+            let exact = map_graph(&g, &estimator(), &base).expect("maps");
+            let guided = map_graph(
+                &g,
+                &estimator(),
+                &MapperConfig {
+                    strategy: SearchStrategy::Guided,
+                    ..base
+                },
+            )
+            .expect("maps");
+            assert_eq!(
+                guided.netlist, exact.netlist,
+                "memoize={memoize} sharing={sharing} sequencing={sequencing} bounding={bounding}"
+            );
+        }
+    }
+
+    #[test]
+    fn guided_visits_no_more_nodes_than_exact_on_chains() {
+        // On the buffer chain the placed-area bound is strictly tighter
+        // than the op-amp-count bound, and best-first ordering finds
+        // the optimum early; the guided search should never need more
+        // node visits than the exact DFS.
+        let g = buffer_chain(12);
+        let exact = map_graph(&g, &estimator(), &MapperConfig::default()).expect("maps");
+        let guided = map_graph(&g, &estimator(), &MapperConfig::guided()).expect("maps");
+        assert_eq!(guided.netlist, exact.netlist);
+        assert!(
+            guided.stats.visited_nodes <= exact.stats.visited_nodes,
+            "guided {} vs exact {}",
+            guided.stats.visited_nodes,
+            exact.stats.visited_nodes
+        );
+    }
+
+    #[test]
+    fn guided_budget_returns_anytime_incumbent() {
+        let g = buffer_chain(12);
+        let config = MapperConfig {
+            budget: Budget::nodes(8),
+            strategy: SearchStrategy::Guided,
+            ..MapperConfig::default()
+        };
+        let result = map_graph(&g, &estimator(), &config).expect("anytime mapping");
+        assert!(result.stats.budget_exhausted);
+        result.netlist.validate().expect("incumbent is structurally valid");
+        assert!(result.estimate.feasible());
+    }
+
+    #[test]
+    fn guided_ignores_parallelism() {
+        let g = fig6_graph();
+        let seq = map_graph(&g, &estimator(), &MapperConfig::guided()).expect("maps");
+        let config = MapperConfig {
+            parallelism: 8,
+            ..MapperConfig::guided()
+        };
+        let par = map_graph(&g, &estimator(), &config).expect("maps");
+        assert_eq!(seq.netlist, par.netlist);
+        assert_eq!(seq.stats.visited_nodes, par.stats.visited_nodes);
+    }
+}

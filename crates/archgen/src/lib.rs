@@ -41,11 +41,13 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod bnb;
+pub mod cache;
 pub mod config;
 pub mod cover;
 pub mod error;
 pub mod fsm_map;
 pub mod greedy;
+mod guide;
 mod parallel;
 pub mod plan;
 
@@ -56,8 +58,9 @@ use vase_estimate::{Estimator, NetlistEstimate};
 use vase_library::{Netlist, SourceRef};
 use vase_vhif::VhifDesign;
 
-pub use bnb::{map_graph, map_graph_with_cancel, MapResult};
-pub use config::{MapStats, MapperConfig};
+pub use bnb::{map_graph, map_graph_with_cache, map_graph_with_cancel, MapResult};
+pub use cache::CoverCache;
+pub use config::{MapStats, MapperConfig, SearchStrategy};
 pub use cover::CoverSet;
 pub use error::MapError;
 pub use fsm_map::{map_fsm, map_fsm_with_bindings};
@@ -121,6 +124,26 @@ pub fn synthesize_with_cancel(
     config: &MapperConfig,
     token: Option<CancelToken>,
 ) -> Result<SynthesisResult, MapError> {
+    synthesize_with_cache(design, estimator, config, token, None)
+}
+
+/// [`synthesize_with_cancel`] consulting (and updating) a
+/// content-addressed [`CoverCache`]: each signal-flow graph whose
+/// structure (and constraint context) is already cached maps in
+/// O(lookup), and every newly proven-optimal cover is recorded. Per
+/// graph hit/miss counts are summed into `stats.cache_hits` /
+/// `stats.cache_misses`.
+///
+/// # Errors
+///
+/// As [`synthesize`].
+pub fn synthesize_with_cache(
+    design: &VhifDesign,
+    estimator: &Estimator,
+    config: &MapperConfig,
+    token: Option<CancelToken>,
+    cache: Option<&CoverCache>,
+) -> Result<SynthesisResult, MapError> {
     let start = Instant::now();
     let seed_incumbent = config.budget.is_limited() || token.is_some();
     let meter = BudgetMeter::new(config.effective_budget(), token);
@@ -139,7 +162,14 @@ pub fn synthesize_with_cancel(
                 .iter()
                 .map(|graph| {
                     scope.spawn(move || {
-                        bnb::map_graph_metered(graph, estimator, &per_graph, meter, seed_incumbent)
+                        bnb::map_graph_metered_cached(
+                            graph,
+                            estimator,
+                            &per_graph,
+                            meter,
+                            seed_incumbent,
+                            cache,
+                        )
                     })
                 })
                 .collect();
@@ -152,7 +182,9 @@ pub fn synthesize_with_cancel(
         design
             .graphs
             .iter()
-            .map(|graph| bnb::map_graph_metered(graph, estimator, config, meter, seed_incumbent))
+            .map(|graph| {
+                bnb::map_graph_metered_cached(graph, estimator, config, meter, seed_incumbent, cache)
+            })
             .collect()
     };
     let mut netlist = Netlist::new();

@@ -9,7 +9,9 @@
 //! stream) instead of proptest, which is unavailable in the offline
 //! build environment; every case is reproducible from its printed seed.
 
-use vase_archgen::{map_graph, Budget, MapperConfig};
+use vase_archgen::{
+    map_graph, map_graph_with_cache, Budget, CoverCache, MapperConfig, SearchStrategy,
+};
 use vase_estimate::Estimator;
 use vase_vhif::{BlockKind, SignalFlowGraph};
 
@@ -195,6 +197,76 @@ fn budgeted_incumbent_is_deterministic() {
             a.estimate.area_m2,
             b.estimate.area_m2
         );
+    }
+}
+
+/// The model-guided best-first search run to completion returns the
+/// bit-identical netlist of the exact depth-first search on every
+/// random graph — not just the same cost, the same architecture.
+#[test]
+fn guided_matches_exact_bitwise_on_random_graphs() {
+    for case in 0u64..48 {
+        let seed = 0xa11e_9001u64.wrapping_add(case.wrapping_mul(0x9e37_79b9));
+        let g = random_graph(seed);
+        let estimator = Estimator::default();
+        let exact = map_graph(&g, &estimator, &MapperConfig::default());
+        let guided_config = MapperConfig {
+            strategy: SearchStrategy::Guided,
+            ..MapperConfig::default()
+        };
+        let guided = map_graph(&g, &estimator, &guided_config);
+        match (exact, guided) {
+            (Ok(e), Ok(u)) => {
+                assert_eq!(e.netlist, u.netlist, "seed={seed:#x}: netlists diverge");
+                assert_eq!(
+                    e.estimate.area_m2.to_bits(),
+                    u.estimate.area_m2.to_bits(),
+                    "seed={seed:#x}: area not bit-identical"
+                );
+            }
+            (Err(e), Err(u)) => assert_eq!(e, u, "seed={seed:#x}"),
+            (e, u) => panic!("seed={seed:#x}: disagreement: {e:?} vs {u:?}"),
+        }
+    }
+}
+
+/// A warm cover-cache lookup replays the bit-identical netlist of the
+/// cold search that populated it, reports the hit, and explores zero
+/// nodes — under both search strategies.
+#[test]
+fn warm_cache_replays_cold_search_bitwise() {
+    for case in 0u64..24 {
+        let seed = 0xa11e_9001u64.wrapping_add(case.wrapping_mul(0x9e37_79b9));
+        let g = random_graph(seed);
+        let estimator = Estimator::default();
+        for strategy in [SearchStrategy::Exact, SearchStrategy::Guided] {
+            let config = MapperConfig { strategy, ..MapperConfig::default() };
+            let cache = CoverCache::new();
+            let cold = match map_graph_with_cache(&g, &estimator, &config, &cache) {
+                Ok(r) => r,
+                // Unmappable graphs must fail identically warm or cold.
+                Err(e) => {
+                    let again = map_graph_with_cache(&g, &estimator, &config, &cache);
+                    assert_eq!(again.expect_err("still fails"), e, "seed={seed:#x}");
+                    continue;
+                }
+            };
+            assert_eq!(cold.stats.cache_hits, 0, "seed={seed:#x} {strategy:?}");
+            assert_eq!(cold.stats.cache_misses, 1, "seed={seed:#x} {strategy:?}");
+            let warm = map_graph_with_cache(&g, &estimator, &config, &cache)
+                .unwrap_or_else(|e| panic!("seed={seed:#x} {strategy:?}: warm run failed: {e}"));
+            assert_eq!(warm.stats.cache_hits, 1, "seed={seed:#x} {strategy:?}: no hit");
+            assert_eq!(
+                warm.stats.visited_nodes, 0,
+                "seed={seed:#x} {strategy:?}: warm hit explored nodes"
+            );
+            assert_eq!(warm.netlist, cold.netlist, "seed={seed:#x} {strategy:?}");
+            assert_eq!(
+                warm.estimate.area_m2.to_bits(),
+                cold.estimate.area_m2.to_bits(),
+                "seed={seed:#x} {strategy:?}"
+            );
+        }
     }
 }
 

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod rng;
+pub mod synthetic;
 
 /// JSON writing lives in `vase-diag` (the lint engine shares the same
 /// writer for `vase lint --format json`); re-exported here so the bench

@@ -1,0 +1,218 @@
+//! Seeded synthetic signal-flow graphs for mapper scaling benchmarks.
+//!
+//! Three structural families, each parameterized by an exact operation
+//! block count (inputs/outputs excluded) and a seed:
+//!
+//! * [`filter_chain`] — cascaded second-order filter sections: long
+//!   dependency chains, little sharing, the shape where exhaustive
+//!   branch-and-bound degrades fastest;
+//! * [`control_loop`] — cascaded PI-controller stages (error
+//!   subtractor, proportional and integral paths, plant integrator):
+//!   mixed-kind stages with moderate reconvergence;
+//! * [`fanout_mesh`] — a layered mesh biased toward reusing early
+//!   blocks, so a few producers drive many consumers and the resolver's
+//!   fan-out handling is on the critical path.
+//!
+//! All generators are deterministic for a given seed and always produce
+//! a valid, acyclic, fully-connected graph. Standard sweep sizes live
+//! in [`SIZES`].
+
+use crate::rng::SplitMix64;
+use vase::vhif::{BlockId, BlockKind, SignalFlowGraph};
+
+/// Operation-block sizes swept by `archgen_bench`.
+pub const SIZES: [usize; 4] = [25, 50, 100, 200];
+
+/// A family's generator: `(op_count, seed) -> graph`.
+pub type Generator = fn(usize, u64) -> SignalFlowGraph;
+
+/// The three generator families, as `(name, generator)` pairs — the
+/// iteration order used by the benchmark harness and its report.
+pub const FAMILIES: [(&str, Generator); 3] = [
+    ("filter_chain", filter_chain),
+    ("control_loop", control_loop),
+    ("fanout_mesh", fanout_mesh),
+];
+
+/// Count the operation blocks of `g` — everything that is not an
+/// external interface (`Input`/`Output`/`ControlInput`).
+pub fn op_count(g: &SignalFlowGraph) -> usize {
+    (0..g.len())
+        .filter(|&b| {
+            !matches!(
+                g.kind(BlockId::from_index(b)),
+                BlockKind::Input { .. } | BlockKind::Output { .. } | BlockKind::ControlInput { .. }
+            )
+        })
+        .count()
+}
+
+/// Cascaded biquad-style filter sections with exactly `ops` operation
+/// blocks.
+///
+/// Each full section spends five blocks: an input scaler, two chained
+/// integrators, a feed-forward tap, and a summer. Leftover budget pads
+/// the tail with unit scalers so the count is exact.
+pub fn filter_chain(ops: usize, seed: u64) -> SignalFlowGraph {
+    let mut rng = SplitMix64::new(seed);
+    let mut g = SignalFlowGraph::new(format!("filter{ops}"));
+    let input = g.add(BlockKind::Input { name: "x".into() });
+    let mut prev = input;
+    let mut left = ops;
+    while left >= 5 {
+        let s = g.add(BlockKind::Scale { gain: rng.f64_in(0.5, 4.0) });
+        let i1 = g.add(BlockKind::Integrate { gain: rng.f64_in(0.5, 2.0), initial: 0.0 });
+        let i2 = g.add(BlockKind::Integrate { gain: rng.f64_in(0.5, 2.0), initial: 0.0 });
+        let tap = g.add(BlockKind::Scale { gain: rng.f64_in(0.25, 1.0) });
+        let sum = g.add(BlockKind::Add { arity: 2 });
+        g.connect(prev, s, 0).expect("wire");
+        g.connect(s, i1, 0).expect("wire");
+        g.connect(i1, i2, 0).expect("wire");
+        g.connect(i1, tap, 0).expect("wire");
+        g.connect(i2, sum, 0).expect("wire");
+        g.connect(tap, sum, 1).expect("wire");
+        prev = sum;
+        left -= 5;
+    }
+    for _ in 0..left {
+        let s = g.add(BlockKind::Scale { gain: rng.f64_in(0.5, 2.0) });
+        g.connect(prev, s, 0).expect("wire");
+        prev = s;
+    }
+    let out = g.add(BlockKind::Output { name: "y".into() });
+    g.connect(prev, out, 0).expect("wire");
+    g
+}
+
+/// Cascaded PI-controller stages with exactly `ops` operation blocks.
+///
+/// Each full stage spends five blocks: the error subtractor against the
+/// shared reference, a proportional scaler, an integral path, the
+/// controller summer, and a plant integrator. Leftover budget pads with
+/// unit scalers.
+pub fn control_loop(ops: usize, seed: u64) -> SignalFlowGraph {
+    let mut rng = SplitMix64::new(seed);
+    let mut g = SignalFlowGraph::new(format!("loop{ops}"));
+    let reference = g.add(BlockKind::Input { name: "ref".into() });
+    let feedback = g.add(BlockKind::Input { name: "fb".into() });
+    let mut prev = feedback;
+    let mut left = ops;
+    while left >= 5 {
+        let err = g.add(BlockKind::Sub);
+        let p = g.add(BlockKind::Scale { gain: rng.f64_in(0.5, 8.0) });
+        let i = g.add(BlockKind::Integrate { gain: rng.f64_in(0.1, 2.0), initial: 0.0 });
+        let u = g.add(BlockKind::Add { arity: 2 });
+        let plant = g.add(BlockKind::Integrate { gain: rng.f64_in(0.5, 1.5), initial: 0.0 });
+        g.connect(reference, err, 0).expect("wire");
+        g.connect(prev, err, 1).expect("wire");
+        g.connect(err, p, 0).expect("wire");
+        g.connect(err, i, 0).expect("wire");
+        g.connect(p, u, 0).expect("wire");
+        g.connect(i, u, 1).expect("wire");
+        g.connect(u, plant, 0).expect("wire");
+        prev = plant;
+        left -= 5;
+    }
+    for _ in 0..left {
+        let s = g.add(BlockKind::Scale { gain: rng.f64_in(0.5, 2.0) });
+        g.connect(prev, s, 0).expect("wire");
+        prev = s;
+    }
+    let out = g.add(BlockKind::Output { name: "y".into() });
+    g.connect(prev, out, 0).expect("wire");
+    g
+}
+
+/// A layered mesh with exactly `ops` operation blocks whose source
+/// selection is biased toward the oldest third of the pool, so early
+/// producers accumulate large fan-out.
+pub fn fanout_mesh(ops: usize, seed: u64) -> SignalFlowGraph {
+    let mut rng = SplitMix64::new(seed);
+    let mut g = SignalFlowGraph::new(format!("mesh{ops}"));
+    let mut pool: Vec<BlockId> = (0..3)
+        .map(|i| g.add(BlockKind::Input { name: format!("in{i}") }))
+        .collect();
+    // Two of three draws come from the oldest third of the pool; the
+    // remainder from anywhere. That concentrates fan-out on the early
+    // blocks instead of spreading it uniformly like `random_graph`.
+    let draw = |rng: &mut SplitMix64, pool: &[BlockId]| -> BlockId {
+        if rng.index(3) < 2 {
+            pool[rng.index(pool.len().div_ceil(3))]
+        } else {
+            pool[rng.index(pool.len())]
+        }
+    };
+    for _ in 0..ops {
+        let a = draw(&mut rng, &pool);
+        let b = draw(&mut rng, &pool);
+        let id = match rng.index(4) {
+            0 => {
+                let id = g.add(BlockKind::Scale { gain: rng.f64_in(0.25, 4.0) });
+                g.connect(a, id, 0).expect("wire");
+                id
+            }
+            1 | 2 => {
+                let id = g.add(BlockKind::Add { arity: 2 });
+                g.connect(a, id, 0).expect("wire");
+                g.connect(b, id, 1).expect("wire");
+                id
+            }
+            _ => {
+                let id = g.add(BlockKind::Sub);
+                g.connect(a, id, 0).expect("wire");
+                g.connect(b, id, 1).expect("wire");
+                id
+            }
+        };
+        pool.push(id);
+    }
+    let out = g.add(BlockKind::Output { name: "y".into() });
+    let last = *pool.last().expect("nonempty");
+    g.connect(last, out, 0).expect("wire");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SEED;
+    use vase::archgen::{map_graph, MapperConfig, SearchStrategy};
+    use vase::estimate::Estimator;
+
+    #[test]
+    fn generators_are_deterministic() {
+        for (name, generate) in FAMILIES {
+            let a = generate(25, SEED);
+            let b = generate(25, SEED);
+            assert_eq!(a, b, "{name}: same seed must give the same graph");
+            let c = generate(25, SEED + 1);
+            assert_ne!(a, c, "{name}: different seeds should differ");
+        }
+    }
+
+    #[test]
+    fn generators_hit_exact_op_counts() {
+        for (name, generate) in FAMILIES {
+            for ops in SIZES {
+                let g = generate(ops, SEED);
+                g.validate().unwrap_or_else(|e| panic!("{name}@{ops}: {e}"));
+                g.topo_order().unwrap_or_else(|e| panic!("{name}@{ops}: {e}"));
+                assert_eq!(op_count(&g), ops, "{name}@{ops}: op-count drift");
+            }
+        }
+    }
+
+    #[test]
+    fn small_instances_map_under_both_strategies() {
+        let est = Estimator::default();
+        for (name, generate) in FAMILIES {
+            let g = generate(25, SEED);
+            let exact = MapperConfig { budget: vase::archgen::Budget::nodes(20_000), ..MapperConfig::default() };
+            let guided = MapperConfig { strategy: SearchStrategy::Guided, ..exact };
+            let e = map_graph(&g, &est, &exact).unwrap_or_else(|err| panic!("{name} exact: {err}"));
+            let u = map_graph(&g, &est, &guided).unwrap_or_else(|err| panic!("{name} guided: {err}"));
+            e.netlist.validate().expect("valid");
+            u.netlist.validate().expect("valid");
+        }
+    }
+}

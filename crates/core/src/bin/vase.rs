@@ -14,6 +14,13 @@
 //!     --deadline-ms <t> mapping wall-clock budget; on exhaustion the best
 //!                       incumbent architecture is returned (exit code 3)
 //!     --max-nodes <n>   mapping explored-node budget (same anytime contract)
+//!     --strategy exact|guided  mapping search: exhaustive branch-and-bound
+//!                       (default) or model-guided best-first, which prunes on
+//!                       estimated placed area and returns bit-identical
+//!                       results when run to completion
+//!     --cache-file <p>  persistent content-addressed cover cache: loaded
+//!                       before mapping (when the file exists), saved after;
+//!                       structurally repeated graphs then map in O(lookup)
 //!     --format text|json  report style for multi-file batches (default text)
 //!     --spice <out.sp>  also write a SPICE deck
 //!     Multiple input files run as a panic-isolated batch: a failing
@@ -56,12 +63,12 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use vase::archgen::{Budget, MapperConfig};
+use vase::archgen::{Budget, CoverCache, MapperConfig, SearchStrategy};
 use vase::diag::json::{diagnostic_to_json, Json};
 use vase::flow::{
     compile_source, monte_carlo_designs, opt_diagnostics, sim_diagnostics,
-    simulate_designs_reported, synthesize_designs, synthesize_source, yield_diagnostics,
-    FlowOptions, FlowStatus,
+    simulate_designs_reported, synthesize_designs_with_cache, synthesize_source,
+    yield_diagnostics, FlowOptions, FlowStatus,
 };
 use vase::sim::{render_ascii, MonteCarloConfig, SimConfig, Stimulus, SweepConfig};
 
@@ -103,7 +110,7 @@ fn run(args: &[String]) -> Result<u8, String> {
 
 /// Flags that take a value operand (so a value is never mistaken for
 /// an input path).
-const VALUE_FLAGS: [&str; 16] = [
+const VALUE_FLAGS: [&str; 18] = [
     "--jobs",
     "--input",
     "--format",
@@ -116,6 +123,8 @@ const VALUE_FLAGS: [&str; 16] = [
     "--spice",
     "--deadline-ms",
     "--max-nodes",
+    "--strategy",
+    "--cache-file",
     "--monte-carlo",
     "--tolerance",
     "--seed",
@@ -197,6 +206,16 @@ fn opt_level_flag(args: &[String]) -> Result<Option<u8>, String> {
         }
     }
     Ok(None)
+}
+
+/// Parse `--strategy exact|guided`; `None` when absent.
+fn strategy_flag(args: &[String]) -> Result<Option<SearchStrategy>, String> {
+    match flag_value(args, "--strategy") {
+        None => Ok(None),
+        Some("exact") => Ok(Some(SearchStrategy::Exact)),
+        Some("guided") => Ok(Some(SearchStrategy::Guided)),
+        Some(other) => Err(format!("unknown --strategy `{other}` (exact, guided)")),
+    }
 }
 
 /// Parse `--jobs <n>` (`0` = one worker per core).
@@ -320,6 +339,9 @@ fn cmd_synth(args: &[String]) -> Result<u8, String> {
         mapper.parallelism = jobs;
     }
     mapper.budget = budget_flags(args)?;
+    if let Some(strategy) = strategy_flag(args)? {
+        mapper.strategy = strategy;
+    }
     if greedy {
         // Greedy applies per graph; run the pieces manually.
         let source = read_source(args)?;
@@ -345,7 +367,34 @@ fn cmd_synth(args: &[String]) -> Result<u8, String> {
         ..FlowOptions::default()
     };
     let sources = read_sources(args)?;
-    let reports = synthesize_designs(&sources, &options);
+    // With --cache-file, load the persisted cover cache (an absent file
+    // starts empty), thread it through the whole batch, and save it
+    // back afterwards so the next run reuses every proven cover.
+    let cache_path = flag_value(args, "--cache-file");
+    let cover_cache = match cache_path {
+        Some(path) => {
+            let p = std::path::Path::new(path);
+            Some(if p.exists() {
+                CoverCache::load(p)
+                    .map_err(|e| format!("cannot read cover cache `{path}`: {e}"))?
+            } else {
+                CoverCache::new()
+            })
+        }
+        None => None,
+    };
+    let reports = synthesize_designs_with_cache(&sources, &options, cover_cache.as_ref());
+    if let (Some(path), Some(cache)) = (cache_path, &cover_cache) {
+        cache
+            .save(std::path::Path::new(path))
+            .map_err(|e| format!("cannot write cover cache `{path}`: {e}"))?;
+        println!(
+            "cover cache: {} hit(s), {} miss(es), {} cover(s) saved to {path}",
+            cache.hits(),
+            cache.misses(),
+            cache.len()
+        );
+    }
     match flag_value(args, "--format").unwrap_or("text") {
         "text" => render_synth_text(args, &reports)?,
         "json" => println!("{}", synth_reports_to_json(&reports).to_string_pretty()),
@@ -431,6 +480,14 @@ fn synth_reports_to_json(reports: &[vase::flow::FlowReport]) -> Json {
                                         (
                                             "nodes_explored",
                                             Json::Int(d.synthesis.stats.nodes_explored() as i128),
+                                        ),
+                                        (
+                                            "cache_hits",
+                                            Json::Int(d.synthesis.stats.cache_hits as i128),
+                                        ),
+                                        (
+                                            "cache_misses",
+                                            Json::Int(d.synthesis.stats.cache_misses as i128),
                                         ),
                                     ])
                                 })
@@ -675,6 +732,9 @@ fn cmd_table1(args: &[String]) -> Result<u8, String> {
         mapper.parallelism = jobs;
     }
     mapper.budget = budget_flags(args)?;
+    if let Some(strategy) = strategy_flag(args)? {
+        mapper.strategy = strategy;
+    }
     let opt_level = opt_level_flag(args)?.unwrap_or(0);
     let options = FlowOptions {
         mapper,
@@ -686,7 +746,11 @@ fn cmd_table1(args: &[String]) -> Result<u8, String> {
     // spent across apps).
     let results: Vec<Result<vase::Table1Row, String>> = if mapper.effective_parallelism() > 1 {
         let app_options = FlowOptions {
-            mapper: MapperConfig { budget: mapper.budget, ..MapperConfig::default() },
+            mapper: MapperConfig {
+                budget: mapper.budget,
+                strategy: mapper.strategy,
+                ..MapperConfig::default()
+            },
             opt_level,
             ..FlowOptions::default()
         };

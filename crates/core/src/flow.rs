@@ -7,7 +7,9 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use vase_archgen::{synthesize, MapError, MapStats, MapperConfig, SynthesisResult};
+use vase_archgen::{
+    synthesize_with_cache, CoverCache, MapError, MapStats, MapperConfig, SynthesisResult,
+};
 use vase_compiler::{compile, CompileError, VassStats};
 use vase_diag::{Code, Diagnostic};
 use vase_estimate::{Estimator, PerformanceConstraints};
@@ -206,6 +208,24 @@ pub fn synthesize_source(
     source: &str,
     options: &FlowOptions,
 ) -> Result<Vec<SynthesizedDesign>, FlowError> {
+    synthesize_source_with_cache(source, options, None)
+}
+
+/// [`synthesize_source`] consulting (and updating) a content-addressed
+/// [`CoverCache`] during the mapping stage: structurally repeated
+/// signal-flow graphs — across architectures, across source files, or
+/// across runs when the cache is persisted — map in O(lookup). Cache
+/// traffic is reported in each design's `synthesis.stats.cache_hits` /
+/// `cache_misses` (see [`cache_diagnostics`]).
+///
+/// # Errors
+///
+/// As [`synthesize_source`].
+pub fn synthesize_source_with_cache(
+    source: &str,
+    options: &FlowOptions,
+    cache: Option<&CoverCache>,
+) -> Result<Vec<SynthesizedDesign>, FlowError> {
     let design = parse_design_file(source).map_err(FrontendError::from)?;
     let analyzed = analyze(&design)?;
     let compiled = compile(&analyzed)?;
@@ -241,7 +261,7 @@ pub fn synthesize_source(
             options.constraints
         };
         let estimator = Estimator::new(constraints);
-        let synthesis = synthesize(&arch.vhif, &estimator, &options.mapper)?;
+        let synthesis = synthesize_with_cache(&arch.vhif, &estimator, &options.mapper, None, cache)?;
         let ranges =
             analyzed.architecture_of(&arch.entity).map(value_ranges).unwrap_or_default();
         out.push(SynthesizedDesign {
@@ -344,17 +364,32 @@ pub fn synthesize_designs(
     sources: &[(String, String)],
     options: &FlowOptions,
 ) -> Vec<FlowReport> {
+    synthesize_designs_with_cache(sources, options, None)
+}
+
+/// [`synthesize_designs`] threading one shared [`CoverCache`] through
+/// every unit of the batch: a graph synthesized by an earlier unit (or
+/// loaded from a persisted cache file) maps in O(lookup) for every
+/// later structurally identical occurrence. Cache traffic surfaces per
+/// unit as `A211`/`A212` notes.
+pub fn synthesize_designs_with_cache(
+    sources: &[(String, String)],
+    options: &FlowOptions,
+    cache: Option<&CoverCache>,
+) -> Vec<FlowReport> {
     sources
         .iter()
         .map(|(name, source)| {
-            let outcome =
-                catch_unwind(AssertUnwindSafe(|| synthesize_source(source, options)));
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                synthesize_source_with_cache(source, options, cache)
+            }));
             match outcome {
                 Ok(Ok(designs)) => {
                     let mut diagnostics = Vec::new();
                     for d in &designs {
                         diagnostics.extend(opt_diagnostics(&d.opt_stats));
                         diagnostics.extend(budget_diagnostics(&d.synthesis.stats));
+                        diagnostics.extend(cache_diagnostics(&d.synthesis.stats));
                     }
                     FlowReport { name: name.clone(), designs, diagnostics, error: None }
                 }
@@ -406,6 +441,36 @@ pub fn budget_diagnostics(stats: &MapStats) -> Vec<Diagnostic> {
             stats.nodes_explored()
         ),
     )]
+}
+
+/// Render cover-cache traffic as `A211`/`A212` notes: how many of a
+/// design's graph mappings were answered from the content-addressed
+/// cache and how many ran the search (and recorded their result). With
+/// no cache in play both counters are zero and no diagnostic is
+/// emitted.
+pub fn cache_diagnostics(stats: &MapStats) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if stats.cache_hits > 0 {
+        diags.push(Diagnostic::new(
+            Code::A211,
+            format!(
+                "{} graph mapping(s) served from the cover cache (validated \
+                 best-known cover; search skipped)",
+                stats.cache_hits
+            ),
+        ));
+    }
+    if stats.cache_misses > 0 {
+        diags.push(Diagnostic::new(
+            Code::A212,
+            format!(
+                "{} graph mapping(s) missed the cover cache; the search ran and \
+                 its cover was recorded",
+                stats.cache_misses
+            ),
+        ));
+    }
+    diags
 }
 
 /// Render a simulation outcome's numerical-fault story as `S4xx`

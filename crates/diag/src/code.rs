@@ -49,6 +49,8 @@ pub enum Code {
     A201,
     A202,
     A210,
+    A211,
+    A212,
     O300,
     O301,
     O302,
@@ -243,6 +245,22 @@ pub const REGISTRY: &[CodeInfo] = &[
                       instead of a proven optimum",
     },
     CodeInfo {
+        code: Code::A211,
+        name: "cover-cache-hit",
+        severity: Severity::Note,
+        description: "one or more signal-flow graphs were mapped from the content-addressed \
+                      cover cache (validated best-known cover) instead of running the \
+                      branch-and-bound search",
+    },
+    CodeInfo {
+        code: Code::A212,
+        name: "cover-cache-miss",
+        severity: Severity::Note,
+        description: "a cover cache was supplied but one or more signal-flow graphs had no \
+                      valid cached cover; the search ran and its result was recorded for \
+                      next time",
+    },
+    CodeInfo {
         code: Code::O300,
         name: "opt-summary",
         severity: Severity::Note,
@@ -352,6 +370,8 @@ impl Code {
             Code::A201 => "A201",
             Code::A202 => "A202",
             Code::A210 => "A210",
+            Code::A211 => "A211",
+            Code::A212 => "A212",
             Code::O300 => "O300",
             Code::O301 => "O301",
             Code::O302 => "O302",

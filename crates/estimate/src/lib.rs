@@ -35,13 +35,16 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod estimator;
+pub mod memo;
 pub mod opamp;
 pub mod process;
 pub mod topology;
 
 pub use estimator::{ComponentEstimate, Estimator, NetlistEstimate, PerformanceConstraints};
+pub use memo::EstimateMemo;
 pub use opamp::{min_opamp_area, size_opamp, OpAmpDesign, OpAmpSpec};
 pub use process::ProcessParams;
 pub use topology::{min_topology_area, select_topology, size_with_topology, OpAmpTopology, TopologyChoice};

@@ -1,0 +1,250 @@
+//! Memoized per-kind component estimation.
+//!
+//! [`Estimator::estimate_component`] re-runs square-law op-amp sizing
+//! on every call, but its result depends only on the [`ComponentKind`]
+//! (and the estimator's fixed process/constraints). The mapper asks for
+//! the same kinds over and over — every feasibility pre-check and every
+//! guided-search bound touches one — so [`EstimateMemo`] caches results
+//! keyed by a bit-exact byte encoding of the kind.
+//!
+//! The key encoding is exact (no float rounding): two kinds collide
+//! only when they are equal, so a memoized estimate is bitwise
+//! identical to a fresh one and memoization can never change a search
+//! result.
+
+use std::collections::HashMap;
+
+use vase_library::ComponentKind;
+
+use crate::estimator::{ComponentEstimate, Estimator};
+
+/// A cache of [`ComponentEstimate`]s keyed by the exact component kind.
+///
+/// One memo is intended to live for one mapping run against one
+/// [`Estimator`]; it does not record which estimator filled it, so do
+/// not share a memo across estimators with different constraints.
+#[derive(Debug, Default)]
+pub struct EstimateMemo {
+    table: HashMap<Vec<u8>, ComponentEstimate>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EstimateMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        EstimateMemo::default()
+    }
+
+    /// The memoized equivalent of `estimator.estimate_component(kind)`.
+    pub fn estimate(&mut self, estimator: &Estimator, kind: &ComponentKind) -> ComponentEstimate {
+        let key = encode_kind(kind);
+        if let Some(e) = self.table.get(&key) {
+            self.hits += 1;
+            return e.clone();
+        }
+        let e = estimator.estimate_component(kind);
+        self.misses += 1;
+        self.table.insert(key, e.clone());
+        e
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that ran the sizing model (one per distinct kind).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct kinds estimated so far.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether no kind has been estimated yet.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// Byte-exact encoding of a [`ComponentKind`]: a variant tag followed
+/// by every numeric field's little-endian bytes (`f64::to_bits` for
+/// floats, lengths prefixed for vectors) — injective, so it is safe as
+/// a memo key.
+fn encode_kind(kind: &ComponentKind) -> Vec<u8> {
+    use ComponentKind::*;
+    let mut out = Vec::with_capacity(16);
+    let f = |out: &mut Vec<u8>, v: f64| out.extend_from_slice(&v.to_bits().to_le_bytes());
+    let n = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+    match kind {
+        InvertingAmp { gain } => {
+            out.push(0);
+            f(&mut out, *gain);
+        }
+        NonInvertingAmp { gain } => {
+            out.push(1);
+            f(&mut out, *gain);
+        }
+        Follower => out.push(2),
+        AmplifierChain { stage_gains } => {
+            out.push(3);
+            n(&mut out, stage_gains.len() as u64);
+            for g in stage_gains {
+                f(&mut out, *g);
+            }
+        }
+        SummingAmp { weights } => {
+            out.push(4);
+            n(&mut out, weights.len() as u64);
+            for w in weights {
+                f(&mut out, *w);
+            }
+        }
+        DifferenceAmp { gain } => {
+            out.push(5);
+            f(&mut out, *gain);
+        }
+        SwitchedGainAmp { gains } => {
+            out.push(6);
+            n(&mut out, gains.len() as u64);
+            for g in gains {
+                f(&mut out, *g);
+            }
+        }
+        Integrator { weights, initial } => {
+            out.push(7);
+            n(&mut out, weights.len() as u64);
+            for w in weights {
+                f(&mut out, *w);
+            }
+            f(&mut out, *initial);
+        }
+        Differentiator { gain } => {
+            out.push(8);
+            f(&mut out, *gain);
+        }
+        LogAmp => out.push(9),
+        AntilogAmp => out.push(10),
+        Multiplier => out.push(11),
+        Divider => out.push(12),
+        PrecisionRectifier => out.push(13),
+        Comparator { threshold } => {
+            out.push(14);
+            f(&mut out, *threshold);
+        }
+        ZeroCrossDetector { level, hysteresis } => {
+            out.push(15);
+            f(&mut out, *level);
+            f(&mut out, *hysteresis);
+        }
+        SchmittTrigger { low, high } => {
+            out.push(16);
+            f(&mut out, *low);
+            f(&mut out, *high);
+        }
+        SampleHold => out.push(17),
+        AnalogSwitch => out.push(18),
+        AnalogMux { inputs } => {
+            out.push(19);
+            n(&mut out, *inputs as u64);
+        }
+        Adc { bits } => {
+            out.push(20);
+            n(&mut out, u64::from(*bits));
+        }
+        LogicGate => out.push(21),
+        MemoryCell => out.push(22),
+        VoltageRef { level } => {
+            out.push(23);
+            f(&mut out, *level);
+        }
+        Limiter { level } => {
+            out.push(24);
+            f(&mut out, *level);
+        }
+        OutputStage { load_ohms, peak_volts, limit } => {
+            out.push(25);
+            f(&mut out, *load_ohms);
+            f(&mut out, *peak_volts);
+            match limit {
+                Some(l) => {
+                    out.push(1);
+                    f(&mut out, *l);
+                }
+                None => out.push(0),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoized_estimate_is_bitwise_identical() {
+        let estimator = Estimator::default();
+        let mut memo = EstimateMemo::new();
+        let kinds = [
+            ComponentKind::InvertingAmp { gain: -2.0 },
+            ComponentKind::SummingAmp { weights: vec![1.0, 1.5] },
+            ComponentKind::Integrator { weights: vec![0.5], initial: 0.0 },
+            ComponentKind::Multiplier,
+            ComponentKind::OutputStage { load_ohms: 270.0, peak_volts: 0.285, limit: Some(1.5) },
+        ];
+        for kind in &kinds {
+            let fresh = estimator.estimate_component(kind);
+            let cached_cold = memo.estimate(&estimator, kind);
+            let cached_warm = memo.estimate(&estimator, kind);
+            assert_eq!(fresh, cached_cold, "{kind}");
+            assert_eq!(fresh, cached_warm, "{kind}");
+            assert_eq!(fresh.area_m2.to_bits(), cached_warm.area_m2.to_bits());
+        }
+        assert_eq!(memo.misses(), kinds.len() as u64);
+        assert_eq!(memo.hits(), kinds.len() as u64);
+        assert_eq!(memo.len(), kinds.len());
+    }
+
+    #[test]
+    fn key_encoding_is_injective_on_close_kinds() {
+        // Kinds that agree in most bytes must not collide.
+        assert_ne!(
+            encode_kind(&ComponentKind::InvertingAmp { gain: 2.0 }),
+            encode_kind(&ComponentKind::NonInvertingAmp { gain: 2.0 })
+        );
+        assert_ne!(
+            encode_kind(&ComponentKind::SummingAmp { weights: vec![1.0, 2.0] }),
+            encode_kind(&ComponentKind::SummingAmp { weights: vec![1.0] })
+        );
+        assert_ne!(
+            encode_kind(&ComponentKind::Limiter { level: 1.0 }),
+            encode_kind(&ComponentKind::VoltageRef { level: 1.0 })
+        );
+        assert_ne!(
+            encode_kind(&ComponentKind::OutputStage {
+                load_ohms: 1.0,
+                peak_volts: 1.0,
+                limit: None
+            }),
+            encode_kind(&ComponentKind::OutputStage {
+                load_ohms: 1.0,
+                peak_volts: 1.0,
+                limit: Some(1.0)
+            })
+        );
+    }
+
+    #[test]
+    fn distinct_gains_get_distinct_entries() {
+        let estimator = Estimator::default();
+        let mut memo = EstimateMemo::new();
+        memo.estimate(&estimator, &ComponentKind::InvertingAmp { gain: -2.0 });
+        memo.estimate(&estimator, &ComponentKind::InvertingAmp { gain: -3.0 });
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.hits(), 0);
+    }
+}

@@ -6,21 +6,35 @@
 //! [`SimSession`]: vase_sim::SimSession
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use vase_sim::{CompiledSim, SimConfig, Stimulus};
 use vase_vhif::{BlockKind, DataOp, DpExpr, Event, Fsm, SignalFlowGraph, Trigger, VhifDesign};
 
-/// Counts every allocation and reallocation; frees are not counted (a
-/// steady-state step must do neither).
+/// Counts every allocation and reallocation made **by the current
+/// thread**; frees are not counted (a steady-state step must do
+/// neither). The count must be per-thread: the libtest harness runs
+/// tests on parallel threads and itself allocates (spawning the next
+/// test's thread, buffering output) — a process-global counter races
+/// with that activity and flakes, while the stepping loop under test
+/// runs entirely on this thread.
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Bump the current thread's count. `try_with` instead of `with`: the
+/// allocator is also called during thread teardown after the
+/// thread-local has been dropped, where `with` would panic.
+fn count_one() {
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         unsafe { System.alloc(layout) }
     }
 
@@ -29,7 +43,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -38,7 +52,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 fn allocations() -> usize {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    ALLOCATIONS.with(Cell::get)
 }
 
 /// RC lowpass (integrator feedback) — exercises the continuous path:

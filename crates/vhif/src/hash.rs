@@ -1,0 +1,285 @@
+//! Stable structural hashing of signal-flow graphs.
+//!
+//! [`structural_hash`] digests a graph's *structure* — block operations
+//! with their numeric parameters plus the complete port wiring — while
+//! ignoring everything presentational: the graph name, block labels,
+//! and interface port names. Two graphs that the architecture
+//! generator would map identically (same operations, same parameters,
+//! same connections, same block numbering) hash identically even when
+//! they come from differently-named specifications.
+//!
+//! The hash keys the archgen cover cache (the content-addressed
+//! `(canonical VHIF subgraph hash → best-known cover)` table), so it
+//! must be stable across processes, runs, and platforms. It is
+//! therefore a plain 64-bit FNV-1a over a canonical little-endian byte
+//! encoding — no per-process seeding, no dependence on `std`
+//! hasher internals. The value-numbering `GraphBuilder` in the
+//! compiler already canonicalizes lowered graphs, which makes this
+//! content addressing effective across repeat traffic.
+
+use crate::block::{BlockKind, LogicOp};
+use crate::graph::SignalFlowGraph;
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A tiny FNV-1a accumulator; deliberately not the `std` `Hasher`
+/// (whose output is not guaranteed stable across releases).
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// Fold `kind` into the digest: a per-variant tag byte followed by the
+/// variant's numeric parameters. Interface blocks (`Input`, `Output`,
+/// `ControlInput`) contribute their tag only — their names are external
+/// wiring, not structure — and block labels are never hashed.
+fn hash_kind(h: &mut Fnv64, kind: &BlockKind) {
+    use BlockKind::*;
+    match kind {
+        Input { .. } => h.byte(0),
+        Output { .. } => h.byte(1),
+        ControlInput { .. } => h.byte(2),
+        Const { value } => {
+            h.byte(3);
+            h.f64(*value);
+        }
+        Scale { gain } => {
+            h.byte(4);
+            h.f64(*gain);
+        }
+        Add { arity } => {
+            h.byte(5);
+            h.u64(*arity as u64);
+        }
+        Sub => h.byte(6),
+        Mul => h.byte(7),
+        Div => h.byte(8),
+        Integrate { gain, initial } => {
+            h.byte(9);
+            h.f64(*gain);
+            h.f64(*initial);
+        }
+        Differentiate { gain } => {
+            h.byte(10);
+            h.f64(*gain);
+        }
+        Log => h.byte(11),
+        Antilog => h.byte(12),
+        Abs => h.byte(13),
+        SampleHold => h.byte(14),
+        Switch => h.byte(15),
+        Mux { arity } => {
+            h.byte(16);
+            h.u64(*arity as u64);
+        }
+        Comparator { threshold } => {
+            h.byte(17);
+            h.f64(*threshold);
+        }
+        SchmittTrigger { low, high } => {
+            h.byte(18);
+            h.f64(*low);
+            h.f64(*high);
+        }
+        Adc { bits } => {
+            h.byte(19);
+            h.u64(u64::from(*bits));
+        }
+        Limiter { level } => {
+            h.byte(20);
+            h.f64(*level);
+        }
+        OutputStage { load_ohms, peak_volts, limit } => {
+            h.byte(21);
+            h.f64(*load_ohms);
+            h.f64(*peak_volts);
+            match limit {
+                Some(l) => {
+                    h.byte(1);
+                    h.f64(*l);
+                }
+                None => h.byte(0),
+            }
+        }
+        Memory => h.byte(22),
+        Logic { op, arity } => {
+            h.byte(23);
+            h.byte(match op {
+                LogicOp::And => 0,
+                LogicOp::Or => 1,
+                LogicOp::Not => 2,
+                LogicOp::Xor => 3,
+            });
+            h.u64(*arity as u64);
+        }
+    }
+}
+
+/// The stable structural hash of `graph`.
+///
+/// Digested: the block count; each block's operation tag and numeric
+/// parameters in id order; each input port's driver id (`index + 1`,
+/// `0` for undriven). Ignored: the graph name, block labels, and
+/// interface names. Because block ids participate, two graphs hash
+/// equal exactly when their blocks line up index-for-index — which is
+/// what lets a cached cover's `BlockId` references transfer verbatim
+/// to any graph with the same hash.
+///
+/// # Examples
+///
+/// ```
+/// use vase_vhif::{hash::structural_hash, BlockKind, SignalFlowGraph};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = SignalFlowGraph::new("one");
+/// let x = a.add(BlockKind::Input { name: "x".into() });
+/// let s = a.add(BlockKind::Scale { gain: 2.0 });
+/// a.connect(x, s, 0)?;
+///
+/// let mut b = SignalFlowGraph::new("two");
+/// let u = b.add(BlockKind::Input { name: "u".into() });
+/// let k = b.add_labelled(BlockKind::Scale { gain: 2.0 }, "block1");
+/// b.connect(u, k, 0)?;
+///
+/// assert_eq!(structural_hash(&a), structural_hash(&b));
+/// # Ok(())
+/// # }
+/// ```
+pub fn structural_hash(graph: &SignalFlowGraph) -> u64 {
+    let mut h = Fnv64::new();
+    h.u64(graph.len() as u64);
+    for (id, block) in graph.iter() {
+        hash_kind(&mut h, &block.kind);
+        for driver in graph.block_inputs(id) {
+            h.u64(driver.map_or(0, |d| d.index() as u64 + 1));
+        }
+    }
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockKind;
+
+    fn chain(name: &str, input: &str, gain: f64, label: Option<&str>) -> SignalFlowGraph {
+        let mut g = SignalFlowGraph::new(name);
+        let x = g.add(BlockKind::Input { name: input.into() });
+        let s = match label {
+            Some(l) => g.add_labelled(BlockKind::Scale { gain }, l),
+            None => g.add(BlockKind::Scale { gain }),
+        };
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, s, 0).expect("wire");
+        g.connect(s, y, 0).expect("wire");
+        g
+    }
+
+    #[test]
+    fn hash_ignores_names_and_labels() {
+        let a = chain("a", "x", 2.0, None);
+        let b = chain("b", "signal_in", 2.0, Some("block1"));
+        assert_eq!(structural_hash(&a), structural_hash(&b));
+    }
+
+    #[test]
+    fn hash_is_deterministic_across_calls() {
+        let g = chain("g", "x", 3.5, None);
+        assert_eq!(structural_hash(&g), structural_hash(&g));
+    }
+
+    #[test]
+    fn hash_sees_parameter_changes() {
+        let a = chain("g", "x", 2.0, None);
+        let b = chain("g", "x", 2.0000001, None);
+        assert_ne!(structural_hash(&a), structural_hash(&b));
+    }
+
+    #[test]
+    fn hash_sees_kind_changes() {
+        let scale = chain("g", "x", 1.0, None);
+        let mut integ = SignalFlowGraph::new("g");
+        let x = integ.add(BlockKind::Input { name: "x".into() });
+        let i = integ.add(BlockKind::Integrate { gain: 1.0, initial: 0.0 });
+        let y = integ.add(BlockKind::Output { name: "y".into() });
+        integ.connect(x, i, 0).expect("wire");
+        integ.connect(i, y, 0).expect("wire");
+        assert_ne!(structural_hash(&scale), structural_hash(&integ));
+    }
+
+    #[test]
+    fn hash_sees_rewiring() {
+        // Same blocks, different wiring of a 2-input adder.
+        let build = |swap: bool| {
+            let mut g = SignalFlowGraph::new("g");
+            let a = g.add(BlockKind::Input { name: "a".into() });
+            let b = g.add(BlockKind::Input { name: "b".into() });
+            let add = g.add(BlockKind::Add { arity: 2 });
+            let y = g.add(BlockKind::Output { name: "y".into() });
+            let (p0, p1) = if swap { (b, a) } else { (a, b) };
+            g.connect(p0, add, 0).expect("wire");
+            g.connect(p1, add, 1).expect("wire");
+            g.connect(add, y, 0).expect("wire");
+            g
+        };
+        assert_ne!(structural_hash(&build(false)), structural_hash(&build(true)));
+    }
+
+    #[test]
+    fn hash_sees_undriven_ports() {
+        let mut driven = SignalFlowGraph::new("g");
+        let x = driven.add(BlockKind::Input { name: "x".into() });
+        let s = driven.add(BlockKind::Scale { gain: 1.0 });
+        driven.connect(x, s, 0).expect("wire");
+        let mut undriven = SignalFlowGraph::new("g");
+        undriven.add(BlockKind::Input { name: "x".into() });
+        undriven.add(BlockKind::Scale { gain: 1.0 });
+        assert_ne!(structural_hash(&driven), structural_hash(&undriven));
+    }
+
+    #[test]
+    fn every_block_kind_hashes_distinctly() {
+        // One graph per parameterless tag; distinct hashes all around.
+        let kinds = [
+            BlockKind::Sub,
+            BlockKind::Mul,
+            BlockKind::Div,
+            BlockKind::Log,
+            BlockKind::Antilog,
+            BlockKind::Abs,
+            BlockKind::SampleHold,
+            BlockKind::Switch,
+            BlockKind::Memory,
+        ];
+        let mut hashes = Vec::new();
+        for kind in kinds {
+            let mut g = SignalFlowGraph::new("g");
+            g.add(kind);
+            hashes.push(structural_hash(&g));
+        }
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 9, "tag collision between block kinds");
+    }
+}

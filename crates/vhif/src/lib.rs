@@ -53,6 +53,7 @@ pub mod dp;
 pub mod error;
 pub mod fsm;
 pub mod graph;
+pub mod hash;
 pub mod passes;
 pub mod verify;
 
@@ -63,5 +64,6 @@ pub use dot::{design_to_dot, fsm_to_dot, graph_to_dot};
 pub use error::VhifError;
 pub use fsm::{Fsm, State, StateId, Transition, Trigger};
 pub use graph::{BlockId, SignalFlowGraph};
+pub use hash::structural_hash;
 pub use passes::{by_name, Pass, PassManager, PassStats, PASS_NAMES};
 pub use verify::{diagnostic_from_error, verify_design, VerifyContext, WireKind};

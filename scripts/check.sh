@@ -18,6 +18,24 @@ echo "== tier 1: sim_bench --smoke =="
 echo "== tier 1: opt_bench --smoke =="
 ./target/release/opt_bench --smoke
 
+echo "== tier 1: archgen_bench --smoke =="
+./target/release/archgen_bench --smoke
+
+echo "== tier 1: cover-cache round trip (vase synth --cache-file) =="
+# Synthesize twice against the same cache file: the first run populates
+# it, the second must be served from it (nonzero hit count reported).
+cache_dir=$(mktemp -d)
+trap 'rm -rf "$cache_dir"' EXIT
+./target/release/vase synth crates/core/specs/funcgen.vhd \
+    --cache-file "$cache_dir/covers.cache" >/dev/null
+warm_out=$(./target/release/vase synth crates/core/specs/funcgen.vhd \
+    --cache-file "$cache_dir/covers.cache")
+if ! printf '%s\n' "$warm_out" | grep -Eq 'cover cache: [1-9][0-9]* hit\(s\)'; then
+    echo "second --cache-file run reported no cover-cache hits:" >&2
+    printf '%s\n' "$warm_out" >&2
+    exit 1
+fi
+
 echo "== tier 1: opt equivalence suite =="
 cargo test -q -p vase-sim --test opt_equivalence
 cargo test -q -p vase --test opt_snapshots
