@@ -1,0 +1,896 @@
+//! The fixed-point analysis engine.
+//!
+//! One [`analyze_design`] run performs three rounds:
+//!
+//! 1. a worklist fixed point over every signal-flow graph with control
+//!    signals assumed in `[0, 1]`,
+//! 2. an FSM pass computing the interval each control signal can hold
+//!    (per-state data-path evaluation joined over all reachable states,
+//!    with `'above`/guard facts refining quantity reads on state entry),
+//! 3. a second graph fixed point using the refined control intervals,
+//!    so switches and muxes gated by proven-constant controls sharpen.
+//!
+//! The graph solver is a classic worklist iteration: blocks start at
+//! bottom, value sources (inputs, constants, integrators) seed the
+//! queue, and a changed block re-queues its fanout. Stateful blocks
+//! widen (with thresholds drawn from the annotations) after a few
+//! updates, so feedback loops converge instead of climbing forever; a
+//! narrowing sweep afterwards recovers precision clipped by limiters.
+//! Every cycle in a valid graph passes through a stateful block
+//! ([`vase_vhif::SignalFlowGraph::validate`] rejects combinational
+//! cycles), so widening there bounds the whole iteration; a global
+//! iteration cap backstops malformed graphs and reports degradation
+//! ([`Code::A205`]) instead of looping or bailing silently.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use vase_diag::{Code, Diagnostic};
+use vase_vhif::{
+    BlockId, BlockKind, DpBinaryOp, DpExpr, Event, Fsm, GraphBounds, SignalFlowGraph, StateId,
+    Trigger, VhifDesign,
+};
+
+use crate::interval::Interval;
+use crate::AnalysisContext;
+
+/// Result of analyzing one design.
+#[derive(Debug, Clone)]
+pub struct AnalysisResult {
+    /// Proven finite per-block bounds, one entry per graph.
+    pub bounds: Vec<GraphBounds>,
+    /// Range verdicts (`A200`/`A201`/`A203`/`A204`) and degradation
+    /// notes (`A205`), sorted for reporting.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Whether every graph's fixed point stabilized under the iteration
+    /// cap (widening makes this the norm; `false` only for pathological
+    /// graphs, which also carry an `A205` note).
+    pub converged: bool,
+    /// Total transfer-function evaluations across all rounds.
+    pub iterations: usize,
+}
+
+/// How many times a stateful block may update before widening kicks in.
+const WIDEN_AFTER: u32 = 2;
+
+/// Per-graph iteration cap: generous (widening converges far earlier)
+/// but proportional, so even adversarial graphs terminate quickly.
+fn iteration_cap(len: usize) -> usize {
+    len * 16 + 64
+}
+
+/// Analyze every graph of `design` under `ctx`. See the module docs for
+/// the round structure.
+pub fn analyze_design(design: &VhifDesign, ctx: &AnalysisContext) -> AnalysisResult {
+    let thresholds = collect_thresholds(ctx);
+    let mut result = AnalysisResult {
+        bounds: Vec::new(),
+        diagnostics: Vec::new(),
+        converged: true,
+        iterations: 0,
+    };
+
+    // Round 1: graphs with unrefined controls.
+    let mut envs: Vec<Vec<Interval>> = Vec::new();
+    let controls: BTreeMap<String, Interval> = BTreeMap::new();
+    for g in &design.graphs {
+        let (env, _) = graph_fixpoint(g, ctx, &controls, &thresholds, &mut result);
+        envs.push(env);
+    }
+
+    // Round 2: control-signal intervals from the FSMs, reading the
+    // round-1 quantity bounds.
+    let controls = fsm_signal_intervals(design, &envs);
+
+    // Round 3: graphs again with the refined controls (skipped when the
+    // FSMs constrain nothing beyond the default [0, 1]).
+    let mut converged_all = true;
+    for (gi, g) in design.graphs.iter().enumerate() {
+        let (env, converged) = graph_fixpoint(g, ctx, &controls, &thresholds, &mut result);
+        converged_all &= converged;
+        if !converged {
+            result.diagnostics.push(
+                Diagnostic::new(
+                    Code::A205,
+                    format!(
+                        "range analysis of graph `{}` hit its iteration cap before \
+                         stabilizing; remaining intervals were widened to unbounded",
+                        g.name()
+                    ),
+                )
+                .with_note("verdicts for this graph are conservative (possibly incomplete)"),
+            );
+        }
+        emit_verdicts(g, &env, ctx, &mut result.diagnostics);
+        result.bounds.push(export_bounds(g, &env));
+        envs[gi] = env;
+    }
+    result.converged = converged_all;
+
+    if ctx.value_ranges.is_empty() && !design.graphs.is_empty() {
+        result.diagnostics.push(
+            Diagnostic::new(
+                Code::A205,
+                "no usable `range` annotations: external inputs are assumed unbounded, so \
+                 only constant-driven values receive finite bounds",
+            )
+            .with_note("annotate port quantities with `range lo to hi` to enable verdicts"),
+        );
+    }
+
+    vase_diag::sort(&mut result.diagnostics);
+    result
+}
+
+/// Widening thresholds: the unit landmarks plus every annotation bound.
+fn collect_thresholds(ctx: &AnalysisContext) -> Vec<f64> {
+    let mut t = vec![-1.0, 0.0, 1.0];
+    for &(lo, hi) in ctx.value_ranges.values() {
+        t.push(lo);
+        t.push(hi);
+    }
+    t.retain(|v| v.is_finite());
+    t.sort_by(f64::total_cmp);
+    t.dedup();
+    t
+}
+
+/// Worklist fixed point over one graph. Returns the final environment
+/// and whether it stabilized under the cap.
+fn graph_fixpoint(
+    g: &SignalFlowGraph,
+    ctx: &AnalysisContext,
+    controls: &BTreeMap<String, Interval>,
+    thresholds: &[f64],
+    result: &mut AnalysisResult,
+) -> (Vec<Interval>, bool) {
+    let n = g.len();
+    let mut env: Vec<Interval> = vec![Interval::Bottom; n];
+    let mut queued = vec![true; n];
+    let mut updates = vec![0u32; n];
+    let mut work: VecDeque<BlockId> = (0..n).map(BlockId::from_index).collect();
+    let cap = iteration_cap(n);
+    let mut steps = 0usize;
+    let mut converged = true;
+
+    while let Some(id) = work.pop_front() {
+        queued[id.index()] = false;
+        if steps >= cap {
+            // Degrade soundly: the in-flight updates never propagated,
+            // so only the all-top environment is a safe post-fixpoint.
+            // The narrowing sweep below recovers what it can from it.
+            converged = false;
+            env.fill(Interval::TOP);
+            break;
+        }
+        steps += 1;
+        let new = transfer(g, id, &env, ctx, controls);
+        let old = env[id.index()];
+        let next = if old == new {
+            continue;
+        } else if g.block(id).kind.is_stateful() && updates[id.index()] >= WIDEN_AFTER {
+            old.widen(old.join(new), thresholds)
+        } else {
+            old.join(new)
+        };
+        if next == old {
+            continue;
+        }
+        updates[id.index()] += 1;
+        env[id.index()] = next;
+        for (consumer, _) in g.fanout(id) {
+            if !queued[consumer.index()] {
+                queued[consumer.index()] = true;
+                work.push_back(consumer);
+            }
+        }
+    }
+
+    // Narrowing: decreasing iterations from the post-fixpoint recover
+    // precision the widening jumped over (e.g. a limiter's clamp band
+    // inside a feedback loop). Each step applies the transfer function
+    // and keeps the meet, which stays an over-approximation.
+    for _ in 0..2 {
+        for i in 0..n {
+            let id = BlockId::from_index(i);
+            steps += 1;
+            let new = transfer(g, id, &env, ctx, controls);
+            env[i] = env[i].meet(new);
+        }
+    }
+
+    result.iterations += steps;
+    (env, converged)
+}
+
+/// The transfer function: the abstract counterpart of one block's
+/// simulator arithmetic.
+fn transfer(
+    g: &SignalFlowGraph,
+    id: BlockId,
+    env: &[Interval],
+    ctx: &AnalysisContext,
+    controls: &BTreeMap<String, Interval>,
+) -> Interval {
+    let input = |p: usize| -> Interval {
+        match g.try_block_inputs(id).and_then(|ports| ports.get(p).copied().flatten()) {
+            Some(d) if d.index() < env.len() => env[d.index()],
+            // Missing or dangling driver: assume anything (sound, and
+            // keeps the analysis total on malformed graphs).
+            _ => Interval::TOP,
+        }
+    };
+    match &g.block(id).kind {
+        BlockKind::Input { name } => ctx
+            .value_ranges
+            .get(name)
+            .map_or(Interval::TOP, |&(lo, hi)| Interval::new(lo, hi)),
+        BlockKind::ControlInput { name } => {
+            controls.get(name).copied().unwrap_or_else(|| Interval::new(0.0, 1.0))
+        }
+        BlockKind::Const { value } => Interval::point(*value),
+        BlockKind::Scale { gain } => input(0).scale(*gain),
+        BlockKind::Add { arity } => {
+            let mut acc = Interval::point(0.0);
+            for p in 0..*arity {
+                acc = acc.add(input(p));
+            }
+            acc
+        }
+        BlockKind::Sub => input(0).sub(input(1)),
+        BlockKind::Mul => input(0).mul(input(1)),
+        BlockKind::Div => input(0).div(input(1)),
+        // An integrator's output is the accumulated state: unbounded in
+        // general (the simulator imposes no clamp), so top — which also
+        // seeds every integrator-broken feedback loop.
+        BlockKind::Integrate { .. } | BlockKind::Differentiate { .. } => Interval::TOP,
+        BlockKind::Log => input(0).ln(),
+        BlockKind::Antilog => input(0).exp(),
+        BlockKind::Abs => input(0).abs(),
+        BlockKind::Limiter { level } => input(0).clamp_sym(*level),
+        BlockKind::OutputStage { limit, .. } => match limit {
+            Some(l) => input(0).clamp_sym(*l),
+            None => input(0),
+        },
+        // Track-and-hold: the output is the held state, which starts at
+        // 0 (the simulator zero-initializes state) and afterwards holds
+        // past values of the data input.
+        BlockKind::SampleHold => input(0).join(Interval::point(0.0)),
+        BlockKind::Switch => {
+            let data = input(0);
+            match input(1) {
+                c if c == Interval::point(1.0) => data,
+                c if c == Interval::point(0.0) => Interval::point(0.0),
+                _ => data.join(Interval::point(0.0)),
+            }
+        }
+        BlockKind::Mux { arity } => {
+            // A select proven constant picks exactly one data leg.
+            if let Some((lo, hi)) = input(*arity).bounds() {
+                if lo == hi && lo.fract() == 0.0 && lo >= 0.0 && (lo as usize) < *arity {
+                    return input(lo as usize);
+                }
+            }
+            let mut acc = Interval::Bottom;
+            for p in 0..*arity {
+                acc = acc.join(input(p));
+            }
+            acc
+        }
+        BlockKind::Output { name: _ } => input(0),
+        // Bit-valued control producers.
+        BlockKind::Comparator { .. }
+        | BlockKind::SchmittTrigger { .. }
+        | BlockKind::Logic { .. } => Interval::new(0.0, 1.0),
+        // An ADC word spans its full code range.
+        BlockKind::Adc { bits } => {
+            Interval::new(0.0, (1u64 << (*bits).min(52)) as f64 - 1.0)
+        }
+        // A memory holds past values of its stored signal; its label
+        // names that signal, whose FSM-side interval we may know.
+        BlockKind::Memory => match g.block(id).label.as_deref().and_then(|l| controls.get(l)) {
+            Some(&iv) => iv.join(input(0)).join(Interval::point(0.0)),
+            None => Interval::TOP,
+        },
+    }
+}
+
+/// Interval each FSM-driven signal can hold: the initial value `0.0`
+/// joined with every reachable state's assignments, quantity reads
+/// refined by the `'above`/guard facts of the state's incoming arcs.
+/// Iterated to a small fixed point because data-path ops may read other
+/// signals; the cap degrades to top, never diverges.
+fn fsm_signal_intervals(
+    design: &VhifDesign,
+    envs: &[Vec<Interval>],
+) -> BTreeMap<String, Interval> {
+    let quantity = |name: &str| -> Interval {
+        for (g, env) in design.graphs.iter().zip(envs) {
+            if let Some(id) = g.find_labelled(name).or_else(|| g.find_interface(name)) {
+                if id.index() < env.len() {
+                    return env[id.index()];
+                }
+            }
+        }
+        Interval::TOP
+    };
+
+    let mut signals: BTreeMap<String, Interval> = BTreeMap::new();
+    for f in &design.fsms {
+        for s in f.assigned_signals() {
+            signals.insert(s, Interval::point(0.0));
+        }
+    }
+
+    for round in 0..32 {
+        let mut changed = false;
+        for f in &design.fsms {
+            for sid in reachable_states(f) {
+                let facts = entry_facts(f, sid);
+                for op in &f.state(sid).ops {
+                    let v = eval_dp(&op.value, &signals, &facts, &quantity, 0);
+                    let cur = signals.get(&op.target).copied().unwrap_or(Interval::Bottom);
+                    let joined = cur.join(v);
+                    if joined != cur {
+                        signals.insert(op.target.clone(), joined);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        if round == 31 {
+            // Unstabilized chains of signal-to-signal assignments: give
+            // up soundly rather than loop further.
+            for v in signals.values_mut() {
+                *v = Interval::TOP;
+            }
+        }
+    }
+    signals
+}
+
+/// States reachable from `start` (unreachable states never execute, so
+/// their assignments do not contribute).
+fn reachable_states(f: &Fsm) -> Vec<StateId> {
+    let n = f.state_count();
+    let mut seen = vec![false; n];
+    if f.start().index() < n {
+        seen[f.start().index()] = true;
+    }
+    let mut stack = vec![f.start()];
+    while let Some(s) = stack.pop() {
+        for t in f.outgoing(s) {
+            if t.to.index() < n && !seen[t.to.index()] {
+                seen[t.to.index()] = true;
+                stack.push(t.to);
+            }
+        }
+    }
+    (0..n).map(StateId::from_index).filter(|s| seen[s.index()]).collect()
+}
+
+/// Facts known about quantities at the instant a state is entered: a
+/// quantity maps to a refining interval only when *every* incoming arc
+/// implies it (joined over the arcs). The ops of a state execute on
+/// entry, so an entry-instant fact is sound for them — it is *not* a
+/// state invariant.
+fn entry_facts(f: &Fsm, state: StateId) -> BTreeMap<String, Interval> {
+    let mut per_arc: Vec<BTreeMap<String, Interval>> = Vec::new();
+    let mut any = false;
+    for t in f.transitions().iter().filter(|t| t.to == state) {
+        any = true;
+        per_arc.push(trigger_facts(&t.trigger));
+    }
+    if !any {
+        return BTreeMap::new();
+    }
+    // A quantity is refined only if every arc constrains it.
+    let mut names: BTreeSet<&String> = per_arc[0].keys().collect();
+    for arc in &per_arc[1..] {
+        names.retain(|n| arc.contains_key(*n));
+    }
+    let mut out = BTreeMap::new();
+    for name in names {
+        let mut iv = Interval::Bottom;
+        for arc in &per_arc {
+            iv = iv.join(arc[name]);
+        }
+        out.insert(name.clone(), iv);
+    }
+    out
+}
+
+/// Quantity constraints implied by one trigger being taken.
+fn trigger_facts(trigger: &Trigger) -> BTreeMap<String, Interval> {
+    let mut out = BTreeMap::new();
+    match trigger {
+        Trigger::Always => {}
+        Trigger::AnyEvent(events) => {
+            // An `'above` event fires when the quantity crosses the
+            // threshold upward, so at entry the quantity sits at it.
+            // Only a single-event list is a definite fact (an OR of
+            // events identifies no single cause).
+            if let [Event::Above { quantity, threshold }] = events.as_slice() {
+                out.insert(quantity.clone(), Interval::new(*threshold, f64::INFINITY));
+            }
+        }
+        Trigger::Guard(g) => comparison_facts(g, &mut out),
+    }
+    out
+}
+
+/// Facts from a guard of the shape `quantity <op> constant` (or the
+/// mirrored constant-first shape), including `'above` levels used as
+/// boolean guards.
+fn comparison_facts(g: &DpExpr, out: &mut BTreeMap<String, Interval>) {
+    match g {
+        DpExpr::EventLevel(Event::Above { quantity, threshold }) => {
+            out.insert(quantity.clone(), Interval::new(*threshold, f64::INFINITY));
+        }
+        DpExpr::Binary { op, lhs, rhs } => {
+            let fact = match (lhs.as_ref(), rhs.as_ref()) {
+                (DpExpr::Quantity(q), DpExpr::Real(c)) => Some((q, *op, *c)),
+                (DpExpr::Real(c), DpExpr::Quantity(q)) => Some((q, mirror(*op), *c)),
+                _ => None,
+            };
+            if let Some((q, op, c)) = fact {
+                let iv = match op {
+                    DpBinaryOp::Gt | DpBinaryOp::GtEq => Interval::new(c, f64::INFINITY),
+                    DpBinaryOp::Lt | DpBinaryOp::LtEq => Interval::new(f64::NEG_INFINITY, c),
+                    DpBinaryOp::Eq => Interval::point(c),
+                    _ => Interval::TOP,
+                };
+                if !iv.is_top() {
+                    out.insert(q.clone(), iv);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Mirror a comparison when its operands were swapped.
+fn mirror(op: DpBinaryOp) -> DpBinaryOp {
+    match op {
+        DpBinaryOp::Lt => DpBinaryOp::Gt,
+        DpBinaryOp::LtEq => DpBinaryOp::GtEq,
+        DpBinaryOp::Gt => DpBinaryOp::Lt,
+        DpBinaryOp::GtEq => DpBinaryOp::LtEq,
+        other => other,
+    }
+}
+
+/// Abstract evaluation of a data-path expression.
+fn eval_dp(
+    e: &DpExpr,
+    signals: &BTreeMap<String, Interval>,
+    facts: &BTreeMap<String, Interval>,
+    quantity: &dyn Fn(&str) -> Interval,
+    depth: usize,
+) -> Interval {
+    if depth > 64 {
+        return Interval::TOP;
+    }
+    match e {
+        DpExpr::Bit(b) => Interval::point(f64::from(u8::from(*b))),
+        DpExpr::Real(v) => Interval::point(*v),
+        // External signals (never FSM-assigned) are bit-valued ports.
+        DpExpr::Signal(n) => {
+            signals.get(n).copied().unwrap_or_else(|| Interval::new(0.0, 1.0))
+        }
+        DpExpr::Quantity(n) => {
+            let base = quantity(n);
+            match facts.get(n) {
+                Some(&f) => {
+                    let refined = base.meet(f);
+                    // A contradictory fact (disjoint with the proven
+                    // quantity bound) means the arc cannot actually be
+                    // taken with those bounds; stay with the base
+                    // rather than claim unreachability.
+                    if refined == Interval::Bottom {
+                        base
+                    } else {
+                        refined
+                    }
+                }
+                None => base,
+            }
+        }
+        DpExpr::EventLevel(_) => Interval::new(0.0, 1.0),
+        DpExpr::Adc(_) => Interval::TOP,
+        DpExpr::Not(inner) => {
+            let v = eval_dp(inner, signals, facts, quantity, depth + 1);
+            if v == Interval::point(0.0) {
+                Interval::point(1.0)
+            } else if v == Interval::point(1.0) {
+                Interval::point(0.0)
+            } else {
+                Interval::new(0.0, 1.0)
+            }
+        }
+        DpExpr::Binary { op, lhs, rhs } => {
+            let a = eval_dp(lhs, signals, facts, quantity, depth + 1);
+            let b = eval_dp(rhs, signals, facts, quantity, depth + 1);
+            match op {
+                DpBinaryOp::Add => a.add(b),
+                DpBinaryOp::Sub => a.sub(b),
+                DpBinaryOp::Mul => a.mul(b),
+                DpBinaryOp::Div => a.div(b),
+                // Comparisons and logic produce bits.
+                _ => Interval::new(0.0, 1.0),
+            }
+        }
+    }
+}
+
+/// Emit the range verdicts for one analyzed graph.
+///
+/// Soundness shapes the verdict rules: the computed interval is an
+/// over-approximation of the actual value set, so
+///
+/// * a divisor proven exactly `[0, 0]` divides by zero for *every*
+///   reachable value — proven, [`Code::A203`];
+/// * a finite divisor interval straddling zero only *may* contain a
+///   real zero — possible, [`Code::A200`]; an unbounded divisor stays
+///   quiet (unknowns never warn, matching the pre-analysis behavior);
+/// * a computed output interval disjoint from its annotation means the
+///   actual values (a subset) are all outside it — proven,
+///   [`Code::A204`];
+/// * a finite computed endpoint beyond the annotation is a possible
+///   excursion — [`Code::A201`]; infinite endpoints stay quiet.
+fn emit_verdicts(
+    g: &SignalFlowGraph,
+    env: &[Interval],
+    ctx: &AnalysisContext,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let graph_note = format!("in graph `{}`", g.name());
+    for (id, block) in g.iter() {
+        match &block.kind {
+            BlockKind::Div => {
+                let divisor = g
+                    .try_block_inputs(id)
+                    .and_then(|p| p.get(1).copied().flatten())
+                    .and_then(|d| env.get(d.index()).copied())
+                    .unwrap_or(Interval::TOP);
+                if divisor == Interval::point(0.0) {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::A203,
+                            format!("divider {id} ({block}) always divides by zero"),
+                        )
+                        .with_note(graph_note.clone())
+                        .with_note(
+                            "the analysis proves the divisor is exactly 0 for every \
+                             valuation of the annotated ranges",
+                        ),
+                    );
+                } else if let Some((lo, hi)) = divisor.finite_bounds() {
+                    if lo <= 0.0 && hi >= 0.0 {
+                        diags.push(
+                            Diagnostic::new(
+                                Code::A200,
+                                format!("divider {id} ({block}) may divide by zero"),
+                            )
+                            .with_note(graph_note.clone())
+                            .with_note(format!(
+                                "the annotated ranges give the divisor the interval \
+                                 [{lo}, {hi}], which contains zero"
+                            )),
+                        );
+                    }
+                }
+            }
+            BlockKind::Output { name } => {
+                let Some(&(lo, hi)) = ctx.value_ranges.get(name) else { continue };
+                let Some((clo, chi)) = env.get(id.index()).copied().and_then(Interval::bounds)
+                else {
+                    continue;
+                };
+                let tol = 1e-9 * lo.abs().max(hi.abs()).max(1.0);
+                if clo > hi + tol || chi < lo - tol {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::A204,
+                            format!(
+                                "output `{name}` always violates its annotated range \
+                                 [{lo}, {hi}]"
+                            ),
+                        )
+                        .with_note(graph_note.clone())
+                        .with_note(format!(
+                            "the driven value is proven to lie in [{clo}, {chi}], which \
+                             does not intersect the annotation"
+                        )),
+                    );
+                } else if (clo.is_finite() && clo < lo - tol)
+                    || (chi.is_finite() && chi > hi + tol)
+                {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::A201,
+                            format!(
+                                "output `{name}` can leave its annotated range [{lo}, {hi}]"
+                            ),
+                        )
+                        .with_note(graph_note.clone())
+                        .with_note(format!(
+                            "interval propagation bounds the driven value to [{clo}, {chi}]"
+                        )),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Export only finite proven bounds (top and half-bounded intervals
+/// carry no usable sizing information downstream).
+fn export_bounds(g: &SignalFlowGraph, env: &[Interval]) -> GraphBounds {
+    let mut out = GraphBounds::unknown(g);
+    for (i, iv) in env.iter().enumerate().take(out.blocks.len()) {
+        out.blocks[i] = iv.finite_bounds();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vase_diag::Severity;
+
+    fn ctx_with(ranges: &[(&str, f64, f64)]) -> AnalysisContext {
+        let mut ctx = AnalysisContext::default();
+        for (name, lo, hi) in ranges {
+            ctx.value_ranges.insert((*name).to_owned(), (*lo, *hi));
+        }
+        ctx
+    }
+
+    fn codes(r: &AnalysisResult) -> Vec<Code> {
+        r.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    // Migrated from the old `verify.rs` interval tests: the analyzer
+    // owns the A200/A201 verdicts now.
+    #[test]
+    fn division_by_possibly_zero_range_warns() {
+        let mut g = SignalFlowGraph::new("main");
+        let a = g.add(BlockKind::Input { name: "num".into() });
+        let b = g.add(BlockKind::Input { name: "den".into() });
+        let div = g.add(BlockKind::Div);
+        let y = g.add(BlockKind::Output { name: "q".into() });
+        g.connect(a, div, 0).expect("wire");
+        g.connect(b, div, 1).expect("wire");
+        g.connect(div, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let r = analyze_design(&d, &ctx_with(&[("den", -1.0, 1.0)]));
+        assert_eq!(codes(&r), vec![Code::A200]);
+        assert_eq!(r.diagnostics[0].severity, Severity::Warning);
+        // A divisor bounded away from zero is quiet.
+        let r = analyze_design(&d, &ctx_with(&[("den", 0.5, 1.0)]));
+        assert_eq!(codes(&r), vec![]);
+        // An unbounded divisor (no annotation) is quiet too.
+        let r = analyze_design(&d, &ctx_with(&[("num", 0.0, 1.0)]));
+        assert_eq!(codes(&r), vec![]);
+    }
+
+    #[test]
+    fn division_by_proven_zero_is_an_error() {
+        let mut g = SignalFlowGraph::new("main");
+        let a = g.add(BlockKind::Input { name: "num".into() });
+        let z = g.add(BlockKind::Const { value: 0.0 });
+        let div = g.add(BlockKind::Div);
+        let y = g.add(BlockKind::Output { name: "q".into() });
+        g.connect(a, div, 0).expect("wire");
+        g.connect(z, div, 1).expect("wire");
+        g.connect(div, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let r = analyze_design(&d, &ctx_with(&[("num", 0.0, 1.0)]));
+        assert_eq!(codes(&r), vec![Code::A203]);
+        assert_eq!(r.diagnostics[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn out_of_range_drive_warns_and_unknowns_stay_quiet() {
+        let mut g = SignalFlowGraph::new("main");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let k = g.add(BlockKind::Scale { gain: 3.0 });
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, k, 0).expect("wire");
+        g.connect(k, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let r = analyze_design(&d, &ctx_with(&[("x", -1.0, 1.0), ("y", -1.0, 1.0)]));
+        assert_eq!(codes(&r), vec![Code::A201]);
+        // No range on the input → conservative silence.
+        let r = analyze_design(&d, &ctx_with(&[("y", -1.0, 1.0)]));
+        assert_eq!(codes(&r), vec![]);
+        // Gain that keeps the drive in range → silence.
+        let r = analyze_design(&d, &ctx_with(&[("x", -0.25, 0.25), ("y", -1.0, 1.0)]));
+        assert_eq!(codes(&r), vec![]);
+    }
+
+    #[test]
+    fn disjoint_output_range_is_proven_violation() {
+        let mut g = SignalFlowGraph::new("main");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let k = g.add(BlockKind::Scale { gain: 4.0 });
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, k, 0).expect("wire");
+        g.connect(k, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        // x ∈ [2, 3] → y ∈ [8, 12], annotation says [-1, 1]: disjoint.
+        let r = analyze_design(&d, &ctx_with(&[("x", 2.0, 3.0), ("y", -1.0, 1.0)]));
+        assert_eq!(codes(&r), vec![Code::A204]);
+        assert_eq!(r.diagnostics[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn feedback_loop_through_integrator_converges() {
+        // x --(+)--> integ --> limiter --> y, with the limiter output
+        //      ^____________________|
+        // fed back into the adder: the old topological pass bailed out
+        // here; the worklist must converge and bound y by the clamp.
+        let mut g = SignalFlowGraph::new("loop");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let add = g.add(BlockKind::Add { arity: 2 });
+        let integ = g.add(BlockKind::Integrate { gain: 1.0, initial: 0.0 });
+        let lim = g.add(BlockKind::Limiter { level: 2.0 });
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, add, 0).expect("wire");
+        g.connect(lim, add, 1).expect("wire");
+        g.connect(add, integ, 0).expect("wire");
+        g.connect(integ, lim, 0).expect("wire");
+        g.connect(lim, y, 0).expect("wire");
+        g.validate().expect("stateful feedback is legal");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let r = analyze_design(&d, &ctx_with(&[("x", -1.0, 1.0), ("y", -2.0, 2.0)]));
+        assert!(r.converged);
+        assert_eq!(codes(&r), vec![], "clamped loop output fits its annotation");
+        let lim_bound = r.bounds[0].get(lim);
+        assert_eq!(lim_bound, Some((-2.0, 2.0)), "limiter bound survives the loop");
+    }
+
+    #[test]
+    fn iterative_halving_loop_converges_with_thresholds() {
+        // v(n+1) = 0.5 * v(n) held by a sample-and-hold pair: the
+        // widening thresholds keep the interval finite instead of
+        // blowing the lower bound to -inf.
+        let mut g = SignalFlowGraph::new("halve");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let clk = g.add(BlockKind::ControlInput { name: "clk".into() });
+        let sh = g.add(BlockKind::SampleHold);
+        let half = g.add(BlockKind::Scale { gain: 0.5 });
+        let add = g.add(BlockKind::Add { arity: 2 });
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, add, 0).expect("wire");
+        g.connect(half, add, 1).expect("wire");
+        g.connect(add, sh, 0).expect("wire");
+        g.connect(clk, sh, 1).expect("wire");
+        g.connect(sh, half, 0).expect("wire");
+        g.connect(sh, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        // The loop sums to at most 2 = 1/(1-0.5); the y annotation
+        // donates the threshold 2.0 the widening lands on, so the
+        // interval stays finite instead of blowing out to +inf.
+        let r = analyze_design(&d, &ctx_with(&[("x", 0.0, 1.0), ("y", 0.0, 2.0)]));
+        assert!(r.converged);
+        assert_eq!(r.bounds[0].get(sh), Some((0.0, 2.0)));
+        assert_eq!(codes(&r), vec![], "y stays within its annotation");
+        // Without the landmark the bound widens to [0, +inf): sound,
+        // not finite, and still quiet (infinite endpoints never warn).
+        let r = analyze_design(&d, &ctx_with(&[("x", 0.0, 1.0)]));
+        assert!(r.converged);
+        assert_eq!(r.bounds[0].get(sh), None);
+        assert_eq!(codes(&r), vec![]);
+    }
+
+    #[test]
+    fn fsm_proven_constant_control_sharpens_switch() {
+        // An FSM that only ever assigns c1 <= '0' keeps the switch
+        // open: the output is proven 0 even though the data input is 5.
+        let mut g = SignalFlowGraph::new("main");
+        let k = g.add(BlockKind::Const { value: 5.0 });
+        let c = g.add(BlockKind::ControlInput { name: "c1".into() });
+        let sw = g.add(BlockKind::Switch);
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(k, sw, 0).expect("wire");
+        g.connect(c, sw, 1).expect("wire");
+        g.connect(sw, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let mut f = Fsm::new("ctl");
+        let start = f.start();
+        let s = f.add_state("s");
+        f.state_mut(s).ops.push(vase_vhif::DataOp::new("c1", DpExpr::Bit(false)));
+        f.add_transition(start, s, Trigger::Always);
+        f.add_transition(s, start, Trigger::Always);
+        d.fsms.push(f);
+        let r = analyze_design(&d, &ctx_with(&[("y", -1.0, 1.0)]));
+        assert_eq!(r.bounds[0].get(y), Some((0.0, 0.0)));
+        assert_eq!(codes(&r), vec![]);
+        // Without the FSM the control could be high: y may be 5 → A201.
+        d.fsms.clear();
+        let r = analyze_design(&d, &ctx_with(&[("y", -1.0, 1.0)]));
+        assert_eq!(codes(&r), vec![Code::A201]);
+    }
+
+    #[test]
+    fn above_guard_refines_entered_state_reads() {
+        // The FSM samples a quantity only after crossing 0.5 upward, so
+        // the stored signal is bounded below by the threshold.
+        let mut g = SignalFlowGraph::new("main");
+        let x = g.add(BlockKind::Input { name: "vin".into() });
+        let k = g.add(BlockKind::Scale { gain: 1.0 });
+        g.set_label(k, "vin_q");
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, k, 0).expect("wire");
+        g.connect(k, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let mut f = Fsm::new("sampler");
+        let start = f.start();
+        let s = f.add_state("latch");
+        f.state_mut(s)
+            .ops
+            .push(vase_vhif::DataOp::new("held", DpExpr::Quantity("vin_q".into())));
+        f.add_transition(
+            start,
+            s,
+            Trigger::AnyEvent(vec![Event::Above { quantity: "vin_q".into(), threshold: 0.5 }]),
+        );
+        f.add_transition(s, start, Trigger::Always);
+        d.fsms.push(f);
+        let r = analyze_design(&d, &ctx_with(&[("vin", -1.0, 1.0)]));
+        assert!(r.converged);
+        // Without refinement `held` would be [-1, 1] ⊔ {0} = [-1, 1];
+        // the entry fact vin_q ≥ 0.5 tightens it to {0} ⊔ [0.5, 1].
+        let internal = fsm_signal_intervals(&d, &[vec![
+            Interval::new(-1.0, 1.0),
+            Interval::new(-1.0, 1.0),
+            Interval::new(-1.0, 1.0),
+        ]]);
+        assert_eq!(internal.get("held"), Some(&Interval::new(0.0, 1.0)));
+    }
+
+    #[test]
+    fn degenerate_empty_context_reports_note_not_silence() {
+        let mut g = SignalFlowGraph::new("main");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let r = analyze_design(&d, &AnalysisContext::default());
+        assert_eq!(codes(&r), vec![Code::A205]);
+        assert_eq!(r.diagnostics[0].severity, Severity::Note);
+    }
+
+    #[test]
+    fn bounds_cover_every_graph_and_block() {
+        let mut g = SignalFlowGraph::new("main");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let k = g.add(BlockKind::Scale { gain: -2.0 });
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, k, 0).expect("wire");
+        g.connect(k, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        let r = analyze_design(&d, &ctx_with(&[("x", -1.0, 2.0)]));
+        assert_eq!(r.bounds.len(), 1);
+        assert_eq!(r.bounds[0].blocks.len(), 3);
+        assert_eq!(r.bounds[0].get(x), Some((-1.0, 2.0)));
+        // Negative gain flips the interval.
+        assert_eq!(r.bounds[0].get(k), Some((-4.0, 2.0)));
+        assert_eq!(r.bounds[0].get(y), Some((-4.0, 2.0)));
+    }
+}

@@ -1,0 +1,387 @@
+//! The interval abstract domain.
+//!
+//! Values are over-approximated by closed intervals `[lo, hi]` whose
+//! endpoints may be infinite; [`Interval::Bottom`] represents an
+//! unreachable (never computed) value. Endpoints are never NaN — every
+//! operation that could produce one (`0 × ∞` in a product, `∞ / ∞` in a
+//! quotient) is defined to return a sound non-NaN endpoint instead,
+//! using the standard interval-arithmetic convention `0 · ∞ = 0` for
+//! endpoint computations.
+
+use std::fmt;
+
+/// An interval abstract value: either unreachable or a closed range
+/// `[lo, hi]` with `lo <= hi` and possibly infinite endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Interval {
+    /// No value reaches this point (the lattice bottom).
+    Bottom,
+    /// All values in `[lo, hi]`.
+    Range {
+        /// Lower endpoint (may be `-inf`, never NaN).
+        lo: f64,
+        /// Upper endpoint (may be `+inf`, never NaN).
+        hi: f64,
+    },
+}
+
+// The transfer functions keep the textbook abstract-domain names
+// (`add`, `mul`, `div`, `neg` next to `join`, `meet`, `widen`) rather
+// than implementing the `std::ops` traits: interval arithmetic is not
+// the ring the operator syntax suggests (no additive inverses,
+// sub-distributive multiplication), and a visible method call marks
+// every site as a lattice operation.
+#[allow(clippy::should_implement_trait)]
+impl Interval {
+    /// The unbounded interval `[-inf, +inf]` (the lattice top).
+    pub const TOP: Interval = Interval::Range { lo: f64::NEG_INFINITY, hi: f64::INFINITY };
+
+    /// The interval `[lo, hi]`. NaN endpoints and inverted bounds
+    /// collapse to [`Interval::TOP`] (sound: top over-approximates
+    /// everything).
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        if lo.is_nan() || hi.is_nan() || lo > hi {
+            Interval::TOP
+        } else {
+            Interval::Range { lo, hi }
+        }
+    }
+
+    /// The singleton interval `[v, v]`.
+    pub fn point(v: f64) -> Interval {
+        Interval::new(v, v)
+    }
+
+    /// The endpoints, unless bottom.
+    pub fn bounds(self) -> Option<(f64, f64)> {
+        match self {
+            Interval::Bottom => None,
+            Interval::Range { lo, hi } => Some((lo, hi)),
+        }
+    }
+
+    /// The endpoints when both are finite.
+    pub fn finite_bounds(self) -> Option<(f64, f64)> {
+        self.bounds().filter(|(lo, hi)| lo.is_finite() && hi.is_finite())
+    }
+
+    /// Whether this is the unbounded interval.
+    pub fn is_top(self) -> bool {
+        self == Interval::TOP
+    }
+
+    /// Whether the interval contains `v`.
+    pub fn contains(self, v: f64) -> bool {
+        matches!(self, Interval::Range { lo, hi } if lo <= v && v <= hi)
+    }
+
+    /// Least upper bound (interval hull).
+    pub fn join(self, other: Interval) -> Interval {
+        match (self, other) {
+            (Interval::Bottom, x) | (x, Interval::Bottom) => x,
+            (Interval::Range { lo: a, hi: b }, Interval::Range { lo: c, hi: d }) => {
+                Interval::new(a.min(c), b.max(d))
+            }
+        }
+    }
+
+    /// Greatest lower bound (intersection; disjoint ranges meet to
+    /// bottom).
+    pub fn meet(self, other: Interval) -> Interval {
+        match (self, other) {
+            (Interval::Bottom, _) | (_, Interval::Bottom) => Interval::Bottom,
+            (Interval::Range { lo: a, hi: b }, Interval::Range { lo: c, hi: d }) => {
+                let (lo, hi) = (a.max(c), b.min(d));
+                if lo > hi {
+                    Interval::Bottom
+                } else {
+                    Interval::new(lo, hi)
+                }
+            }
+        }
+    }
+
+    /// Whether `self` is contained in `other` (the partial order).
+    pub fn le(self, other: Interval) -> bool {
+        match (self, other) {
+            (Interval::Bottom, _) => true,
+            (_, Interval::Bottom) => false,
+            (Interval::Range { lo: a, hi: b }, Interval::Range { lo: c, hi: d }) => {
+                c <= a && b <= d
+            }
+        }
+    }
+
+    /// Widening with thresholds: an endpoint that grew past its old
+    /// value jumps to the nearest threshold beyond it (ultimately
+    /// `±inf`), so ascending chains stabilize in at most
+    /// `thresholds.len()` steps per endpoint. `thresholds` must be
+    /// sorted ascending.
+    pub fn widen(self, next: Interval, thresholds: &[f64]) -> Interval {
+        match (self, next) {
+            (Interval::Bottom, x) | (x, Interval::Bottom) => x,
+            (Interval::Range { lo: a, hi: b }, Interval::Range { lo: c, hi: d }) => {
+                let lo = if c < a {
+                    thresholds
+                        .iter()
+                        .rev()
+                        .copied()
+                        .find(|&t| t <= c)
+                        .unwrap_or(f64::NEG_INFINITY)
+                } else {
+                    a
+                };
+                let hi = if d > b {
+                    thresholds.iter().copied().find(|&t| t >= d).unwrap_or(f64::INFINITY)
+                } else {
+                    b
+                };
+                Interval::new(lo, hi)
+            }
+        }
+    }
+
+    /// `[a, b] + [c, d] = [a + c, b + d]`.
+    pub fn add(self, other: Interval) -> Interval {
+        match (self, other) {
+            (Interval::Range { lo: a, hi: b }, Interval::Range { lo: c, hi: d }) => {
+                Interval::new(a + c, b + d)
+            }
+            _ => Interval::Bottom,
+        }
+    }
+
+    /// `[a, b] - [c, d] = [a - d, b - c]`.
+    pub fn sub(self, other: Interval) -> Interval {
+        match (self, other) {
+            (Interval::Range { lo: a, hi: b }, Interval::Range { lo: c, hi: d }) => {
+                Interval::new(a - d, b - c)
+            }
+            _ => Interval::Bottom,
+        }
+    }
+
+    /// Interval product, NaN-safe across all sign quadrants and
+    /// infinite endpoints (`0 · ∞` contributes `0`).
+    pub fn mul(self, other: Interval) -> Interval {
+        match (self, other) {
+            (Interval::Range { lo: a, hi: b }, Interval::Range { lo: c, hi: d }) => {
+                let p = [mul_ep(a, c), mul_ep(a, d), mul_ep(b, c), mul_ep(b, d)];
+                let mut lo = p[0];
+                let mut hi = p[0];
+                for &v in &p[1..] {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                Interval::new(lo, hi)
+            }
+            _ => Interval::Bottom,
+        }
+    }
+
+    /// Interval quotient. A divisor interval containing zero yields
+    /// [`Interval::TOP`] (the quotient is unbounded there — the caller
+    /// reports the division verdict separately); otherwise computed as
+    /// `self · [1/d, 1/c]`, which the NaN-safe product keeps sound for
+    /// infinite endpoints.
+    pub fn div(self, other: Interval) -> Interval {
+        match (self, other) {
+            (Interval::Bottom, _) | (_, Interval::Bottom) => Interval::Bottom,
+            (_, d) if d.contains(0.0) => Interval::TOP,
+            (a, Interval::Range { lo: c, hi: d }) => {
+                // Reciprocal is monotonically decreasing on an interval
+                // that excludes zero; 1/±inf = 0 keeps endpoints finite.
+                a.mul(Interval::new(1.0 / d, 1.0 / c))
+            }
+        }
+    }
+
+    /// Scale by a constant.
+    pub fn scale(self, k: f64) -> Interval {
+        self.mul(Interval::point(k))
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Interval {
+        match self {
+            Interval::Bottom => Interval::Bottom,
+            Interval::Range { lo, hi } => Interval::new(-hi, -lo),
+        }
+    }
+
+    /// `|[a, b]|`.
+    pub fn abs(self) -> Interval {
+        match self {
+            Interval::Bottom => Interval::Bottom,
+            Interval::Range { lo, hi } => {
+                let top = lo.abs().max(hi.abs());
+                let bot = if lo <= 0.0 && hi >= 0.0 { 0.0 } else { lo.abs().min(hi.abs()) };
+                Interval::new(bot, top)
+            }
+        }
+    }
+
+    /// `exp([a, b])` (monotone).
+    pub fn exp(self) -> Interval {
+        match self {
+            Interval::Bottom => Interval::Bottom,
+            Interval::Range { lo, hi } => Interval::new(lo.exp(), hi.exp()),
+        }
+    }
+
+    /// `ln([a, b])` for an interval proven positive; anything touching
+    /// `(-inf, 0]` is unbounded below in the simulator too, so top.
+    pub fn ln(self) -> Interval {
+        match self {
+            Interval::Bottom => Interval::Bottom,
+            Interval::Range { lo, hi } if lo > 0.0 => Interval::new(lo.ln(), hi.ln()),
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Clamp into `[-level, +level]` — even top becomes the clamp band.
+    pub fn clamp_sym(self, level: f64) -> Interval {
+        let band = Interval::new(-level.abs(), level.abs());
+        match self {
+            Interval::Bottom => Interval::Bottom,
+            Interval::Range { lo, hi } => Interval::new(
+                lo.clamp(-level.abs(), level.abs()),
+                hi.clamp(-level.abs(), level.abs()),
+            )
+            .meet(band),
+        }
+    }
+}
+
+/// Endpoint product with the `0 · ∞ = 0` convention (plain `f64`
+/// multiplication yields NaN there, which would poison min/max).
+fn mul_ep(a: f64, b: f64) -> f64 {
+    if a == 0.0 || b == 0.0 {
+        0.0
+    } else {
+        a * b
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interval::Bottom => f.write_str("⊥"),
+            Interval::Range { lo, hi } => write!(f, "[{lo}, {hi}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn join_meet_order() {
+        assert_eq!(r(0.0, 1.0).join(r(2.0, 3.0)), r(0.0, 3.0));
+        assert_eq!(r(0.0, 2.0).meet(r(1.0, 3.0)), r(1.0, 2.0));
+        assert_eq!(r(0.0, 1.0).meet(r(2.0, 3.0)), Interval::Bottom);
+        assert!(r(1.0, 2.0).le(r(0.0, 3.0)));
+        assert!(!r(0.0, 3.0).le(r(1.0, 2.0)));
+        assert!(Interval::Bottom.le(r(0.0, 0.0)));
+        assert_eq!(Interval::Bottom.join(r(1.0, 2.0)), r(1.0, 2.0));
+    }
+
+    // The four sign quadrants of the product, plus mixed/zero cases —
+    // the old `mul_interval` min/max fold silently dropped the NaN from
+    // 0 × ∞ products; these pin the corrected behavior.
+    #[test]
+    fn mul_positive_times_positive() {
+        assert_eq!(r(2.0, 3.0).mul(r(4.0, 5.0)), r(8.0, 15.0));
+    }
+
+    #[test]
+    fn mul_positive_times_negative() {
+        assert_eq!(r(2.0, 3.0).mul(r(-5.0, -4.0)), r(-15.0, -8.0));
+    }
+
+    #[test]
+    fn mul_negative_times_positive() {
+        assert_eq!(r(-3.0, -2.0).mul(r(4.0, 5.0)), r(-15.0, -8.0));
+    }
+
+    #[test]
+    fn mul_negative_times_negative() {
+        // Negative gain × negative range: the *product* of the two most
+        // negative endpoints is the maximum.
+        assert_eq!(r(-3.0, -2.0).mul(r(-5.0, -4.0)), r(8.0, 15.0));
+    }
+
+    #[test]
+    fn mul_straddling_zero() {
+        assert_eq!(r(-2.0, 3.0).mul(r(-1.0, 4.0)), r(-8.0, 12.0));
+        assert_eq!(r(-2.0, 3.0).mul(r(-4.0, -1.0)), r(-12.0, 8.0));
+    }
+
+    #[test]
+    fn mul_zero_times_unbounded_is_zero() {
+        // 0 × ∞ endpoint products must not poison the result with NaN.
+        assert_eq!(Interval::point(0.0).mul(Interval::TOP), Interval::point(0.0));
+        assert_eq!(r(0.0, 1.0).mul(r(0.0, f64::INFINITY)), r(0.0, f64::INFINITY));
+        assert_eq!(
+            r(-1.0, 0.0).mul(Interval::TOP),
+            Interval::TOP,
+            "a sign-straddling factor keeps the product unbounded both ways"
+        );
+    }
+
+    #[test]
+    fn mul_negative_gain_times_unbounded_above() {
+        // Negative constant gain against a half-bounded range flips it.
+        assert_eq!(
+            r(-2.0, -2.0).mul(r(0.0, f64::INFINITY)),
+            r(f64::NEG_INFINITY, 0.0)
+        );
+    }
+
+    #[test]
+    fn div_excluding_zero_is_exact() {
+        assert_eq!(r(1.0, 2.0).div(r(2.0, 4.0)), r(0.25, 1.0));
+        assert_eq!(r(1.0, 2.0).div(r(-4.0, -2.0)), r(-1.0, -0.25));
+        // Unbounded divisor magnitude drives the quotient toward zero.
+        assert_eq!(r(1.0, 2.0).div(r(2.0, f64::INFINITY)), r(0.0, 1.0));
+    }
+
+    #[test]
+    fn div_through_zero_is_top() {
+        assert!(r(1.0, 2.0).div(r(-1.0, 1.0)).is_top());
+        assert!(r(1.0, 2.0).div(Interval::point(0.0)).is_top());
+    }
+
+    #[test]
+    fn widen_climbs_thresholds_then_inf() {
+        let th = [-1.0, 0.0, 1.0];
+        let w = r(0.0, 0.5).widen(r(0.0, 0.9), &th);
+        assert_eq!(w, r(0.0, 1.0));
+        let w2 = w.widen(r(0.0, 1.5), &th);
+        assert_eq!(w2, r(0.0, f64::INFINITY));
+        // A stable endpoint is left alone.
+        assert_eq!(r(0.0, 1.0).widen(r(0.5, 1.0), &th), r(0.0, 1.0));
+    }
+
+    #[test]
+    fn abs_exp_ln_clamp() {
+        assert_eq!(r(-3.0, 2.0).abs(), r(0.0, 3.0));
+        assert_eq!(r(-3.0, -1.0).abs(), r(1.0, 3.0));
+        assert_eq!(r(0.0, 1.0).exp(), r(1.0, std::f64::consts::E));
+        assert_eq!(r(1.0, std::f64::consts::E).ln(), r(0.0, 1.0));
+        assert!(r(-1.0, 1.0).ln().is_top());
+        assert_eq!(Interval::TOP.clamp_sym(1.5), r(-1.5, 1.5));
+        assert_eq!(r(-0.5, 9.0).clamp_sym(1.5), r(-0.5, 1.5));
+    }
+
+    #[test]
+    fn nan_endpoints_collapse_to_top() {
+        assert!(Interval::new(f64::NAN, 1.0).is_top());
+        assert!(Interval::new(2.0, 1.0).is_top());
+    }
+}

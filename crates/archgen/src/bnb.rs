@@ -26,7 +26,7 @@ use std::time::Instant;
 use vase_budget::{BudgetMeter, CancelToken};
 use vase_estimate::{EstimateMemo, Estimator, NetlistEstimate};
 use vase_library::{MatchCache, Netlist, PatternMatch};
-use vase_vhif::{BlockId, SignalFlowGraph};
+use vase_vhif::{BlockId, GraphBounds, SignalFlowGraph};
 
 use crate::cache::CoverCache;
 use crate::config::{MapStats, MapperConfig, SearchStrategy};
@@ -110,7 +110,7 @@ pub fn map_graph_with_cache(
 ) -> Result<MapResult, MapError> {
     let seed_incumbent = config.budget.is_limited();
     let meter = BudgetMeter::new(config.effective_budget(), None);
-    map_graph_metered_cached(graph, estimator, config, &meter, seed_incumbent, Some(cache))
+    map_graph_metered_cached(graph, estimator, config, &meter, seed_incumbent, Some(cache), None)
 }
 
 /// The budget-aware mapping core: meters node visits on `meter`
@@ -126,11 +126,13 @@ pub(crate) fn map_graph_metered(
     meter: &BudgetMeter,
     seed_incumbent: bool,
 ) -> Result<MapResult, MapError> {
-    map_graph_metered_cached(graph, estimator, config, meter, seed_incumbent, None)
+    map_graph_metered_cached(graph, estimator, config, meter, seed_incumbent, None, None)
 }
 
 /// [`map_graph_metered`] with an optional cover cache consulted before
-/// branching and updated after a completed (non-exhausted) search.
+/// branching and updated after a completed (non-exhausted) search, and
+/// optional proven value bounds for the swing-aware candidate pruning
+/// (only consulted when `config.range_prune` is set).
 pub(crate) fn map_graph_metered_cached(
     graph: &SignalFlowGraph,
     estimator: &Estimator,
@@ -138,6 +140,7 @@ pub(crate) fn map_graph_metered_cached(
     meter: &BudgetMeter,
     seed_incumbent: bool,
     cover_cache: Option<&CoverCache>,
+    bounds: Option<&GraphBounds>,
 ) -> Result<MapResult, MapError> {
     let start = Instant::now();
     // Run the matcher once per block, up front; both the pre-check and
@@ -154,7 +157,8 @@ pub(crate) fn map_graph_metered_cached(
     // Content-addressed reuse: a structurally identical graph mapped
     // before (under the same constraints and options) resolves in
     // O(lookup), skipping the search entirely.
-    let cache_key = cover_cache.map(|c| (c, CoverCache::key(graph, estimator, config)));
+    let cache_key =
+        cover_cache.map(|c| (c, CoverCache::key_with_bounds(graph, estimator, config, bounds)));
     if let Some((cc, key)) = &cache_key {
         if let Some((netlist, estimate)) = cc.lookup(*key, graph, estimator, config) {
             let stats = MapStats {
@@ -178,7 +182,7 @@ pub(crate) fn map_graph_metered_cached(
     } else {
         None
     };
-    let ctx = SearchCtx::new(graph, estimator, config, cache, meter);
+    let ctx = SearchCtx::new(graph, estimator, config, cache, meter, bounds);
     let jobs = config.effective_parallelism();
     let (best, mut stats) = match config.strategy {
         SearchStrategy::Guided => crate::guide::run_guided(&ctx, seed),
@@ -243,6 +247,12 @@ pub(crate) struct SearchCtx<'a> {
     /// the same (memoized) estimates, so the search itself never calls
     /// the estimator per node.
     pub(crate) alt_area: Vec<Vec<f64>>,
+    /// `range_pruned[block][alternative]`: whether a proven value bound
+    /// showed the alternative dominated at the proven swing (see
+    /// [`range_prune_table`]). `None` unless `config.range_prune` is
+    /// set *and* bounds were supplied, so the default path allocates
+    /// and checks nothing.
+    range_pruned: Option<Vec<Vec<bool>>>,
     pub(crate) order: Vec<BlockId>,
     pub(crate) min_area: f64,
     /// The shared budget meter; every decision-tree visit notes a node
@@ -257,6 +267,7 @@ impl<'a> SearchCtx<'a> {
         config: &'a MapperConfig,
         cache: MatchCache,
         meter: &'a BudgetMeter,
+        bounds: Option<&GraphBounds>,
     ) -> Self {
         // One estimator run per *distinct* kind: alternatives repeat
         // kinds heavily (every Scale block matches the same follower /
@@ -277,6 +288,9 @@ impl<'a> SearchCtx<'a> {
             spec_ok.push(ok);
             alt_area.push(area);
         }
+        let range_pruned = bounds
+            .filter(|_| config.range_prune)
+            .map(|b| range_prune_table(graph, &cache, estimator, &spec_ok, &alt_area, b));
         SearchCtx {
             graph,
             estimator,
@@ -284,6 +298,7 @@ impl<'a> SearchCtx<'a> {
             cache,
             spec_ok,
             alt_area,
+            range_pruned,
             order: coverage_order(graph),
             min_area: estimator.min_opamp_area(),
             meter,
@@ -294,6 +309,115 @@ impl<'a> SearchCtx<'a> {
     pub(crate) fn next_uncovered(&self, plan: &Plan) -> Option<BlockId> {
         self.order.iter().copied().find(|&b| !plan.is_covered(b))
     }
+
+    /// Whether the swing-aware dominance table marked this alternative
+    /// pruned (always false when range pruning is off).
+    pub(crate) fn is_range_pruned(&self, block: BlockId, alt: usize) -> bool {
+        self.range_pruned
+            .as_ref()
+            .is_some_and(|t| t[block.index()][alt])
+    }
+}
+
+/// Build the swing-aware dominance table for `range_prune`.
+///
+/// At a block whose output value the range analysis proved to lie in
+/// `[lo, hi]`, the real swing the placed component must deliver is
+/// `swing = max(|lo|, |hi|)` — possibly far below the full
+/// `signal_peak_v · gain` the default sizing assumes. Alternative `j`
+/// is marked pruned iff:
+///
+/// * its default sizing carries headroom beyond the proof
+///   (`signal_peak_v · gain_j > swing`), and
+/// * some other alternative `i` at the same block covers exactly the
+///   same blocks with the same inputs, is feasible under the *global*
+///   spec (so keeping only `i` can never turn a feasible mapping
+///   infeasible at the final netlist check), meets the spec when sized
+///   at the proven swing, and needs no more op amps and no more area
+///   than `j` under *both* sizings — the default full-swing estimate
+///   the search's cost function uses, and the proven-swing estimate —
+///   with ties broken towards the lower index so two equal
+///   alternatives never prune each other.
+///
+/// Requiring dominance under both sizings keeps the table sound in
+/// either ordering: the retained `i` is no worse in the area the
+/// search actually minimises, *and* no worse at the proven operating
+/// point (lowering the swing relaxes only the slew requirement — see
+/// [`Estimator::estimate_component_at_swing`] — which shifts bias
+/// currents, so the two orderings can differ). The table is still a
+/// heuristic with respect to global area optimality (a pruned
+/// alternative could have enabled sharing elsewhere), which is why the
+/// whole mechanism is opt-in and off by default.
+fn range_prune_table(
+    graph: &SignalFlowGraph,
+    cache: &MatchCache,
+    estimator: &Estimator,
+    spec_ok: &[Vec<bool>],
+    alt_area: &[Vec<f64>],
+    bounds: &GraphBounds,
+) -> Vec<Vec<bool>> {
+    let peak = estimator.constraints.signal_peak_v;
+    let mut table = Vec::with_capacity(graph.len());
+    for bi in 0..graph.len() {
+        let id = BlockId::from_index(bi);
+        let alternatives = cache.at(id);
+        let mut row = vec![false; alternatives.len()];
+        let swing = match bounds.get(id) {
+            Some((lo, hi)) => lo.abs().max(hi.abs()),
+            None => {
+                table.push(row);
+                continue;
+            }
+        };
+        if !swing.is_finite() {
+            table.push(row);
+            continue;
+        }
+        // Size every alternative for the swing it actually needs: the
+        // proven bound, capped at its own full-signal swing (sizing
+        // beyond the default would be needlessly conservative).
+        let at_swing: Vec<_> = alternatives
+            .iter()
+            .map(|m| {
+                let full = peak * m.kind.max_gain().max(1.0);
+                estimator.estimate_component_at_swing(&m.kind, swing.min(full))
+            })
+            .collect();
+        for j in 0..alternatives.len() {
+            let mj = &alternatives[j];
+            // Only candidates whose default sizing exceeds the proven
+            // range are ever pruned.
+            if peak * mj.kind.max_gain().max(1.0) <= swing {
+                continue;
+            }
+            row[j] = (0..alternatives.len()).any(|i| {
+                i != j
+                    && spec_ok[bi][i]
+                    && at_swing[i].spec_met
+                    && alternatives[i].kind.opamp_count() <= mj.kind.opamp_count()
+                    && same_cover_and_inputs(&alternatives[i], mj)
+                    && alt_area[bi][i] <= alt_area[bi][j]
+                    && (at_swing[i].area_m2 < at_swing[j].area_m2
+                        || (at_swing[i].area_m2 == at_swing[j].area_m2 && i < j))
+            });
+        }
+        table.push(row);
+    }
+    table
+}
+
+/// Whether two alternatives implement the same cover from the same
+/// inputs (input order is semantic — it is the component's wiring — so
+/// it must match exactly; the covered set is order-insensitive).
+fn same_cover_and_inputs(a: &PatternMatch, b: &PatternMatch) -> bool {
+    if a.inputs != b.inputs || a.covered.len() != b.covered.len() {
+        return false;
+    }
+    let mut ca: Vec<usize> = a.covered.iter().map(|b| b.index()).collect();
+    let mut cb: Vec<usize> = b.covered.iter().map(|b| b.index()).collect();
+    ca.sort_unstable();
+    cb.sort_unstable();
+    ca == cb
 }
 
 /// Dominance-memo storage: disabled, thread-local, or shared across
@@ -421,6 +545,14 @@ impl<'a> Search<'a> {
             // (gain-split chains) are explored instead.
             if !self.ctx.spec_ok[cur.index()][i] {
                 self.stats.pruned_nodes += 1;
+                continue;
+            }
+            // Swing-aware dominance: a proven value bound showed a
+            // same-cover alternative that suffices at the proven swing
+            // for no more area. Sharing is unaffected (it allocates
+            // nothing), so only the allocate branch is skipped.
+            if self.ctx.is_range_pruned(cur, i) {
+                self.stats.range_pruned += 1;
                 continue;
             }
             if self.ctx.config.bounding {
@@ -859,6 +991,106 @@ mod tests {
         let budgeted = map_graph(&g, &estimator(), &config).expect("maps");
         assert!(!budgeted.stats.budget_exhausted);
         assert_eq!(budgeted.netlist.opamp_count(), free.netlist.opamp_count());
+    }
+
+    /// Map with explicit bounds through the metered entry point.
+    fn map_with_bounds(
+        graph: &SignalFlowGraph,
+        estimator: &Estimator,
+        config: &MapperConfig,
+        bounds: Option<&GraphBounds>,
+    ) -> Result<MapResult, MapError> {
+        let meter = BudgetMeter::new(config.effective_budget(), None);
+        map_graph_metered_cached(graph, estimator, config, &meter, false, None, bounds)
+    }
+
+    #[test]
+    fn bounds_without_range_prune_are_bit_identical() {
+        // Attaching proven bounds must change nothing unless
+        // `range_prune` is opted into — the equivalence the flow's
+        // default path relies on.
+        let g = fig6_graph();
+        let mut bounds = GraphBounds::unknown(&g);
+        for b in bounds.blocks.iter_mut() {
+            *b = Some((-0.1, 0.1));
+        }
+        let plain = map_graph(&g, &estimator(), &MapperConfig::default()).expect("maps");
+        let with =
+            map_with_bounds(&g, &estimator(), &MapperConfig::default(), Some(&bounds))
+                .expect("maps");
+        assert_eq!(with.netlist, plain.netlist);
+        assert_eq!(with.estimate.area_m2.to_bits(), plain.estimate.area_m2.to_bits());
+        assert_eq!(with.stats.range_pruned, 0);
+    }
+
+    #[test]
+    fn range_prune_skips_dominated_over_headroom_alternatives() {
+        // A gain-40 stage: the matcher offers both the single amplifier
+        // and its gain-split chain transformation (same cover, same
+        // inputs, more op amps). With the output proven to stay within
+        // ±0.5 V, the chain carries swing headroom the proof rules out
+        // and is dominated by the feasible single amp.
+        let mut g = SignalFlowGraph::new("gain40");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let s = g.add(BlockKind::Scale { gain: 40.0 });
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, s, 0).expect("wire");
+        g.connect(s, y, 0).expect("wire");
+        let mut bounds = GraphBounds::unknown(&g);
+        bounds.blocks[s.index()] = Some((-0.5, 0.5));
+
+        let config = MapperConfig { range_prune: true, ..MapperConfig::default() };
+        let pruned = map_with_bounds(&g, &estimator(), &config, Some(&bounds)).expect("maps");
+        pruned.netlist.validate().expect("valid");
+        assert!(pruned.estimate.feasible());
+        assert!(
+            pruned.stats.range_pruned > 0,
+            "expected the chain alternative pruned: {:?}",
+            pruned.stats
+        );
+        // Here dominance preserves the optimum: the single amp was the
+        // best mapping anyway.
+        let plain = map_graph(&g, &estimator(), &MapperConfig::default()).expect("maps");
+        assert_eq!(pruned.netlist, plain.netlist);
+    }
+
+    #[test]
+    fn range_prune_with_unknown_bounds_is_a_no_op() {
+        let g = fig6_graph();
+        let bounds = GraphBounds::unknown(&g);
+        let config = MapperConfig { range_prune: true, ..MapperConfig::default() };
+        let result = map_with_bounds(&g, &estimator(), &config, Some(&bounds)).expect("maps");
+        let plain = map_graph(&g, &estimator(), &MapperConfig::default()).expect("maps");
+        assert_eq!(result.netlist, plain.netlist);
+        assert_eq!(result.stats.range_pruned, 0);
+    }
+
+    #[test]
+    fn range_prune_matches_across_strategies() {
+        // The pruning table is strategy-independent: exact, guided, and
+        // parallel searches see the same pruned alternatives and agree
+        // on the result.
+        let mut g = SignalFlowGraph::new("two_stage");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let s1 = g.add(BlockKind::Scale { gain: 40.0 });
+        let s2 = g.add(BlockKind::Scale { gain: 0.5 });
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(x, s1, 0).expect("wire");
+        g.connect(s1, s2, 0).expect("wire");
+        g.connect(s2, y, 0).expect("wire");
+        let mut bounds = GraphBounds::unknown(&g);
+        bounds.blocks[s1.index()] = Some((-0.5, 0.5));
+        bounds.blocks[s2.index()] = Some((-0.25, 0.25));
+
+        let exact = MapperConfig { range_prune: true, ..MapperConfig::default() };
+        let guided = MapperConfig { range_prune: true, ..MapperConfig::guided() };
+        let parallel = MapperConfig { range_prune: true, parallelism: 4, ..MapperConfig::default() };
+        let e = map_with_bounds(&g, &estimator(), &exact, Some(&bounds)).expect("maps");
+        let u = map_with_bounds(&g, &estimator(), &guided, Some(&bounds)).expect("maps");
+        let p = map_with_bounds(&g, &estimator(), &parallel, Some(&bounds)).expect("maps");
+        assert_eq!(e.netlist, u.netlist);
+        assert_eq!(e.netlist.opamp_count(), p.netlist.opamp_count());
+        assert!((e.estimate.area_m2 - p.estimate.area_m2).abs() <= e.estimate.area_m2 * 1e-12);
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::sync::Mutex;
 
 use vase_estimate::{Estimator, NetlistEstimate};
 use vase_library::{ComponentKind, Netlist};
-use vase_vhif::{structural_hash, BlockId, SignalFlowGraph};
+use vase_vhif::{structural_hash, BlockId, GraphBounds, SignalFlowGraph};
 
 use crate::config::MapperConfig;
 use crate::plan::{resolve, Plan, PlannedComponent};
@@ -68,7 +68,24 @@ impl CoverCache {
     /// `config`: the graph's structural hash plus a fingerprint of
     /// every knob that can change which cover is optimal.
     pub fn key(graph: &SignalFlowGraph, estimator: &Estimator, config: &MapperConfig) -> (u64, u64) {
-        (structural_hash(graph), context_fingerprint(estimator, config))
+        CoverCache::key_with_bounds(graph, estimator, config, None)
+    }
+
+    /// [`CoverCache::key`] for a mapping that may range-prune against
+    /// proven value bounds. The bounds join the context fingerprint
+    /// *only* when `config.range_prune` is set and bounds are present —
+    /// a pruning search can return a different cover, so it must not
+    /// share entries with (or poison) the exact search's keys. With
+    /// `range_prune` off the key is identical to [`CoverCache::key`]
+    /// whether or not bounds ride on the design.
+    pub fn key_with_bounds(
+        graph: &SignalFlowGraph,
+        estimator: &Estimator,
+        config: &MapperConfig,
+        bounds: Option<&GraphBounds>,
+    ) -> (u64, u64) {
+        let bounds = bounds.filter(|_| config.range_prune);
+        (structural_hash(graph), context_fingerprint(estimator, config, bounds))
     }
 
     /// Look up and *validate* a cached cover. Returns the resolved
@@ -246,8 +263,16 @@ impl CoverCache {
 
 /// FNV-1a over everything outside the graph that can change the
 /// optimal cover: performance constraints (exact bits), matcher
-/// options, sharing, and the fan-out limit.
-fn context_fingerprint(estimator: &Estimator, config: &MapperConfig) -> u64 {
+/// options, sharing, the fan-out limit, and — when range pruning is
+/// active — the proven per-block bounds the pruning consults. The
+/// bounds mix is keyed on the caller having already filtered on
+/// `config.range_prune`, so pruning-off fingerprints are byte-for-byte
+/// what they were before bounds existed.
+fn context_fingerprint(
+    estimator: &Estimator,
+    config: &MapperConfig,
+    bounds: Option<&GraphBounds>,
+) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
@@ -266,6 +291,22 @@ fn context_fingerprint(estimator: &Estimator, config: &MapperConfig) -> u64 {
     mix(u64::from(config.match_options.transforms));
     mix(u64::from(config.sharing));
     mix(config.fanout_limit as u64);
+    if let Some(b) = bounds {
+        // A marker first, so "pruning with all-unknown bounds" still
+        // keys apart from "no pruning".
+        mix(0x5241_4e47_4550_5255); // "RANGEPRU"
+        mix(b.blocks.len() as u64);
+        for entry in &b.blocks {
+            match entry {
+                Some((lo, hi)) => {
+                    mix(1);
+                    mix(lo.to_bits());
+                    mix(hi.to_bits());
+                }
+                None => mix(0),
+            }
+        }
+    }
     h
 }
 
@@ -606,6 +647,35 @@ mod tests {
         let second = map_graph_with_cache(&g, &tighter, &config, &cache).expect("maps");
         assert_eq!(second.stats.cache_hits, 0, "different constraints must miss");
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn range_prune_keys_separate_only_when_active() {
+        use vase_vhif::GraphBounds;
+        let g = fig6_graph("one", false);
+        let e = estimator();
+        let off = MapperConfig::default();
+        let on = MapperConfig { range_prune: true, ..MapperConfig::default() };
+        let mut bounds = GraphBounds::unknown(&g);
+        bounds.blocks[2] = Some((-0.5, 0.5));
+        // Pruning off: bounds never reach the key.
+        assert_eq!(
+            CoverCache::key_with_bounds(&g, &e, &off, Some(&bounds)),
+            CoverCache::key(&g, &e, &off)
+        );
+        // Pruning on with bounds: the key must diverge — a pruning
+        // search may find a different cover.
+        assert_ne!(
+            CoverCache::key_with_bounds(&g, &e, &on, Some(&bounds)),
+            CoverCache::key(&g, &e, &on)
+        );
+        // ...and depend on the bound values themselves.
+        let mut other = GraphBounds::unknown(&g);
+        other.blocks[2] = Some((-1.0, 1.0));
+        assert_ne!(
+            CoverCache::key_with_bounds(&g, &e, &on, Some(&bounds)),
+            CoverCache::key_with_bounds(&g, &e, &on, Some(&other))
+        );
     }
 
     #[test]

@@ -82,6 +82,16 @@ pub struct MapperConfig {
     /// [`SearchStrategy::Guided`]).
     #[serde(default)]
     pub strategy: SearchStrategy,
+    /// Use the proven value bounds the `vase-analyze` fixed point
+    /// attaches to the design to prune dominated candidates: at a block
+    /// whose output range is proven, an alternative sized for more
+    /// swing headroom than the proof allows is skipped when another
+    /// alternative with the same cover and inputs meets the spec at
+    /// the proven swing with no more area or op amps. Off by default —
+    /// mapping results with this disabled are bit-identical whether or
+    /// not bounds are attached.
+    #[serde(default)]
+    pub range_prune: bool,
 }
 
 fn default_parallelism() -> usize {
@@ -102,6 +112,7 @@ impl Default for MapperConfig {
             split_depth: 0,
             budget: Budget::unlimited(),
             strategy: SearchStrategy::default(),
+            range_prune: false,
         }
     }
 }
@@ -206,6 +217,11 @@ pub struct MapStats {
     /// results were recorded for future reuse).
     #[serde(default)]
     pub cache_misses: u64,
+    /// Allocation branches skipped because a proven value bound showed
+    /// the candidate dominated at the proven swing (only under
+    /// [`MapperConfig::range_prune`]).
+    #[serde(default)]
+    pub range_pruned: u64,
 }
 
 impl MapStats {
@@ -222,6 +238,7 @@ impl MapStats {
         self.budget_exhausted |= other.budget_exhausted;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.range_pruned += other.range_pruned;
     }
 
     /// Decision-tree nodes explored, the quantity compute budgets
@@ -259,6 +276,9 @@ impl fmt::Display for MapStats {
         }
         if self.cache_hits > 0 {
             write!(f, " [{} cover-cache hit(s)]", self.cache_hits)?;
+        }
+        if self.range_pruned > 0 {
+            write!(f, " [{} range-pruned]", self.range_pruned)?;
         }
         Ok(())
     }
@@ -307,6 +327,21 @@ mod tests {
         assert_eq!(a.cache_misses, 3);
         assert!(a.to_string().contains("4 cover-cache hit(s)"));
         assert!(!MapStats::default().to_string().contains("cover-cache"));
+    }
+
+    #[test]
+    fn range_prune_is_off_by_default() {
+        // Bit-identity with the historical mapper depends on this
+        // default staying false.
+        assert!(!MapperConfig::default().range_prune);
+        assert!(!MapperConfig::guided().range_prune);
+        assert!(!MapperConfig::parallel().range_prune);
+        let mut a = MapStats { range_pruned: 2, ..MapStats::default() };
+        let b = MapStats { range_pruned: 3, ..MapStats::default() };
+        a.merge(&b);
+        assert_eq!(a.range_pruned, 5);
+        assert!(a.to_string().contains("[5 range-pruned]"));
+        assert!(!MapStats::default().to_string().contains("range-pruned"));
     }
 
     #[test]

@@ -190,6 +190,10 @@ pub(crate) fn run_guided(ctx: &SearchCtx, seed: Option<Best>) -> (Option<Best>, 
                 stats.pruned_nodes += 1;
                 continue;
             }
+            if ctx.is_range_pruned(cur, i) {
+                stats.range_pruned += 1;
+                continue;
+            }
             let g_new = node.g + ctx.alt_area[cur.index()][i];
             if ctx.config.bounding && g_new > bound {
                 stats.pruned_nodes += 1;

@@ -148,6 +148,16 @@ pub fn synthesize_with_cache(
     let seed_incumbent = config.budget.is_limited() || token.is_some();
     let meter = BudgetMeter::new(config.effective_budget(), token);
     let meter = &meter;
+    // Proven value bounds (attached by the `vase-analyze` fixed point)
+    // for one graph, looked up by name. Only consulted when
+    // `config.range_prune` is on; the mapper receives `None` otherwise
+    // so the default path is untouched by whatever rides on the design.
+    let bounds_for = |graph: &vase_vhif::SignalFlowGraph| {
+        if !config.range_prune {
+            return None;
+        }
+        design.bounds.iter().find(|b| b.graph == graph.name())
+    };
     let jobs = config.effective_parallelism();
     let results: Vec<Result<MapResult, MapError>> = if jobs > 1 && design.graphs.len() > 1 {
         // Spread the worker budget across the graphs; each graph's own
@@ -161,6 +171,7 @@ pub fn synthesize_with_cache(
                 .graphs
                 .iter()
                 .map(|graph| {
+                    let bounds = bounds_for(graph);
                     scope.spawn(move || {
                         bnb::map_graph_metered_cached(
                             graph,
@@ -169,6 +180,7 @@ pub fn synthesize_with_cache(
                             meter,
                             seed_incumbent,
                             cache,
+                            bounds,
                         )
                     })
                 })
@@ -183,7 +195,15 @@ pub fn synthesize_with_cache(
             .graphs
             .iter()
             .map(|graph| {
-                bnb::map_graph_metered_cached(graph, estimator, config, meter, seed_incumbent, cache)
+                bnb::map_graph_metered_cached(
+                    graph,
+                    estimator,
+                    config,
+                    meter,
+                    seed_incumbent,
+                    cache,
+                    bounds_for(graph),
+                )
             })
             .collect()
     };

@@ -250,6 +250,10 @@ fn expand_children(ctx: &SearchCtx<'_>, plan: &Plan, out: &mut Vec<Plan>, stats:
             stats.pruned_nodes += 1;
             continue;
         }
+        if ctx.is_range_pruned(cur, i) {
+            stats.range_pruned += 1;
+            continue;
+        }
         let mut allocated = plan.clone();
         apply_match(&mut allocated, m, cur);
         out.push(allocated);
@@ -311,7 +315,7 @@ mod tests {
         };
         let cache = MatchCache::build(&g, &config.match_options);
         let meter = BudgetMeter::new(config.effective_budget(), None);
-        let ctx = SearchCtx::new(&g, &estimator, &config, cache, &meter);
+        let ctx = SearchCtx::new(&g, &estimator, &config, cache, &meter, None);
         let mut stats = MapStats::default();
         let tasks = expand_frontier(&ctx, 4, &mut stats);
         assert!(
@@ -333,7 +337,7 @@ mod tests {
         let seq_config = MapperConfig::default();
         let cache = MatchCache::build(&g, &seq_config.match_options);
         let seq_meter = BudgetMeter::new(seq_config.effective_budget(), None);
-        let seq_ctx = SearchCtx::new(&g, &estimator, &seq_config, cache, &seq_meter);
+        let seq_ctx = SearchCtx::new(&g, &estimator, &seq_config, cache, &seq_meter, None);
         let mut seq = Search::sequential(&seq_ctx);
         seq.run(Plan::new(&g));
         let seq_best = seq.best.expect("sequential finds a mapping");
@@ -344,7 +348,7 @@ mod tests {
         };
         let cache = MatchCache::build(&g, &par_config.match_options);
         let par_meter = BudgetMeter::new(par_config.effective_budget(), None);
-        let par_ctx = SearchCtx::new(&g, &estimator, &par_config, cache, &par_meter);
+        let par_ctx = SearchCtx::new(&g, &estimator, &par_config, cache, &par_meter, None);
         let (par_best, par_stats) = run_parallel(&par_ctx, 4, None);
         let par_best = par_best.expect("parallel finds a mapping");
         assert!((par_best.area - seq_best.area).abs() <= seq_best.area * 1e-12);

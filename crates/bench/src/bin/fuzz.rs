@@ -3,9 +3,15 @@
 //!
 //! Mutates the 16 shipped VASS specifications (the 11-example
 //! benchmark corpus plus the 5 lint fixtures) with the offline
-//! SplitMix64 generator and asserts that the full
-//! parse → sema → compile → verify path ([`vase::lint_source`]) never
-//! panics — broken input must come back as diagnostics, not aborts.
+//! SplitMix64 generator and asserts two oracles on every mutant:
+//!
+//! * the full parse → sema → compile → verify path
+//!   ([`vase::lint_source`]) never panics — broken input must come
+//!   back as diagnostics, not aborts;
+//! * the fixed-point range analysis ([`vase::analyze_source`]) never
+//!   panics and, on every mutant it can compile, reaches its fixed
+//!   point (`converged`) — widening must bound the iteration on
+//!   arbitrary mutated graphs, cyclic ones included.
 //!
 //! ```text
 //! vase-fuzz [--smoke] [--seed <n>] [--mutants <n>] [--verbose]
@@ -151,6 +157,10 @@ struct RunStats {
     clean: usize,
     diagnosed: usize,
     panics: usize,
+    /// Mutants the range analyzer compiled and solved to a fixed point.
+    analyzed: usize,
+    /// Mutants whose range analysis failed to converge (oracle breach).
+    diverged: usize,
 }
 
 fn run(seed: u64, mutants: usize, verbose: bool) -> RunStats {
@@ -159,6 +169,8 @@ fn run(seed: u64, mutants: usize, verbose: bool) -> RunStats {
         clean: 0,
         diagnosed: 0,
         panics: 0,
+        analyzed: 0,
+        diverged: 0,
     };
     // Silence the default per-panic backtrace spew; panics are counted
     // and reported in the summary instead.
@@ -185,6 +197,33 @@ fn run(seed: u64, mutants: usize, verbose: bool) -> RunStats {
                     "PANIC on mutant {i} of {} (base spec `{}`); reproduce with \
                      --seed {seed:#x} --mutants {mutants}\n--- mutant source ---\n{}\n---",
                     specs[pick].0, specs[pick].0, mutant
+                );
+            }
+        }
+        // Second oracle: the range analyzer must neither panic nor
+        // fail to reach its widened fixed point. Frontend/compile
+        // errors are fine (the mutant is simply not analyzable).
+        match catch_unwind(AssertUnwindSafe(|| vase::analyze_source(&mutant))) {
+            Ok(Ok(analyses)) => {
+                stats.analyzed += 1;
+                for a in &analyses {
+                    if !a.result.converged {
+                        stats.diverged += 1;
+                        eprintln!(
+                            "DIVERGED on mutant {i} (base spec `{}`, entity `{}`); reproduce \
+                             with --seed {seed:#x} --mutants {mutants}",
+                            specs[pick].0, a.entity
+                        );
+                    }
+                }
+            }
+            Ok(Err(_)) => {}
+            Err(_) => {
+                stats.panics += 1;
+                eprintln!(
+                    "ANALYZER PANIC on mutant {i} (base spec `{}`); reproduce with \
+                     --seed {seed:#x} --mutants {mutants}\n--- mutant source ---\n{}\n---",
+                    specs[pick].0, mutant
                 );
             }
         }
@@ -231,13 +270,15 @@ fn main() -> std::process::ExitCode {
     let stats = run(seed, mutants, verbose);
     println!(
         "fuzz: {mutants} mutants over {} specs (seed {seed:#x}): {} clean, {} diagnosed, \
-         {} panic(s)",
+         {} panic(s); range analysis on {} compilable mutant(s), {} diverged",
         corpus().len(),
         stats.clean,
         stats.diagnosed,
-        stats.panics
+        stats.panics,
+        stats.analyzed,
+        stats.diverged
     );
-    if stats.panics > 0 {
+    if stats.panics > 0 || stats.diverged > 0 {
         std::process::ExitCode::FAILURE
     } else {
         std::process::ExitCode::SUCCESS
@@ -270,5 +311,6 @@ mod tests {
         let stats = run(SMOKE_SEED, 32, false);
         assert_eq!(stats.panics, 0);
         assert_eq!(stats.clean + stats.diagnosed, 32);
+        assert_eq!(stats.diverged, 0, "range analysis failed to converge");
     }
 }

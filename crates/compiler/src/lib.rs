@@ -51,6 +51,7 @@ pub mod stats;
 
 use std::collections::HashMap;
 
+use vase_frontend::annot::AnnotationSet;
 use vase_frontend::ast::ConcurrentStmt;
 use vase_frontend::sema::AnalyzedDesign;
 use vase_vhif::{SolverCandidate, VhifDesign};
@@ -168,6 +169,17 @@ pub fn compile(analyzed: &AnalyzedDesign) -> Result<CompiledDesign, CompileError
                 let fsm =
                     process::compile_process(&name, sensitivity, body, &arch_info.symbols)?;
                 vhif.fsms.push(fsm);
+            }
+        }
+
+        // Carry `range` annotations along as hints for the
+        // `vase-analyze` fixed-point pass. Degenerate ranges are kept
+        // here (the lint layer reports them as A202) and filtered at
+        // analysis time; the graph structure is untouched.
+        for sym in arch_info.symbols.iter() {
+            let set = AnnotationSet::new(&sym.annotations);
+            if let Some((lo, hi)) = set.value_range() {
+                vhif.range_hints.push((sym.name.clone(), lo, hi));
             }
         }
 

@@ -1,0 +1,217 @@
+//! The `vase analyze` entry point: compile a VASS source and run the
+//! `vase-analyze` fixed-point range analysis over every architecture,
+//! returning the proven per-block bounds and range verdicts.
+//!
+//! Unlike `vase lint` — which folds the analyzer's verdicts into the
+//! combined diagnostic listing — `analyze` surfaces the analysis
+//! itself: which blocks got proven finite bounds, whether the fixed
+//! point converged, and how many transfer-function evaluations it
+//! took.
+
+use vase_analyze::{annotate_design_bounds, AnalysisResult};
+use vase_compiler::compile;
+use vase_frontend::{analyze, parse_design_file, FrontendError};
+use vase_vhif::VhifDesign;
+
+use crate::flow::FlowError;
+
+/// The range analysis of one compiled architecture.
+#[derive(Debug, Clone)]
+pub struct ArchAnalysis {
+    /// The entity name.
+    pub entity: String,
+    /// The compiled design, with the proven bounds attached
+    /// ([`VhifDesign::bounds`]).
+    pub vhif: VhifDesign,
+    /// The analysis outcome: bounds, verdicts, convergence.
+    pub result: AnalysisResult,
+}
+
+/// Compile a VASS source and run the fixed-point range analysis on
+/// every architecture, in file order.
+///
+/// # Errors
+///
+/// Frontend and compile errors ([`FlowError`]); the analysis itself
+/// never fails — degraded results carry an `A205` note instead.
+pub fn analyze_source(source: &str) -> Result<Vec<ArchAnalysis>, FlowError> {
+    let design = parse_design_file(source).map_err(FrontendError::from)?;
+    let analyzed = analyze(&design)?;
+    let compiled = compile(&analyzed)?;
+    Ok(compiled
+        .designs
+        .into_iter()
+        .map(|arch| {
+            let mut vhif = arch.vhif;
+            let result = annotate_design_bounds(&mut vhif);
+            ArchAnalysis { entity: arch.entity, vhif, result }
+        })
+        .collect())
+}
+
+/// Render one architecture's analysis as the stable text listing used
+/// by `vase analyze` and the golden snapshot suite.
+pub fn render_analysis_text(analyses: &[ArchAnalysis]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for a in analyses {
+        let _ = writeln!(
+            out,
+            "== entity {} [{}] ({} transfer evaluations)",
+            a.entity,
+            if a.result.converged { "converged" } else { "degraded" },
+            a.result.iterations
+        );
+        for (g, b) in a.vhif.graphs.iter().zip(&a.result.bounds) {
+            let _ = writeln!(
+                out,
+                "graph `{}`: {}/{} blocks bounded",
+                g.name(),
+                b.proven_count(),
+                g.len()
+            );
+            for (id, block) in g.iter() {
+                match b.get(id) {
+                    Some((lo, hi)) => {
+                        let _ = writeln!(out, "  b{:<3} {:<28} [{}, {}]", id.index(), block.to_string(), fmt_num(lo), fmt_num(hi));
+                    }
+                    None => {
+                        let _ = writeln!(out, "  b{:<3} {:<28} unbounded", id.index(), block.to_string());
+                    }
+                }
+            }
+        }
+        if a.result.diagnostics.is_empty() {
+            let _ = writeln!(out, "verdicts: none");
+        } else {
+            let _ = writeln!(out, "verdicts:");
+            for d in &a.result.diagnostics {
+                let _ = writeln!(out, "  {d}");
+            }
+        }
+    }
+    out
+}
+
+/// Render the analyses as a JSON document (the `--format json` shape).
+pub fn analyses_to_json(analyses: &[ArchAnalysis]) -> vase_diag::json::Json {
+    use vase_diag::json::{diagnostic_to_json, Json};
+    Json::Arr(
+        analyses
+            .iter()
+            .map(|a| {
+                Json::obj(vec![
+                    ("entity", Json::str(&a.entity)),
+                    ("converged", Json::Bool(a.result.converged)),
+                    ("iterations", Json::Int(a.result.iterations as i128)),
+                    (
+                        "graphs",
+                        Json::Arr(
+                            a.vhif
+                                .graphs
+                                .iter()
+                                .zip(&a.result.bounds)
+                                .map(|(g, b)| {
+                                    Json::obj(vec![
+                                        ("name", Json::str(g.name())),
+                                        (
+                                            "bounded",
+                                            Json::Int(b.proven_count() as i128),
+                                        ),
+                                        ("blocks", Json::Int(g.len() as i128)),
+                                        (
+                                            "bounds",
+                                            Json::Arr(
+                                                g.iter()
+                                                    .map(|(id, block)| {
+                                                        let mut fields = vec![
+                                                            (
+                                                                "block",
+                                                                Json::str(
+                                                                    block.to_string(),
+                                                                ),
+                                                            ),
+                                                        ];
+                                                        match b.get(id) {
+                                                            Some((lo, hi)) => {
+                                                                fields.push((
+                                                                    "lo",
+                                                                    Json::Num(lo),
+                                                                ));
+                                                                fields.push((
+                                                                    "hi",
+                                                                    Json::Num(hi),
+                                                                ));
+                                                            }
+                                                            None => fields.push((
+                                                                "unbounded",
+                                                                Json::Bool(true),
+                                                            )),
+                                                        }
+                                                        Json::obj(fields)
+                                                    })
+                                                    .collect(),
+                                            ),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "diagnostics",
+                        Json::Arr(
+                            a.result.diagnostics.iter().map(diagnostic_to_json).collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Format a bound endpoint compactly and stably across platforms: plain
+/// `{}` for f64 prints shortest-roundtrip, which is deterministic.
+fn fmt_num(v: f64) -> String {
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receiver_analysis_converges_and_bounds_blocks() {
+        let analyses =
+            analyze_source(crate::benchmarks::RECEIVER.source).expect("analyzes");
+        assert_eq!(analyses.len(), 1);
+        let a = &analyses[0];
+        assert!(a.result.converged);
+        // The receiver is a feedback-free mux topology with annotated
+        // inputs: the analysis must prove bounds on most of the graph.
+        assert!(a.result.bounds[0].proven_count() > 0, "{:#?}", a.result.bounds);
+        // The bounds rode along on the design itself.
+        assert_eq!(a.vhif.bounds, a.result.bounds);
+    }
+
+    #[test]
+    fn every_benchmark_analysis_converges(){
+        for b in crate::benchmarks::all() {
+            let analyses = analyze_source(b.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            for a in &analyses {
+                assert!(a.result.converged, "{} did not converge", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn render_text_is_stable_and_covers_blocks() {
+        let analyses =
+            analyze_source(crate::benchmarks::RECEIVER.source).expect("analyzes");
+        let text = render_analysis_text(&analyses);
+        assert!(text.contains("== entity telephone [converged]"), "{text}");
+        assert!(text.contains("graph `main`"), "{text}");
+        assert_eq!(text, render_analysis_text(&analyses), "rendering must be pure");
+    }
+}

@@ -21,6 +21,10 @@
 //!     --cache-file <p>  persistent content-addressed cover cache: loaded
 //!                       before mapping (when the file exists), saved after;
 //!                       structurally repeated graphs then map in O(lookup)
+//!     --range-prune     let the mapper drop library alternatives that the
+//!                       fixed-point range analysis proves dominated at the
+//!                       block's real output swing (off by default; off is
+//!                       bit-identical to pre-analysis behavior)
 //!     --format text|json  report style for multi-file batches (default text)
 //!     --spice <out.sp>  also write a SPICE deck
 //!     Multiple input files run as a panic-isolated batch: a failing
@@ -28,6 +32,9 @@
 //! vase lint    <file.vhd> [options]   run every static check, report diagnostics
 //!     --format text|json    listing style (default text)
 //!     --deny warnings       exit nonzero on warnings too
+//! vase analyze <file.vhd> [options]   fixed-point range analysis: proven
+//!                                     per-block bounds and range verdicts
+//!     --format text|json    listing style (default text)
 //! vase sim     <file.vhd> [options]   synthesize, then transient-simulate
 //!     --input name=<stim>   stimulus per input; <stim> is one of
 //!                           const:<v> | sine:<amp>,<freq> |
@@ -96,12 +103,13 @@ fn run(args: &[String]) -> Result<u8, String> {
         "compile" => cmd_compile(&args[1..]),
         "opt" => cmd_opt(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
         "synth" => cmd_synth(&args[1..]),
         "sim" => cmd_sim(&args[1..]),
         "table1" => cmd_table1(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("vase — VHDL-AMS behavioral synthesis of analog systems");
-            println!("commands: parse, compile, opt, lint, synth, sim, table1 (see crate docs)");
+            println!("commands: parse, compile, opt, lint, analyze, synth, sim, table1 (see crate docs)");
             Ok(0)
         }
         other => Err(format!("unknown command `{other}`")),
@@ -332,6 +340,24 @@ fn cmd_lint(args: &[String]) -> Result<u8, String> {
     Ok(0)
 }
 
+fn cmd_analyze(args: &[String]) -> Result<u8, String> {
+    let source = read_source(args)?;
+    let analyses = vase::analyze_source(&source).map_err(|e| e.to_string())?;
+    match flag_value(args, "--format").unwrap_or("text") {
+        "text" => print!("{}", vase::analysis::render_analysis_text(&analyses)),
+        "json" => {
+            println!("{}", vase::analysis::analyses_to_json(&analyses).to_string_pretty())
+        }
+        other => return Err(format!("unknown --format `{other}` (text, json)")),
+    }
+    let has_errors =
+        analyses.iter().any(|a| vase::diag::has_errors(&a.result.diagnostics));
+    if has_errors {
+        return Err("range analysis proved at least one violation".into());
+    }
+    Ok(0)
+}
+
 fn cmd_synth(args: &[String]) -> Result<u8, String> {
     let greedy = args.iter().any(|a| a == "--greedy");
     let mut mapper = MapperConfig::default();
@@ -342,6 +368,7 @@ fn cmd_synth(args: &[String]) -> Result<u8, String> {
     if let Some(strategy) = strategy_flag(args)? {
         mapper.strategy = strategy;
     }
+    mapper.range_prune = args.iter().any(|a| a == "--range-prune");
     if greedy {
         // Greedy applies per graph; run the pieces manually.
         let source = read_source(args)?;

@@ -245,6 +245,13 @@ pub fn synthesize_source_with_cache(
                 .map(crate::lint::verify_context)
                 .unwrap_or_default();
             let mut diags = vase_vhif::verify::verify_design(&arch.vhif, &ctx);
+            // The fixed-point range analysis runs on the *optimized*
+            // design, alongside the structural verifier: its proven
+            // verdicts gate mapping the same way, and its proven
+            // bounds ride on the design so the mapper can prune
+            // dominated candidates (when `mapper.range_prune` is on).
+            diags.extend(vase_analyze::annotate_design_bounds(&mut arch.vhif).diagnostics);
+            vase_diag::sort(&mut diags);
             if options.deny_warnings {
                 vase_diag::deny_warnings(&mut diags);
             }

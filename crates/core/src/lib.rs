@@ -45,16 +45,19 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod analysis;
 pub mod benchmarks;
 pub mod flow;
 pub mod lint;
 pub mod report;
 
+pub use analysis::{analyze_source, ArchAnalysis};
 pub use flow::{compile_source, synthesize_source, FlowError, FlowOptions, SynthesizedDesign};
 pub use lint::lint_source;
 pub use report::{format_table1, table1_row, Table1Row};
 
 // Re-export the stage crates so downstream users need only `vase`.
+pub use vase_analyze as analyze;
 pub use vase_archgen as archgen;
 pub use vase_compiler as compiler;
 pub use vase_diag as diag;

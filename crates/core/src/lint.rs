@@ -1,7 +1,8 @@
 //! The `vase lint` entry point: run every static check the toolchain
 //! knows — frontend (lex/parse/sema, `V0xx`), the VHIF verifier pass
-//! (`I1xx`), and annotation sanity (`A2xx`) — over one VASS source and
-//! collect the findings as [`Diagnostic`]s.
+//! (`I1xx`), annotation sanity (`A2xx`), and the fixed-point range
+//! analysis (`A200`/`A201`/`A203`/`A204`/`A205`) — over one VASS
+//! source and collect the findings as [`Diagnostic`]s.
 //!
 //! Unlike [`crate::flow::synthesize_source`], which stops at the first
 //! failing stage, linting keeps going as far as it can: a source that
@@ -104,6 +105,11 @@ pub fn lint_source(source: &str) -> Vec<Diagnostic> {
                     .map(verify_context)
                     .unwrap_or_default();
                 diags.extend(verify_design(&arch.vhif, &ctx));
+                // Range verdicts come from the fixed-point analysis,
+                // which converges on the feedback topologies the old
+                // in-verifier interval pass silently skipped.
+                let actx = vase_analyze::AnalysisContext::from_design(&arch.vhif);
+                diags.extend(vase_analyze::analyze_design(&arch.vhif, &actx).diagnostics);
             }
         }
     }

@@ -48,6 +48,9 @@ pub enum Code {
     A200,
     A201,
     A202,
+    A203,
+    A204,
+    A205,
     A210,
     A211,
     A212,
@@ -237,6 +240,30 @@ pub const REGISTRY: &[CodeInfo] = &[
                       upper bound and is ignored by the interval analysis",
     },
     CodeInfo {
+        code: Code::A203,
+        name: "proven-division-by-zero",
+        severity: Severity::Error,
+        description: "fixed-point range analysis proves a divider's divisor is exactly \
+                      zero for every reachable valuation of the annotated ranges",
+    },
+    CodeInfo {
+        code: Code::A204,
+        name: "proven-out-of-range-drive",
+        severity: Severity::Error,
+        description: "fixed-point range analysis proves an output's value interval is \
+                      disjoint from its annotated `range`: every reachable value violates \
+                      the annotation",
+    },
+    CodeInfo {
+        code: Code::A205,
+        name: "range-analysis-degraded",
+        severity: Severity::Note,
+        description: "the range analysis could not produce useful bounds (no usable \
+                      `range` annotations, or the fixed-point iteration cap was reached \
+                      and remaining intervals were widened to unbounded); range verdicts \
+                      for the affected graph are conservative",
+    },
+    CodeInfo {
         code: Code::A210,
         name: "mapping-budget-exhausted",
         severity: Severity::Warning,
@@ -369,6 +396,9 @@ impl Code {
             Code::A200 => "A200",
             Code::A201 => "A201",
             Code::A202 => "A202",
+            Code::A203 => "A203",
+            Code::A204 => "A204",
+            Code::A205 => "A205",
             Code::A210 => "A210",
             Code::A211 => "A211",
             Code::A212 => "A212",

@@ -128,17 +128,57 @@ impl Estimator {
 
     /// Estimate one component.
     pub fn estimate_component(&self, kind: &ComponentKind) -> ComponentEstimate {
+        self.estimate_component_impl(kind, None)
+    }
+
+    /// Estimate one component whose *output* is proven never to exceed
+    /// `output_swing_v` (volts, absolute).
+    ///
+    /// [`Estimator::estimate_component`] sizes every op amp for a
+    /// full-swing sine — output amplitude `signal_peak_v · gain` — at
+    /// the band edge. When a range analysis has proven a tighter bound
+    /// on the driven value, the slew requirement (`2π · BW · swing`)
+    /// relaxes proportionally. Only the slew term changes: UGF, load,
+    /// and DC-gain requirements depend on gain and bandwidth, not
+    /// amplitude, so they are sized exactly as before. In the
+    /// square-law model the slew sets the bias currents, so a proven
+    /// smaller swing lowers the sized op amp's *static power* (device
+    /// W/L can grow slightly as gm is held at a lower bias);
+    /// feasibility is untouched either way — topology ceilings key on
+    /// UGF and DC gain, never on slew — so a component feasible at
+    /// full swing stays feasible at any proven swing.
+    pub fn estimate_component_at_swing(
+        &self,
+        kind: &ComponentKind,
+        output_swing_v: f64,
+    ) -> ComponentEstimate {
+        self.estimate_component_impl(kind, Some(output_swing_v))
+    }
+
+    fn estimate_component_impl(
+        &self,
+        kind: &ComponentKind,
+        output_swing_v: Option<f64>,
+    ) -> ComponentEstimate {
         let n_opamps = kind.opamp_count();
         let gain = kind.max_gain();
         // Closed-loop bandwidth must cover the signal band: the op amp
         // needs UGF ≳ gain · BW with a 10× feedback-accuracy margin.
         let ugf = (gain * self.constraints.bandwidth_hz * 10.0).max(1e5);
-        // Full-swing sine at the band edge sets the slew requirement.
-        let slew = (2.0 * std::f64::consts::PI
-            * self.constraints.bandwidth_hz
-            * self.constraints.signal_peak_v
-            * gain.max(1.0))
-        .max(1e4);
+        // Full-swing sine at the band edge sets the slew requirement —
+        // unless the caller proved a tighter output swing. The default
+        // arm keeps the original expression verbatim (float products
+        // are order-sensitive and this path must stay bit-identical).
+        let slew = match output_swing_v {
+            None => (2.0 * std::f64::consts::PI
+                * self.constraints.bandwidth_hz
+                * self.constraints.signal_peak_v
+                * gain.max(1.0))
+            .max(1e4),
+            Some(swing) => {
+                (2.0 * std::f64::consts::PI * self.constraints.bandwidth_hz * swing).max(1e4)
+            }
+        };
         // Load: on-chip next stage plus the component's own network.
         let mut load = 5e-12;
         let mut extra_area = 0.0;
@@ -335,6 +375,35 @@ mod tests {
         // Op-amp-free components bind to nothing.
         let sw = e.estimate_component(&ComponentKind::AnalogSwitch);
         assert_eq!(sw.topology, None);
+    }
+
+    #[test]
+    fn proven_swing_only_relaxes_the_spec() {
+        // A tighter proven output swing lowers the slew requirement:
+        // the sized op amp's bias currents (hence power) drop, and
+        // feasibility can never get worse — topology ceilings depend
+        // on UGF and DC gain only.
+        let e = Estimator::new(PerformanceConstraints {
+            bandwidth_hz: 250e3,
+            signal_peak_v: 1.0,
+            max_power_w: f64::INFINITY,
+            max_area_m2: f64::INFINITY,
+        });
+        let kind = ComponentKind::NonInvertingAmp { gain: 20.0 };
+        let full = e.estimate_component(&kind);
+        let tight = e.estimate_component_at_swing(&kind, 0.25);
+        assert!(full.spec_met);
+        assert!(tight.spec_met, "relaxed spec must stay feasible");
+        assert!(tight.slew_v_per_s <= full.slew_v_per_s);
+        assert!(tight.power_w <= full.power_w);
+        // UGF sizing depends on gain · bandwidth, not amplitude.
+        let huge = e.estimate_component_at_swing(&kind, 1e6);
+        assert!(huge.ugf_hz >= full.ugf_hz * 0.99);
+        // Passing the full-swing amplitude reproduces the default
+        // sizing's requirements.
+        let same = e.estimate_component_at_swing(&kind, 20.0);
+        assert_eq!(same.spec_met, full.spec_met);
+        assert!((same.slew_v_per_s - full.slew_v_per_s).abs() <= full.slew_v_per_s * 1e-9);
     }
 
     #[test]

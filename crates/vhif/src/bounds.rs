@@ -1,0 +1,74 @@
+//! Proven per-block value bounds, produced by the range analysis.
+//!
+//! The abstract-interpretation engine in `vase-analyze` computes, for
+//! every block of every signal-flow graph, an over-approximation of the
+//! values its output can take under the design's `range` annotations.
+//! Finite results are exported here so downstream consumers — the
+//! architecture generator's swing-aware candidate pruning, the CLI's
+//! `vase analyze` report — can use them without depending on the
+//! analysis crate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{BlockId, SignalFlowGraph};
+
+/// Proven output-value bounds for one signal-flow graph, indexed by
+/// block. `blocks[i]` is `Some((lo, hi))` when the analysis proved the
+/// output of [`BlockId`] `i` always lies in `[lo, hi]` (both finite);
+/// `None` means no finite bound was proven (unbounded, unreachable, or
+/// the analysis degraded).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphBounds {
+    /// Name of the graph these bounds belong to.
+    pub graph: String,
+    /// One entry per block, in [`BlockId`] order.
+    pub blocks: Vec<Option<(f64, f64)>>,
+}
+
+impl GraphBounds {
+    /// Empty (all-unknown) bounds sized for `graph`.
+    pub fn unknown(graph: &SignalFlowGraph) -> Self {
+        GraphBounds {
+            graph: graph.name().to_owned(),
+            blocks: vec![None; graph.len()],
+        }
+    }
+
+    /// The proven bound for `id`, if any.
+    pub fn get(&self, id: BlockId) -> Option<(f64, f64)> {
+        self.blocks.get(id.index()).copied().flatten()
+    }
+
+    /// Number of blocks with a proven finite bound.
+    pub fn proven_count(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockKind;
+
+    #[test]
+    fn unknown_bounds_cover_every_block() {
+        let mut g = SignalFlowGraph::new("g");
+        let a = g.add(BlockKind::Input { name: "a".into() });
+        let s = g.add(BlockKind::Scale { gain: 2.0 });
+        g.connect(a, s, 0).expect("connect");
+        let b = GraphBounds::unknown(&g);
+        assert_eq!(b.blocks.len(), 2);
+        assert_eq!(b.get(a), None);
+        assert_eq!(b.proven_count(), 0);
+    }
+
+    #[test]
+    fn get_reads_back_proven_bounds() {
+        let mut g = SignalFlowGraph::new("g");
+        let a = g.add(BlockKind::Input { name: "a".into() });
+        let mut b = GraphBounds::unknown(&g);
+        b.blocks[a.index()] = Some((-1.0, 1.0));
+        assert_eq!(b.get(a), Some((-1.0, 1.0)));
+        assert_eq!(b.proven_count(), 1);
+    }
+}

@@ -65,6 +65,17 @@ pub struct VhifDesign {
     /// [`SolverCandidate`]).
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub candidates: Vec<SolverCandidate>,
+    /// Value-range annotation hints carried forward from the source
+    /// (`(name, lo, hi)` with `lo <= hi`). Names refer to labelled or
+    /// interface blocks in the graphs; hints whose anchor disappears
+    /// during optimization are simply ignored by the analysis.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub range_hints: Vec<(String, f64, f64)>,
+    /// Per-graph proven value bounds computed by the range analysis
+    /// (`vase analyze` / the flow's verification stage). Empty until an
+    /// analysis pass attaches them; see [`crate::GraphBounds`].
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub bounds: Vec<crate::GraphBounds>,
 }
 
 impl VhifDesign {
@@ -75,6 +86,8 @@ impl VhifDesign {
             graphs: Vec::new(),
             fsms: Vec::new(),
             candidates: Vec::new(),
+            range_hints: Vec::new(),
+            bounds: Vec::new(),
         }
     }
 

@@ -156,6 +156,13 @@ impl SignalFlowGraph {
         &self.inputs[id.index()]
     }
 
+    /// The drivers of each input port of `id`, or `None` when the port
+    /// table does not cover `id` (possible only in malformed
+    /// deserialized graphs — analyses that must not panic use this).
+    pub fn try_block_inputs(&self, id: BlockId) -> Option<&[Option<BlockId>]> {
+        self.inputs.get(id.index()).map(Vec::as_slice)
+    }
+
     /// All `(consumer, port)` pairs fed by `id`'s output.
     pub fn fanout(&self, id: BlockId) -> Vec<(BlockId, usize)> {
         let mut out = Vec::new();

@@ -45,8 +45,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod block;
+pub mod bounds;
 pub mod design;
 pub mod dot;
 pub mod dp;
@@ -58,6 +60,7 @@ pub mod passes;
 pub mod verify;
 
 pub use block::{Block, BlockKind, SignalClass};
+pub use bounds::GraphBounds;
 pub use design::{SolverCandidate, VhifDesign, VhifStats};
 pub use dp::{DataOp, DpBinaryOp, DpExpr, Event};
 pub use dot::{design_to_dot, fsm_to_dot, graph_to_dot};

@@ -16,10 +16,12 @@
 //! * overlapping `'above` triggers and dead FSM states
 //!   ([`Code::I109`], [`Code::I110`]),
 //! * voltage/current kind consistency across wired interface ports
-//!   ([`Code::I111`]),
-//! * interval propagation of the `range` annotations to flag possible
-//!   division by zero and out-of-range drives ([`Code::A200`],
-//!   [`Code::A201`]).
+//!   ([`Code::I111`]).
+//!
+//! Range verdicts (`A200`/`A201`/`A203`/`A204`) moved to the
+//! `vase-analyze` crate: its worklist fixed-point solver handles the
+//! cyclic graphs the old topological-order interval pass here silently
+//! skipped.
 //!
 //! Diagnostics from this pass carry synthetic spans (the IR has no
 //! source positions); notes name the graph, block, or state involved.
@@ -61,7 +63,10 @@ pub struct VerifyContext {
     /// Declared electrical kind per interface (port/quantity) name.
     pub kinds: BTreeMap<String, WireKind>,
     /// Declared value range per interface name (`range lo to hi`).
-    /// Degenerate ranges (`lo > hi`) must be filtered out by the caller.
+    /// Degenerate ranges (`lo > hi`) must be filtered out by the
+    /// caller. The structural verifier itself no longer consumes these
+    /// — the `vase-analyze` fixed-point solver does — but the flow
+    /// builds one context for both passes.
     pub value_ranges: BTreeMap<String, (f64, f64)>,
     /// Signal-class ports that may drive control inputs from outside.
     pub external_signals: Vec<String>,
@@ -215,12 +220,11 @@ fn verify_graph(g: &SignalFlowGraph, ctx: &VerifyContext, diags: &mut Vec<Diagno
             )
             .with_note(graph_note(g)),
         );
-        return; // interval propagation needs a topological order
+        return; // shape analyses assume acyclic combinational wiring
     }
     verify_memory_rule(g, diags);
     verify_sampling_structures(g, diags);
     verify_kinds(g, ctx, diags);
-    propagate_intervals(g, ctx, diags);
 }
 
 /// One-memory-per-signal at the graph level: no two memory blocks may
@@ -393,142 +397,6 @@ fn verify_kinds(g: &SignalFlowGraph, ctx: &VerifyContext, diags: &mut Vec<Diagno
                 _ => break,
             }
         }
-    }
-}
-
-type Interval = (f64, f64);
-
-fn hull(a: Interval, b: Interval) -> Interval {
-    (a.0.min(b.0), a.1.max(b.1))
-}
-
-fn mul_interval(a: Interval, b: Interval) -> Interval {
-    let c = [a.0 * b.0, a.0 * b.1, a.1 * b.0, a.1 * b.1];
-    (c.iter().copied().fold(f64::INFINITY, f64::min),
-     c.iter().copied().fold(f64::NEG_INFINITY, f64::max))
-}
-
-/// Propagate annotated value ranges through the graph in topological
-/// order. Deliberately conservative: any block whose interval is not
-/// known exactly propagates "unknown", so no warning can come from a
-/// quantity the designer never bounded.
-fn propagate_intervals(g: &SignalFlowGraph, ctx: &VerifyContext, diags: &mut Vec<Diagnostic>) {
-    if ctx.value_ranges.is_empty() {
-        return;
-    }
-    let Ok(order) = g.topo_order() else { return };
-    let mut iv: Vec<Option<Interval>> = vec![None; g.len()];
-    for id in order {
-        let get = |p: usize| -> Option<Interval> {
-            g.block_inputs(id).get(p).copied().flatten().and_then(|d| iv[d.index()])
-        };
-        let data_arity = g.kind(id).data_inputs();
-        iv[id.index()] = match g.kind(id) {
-            BlockKind::Input { name } => ctx.value_ranges.get(name).copied(),
-            BlockKind::Const { value } => Some((*value, *value)),
-            BlockKind::Scale { gain } => get(0).map(|a| mul_interval(a, (*gain, *gain))),
-            BlockKind::Add { .. } => {
-                let mut acc = Some((0.0, 0.0));
-                for p in 0..data_arity {
-                    acc = match (acc, get(p)) {
-                        (Some(a), Some(b)) => Some((a.0 + b.0, a.1 + b.1)),
-                        _ => None,
-                    };
-                }
-                acc
-            }
-            BlockKind::Sub => match (get(0), get(1)) {
-                (Some(a), Some(b)) => Some((a.0 - b.1, a.1 - b.0)),
-                _ => None,
-            },
-            BlockKind::Mul => match (get(0), get(1)) {
-                (Some(a), Some(b)) => Some(mul_interval(a, b)),
-                _ => None,
-            },
-            BlockKind::Div => {
-                match get(1) {
-                    Some(b) if b.0 <= 0.0 && b.1 >= 0.0 => {
-                        diags.push(
-                            Diagnostic::new(
-                                Code::A200,
-                                format!(
-                                    "divider {} may divide by zero",
-                                    block_desc(g, id)
-                                ),
-                            )
-                            .with_note(graph_note(g))
-                            .with_note(format!(
-                                "the annotated ranges give the divisor the interval \
-                                 [{}, {}], which contains zero",
-                                b.0, b.1
-                            )),
-                        );
-                        None
-                    }
-                    Some(b) => get(0).map(|a| {
-                        let c = [a.0 / b.0, a.0 / b.1, a.1 / b.0, a.1 / b.1];
-                        (c.iter().copied().fold(f64::INFINITY, f64::min),
-                         c.iter().copied().fold(f64::NEG_INFINITY, f64::max))
-                    }),
-                    None => None,
-                }
-            }
-            BlockKind::Abs => get(0).map(|a| {
-                let hi = a.0.abs().max(a.1.abs());
-                let lo = if a.0 <= 0.0 && a.1 >= 0.0 { 0.0 } else { a.0.abs().min(a.1.abs()) };
-                (lo, hi)
-            }),
-            BlockKind::Antilog => get(0).map(|a| (a.0.exp(), a.1.exp())),
-            BlockKind::Limiter { level } => {
-                let l = (-level.abs(), level.abs());
-                Some(get(0).map_or(l, |a| (a.0.clamp(l.0, l.1), a.1.clamp(l.0, l.1))))
-            }
-            BlockKind::OutputStage { limit, .. } => match (get(0), limit) {
-                (Some(a), Some(l)) => Some((a.0.clamp(-l.abs(), l.abs()), a.1.clamp(-l.abs(), l.abs()))),
-                (Some(a), None) => Some(a),
-                (None, Some(l)) => Some((-l.abs(), l.abs())),
-                (None, None) => None,
-            },
-            BlockKind::SampleHold => get(0),
-            BlockKind::Switch => get(0).map(|a| hull(a, (0.0, 0.0))),
-            BlockKind::Mux { arity } => {
-                let mut acc = get(0);
-                for p in 1..*arity {
-                    acc = match (acc, get(p)) {
-                        (Some(a), Some(b)) => Some(hull(a, b)),
-                        _ => None,
-                    };
-                }
-                acc
-            }
-            BlockKind::Output { name } => {
-                let computed = get(0);
-                if let (Some(c), Some(&(lo, hi))) = (computed, ctx.value_ranges.get(name)) {
-                    let tol = 1e-9 * lo.abs().max(hi.abs()).max(1.0);
-                    if c.0 < lo - tol || c.1 > hi + tol {
-                        diags.push(
-                            Diagnostic::new(
-                                Code::A201,
-                                format!(
-                                    "output `{name}` can leave its annotated range \
-                                     [{lo}, {hi}]"
-                                ),
-                            )
-                            .with_note(graph_note(g))
-                            .with_note(format!(
-                                "interval propagation bounds the driven value to \
-                                 [{}, {}]",
-                                c.0, c.1
-                            )),
-                        );
-                    }
-                }
-                computed
-            }
-            // Integrators, differentiators, logs, and all control-class
-            // producers are unbounded or non-analog: unknown.
-            _ => None,
-        };
     }
 }
 
@@ -734,7 +602,6 @@ fn verify_interconnect(design: &VhifDesign, ctx: &VerifyContext, diags: &mut Vec
 mod tests {
     use super::*;
     use crate::dp::{DataOp, DpExpr};
-    use vase_diag::Severity;
 
     fn codes(diags: &[Diagnostic]) -> Vec<Code> {
         diags.iter().map(|d| d.code).collect()
@@ -868,51 +735,6 @@ mod tests {
         ctx.kinds.insert("vout".into(), WireKind::Voltage);
         let diags = verify_design(&d, &ctx);
         assert_eq!(codes(&diags), vec![Code::I111]);
-    }
-
-    #[test]
-    fn division_by_possibly_zero_range_warns() {
-        let mut g = SignalFlowGraph::new("main");
-        let a = g.add(BlockKind::Input { name: "num".into() });
-        let b = g.add(BlockKind::Input { name: "den".into() });
-        let div = g.add(BlockKind::Div);
-        let y = g.add(BlockKind::Output { name: "q".into() });
-        g.connect(a, div, 0).expect("wire");
-        g.connect(b, div, 1).expect("wire");
-        g.connect(div, y, 0).expect("wire");
-        let mut d = VhifDesign::new("t");
-        d.graphs.push(g);
-        let mut ctx = VerifyContext::default();
-        ctx.value_ranges.insert("den".into(), (-1.0, 1.0));
-        let diags = verify_design(&d, &ctx);
-        assert_eq!(codes(&diags), vec![Code::A200]);
-        assert_eq!(diags[0].severity, Severity::Warning);
-        // A divisor bounded away from zero is quiet.
-        ctx.value_ranges.insert("den".into(), (0.5, 1.0));
-        assert!(verify_design(&d, &ctx).is_empty());
-    }
-
-    #[test]
-    fn out_of_range_drive_warns_and_unknowns_stay_quiet() {
-        let mut g = SignalFlowGraph::new("main");
-        let x = g.add(BlockKind::Input { name: "x".into() });
-        let k = g.add(BlockKind::Scale { gain: 3.0 });
-        let y = g.add(BlockKind::Output { name: "y".into() });
-        g.connect(x, k, 0).expect("wire");
-        g.connect(k, y, 0).expect("wire");
-        let mut d = VhifDesign::new("t");
-        d.graphs.push(g);
-        let mut ctx = VerifyContext::default();
-        ctx.value_ranges.insert("x".into(), (-1.0, 1.0));
-        ctx.value_ranges.insert("y".into(), (-1.0, 1.0));
-        let diags = verify_design(&d, &ctx);
-        assert_eq!(codes(&diags), vec![Code::A201]);
-        // No range on the input → conservative silence.
-        ctx.value_ranges.remove("x");
-        assert!(verify_design(&d, &ctx).is_empty());
-        // Gain that keeps the drive in range → silence.
-        ctx.value_ranges.insert("x".into(), (-0.25, 0.25));
-        assert!(verify_design(&d, &ctx).is_empty());
     }
 
     #[test]

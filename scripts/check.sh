@@ -74,6 +74,21 @@ for f in crates/core/specs/*.vhd; do
     ./target/release/vase opt --print-stats "$f" >/dev/null
 done
 
+echo "== tier 1: vase analyze over shipped specs =="
+for f in crates/core/specs/*.vhd; do
+    # The range analysis must converge and prove no violation on any
+    # shipped design (exit 0; proven violations exit nonzero).
+    ./target/release/vase analyze "$f" >/dev/null
+done
+
+echo "== tier 1: analyze snapshot suite =="
+cargo test -q -p vase --test analyze_snapshots
+
+echo "== tier 1: range-prune equivalence gate =="
+# Attaching proven bounds with range_prune off must stay bit-identical
+# to the mapper's pre-analysis output; pruning on must stay valid.
+cargo test -q -p vase --test range_prune_equivalence
+
 echo "== tier 1: vase lint over shipped specs and fixtures =="
 for f in crates/core/specs/*.vhd examples/lint/clean_*.vhd; do
     # Every shipped design must lint clean, warnings included.

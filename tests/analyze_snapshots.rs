@@ -1,0 +1,110 @@
+//! Golden `vase analyze` snapshots: run the fixed-point range analysis
+//! over every VASS file the repository ships — the example
+//! specifications in `crates/core/specs` and the fixtures in
+//! `examples/lint` that compile — and compare the full rendered
+//! analysis listing (convergence, per-block bounds, verdicts) against
+//! checked-in snapshots in `tests/snapshots/analyze`.
+//!
+//! Regenerate after an intentional analysis change with:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test -p vase --test analyze_snapshots
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+}
+
+/// Every `.vhd` file under the two shipped directories, sorted for a
+/// deterministic run order.
+fn vhd_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut out = Vec::new();
+    for dir in ["crates/core/specs", "examples/lint"] {
+        for entry in fs::read_dir(root.join(dir)).expect(dir) {
+            let path = entry.expect("dir entry").path();
+            if path.extension().is_some_and(|e| e == "vhd") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The rendered analysis for one file; files that do not reach the
+/// compiler (the parse/sema `bad_*` fixtures) render as an error line
+/// so they still have a stable snapshot.
+fn listing(path: &Path) -> String {
+    let source = fs::read_to_string(path).expect("fixture readable");
+    match vase::analyze_source(&source) {
+        Ok(analyses) => vase::analysis::render_analysis_text(&analyses),
+        Err(e) => format!("error: {e}\n"),
+    }
+}
+
+#[test]
+fn analyze_snapshots_match() {
+    let snap_dir = repo_root().join("tests/snapshots/analyze");
+    let update = std::env::var_os("UPDATE_SNAPSHOTS").is_some();
+    if update {
+        fs::create_dir_all(&snap_dir).expect("snapshot dir");
+    }
+    let files = vhd_files();
+    assert!(
+        files.len() >= 16,
+        "expected the 11 specs plus the lint fixtures, found {}",
+        files.len()
+    );
+    let mut failures = Vec::new();
+    for file in &files {
+        let got = listing(file);
+        let stem = file.file_stem().expect("stem").to_string_lossy();
+        let snap = snap_dir.join(format!("{stem}.txt"));
+        if update {
+            fs::write(&snap, &got).expect("write snapshot");
+            continue;
+        }
+        match fs::read_to_string(&snap) {
+            Ok(want) if want == got => {}
+            Ok(want) => failures.push(format!(
+                "{stem}: analysis changed\n--- expected\n{want}\n--- got\n{got}"
+            )),
+            Err(_) => failures.push(format!(
+                "{stem}: missing snapshot {}; run with UPDATE_SNAPSHOTS=1",
+                snap.display()
+            )),
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn shipped_specs_analyze_clean_and_converged() {
+    for file in vhd_files() {
+        let in_specs = file.parent().is_some_and(|p| p.ends_with("specs"));
+        if !in_specs {
+            continue;
+        }
+        let source = fs::read_to_string(&file).expect("spec readable");
+        let analyses = vase::analyze_source(&source)
+            .unwrap_or_else(|e| panic!("{}: {e}", file.display()));
+        for a in &analyses {
+            assert!(a.result.converged, "{} did not converge", file.display());
+            assert!(
+                a.result.diagnostics.is_empty(),
+                "{} should analyze clean: {:#?}",
+                file.display(),
+                a.result.diagnostics
+            );
+            // The fixed point must actually prove something on every
+            // shipped spec — no silent skip path remains.
+            let proven: usize =
+                a.result.bounds.iter().map(|b| b.proven_count()).sum();
+            assert!(proven > 0, "{}: no bounds proven", file.display());
+        }
+    }
+}
