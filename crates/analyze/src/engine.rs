@@ -47,6 +47,10 @@ pub struct AnalysisResult {
     pub converged: bool,
     /// Total transfer-function evaluations across all rounds.
     pub iterations: usize,
+    /// Whether a [`vase_budget::CancelToken`] stopped the worklist
+    /// early. The bounds are then the sound all-top degradation (as on
+    /// an iteration-cap hit) and `converged` is `false`.
+    pub cancelled: bool,
 }
 
 /// How many times a stateful block may update before widening kicks in.
@@ -61,19 +65,35 @@ fn iteration_cap(len: usize) -> usize {
 /// Analyze every graph of `design` under `ctx`. See the module docs for
 /// the round structure.
 pub fn analyze_design(design: &VhifDesign, ctx: &AnalysisContext) -> AnalysisResult {
+    analyze_design_with_cancel(design, ctx, None)
+}
+
+/// [`analyze_design`] with a cooperative cancellation token, for
+/// deadline-bounded service jobs. The worklists check the token every
+/// [`vase_budget::CHECK_STRIDE`] pops (including the first); a tripped
+/// token degrades the affected graphs exactly like an iteration-cap
+/// hit (all-top environment, `converged = false`, an `A205` note) and
+/// flags the result `cancelled`. A `None` token is bit-identical to
+/// [`analyze_design`].
+pub fn analyze_design_with_cancel(
+    design: &VhifDesign,
+    ctx: &AnalysisContext,
+    token: Option<&vase_budget::CancelToken>,
+) -> AnalysisResult {
     let thresholds = collect_thresholds(ctx);
     let mut result = AnalysisResult {
         bounds: Vec::new(),
         diagnostics: Vec::new(),
         converged: true,
         iterations: 0,
+        cancelled: false,
     };
 
     // Round 1: graphs with unrefined controls.
     let mut envs: Vec<Vec<Interval>> = Vec::new();
     let controls: BTreeMap<String, Interval> = BTreeMap::new();
     for g in &design.graphs {
-        let (env, _) = graph_fixpoint(g, ctx, &controls, &thresholds, &mut result);
+        let (env, _) = graph_fixpoint(g, ctx, &controls, &thresholds, token, &mut result);
         envs.push(env);
     }
 
@@ -85,7 +105,7 @@ pub fn analyze_design(design: &VhifDesign, ctx: &AnalysisContext) -> AnalysisRes
     // FSMs constrain nothing beyond the default [0, 1]).
     let mut converged_all = true;
     for (gi, g) in design.graphs.iter().enumerate() {
-        let (env, converged) = graph_fixpoint(g, ctx, &controls, &thresholds, &mut result);
+        let (env, converged) = graph_fixpoint(g, ctx, &controls, &thresholds, token, &mut result);
         converged_all &= converged;
         if !converged {
             result.diagnostics.push(
@@ -141,6 +161,7 @@ fn graph_fixpoint(
     ctx: &AnalysisContext,
     controls: &BTreeMap<String, Interval>,
     thresholds: &[f64],
+    token: Option<&vase_budget::CancelToken>,
     result: &mut AnalysisResult,
 ) -> (Vec<Interval>, bool) {
     let n = g.len();
@@ -154,7 +175,12 @@ fn graph_fixpoint(
 
     while let Some(id) = work.pop_front() {
         queued[id.index()] = false;
-        if steps >= cap {
+        let cancel_hit = (steps as u64).is_multiple_of(vase_budget::CHECK_STRIDE)
+            && token.is_some_and(|t| t.is_cancelled());
+        if cancel_hit {
+            result.cancelled = true;
+        }
+        if steps >= cap || cancel_hit {
             // Degrade soundly: the in-flight updates never propagated,
             // so only the all-top environment is a safe post-fixpoint.
             // The narrowing sweep below recovers what it can from it.

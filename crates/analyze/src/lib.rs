@@ -52,7 +52,7 @@ use vase_vhif::VhifDesign;
 pub mod engine;
 pub mod interval;
 
-pub use engine::{analyze_design, AnalysisResult};
+pub use engine::{analyze_design, analyze_design_with_cancel, AnalysisResult};
 pub use interval::Interval;
 
 /// Annotation-derived inputs to the analysis.
@@ -81,8 +81,18 @@ impl AnalysisContext {
 /// proven bounds to a copy of the design (the form the flow feeds to
 /// the architecture generator).
 pub fn annotate_design_bounds(design: &mut VhifDesign) -> AnalysisResult {
+    annotate_design_bounds_with_cancel(design, None)
+}
+
+/// [`annotate_design_bounds`] with a cooperative cancellation token
+/// (see [`analyze_design_with_cancel`]). A `None` token is
+/// bit-identical to [`annotate_design_bounds`].
+pub fn annotate_design_bounds_with_cancel(
+    design: &mut VhifDesign,
+    token: Option<&vase_budget::CancelToken>,
+) -> AnalysisResult {
     let ctx = AnalysisContext::from_design(design);
-    let result = analyze_design(design, &ctx);
+    let result = analyze_design_with_cancel(design, &ctx, token);
     design.bounds = result.bounds.clone();
     result
 }
@@ -100,6 +110,43 @@ mod tests {
         let ctx = AnalysisContext::from_design(&d);
         assert_eq!(ctx.value_ranges.get("good"), Some(&(-1.0, 1.0)));
         assert!(!ctx.value_ranges.contains_key("bad"));
+    }
+
+    #[test]
+    fn pre_cancelled_token_degrades_soundly_within_one_stride() {
+        // A long chain gives the worklist plenty of pops; a
+        // pre-cancelled token must stop it at the first stride check
+        // and degrade exactly like an iteration-cap hit.
+        let mut g = SignalFlowGraph::new("chain");
+        let x = g.add(BlockKind::Input { name: "x".into() });
+        let mut prev = x;
+        for _ in 0..64 {
+            let s = g.add(BlockKind::Scale { gain: 1.5 });
+            g.connect(prev, s, 0).expect("wire");
+            prev = s;
+        }
+        let y = g.add(BlockKind::Output { name: "y".into() });
+        g.connect(prev, y, 0).expect("wire");
+        let mut d = VhifDesign::new("t");
+        d.graphs.push(g);
+        d.range_hints.push(("x".into(), -1.0, 1.0));
+        let ctx = AnalysisContext::from_design(&d);
+
+        let token = vase_budget::CancelToken::new();
+        token.cancel();
+        let r = analyze_design_with_cancel(&d, &ctx, Some(&token));
+        assert!(r.cancelled, "pre-cancelled analysis must be flagged");
+        assert!(!r.converged);
+        assert!(
+            r.diagnostics.iter().any(|diag| diag.code == vase_diag::Code::A205),
+            "cancellation must surface as A205 degradation"
+        );
+        // Untripped tokens are bit-identical to the token-free path.
+        let bare = analyze_design(&d, &ctx);
+        let tokened =
+            analyze_design_with_cancel(&d, &ctx, Some(&vase_budget::CancelToken::new()));
+        assert!(bare.converged && tokened.converged);
+        assert_eq!(format!("{:?}", tokened.bounds), format!("{:?}", bare.bounds));
     }
 
     #[test]

@@ -241,13 +241,23 @@ impl CoverCache {
         })
     }
 
-    /// Write the cache to `path`.
+    /// Write the cache to `path` atomically: the serialized table goes
+    /// to `<path>.tmp` first and is renamed over `path` only once fully
+    /// written, so a crash (or `kill -9`) mid-save leaves the previous
+    /// cache intact instead of a truncated file. The temp file lives in
+    /// the same directory so the rename never crosses filesystems.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors; on error the target file is
+    /// untouched (a stale `<path>.tmp` may remain and is overwritten by
+    /// the next save).
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.serialize())
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.serialize())?;
+        std::fs::rename(&tmp, path)
     }
 
     /// Read a cache from `path`.
@@ -693,6 +703,73 @@ mod tests {
         assert_eq!(warm.netlist, cold.netlist);
         // And the text form itself round-trips exactly.
         assert_eq!(reloaded.serialize(), text);
+    }
+
+    /// A process-unique scratch directory; each test cleans its own.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("vase-cache-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let g = fig6_graph("one", false);
+        let config = MapperConfig::default();
+        let cache = CoverCache::new();
+        map_graph_with_cache(&g, &estimator(), &config, &cache).expect("maps");
+
+        let dir = scratch_dir("atomic");
+        let path = dir.join("covers.cache");
+        cache.save(&path).expect("saves");
+        assert!(path.exists());
+        assert!(!dir.join("covers.cache.tmp").exists(), "temp file must be renamed away");
+        let reloaded = CoverCache::load(&path).expect("loads");
+        assert_eq!(reloaded.len(), cache.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_temp_from_killed_save_does_not_shadow_the_cache() {
+        // Simulate `kill -9` mid-save: a half-written `<path>.tmp` next
+        // to a valid cache. The load must see only the valid file, and
+        // the next save must clean up by renaming over it.
+        let g = fig6_graph("one", false);
+        let config = MapperConfig::default();
+        let cache = CoverCache::new();
+        map_graph_with_cache(&g, &estimator(), &config, &cache).expect("maps");
+
+        let dir = scratch_dir("killed");
+        let path = dir.join("covers.cache");
+        cache.save(&path).expect("saves");
+        std::fs::write(dir.join("covers.cache.tmp"), "VASE-COVER-CACHE v1\ne 12 34")
+            .expect("plant torn temp file");
+
+        let reloaded = CoverCache::load(&path).expect("valid cache loads despite stale tmp");
+        assert_eq!(reloaded.len(), cache.len());
+        reloaded.save(&path).expect("saves over stale tmp");
+        assert!(!dir.join("covers.cache.tmp").exists());
+        assert_eq!(CoverCache::load(&path).expect("still loads").len(), cache.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_or_garbage_cache_file_is_an_error_not_a_panic() {
+        let dir = scratch_dir("garbage");
+        for (name, text) in [
+            ("empty", ""),
+            ("header-only-truncated-entry", "VASE-COVER-CACHE v1\ne deadbeef"),
+            ("truncated-component", "VASE-COVER-CACHE v1\ne 1a 2b 1 1\nc 0 1"),
+            ("binary-garbage", "\u{0}\u{1}\u{2}garbage\u{ff}"),
+            ("wrong-header", "SOME-OTHER-FORMAT v9\ne 1 2 3 4"),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, text).expect("write fixture");
+            let err = CoverCache::load(&path).expect_err("garbage must not load");
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{name}: {err}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -232,6 +232,138 @@ fn run(seed: u64, mutants: usize, verbose: bool) -> RunStats {
     stats
 }
 
+/// The response statuses `vase serve` is allowed to emit, with their
+/// exit codes — the per-request contract the soak asserts.
+const VALID_STATUSES: [(&str, i128); 7] = [
+    ("ok", 0),
+    ("budget-exhausted", 3),
+    ("deadline-exceeded", 3),
+    ("overloaded", 3),
+    ("error", 1),
+    ("panicked", 1),
+    ("malformed", 1),
+];
+
+/// Build soak request `i`: a deterministic mix of valid jobs, fuzzed
+/// mutants (sent only to the lint/analyze ops the no-panic oracle
+/// covers), pathological deadlines, and malformed wire lines.
+fn build_soak_request(specs: &[(String, String)], seed: u64, i: usize) -> String {
+    use vase::diag::json::Json;
+    let spec = &specs[i % specs.len()].1;
+    let line = |op: &str, source: &str, deadline_ms: Option<u64>| {
+        let mut fields = vec![
+            ("id", Json::Int(i as i128)),
+            ("op", Json::str(op)),
+            ("source", Json::str(source)),
+        ];
+        if let Some(ms) = deadline_ms {
+            fields.push(("deadline_ms", Json::Int(ms as i128)));
+        }
+        Json::obj(fields).to_line()
+    };
+    match i % 8 {
+        0 => line("synth", spec, None),
+        1 => line("lint", &build_mutant(specs, seed, i).1, None),
+        2 => line("analyze", &build_mutant(specs, seed, i).1, None),
+        // Pathological deadlines: effectively-zero and absurdly huge.
+        3 => line("sim", spec, Some(1)),
+        4 => line("synth", spec, Some(10_000_000)),
+        5 => line("analyze", spec, None),
+        // Broken wire data: half a request, then plain garbage.
+        6 => {
+            let full = line("synth", spec, None);
+            full[..full.len() / 2].to_owned()
+        }
+        _ => format!("!!not json {i}!!"),
+    }
+}
+
+/// `--soak`: drive an in-process `vase serve` over a mixed request
+/// stream and assert the service invariants — one parseable response
+/// per request, every status/exit pair from the published contract,
+/// and no panic or hang escaping the server — then re-run the same
+/// stream with deterministic fault injection armed. Returns the
+/// violation count.
+fn run_soak(seed: u64, requests: usize, verbose: bool) -> usize {
+    use vase::diag::json::Json;
+    use vase::serve::{serve, FaultPlan, ServerConfig};
+
+    let specs = corpus();
+    let input: String = (0..requests)
+        .map(|i| build_soak_request(&specs, seed, i) + "\n")
+        .collect();
+    let mut violations = 0;
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for inject in [None, Some("panic:4,timeout:4,malformed:4")] {
+        let config = ServerConfig {
+            workers: 2,
+            queue_depth: requests.max(16),
+            snapshot_every: 4,
+            inject: inject.map(|spec| FaultPlan::parse(spec, seed).expect("inject spec")),
+            ..ServerConfig::default()
+        };
+        let handler = vase::service::FlowJobHandler::new(vase::flow::FlowOptions::default());
+        let mut out = Vec::new();
+        let served = catch_unwind(AssertUnwindSafe(|| {
+            serve(input.as_bytes(), &mut out, &handler, config)
+        }));
+        let stats = match served {
+            Ok(Ok(stats)) => stats,
+            Ok(Err(e)) => {
+                eprintln!("SOAK: serve returned an I/O error: {e}");
+                violations += 1;
+                continue;
+            }
+            Err(_) => {
+                eprintln!("SOAK: a panic escaped the server loop");
+                violations += 1;
+                continue;
+            }
+        };
+        let text = String::from_utf8_lossy(&out);
+        let responses: Vec<&str> = text.lines().collect();
+        if responses.len() != requests || stats.responses as usize != requests {
+            eprintln!(
+                "SOAK: {} requests but {} response line(s) (inject: {inject:?})",
+                requests,
+                responses.len()
+            );
+            violations += 1;
+        }
+        let mut panicked = 0usize;
+        for line in &responses {
+            let Ok(response) = Json::parse(line) else {
+                eprintln!("SOAK: unparseable response line: {line}");
+                violations += 1;
+                continue;
+            };
+            let status = response.get("status").and_then(Json::as_str).unwrap_or("<missing>");
+            let exit = response.get("exit").and_then(Json::as_int);
+            if !VALID_STATUSES.iter().any(|(s, e)| *s == status && Some(*e) == exit) {
+                eprintln!("SOAK: invalid status/exit pair in: {line}");
+                violations += 1;
+            }
+            panicked += usize::from(status == "panicked");
+        }
+        // Without injection nothing in the mixed stream may panic
+        // (mutants only reach the lint/analyze no-panic oracles).
+        if inject.is_none() && panicked > 0 {
+            eprintln!("SOAK: {panicked} unexpected panicked response(s) without injection");
+            violations += 1;
+        }
+        if verbose || violations > 0 {
+            println!(
+                "soak pass (inject: {inject:?}): {} responses, {} shed, {} panicked, \
+                 {} deadline hit(s), {} malformed",
+                stats.responses, stats.shed, stats.panicked, stats.deadline_hits, stats.malformed
+            );
+        }
+    }
+    std::panic::set_hook(hook);
+    violations
+}
+
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
@@ -267,6 +399,27 @@ fn main() -> std::process::ExitCode {
         None if smoke => SMOKE_MUTANTS,
         None => 512,
     };
+    if args.iter().any(|a| a == "--soak") {
+        let requests = match flag_value(&args, "--requests") {
+            Some(v) => match v.parse() {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("error: bad --requests `{v}`: {e}");
+                    return std::process::ExitCode::FAILURE;
+                }
+            },
+            None => 160,
+        };
+        let violations = run_soak(seed, requests, verbose);
+        println!(
+            "soak: {requests} request(s) x2 passes (seed {seed:#x}): {violations} violation(s)"
+        );
+        return if violations > 0 {
+            std::process::ExitCode::FAILURE
+        } else {
+            std::process::ExitCode::SUCCESS
+        };
+    }
     let stats = run(seed, mutants, verbose);
     println!(
         "fuzz: {mutants} mutants over {} specs (seed {seed:#x}): {} clean, {} diagnosed, \

@@ -137,7 +137,7 @@ impl CancelToken {
 /// `Instant::now` costs tens of nanoseconds; amortizing it over a
 /// power-of-two stride keeps metering invisible next to the real
 /// per-node work (matching, bounding, memo probes).
-const CHECK_STRIDE: u64 = 256;
+pub const CHECK_STRIDE: u64 = 256;
 
 /// Sentinel meaning "stop reason not yet recorded".
 const STOP_NONE: u8 = 0;

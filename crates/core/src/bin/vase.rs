@@ -77,6 +77,8 @@ use vase::flow::{
     simulate_designs_reported, synthesize_designs_with_cache, synthesize_source,
     yield_diagnostics, FlowOptions, FlowStatus,
 };
+use vase::serve::{FaultPlan, ServerConfig};
+use vase::service::timings_to_json;
 use vase::sim::{render_ascii, MonteCarloConfig, SimConfig, Stimulus, SweepConfig};
 
 /// Exit code for degraded-but-usable results (budget-exhausted
@@ -106,10 +108,11 @@ fn run(args: &[String]) -> Result<u8, String> {
         "analyze" => cmd_analyze(&args[1..]),
         "synth" => cmd_synth(&args[1..]),
         "sim" => cmd_sim(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "table1" => cmd_table1(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("vase — VHDL-AMS behavioral synthesis of analog systems");
-            println!("commands: parse, compile, opt, lint, analyze, synth, sim, table1 (see crate docs)");
+            println!("commands: parse, compile, opt, lint, analyze, synth, sim, serve, table1 (see crate docs)");
             Ok(0)
         }
         other => Err(format!("unknown command `{other}`")),
@@ -118,7 +121,12 @@ fn run(args: &[String]) -> Result<u8, String> {
 
 /// Flags that take a value operand (so a value is never mistaken for
 /// an input path).
-const VALUE_FLAGS: [&str; 18] = [
+const VALUE_FLAGS: [&str; 23] = [
+    "--workers",
+    "--queue-depth",
+    "--socket",
+    "--snapshot-every",
+    "--inject",
     "--jobs",
     "--input",
     "--format",
@@ -402,8 +410,20 @@ fn cmd_synth(args: &[String]) -> Result<u8, String> {
         Some(path) => {
             let p = std::path::Path::new(path);
             Some(if p.exists() {
-                CoverCache::load(p)
-                    .map_err(|e| format!("cannot read cover cache `{path}`: {e}"))?
+                match CoverCache::load(p) {
+                    Ok(cache) => cache,
+                    Err(e) => {
+                        // A truncated or garbage cache file degrades to
+                        // a cold start (every graph reports an A212
+                        // miss and repopulates it) instead of refusing
+                        // to synthesize at all.
+                        eprintln!(
+                            "warning: cover cache `{path}` is unreadable ({e}); \
+                             starting with an empty cache"
+                        );
+                        CoverCache::new()
+                    }
+                }
             } else {
                 CoverCache::new()
             })
@@ -463,6 +483,7 @@ fn render_synth_text(args: &[String], reports: &[vase::flow::FlowReport]) -> Res
                 println!("SPICE deck written to {path}");
             }
         }
+        println!("timings: {}", report.timings);
     }
     Ok(())
 }
@@ -482,6 +503,7 @@ fn synth_reports_to_json(reports: &[vase::flow::FlowReport]) -> Json {
                             None => Json::Null,
                         },
                     ),
+                    ("timings", timings_to_json(&report.timings)),
                     (
                         "diagnostics",
                         Json::Arr(report.diagnostics.iter().map(diagnostic_to_json).collect()),
@@ -525,6 +547,114 @@ fn synth_reports_to_json(reports: &[vase::flow::FlowReport]) -> Json {
             })
             .collect(),
     )
+}
+
+/// `vase serve` — a long-lived synthesis service over newline-
+/// delimited JSON (stdin/stdout by default, `--socket <path>` for a
+/// Unix socket). Requests are scheduled across `--workers` threads
+/// behind a `--queue-depth`-bounded queue; beyond it requests are shed
+/// with `A221` and a retry hint. Each job is panic-isolated and runs
+/// under the `--deadline-ms` default (overridable per request), which
+/// the watchdog enforces with `A220` best-so-far degradation. Warm
+/// state (`--cache-file`) is snapshotted crash-safely every
+/// `--snapshot-every` jobs and at shutdown. `--inject
+/// panic:N,timeout:N,malformed:N` (with `--seed`) arms deterministic
+/// fault injection for resilience testing.
+fn cmd_serve(args: &[String]) -> Result<u8, String> {
+    let mut mapper = MapperConfig::default();
+    let mut budget = budget_flags(args)?;
+    // --deadline-ms is the default *job* deadline; the handler lowers
+    // it into each job's mapping budget itself, so only --max-nodes
+    // stays in the daemon-wide base budget.
+    let default_deadline_ms = budget.deadline_ms.take();
+    mapper.budget = budget;
+    if let Some(strategy) = strategy_flag(args)? {
+        mapper.strategy = strategy;
+    }
+    let options = FlowOptions {
+        mapper,
+        opt_level: opt_level_flag(args)?.unwrap_or(0),
+        ..FlowOptions::default()
+    };
+    let mut handler = vase::service::FlowJobHandler::new(options);
+    if let Some(path) = flag_value(args, "--cache-file") {
+        handler = handler.with_cache_file(std::path::PathBuf::from(path));
+    }
+    let config = ServerConfig {
+        workers: usize_flag(args, "--workers", 2)?,
+        queue_depth: usize_flag(args, "--queue-depth", 16)?,
+        default_deadline_ms,
+        snapshot_every: usize_flag(args, "--snapshot-every", 8)? as u64,
+        inject: match flag_value(args, "--inject") {
+            Some(spec) => {
+                let seed = match flag_value(args, "--seed") {
+                    Some(v) => v.parse::<u64>().map_err(|e| format!("bad --seed `{v}`: {e}"))?,
+                    None => 0x5EED,
+                };
+                Some(FaultPlan::parse(spec, seed)?)
+            }
+            None => None,
+        },
+    };
+
+    let stats = match flag_value(args, "--socket") {
+        Some(path) => serve_socket(path, &handler, &config)?,
+        None => {
+            let stdin = std::io::stdin();
+            vase::serve::serve(stdin.lock(), std::io::stdout(), &handler, config)
+                .map_err(|e| format!("serve failed: {e}"))?
+        }
+    };
+    eprintln!(
+        "serve: {} request(s), {} response(s), {} shed, {} panic(s), {} deadline hit(s)",
+        stats.requests, stats.responses, stats.shed, stats.panicked, stats.deadline_hits
+    );
+    if let Some((hits, misses, len)) = handler.cache_stats() {
+        eprintln!("serve: cover cache: {hits} hit(s), {misses} miss(es), {len} cover(s)");
+    }
+    Ok(0)
+}
+
+/// Serve over a Unix socket: one connection at a time (the warm cache
+/// is shared across connections), until a client sends `shutdown`.
+fn serve_socket(
+    path: &str,
+    handler: &vase::service::FlowJobHandler,
+    config: &ServerConfig,
+) -> Result<vase::serve::ServeStats, String> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)
+        .map_err(|e| format!("cannot bind socket `{path}`: {e}"))?;
+    let mut total = vase::serve::ServeStats::default();
+    loop {
+        let (stream, _) = listener.accept().map_err(|e| format!("accept failed: {e}"))?;
+        let reader = std::io::BufReader::new(
+            stream.try_clone().map_err(|e| format!("cannot clone socket stream: {e}"))?,
+        );
+        let stats = vase::serve::serve(reader, stream, handler, config.clone())
+            .map_err(|e| format!("serve failed: {e}"))?;
+        total.requests += stats.requests;
+        total.responses += stats.responses;
+        total.completed += stats.completed;
+        total.shed += stats.shed;
+        total.panicked += stats.panicked;
+        total.deadline_hits += stats.deadline_hits;
+        total.malformed += stats.malformed;
+        if stats.shutdown {
+            total.shutdown = true;
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(total)
+}
+
+/// Parse an optional non-negative integer flag with a default.
+fn usize_flag(args: &[String], flag: &str, default: usize) -> Result<usize, String> {
+    match flag_value(args, flag) {
+        Some(v) => v.parse::<usize>().map_err(|e| format!("bad {flag} `{v}`: {e}")),
+        None => Ok(default),
+    }
 }
 
 fn parse_stimulus(spec: &str) -> Result<Stimulus, String> {

@@ -6,17 +6,19 @@ use std::error::Error as StdError;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use vase_archgen::{
     synthesize_with_cache, CoverCache, MapError, MapStats, MapperConfig, SynthesisResult,
 };
+use vase_budget::CancelToken;
 use vase_compiler::{compile, CompileError, VassStats};
 use vase_diag::{Code, Diagnostic};
 use vase_estimate::{Estimator, PerformanceConstraints};
 use vase_frontend::{analyze, parse_design_file, FrontendError};
 use vase_sim::{
-    monte_carlo_netlist, simulate_netlist, CompiledNetlist, FaultKind, MonteCarloConfig,
-    SimConfig, SimError, SimResult, Stimulus, SweepConfig, YieldReport,
+    monte_carlo_netlist, simulate_netlist_with_cancel, CompiledNetlist, FaultKind,
+    MonteCarloConfig, SimConfig, SimError, SimResult, Stimulus, SweepConfig, YieldReport,
 };
 use vase_vhif::{PassManager, PassStats, VhifDesign};
 
@@ -226,20 +228,46 @@ pub fn synthesize_source_with_cache(
     options: &FlowOptions,
     cache: Option<&CoverCache>,
 ) -> Result<Vec<SynthesizedDesign>, FlowError> {
+    synthesize_source_instrumented(source, options, cache, None, &mut PhaseTimings::default())
+}
+
+/// The fully-instrumented flow core: [`synthesize_source_with_cache`]
+/// plus a cooperative [`CancelToken`] threaded into the long-running
+/// stages (the analyze worklist and the branch-and-bound mapper) and
+/// per-phase wall-clock accounting written into `timings` as each
+/// phase completes — so a panicking or cancelled run still reports the
+/// time its finished phases took. A `None` token is bit-identical to
+/// [`synthesize_source_with_cache`].
+///
+/// # Errors
+///
+/// As [`synthesize_source`].
+pub fn synthesize_source_instrumented(
+    source: &str,
+    options: &FlowOptions,
+    cache: Option<&CoverCache>,
+    token: Option<&CancelToken>,
+    timings: &mut PhaseTimings,
+) -> Result<Vec<SynthesizedDesign>, FlowError> {
+    let t0 = Instant::now();
     let design = parse_design_file(source).map_err(FrontendError::from)?;
     let analyzed = analyze(&design)?;
     let compiled = compile(&analyzed)?;
+    timings.parse_ms += t0.elapsed().as_secs_f64() * 1e3;
     let mut out = Vec::new();
     for mut arch in compiled.designs {
         // Optimization passes run between compilation and verification,
         // so the verifier re-checks the *optimized* design before it is
         // handed to the mapper.
+        let t0 = Instant::now();
         let opt_stats = if options.opt_level > 0 {
             PassManager::for_opt_level(options.opt_level).run(&mut arch.vhif)
         } else {
             Vec::new()
         };
+        timings.opt_ms += t0.elapsed().as_secs_f64() * 1e3;
         if options.verify {
+            let t0 = Instant::now();
             let ctx = analyzed
                 .architecture_of(&arch.entity)
                 .map(crate::lint::verify_context)
@@ -250,11 +278,15 @@ pub fn synthesize_source_with_cache(
             // verdicts gate mapping the same way, and its proven
             // bounds ride on the design so the mapper can prune
             // dominated candidates (when `mapper.range_prune` is on).
-            diags.extend(vase_analyze::annotate_design_bounds(&mut arch.vhif).diagnostics);
+            diags.extend(
+                vase_analyze::annotate_design_bounds_with_cancel(&mut arch.vhif, token)
+                    .diagnostics,
+            );
             vase_diag::sort(&mut diags);
             if options.deny_warnings {
                 vase_diag::deny_warnings(&mut diags);
             }
+            timings.verify_ms += t0.elapsed().as_secs_f64() * 1e3;
             if vase_diag::has_errors(&diags) {
                 return Err(FlowError::Verify(diags));
             }
@@ -268,7 +300,10 @@ pub fn synthesize_source_with_cache(
             options.constraints
         };
         let estimator = Estimator::new(constraints);
-        let synthesis = synthesize_with_cache(&arch.vhif, &estimator, &options.mapper, None, cache)?;
+        let t0 = Instant::now();
+        let synthesis =
+            synthesize_with_cache(&arch.vhif, &estimator, &options.mapper, token.cloned(), cache)?;
+        timings.synth_ms += t0.elapsed().as_secs_f64() * 1e3;
         let ranges =
             analyzed.architecture_of(&arch.entity).map(value_ranges).unwrap_or_default();
         out.push(SynthesizedDesign {
@@ -329,6 +364,39 @@ impl fmt::Display for FlowStatus {
     }
 }
 
+/// Per-phase wall-clock accounting for one flow unit — the service's
+/// per-request observability hook. Each field is the cumulative time
+/// spent in that phase, in milliseconds; phases that did not run stay
+/// at zero. Times recorded before a panic or error survive in the
+/// unit's [`FlowReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Parsing, semantic analysis, and VASS→VHIF lowering.
+    pub parse_ms: f64,
+    /// The VHIF optimization pass pipeline (zero at `opt_level` 0).
+    pub opt_ms: f64,
+    /// The structural verifier plus the fixed-point range analysis.
+    pub verify_ms: f64,
+    /// Architecture mapping (branch-and-bound or cache replay).
+    pub synth_ms: f64,
+    /// Transient simulation, when the unit ran one.
+    pub sim_ms: f64,
+    /// End-to-end wall clock for the unit, including bookkeeping
+    /// between phases.
+    pub total_ms: f64,
+}
+
+impl fmt::Display for PhaseTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse {:.1}ms, opt {:.1}ms, verify {:.1}ms, synth {:.1}ms, sim {:.1}ms, \
+             total {:.1}ms",
+            self.parse_ms, self.opt_ms, self.verify_ms, self.synth_ms, self.sim_ms, self.total_ms
+        )
+    }
+}
+
 /// The structured per-unit outcome of a panic-isolated batch run
 /// ([`synthesize_designs`]).
 #[derive(Debug, Clone)]
@@ -343,6 +411,9 @@ pub struct FlowReport {
     pub diagnostics: Vec<Diagnostic>,
     /// The failure that stopped the unit, if any.
     pub error: Option<BatchError>,
+    /// Wall-clock per-phase timings (phases completed before a failure
+    /// keep their recorded time).
+    pub timings: PhaseTimings,
 }
 
 impl FlowReport {
@@ -386,41 +457,66 @@ pub fn synthesize_designs_with_cache(
 ) -> Vec<FlowReport> {
     sources
         .iter()
-        .map(|(name, source)| {
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                synthesize_source_with_cache(source, options, cache)
-            }));
-            match outcome {
-                Ok(Ok(designs)) => {
-                    let mut diagnostics = Vec::new();
-                    for d in &designs {
-                        diagnostics.extend(opt_diagnostics(&d.opt_stats));
-                        diagnostics.extend(budget_diagnostics(&d.synthesis.stats));
-                        diagnostics.extend(cache_diagnostics(&d.synthesis.stats));
-                    }
-                    FlowReport { name: name.clone(), designs, diagnostics, error: None }
-                }
-                Ok(Err(e)) => {
-                    let diagnostics = match &e {
-                        FlowError::Verify(diags) => diags.clone(),
-                        _ => Vec::new(),
-                    };
-                    FlowReport {
-                        name: name.clone(),
-                        designs: Vec::new(),
-                        diagnostics,
-                        error: Some(BatchError::Flow(e)),
-                    }
-                }
-                Err(payload) => FlowReport {
-                    name: name.clone(),
-                    designs: Vec::new(),
-                    diagnostics: Vec::new(),
-                    error: Some(BatchError::Panic(panic_message(payload))),
-                },
-            }
-        })
+        .map(|(name, source)| synthesize_unit(name, source, options, cache, None))
         .collect()
+}
+
+/// Run the full flow on one `(name, source)` unit under `catch_unwind`
+/// — the panic-isolated, cancellable job body shared by the CLI batch
+/// and the `vase serve` worker pool. A panicking unit produces a
+/// [`FlowStatus::Panicked`] report; a cancelled one keeps whatever its
+/// finished phases produced. The report carries per-phase wall-clock
+/// timings either way.
+pub fn synthesize_unit(
+    name: &str,
+    source: &str,
+    options: &FlowOptions,
+    cache: Option<&CoverCache>,
+    token: Option<&CancelToken>,
+) -> FlowReport {
+    let started = Instant::now();
+    let mut timings = PhaseTimings::default();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        synthesize_source_instrumented(source, options, cache, token, &mut timings)
+    }));
+    timings.total_ms = started.elapsed().as_secs_f64() * 1e3;
+    match outcome {
+        Ok(Ok(designs)) => {
+            let mut diagnostics = Vec::new();
+            for d in &designs {
+                diagnostics.extend(opt_diagnostics(&d.opt_stats));
+                diagnostics.extend(budget_diagnostics(&d.synthesis.stats));
+                diagnostics.extend(cache_diagnostics(&d.synthesis.stats));
+            }
+            FlowReport {
+                name: name.to_owned(),
+                designs,
+                diagnostics,
+                error: None,
+                timings,
+            }
+        }
+        Ok(Err(e)) => {
+            let diagnostics = match &e {
+                FlowError::Verify(diags) => diags.clone(),
+                _ => Vec::new(),
+            };
+            FlowReport {
+                name: name.to_owned(),
+                designs: Vec::new(),
+                diagnostics,
+                error: Some(BatchError::Flow(e)),
+                timings,
+            }
+        }
+        Err(payload) => FlowReport {
+            name: name.to_owned(),
+            designs: Vec::new(),
+            diagnostics: Vec::new(),
+            error: Some(BatchError::Panic(panic_message(payload))),
+            timings,
+        },
+    }
 }
 
 /// Best-effort text out of a caught panic payload.
@@ -604,13 +700,29 @@ pub fn simulate_designs_reported(
     config: &SimConfig,
     sweep: &SweepConfig,
 ) -> Vec<Result<SimResult, SimError>> {
+    simulate_designs_reported_with_cancel(designs, stimuli, config, sweep, None)
+}
+
+/// [`simulate_designs_reported`] with a cooperative cancellation token
+/// threaded into every per-design stepping loop. A tripped token stops
+/// each simulation within one [`vase_budget::CHECK_STRIDE`] of steps
+/// and its partial [`SimResult`] comes back flagged `cancelled`. A
+/// `None` token is bit-identical to [`simulate_designs_reported`].
+pub fn simulate_designs_reported_with_cancel(
+    designs: &[SynthesizedDesign],
+    stimuli: &BTreeMap<String, Stimulus>,
+    config: &SimConfig,
+    sweep: &SweepConfig,
+    token: Option<&CancelToken>,
+) -> Vec<Result<SimResult, SimError>> {
     let simulate = |d: &SynthesizedDesign| {
         catch_unwind(AssertUnwindSafe(|| {
-            simulate_netlist(
+            simulate_netlist_with_cancel(
                 &d.synthesis.netlist,
                 stimuli,
                 &d.synthesis.control_bindings,
                 config,
+                token,
             )
         }))
         .unwrap_or_else(|payload| Err(SimError::Panicked { message: panic_message(payload) }))

@@ -50,6 +50,7 @@ pub mod benchmarks;
 pub mod flow;
 pub mod lint;
 pub mod report;
+pub mod service;
 
 pub use analysis::{analyze_source, ArchAnalysis};
 pub use flow::{compile_source, synthesize_source, FlowError, FlowOptions, SynthesizedDesign};
@@ -64,5 +65,6 @@ pub use vase_diag as diag;
 pub use vase_estimate as estimate;
 pub use vase_frontend as frontend;
 pub use vase_library as library;
+pub use vase_serve as serve;
 pub use vase_sim as sim;
 pub use vase_vhif as vhif;

@@ -54,6 +54,8 @@ pub enum Code {
     A210,
     A211,
     A212,
+    A220,
+    A221,
     O300,
     O301,
     O302,
@@ -288,6 +290,22 @@ pub const REGISTRY: &[CodeInfo] = &[
                       next time",
     },
     CodeInfo {
+        code: Code::A220,
+        name: "job-deadline-exceeded",
+        severity: Severity::Warning,
+        description: "a service job hit its per-request `deadline_ms` and was cancelled \
+                      cooperatively; the response carries the best results produced so far \
+                      (partial traces, incumbent architectures, or widened ranges)",
+    },
+    CodeInfo {
+        code: Code::A221,
+        name: "service-overloaded",
+        severity: Severity::Warning,
+        description: "the service queue was full (`--queue-depth`) when the request \
+                      arrived, so it was shed without running; the response includes a \
+                      retry-after hint instead of growing the queue without bound",
+    },
+    CodeInfo {
         code: Code::O300,
         name: "opt-summary",
         severity: Severity::Note,
@@ -402,6 +420,8 @@ impl Code {
             Code::A210 => "A210",
             Code::A211 => "A211",
             Code::A212 => "A212",
+            Code::A220 => "A220",
+            Code::A221 => "A221",
             Code::O300 => "O300",
             Code::O301 => "O301",
             Code::O302 => "O302",

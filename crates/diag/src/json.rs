@@ -1,10 +1,11 @@
-//! Minimal JSON writer shared by `vase lint --format json` and the
-//! benchmark reports (`vase-bench` re-exports this module).
+//! Minimal JSON reader/writer shared by `vase lint --format json`, the
+//! benchmark reports (`vase-bench` re-exports this module), and the
+//! `vase serve` request protocol.
 //!
-//! The offline build environment has no `serde_json`, and these tools
-//! only ever *emit* JSON, so a tiny explicit value tree with a
-//! pretty-printer covers everything needed. Keys keep insertion order
-//! so reports diff cleanly run-over-run.
+//! The offline build environment has no `serde_json`, so a tiny
+//! explicit value tree with a pretty-printer and a recursive-descent
+//! parser covers everything needed. Keys keep insertion order so
+//! reports diff cleanly run-over-run.
 
 use std::fmt::Write as _;
 
@@ -40,6 +41,72 @@ impl Json {
         Json::Str(s.into())
     }
 
+    /// Parse a JSON document. Rejects trailing garbage, unterminated
+    /// strings/containers, and nesting deeper than 128 levels (a
+    /// malformed request must produce an error, never a stack
+    /// overflow in a service worker).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Look up a key in an object; `None` for missing keys and
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload; floats with an exact integer value count.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::Num(x) if x.fract() == 0.0 && x.is_finite() => Some(*x as i128),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Pretty-print with two-space indentation and a trailing newline,
     /// matching the layout `serde_json::to_string_pretty` produced for
     /// the earlier reports.
@@ -48,6 +115,43 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Render compactly on one line (no spaces or newlines) — the
+    /// newline-delimited wire form of the `vase serve` protocol.
+    pub fn to_line(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+            // The scalar forms are already single-line.
+            other => other.write(out, 0),
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -138,6 +242,239 @@ fn write_escaped(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// Recursive-descent parser over the raw bytes; positions in error
+/// messages are byte offsets into the input.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+const MAX_DEPTH: usize = 128;
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected byte `{}` at byte {}", b as char, self.pos)),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy unescaped runs in one slice; the input is valid
+            // UTF-8 (it came from a &str), so any multi-byte sequence
+            // between quotes passes through intact.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\uXXXX` with a low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(format!("lone surrogate at byte {}", self.pos));
+                                }
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(format!("bad surrogate pair at byte {}", self.pos));
+                                }
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(
+                                c.ok_or_else(|| format!("invalid escape at byte {}", self.pos))?,
+                            );
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control byte in string at byte {}", self.pos));
+                }
+                _ => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    /// Read exactly four hex digits and return their value; `pos` ends
+    /// past the digits.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| format!("truncated \\u escape at byte {}", self.pos))?;
+        let s = std::str::from_utf8(digits)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::Num(x)),
+            _ => Err(format!("bad number `{text}` at byte {start}")),
+        }
+    }
 }
 
 /// One diagnostic as a JSON object. Synthetic (IR-level) spans carry
@@ -277,5 +614,94 @@ mod tests {
         assert_eq!(Json::Num(f64::NAN).to_string_pretty(), "null\n");
         assert_eq!(Json::Num(f64::INFINITY).to_string_pretty(), "null\n");
         assert_eq!(Json::Num(1.5).to_string_pretty(), "1.5\n");
+    }
+
+    #[test]
+    fn parse_round_trips_the_emitted_shape() {
+        let original = Json::obj([
+            ("id", Json::Int(7)),
+            ("op", Json::str("synth")),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("ratio", Json::Num(2.5)),
+            ("tricky", Json::str("a\"b\\c\nd\te\u{1}f")),
+            ("unicode", Json::str("péd — Δ")),
+            (
+                "nested",
+                Json::Arr(vec![Json::Int(-3), Json::obj([("deep", Json::Arr(vec![]))])]),
+            ),
+        ]);
+        let parsed = Json::parse(&original.to_string_pretty()).expect("round trip");
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn to_line_is_compact_and_round_trips() {
+        let value = Json::obj([
+            ("id", Json::str("a b")),
+            ("n", Json::Num(1.0)),
+            ("arr", Json::Arr(vec![Json::Int(1), Json::Null])),
+            ("obj", Json::obj([("k", Json::Bool(false))])),
+        ]);
+        let line = value.to_line();
+        assert!(!line.contains('\n'), "wire form must be one line");
+        assert_eq!(line, r#"{"id":"a b","n":1.0,"arr":[1,null],"obj":{"k":false}}"#);
+        assert_eq!(Json::parse(&line).expect("round trip"), value);
+    }
+
+    #[test]
+    fn parse_accessors_read_request_fields() {
+        let req = Json::parse(r#"{"id": 3, "op": "lint", "deadline_ms": 250, "x": 1.5}"#)
+            .expect("valid request");
+        assert_eq!(req.get("id").and_then(Json::as_int), Some(3));
+        assert_eq!(req.get("op").and_then(Json::as_str), Some("lint"));
+        assert_eq!(req.get("deadline_ms").and_then(Json::as_int), Some(250));
+        assert_eq!(req.get("x").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(req.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_surrogate_pairs() {
+        let v = Json::parse(r#""\u0041\u00e9\ud83d\ude00\n\/""#).expect("escapes");
+        assert_eq!(v, Json::str("Aé😀\n/"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "{\"a\": }",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "nul",
+            "01x",
+            "1 2",
+            "{\"a\": 1} trailing",
+            "[1,]",
+            "\"\\ud800\"", // lone surrogate
+            "\"\\q\"",
+            "- ",
+            "1e999", // overflows to infinity
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed input: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_bounds_nesting_depth() {
+        let deep = "[".repeat(4096) + &"]".repeat(4096);
+        assert!(Json::parse(&deep).is_err(), "unbounded recursion on deep nesting");
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn parse_keeps_integers_and_floats_distinct() {
+        assert_eq!(Json::parse("42"), Ok(Json::Int(42)));
+        assert_eq!(Json::parse("-7"), Ok(Json::Int(-7)));
+        assert_eq!(Json::parse("42.0"), Ok(Json::Num(42.0)));
+        assert_eq!(Json::parse("1e3"), Ok(Json::Num(1000.0)));
     }
 }

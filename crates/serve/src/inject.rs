@@ -1,0 +1,173 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! `--inject panic:2,timeout:1,malformed:3` arms the server with
+//! fault budgets; which request each fault lands on is drawn from a
+//! SplitMix64 stream, so a given `(spec, seed)` pair replays the same
+//! fault schedule on every run. Counts are maxima: a fault kind stops
+//! firing once its budget is spent, and a short request stream may
+//! leave part of a budget undrawn.
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The worker panics inside its `catch_unwind` before running the
+    /// job (exercises panic isolation).
+    Panic,
+    /// The job's cancel token is tripped immediately and the deadline
+    /// is marked fired (exercises the A220 best-so-far path without
+    /// waiting out a real deadline).
+    Timeout,
+    /// The request line is corrupted before parsing (exercises the
+    /// malformed-request path).
+    Malformed,
+}
+
+/// SplitMix64 (Steele, Lea & Flood 2014) — the same offline PRNG the
+/// simulator and benchmark crates use; fault schedules must be
+/// bit-reproducible from their seed with no external `rand`.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// An armed fault schedule: per-kind budgets plus the seeded stream
+/// that decides which requests draw a fault.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rng: SplitMix64,
+    panic_left: u64,
+    timeout_left: u64,
+    malformed_left: u64,
+}
+
+impl FaultPlan {
+    /// Parse an `--inject` spec: comma-separated `kind:count` pairs
+    /// with kinds `panic`, `timeout`, `malformed`.
+    ///
+    /// # Errors
+    ///
+    /// A message describing the first bad pair.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan {
+            rng: SplitMix64::new(seed),
+            panic_left: 0,
+            timeout_left: 0,
+            malformed_left: 0,
+        };
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let Some((kind, count)) = part.split_once(':') else {
+                return Err(format!("bad --inject entry `{part}` (want kind:count)"));
+            };
+            let n: u64 = count
+                .parse()
+                .map_err(|e| format!("bad --inject count in `{part}`: {e}"))?;
+            match kind {
+                "panic" => plan.panic_left += n,
+                "timeout" => plan.timeout_left += n,
+                "malformed" => plan.malformed_left += n,
+                other => {
+                    return Err(format!(
+                        "unknown --inject kind `{other}` (panic, timeout, malformed)"
+                    ));
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether any fault budget remains.
+    pub fn is_exhausted(&self) -> bool {
+        self.panic_left == 0 && self.timeout_left == 0 && self.malformed_left == 0
+    }
+
+    /// Draw the fault (if any) for the next arriving request. One
+    /// stream step per request keeps the schedule a pure function of
+    /// `(spec, seed, arrival index)`.
+    pub fn draw(&mut self) -> Option<Fault> {
+        if self.is_exhausted() {
+            return None;
+        }
+        // One lane per fault kind plus an empty lane, so roughly 3 of
+        // 4 requests pass through unfaulted while budgets last.
+        let (fault, left) = match self.rng.next_u64() % 4 {
+            0 => (Fault::Panic, &mut self.panic_left),
+            1 => (Fault::Timeout, &mut self.timeout_left),
+            2 => (Fault::Malformed, &mut self.malformed_left),
+            _ => return None,
+        };
+        if *left == 0 {
+            return None;
+        }
+        *left -= 1;
+        Some(fault)
+    }
+
+    /// Corrupt a request line (the [`Fault::Malformed`] action):
+    /// truncating at half keeps the prefix of a JSON object, which is
+    /// never itself valid JSON.
+    pub fn corrupt(line: &str) -> String {
+        let mut cut = line.len() / 2;
+        while cut > 0 && !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}\u{7f}", &line[..cut])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_specs_and_rejects_garbage() {
+        let p = FaultPlan::parse("panic:2,timeout:1,malformed:3", 1).expect("valid spec");
+        assert_eq!((p.panic_left, p.timeout_left, p.malformed_left), (2, 1, 3));
+        assert!(FaultPlan::parse("", 1).expect("empty spec").is_exhausted());
+        assert!(FaultPlan::parse("panic", 1).is_err());
+        assert!(FaultPlan::parse("panic:x", 1).is_err());
+        assert!(FaultPlan::parse("abort:1", 1).is_err());
+    }
+
+    #[test]
+    fn schedules_replay_bit_identically_per_seed() {
+        let draw_all = |seed: u64| -> Vec<Option<Fault>> {
+            let mut p = FaultPlan::parse("panic:3,timeout:3,malformed:3", seed).expect("spec");
+            (0..64).map(|_| p.draw()).collect()
+        };
+        assert_eq!(draw_all(42), draw_all(42));
+        assert_ne!(draw_all(42), draw_all(43), "different seeds shuffle the schedule");
+    }
+
+    #[test]
+    fn budgets_are_hard_caps() {
+        let mut p = FaultPlan::parse("panic:1", 7).expect("spec");
+        let fired: Vec<Fault> = (0..256).filter_map(|_| p.draw()).collect();
+        assert_eq!(fired, vec![Fault::Panic], "exactly the budgeted fault fires");
+        assert!(p.is_exhausted());
+    }
+
+    #[test]
+    fn corrupt_always_breaks_a_request_object() {
+        for line in [r#"{"op":"ping"}"#, "{}", r#"{"id":"péd","op":"synth"}"#] {
+            let bad = FaultPlan::corrupt(line);
+            assert!(
+                vase_diag::json::Json::parse(&bad).is_err(),
+                "corrupted `{bad}` still parsed"
+            );
+        }
+    }
+}

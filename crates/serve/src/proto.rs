@@ -1,0 +1,306 @@
+//! The newline-delimited JSON wire protocol of `vase serve`.
+//!
+//! One request per line in, one response per line out. Requests are
+//! JSON objects; every response echoes the request's `id` verbatim so
+//! clients can correlate out-of-order completions. A malformed line
+//! degrades to a single `malformed` response — it never takes the
+//! service down.
+
+use std::fmt;
+
+use vase_diag::json::{diagnostic_to_json, Json};
+use vase_diag::Diagnostic;
+
+/// The operations a request can ask for, mirroring the CLI
+/// subcommands they reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Liveness probe; answered by the server itself.
+    Ping,
+    /// Frontend + semantic checks only (`vase lint`).
+    Lint,
+    /// Range analysis over the compiled design (`vase analyze`).
+    Analyze,
+    /// Full synthesis to a netlist (`vase synth`).
+    Synth,
+    /// Synthesis followed by transient simulation (`vase sim`).
+    Sim,
+    /// Drain the queue, snapshot warm state, and exit cleanly.
+    Shutdown,
+}
+
+impl Op {
+    /// Parse the request's `op` field.
+    pub fn parse(s: &str) -> Option<Op> {
+        Some(match s {
+            "ping" => Op::Ping,
+            "lint" => Op::Lint,
+            "analyze" => Op::Analyze,
+            "synth" => Op::Synth,
+            "sim" => Op::Sim,
+            "shutdown" => Op::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Op::Ping => "ping",
+            Op::Lint => "lint",
+            Op::Analyze => "analyze",
+            Op::Synth => "synth",
+            Op::Sim => "sim",
+            Op::Shutdown => "shutdown",
+        })
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client correlation id, echoed verbatim ([`Json::Null`] when
+    /// absent).
+    pub id: Json,
+    /// What to do.
+    pub op: Op,
+    /// Inline VHDL-AMS source text.
+    pub source: Option<String>,
+    /// Path of a source file to read instead of `source`.
+    pub path: Option<String>,
+    /// Per-job wall-clock deadline in milliseconds; overrides the
+    /// server default when present.
+    pub deadline_ms: Option<u64>,
+    /// Optimization level (`-O0`..`-O2`); server default when absent.
+    pub opt_level: Option<u8>,
+    /// Simulation end time in seconds (`sim` op only).
+    pub tend: Option<f64>,
+    /// Simulation step in seconds (`sim` op only).
+    pub dt: Option<f64>,
+}
+
+/// Why a request line could not become a [`Request`]. Carries the
+/// `id` if one was recovered, so the error response still correlates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestError {
+    /// Echoed id ([`Json::Null`] when unrecoverable).
+    pub id: Json,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl Request {
+    /// Parse one request line. Never panics on any input.
+    pub fn parse(line: &str) -> Result<Request, RequestError> {
+        let bad = |id: Json, message: String| Err(RequestError { id, message });
+        let value = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return bad(Json::Null, format!("malformed request: {e}")),
+        };
+        let Json::Obj(_) = value else {
+            return bad(Json::Null, "request must be a JSON object".into());
+        };
+        let id = value.get("id").cloned().unwrap_or(Json::Null);
+        let Some(op_str) = value.get("op").and_then(Json::as_str) else {
+            return bad(id, "request is missing a string `op` field".into());
+        };
+        let Some(op) = Op::parse(op_str) else {
+            return bad(
+                id,
+                format!("unknown op `{op_str}` (ping, lint, analyze, synth, sim, shutdown)"),
+            );
+        };
+        let int_field = |name: &str| -> Result<Option<u64>, RequestError> {
+            match value.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => match v.as_int() {
+                    Some(n) if n >= 0 => Ok(Some(n as u64)),
+                    _ => Err(RequestError {
+                        id: id.clone(),
+                        message: format!("`{name}` must be a non-negative integer"),
+                    }),
+                },
+            }
+        };
+        let num_field = |name: &str| -> Result<Option<f64>, RequestError> {
+            match value.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => match v.as_f64() {
+                    Some(x) if x.is_finite() && x > 0.0 => Ok(Some(x)),
+                    _ => Err(RequestError {
+                        id: id.clone(),
+                        message: format!("`{name}` must be a positive number"),
+                    }),
+                },
+            }
+        };
+        let request = Request {
+            id: id.clone(),
+            op,
+            source: value.get("source").and_then(Json::as_str).map(str::to_owned),
+            path: value.get("path").and_then(Json::as_str).map(str::to_owned),
+            deadline_ms: int_field("deadline_ms")?,
+            opt_level: match int_field("opt_level")? {
+                Some(n) if n <= 2 => Some(n as u8),
+                Some(n) => {
+                    return bad(id, format!("`opt_level` must be 0..=2, got {n}"));
+                }
+                None => None,
+            },
+            tend: num_field("tend")?,
+            dt: num_field("dt")?,
+        };
+        Ok(request)
+    }
+}
+
+/// One response line. The `status` vocabulary and its exit mapping
+/// reuse the CLI's per-design contract (0 ok / 1 hard fail / 3
+/// degraded) so a serve client and a batch caller read the same
+/// statuses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's `id`, echoed verbatim.
+    pub id: Json,
+    /// `ok`, `budget-exhausted`, `deadline-exceeded`, `overloaded`,
+    /// `error`, `panicked`, or `malformed`.
+    pub status: String,
+    /// The exit code the CLI would have returned for this outcome.
+    pub exit: u8,
+    /// Backpressure hint: retry after this many milliseconds
+    /// (`overloaded` responses only).
+    pub retry_after_ms: Option<u64>,
+    /// Hard-failure description (`error`/`panicked`/`malformed`).
+    pub error: Option<String>,
+    /// Flow diagnostics, in report order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-design result objects (op-specific shape).
+    pub designs: Vec<Json>,
+    /// Per-phase wall-clock timings object ([`Json::Null`] when the
+    /// job never ran).
+    pub timings: Json,
+    /// End-to-end service time for this request in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// Exit code for a response status, mirroring the CLI contract.
+pub fn exit_for_status(status: &str) -> u8 {
+    match status {
+        "ok" => 0,
+        // Degraded-but-usable results: best-so-far under a budget or
+        // deadline, or shed load the client should retry.
+        "budget-exhausted" | "deadline-exceeded" | "overloaded" => 3,
+        // error | panicked | malformed
+        _ => 1,
+    }
+}
+
+impl Response {
+    /// A response with nothing but an id and a status; callers fill
+    /// in the rest.
+    pub fn bare(id: Json, status: &str) -> Response {
+        Response {
+            id,
+            status: status.to_owned(),
+            exit: exit_for_status(status),
+            retry_after_ms: None,
+            error: None,
+            diagnostics: Vec::new(),
+            designs: Vec::new(),
+            timings: Json::Null,
+            elapsed_ms: 0.0,
+        }
+    }
+
+    /// Render as the single-line JSON wire form.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id", self.id.clone()),
+            ("status", Json::str(&self.status)),
+            ("exit", Json::Int(self.exit as i128)),
+        ];
+        if let Some(ms) = self.retry_after_ms {
+            fields.push(("retry_after_ms", Json::Int(ms as i128)));
+        }
+        if let Some(e) = &self.error {
+            fields.push(("error", Json::str(e)));
+        }
+        fields.push((
+            "diagnostics",
+            Json::Arr(self.diagnostics.iter().map(diagnostic_to_json).collect()),
+        ));
+        fields.push(("designs", Json::Arr(self.designs.clone())));
+        fields.push(("timings", self.timings.clone()));
+        fields.push(("elapsed_ms", Json::Num(self.elapsed_ms)));
+        Json::obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_request() {
+        let r = Request::parse(
+            r#"{"id": 7, "op": "synth", "source": "entity e is end;", "deadline_ms": 250, "opt_level": 2}"#,
+        )
+        .expect("parses");
+        assert_eq!(r.id, Json::Int(7));
+        assert_eq!(r.op, Op::Synth);
+        assert_eq!(r.source.as_deref(), Some("entity e is end;"));
+        assert_eq!(r.deadline_ms, Some(250));
+        assert_eq!(r.opt_level, Some(2));
+        assert_eq!(r.tend, None);
+    }
+
+    #[test]
+    fn malformed_lines_degrade_to_errors_not_panics() {
+        for line in ["", "{", "[1,2]", "42", r#"{"op": 3}"#, r#"{"op": "fry"}"#] {
+            let e = Request::parse(line).expect_err(line);
+            assert!(!e.message.is_empty());
+        }
+        // A recoverable id still correlates the error response.
+        let e = Request::parse(r#"{"id": "j1", "op": "nope"}"#).expect_err("bad op");
+        assert_eq!(e.id, Json::str("j1"));
+    }
+
+    #[test]
+    fn rejects_bad_field_types_with_the_id_attached() {
+        let e = Request::parse(r#"{"id": 1, "op": "synth", "deadline_ms": -4}"#)
+            .expect_err("negative deadline");
+        assert_eq!(e.id, Json::Int(1));
+        let e = Request::parse(r#"{"id": 1, "op": "synth", "opt_level": 9}"#)
+            .expect_err("opt level out of range");
+        assert!(e.message.contains("opt_level"));
+        let e =
+            Request::parse(r#"{"id": 1, "op": "sim", "tend": 0}"#).expect_err("tend must be > 0");
+        assert!(e.message.contains("tend"));
+    }
+
+    #[test]
+    fn status_exit_mapping_matches_the_cli_contract() {
+        assert_eq!(exit_for_status("ok"), 0);
+        assert_eq!(exit_for_status("budget-exhausted"), 3);
+        assert_eq!(exit_for_status("deadline-exceeded"), 3);
+        assert_eq!(exit_for_status("overloaded"), 3);
+        assert_eq!(exit_for_status("error"), 1);
+        assert_eq!(exit_for_status("panicked"), 1);
+        assert_eq!(exit_for_status("malformed"), 1);
+    }
+
+    #[test]
+    fn response_wire_form_round_trips() {
+        let mut r = Response::bare(Json::str("a"), "overloaded");
+        r.retry_after_ms = Some(50);
+        r.elapsed_ms = 1.25;
+        let line = r.to_json().to_line();
+        let back = Json::parse(&line).expect("wire form parses");
+        assert_eq!(back.get("id").and_then(Json::as_str), Some("a"));
+        assert_eq!(back.get("status").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(back.get("exit").and_then(Json::as_int), Some(3));
+        assert_eq!(back.get("retry_after_ms").and_then(Json::as_int), Some(50));
+        assert!(back.get("error").is_none(), "no error key unless set");
+    }
+}

@@ -253,6 +253,12 @@ pub struct BatchSession<'p, 'd> {
     /// Shared time axis of an adaptive run (fixed-step lanes derive
     /// their axes from `dt` instead).
     adaptive_time: Option<Vec<f64>>,
+    /// Cooperative cancellation, checked every
+    /// [`vase_budget::CHECK_STRIDE`] steps by [`run`](Self::run) and
+    /// [`run_adaptive`](Self::run_adaptive).
+    cancel: Option<vase_budget::CancelToken>,
+    /// Whether cancellation ended the run early (all lanes).
+    cancelled: bool,
 }
 
 impl<'p, 'd> BatchSession<'p, 'd> {
@@ -362,6 +368,8 @@ impl<'p, 'd> BatchSession<'p, 'd> {
             lane_err: vec![0.0; stride],
             faults: vec![None; stride],
             recovered: vec![0; stride],
+            cancel: None,
+            cancelled: false,
             recorded: vec![0; stride],
             trace_values: (0..plan.traces.len() * stride)
                 .map(|_| Vec::with_capacity(samples))
@@ -489,9 +497,32 @@ impl<'p, 'd> BatchSession<'p, 'd> {
         }
     }
 
+    /// Attach a cooperative cancellation token. The run loops check it
+    /// every [`vase_budget::CHECK_STRIDE`] steps (including the first),
+    /// so a tripped token stops the batch within one stride and every
+    /// lane's [`SimResult`] carries its best-so-far partial trace
+    /// flagged `cancelled`.
+    pub fn set_cancel_token(&mut self, token: vase_budget::CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Whether a stride check observed a tripped token.
+    fn cancel_tripped(&mut self, iteration: u64) -> bool {
+        if let Some(token) = &self.cancel {
+            if iteration.is_multiple_of(vase_budget::CHECK_STRIDE) && token.is_cancelled() {
+                self.cancelled = true;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Run every remaining fixed step.
     pub fn run(&mut self) {
         while !self.done() {
+            if self.cancel_tripped(self.step as u64) {
+                return;
+            }
             self.step();
         }
     }
@@ -533,8 +564,13 @@ impl<'p, 'd> BatchSession<'p, 'd> {
         let mut axis: Vec<f64> = Vec::with_capacity(plan.steps + 1);
         let eps = 1e-12 * t_end.max(1.0);
         let mut t = 0.0_f64;
+        let mut iteration = 0u64;
 
         while self.alive > 0 {
+            if self.cancel_tripped(iteration) {
+                break;
+            }
+            iteration += 1;
             // Start-of-step evaluation at t (doubles as RKF45 stage 1).
             self.ts.fill(t);
             self.sub_dt.fill(h_prev);
@@ -634,6 +670,7 @@ impl<'p, 'd> BatchSession<'p, 'd> {
                     traces: BTreeMap::new(),
                     fault: self.faults[l],
                     recovered_steps: self.recovered[l],
+                    cancelled: self.cancelled,
                 };
                 for (ti, (name, _)) in plan.traces.iter().enumerate() {
                     result.traces.insert(

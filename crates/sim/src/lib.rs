@@ -67,7 +67,10 @@ pub use error::SimError;
 pub use fault::{FaultInjection, FaultKind, SimFault};
 pub use graph_sim::{simulate_design, SimConfig};
 pub use monte::{monte_carlo_netlist, MonteCarloConfig, TraceYield, YieldReport};
-pub use netlist_sim::{simulate_netlist, BatchNetlistSession, CompiledNetlist, AMP_SATURATION};
+pub use netlist_sim::{
+    simulate_netlist, simulate_netlist_with_cancel, BatchNetlistSession, CompiledNetlist,
+    AMP_SATURATION,
+};
 pub use plan::{CompiledSim, SimSession};
 pub use plot::render_ascii;
 pub use response::{

@@ -54,6 +54,23 @@ pub fn simulate_netlist(
     Ok(CompiledNetlist::new(netlist, stimuli, bindings, config)?.run())
 }
 
+/// [`simulate_netlist`] with a cooperative cancellation token, for
+/// deadline-bounded service jobs. A `None` token is bit-identical to
+/// [`simulate_netlist`].
+///
+/// # Errors
+///
+/// Same as [`simulate_netlist`].
+pub fn simulate_netlist_with_cancel(
+    netlist: &Netlist,
+    stimuli: &BTreeMap<String, Stimulus>,
+    bindings: &[(String, usize)],
+    config: &SimConfig,
+    token: Option<&vase_budget::CancelToken>,
+) -> Result<SimResult, SimError> {
+    Ok(CompiledNetlist::new(netlist, stimuli, bindings, config)?.run_with_cancel(token))
+}
+
 /// A source reference with its external-net name pre-resolved: either
 /// a component output, a stimulus index, a constant, or undriven zero.
 #[derive(Clone, Copy)]
@@ -322,6 +339,15 @@ impl<'n> CompiledNetlist<'n> {
 
     /// Run the transient simulation and collect the traces.
     pub fn run(&self) -> SimResult {
+        self.run_with_cancel(None)
+    }
+
+    /// [`run`](Self::run), checking a cooperative cancellation token
+    /// every [`vase_budget::CHECK_STRIDE`] steps (including the first).
+    /// A tripped token ends the run within one stride; the result
+    /// carries the best-so-far partial trace flagged `cancelled`. A
+    /// `None` token is bit-identical to [`run`](Self::run).
+    pub fn run_with_cancel(&self, token: Option<&vase_budget::CancelToken>) -> SimResult {
         let n = self.netlist.components.len();
         let mut state = RunState {
             integ: self.integ_init.clone(),
@@ -347,6 +373,14 @@ impl<'n> CompiledNetlist<'n> {
 
         for step in 0..=self.steps {
             let t = step as f64 * self.dt;
+            if let Some(token) = token {
+                if (step as u64).is_multiple_of(vase_budget::CHECK_STRIDE)
+                    && token.is_cancelled()
+                {
+                    result.cancelled = true;
+                    break;
+                }
+            }
             self.step(t, &mut state);
             // The macromodels clamp at the supply rails, so divergence
             // cannot occur here; a non-finite value means a corrupted
@@ -627,6 +661,11 @@ pub struct BatchNetlistSession<'p, 'n> {
     k4: Vec<f64>,
     /// Test/demo hook: force component 0 of `(lane, step)` to NaN.
     inject: Option<(usize, usize)>,
+    /// Cooperative cancellation, checked every
+    /// [`vase_budget::CHECK_STRIDE`] steps by [`run`](Self::run).
+    cancel: Option<vase_budget::CancelToken>,
+    /// Whether cancellation ended the run early (all lanes).
+    cancelled: bool,
     faults: Vec<Option<SimFault>>,
     recorded: Vec<usize>,
     /// Shared fixed-grid time axis; lane `l` owns the first
@@ -679,6 +718,8 @@ impl<'p, 'n> BatchNetlistSession<'p, 'n> {
             k3: vec![0.0; plan.integrators.len() * stride],
             k4: vec![0.0; plan.integrators.len() * stride],
             inject: None,
+            cancel: None,
+            cancelled: false,
             faults: vec![None; stride],
             recorded: vec![0; stride],
             time: Vec::with_capacity(samples),
@@ -704,10 +745,27 @@ impl<'p, 'n> BatchNetlistSession<'p, 'n> {
         self.faults.get(lane).and_then(Option::as_ref)
     }
 
+    /// Attach a cooperative cancellation token, checked by
+    /// [`run`](Self::run) every [`vase_budget::CHECK_STRIDE`] steps
+    /// (including the first); a tripped token stops the batch within
+    /// one stride and every lane carries its best-so-far partial
+    /// trace flagged `cancelled`.
+    pub fn set_cancel_token(&mut self, token: vase_budget::CancelToken) {
+        self.cancel = Some(token);
+    }
+
     /// Run the whole transient window (or until every lane has died).
     pub fn run(&mut self) {
         let plan = self.plan;
         while self.step <= plan.steps && self.alive > 0 {
+            if let Some(token) = &self.cancel {
+                if (self.step as u64).is_multiple_of(vase_budget::CHECK_STRIDE)
+                    && token.is_cancelled()
+                {
+                    self.cancelled = true;
+                    return;
+                }
+            }
             let t = self.step as f64 * plan.dt;
             self.step_all(t);
             if let Some((lane, at)) = self.inject {
@@ -764,6 +822,7 @@ impl<'p, 'n> BatchNetlistSession<'p, 'n> {
                 let mut result = SimResult {
                     time: self.time[..self.recorded[l]].to_vec(),
                     fault: self.faults[l],
+                    cancelled: self.cancelled,
                     ..SimResult::default()
                 };
                 for (ti, (name, _)) in plan.traces.iter().enumerate() {

@@ -674,6 +674,11 @@ pub struct SimSession<'p, 'd> {
     saved_prev_in: Vec<f64>,
     /// Deterministic fault-injection stream (None when disabled).
     rng: Option<SplitMix64>,
+    /// Cooperative cancellation, checked every
+    /// [`vase_budget::CHECK_STRIDE`] steps by [`run`](Self::run).
+    cancel: Option<vase_budget::CancelToken>,
+    /// Whether cancellation ended the run early.
+    cancelled: bool,
     /// Unrecoverable fault that ended the run, if any.
     fault: Option<SimFault>,
     /// Steps rescued by the step-halving retry.
@@ -726,6 +731,8 @@ impl<'p, 'd> SimSession<'p, 'd> {
             saved_discrete: vec![0.0; total],
             saved_prev_in: vec![0.0; total],
             rng: plan.injection.map(|inj| SplitMix64::new(inj.seed)),
+            cancel: None,
+            cancelled: false,
             fault: None,
             recovered_steps: 0,
             time: Vec::with_capacity(samples),
@@ -835,9 +842,26 @@ impl<'p, 'd> SimSession<'p, 'd> {
         self.step += 1;
     }
 
+    /// Attach a cooperative cancellation token. [`run`](Self::run)
+    /// checks it every [`vase_budget::CHECK_STRIDE`] steps (including
+    /// the first), so a tripped token stops the run within one stride
+    /// and [`into_result`](Self::into_result) carries the best-so-far
+    /// partial trace flagged `cancelled`.
+    pub fn set_cancel_token(&mut self, token: vase_budget::CancelToken) {
+        self.cancel = Some(token);
+    }
+
     /// Run every remaining step.
     pub fn run(&mut self) {
         while !self.done() {
+            if let Some(token) = &self.cancel {
+                if (self.step as u64).is_multiple_of(vase_budget::CHECK_STRIDE)
+                    && token.is_cancelled()
+                {
+                    self.cancelled = true;
+                    return;
+                }
+            }
             self.step();
         }
     }
@@ -849,6 +873,7 @@ impl<'p, 'd> SimSession<'p, 'd> {
             traces: BTreeMap::new(),
             fault: self.fault,
             recovered_steps: self.recovered_steps,
+            cancelled: self.cancelled,
         };
         for ((name, _), values) in self.plan.traces.iter().zip(self.trace_values) {
             result.traces.insert(name.clone(), values);

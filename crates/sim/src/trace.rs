@@ -24,6 +24,11 @@ pub struct SimResult {
     /// via step-halving retries.
     #[serde(default)]
     pub recovered_steps: u64,
+    /// Whether a [`vase_budget::CancelToken`] stopped the run before
+    /// the requested window completed. When set, `time` and `traces`
+    /// hold the best-so-far partial trace.
+    #[serde(default)]
+    pub cancelled: bool,
 }
 
 impl SimResult {

@@ -68,6 +68,58 @@ fi
 echo "== tier 1: vase-fuzz --smoke =="
 ./target/release/vase-fuzz --smoke
 
+echo "== tier 1: vase serve smoke over shipped specs =="
+# One daemon, one synth request per shipped spec, then shutdown: every
+# response must come back ok on a single long-lived process.
+serve_req="$cache_dir/serve-requests.ndjson"
+: > "$serve_req"
+i=0
+for f in crates/core/specs/*.vhd; do
+    i=$((i + 1))
+    printf '{"id": %d, "op": "synth", "path": "%s"}\n' "$i" "$f" >> "$serve_req"
+done
+printf '{"id": 0, "op": "shutdown"}\n' >> "$serve_req"
+serve_out=$(./target/release/vase serve --workers 2 \
+    --cache-file "$cache_dir/serve-covers.cache" < "$serve_req")
+n_ok=$(printf '%s\n' "$serve_out" | grep -c '"status":"ok"')
+if [ "$n_ok" -ne $((i + 1)) ]; then
+    echo "serve smoke: expected $((i + 1)) ok responses, got $n_ok:" >&2
+    printf '%s\n' "$serve_out" >&2
+    exit 1
+fi
+
+echo "== tier 1: vase-fuzz --soak (fault-injected service) =="
+# Two full passes (clean + injected panics/timeouts/malformed lines)
+# asserting zero hangs, daemon deaths, or out-of-contract statuses.
+./target/release/vase-fuzz --soak
+
+echo "== tier 1: serve crash safety (kill -9 during snapshots) =="
+# Flood a daemon that snapshots after every job, kill -9 it mid-run,
+# and prove the write-temp-then-rename protocol left the cache either
+# loadable or cleanly ignored — never a hard failure.
+crash_cache="$cache_dir/crash-covers.cache"
+./target/release/vase synth crates/core/specs/funcgen.vhd \
+    --cache-file "$crash_cache" >/dev/null
+crash_req="$cache_dir/crash-requests.ndjson"
+: > "$crash_req"
+for i in $(seq 1 4000); do
+    printf '{"id": %d, "op": "synth", "path": "crates/core/specs/funcgen.vhd"}\n' "$i"
+done > "$crash_req"
+./target/release/vase serve --queue-depth 100000 --snapshot-every 1 \
+    --cache-file "$crash_cache" < "$crash_req" >/dev/null 2>&1 &
+serve_pid=$!
+sleep 0.5
+if ! kill -9 "$serve_pid" 2>/dev/null; then
+    echo "serve drained 4000 requests before kill -9; crash gate was vacuous" >&2
+    exit 1
+fi
+wait "$serve_pid" 2>/dev/null || true
+if ! ./target/release/vase synth crates/core/specs/funcgen.vhd \
+    --cache-file "$crash_cache" >/dev/null; then
+    echo "cover cache unusable after kill -9 during snapshot" >&2
+    exit 1
+fi
+
 echo "== tier 1: vase opt smoke over shipped specs =="
 for f in crates/core/specs/*.vhd; do
     # Every spec must survive the full -O2 pipeline with clean stats.

@@ -1,0 +1,195 @@
+//! E2e exit-code contract of the `vase` binary: `0` ok, `1` hard
+//! failure, `3` degraded-but-usable — asserted over mixed CLI batches
+//! (per-design JSON statuses included) and over a spawned `vase serve`
+//! daemon round trip, warm cache and all.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+use vase::diag::json::Json;
+
+const VASE: &str = env!("CARGO_BIN_EXE_vase");
+
+fn spec(name: &str) -> String {
+    format!("{}/specs/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vase-exit-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Run `vase synth --format json` over the given inputs; return
+/// (exit code, per-file statuses).
+fn synth_json(args: &[&str]) -> (i32, Vec<String>) {
+    let output = Command::new(VASE)
+        .arg("synth")
+        .args(["--format", "json"])
+        .args(args)
+        .output()
+        .expect("vase synth runs");
+    let stdout = String::from_utf8(output.stdout).expect("UTF-8 output");
+    let reports = Json::parse(stdout.trim()).expect("synth JSON parses");
+    let statuses = reports
+        .as_arr()
+        .expect("report array")
+        .iter()
+        .map(|r| r.get("status").and_then(Json::as_str).expect("status").to_owned())
+        .collect();
+    (output.status.code().expect("exit code"), statuses)
+}
+
+#[test]
+fn clean_batch_exits_zero_with_all_ok() {
+    let (code, statuses) = synth_json(&[&spec("receiver.vhd"), &spec("biquad.vhd")]);
+    assert_eq!(code, 0);
+    assert_eq!(statuses, ["ok", "ok"]);
+}
+
+#[test]
+fn budget_exhausted_batch_degrades_to_exit_three() {
+    // --max-nodes 1 cannot finish any branch-and-bound search, so the
+    // second design keeps a best-so-far incumbent and the whole batch
+    // reports degraded success.
+    let (code, statuses) =
+        synth_json(&[&spec("receiver.vhd"), &spec("funcgen.vhd"), "--max-nodes", "1"]);
+    assert_eq!(code, 3, "degraded success must exit 3");
+    assert!(statuses.iter().any(|s| s == "budget-exhausted"), "statuses: {statuses:?}");
+    assert!(!statuses.iter().any(|s| s == "error" || s == "panicked"));
+}
+
+#[test]
+fn a_hard_failure_anywhere_in_the_batch_exits_one() {
+    let dir = scratch_dir("hard");
+    let broken = dir.join("broken.vhd");
+    std::fs::write(&broken, "entity broken is port(q: quantity").expect("write");
+    let (code, statuses) = synth_json(&[
+        &spec("receiver.vhd"),
+        broken.to_str().expect("path"),
+        &spec("biquad.vhd"),
+        "--max-nodes",
+        "1",
+    ]);
+    assert_eq!(code, 1, "a hard failure outranks degraded statuses");
+    assert!(statuses.contains(&"error".to_owned()), "statuses: {statuses:?}");
+    assert!(statuses.contains(&"ok".to_owned()) || statuses.contains(&"budget-exhausted".to_owned()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Spawn `vase serve`, feed it request lines on stdin, and collect the
+/// parsed response lines plus the daemon's exit code.
+fn serve_round_trip(requests: &[String], cache: &std::path::Path) -> (i32, Vec<Json>) {
+    let mut child = Command::new(VASE)
+        .args(["serve", "--workers", "2", "--cache-file"])
+        .arg(cache)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("vase serve spawns");
+    {
+        let stdin = child.stdin.as_mut().expect("stdin piped");
+        for line in requests {
+            writeln!(stdin, "{line}").expect("request written");
+        }
+    }
+    let output = child.wait_with_output().expect("daemon exits");
+    let responses = String::from_utf8(output.stdout)
+        .expect("UTF-8 responses")
+        .lines()
+        .map(|l| Json::parse(l).expect("response line parses"))
+        .collect();
+    (output.status.code().expect("exit code"), responses)
+}
+
+#[test]
+fn serve_round_trip_mixes_statuses_and_warms_the_cache() {
+    let dir = scratch_dir("serve");
+    let cache = dir.join("covers.bin");
+    let broken = dir.join("broken.vhd");
+    std::fs::write(&broken, "entity broken is port(q: quantity").expect("write");
+    let requests = vec![
+        r#"{"id": 1, "op": "ping"}"#.to_owned(),
+        format!(r#"{{"id": 2, "op": "synth", "path": "{}"}}"#, spec("receiver.vhd")),
+        format!(r#"{{"id": 3, "op": "synth", "path": "{}"}}"#, broken.display()),
+        "not even json".to_owned(),
+        r#"{"id": 5, "op": "shutdown"}"#.to_owned(),
+    ];
+
+    let (code, responses) = serve_round_trip(&requests, &cache);
+    assert_eq!(code, 0, "a clean shutdown exits 0 whatever the per-request outcomes");
+    assert_eq!(responses.len(), 5);
+    let status_of = |id: i128| {
+        responses
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_int) == Some(id))
+            .map(|r| r.get("status").and_then(Json::as_str).expect("status").to_owned())
+    };
+    assert_eq!(status_of(1).as_deref(), Some("ok"));
+    assert_eq!(status_of(2).as_deref(), Some("ok"));
+    assert_eq!(status_of(3).as_deref(), Some("error"));
+    assert_eq!(status_of(5).as_deref(), Some("ok"));
+    assert!(
+        responses.iter().any(|r| r.get("status").and_then(Json::as_str) == Some("malformed")),
+        "the garbage line answers malformed"
+    );
+    // Per-request exit codes follow the CLI contract.
+    for r in &responses {
+        let status = r.get("status").and_then(Json::as_str).expect("status");
+        let exit = r.get("exit").and_then(Json::as_int).expect("exit");
+        let expected = match status {
+            "ok" => 0,
+            "budget-exhausted" | "deadline-exceeded" | "overloaded" => 3,
+            _ => 1,
+        };
+        assert_eq!(exit, expected, "status {status}");
+    }
+    assert!(cache.exists(), "shutdown snapshot persisted the warm cache");
+
+    // Restart the daemon over the persisted cache: the same design
+    // must now hit warm covers and say so with A211.
+    let requests = vec![
+        format!(r#"{{"id": 1, "op": "synth", "path": "{}"}}"#, spec("receiver.vhd")),
+        r#"{"id": 2, "op": "shutdown"}"#.to_owned(),
+    ];
+    let (code, responses) = serve_round_trip(&requests, &cache);
+    assert_eq!(code, 0);
+    let diags = responses
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_int) == Some(1))
+        .and_then(|r| r.get("diagnostics"))
+        .and_then(Json::as_arr)
+        .expect("diagnostics");
+    assert!(
+        diags.iter().any(|d| d.get("code").and_then(Json::as_str) == Some("A211")),
+        "warm-cache serve round trip must report A211 hits"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_deadline_and_timings_ride_the_wire() {
+    let dir = scratch_dir("deadline");
+    let requests = vec![
+        format!(
+            r#"{{"id": 1, "op": "synth", "path": "{}", "deadline_ms": 120000}}"#,
+            spec("receiver.vhd")
+        ),
+        r#"{"id": 2, "op": "shutdown"}"#.to_owned(),
+    ];
+    let (code, responses) = serve_round_trip(&requests, &dir.join("covers.bin"));
+    assert_eq!(code, 0);
+    let r = responses
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_int) == Some(1))
+        .expect("synth response");
+    assert_eq!(r.get("status").and_then(Json::as_str), Some("ok"));
+    let timings = r.get("timings").expect("timings");
+    for phase in ["parse_ms", "opt_ms", "verify_ms", "synth_ms", "sim_ms", "total_ms"] {
+        assert!(timings.get(phase).and_then(Json::as_f64).is_some(), "missing {phase}");
+    }
+    assert!(r.get("elapsed_ms").and_then(Json::as_f64).expect("elapsed") > 0.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
